@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Sec. III-A.5's analytical conflict model next to simulation: why
+ * direct-mapped organization is catastrophic for page-based caches and
+ * why Unison Cache stops at 4 ways.
+ *
+ * Three views:
+ *  1. the worst-case pairwise amplification factor vs page size (the
+ *     paper's "~500x for 2KB pages" headline);
+ *  2. the Poisson set-occupancy conflict proxy vs associativity and
+ *     load factor (Fig. 5's shape, analytically);
+ *  3. simulated Unison Cache miss ratios at 1/2/4/8/32 ways on a
+ *     conflict-sensitive workload, for direct comparison.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+#include "core/conflict_model.hh"
+
+namespace {
+
+using namespace unison;
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace unison::bench;
+
+    const BenchOptions opts = parseBenchArgs(
+        argc, argv, "Analytical conflict model (Sec. III-A.5) vs sim");
+
+    // View 1: worst-case amplification vs page size.
+    {
+        Table t({"page size", "blocks/page", "worst-case factor"});
+        for (std::uint32_t page : {64u, 256u, 512u, 1024u, 2048u, 4096u}) {
+            t.beginRow();
+            t.add(std::to_string(page) + "B");
+            t.add(static_cast<double>(blocksPerPage(page, 64)), 0);
+            t.add(worstCaseConflictFactor(page, 64), 0);
+        }
+        emit(t, opts,
+             "Worst-case page-conflict amplification vs block-based "
+             "(paper: ~500x for 2KB pages)");
+    }
+
+    // View 2: Poisson conflict proxy vs associativity and load.
+    {
+        Table t({"load factor", "1-way", "2-way", "4-way", "8-way",
+                 "32-way"});
+        for (double lambda : {0.25, 0.5, 1.0, 2.0}) {
+            t.beginRow();
+            t.add(lambda, 2);
+            for (std::uint32_t a : {1u, 2u, 4u, 8u, 32u})
+                t.add(100.0 * expectedConflictFractionLambda(lambda, a),
+                      2);
+        }
+        emit(t, opts,
+             "Analytical conflict pressure (% of live pages displaced)");
+    }
+
+    // View 3: simulated Unison miss ratio vs associativity.
+    {
+        Table t({"workload", "assoc", "miss%", "model conflict%"});
+        const std::vector<Workload> workloads = {Workload::WebServing,
+                                                 Workload::DataServing};
+        for (Workload w : workloads) {
+            for (std::uint32_t assoc : {1u, 2u, 4u, 8u, 32u}) {
+                ExperimentSpec spec = baseSpec(opts);
+                spec.workload = w;
+                spec.design = DesignKind::Unison;
+                spec.capacityBytes = 128_MiB;
+                spec.unisonAssoc = assoc;
+                const SimResult r = runExperiment(spec);
+
+                // Model: live pages ~ working set at this page size;
+                // approximate the load factor as 1 (capacity-bound
+                // workloads keep the cache full).
+                const double model = 100.0 * expectedConflictFractionLambda(
+                                                 1.0, assoc);
+                t.beginRow();
+                t.add(workloadName(w));
+                t.add(static_cast<double>(assoc), 0);
+                t.add(r.missRatioPercent(), 2);
+                t.add(model, 2);
+            }
+            std::fprintf(stderr, "analytical: %s done\n",
+                         workloadName(w).c_str());
+        }
+        emit(t, opts,
+             "Simulated UC miss ratio vs the model's conflict share "
+             "(128MB, 960B pages)");
+    }
+
+    std::printf(
+        "\nReading: the simulated miss ratio = compulsory + capacity + "
+        "conflict components; only the conflict component tracks the "
+        "model column. The drop from 1-way to 4-way and the flat tail "
+        "beyond 4 ways should match the model's shape (Fig. 5, Sec. "
+        "V-B).\n");
+    return 0;
+}

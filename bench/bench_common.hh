@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared plumbing for the bench harnesses that regenerate the paper's
+ * tables and figures: argument handling (--quick, --seed, --csv) and
+ * small aggregation helpers.
+ */
+
+#ifndef UNISON_BENCH_BENCH_COMMON_HH
+#define UNISON_BENCH_BENCH_COMMON_HH
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/argparse.hh"
+#include "sim/experiment.hh"
+#include "stats/table.hh"
+
+namespace unison {
+namespace bench {
+
+/** Options common to all bench binaries. */
+struct BenchOptions
+{
+    bool quick = false;
+    bool csv = false;
+    std::uint64_t seed = 42;
+};
+
+inline BenchOptions
+parseBenchArgs(int argc, char **argv, const std::string &description)
+{
+    ArgParser args(description);
+    args.addFlag("quick", "run 8x shorter simulations (CI mode)");
+    args.addFlag("csv", "emit CSV instead of aligned tables");
+    args.addOption("seed", "42", "workload seed");
+    args.parse(argc, argv);
+
+    BenchOptions opts;
+    opts.quick = args.getFlag("quick");
+    opts.csv = args.getFlag("csv");
+    opts.seed = args.getUint("seed");
+    return opts;
+}
+
+/** Geometric mean of a series (used for Fig. 7's summary panel). */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/** Emit a table in the requested format with a heading. */
+inline void
+emit(const Table &table, const BenchOptions &opts,
+     const std::string &heading)
+{
+    std::printf("\n== %s ==\n", heading.c_str());
+    if (opts.csv)
+        std::fputs(table.toCsv().c_str(), stdout);
+    else
+        std::fputs(table.toString().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+/** Build a baseline ExperimentSpec from the shared options. */
+inline ExperimentSpec
+baseSpec(const BenchOptions &opts)
+{
+    ExperimentSpec spec;
+    spec.quick = opts.quick;
+    spec.seed = opts.seed;
+    return spec;
+}
+
+} // namespace bench
+} // namespace unison
+
+#endif // UNISON_BENCH_BENCH_COMMON_HH

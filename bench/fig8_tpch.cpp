@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Regenerates Figure 8: TPC-H speedups for 1-8 GB caches. The paper's
+ * shape: Unison constantly above the (hypothetical, 25-50MB-SRAM-tag)
+ * Footprint design whose tag latency keeps growing; Alloy improves
+ * steadily but stays limited by its hit ratio; Ideal on top (~7%
+ * Unison-over-Alloy and ~6% Unison-over-Footprint at 8 GB).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace unison;
+    using namespace unison::bench;
+
+    const BenchOptions opts = parseBenchArgs(
+        argc, argv, "Figure 8: TPC-H speedup, 1-8GB caches");
+
+    Table t({"capacity", "Alloy", "Footprint", "Unison", "Ideal"});
+
+    for (std::uint64_t cap : {1_GiB, 2_GiB, 4_GiB, 8_GiB}) {
+        ExperimentSpec spec = baseSpec(opts);
+        spec.workload = Workload::TpchQueries;
+        spec.capacityBytes = cap;
+
+        spec.design = DesignKind::NoDramCache;
+        const SimResult base = runExperiment(spec);
+
+        t.beginRow();
+        t.add(formatSize(cap));
+        for (DesignKind d : {DesignKind::Alloy, DesignKind::Footprint,
+                             DesignKind::Unison, DesignKind::Ideal}) {
+            spec.design = d;
+            const SimResult r = runExperiment(spec);
+            t.add(base.uipc > 0.0 ? r.uipc / base.uipc : 0.0, 2);
+        }
+        std::fprintf(stderr, "fig8: %s done\n",
+                     formatSize(cap).c_str());
+    }
+    emit(t, opts, "Figure 8: TPC-H queries speedup");
+    return 0;
+}

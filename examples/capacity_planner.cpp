@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Capacity planner: what does a given die-stacked DRAM budget cost in
+ * metadata, and which organization should you pick?
+ *
+ * For a capacity (and optionally a page size / associativity choice)
+ * this prints the Table II arithmetic for all three designs -- SRAM
+ * tag arrays, in-DRAM tag overhead, payload blocks per row, predictor
+ * budgets -- plus the analytical conflict model's advice on
+ * associativity. No simulation: everything is closed-form, which makes
+ * this the tool a system architect would actually run first.
+ *
+ *   ./examples/capacity_planner [--capacity=8G] [--page=960]
+ */
+
+#include <cstdio>
+
+#include "common/argparse.hh"
+#include "core/conflict_model.hh"
+#include "core/geometry.hh"
+#include "stats/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace unison;
+
+    ArgParser args("Die-stacked DRAM cache capacity planner");
+    args.addOption("capacity", "8G", "stacked DRAM capacity");
+    args.addOption("page", "960", "Unison page size in bytes (960/1984)");
+    args.parse(argc, argv);
+
+    const std::uint64_t capacity = parseSize(args.getString("capacity"));
+    const std::uint32_t page_bytes =
+        static_cast<std::uint32_t>(args.getUint("page"));
+    const std::uint32_t page_blocks = page_bytes / kBlockBytes;
+
+    std::printf("Planning a %s die-stacked DRAM cache\n",
+                formatSize(capacity).c_str());
+
+    // -- Table II style comparison ------------------------------------
+    const UnisonGeometry uc =
+        UnisonGeometry::compute(capacity, page_blocks, 4);
+    const AlloyGeometry ac = AlloyGeometry::compute(capacity);
+    const FootprintGeometry fc = FootprintGeometry::compute(capacity);
+
+    Table t({"property", "Alloy", "Footprint", "Unison"});
+    t.beginRow();
+    t.add(std::string("allocation unit"));
+    t.add(std::string("64B block"));
+    t.add(std::string("2KB page"));
+    t.add(std::to_string(uc.pageBytes) + "B page");
+    t.beginRow();
+    t.add(std::string("associativity"));
+    t.add(std::string("direct-mapped"));
+    t.add(std::string("32-way"));
+    t.add(std::string("4-way"));
+    t.beginRow();
+    t.add(std::string("payload blocks / 8KB row"));
+    t.add(static_cast<double>(ac.tadsPerRow), 0);
+    t.add(static_cast<double>(fc.pagesPerRow * fc.pageBlocks), 0);
+    t.add(static_cast<double>(uc.blocksPerRow), 0);
+    t.beginRow();
+    t.add(std::string("SRAM tag array"));
+    t.add(std::string("none"));
+    t.add(formatSize(fc.sramTagBytes));
+    t.add(std::string("none"));
+    t.beginRow();
+    t.add(std::string("SRAM tag latency (cycles)"));
+    t.add(0.0, 0);
+    t.add(static_cast<double>(fc.tagLatency), 0);
+    t.add(0.0, 0);
+    t.beginRow();
+    t.add(std::string("in-DRAM tag overhead"));
+    t.add(formatSize(ac.inDramTagBytes));
+    t.add(std::string("none"));
+    t.add(formatSize(uc.inDramTagBytes));
+    t.beginRow();
+    t.add(std::string("in-DRAM tag share (%)"));
+    t.add(100.0 * static_cast<double>(ac.inDramTagBytes) / capacity, 1);
+    t.add(0.0, 1);
+    t.add(100.0 * static_cast<double>(uc.inDramTagBytes) / capacity, 1);
+    t.print();
+
+    if (fc.sramTagBytes > 16u << 20) {
+        std::printf(
+            "\nNote: a %s SRAM tag array exceeds today's last-level "
+            "caches -- the Footprint Cache column is hypothetical at "
+            "this capacity (the paper's scalability argument).\n",
+            formatSize(fc.sramTagBytes).c_str());
+    }
+
+    // -- Associativity advice from the analytical model ----------------
+    std::printf("\nConflict pressure at a working set ~= capacity "
+                "(Poisson set-occupancy model):\n");
+    Table c({"assoc", "displaced pages (%)", "comment"});
+    for (std::uint32_t a : {1u, 2u, 4u, 8u, 32u}) {
+        const double f = 100.0 * expectedConflictFractionLambda(1.0, a);
+        c.beginRow();
+        c.add(static_cast<double>(a), 0);
+        c.add(f, 2);
+        c.add(a == 1   ? std::string("paper: catastrophic for pages")
+              : a == 4 ? std::string("paper's choice (way-predicted)")
+              : a == 32
+                  ? std::string("diminishing returns (Sec. V-B)")
+                  : std::string(""));
+    }
+    c.print();
+
+    const double factor = worstCaseConflictFactor(2048, kBlockBytes);
+    std::printf(
+        "\nDirect-mapped page conflicts are up to %.0fx more likely "
+        "than block conflicts at 2KB pages (Sec. III-A.5's ~500x).\n",
+        factor);
+    return 0;
+}

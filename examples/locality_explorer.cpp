@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Workload-locality explorer: sweeps the synthetic generator's spatial
+ * locality knobs and shows how the Unison Cache responds. This
+ * reproduces the paper's core intuition (Sec. II-B): page-based caches
+ * with footprint prediction live on spatial locality, so miss ratio
+ * and off-chip traffic track footprint density and noise.
+ *
+ *   ./examples/locality_explorer [--capacity=256M] [--accesses=6000000]
+ */
+
+#include <cstdio>
+
+#include "common/argparse.hh"
+#include "sim/system.hh"
+#include "sim/experiment.hh"
+#include "stats/table.hh"
+#include "trace/workload.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace unison;
+
+    ArgParser args("Spatial-locality sweep for Unison Cache");
+    args.addOption("capacity", "256M", "stacked DRAM cache size");
+    args.addOption("accesses", "6000000", "references per sweep point");
+    args.parse(argc, argv);
+
+    const std::uint64_t capacity = parseSize(args.getString("capacity"));
+    const std::uint64_t accesses = args.getUint("accesses");
+
+    struct Point
+    {
+        const char *label;
+        double footprint_blocks;
+        double noise_drop;
+        double noise_add;
+        double chase_fraction;
+    };
+    const Point sweep[] = {
+        {"pointer-chasing (low locality)", 3.0, 0.10, 0.05, 0.40},
+        {"sparse objects",                 6.0, 0.08, 0.04, 0.15},
+        {"mixed server mix",              12.0, 0.05, 0.03, 0.06},
+        {"dense rows",                    20.0, 0.03, 0.01, 0.03},
+        {"streaming scans",               28.0, 0.01, 0.005, 0.01},
+    };
+
+    Table table({"locality profile", "miss%", "fp_acc%", "fp_over%",
+                 "offchip blocks/ref", "uipc"});
+
+    for (const Point &pt : sweep) {
+        WorkloadParams params; // neutral base, 8 GB dataset
+        params.name = pt.label;
+        params.meanFootprintBlocks = pt.footprint_blocks;
+        params.footprintNoiseDrop = pt.noise_drop;
+        params.footprintNoiseAdd = pt.noise_add;
+        params.pointerChaseFraction = pt.chase_fraction;
+        params.contiguousFraction =
+            pt.footprint_blocks >= 16 ? 0.8 : 0.4;
+        params.scanStretchMean = pt.footprint_blocks >= 16 ? 8.0 : 1.5;
+        params.blockRepeatMean = 12.0;
+        params.instrsPerMemRef = 10.0;
+
+        SyntheticWorkload workload(params, /*seed=*/42);
+
+        ExperimentSpec spec;
+        spec.design = DesignKind::Unison;
+        spec.capacityBytes = capacity;
+        System system(SystemConfig{}, makeCacheFactory(spec));
+        const SimResult r = system.run(workload, accesses);
+
+        table.beginRow();
+        table.add(std::string(pt.label));
+        table.add(r.missRatioPercent(), 1);
+        table.add(r.cache.fpAccuracyPercent(), 1);
+        table.add(r.cache.fpOverfetchPercent(), 1);
+        table.add(static_cast<double>(r.cache.offchipFetchedBlocks()) /
+                      static_cast<double>(r.references),
+                  3);
+        table.add(r.uipc, 3);
+    }
+
+    std::printf("Unison Cache (%s) response to spatial locality:\n\n",
+                formatSize(capacity).c_str());
+    table.print();
+    return 0;
+}

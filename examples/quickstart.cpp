@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Quickstart: simulate a 16-core server with a 512 MB Unison Cache
+ * running the Web Serving workload, and print the headline numbers.
+ *
+ *   ./examples/quickstart [--capacity=512M] [--workload=webserving]
+ *                         [--accesses=8000000]
+ */
+
+#include <cstdio>
+
+#include "common/argparse.hh"
+#include "sim/experiment.hh"
+#include "stats/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace unison;
+
+    ArgParser args("Unison Cache quickstart example");
+    args.addOption("capacity", "512M", "stacked DRAM cache size");
+    args.addOption("workload", "webserving", "workload preset name");
+    args.addOption("accesses", "8000000", "trace references to play");
+    args.addOption("seed", "42", "workload seed");
+    args.parse(argc, argv);
+
+    ExperimentSpec spec;
+    spec.workload = workloadFromName(args.getString("workload"));
+    spec.design = DesignKind::Unison;
+    spec.capacityBytes = parseSize(args.getString("capacity"));
+    spec.accesses = args.getUint("accesses");
+    spec.seed = args.getUint("seed");
+
+    std::printf("Simulating %s with a %s Unison Cache (%llu refs)...\n",
+                workloadName(spec.workload).c_str(),
+                formatSize(spec.capacityBytes).c_str(),
+                static_cast<unsigned long long>(spec.accesses));
+
+    const SimResult r = runExperiment(spec);
+
+    // A second run with no DRAM cache gives the speedup denominator.
+    ExperimentSpec base = spec;
+    base.design = DesignKind::NoDramCache;
+    const SimResult b = runExperiment(base);
+
+    Table table({"metric", "value"});
+    table.beginRow();
+    table.add(std::string("design"));
+    table.add(r.designName);
+    table.beginRow();
+    table.add(std::string("L1 miss ratio (%)"));
+    table.add(r.l1MissPercent);
+    table.beginRow();
+    table.add(std::string("L2 miss ratio (%)"));
+    table.add(r.l2MissPercent);
+    table.beginRow();
+    table.add(std::string("DRAM cache accesses"));
+    table.add(r.cache.accesses());
+    table.beginRow();
+    table.add(std::string("DRAM cache miss ratio (%)"));
+    table.add(r.missRatioPercent());
+    table.beginRow();
+    table.add(std::string("footprint accuracy (%)"));
+    table.add(r.cache.fpAccuracyPercent());
+    table.beginRow();
+    table.add(std::string("footprint overfetch (%)"));
+    table.add(r.cache.fpOverfetchPercent());
+    table.beginRow();
+    table.add(std::string("way predictor accuracy (%)"));
+    table.add(r.wpAccuracyPercent);
+    table.beginRow();
+    table.add(std::string("avg DRAM cache latency (cycles)"));
+    table.add(r.avgDramCacheLatency);
+    table.beginRow();
+    table.add(std::string("off-chip row activations"));
+    table.add(r.offchip.activations);
+    table.beginRow();
+    table.add(std::string("UIPC"));
+    table.add(r.uipc, 4);
+    table.beginRow();
+    table.add(std::string("UIPC (no DRAM cache)"));
+    table.add(b.uipc, 4);
+    table.beginRow();
+    table.add(std::string("speedup"));
+    table.add(b.uipc > 0 ? r.uipc / b.uipc : 0.0);
+    table.print();
+    return 0;
+}

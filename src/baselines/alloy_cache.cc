@@ -1,0 +1,181 @@
+#include "baselines/alloy_cache.hh"
+
+#include "common/logging.hh"
+
+namespace unison {
+
+AlloyCache::AlloyCache(const AlloyConfig &config, DramModule *offchip)
+    : DramCache(offchip),
+      config_(config),
+      geometry_(AlloyGeometry::compute(config.capacityBytes)),
+      stacked_(std::make_unique<DramModule>(config.stackedOrg,
+                                            config.stackedTiming))
+{
+    UNISON_ASSERT(offchip != nullptr, "Alloy Cache needs a memory pool");
+    if (config_.missPredictorEnabled) {
+        MissPredictorConfig mp;
+        mp.numCores = config_.numCores;
+        missPred_ = std::make_unique<MissPredictor>(mp);
+    }
+    tads_.resize(geometry_.numTads);
+}
+
+void
+AlloyCache::resetStats()
+{
+    DramCache::resetStats();
+    if (missPred_)
+        missPred_->resetStats();
+}
+
+void
+AlloyCache::locate(Addr addr, std::uint64_t &tad_idx,
+                   std::uint32_t &tag) const
+{
+    const std::uint64_t block = blockNumber(addr);
+    tad_idx = block % geometry_.numTads;
+    tag = static_cast<std::uint32_t>(block / geometry_.numTads);
+}
+
+DramCacheResult
+AlloyCache::access(const DramCacheRequest &req)
+{
+    std::uint64_t tad_idx;
+    std::uint32_t tag;
+    locate(req.addr, tad_idx, tag);
+    Tad &tad = tads_[tad_idx];
+    const std::uint64_t row = geometry_.rowOfTad(tad_idx);
+    const bool hit = tad.valid && tad.tag == tag;
+
+    DramCacheResult result;
+    result.hit = hit;
+
+    if (req.isWrite) {
+        ++stats_.writes;
+        // Tag check (8 B read), then the block write to the open row.
+        const Cycle tag_done =
+            stacked_->rowAccess(row, 8, false, req.cycle).completion;
+        if (hit) {
+            ++stats_.hits;
+            tad.dirty = true;
+            result.doneAt =
+                stacked_->rowAccess(row, kBlockBytes, true, tag_done)
+                    .completion;
+            return result;
+        }
+        // Write-allocate without an off-chip fetch (full-block write).
+        ++stats_.misses;
+        if (tad.valid) {
+            ++stats_.evictions;
+            if (tad.dirty) {
+                const Cycle victim_read =
+                    stacked_->rowAccess(row, kBlockBytes, false, tag_done)
+                        .completion;
+                const Addr victim_addr = blockAddress(
+                    static_cast<std::uint64_t>(tad.tag) *
+                        geometry_.numTads +
+                    tad_idx);
+                offchip_->addrAccess(victim_addr, kBlockBytes, true,
+                                     victim_read);
+                ++stats_.offchipWritebackBlocks;
+            }
+        }
+        tad.valid = true;
+        tad.tag = tag;
+        tad.dirty = true;
+        result.doneAt =
+            stacked_->rowAccess(row, geometry_.tadBytes, true, tag_done)
+                .completion;
+        return result;
+    }
+
+    ++stats_.reads;
+
+    bool predicted_hit = true;
+    Cycle start = req.cycle;
+    if (missPred_) {
+        predicted_hit = missPred_->predictHit(req.core, req.pc);
+        start += missPred_->config().latency;
+        missPred_->train(req.core, req.pc, predicted_hit, hit);
+    }
+
+    if (predicted_hit) {
+        // Probe first: one TAD streamed out in a single access.
+        const Cycle tad_done =
+            stacked_->rowAccess(row, geometry_.tadBytes, false, start)
+                .completion;
+        if (hit) {
+            ++stats_.hits;
+            result.doneAt = tad_done;
+            return result;
+        }
+        // Predicted hit, actual miss: memory access is serialized
+        // behind the in-DRAM tag probe (the AC miss penalty).
+        ++stats_.misses;
+        const Cycle mem_done =
+            offchip_->addrAccess(req.addr, kBlockBytes, false, tad_done)
+                .completion;
+        ++stats_.offchipDemandBlocks;
+        result.doneAt = mem_done;
+    } else {
+        // Predicted miss: fetch from memory immediately; the probe
+        // only verifies (issued in parallel).
+        const Cycle tad_done =
+            stacked_->rowAccess(row, geometry_.tadBytes, false, start)
+                .completion;
+        if (hit) {
+            // Useless memory fetch for a block we already have.
+            ++stats_.hits;
+            offchip_->addrAccess(req.addr, kBlockBytes, false, start);
+            ++stats_.offchipWastedBlocks;
+            result.doneAt = tad_done;
+            return result;
+        }
+        ++stats_.misses;
+        const Cycle mem_done =
+            offchip_->addrAccess(req.addr, kBlockBytes, false, start)
+                .completion;
+        ++stats_.offchipDemandBlocks;
+        result.doneAt = std::max(mem_done, Cycle(0));
+    }
+
+    // Allocate the fetched block (evicting the direct-mapped victim).
+    if (tad.valid) {
+        ++stats_.evictions;
+        if (tad.dirty) {
+            // The victim's data arrived with the probe; write it back.
+            const Addr victim_addr = blockAddress(
+                static_cast<std::uint64_t>(tad.tag) * geometry_.numTads +
+                tad_idx);
+            offchip_->addrAccess(victim_addr, kBlockBytes, true,
+                                 result.doneAt);
+            ++stats_.offchipWritebackBlocks;
+        }
+    }
+    tad.valid = true;
+    tad.tag = tag;
+    tad.dirty = false;
+    stacked_->rowAccess(row, geometry_.tadBytes, true, result.doneAt);
+    return result;
+}
+
+bool
+AlloyCache::blockPresent(Addr addr) const
+{
+    std::uint64_t tad_idx;
+    std::uint32_t tag;
+    locate(addr, tad_idx, tag);
+    return tads_[tad_idx].valid && tads_[tad_idx].tag == tag;
+}
+
+bool
+AlloyCache::blockDirty(Addr addr) const
+{
+    std::uint64_t tad_idx;
+    std::uint32_t tag;
+    locate(addr, tad_idx, tag);
+    return tads_[tad_idx].valid && tads_[tad_idx].tag == tag &&
+           tads_[tad_idx].dirty;
+}
+
+} // namespace unison

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Alloy Cache baseline (Qureshi & Loh, MICRO 2012; Sec. II-A and
+ * IV-C.3 of the Unison paper).
+ *
+ * A direct-mapped, block-based stacked-DRAM cache that "alloys" each
+ * 64 B data block with its 8 B tag into a 72 B TAD unit, streamed in a
+ * single DRAM access (112 TADs per 8 KB row). A MAP-I miss predictor
+ * moves the in-DRAM tag probe off the critical path on predicted
+ * misses: the off-chip fetch is issued immediately and the probe only
+ * verifies. Mispredicted hits cost a useless memory fetch; mispredicted
+ * misses serialize the probe before the memory access.
+ */
+
+#ifndef UNISON_BASELINES_ALLOY_CACHE_HH
+#define UNISON_BASELINES_ALLOY_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/dram_cache.hh"
+#include "core/geometry.hh"
+#include "dram/dram.hh"
+#include "dram/timing.hh"
+#include "predictors/miss_predictor.hh"
+
+namespace unison {
+
+/** Configuration of the Alloy Cache baseline (Sec. IV-C.3). */
+struct AlloyConfig
+{
+    std::uint64_t capacityBytes = 1_GiB;
+    bool missPredictorEnabled = true;
+    int numCores = 16;
+    DramOrganization stackedOrg = stackedDramOrganization();
+    DramTimingParams stackedTiming = stackedDramTiming();
+};
+
+class AlloyCache : public DramCache
+{
+  public:
+    AlloyCache(const AlloyConfig &config, DramModule *offchip);
+
+    DramCacheResult access(const DramCacheRequest &req) override;
+
+    std::string name() const override { return "Alloy"; }
+    std::uint64_t capacityBytes() const override
+    {
+        return config_.capacityBytes;
+    }
+    DramModule *stackedDram() override { return stacked_.get(); }
+    void resetStats() override;
+
+    const AlloyConfig &config() const { return config_; }
+    const AlloyGeometry &geometry() const { return geometry_; }
+    const MissPredictor *missPredictor() const { return missPred_.get(); }
+
+    /** Test hook: is the block resident? */
+    bool blockPresent(Addr addr) const;
+    bool blockDirty(Addr addr) const;
+
+  private:
+    struct Tad
+    {
+        std::uint32_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    void locate(Addr addr, std::uint64_t &tad_idx,
+                std::uint32_t &tag) const;
+
+    AlloyConfig config_;
+    AlloyGeometry geometry_;
+    std::unique_ptr<DramModule> stacked_;
+    std::unique_ptr<MissPredictor> missPred_;
+    std::vector<Tad> tads_;
+};
+
+} // namespace unison
+
+#endif // UNISON_BASELINES_ALLOY_CACHE_HH

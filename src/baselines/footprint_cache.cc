@@ -1,0 +1,322 @@
+#include "baselines/footprint_cache.hh"
+
+#include <bit>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace unison {
+
+namespace {
+
+Pc
+fhtPc(Pc pc)
+{
+    return pc & 0xffffffffull;
+}
+
+constexpr std::uint32_t kFullMask = 0xffffffffu; // 32-block pages
+
+} // namespace
+
+FootprintCache::FootprintCache(const FootprintCacheConfig &config,
+                               DramModule *offchip)
+    : DramCache(offchip),
+      config_(config),
+      geometry_(FootprintGeometry::compute(config.capacityBytes)),
+      tagLatency_(config.tagLatencyOverride != 0
+                      ? config.tagLatencyOverride
+                      : geometry_.tagLatency),
+      stacked_(std::make_unique<DramModule>(config.stackedOrg,
+                                            config.stackedTiming)),
+      fht_([&] {
+          FootprintTableConfig c = config.fhtConfig;
+          c.maxBlocksPerPage = 32;
+          return c;
+      }()),
+      singletons_(config.singletonConfig)
+{
+    UNISON_ASSERT(offchip != nullptr,
+                  "Footprint Cache needs a memory pool");
+    ways_.resize(geometry_.numSets * geometry_.assoc);
+}
+
+void
+FootprintCache::resetStats()
+{
+    DramCache::resetStats();
+    ++statsGen_;
+    fht_.resetStats();
+    singletons_.resetStats();
+}
+
+FootprintCache::Location
+FootprintCache::locate(Addr addr) const
+{
+    Location loc;
+    const std::uint64_t block = blockNumber(addr);
+    loc.page = block / geometry_.pageBlocks;   // 32: reduces to shifts
+    loc.offset = static_cast<std::uint32_t>(block % geometry_.pageBlocks);
+    loc.set = loc.page % geometry_.numSets;
+    loc.tag = static_cast<std::uint32_t>(loc.page / geometry_.numSets);
+    return loc;
+}
+
+int
+FootprintCache::findWay(std::uint64_t set, std::uint32_t tag) const
+{
+    const PageWay *base = setBase(set);
+    for (std::uint32_t w = 0; w < geometry_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+int
+FootprintCache::pickVictim(std::uint64_t set) const
+{
+    const PageWay *base = setBase(set);
+    int victim = 0;
+    for (std::uint32_t w = 0; w < geometry_.assoc; ++w) {
+        if (!base[w].valid)
+            return static_cast<int>(w);
+        if (base[w].lastUse < base[victim].lastUse)
+            victim = static_cast<int>(w);
+    }
+    return victim;
+}
+
+void
+FootprintCache::evictPage(std::uint64_t set, int way, Cycle when)
+{
+    PageWay &pw = setBase(set)[way];
+    UNISON_ASSERT(pw.valid, "evicting an invalid way");
+    ++stats_.evictions;
+
+    const std::uint64_t page =
+        static_cast<std::uint64_t>(pw.tag) * geometry_.numSets + set;
+
+    if (pw.dirtyMask != 0) {
+        const std::uint32_t dirty_blocks = popCount(pw.dirtyMask);
+        const Cycle read_done =
+            stacked_
+                ->rowAccess(geometry_.dataRowOfWay(set, way),
+                            dirty_blocks * kBlockBytes, false, when)
+                .completion;
+        std::uint32_t mask = pw.dirtyMask;
+        while (mask != 0) {
+            const std::uint32_t off = static_cast<std::uint32_t>(
+                std::countr_zero(mask));
+            mask &= mask - 1;
+            offchip_->addrAccess(blockAddrOf(page, off), kBlockBytes,
+                                 true, read_done);
+        }
+        stats_.offchipWritebackBlocks += dirty_blocks;
+    }
+
+    UNISON_ASSERT(pw.touchedMask != 0, "resident page never touched");
+    fht_.update(pw.pcHash, pw.triggerOffset, pw.touchedMask);
+
+    if (pw.statsGen == statsGen_) {
+        stats_.fpPredictedTouched +=
+            popCount(pw.predictedMask & pw.touchedMask);
+        stats_.fpTouched += popCount(pw.touchedMask);
+        stats_.fpFetchedUntouched +=
+            popCount(pw.fetchedMask & ~pw.touchedMask);
+        stats_.fpFetched += popCount(pw.fetchedMask);
+    }
+
+    pw.valid = false;
+}
+
+DramCacheResult
+FootprintCache::access(const DramCacheRequest &req)
+{
+    const Location loc = locate(req.addr);
+    if (req.isWrite)
+        ++stats_.writes;
+    else
+        ++stats_.reads;
+
+    // Every access pays the SRAM tag-array latency first (Table IV).
+    const Cycle tag_done = req.cycle + tagLatency_;
+    const int way = findWay(loc.set, loc.tag);
+    const std::uint32_t bit = 1u << loc.offset;
+
+    DramCacheResult result;
+
+    if (way >= 0) {
+        PageWay &pw = setBase(loc.set)[way];
+        const std::uint64_t data_row =
+            geometry_.dataRowOfWay(loc.set, way);
+        if ((pw.fetchedMask & bit) != 0) {
+            // Block hit: SRAM tag, then the DRAM data access
+            // (serialized -- Table II's FC hit-latency structure).
+            ++stats_.hits;
+            pw.touchedMask |= bit;
+            if (req.isWrite)
+                pw.dirtyMask |= bit;
+            pw.lastUse = ++useCounter_;
+            result.hit = true;
+            result.doneAt =
+                stacked_
+                    ->rowAccess(data_row, kBlockBytes, req.isWrite,
+                                tag_done)
+                    .completion;
+            return result;
+        }
+        // Underprediction: the SRAM tags identify the miss at SRAM
+        // speed; fetch only the missing block.
+        ++stats_.misses;
+        ++stats_.blockMisses;
+        pw.lastUse = ++useCounter_;
+        result.hit = false;
+        if (req.isWrite) {
+            pw.fetchedMask |= bit;
+            pw.touchedMask |= bit;
+            pw.dirtyMask |= bit;
+            result.doneAt =
+                stacked_->rowAccess(data_row, kBlockBytes, true, tag_done)
+                    .completion;
+            return result;
+        }
+        const Cycle mem_done =
+            offchip_->addrAccess(req.addr, kBlockBytes, false, tag_done)
+                .completion;
+        ++stats_.offchipDemandBlocks;
+        pw.fetchedMask |= bit;
+        pw.touchedMask |= bit;
+        stacked_->rowAccess(data_row, kBlockBytes, true, mem_done);
+        result.doneAt = mem_done;
+        return result;
+    }
+
+    // Trigger miss.
+    ++stats_.misses;
+    ++stats_.pageMisses;
+    result.hit = false;
+
+    if (req.isWrite) {
+        // Write-no-allocate: L2 writebacks to non-resident pages go
+        // straight to memory (see the Unison Cache rationale).
+        result.doneAt =
+            offchip_
+                ->addrAccess(blockAddrOf(loc.page, loc.offset),
+                             kBlockBytes, true, tag_done)
+                .completion;
+        ++stats_.offchipWritebackBlocks;
+        return result;
+    }
+
+    bool promoted = false;
+    if (config_.singletonEnabled) {
+        Pc spc;
+        std::uint32_t soff, sfirst;
+        if (singletons_.checkAndRemove(loc.page, spc, soff, sfirst)) {
+            fht_.merge(spc, soff, (1u << sfirst) | bit);
+            promoted = true;
+        }
+    }
+
+    std::uint32_t predicted = kFullMask;
+    if (config_.footprintPredictionEnabled) {
+        std::uint64_t fht_mask;
+        if (fht_.predict(fhtPc(req.pc), loc.offset, fht_mask))
+            predicted = static_cast<std::uint32_t>(fht_mask);
+    }
+    predicted |= bit;
+
+    if (config_.singletonEnabled && !promoted && predicted == bit &&
+        config_.footprintPredictionEnabled) {
+        ++stats_.singletonBypasses;
+        const Addr addr = blockAddrOf(loc.page, loc.offset);
+        result.doneAt =
+            offchip_->addrAccess(addr, kBlockBytes, false, tag_done)
+                .completion;
+        ++stats_.offchipDemandBlocks;
+        singletons_.insert(loc.page, fhtPc(req.pc), loc.offset,
+                           loc.offset);
+        return result;
+    }
+
+    const int victim = pickVictim(loc.set);
+    PageWay &pw = setBase(loc.set)[victim];
+    if (pw.valid)
+        evictPage(loc.set, victim, tag_done);
+
+    // Fetch the footprint: demanded block first (critical), the rest
+    // streamed behind it.
+    const std::uint32_t fetch_mask = predicted;
+    Cycle critical = tag_done;
+    Cycle last_done = tag_done;
+    std::uint32_t mask = fetch_mask;
+    if ((mask & bit) != 0) {
+        critical = offchip_
+                       ->addrAccess(blockAddrOf(loc.page, loc.offset),
+                                    kBlockBytes, false, tag_done)
+                       .completion;
+        last_done = critical;
+        mask &= ~bit;
+    }
+    while (mask != 0) {
+        const std::uint32_t off = static_cast<std::uint32_t>(
+            std::countr_zero(mask));
+        mask &= mask - 1;
+        const Cycle done =
+            offchip_
+                ->addrAccess(blockAddrOf(loc.page, off), kBlockBytes,
+                             false, tag_done)
+                .completion;
+        last_done = std::max(last_done, done);
+    }
+
+    stacked_->rowAccess(geometry_.dataRowOfWay(loc.set, victim),
+                        popCount(fetch_mask) * kBlockBytes, true,
+                        last_done);
+
+    pw.valid = true;
+    pw.tag = loc.tag;
+    pw.pcHash = static_cast<std::uint32_t>(fhtPc(req.pc));
+    pw.triggerOffset = static_cast<std::uint8_t>(loc.offset);
+    pw.predictedMask = predicted;
+    pw.fetchedMask = fetch_mask;
+    pw.touchedMask = bit;
+    pw.dirtyMask = 0;
+    pw.lastUse = ++useCounter_;
+    pw.statsGen = statsGen_;
+
+    ++stats_.offchipDemandBlocks;
+    stats_.offchipPrefetchBlocks += popCount(fetch_mask) - 1;
+    result.doneAt = critical;
+    return result;
+}
+
+bool
+FootprintCache::pagePresent(Addr addr) const
+{
+    const Location loc = locate(addr);
+    return findWay(loc.set, loc.tag) >= 0;
+}
+
+bool
+FootprintCache::blockPresent(Addr addr) const
+{
+    const Location loc = locate(addr);
+    const int way = findWay(loc.set, loc.tag);
+    if (way < 0)
+        return false;
+    return (setBase(loc.set)[way].fetchedMask & (1u << loc.offset)) != 0;
+}
+
+bool
+FootprintCache::blockDirty(Addr addr) const
+{
+    const Location loc = locate(addr);
+    const int way = findWay(loc.set, loc.tag);
+    if (way < 0)
+        return false;
+    return (setBase(loc.set)[way].dirtyMask & (1u << loc.offset)) != 0;
+}
+
+} // namespace unison

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Footprint Cache baseline (Jevdjic et al., ISCA 2013; Sec. II-B and
+ * IV-C.2 of the Unison paper).
+ *
+ * A page-based stacked-DRAM cache with *SRAM* tags: 2 KB pages, 32-way
+ * sets, the same footprint predictor and singleton machinery as Unison
+ * Cache. Every access pays the SRAM tag-array latency (Table IV, 6-48
+ * cycles depending on capacity) before the DRAM data access -- the
+ * scalability problem Unison Cache exists to remove. Misses, however,
+ * are detected at SRAM speed (FC's miss-latency advantage).
+ */
+
+#ifndef UNISON_BASELINES_FOOTPRINT_CACHE_HH
+#define UNISON_BASELINES_FOOTPRINT_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/dram_cache.hh"
+#include "core/geometry.hh"
+#include "dram/dram.hh"
+#include "dram/timing.hh"
+#include "predictors/footprint_table.hh"
+#include "predictors/singleton_table.hh"
+
+namespace unison {
+
+struct FootprintCacheConfig
+{
+    std::uint64_t capacityBytes = 512_MiB;
+
+    /** Fetch predicted footprints (false: whole pages). */
+    bool footprintPredictionEnabled = true;
+    bool singletonEnabled = true;
+
+    /** 0 uses Table IV's latency for the capacity. */
+    Cycle tagLatencyOverride = 0;
+
+    FootprintTableConfig fhtConfig{};
+    SingletonTableConfig singletonConfig{};
+
+    DramOrganization stackedOrg = stackedDramOrganization();
+    DramTimingParams stackedTiming = stackedDramTiming();
+};
+
+class FootprintCache : public DramCache
+{
+  public:
+    FootprintCache(const FootprintCacheConfig &config, DramModule *offchip);
+
+    DramCacheResult access(const DramCacheRequest &req) override;
+
+    std::string name() const override { return "Footprint"; }
+    std::uint64_t capacityBytes() const override
+    {
+        return config_.capacityBytes;
+    }
+    DramModule *stackedDram() override { return stacked_.get(); }
+    void resetStats() override;
+
+    const FootprintCacheConfig &config() const { return config_; }
+    const FootprintGeometry &geometry() const { return geometry_; }
+    Cycle tagLatency() const { return tagLatency_; }
+    const FootprintHistoryTable &footprintTable() const { return fht_; }
+    const SingletonTable &singletonTable() const { return singletons_; }
+
+    /** @name Test hooks */
+    /**@{*/
+    bool pagePresent(Addr addr) const;
+    bool blockPresent(Addr addr) const;
+    bool blockDirty(Addr addr) const;
+    /**@}*/
+
+  private:
+    struct PageWay
+    {
+        std::uint32_t tag = 0;
+        std::uint32_t pcHash = 0;
+        std::uint32_t predictedMask = 0;
+        std::uint32_t fetchedMask = 0;
+        std::uint32_t touchedMask = 0;
+        std::uint32_t dirtyMask = 0;
+        std::uint32_t lastUse = 0;
+        std::uint8_t triggerOffset = 0;
+        std::uint8_t statsGen = 0; //!< measurement generation
+        bool valid = false;
+    };
+
+    struct Location
+    {
+        std::uint64_t page = 0;
+        std::uint32_t offset = 0;
+        std::uint64_t set = 0;
+        std::uint32_t tag = 0;
+    };
+
+    Location locate(Addr addr) const;
+    PageWay *setBase(std::uint64_t set)
+    {
+        return &ways_[set * geometry_.assoc];
+    }
+    const PageWay *setBase(std::uint64_t set) const
+    {
+        return &ways_[set * geometry_.assoc];
+    }
+    int findWay(std::uint64_t set, std::uint32_t tag) const;
+    int pickVictim(std::uint64_t set) const;
+    void evictPage(std::uint64_t set, int way, Cycle when);
+
+    Addr
+    blockAddrOf(std::uint64_t page, std::uint32_t offset) const
+    {
+        return blockAddress(page * geometry_.pageBlocks + offset);
+    }
+
+    FootprintCacheConfig config_;
+    FootprintGeometry geometry_;
+    Cycle tagLatency_;
+    std::unique_ptr<DramModule> stacked_;
+    FootprintHistoryTable fht_;
+    SingletonTable singletons_;
+    std::vector<PageWay> ways_;
+    std::uint32_t useCounter_ = 0;
+    std::uint8_t statsGen_ = 0; //!< see UnisonCache::statsGen_
+};
+
+} // namespace unison
+
+#endif // UNISON_BASELINES_FOOTPRINT_CACHE_HH

@@ -1,0 +1,320 @@
+#include "baselines/naive_block_fp.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace unison {
+
+namespace {
+
+Pc
+fhtPc(Pc pc)
+{
+    return pc & 0xffffffffull;
+}
+
+} // namespace
+
+NaiveBlockFpCache::NaiveBlockFpCache(const NaiveBlockFpConfig &config,
+                                     DramModule *offchip)
+    : DramCache(offchip),
+      config_(config),
+      geometry_(AlloyGeometry::compute(config.capacityBytes)),
+      stacked_(std::make_unique<DramModule>(config.stackedOrg,
+                                            config.stackedTiming)),
+      fht_([&] {
+          FootprintTableConfig c = config.fhtConfig;
+          c.maxBlocksPerPage = config.pageBlocks;
+          return c;
+      }())
+{
+    UNISON_ASSERT(offchip != nullptr,
+                  "NaiveBlockFP cache needs a memory pool");
+    UNISON_ASSERT(std::has_single_bit(config_.pageBlocks),
+                  "logical page size must be a power of two");
+    UNISON_ASSERT(config_.pageBlocks <= 32,
+                  "footprint masks hold at most 32 blocks");
+    tads_.resize(geometry_.numTads);
+}
+
+void
+NaiveBlockFpCache::resetStats()
+{
+    DramCache::resetStats();
+    naiveStats_.reset();
+    fht_.resetStats();
+}
+
+NaiveBlockFpCache::Location
+NaiveBlockFpCache::locate(Addr addr) const
+{
+    Location loc;
+    loc.block = blockNumber(addr);
+    loc.page = loc.block / config_.pageBlocks;
+    loc.offset =
+        static_cast<std::uint32_t>(loc.block % config_.pageBlocks);
+    loc.tadIdx = loc.block % geometry_.numTads;
+    loc.tag = static_cast<std::uint32_t>(loc.block / geometry_.numTads);
+    return loc;
+}
+
+Cycle
+NaiveBlockFpCache::chargeRowScan(std::uint64_t row, Cycle start)
+{
+    // All the TAD tags in the row: 112 x 8 B. The row is typically
+    // already open (the probe just touched it), so the cost is mostly
+    // bus occupancy -- exactly the availability loss Sec. III-B.1
+    // describes.
+    const std::uint32_t bytes = geometry_.tadsPerRow * 8;
+    ++naiveStats_.rowScans;
+    naiveStats_.scanBytes += bytes;
+    return stacked_->rowAccess(row, bytes, false, start).completion;
+}
+
+void
+NaiveBlockFpCache::noteBlockEvicted(std::uint64_t page,
+                                    std::uint32_t offset, Cycle when)
+{
+    auto it = pages_.find(page);
+    if (it == pages_.end())
+        return;
+    PageInfo &info = it->second;
+    info.residentMask &= ~(1u << offset);
+    if (info.residentMask != 0)
+        return;
+
+    // Last block of the page left the cache: the hardware would have
+    // to reconstruct the footprint by scanning the rows that held the
+    // page's blocks. The page's TAD slots are consecutive, so one scan
+    // of the covering row is charged.
+    const std::uint64_t first_tad =
+        (page * config_.pageBlocks) % geometry_.numTads;
+    chargeRowScan(geometry_.rowOfTad(first_tad), when);
+
+    if (info.touchedMask != 0)
+        fht_.update(info.pcHash, info.triggerOffset, info.touchedMask);
+
+    stats_.fpPredictedTouched +=
+        popCount(info.fetchedMask & info.touchedMask);
+    stats_.fpTouched += popCount(info.touchedMask);
+    stats_.fpFetchedUntouched +=
+        popCount(info.fetchedMask & ~info.touchedMask);
+    stats_.fpFetched += popCount(info.fetchedMask);
+    pages_.erase(it);
+}
+
+void
+NaiveBlockFpCache::installBlock(const Location &loc, bool dirty,
+                                Cycle when)
+{
+    Tad &tad = tads_[loc.tadIdx];
+    if (tad.valid && tad.tag != loc.tag) {
+        ++stats_.evictions;
+        ++naiveStats_.conflictFills;
+        const std::uint64_t victim_block =
+            static_cast<std::uint64_t>(tad.tag) * geometry_.numTads +
+            loc.tadIdx;
+        if (tad.dirty) {
+            const Cycle read_done =
+                stacked_
+                    ->rowAccess(geometry_.rowOfTad(loc.tadIdx),
+                                kBlockBytes, false, when)
+                    .completion;
+            offchip_->addrAccess(blockAddr(victim_block), kBlockBytes,
+                                 true, read_done);
+            ++stats_.offchipWritebackBlocks;
+        }
+        const std::uint64_t victim_page =
+            victim_block / config_.pageBlocks;
+        auto it = pages_.find(victim_page);
+        if (it != pages_.end() &&
+            popCount(it->second.residentMask) > 1) {
+            // The victim page still had other live blocks: its
+            // footprint is being truncated mid-residency (Fig. 4a's
+            // overlap conflict).
+            ++naiveStats_.prematureEvictions;
+        }
+        noteBlockEvicted(
+            victim_page,
+            static_cast<std::uint32_t>(victim_block %
+                                       config_.pageBlocks),
+            when);
+    }
+    tad.valid = true;
+    tad.tag = loc.tag;
+    tad.dirty = dirty;
+    stacked_->rowAccess(geometry_.rowOfTad(loc.tadIdx),
+                        geometry_.tadBytes, true, when);
+}
+
+DramCacheResult
+NaiveBlockFpCache::access(const DramCacheRequest &req)
+{
+    const Location loc = locate(req.addr);
+    Tad &tad = tads_[loc.tadIdx];
+    const std::uint64_t row = geometry_.rowOfTad(loc.tadIdx);
+    const bool hit = tad.valid && tad.tag == loc.tag;
+    const std::uint32_t bit = 1u << loc.offset;
+
+    DramCacheResult result;
+    result.hit = hit;
+
+    if (req.isWrite) {
+        ++stats_.writes;
+        const Cycle tag_done =
+            stacked_->rowAccess(row, 8, false, req.cycle).completion;
+        if (hit) {
+            ++stats_.hits;
+            tad.dirty = true;
+            auto it = pages_.find(loc.page);
+            if (it != pages_.end()) {
+                it->second.touchedMask |= bit;
+                it->second.fetchedMask |= bit;
+            }
+            result.doneAt =
+                stacked_->rowAccess(row, kBlockBytes, true, tag_done)
+                    .completion;
+            return result;
+        }
+        // Write-no-allocate for non-resident blocks: allocating from a
+        // write would train footprints with writeback PCs (the same
+        // rationale as the page-based designs).
+        ++stats_.misses;
+        result.doneAt =
+            offchip_->addrAccess(req.addr, kBlockBytes, true, req.cycle)
+                .completion;
+        ++stats_.offchipWritebackBlocks;
+        return result;
+    }
+
+    ++stats_.reads;
+
+    // The probe: one TAD streamed out, as in Alloy Cache.
+    const Cycle tad_done =
+        stacked_->rowAccess(row, geometry_.tadBytes, false, req.cycle)
+            .completion;
+
+    if (hit) {
+        ++stats_.hits;
+        auto it = pages_.find(loc.page);
+        if (it != pages_.end())
+            it->second.touchedMask |= bit;
+        result.doneAt = tad_done;
+        return result;
+    }
+
+    ++stats_.misses;
+
+    // Sec. III-B.1: with presence information spread over the row,
+    // distinguishing a trigger miss from an underprediction requires
+    // scanning every TAD tag in the row.
+    const Cycle scan_done = chargeRowScan(row, tad_done);
+
+    auto it = pages_.find(loc.page);
+    const bool trigger = (it == pages_.end());
+
+    if (!trigger) {
+        // Some blocks of the page are resident: fetch just this block.
+        ++stats_.blockMisses;
+        const Cycle mem_done =
+            offchip_->addrAccess(req.addr, kBlockBytes, false, scan_done)
+                .completion;
+        ++stats_.offchipDemandBlocks;
+        installBlock(loc, false, mem_done);
+        // installBlock may have displaced this very page's tracking if
+        // the victim was a sibling; re-find before updating.
+        auto it2 = pages_.find(loc.page);
+        if (it2 != pages_.end()) {
+            it2->second.fetchedMask |= bit;
+            it2->second.touchedMask |= bit;
+            it2->second.residentMask |= bit;
+        }
+        result.doneAt = mem_done;
+        return result;
+    }
+
+    // Trigger miss: predict the footprint and fetch it.
+    ++stats_.pageMisses;
+    std::uint32_t predicted = bit;
+    if (config_.footprintPredictionEnabled) {
+        std::uint64_t mask;
+        if (fht_.predict(fhtPc(req.pc), loc.offset, mask))
+            predicted = static_cast<std::uint32_t>(mask) | bit;
+        else
+            predicted = (config_.pageBlocks >= 32)
+                            ? 0xffffffffu
+                            : ((1u << config_.pageBlocks) - 1);
+    }
+
+    // Critical (demanded) block first, the rest streamed behind it.
+    const Cycle critical =
+        offchip_->addrAccess(req.addr, kBlockBytes, false, scan_done)
+            .completion;
+    ++stats_.offchipDemandBlocks;
+
+    PageInfo info;
+    info.pcHash = static_cast<std::uint32_t>(fhtPc(req.pc));
+    info.triggerOffset = static_cast<std::uint8_t>(loc.offset);
+    info.fetchedMask = bit;
+    info.touchedMask = bit;
+    info.residentMask = bit;
+    pages_[loc.page] = info;
+    naiveStats_.pageInfoPeak =
+        std::max<std::uint64_t>(naiveStats_.pageInfoPeak, pages_.size());
+
+    installBlock(loc, false, critical);
+    {
+        auto it2 = pages_.find(loc.page);
+        if (it2 != pages_.end())
+            it2->second.residentMask |= bit;
+    }
+
+    std::uint32_t rest = predicted & ~bit;
+    const std::uint64_t page_first_block = loc.page * config_.pageBlocks;
+    while (rest != 0) {
+        const std::uint32_t off =
+            static_cast<std::uint32_t>(std::countr_zero(rest));
+        rest &= rest - 1;
+        Location fl = locate(blockAddr(page_first_block + off));
+        const Cycle done =
+            offchip_->addrAccess(blockAddr(fl.block), kBlockBytes, false,
+                                 scan_done)
+                .completion;
+        ++stats_.offchipPrefetchBlocks;
+        installBlock(fl, false, done);
+        auto it2 = pages_.find(loc.page);
+        if (it2 == pages_.end())
+            break; // a sibling fill conflicted this page away entirely
+        it2->second.fetchedMask |= 1u << off;
+        it2->second.residentMask |= 1u << off;
+    }
+
+    result.doneAt = critical;
+    return result;
+}
+
+bool
+NaiveBlockFpCache::blockPresent(Addr addr) const
+{
+    const Location loc = locate(addr);
+    return tads_[loc.tadIdx].valid && tads_[loc.tadIdx].tag == loc.tag;
+}
+
+bool
+NaiveBlockFpCache::blockDirty(Addr addr) const
+{
+    const Location loc = locate(addr);
+    return tads_[loc.tadIdx].valid && tads_[loc.tadIdx].tag == loc.tag &&
+           tads_[loc.tadIdx].dirty;
+}
+
+bool
+NaiveBlockFpCache::pageTracked(Addr addr) const
+{
+    return pages_.count(locate(addr).page) != 0;
+}
+
+} // namespace unison

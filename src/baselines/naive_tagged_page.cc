@@ -1,0 +1,298 @@
+#include "baselines/naive_tagged_page.hh"
+
+#include <bit>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace unison {
+
+namespace {
+
+Pc
+fhtPc(Pc pc)
+{
+    return pc & 0xffffffffull;
+}
+
+} // namespace
+
+NaiveTaggedPageGeometry
+NaiveTaggedPageGeometry::compute(std::uint64_t capacity_bytes)
+{
+    NaiveTaggedPageGeometry g;
+    g.capacityBytes = capacity_bytes;
+    UNISON_ASSERT(capacity_bytes % kRowBytes == 0,
+                  "capacity must be whole DRAM rows");
+    g.numRows = capacity_bytes / kRowBytes;
+    g.numFrames = g.numRows * g.pagesPerRow;
+    g.dataBlocks = g.numFrames * g.pageBlocks;
+    g.inDramTagBytes =
+        capacity_bytes - g.dataBlocks * kBlockBytes;
+    return g;
+}
+
+NaiveTaggedPageCache::NaiveTaggedPageCache(
+    const NaiveTaggedPageConfig &config, DramModule *offchip)
+    : DramCache(offchip),
+      config_(config),
+      geometry_(NaiveTaggedPageGeometry::compute(config.capacityBytes)),
+      stacked_(std::make_unique<DramModule>(config.stackedOrg,
+                                            config.stackedTiming)),
+      fht_([&] {
+          FootprintTableConfig c = config.fhtConfig;
+          c.maxBlocksPerPage = 28;
+          return c;
+      }())
+{
+    UNISON_ASSERT(offchip != nullptr,
+                  "NaiveTaggedPage cache needs a memory pool");
+    frames_.resize(geometry_.numFrames);
+}
+
+void
+NaiveTaggedPageCache::resetStats()
+{
+    DramCache::resetStats();
+    ++statsGen_;
+    naiveStats_.reset();
+    fht_.resetStats();
+}
+
+NaiveTaggedPageCache::Location
+NaiveTaggedPageCache::locate(Addr addr) const
+{
+    Location loc;
+    const std::uint64_t block = blockNumber(addr);
+    loc.page = block / geometry_.pageBlocks;
+    loc.offset =
+        static_cast<std::uint32_t>(block % geometry_.pageBlocks);
+    loc.frame = loc.page % geometry_.numFrames;
+    loc.tag = loc.page / geometry_.numFrames;
+    return loc;
+}
+
+void
+NaiveTaggedPageCache::evictFrame(std::uint64_t frame, Cycle when)
+{
+    Frame &f = frames_[frame];
+    UNISON_ASSERT(f.valid, "evicting an empty frame");
+    ++stats_.evictions;
+
+    // Sec. III-B.2: no footprint summary exists, so the page's TAD
+    // headers (28 x 8 B) are all read back to find the valid and dirty
+    // blocks before the frame can be reused.
+    const std::uint32_t scan_bytes = geometry_.pageBlocks * 8;
+    ++naiveStats_.evictionScans;
+    naiveStats_.scanBytes += scan_bytes;
+    const Cycle scan_done =
+        stacked_
+            ->rowAccess(geometry_.rowOfFrame(frame), scan_bytes, false,
+                        when)
+            .completion;
+
+    const std::uint64_t page =
+        f.tag * geometry_.numFrames + frame;
+    if (f.dirtyMask != 0) {
+        const std::uint32_t dirty_blocks = popCount(f.dirtyMask);
+        const Cycle read_done =
+            stacked_
+                ->rowAccess(geometry_.rowOfFrame(frame),
+                            dirty_blocks * kBlockBytes, false, scan_done)
+                .completion;
+        std::uint32_t mask = f.dirtyMask;
+        while (mask != 0) {
+            const std::uint32_t off =
+                static_cast<std::uint32_t>(std::countr_zero(mask));
+            mask &= mask - 1;
+            offchip_->addrAccess(blockAddrOf(page, off), kBlockBytes,
+                                 true, read_done);
+        }
+        stats_.offchipWritebackBlocks += dirty_blocks;
+    }
+
+    // The (PC, offset) word sits at a fixed position, so training the
+    // FHT needs no extra access beyond the header scan above.
+    if (f.touchedMask != 0)
+        fht_.update(f.pcHash, f.triggerOffset, f.touchedMask);
+
+    if (f.statsGen == statsGen_) {
+        stats_.fpPredictedTouched +=
+            popCount(f.predictedMask & f.touchedMask);
+        stats_.fpTouched += popCount(f.touchedMask);
+        stats_.fpFetchedUntouched +=
+            popCount(f.fetchedMask & ~f.touchedMask);
+        stats_.fpFetched += popCount(f.fetchedMask);
+    }
+
+    f.valid = false;
+}
+
+DramCacheResult
+NaiveTaggedPageCache::access(const DramCacheRequest &req)
+{
+    const Location loc = locate(req.addr);
+    Frame &f = frames_[loc.frame];
+    const std::uint64_t row = geometry_.rowOfFrame(loc.frame);
+    const std::uint32_t bit = 1u << loc.offset;
+    const bool page_hit = f.valid && f.tag == loc.tag;
+    const bool block_hit = page_hit && (f.fetchedMask & bit) != 0;
+
+    DramCacheResult result;
+    result.hit = block_hit;
+
+    if (req.isWrite) {
+        ++stats_.writes;
+        if (block_hit) {
+            ++stats_.hits;
+            f.touchedMask |= bit;
+            f.dirtyMask |= bit;
+            result.doneAt =
+                stacked_
+                    ->rowAccess(row, geometry_.tadBytes, true, req.cycle)
+                    .completion;
+            return result;
+        }
+        ++stats_.misses;
+        if (page_hit) {
+            // Full-block write into the resident page: becomes valid
+            // and dirty without an off-chip fetch.
+            ++stats_.blockMisses;
+            f.fetchedMask |= bit;
+            f.touchedMask |= bit;
+            f.dirtyMask |= bit;
+            result.doneAt =
+                stacked_
+                    ->rowAccess(row, geometry_.tadBytes, true, req.cycle)
+                    .completion;
+            return result;
+        }
+        // Write-no-allocate: non-resident pages are not allocated from
+        // writebacks (same policy as the other page-based designs).
+        ++stats_.pageMisses;
+        result.doneAt =
+            offchip_->addrAccess(req.addr, kBlockBytes, true, req.cycle)
+                .completion;
+        ++stats_.offchipWritebackBlocks;
+        return result;
+    }
+
+    ++stats_.reads;
+
+    // The probe streams the block's own TAD in a single access -- the
+    // one genuine benefit this organization keeps from Alloy Cache.
+    const Cycle tad_done =
+        stacked_->rowAccess(row, geometry_.tadBytes, false, req.cycle)
+            .completion;
+
+    if (block_hit) {
+        ++stats_.hits;
+        f.touchedMask |= bit;
+        result.doneAt = tad_done;
+        return result;
+    }
+
+    ++stats_.misses;
+
+    if (page_hit) {
+        // Underprediction: the TAD read already proves the block is
+        // absent; fetch only it.
+        ++stats_.blockMisses;
+        const Cycle mem_done =
+            offchip_->addrAccess(req.addr, kBlockBytes, false, tad_done)
+                .completion;
+        ++stats_.offchipDemandBlocks;
+        f.fetchedMask |= bit;
+        f.touchedMask |= bit;
+        stacked_->rowAccess(row, geometry_.tadBytes, true, mem_done);
+        result.doneAt = mem_done;
+        return result;
+    }
+
+    // Trigger miss: evict the resident page, then fetch the predicted
+    // footprint.
+    ++stats_.pageMisses;
+    Cycle insert_start = tad_done;
+    if (f.valid) {
+        evictFrame(loc.frame, tad_done);
+        insert_start = tad_done;
+    }
+
+    std::uint32_t predicted = fullMask();
+    if (config_.footprintPredictionEnabled) {
+        std::uint64_t mask;
+        if (fht_.predict(fhtPc(req.pc), loc.offset, mask))
+            predicted = static_cast<std::uint32_t>(mask) & fullMask();
+    }
+    predicted |= bit;
+
+    const Cycle critical =
+        offchip_->addrAccess(req.addr, kBlockBytes, false, insert_start)
+            .completion;
+    ++stats_.offchipDemandBlocks;
+    Cycle last_done = critical;
+    std::uint32_t rest = predicted & ~bit;
+    while (rest != 0) {
+        const std::uint32_t off =
+            static_cast<std::uint32_t>(std::countr_zero(rest));
+        rest &= rest - 1;
+        const Cycle done =
+            offchip_
+                ->addrAccess(blockAddrOf(loc.page, off), kBlockBytes,
+                             false, insert_start)
+                .completion;
+        last_done = std::max(last_done, done);
+    }
+    stats_.offchipPrefetchBlocks += popCount(predicted) - 1;
+
+    // Insertion writes the fetched TADs *and* must rewrite the tag
+    // word / reset the valid bit of every non-fetched TAD in the page
+    // (Sec. III-B.2's extra DRAM writes).
+    const std::uint32_t fetched = popCount(predicted);
+    const std::uint32_t unfetched = geometry_.pageBlocks - fetched;
+    naiveStats_.extraTagWrites += unfetched;
+    stacked_->rowAccess(row,
+                        fetched * geometry_.tadBytes + unfetched * 8 + 8,
+                        true, last_done);
+
+    f.valid = true;
+    f.tag = loc.tag;
+    f.pcHash = static_cast<std::uint32_t>(fhtPc(req.pc));
+    f.triggerOffset = static_cast<std::uint8_t>(loc.offset);
+    f.predictedMask = predicted;
+    f.fetchedMask = predicted;
+    f.touchedMask = bit;
+    f.dirtyMask = 0;
+    f.statsGen = statsGen_;
+
+    result.doneAt = critical;
+    return result;
+}
+
+bool
+NaiveTaggedPageCache::pagePresent(Addr addr) const
+{
+    const Location loc = locate(addr);
+    const Frame &f = frames_[loc.frame];
+    return f.valid && f.tag == loc.tag;
+}
+
+bool
+NaiveTaggedPageCache::blockPresent(Addr addr) const
+{
+    const Location loc = locate(addr);
+    const Frame &f = frames_[loc.frame];
+    return f.valid && f.tag == loc.tag &&
+           (f.fetchedMask & (1u << loc.offset)) != 0;
+}
+
+bool
+NaiveTaggedPageCache::blockDirty(Addr addr) const
+{
+    const Location loc = locate(addr);
+    const Frame &f = frames_[loc.frame];
+    return f.valid && f.tag == loc.tag &&
+           (f.dirtyMask & (1u << loc.offset)) != 0;
+}
+
+} // namespace unison

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * "Page-based cache with tagged blocks" -- the second naive
+ * combination of Footprint Cache and Alloy Cache that Sec. III-B.2 of
+ * the paper analyzes (Fig. 4b) and rejects. Implemented as an ablation
+ * baseline so the benches can measure the costs the paper predicts.
+ *
+ * The organization keeps Footprint Cache's page-granularity allocation
+ * and footprint prediction, but stores each block *alloyed* with its
+ * own 8 B tag (a 72 B TAD), so a hit streams tag and data in a single
+ * DRAM access like Alloy Cache. The page's (PC, offset) trigger word
+ * sits at a fixed position at the head of the page's row segment, so
+ * trigger misses are detectable without a scan. The costs, exactly as
+ * the paper lists them:
+ *
+ *  - tag replication: 8 B of tag for every 64 B block cuts the data
+ *    capacity by 1/9 (28-block pages instead of FC's 32-block pages in
+ *    the same footprint), raising the miss ratio;
+ *  - page insertion must (re)write the tag word and reset the valid
+ *    bit of *every* TAD in the page, including blocks the footprint
+ *    does not fetch -- one extra DRAM tag write per non-footprint
+ *    block (`extraTagWrites`);
+ *  - page eviction has no footprint-summary lookup: the page's TAD
+ *    headers must all be read back to discover which blocks are valid
+ *    and dirty (`evictionScans`, `scanBytes`).
+ */
+
+#ifndef UNISON_BASELINES_NAIVE_TAGGED_PAGE_HH
+#define UNISON_BASELINES_NAIVE_TAGGED_PAGE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/dram_cache.hh"
+#include "dram/dram.hh"
+#include "dram/timing.hh"
+#include "predictors/footprint_table.hh"
+
+namespace unison {
+
+/** Configuration of the Fig. 4b rejected design. */
+struct NaiveTaggedPageConfig
+{
+    std::uint64_t capacityBytes = 1_GiB;
+
+    /** Fetch predicted footprints (false: whole pages). */
+    bool footprintPredictionEnabled = true;
+
+    FootprintTableConfig fhtConfig{};
+
+    DramOrganization stackedOrg = stackedDramOrganization();
+    DramTimingParams stackedTiming = stackedDramTiming();
+};
+
+/** Derived layout for the tagged-page organization. */
+struct NaiveTaggedPageGeometry
+{
+    std::uint64_t capacityBytes = 0;
+    /** 28 x 72 B TADs + 8 B (PC, offset) word = 2024 B per page slot;
+     *  four slots per 8 KB row (with 96 B of row padding). */
+    std::uint32_t pageBlocks = 28;
+    std::uint32_t tadBytes = 72;
+    std::uint32_t pagesPerRow = 4;
+    std::uint64_t numRows = 0;
+    std::uint64_t numFrames = 0;    //!< direct-mapped page frames
+    std::uint64_t dataBlocks = 0;   //!< payload capacity in blocks
+    std::uint64_t inDramTagBytes = 0;
+
+    static NaiveTaggedPageGeometry compute(std::uint64_t capacity_bytes);
+
+    std::uint64_t
+    rowOfFrame(std::uint64_t frame) const
+    {
+        return frame / pagesPerRow;
+    }
+};
+
+/** The insertion-write and eviction-scan pathologies of Sec. III-B.2. */
+struct NaiveTaggedPageStats
+{
+    Counter extraTagWrites; //!< tag resets for blocks never fetched
+    Counter evictionScans;  //!< full page-header scans at eviction
+    Counter scanBytes;      //!< stacked-DRAM bytes those scans read
+
+    void
+    reset()
+    {
+        extraTagWrites.reset();
+        evictionScans.reset();
+        scanBytes.reset();
+    }
+};
+
+/** Page-based cache whose blocks each carry their own tag (the
+ *  Sec. III-B.2 straw man). */
+class NaiveTaggedPageCache : public DramCache
+{
+  public:
+    NaiveTaggedPageCache(const NaiveTaggedPageConfig &config,
+                         DramModule *offchip);
+
+    DramCacheResult access(const DramCacheRequest &req) override;
+
+    std::string name() const override { return "NaiveTaggedPage"; }
+    std::uint64_t capacityBytes() const override
+    {
+        return config_.capacityBytes;
+    }
+    DramModule *stackedDram() override { return stacked_.get(); }
+    void resetStats() override;
+
+    const NaiveTaggedPageConfig &config() const { return config_; }
+    const NaiveTaggedPageGeometry &geometry() const { return geometry_; }
+    const NaiveTaggedPageStats &naiveStats() const { return naiveStats_; }
+    const FootprintHistoryTable &footprintTable() const { return fht_; }
+
+    /** @name Test hooks */
+    /**@{*/
+    bool pagePresent(Addr addr) const;
+    bool blockPresent(Addr addr) const;
+    bool blockDirty(Addr addr) const;
+    /**@}*/
+
+  private:
+    /** One direct-mapped page frame (a quarter of a DRAM row). */
+    struct Frame
+    {
+        std::uint64_t tag = 0;
+        std::uint32_t pcHash = 0;
+        std::uint32_t predictedMask = 0;
+        std::uint32_t fetchedMask = 0;
+        std::uint32_t touchedMask = 0;
+        std::uint32_t dirtyMask = 0;
+        std::uint8_t triggerOffset = 0;
+        std::uint8_t statsGen = 0;
+        bool valid = false;
+    };
+
+    struct Location
+    {
+        std::uint64_t page = 0;
+        std::uint32_t offset = 0;
+        std::uint64_t frame = 0;
+        std::uint64_t tag = 0;
+    };
+
+    Location locate(Addr addr) const;
+
+    /** Evict the resident page of `frame`: header scan, writebacks,
+     *  FHT training. */
+    void evictFrame(std::uint64_t frame, Cycle when);
+
+    Addr
+    blockAddrOf(std::uint64_t page, std::uint32_t offset) const
+    {
+        return blockAddress(page * geometry_.pageBlocks + offset);
+    }
+
+    std::uint32_t
+    fullMask() const
+    {
+        return (1u << geometry_.pageBlocks) - 1;
+    }
+
+    NaiveTaggedPageConfig config_;
+    NaiveTaggedPageGeometry geometry_;
+    std::unique_ptr<DramModule> stacked_;
+    FootprintHistoryTable fht_;
+    std::vector<Frame> frames_;
+    NaiveTaggedPageStats naiveStats_;
+    std::uint8_t statsGen_ = 0;
+};
+
+} // namespace unison
+
+#endif // UNISON_BASELINES_NAIVE_TAGGED_PAGE_HH

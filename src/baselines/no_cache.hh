@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The no-DRAM-cache baseline: every L2 miss goes straight to the
+ * single off-chip DDR3 channel. This is the denominator of the
+ * speedups reported in Figs. 7-8.
+ */
+
+#ifndef UNISON_BASELINES_NO_CACHE_HH
+#define UNISON_BASELINES_NO_CACHE_HH
+
+#include "core/dram_cache.hh"
+
+namespace unison {
+
+/** The speedup denominator: no stacked DRAM at all. */
+class NoCache : public DramCache
+{
+  public:
+    explicit NoCache(DramModule *offchip) : DramCache(offchip) {}
+
+    DramCacheResult
+    access(const DramCacheRequest &req) override
+    {
+        if (req.isWrite)
+            ++stats_.writes;
+        else
+            ++stats_.reads;
+        ++stats_.misses;
+        if (req.isWrite)
+            ++stats_.offchipWritebackBlocks;
+        else
+            ++stats_.offchipDemandBlocks;
+
+        DramCacheResult result;
+        result.hit = false;
+        result.doneAt = offchip_
+                            ->addrAccess(req.addr, kBlockBytes,
+                                         req.isWrite, req.cycle)
+                            .completion;
+        return result;
+    }
+
+    std::string name() const override { return "NoCache"; }
+    std::uint64_t capacityBytes() const override { return 0; }
+};
+
+} // namespace unison
+
+#endif // UNISON_BASELINES_NO_CACHE_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The on-chip SRAM hierarchy of the baseline CMP (Table III): private
+ * 64 KB L1 data caches per core and a shared 4 MB 16-way L2. The DRAM
+ * cache under study sits *below* this hierarchy, so it sees exactly the
+ * L2 miss and L2 writeback streams -- which is why, as the paper notes,
+ * little temporal locality survives to the DRAM cache level.
+ */
+
+#ifndef UNISON_CACHE_HIERARCHY_HH
+#define UNISON_CACHE_HIERARCHY_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/sram_cache.hh"
+#include "common/types.hh"
+
+namespace unison {
+
+/** Geometry + latency knobs for the SRAM levels (Table III defaults). */
+struct HierarchyConfig
+{
+    std::uint64_t l1Bytes = 64 * 1024;
+    std::uint32_t l1Assoc = 8;
+    Cycle l1Latency = 2;   //!< load-to-use
+
+    std::uint64_t l2Bytes = 4 * 1024 * 1024;
+    std::uint32_t l2Assoc = 16;
+    Cycle l2Latency = 13;  //!< hit latency
+};
+
+/**
+ * What one core reference did to the SRAM levels. Everything the DRAM
+ * cache must service is reported here: at most one demand miss and up
+ * to two dirty-block writebacks (L2 demand-fill victim and the victim
+ * of an L1-writeback allocation).
+ */
+struct HierarchyOutcome
+{
+    /** Deepest level that had to be consulted. */
+    enum class Level { L1, L2, Beyond };
+
+    Level level = Level::L1;
+
+    /** SRAM-only latency component (L1, or L1+L2 probe). */
+    Cycle sramLatency = 0;
+
+    /** Dirty blocks pushed out to the DRAM-cache level. */
+    int numWritebacks = 0;
+    Addr writebackAddr[2] = {0, 0};
+};
+
+/** Per-core L1s in front of one shared L2. */
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(int num_cores, const HierarchyConfig &config);
+
+    /** Run one reference through L1 and (if needed) L2. */
+    HierarchyOutcome access(int core, Addr addr, bool is_write);
+
+    const SetAssocCache &l1(int core) const { return *l1s_[core]; }
+    const SetAssocCache &l2() const { return *l2_; }
+    const HierarchyConfig &config() const { return config_; }
+
+    void resetStats();
+
+  private:
+    /** Insert a dirty L1 victim into the L2 (write-allocate). */
+    void writebackToL2(Addr addr, HierarchyOutcome &outcome);
+
+    HierarchyConfig config_;
+    std::vector<std::unique_ptr<SetAssocCache>> l1s_;
+    std::unique_ptr<SetAssocCache> l2_;
+};
+
+} // namespace unison
+
+#endif // UNISON_CACHE_HIERARCHY_HH

@@ -1,0 +1,110 @@
+#include "cache/sram_cache.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace unison {
+
+SetAssocCache::SetAssocCache(const SramCacheConfig &config)
+    : config_(config)
+{
+    UNISON_ASSERT(config_.assoc >= 1, config_.name, ": assoc must be >=1");
+    UNISON_ASSERT(isPowerOfTwo(config_.blockBytes),
+                  config_.name, ": block size must be a power of two");
+    const std::uint64_t blocks = config_.sizeBytes / config_.blockBytes;
+    UNISON_ASSERT(blocks >= config_.assoc,
+                  config_.name, ": cache smaller than one set");
+    UNISON_ASSERT(blocks % config_.assoc == 0,
+                  config_.name, ": size not divisible by assoc");
+    numSets_ = static_cast<std::uint32_t>(blocks / config_.assoc);
+    UNISON_ASSERT(isPowerOfTwo(numSets_),
+                  config_.name, ": set count must be a power of two");
+    blockShift_ = exactLog2(config_.blockBytes);
+    lines_.resize(blocks);
+}
+
+SramAccessResult
+SetAssocCache::access(Addr addr, bool is_write)
+{
+    ++stats_.accesses;
+    const std::uint64_t block = addr >> blockShift_;
+    const std::uint64_t set = block & (numSets_ - 1);
+    const std::uint64_t tag = block >> exactLog2(numSets_);
+
+    Line *base = setBase(set);
+    SramAccessResult result;
+
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            ++stats_.hits;
+            line.lastUse = ++useCounter_;
+            line.dirty |= is_write;
+            result.hit = true;
+            return result;
+        }
+    }
+
+    // Miss: pick an invalid way if one exists, else the LRU way.
+    Line *victim = base;
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        Line &line = base[w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+
+    ++stats_.misses;
+    if (victim->valid) {
+        ++stats_.evictions;
+        if (victim->dirty) {
+            ++stats_.writebacks;
+            result.writeback = true;
+            const std::uint64_t victim_block =
+                (victim->tag << exactLog2(numSets_)) | set;
+            result.writebackAddr = victim_block << blockShift_;
+        }
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = is_write;
+    victim->lastUse = ++useCounter_;
+    return result;
+}
+
+bool
+SetAssocCache::probe(Addr addr) const
+{
+    const std::uint64_t block = addr >> blockShift_;
+    const std::uint64_t set = block & (numSets_ - 1);
+    const std::uint64_t tag = block >> exactLog2(numSets_);
+    const Line *base = setBase(set);
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+bool
+SetAssocCache::invalidate(Addr addr)
+{
+    const std::uint64_t block = addr >> blockShift_;
+    const std::uint64_t set = block & (numSets_ - 1);
+    const std::uint64_t tag = block >> exactLog2(numSets_);
+    Line *base = setBase(set);
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            const bool was_dirty = base[w].dirty;
+            base[w].valid = false;
+            base[w].dirty = false;
+            return was_dirty;
+        }
+    }
+    return false;
+}
+
+} // namespace unison

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * A generic set-associative, write-back, write-allocate SRAM cache
+ * model with true LRU. Used for the per-core L1s and the shared L2
+ * (Table III), and reused by tests as a reference cache.
+ *
+ * Only tags and state are modelled (no data payloads): the simulator
+ * studies miss behaviour and timing, not values.
+ */
+
+#ifndef UNISON_CACHE_SRAM_CACHE_HH
+#define UNISON_CACHE_SRAM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace unison {
+
+/** Geometry of one SRAM cache. */
+struct SramCacheConfig
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 64 * 1024;
+    std::uint32_t assoc = 8;
+    std::uint32_t blockBytes = kBlockBytes;
+};
+
+/** Statistic counters for one SRAM cache. */
+struct SramCacheStats
+{
+    Counter accesses;
+    Counter hits;
+    Counter misses;
+    Counter evictions;
+    Counter writebacks; //!< dirty evictions
+
+    void
+    reset()
+    {
+        accesses.reset();
+        hits.reset();
+        misses.reset();
+        evictions.reset();
+        writebacks.reset();
+    }
+};
+
+/** Outcome of one access (allocate-on-miss). */
+struct SramAccessResult
+{
+    bool hit = false;
+    bool writeback = false; //!< a dirty victim was evicted
+    Addr writebackAddr = 0; //!< block address of that victim
+};
+
+/** A generic set-associative write-back SRAM cache with LRU
+ *  replacement -- the building block of the L1/L2 hierarchy. */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(const SramCacheConfig &config);
+
+    /**
+     * Access (and on miss, allocate) the block containing `addr`.
+     * Writes mark the block dirty.
+     */
+    SramAccessResult access(Addr addr, bool is_write);
+
+    /** True if the block is resident (no state change). */
+    bool probe(Addr addr) const;
+
+    /** Drop the block if resident; returns true if it was dirty. */
+    bool invalidate(Addr addr);
+
+    const SramCacheConfig &config() const { return config_; }
+    const SramCacheStats &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+
+    std::uint32_t numSets() const { return numSets_; }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    Line *setBase(std::uint64_t set)
+    {
+        return &lines_[set * config_.assoc];
+    }
+    const Line *setBase(std::uint64_t set) const
+    {
+        return &lines_[set * config_.assoc];
+    }
+
+    SramCacheConfig config_;
+    std::uint32_t numSets_;
+    std::uint32_t blockShift_;
+    std::vector<Line> lines_;
+    std::uint64_t useCounter_ = 0;
+    SramCacheStats stats_;
+};
+
+} // namespace unison
+
+#endif // UNISON_CACHE_SRAM_CACHE_HH

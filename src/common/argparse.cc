@@ -1,0 +1,218 @@
+#include "common/argparse.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace unison {
+
+ArgParser::ArgParser(std::string description)
+    : description_(std::move(description))
+{
+}
+
+void
+ArgParser::addOption(const std::string &name, const std::string &def,
+                     const std::string &help)
+{
+    UNISON_ASSERT(find(name) == nullptr, "duplicate option --", name);
+    options_.push_back(ArgOption{name, help, def, false, false});
+}
+
+void
+ArgParser::addFlag(const std::string &name, const std::string &help)
+{
+    UNISON_ASSERT(find(name) == nullptr, "duplicate flag --", name);
+    options_.push_back(ArgOption{name, help, "0", true, false});
+}
+
+const ArgOption *
+ArgParser::find(const std::string &name) const
+{
+    for (const auto &opt : options_) {
+        if (opt.name == name)
+            return &opt;
+    }
+    return nullptr;
+}
+
+ArgOption *
+ArgParser::find(const std::string &name)
+{
+    return const_cast<ArgOption *>(
+        static_cast<const ArgParser *>(this)->find(name));
+}
+
+void
+ArgParser::printHelpAndExit(const char *prog) const
+{
+    std::printf("%s\n\nusage: %s [options]\n\noptions:\n",
+                description_.c_str(), prog);
+    for (const auto &opt : options_) {
+        if (opt.isFlag) {
+            std::printf("  --%-24s %s\n", opt.name.c_str(),
+                        opt.help.c_str());
+        } else {
+            std::string left = opt.name + "=<v>";
+            std::printf("  --%-24s %s (default: %s)\n", left.c_str(),
+                        opt.help.c_str(), opt.value.c_str());
+        }
+    }
+    std::printf("  --%-24s %s\n", "help", "show this message");
+    std::exit(0);
+}
+
+void
+ArgParser::parse(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h")
+            printHelpAndExit(argv[0]);
+        if (arg.rfind("--", 0) != 0)
+            fatal("unexpected positional argument '", arg, "'");
+        arg = arg.substr(2);
+
+        std::string name = arg;
+        std::string value;
+        bool have_value = false;
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+            have_value = true;
+        }
+
+        ArgOption *opt = find(name);
+        if (opt == nullptr)
+            fatal("unknown option --", name, " (try --help)");
+
+        if (opt->isFlag) {
+            if (have_value)
+                fatal("flag --", name, " does not take a value");
+            opt->value = "1";
+        } else {
+            if (!have_value) {
+                if (i + 1 >= argc)
+                    fatal("option --", name, " requires a value");
+                value = argv[++i];
+            }
+            opt->value = value;
+        }
+        opt->seen = true;
+    }
+}
+
+std::string
+ArgParser::getString(const std::string &name) const
+{
+    const ArgOption *opt = find(name);
+    UNISON_ASSERT(opt != nullptr, "unregistered option --", name);
+    return opt->value;
+}
+
+std::int64_t
+ArgParser::getInt(const std::string &name) const
+{
+    const std::string v = getString(name);
+    char *end = nullptr;
+    const std::int64_t result = std::strtoll(v.c_str(), &end, 0);
+    if (end == v.c_str() || *end != '\0')
+        fatal("option --", name, ": '", v, "' is not an integer");
+    return result;
+}
+
+std::uint64_t
+ArgParser::getUint(const std::string &name) const
+{
+    const std::int64_t v = getInt(name);
+    if (v < 0)
+        fatal("option --", name, " must be non-negative");
+    return static_cast<std::uint64_t>(v);
+}
+
+double
+ArgParser::getDouble(const std::string &name) const
+{
+    const std::string v = getString(name);
+    char *end = nullptr;
+    const double result = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0')
+        fatal("option --", name, ": '", v, "' is not a number");
+    return result;
+}
+
+bool
+ArgParser::getFlag(const std::string &name) const
+{
+    return getString(name) == "1";
+}
+
+bool
+ArgParser::wasProvided(const std::string &name) const
+{
+    const ArgOption *opt = find(name);
+    UNISON_ASSERT(opt != nullptr, "unregistered option --", name);
+    return opt->seen;
+}
+
+std::uint64_t
+parseSize(const std::string &text)
+{
+    if (text.empty())
+        fatal("empty size string");
+    char *end = nullptr;
+    const double base = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || base < 0)
+        fatal("malformed size '", text, "'");
+    std::uint64_t mult = 1;
+    switch (*end) {
+      case '\0':
+        break;
+      case 'k': case 'K':
+        mult = 1ull << 10;
+        ++end;
+        break;
+      case 'm': case 'M':
+        mult = 1ull << 20;
+        ++end;
+        break;
+      case 'g': case 'G':
+        mult = 1ull << 30;
+        ++end;
+        break;
+      case 't': case 'T':
+        mult = 1ull << 40;
+        ++end;
+        break;
+      default:
+        fatal("malformed size suffix in '", text, "'");
+    }
+    if (*end == 'B' || *end == 'b')
+        ++end;
+    if (*end != '\0')
+        fatal("trailing characters in size '", text, "'");
+    return static_cast<std::uint64_t>(base * static_cast<double>(mult));
+}
+
+std::string
+formatSize(std::uint64_t bytes)
+{
+    char buf[32];
+    if (bytes >= (1ull << 30) && bytes % (1ull << 30) == 0)
+        std::snprintf(buf, sizeof(buf), "%lluGB",
+                      static_cast<unsigned long long>(bytes >> 30));
+    else if (bytes >= (1ull << 20) && bytes % (1ull << 20) == 0)
+        std::snprintf(buf, sizeof(buf), "%lluMB",
+                      static_cast<unsigned long long>(bytes >> 20));
+    else if (bytes >= (1ull << 10) && bytes % (1ull << 10) == 0)
+        std::snprintf(buf, sizeof(buf), "%lluKB",
+                      static_cast<unsigned long long>(bytes >> 10));
+    else
+        std::snprintf(buf, sizeof(buf), "%lluB",
+                      static_cast<unsigned long long>(bytes));
+    return buf;
+}
+
+} // namespace unison

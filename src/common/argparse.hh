@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A tiny command-line option parser used by the bench harnesses and
+ * example programs (--key=value / --key value / --flag style).
+ */
+
+#ifndef UNISON_COMMON_ARGPARSE_HH
+#define UNISON_COMMON_ARGPARSE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace unison {
+
+/** One registered option and its parsed state. */
+struct ArgOption
+{
+    std::string name;     //!< long name without leading dashes
+    std::string help;     //!< description for --help
+    std::string value;    //!< current (default or parsed) value
+    bool isFlag = false;  //!< true for boolean presence flags
+    bool seen = false;    //!< set when the user supplied it
+};
+
+/**
+ * Declarative argument parser. Register options with defaults, call
+ * parse(), then read typed values. Unknown options are fatal; --help
+ * prints usage and exits.
+ */
+class ArgParser
+{
+  public:
+    explicit ArgParser(std::string description);
+
+    /** Register a string option with a default value. */
+    void addOption(const std::string &name, const std::string &def,
+                   const std::string &help);
+
+    /** Register a boolean flag (false unless present). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /** Parse argv; exits on --help or malformed input. */
+    void parse(int argc, const char *const *argv);
+
+    /** Typed accessors (fatal if the option was never registered). */
+    std::string getString(const std::string &name) const;
+    std::int64_t getInt(const std::string &name) const;
+    std::uint64_t getUint(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    bool getFlag(const std::string &name) const;
+
+    /** True if the user explicitly supplied the option. */
+    bool wasProvided(const std::string &name) const;
+
+  private:
+    const ArgOption *find(const std::string &name) const;
+    ArgOption *find(const std::string &name);
+    void printHelpAndExit(const char *prog) const;
+
+    std::string description_;
+    std::vector<ArgOption> options_;
+};
+
+/**
+ * Parse a human-friendly size string ("128M", "1G", "8192", "4K") into
+ * bytes. Fatal on malformed input.
+ */
+std::uint64_t parseSize(const std::string &text);
+
+/** Format a byte count as a compact human-readable string. */
+std::string formatSize(std::uint64_t bytes);
+
+} // namespace unison
+
+#endif // UNISON_COMMON_ARGPARSE_HH

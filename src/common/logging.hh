@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting: panic() for internal
+ * invariant violations, fatal() for user/configuration errors, warn()
+ * and inform() for non-fatal notices.
+ */
+
+#ifndef UNISON_COMMON_LOGGING_HH
+#define UNISON_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace unison {
+
+namespace detail {
+
+/** Stream-compose a message from variadic parts. */
+template <typename... Args>
+std::string
+composeMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+[[noreturn]] void exitWithMessage(const char *kind, const std::string &msg,
+                                  bool abort_process);
+
+void printMessage(const char *kind, const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Report an internal simulator bug and abort. Use for conditions that
+ * must never happen regardless of user input.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::exitWithMessage(
+        "panic", detail::composeMessage(std::forward<Args>(args)...), true);
+}
+
+/**
+ * Report an unrecoverable user/configuration error and exit(1). Use for
+ * conditions that are the caller's fault (bad parameters, impossible
+ * geometry), not simulator bugs.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::exitWithMessage(
+        "fatal", detail::composeMessage(std::forward<Args>(args)...), false);
+}
+
+/** Report a suspicious but survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::printMessage(
+        "warn", detail::composeMessage(std::forward<Args>(args)...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::printMessage(
+        "info", detail::composeMessage(std::forward<Args>(args)...));
+}
+
+/**
+ * Panic-if-false assertion that stays enabled in release builds; used to
+ * guard protocol invariants in the cache models.
+ */
+#define UNISON_ASSERT(cond, ...)                                             \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::unison::panic("assertion '", #cond, "' failed at ", __FILE__,  \
+                            ":", __LINE__, ": ", ##__VA_ARGS__);             \
+        }                                                                    \
+    } while (0)
+
+} // namespace unison
+
+#endif // UNISON_COMMON_LOGGING_HH

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the synthetic
+ * workload models. Everything in the simulator that needs randomness
+ * draws from an explicitly seeded Rng so that experiments are exactly
+ * reproducible run-to-run.
+ */
+
+#ifndef UNISON_COMMON_RNG_HH
+#define UNISON_COMMON_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace unison {
+
+/**
+ * xoshiro256** generator. Small, fast, and good enough statistical
+ * quality for workload synthesis; fully deterministic from the seed.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bull)
+    {
+        // splitmix64 seeding as recommended by the xoshiro authors.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        UNISON_ASSERT(bound != 0, "Rng::below(0)");
+        // Multiply-shift mapping (the slight bias is irrelevant at
+        // workload-synthesis scale, and it avoids rejection loops).
+        return static_cast<std::uint64_t>(
+            (static_cast<__uint128_t>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        UNISON_ASSERT(lo <= hi, "Rng::range lo > hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniform() < p;
+    }
+
+    /** Geometric positive count on {1, 2, ...} with the given mean. */
+    std::uint64_t
+    geometric(double mean)
+    {
+        if (mean <= 1.0)
+            return 1;
+        const double p = 1.0 / mean;
+        const double u = uniform();
+        const std::uint64_t v = static_cast<std::uint64_t>(
+            std::ceil(std::log1p(-u) / std::log1p(-p)));
+        return v == 0 ? 1 : v;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+/**
+ * Zipf(alpha) sampler over ranks [0, n). Server-workload page and
+ * function popularity is heavily skewed; Zipf captures that with one
+ * knob. Sampling uses the rejection-inversion method of Hörmann &
+ * Derflinger (1996), which needs no per-rank tables and so scales to
+ * the multi-hundred-GB datasets the TPC-H preset models.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::uint64_t n, double alpha) : n_(n), alpha_(alpha)
+    {
+        UNISON_ASSERT(n >= 1, "ZipfSampler over empty domain");
+        if (alpha_ < 1e-6 || n_ == 1) {
+            uniform_ = true;
+            return;
+        }
+        hIntegralX1_ = hIntegral(1.5) - 1.0;
+        hIntegralN_ = hIntegral(static_cast<double>(n_) + 0.5);
+        s_ = 2.0 - hIntegralInverse(hIntegral(2.5) - h(2.0));
+    }
+
+    /** Draw a rank in [0, n). Rank 0 is the most popular item. */
+    std::uint64_t
+    sample(Rng &rng)
+    {
+        if (uniform_)
+            return rng.below(n_);
+        while (true) {
+            const double u =
+                hIntegralN_ + rng.uniform() * (hIntegralX1_ - hIntegralN_);
+            const double x = hIntegralInverse(u);
+            double kd = std::floor(x + 0.5);
+            if (kd < 1.0)
+                kd = 1.0;
+            else if (kd > static_cast<double>(n_))
+                kd = static_cast<double>(n_);
+            if (kd - x <= s_ || u >= hIntegral(kd + 0.5) - h(kd))
+                return static_cast<std::uint64_t>(kd) - 1;
+        }
+    }
+
+  private:
+    /** Probability shape h(x) = x^-alpha. */
+    double
+    h(double x) const
+    {
+        return std::exp(-alpha_ * std::log(x));
+    }
+
+    /** Antiderivative of h (log x when alpha == 1). */
+    double
+    hIntegral(double x) const
+    {
+        const double log_x = std::log(x);
+        return helper((1.0 - alpha_) * log_x) * log_x;
+    }
+
+    /** Inverse of hIntegral. */
+    double
+    hIntegralInverse(double x) const
+    {
+        double t = x * (1.0 - alpha_);
+        if (t < -1.0)
+            t = -1.0; // guard rounding at the domain edge
+        return std::exp(helperInverse(t) * x);
+    }
+
+    /** (exp(x) - 1) / x, stable near zero. */
+    static double
+    helper(double x)
+    {
+        return std::abs(x) > 1e-8 ? std::expm1(x) / x : 1.0 + x / 2.0;
+    }
+
+    /** log1p(x) / x, stable near zero. */
+    static double
+    helperInverse(double x)
+    {
+        return std::abs(x) > 1e-8 ? std::log1p(x) / x : 1.0 - x / 2.0;
+    }
+
+    std::uint64_t n_;
+    double alpha_;
+    bool uniform_ = false;
+    double hIntegralX1_ = 0.0;
+    double hIntegralN_ = 0.0;
+    double s_ = 0.0;
+};
+
+} // namespace unison
+
+#endif // UNISON_COMMON_RNG_HH

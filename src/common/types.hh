@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fundamental scalar types and memory-geometry constants shared by every
+ * module in the Unison Cache reproduction.
+ */
+
+#ifndef UNISON_COMMON_TYPES_HH
+#define UNISON_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace unison {
+
+/** Physical byte address. */
+using Addr = std::uint64_t;
+
+/** CPU clock cycle count (the CPU runs at 3 GHz, per Table III). */
+using Cycle = std::uint64_t;
+
+/** Program counter of the instruction that issued a memory access. */
+using Pc = std::uint64_t;
+
+/** Cache block (line) size used throughout the paper: 64 bytes. */
+constexpr std::uint32_t kBlockBytes = 64;
+
+/** log2 of the block size. */
+constexpr std::uint32_t kBlockShift = 6;
+
+/** DRAM row-buffer size for both stacked and off-chip DRAM (Table III). */
+constexpr std::uint32_t kRowBytes = 8192;
+
+/** Blocks that fit in a DRAM row when no metadata is embedded. */
+constexpr std::uint32_t kBlocksPerRow = kRowBytes / kBlockBytes;
+
+/** Convert a byte address to its 64 B block number. */
+constexpr std::uint64_t
+blockNumber(Addr addr)
+{
+    return addr >> kBlockShift;
+}
+
+/** Convert a block number back to the base byte address of the block. */
+constexpr Addr
+blockAddress(std::uint64_t block_num)
+{
+    return block_num << kBlockShift;
+}
+
+/** Size literals for readable configuration code. */
+constexpr std::uint64_t operator""_KiB(unsigned long long v)
+{
+    return v << 10;
+}
+
+constexpr std::uint64_t operator""_MiB(unsigned long long v)
+{
+    return v << 20;
+}
+
+constexpr std::uint64_t operator""_GiB(unsigned long long v)
+{
+    return v << 30;
+}
+
+} // namespace unison
+
+#endif // UNISON_COMMON_TYPES_HH

@@ -1,0 +1,107 @@
+#include "core/conflict_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace unison {
+
+std::uint32_t
+blocksPerPage(std::uint32_t page_bytes, std::uint32_t block_bytes)
+{
+    UNISON_ASSERT(block_bytes > 0 && page_bytes > 0,
+                  "sizes must be positive");
+    UNISON_ASSERT(page_bytes % block_bytes == 0,
+                  "page size must be a multiple of the block size");
+    return page_bytes / block_bytes;
+}
+
+double
+pageConflictProbability(double q, std::uint32_t blocks_per_page)
+{
+    UNISON_ASSERT(q >= 0.0 && q <= 1.0, "q is a probability");
+    const double pairs = static_cast<double>(blocks_per_page) *
+                         static_cast<double>(blocks_per_page);
+    // 1 - (1-q)^pairs, computed stably for small q.
+    return -std::expm1(pairs * std::log1p(-q));
+}
+
+double
+conflictAmplification(double q, std::uint32_t blocks_per_page)
+{
+    UNISON_ASSERT(q > 0.0 && q <= 1.0, "q must be in (0, 1]");
+    return pageConflictProbability(q, blocks_per_page) / q;
+}
+
+double
+worstCaseConflictFactor(std::uint32_t page_bytes,
+                        std::uint32_t block_bytes)
+{
+    const double b = blocksPerPage(page_bytes, block_bytes);
+    return b * b / 2.0;
+}
+
+double
+expectedConflictFractionLambda(double lambda, std::uint32_t assoc)
+{
+    UNISON_ASSERT(lambda >= 0.0, "load factor must be non-negative");
+    UNISON_ASSERT(assoc >= 1, "associativity must be at least 1");
+    if (lambda == 0.0)
+        return 0.0;
+
+    // E[max(K - a, 0)] = lambda - a + sum_{k<a} (a - k) P(k),
+    // with P(k) the Poisson(lambda) pmf -- only a terms needed.
+    double pmf = std::exp(-lambda); // P(0)
+    double deficit = 0.0;           // sum_{k<a} (a - k) P(k)
+    for (std::uint32_t k = 0; k < assoc; ++k) {
+        deficit += (assoc - k) * pmf;
+        pmf *= lambda / (k + 1);
+    }
+    const double excess =
+        lambda - static_cast<double>(assoc) + deficit;
+    return std::clamp(excess / lambda, 0.0, 1.0);
+}
+
+double
+expectedConflictFraction(std::uint64_t num_sets, std::uint32_t assoc,
+                         std::uint64_t live_units)
+{
+    UNISON_ASSERT(num_sets > 0, "a cache needs sets");
+    const double lambda = static_cast<double>(live_units) /
+                          static_cast<double>(num_sets);
+    return expectedConflictFractionLambda(lambda, assoc);
+}
+
+double
+relativePageConflictPressure(std::uint64_t capacity_bytes,
+                             std::uint32_t page_bytes,
+                             std::uint32_t block_bytes,
+                             std::uint64_t live_bytes)
+{
+    const std::uint32_t b = blocksPerPage(page_bytes, block_bytes);
+
+    const std::uint64_t block_sets = capacity_bytes / block_bytes;
+    const std::uint64_t page_sets = capacity_bytes / page_bytes;
+    const std::uint64_t live_blocks =
+        std::max<std::uint64_t>(1, live_bytes / block_bytes);
+    const std::uint64_t live_pages =
+        std::max<std::uint64_t>(1, live_bytes / page_bytes);
+
+    const double block_pressure =
+        expectedConflictFraction(block_sets, 1, live_blocks);
+    // Page granularity: B x fewer sets, and every unit displaced from a
+    // set takes a whole page's residency with it -- each lost page
+    // costs up to B blocks' worth of reuse (the quadratic term's other
+    // factor relative to the single-block loss).
+    const double page_pressure =
+        expectedConflictFraction(page_sets, 1, live_pages) *
+        static_cast<double>(b);
+    if (block_pressure == 0.0)
+        return page_pressure > 0.0 ? worstCaseConflictFactor(
+                                         page_bytes, block_bytes)
+                                   : 1.0;
+    return page_pressure / block_pressure;
+}
+
+} // namespace unison

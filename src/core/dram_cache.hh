@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The DRAM-cache interface every design implements (Unison, Alloy,
+ * Footprint, Ideal, NoCache), and the statistics contract the bench
+ * harnesses consume.
+ *
+ * A DramCache sits below the SRAM hierarchy: it services L2 demand
+ * misses (reads) and L2 dirty writebacks (writes), owns the stacked
+ * DRAM pool, and issues fills/writebacks to the shared off-chip pool.
+ */
+
+#ifndef UNISON_CORE_DRAM_CACHE_HH
+#define UNISON_CORE_DRAM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "dram/dram.hh"
+#include "stats/stats.hh"
+
+namespace unison {
+
+/** One request arriving at the DRAM-cache level. */
+struct DramCacheRequest
+{
+    Addr addr = 0;      //!< physical byte address of the demanded word
+    Pc pc = 0;          //!< instruction that triggered the L2 miss
+    int core = 0;       //!< issuing core
+    bool isWrite = false; //!< true for L2 dirty writebacks
+    Cycle cycle = 0;    //!< cycle the request reaches this level
+};
+
+/** Completion information returned to the timing model. */
+struct DramCacheResult
+{
+    Cycle doneAt = 0;   //!< cycle the critical block is available
+    bool hit = false;   //!< serviced from the stacked DRAM
+};
+
+/** Statistics every design maintains (superset; unused stay zero). */
+struct DramCacheStats
+{
+    Counter reads;
+    Counter writes;
+    Counter hits;
+    Counter misses;
+
+    Counter pageMisses;     //!< trigger misses (page absent)
+    Counter blockMisses;    //!< page present, block absent (underpred.)
+    Counter evictions;      //!< page/block allocations that evicted
+
+    /** Off-chip traffic in 64 B blocks. */
+    Counter offchipDemandBlocks;    //!< fetches for demanded blocks
+    Counter offchipPrefetchBlocks;  //!< footprint blocks beyond demand
+    Counter offchipWastedBlocks;    //!< fetches caused by mispredicts
+    Counter offchipWritebackBlocks; //!< dirty data written back
+
+    /** Footprint bookkeeping, accumulated at page evictions. */
+    Counter fpPredictedTouched; //!< |predicted AND touched|
+    Counter fpTouched;          //!< |touched|
+    Counter fpFetchedUntouched; //!< |fetched AND NOT touched|
+    Counter fpFetched;          //!< |fetched|
+
+    Counter singletonBypasses;  //!< pages served without allocation
+
+    std::uint64_t
+    accesses() const
+    {
+        return reads.value() + writes.value();
+    }
+
+    /** Cache miss ratio in percent (Figs. 5-6). */
+    double
+    missRatioPercent() const
+    {
+        return percent(misses.value(), accesses());
+    }
+
+    /**
+     * "FP Accuracy" as Table V defines it: the fraction of each page's
+     * actual footprint that the predictor fetched up front.
+     */
+    double
+    fpAccuracyPercent() const
+    {
+        return percent(fpPredictedTouched.value(), fpTouched.value());
+    }
+
+    /** "FP Overfetch": fetched blocks never touched before eviction. */
+    double
+    fpOverfetchPercent() const
+    {
+        return percent(fpFetchedUntouched.value(), fpFetched.value());
+    }
+
+    /** All off-chip fetched blocks (demand + prefetch + wasted). */
+    std::uint64_t
+    offchipFetchedBlocks() const
+    {
+        return offchipDemandBlocks.value() +
+               offchipPrefetchBlocks.value() +
+               offchipWastedBlocks.value();
+    }
+
+    void
+    reset()
+    {
+        reads.reset();
+        writes.reset();
+        hits.reset();
+        misses.reset();
+        pageMisses.reset();
+        blockMisses.reset();
+        evictions.reset();
+        offchipDemandBlocks.reset();
+        offchipPrefetchBlocks.reset();
+        offchipWastedBlocks.reset();
+        offchipWritebackBlocks.reset();
+        fpPredictedTouched.reset();
+        fpTouched.reset();
+        fpFetchedUntouched.reset();
+        fpFetched.reset();
+        singletonBypasses.reset();
+    }
+};
+
+/** Abstract DRAM cache. */
+class DramCache
+{
+  public:
+    /**
+     * @param offchip the shared off-chip memory pool (not owned);
+     *        nullptr only for designs that never touch memory.
+     */
+    explicit DramCache(DramModule *offchip) : offchip_(offchip) {}
+    virtual ~DramCache() = default;
+
+    DramCache(const DramCache &) = delete;
+    DramCache &operator=(const DramCache &) = delete;
+
+    /** Service one request, advancing all modelled state. */
+    virtual DramCacheResult access(const DramCacheRequest &req) = 0;
+
+    /** Design name as used in the paper's tables. */
+    virtual std::string name() const = 0;
+
+    /** Nominal stacked-DRAM capacity (0 for NoCache). */
+    virtual std::uint64_t capacityBytes() const = 0;
+
+    /** The stacked pool, if the design has one (for traffic stats). */
+    virtual DramModule *stackedDram() { return nullptr; }
+
+    const DramCacheStats &stats() const { return stats_; }
+
+    /** Reset measurement state (end of warm-up). */
+    virtual void
+    resetStats()
+    {
+        stats_.reset();
+        if (stackedDram() != nullptr)
+            stackedDram()->resetStats();
+    }
+
+  protected:
+    DramModule *offchip_;
+    DramCacheStats stats_;
+};
+
+} // namespace unison
+
+#endif // UNISON_CORE_DRAM_CACHE_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * In-DRAM layout geometry for the three cache organizations. This is
+ * where the Table II arithmetic lives (blocks per 8 KB row, in-DRAM tag
+ * overhead, SRAM tag-array sizes), so the characteristics bench and the
+ * designs themselves share one source of truth.
+ */
+
+#ifndef UNISON_CORE_GEOMETRY_HH
+#define UNISON_CORE_GEOMETRY_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace unison {
+
+/**
+ * Unison Cache DRAM-row geometry (Fig. 3).
+ *
+ * Each page carries 16 B of in-row metadata: an 8 B word holding the
+ * page tag, valid bit and the valid/dirty bit vectors (read first, as
+ * one tag burst per set), plus an 8 B (PC, offset) word read only at
+ * eviction. A set is `assoc` pages plus their metadata; as many whole
+ * sets as fit share one 8 KB row (two sets for 960 B pages), and a set
+ * wider than a row (the 32-way ablation) spans consecutive rows.
+ */
+struct UnisonGeometry
+{
+    std::uint64_t capacityBytes = 0;
+    std::uint32_t pageBlocks = 15; //!< 15 (960 B) or 31 (1984 B)
+    std::uint32_t assoc = 4;
+
+    std::uint64_t numRows = 0;
+    std::uint64_t numSets = 0;
+    std::uint32_t setsPerRow = 0;  //!< 0 when a set spans rows
+    std::uint32_t rowsPerSet = 1;
+    std::uint32_t waysPerRow = 0;  //!< valid when rowsPerSet > 1
+
+    std::uint32_t pageBytes = 0;
+    std::uint32_t pageMetaBytes = 16;
+    std::uint32_t tagBurstBytes = 0; //!< per-set tag read (8 B x assoc)
+
+    /**
+     * Physical address width. Footnote 3 of the paper: up to 40 bits
+     * (1 TB), 8 B of tag word per page suffice (two bursts per 4-way
+     * set on the 128-bit bus); beyond that the tag words grow to 12 B
+     * and the set's tag read takes three bursts (~48 B).
+     */
+    std::uint32_t physAddrBits = 40;
+
+    std::uint64_t dataBlocks = 0;  //!< total 64 B blocks of payload
+    std::uint32_t blocksPerRow = 0;
+    std::uint64_t inDramTagBytes = 0; //!< capacity - payload
+
+    /** Compute the geometry; fatal on impossible configurations. */
+    static UnisonGeometry compute(std::uint64_t capacity_bytes,
+                                  std::uint32_t page_blocks,
+                                  std::uint32_t assoc,
+                                  std::uint32_t phys_addr_bits = 40);
+
+    /** Row holding the set's tag metadata. */
+    std::uint64_t rowOfSet(std::uint64_t set) const;
+
+    /** Row holding way `way`'s data blocks. */
+    std::uint64_t dataRowOfWay(std::uint64_t set, std::uint32_t way) const;
+};
+
+/**
+ * Alloy Cache geometry: 72 B tag-and-data (TAD) units, 112 per 8 KB
+ * row (Sec. IV-C.3), direct-mapped.
+ */
+struct AlloyGeometry
+{
+    std::uint64_t capacityBytes = 0;
+    std::uint64_t numRows = 0;
+    std::uint32_t tadsPerRow = 112;
+    std::uint32_t tadBytes = 72;
+    std::uint64_t numTads = 0;     //!< == number of sets (direct-mapped)
+    std::uint64_t inDramTagBytes = 0;
+
+    static AlloyGeometry compute(std::uint64_t capacity_bytes);
+
+    /** Row and slot of a TAD index. */
+    std::uint64_t rowOfTad(std::uint64_t tad) const { return tad / tadsPerRow; }
+};
+
+/**
+ * Footprint Cache geometry: 2 KB pages, 32-way sets, tags in SRAM
+ * (12 B per page, matching Table IV's 0.8 MB @128 MB ... 50 MB @8 GB
+ * progression), four pages per DRAM row.
+ */
+struct FootprintGeometry
+{
+    std::uint64_t capacityBytes = 0;
+    std::uint32_t pageBlocks = 32; //!< 2 KB pages
+    std::uint32_t assoc = 32;
+    std::uint64_t numPages = 0;
+    std::uint64_t numSets = 0;
+    std::uint32_t pagesPerRow = 4;
+    std::uint64_t sramTagBytes = 0;
+    Cycle tagLatency = 0;          //!< Table IV
+
+    static FootprintGeometry compute(std::uint64_t capacity_bytes);
+
+    /** Table IV: SRAM tag-array lookup latency for a capacity. */
+    static Cycle tagLatencyForCapacity(std::uint64_t capacity_bytes);
+
+    /** DRAM row holding (set, way)'s data. */
+    std::uint64_t
+    dataRowOfWay(std::uint64_t set, std::uint32_t way) const
+    {
+        return (set * assoc + way) / pagesPerRow;
+    }
+};
+
+} // namespace unison
+
+#endif // UNISON_CORE_GEOMETRY_HH

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Unison Cache (Sec. III of the paper) -- the primary contribution.
+ *
+ * A page-based, set-associative stacked-DRAM cache whose tags live in
+ * the stacked DRAM itself:
+ *
+ *  - pages of 15 blocks (960 B) or 31 blocks (1984 B); the
+ *    non-power-of-two address mapping uses the residue-arithmetic
+ *    divider (Sec. III-A.7);
+ *  - 4-way sets colocated in one 8 KB DRAM row (two sets per row for
+ *    960 B pages, Fig. 3), per-set tag metadata at the head of the row;
+ *  - on every access the tag burst and the (way-predicted) data-block
+ *    read are issued back-to-back to the same row, overlapped rather
+ *    than serialized (Sec. III-A, first insight);
+ *  - a footprint predictor decides which blocks to fetch on a page
+ *    (trigger) miss, with singleton bypass (Sec. III-A.1-4);
+ *  - a static always-hit policy replaces Alloy Cache's miss predictor
+ *    (second insight); an optional MAP-I mode exists as an ablation;
+ *  - block state uses the Footprint Cache V/D encoding (invalid /
+ *    fetched-untouched / accessed-clean / accessed-dirty) so footprints
+ *    can be learned without extra storage (Sec. III-A.2).
+ */
+
+#ifndef UNISON_CORE_UNISON_CACHE_HH
+#define UNISON_CORE_UNISON_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/residue.hh"
+#include "core/dram_cache.hh"
+#include "core/geometry.hh"
+#include "dram/dram.hh"
+#include "dram/timing.hh"
+#include "predictors/footprint_table.hh"
+#include "predictors/miss_predictor.hh"
+#include "predictors/singleton_table.hh"
+#include "predictors/way_predictor.hh"
+
+namespace unison {
+
+/** How the correct way of a set is located (Sec. III-A.5 ablations). */
+enum class UnisonWayPolicy
+{
+    Predict,   //!< way predictor, overlapped reads (the paper's design)
+    FetchAll,  //!< stream all ways in parallel (4x hit traffic)
+    SerialTag, //!< tag read, then data read (serialized)
+};
+
+/** Hit/miss speculation policy (Sec. III-A, second insight). */
+enum class UnisonMissPolicy
+{
+    AlwaysHit, //!< static prediction; probe the cache first (default)
+    MapI,      //!< Alloy-style dynamic miss predictor (ablation)
+};
+
+/** Full configuration of a Unison Cache instance. */
+struct UnisonConfig
+{
+    std::uint64_t capacityBytes = 1_GiB;
+    std::uint32_t pageBlocks = 15; //!< 15 (960 B) or 31 (1984 B)
+    std::uint32_t assoc = 4;
+
+    UnisonWayPolicy wayPolicy = UnisonWayPolicy::Predict;
+    UnisonMissPolicy missPolicy = UnisonMissPolicy::AlwaysHit;
+
+    /** Fetch predicted footprints (false: fetch whole pages). */
+    bool footprintPredictionEnabled = true;
+
+    /** Bypass pages predicted to be singletons. */
+    bool singletonEnabled = true;
+
+    /** 0 selects the paper's width for the capacity (12 or 16 bits). */
+    std::uint32_t wayPredictorIndexBits = 0;
+
+    FootprintTableConfig fhtConfig{};
+    SingletonTableConfig singletonConfig{};
+
+    DramOrganization stackedOrg = stackedDramOrganization();
+    DramTimingParams stackedTiming = stackedDramTiming();
+
+    int numCores = 16; //!< for the MAP-I ablation predictor
+};
+
+class UnisonCache : public DramCache
+{
+  public:
+    UnisonCache(const UnisonConfig &config, DramModule *offchip);
+
+    DramCacheResult access(const DramCacheRequest &req) override;
+
+    std::string name() const override;
+    std::uint64_t capacityBytes() const override
+    {
+        return config_.capacityBytes;
+    }
+    DramModule *stackedDram() override { return stacked_.get(); }
+    void resetStats() override;
+
+    const UnisonConfig &config() const { return config_; }
+    const UnisonGeometry &geometry() const { return geometry_; }
+    const WayPredictorStats &wayPredictorStats() const
+    {
+        return wayPred_.stats();
+    }
+    const FootprintHistoryTable &footprintTable() const { return fht_; }
+    const SingletonTable &singletonTable() const { return singletons_; }
+    const MissPredictor *missPredictor() const { return missPred_.get(); }
+
+    /** @name Test hooks (model state inspection, no timing effects) */
+    /**@{*/
+    bool pagePresent(Addr addr) const;
+    bool blockPresent(Addr addr) const;
+    bool blockDirty(Addr addr) const;
+    bool blockTouched(Addr addr) const;
+    /**@}*/
+
+    /** Page number and in-page block offset for a byte address. */
+    void
+    mapAddress(Addr addr, std::uint64_t &page, std::uint32_t &offset) const;
+
+  private:
+    /**
+     * One page frame's metadata. The bit masks realize the paper's
+     * two-bit-per-block state encoding: fetched (valid) / touched
+     * (demanded) / dirty, with predicted kept for accuracy accounting
+     * only (measurement infrastructure, not modelled hardware).
+     */
+    struct PageWay
+    {
+        std::uint32_t tag = 0;
+        std::uint32_t pcHash = 0;      //!< trigger PC (stored in row)
+        std::uint32_t predictedMask = 0;
+        std::uint32_t fetchedMask = 0; //!< valid blocks
+        std::uint32_t touchedMask = 0; //!< demanded blocks
+        std::uint32_t dirtyMask = 0;
+        std::uint32_t lastUse = 0;     //!< LRU stamp
+        std::uint8_t triggerOffset = 0;
+        std::uint8_t statsGen = 0;     //!< measurement generation
+        bool valid = false;
+    };
+
+    struct Location
+    {
+        std::uint64_t page = 0;
+        std::uint32_t offset = 0;
+        std::uint64_t set = 0;
+        std::uint32_t tag = 0;
+    };
+
+    Location locate(Addr addr) const;
+
+    PageWay *setBase(std::uint64_t set)
+    {
+        return &ways_[set * config_.assoc];
+    }
+    const PageWay *setBase(std::uint64_t set) const
+    {
+        return &ways_[set * config_.assoc];
+    }
+
+    /** Find the way holding `tag` in `set`; -1 if absent. */
+    int findWay(std::uint64_t set, std::uint32_t tag) const;
+
+    /** Victim way: an invalid way if any, else LRU. */
+    int pickVictim(std::uint64_t set) const;
+
+    /**
+     * Time the overlapped tag + data reads that start every probe.
+     * Returns the tag-resolve cycle and the predicted-way data cycle.
+     */
+    void issueProbeReads(const Location &loc, std::uint32_t pred_way,
+                         Cycle start, Cycle &tag_done, Cycle &data_done);
+
+    /** Service a hit to a fetched block. */
+    DramCacheResult serveBlockHit(const DramCacheRequest &req,
+                                  const Location &loc, int way,
+                                  std::uint32_t pred_way, Cycle tag_done,
+                                  Cycle data_done);
+
+    /** Service an underprediction miss (page present, block absent). */
+    DramCacheResult serveBlockMiss(const DramCacheRequest &req,
+                                   const Location &loc, int way,
+                                   Cycle tag_done);
+
+    /** Service a trigger miss (page absent). */
+    DramCacheResult serveTriggerMiss(const DramCacheRequest &req,
+                                     const Location &loc, Cycle tag_done,
+                                     Cycle offchip_head_start,
+                                     bool offchip_started);
+
+    /** Evict `way` of `set`: write back dirty data, train the FHT. */
+    void evictPage(std::uint64_t set, int way, Cycle when);
+
+    /** Fetch `mask` blocks of page `page` from memory; returns the
+     *  completion of the critical (demanded) block. */
+    Cycle fetchFootprint(const Location &loc, std::uint32_t mask,
+                         bool write_allocate_demand, Cycle start,
+                         Cycle head_start, bool head_started,
+                         Cycle &last_done);
+
+    std::uint32_t
+    blockBit(std::uint32_t offset) const
+    {
+        return 1u << offset;
+    }
+
+    std::uint32_t
+    fullPageMask() const
+    {
+        return (config_.pageBlocks >= 32)
+                   ? 0xffffffffu
+                   : ((1u << config_.pageBlocks) - 1);
+    }
+
+    Addr
+    blockAddrOf(std::uint64_t page, std::uint32_t offset) const
+    {
+        return blockAddress(page * config_.pageBlocks + offset);
+    }
+
+    UnisonConfig config_;
+    UnisonGeometry geometry_;
+    MersenneDivider divider_;
+    bool dividerUsable_;
+
+    std::unique_ptr<DramModule> stacked_;
+    WayPredictor wayPred_;
+    FootprintHistoryTable fht_;
+    SingletonTable singletons_;
+    std::unique_ptr<MissPredictor> missPred_;
+
+    std::vector<PageWay> ways_;
+    std::uint32_t useCounter_ = 0;
+
+    /**
+     * Incremented on resetStats(); footprint accuracy/overfetch are
+     * only accumulated for pages *allocated* in the current
+     * generation, so cold-phase allocations (default full-page
+     * predictions) cannot pollute post-warm statistics.
+     */
+    std::uint8_t statsGen_ = 0;
+};
+
+} // namespace unison
+
+#endif // UNISON_CORE_UNISON_CACHE_HH

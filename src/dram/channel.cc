@@ -1,0 +1,139 @@
+#include "dram/channel.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace unison {
+
+DramChannel::DramChannel(const DramTimingCpu &timing, int num_banks,
+                         int open_row_window)
+    : timing_(timing), openRowWindow_(open_row_window), banks_(num_banks)
+{
+    nextRefreshAt_ = timing_.refi; // 0 disables refresh
+
+    UNISON_ASSERT(num_banks >= 1, "channel needs at least one bank");
+    UNISON_ASSERT(open_row_window >= 1 &&
+                      open_row_window <= kMaxOpenRowWindow,
+                  "open-row window out of range: ", open_row_window);
+}
+
+Cycle
+DramChannel::activateAllowedAt(Cycle t) const
+{
+    Cycle allowed = std::max(t, lastActivate_ + timing_.rrd);
+    // tFAW: at most four activates per window; the new activate must
+    // wait until the fourth-to-last one is tFAW old.
+    allowed = std::max(allowed, actWindow_[actWindowIdx_] + timing_.faw);
+    return allowed;
+}
+
+void
+DramChannel::noteActivate(Cycle t)
+{
+    lastActivate_ = t;
+    actWindow_[actWindowIdx_] = t;
+    actWindowIdx_ = (actWindowIdx_ + 1) % 4;
+    ++stats_.activations;
+}
+
+Cycle
+DramChannel::applyRefresh(Cycle t)
+{
+    if (timing_.refi == 0)
+        return t;
+    // Catch up on all refresh windows that started before t; the
+    // channel is unavailable for tRFC after each (rank-wide refresh,
+    // all banks close their rows).
+    while (nextRefreshAt_ <= t) {
+        refreshBusyUntil_ = nextRefreshAt_ + timing_.rfc;
+        nextRefreshAt_ += timing_.refi;
+        ++stats_.refreshes;
+        for (BankState &bank : banks_) {
+            for (int i = 0; i < kMaxOpenRowWindow; ++i)
+                bank.openRows[i] = kNoRow;
+            bank.busyUntil = std::max(bank.busyUntil,
+                                      refreshBusyUntil_);
+        }
+    }
+    return std::max(t, refreshBusyUntil_);
+}
+
+DramAccessTiming
+DramChannel::access(int bank_idx, std::uint64_t row, std::uint32_t bytes,
+                    bool is_write, Cycle earliest)
+{
+    UNISON_ASSERT(bank_idx >= 0 &&
+                      bank_idx < static_cast<int>(banks_.size()),
+                  "bank ", bank_idx, " out of range");
+    UNISON_ASSERT(bytes > 0, "zero-byte DRAM access");
+
+    BankState &bank = banks_[bank_idx];
+    const Cycle start =
+        applyRefresh(std::max(earliest, bank.busyUntil));
+
+    DramAccessTiming result;
+    Cycle col_ready; // earliest cycle the column command may issue
+
+    if (bank.rowOpen(row, openRowWindow_)) {
+        // Row-buffer hit (possibly via the FR-FCFS reordering window):
+        // the column command can go immediately.
+        result.rowHit = true;
+        ++stats_.rowHits;
+        col_ready = start;
+    } else if (!bank.anyOpen(openRowWindow_)) {
+        // Bank idle: activate, then column.
+        ++stats_.rowEmpty;
+        const Cycle act = activateAllowedAt(
+            std::max(start, bank.activatedAt + timing_.rc));
+        noteActivate(act);
+        bank.activatedAt = act;
+        col_ready = act + timing_.rcd;
+        bank.openRowInsert(row, openRowWindow_);
+    } else {
+        // Row conflict: precharge the victim row (respecting tRAS and
+        // read/write-to-precharge), activate the new one, then column.
+        ++stats_.rowConflicts;
+        const Cycle pre = std::max({start,
+                                    bank.activatedAt + timing_.ras,
+                                    bank.prechargeOkAt});
+        const Cycle act = activateAllowedAt(
+            std::max(pre + timing_.rp, bank.activatedAt + timing_.rc));
+        noteActivate(act);
+        bank.activatedAt = act;
+        col_ready = act + timing_.rcd;
+        bank.openRowInsert(row, openRowWindow_);
+    }
+
+    // Data transfer: CAS latency, then the burst on the shared bus.
+    // A write->read direction switch on the bus pays the tWTR
+    // turnaround (writes themselves sit in the controller's write
+    // buffer, so they never gate reads beyond this bus-local penalty).
+    Cycle bus_ready = busFreeAt_;
+    if (!is_write && lastBurstWasWrite_)
+        bus_ready += timing_.wtr;
+    Cycle data_start = std::max(col_ready + timing_.cas, bus_ready);
+    const Cycle burst = timing_.burstCycles(bytes);
+    const Cycle data_end = data_start + burst;
+    busFreeAt_ = data_end;
+    lastBurstWasWrite_ = is_write;
+
+    // Bank bookkeeping: column commands pipeline (tCCD ~ one burst),
+    // so the bank only gates the *next column command*, not the data
+    // return -- successive row-buffer hits stream back to back.
+    bank.busyUntil = col_ready + burst;
+    if (is_write) {
+        bank.prechargeOkAt = data_end + timing_.wr;
+        ++stats_.writes;
+        stats_.bytesWritten += bytes;
+    } else {
+        bank.prechargeOkAt = col_ready + timing_.rtp;
+        ++stats_.reads;
+        stats_.bytesRead += bytes;
+    }
+
+    result.completion = data_end;
+    return result;
+}
+
+} // namespace unison

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * One DRAM channel: per-bank row-buffer state machines, the shared
+ * data bus, and the activate-rate limits (tRRD / tFAW). This is the
+ * timing core of the DRAMSim2 substitute described in DESIGN.md.
+ *
+ * The model is open-page FCFS: requests are timed in the order they
+ * arrive, each respecting bank state, bus occupancy and the activate
+ * windows. Full FR-FCFS reordering is deliberately omitted -- it shifts
+ * absolute latencies slightly but none of the row-hit/row-conflict
+ * behaviour the cache designs are sensitive to.
+ */
+
+#ifndef UNISON_DRAM_CHANNEL_HH
+#define UNISON_DRAM_CHANNEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/timing.hh"
+#include "stats/stats.hh"
+
+namespace unison {
+
+/** Counters kept per channel (aggregated by DramModule). */
+struct DramChannelStats
+{
+    Counter reads;
+    Counter writes;
+    Counter rowHits;
+    Counter rowConflicts;   //!< precharge + activate needed
+    Counter rowEmpty;       //!< activate needed (bank was idle)
+    Counter activations;
+    Counter bytesRead;
+    Counter bytesWritten;
+    Counter refreshes;
+
+    void
+    reset()
+    {
+        reads.reset();
+        writes.reset();
+        rowHits.reset();
+        rowConflicts.reset();
+        rowEmpty.reset();
+        activations.reset();
+        bytesRead.reset();
+        bytesWritten.reset();
+        refreshes.reset();
+    }
+};
+
+/** Result of timing one access through the channel. */
+struct DramAccessTiming
+{
+    Cycle completion = 0; //!< cycle the last data beat arrives
+    bool rowHit = false;  //!< served from the open row buffer
+};
+
+/** One channel with `numBanks` banks behind a shared data bus. */
+class DramChannel
+{
+  public:
+    /**
+     * @param open_row_window rows per bank treated as hittable (the
+     *        FR-FCFS reordering approximation; see DramOrganization).
+     */
+    DramChannel(const DramTimingCpu &timing, int num_banks,
+                int open_row_window = 2);
+
+    /**
+     * Time one column access of `bytes` to (bank, row) no earlier than
+     * `earliest`, updating bank/bus/window state.
+     */
+    DramAccessTiming access(int bank, std::uint64_t row,
+                            std::uint32_t bytes, bool is_write,
+                            Cycle earliest);
+
+    const DramChannelStats &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+
+    /** Cycle at which the data bus becomes free (test hook). */
+    Cycle busFreeAt() const { return busFreeAt_; }
+
+    int numBanks() const { return static_cast<int>(banks_.size()); }
+
+  private:
+    static constexpr std::uint64_t kNoRow = ~0ull;
+    static constexpr int kMaxOpenRowWindow = 4;
+
+    struct BankState
+    {
+        /** Recently-open rows, most recent first. */
+        std::uint64_t openRows[kMaxOpenRowWindow] = {kNoRow, kNoRow,
+                                                     kNoRow, kNoRow};
+        Cycle busyUntil = 0;         //!< next-column-command gate
+        Cycle activatedAt = 0;       //!< last activate (tRAS / tRC)
+        Cycle prechargeOkAt = 0;     //!< earliest precharge (tRTP/tWR)
+
+        bool
+        rowOpen(std::uint64_t row, int window) const
+        {
+            for (int i = 0; i < window; ++i) {
+                if (openRows[i] == row)
+                    return true;
+            }
+            return false;
+        }
+
+        bool
+        anyOpen(int window) const
+        {
+            for (int i = 0; i < window; ++i) {
+                if (openRows[i] != kNoRow)
+                    return true;
+            }
+            return false;
+        }
+
+        void
+        openRowInsert(std::uint64_t row, int window)
+        {
+            for (int i = window - 1; i > 0; --i)
+                openRows[i] = openRows[i - 1];
+            openRows[0] = row;
+        }
+    };
+
+    /** Earliest cycle a new activate may issue channel-wide. */
+    Cycle activateAllowedAt(Cycle t) const;
+
+    /** Apply any refresh windows that elapsed before `t`. */
+    Cycle applyRefresh(Cycle t);
+
+    /** Record an activate for the tRRD/tFAW windows. */
+    void noteActivate(Cycle t);
+
+    DramTimingCpu timing_;
+    int openRowWindow_;
+    std::vector<BankState> banks_;
+    Cycle busFreeAt_ = 0;
+    bool lastBurstWasWrite_ = false; //!< for the tWTR bus turnaround
+    Cycle lastActivate_ = 0;         //!< for tRRD
+    Cycle nextRefreshAt_ = 0;        //!< rank-wide refresh window
+    Cycle refreshBusyUntil_ = 0;
+    Cycle actWindow_[4] = {0, 0, 0, 0}; //!< ring buffer for tFAW
+    int actWindowIdx_ = 0;
+    DramChannelStats stats_;
+};
+
+} // namespace unison
+
+#endif // UNISON_DRAM_CHANNEL_HH

@@ -1,0 +1,81 @@
+#include "dram/dram.hh"
+
+#include "common/logging.hh"
+
+namespace unison {
+
+DramModule::DramModule(const DramOrganization &org,
+                       const DramTimingParams &params)
+    : org_(org), timing_(DramTimingCpu::fromParams(params))
+{
+    UNISON_ASSERT(org_.numChannels >= 1, "pool needs >= 1 channel");
+    channels_.reserve(org_.numChannels);
+    for (int c = 0; c < org_.numChannels; ++c) {
+        channels_.push_back(std::make_unique<DramChannel>(
+            timing_, org_.banksPerChannel, org_.openRowWindow));
+    }
+}
+
+DramAccessTiming
+DramModule::rowAccess(std::uint64_t row_idx, std::uint32_t bytes,
+                      bool is_write, Cycle earliest)
+{
+    const int channel = static_cast<int>(
+        row_idx % static_cast<std::uint64_t>(org_.numChannels));
+    const std::uint64_t per_channel =
+        row_idx / static_cast<std::uint64_t>(org_.numChannels);
+    const int bank = static_cast<int>(
+        per_channel % static_cast<std::uint64_t>(org_.banksPerChannel));
+    const std::uint64_t row =
+        per_channel / static_cast<std::uint64_t>(org_.banksPerChannel);
+    return channels_[channel]->access(bank, row, bytes, is_write,
+                                      earliest);
+}
+
+DramAccessTiming
+DramModule::addrAccess(Addr addr, std::uint32_t bytes, bool is_write,
+                       Cycle earliest)
+{
+    return rowAccess(rowOfAddr(addr), bytes, is_write, earliest);
+}
+
+DramPoolStats
+DramModule::stats() const
+{
+    DramPoolStats agg;
+    for (const auto &ch : channels_) {
+        const DramChannelStats &s = ch->stats();
+        agg.reads += s.reads.value();
+        agg.writes += s.writes.value();
+        agg.rowHits += s.rowHits.value();
+        agg.rowConflicts += s.rowConflicts.value();
+        agg.rowEmpty += s.rowEmpty.value();
+        agg.activations += s.activations.value();
+        agg.bytesRead += s.bytesRead.value();
+        agg.bytesWritten += s.bytesWritten.value();
+        agg.refreshes += s.refreshes.value();
+    }
+    return agg;
+}
+
+void
+DramModule::resetStats()
+{
+    for (auto &ch : channels_)
+        ch->resetStats();
+}
+
+Cycle
+DramModule::unloadedRowHitLatency(std::uint32_t bytes) const
+{
+    return timing_.cas + timing_.burstCycles(bytes);
+}
+
+Cycle
+DramModule::unloadedRowConflictLatency(std::uint32_t bytes) const
+{
+    return timing_.rp + timing_.rcd + timing_.cas +
+           timing_.burstCycles(bytes);
+}
+
+} // namespace unison

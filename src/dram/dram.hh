@@ -1,0 +1,95 @@
+/**
+ * @file
+ * A DRAM pool (stacked or off-chip): a set of channels plus the row
+ * mapping. Cache designs either address it by *global row index* (the
+ * stacked pool, whose layout the cache controls) or by *byte address*
+ * (the off-chip pool, which backs all of physical memory).
+ */
+
+#ifndef UNISON_DRAM_DRAM_HH
+#define UNISON_DRAM_DRAM_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dram/channel.hh"
+#include "dram/timing.hh"
+
+namespace unison {
+
+/** Aggregated statistics across a pool's channels. */
+struct DramPoolStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowConflicts = 0;
+    std::uint64_t rowEmpty = 0;
+    std::uint64_t activations = 0;
+    std::uint64_t bytesRead = 0;
+    std::uint64_t bytesWritten = 0;
+    std::uint64_t refreshes = 0;
+
+    std::uint64_t accesses() const { return reads + writes; }
+
+    double
+    rowHitRatio() const
+    {
+        const std::uint64_t total = rowHits + rowConflicts + rowEmpty;
+        return total ? static_cast<double>(rowHits) / total : 0.0;
+    }
+};
+
+/**
+ * One DRAM pool. Rows are interleaved across channels then banks, so
+ * consecutive row indices spread over the parallel resources exactly
+ * as consecutive DRAM-cache sets should (Sec. III-A.6).
+ */
+class DramModule
+{
+  public:
+    DramModule(const DramOrganization &org, const DramTimingParams &params);
+
+    /**
+     * Time an access to global row `row_idx` (cache-controlled layout,
+     * used by the stacked pool).
+     */
+    DramAccessTiming rowAccess(std::uint64_t row_idx, std::uint32_t bytes,
+                               bool is_write, Cycle earliest);
+
+    /**
+     * Time an access to the row containing byte address `addr`
+     * (memory-controlled layout, used by the off-chip pool).
+     */
+    DramAccessTiming addrAccess(Addr addr, std::uint32_t bytes,
+                                bool is_write, Cycle earliest);
+
+    /** Global row index that backs byte address `addr`. */
+    std::uint64_t
+    rowOfAddr(Addr addr) const
+    {
+        return addr / org_.rowBytes;
+    }
+
+    const DramOrganization &organization() const { return org_; }
+    const DramTimingCpu &timing() const { return timing_; }
+
+    /** Sum the per-channel counters. */
+    DramPoolStats stats() const;
+    void resetStats();
+
+    /** Idealized unloaded read latency for a row-buffer hit/conflict. */
+    Cycle unloadedRowHitLatency(std::uint32_t bytes) const;
+    Cycle unloadedRowConflictLatency(std::uint32_t bytes) const;
+
+  private:
+    DramOrganization org_;
+    DramTimingCpu timing_;
+    std::vector<std::unique_ptr<DramChannel>> channels_;
+};
+
+} // namespace unison
+
+#endif // UNISON_DRAM_DRAM_HH

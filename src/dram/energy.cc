@@ -1,0 +1,51 @@
+#include "dram/energy.hh"
+
+namespace unison {
+
+DramEnergyParams
+offChipDramEnergy()
+{
+    DramEnergyParams p;
+    // Activate + precharge of an 8 KB DDR3 row: ~20 nJ (IDD0-derived
+    // figures for a DDR3-1600 x8 DIMM, as commonly used in
+    // architecture studies).
+    p.activateNj = 20.0;
+    // ~70 pJ/bit end to end (core + I/O): 0.56 nJ per byte.
+    p.readNjPerByte = 0.56;
+    // Writes drive the bus plus write recovery: slightly higher.
+    p.writeNjPerByte = 0.60;
+    p.refreshNj = 30.0;
+    return p;
+}
+
+DramEnergyParams
+stackedDramEnergy()
+{
+    DramEnergyParams p;
+    // Smaller banks and millimeter TSV wires: activation well under
+    // half the DIMM cost.
+    p.activateNj = 8.0;
+    // The published HMC figure: ~10.5 pJ/bit = 0.084 nJ/byte.
+    p.readNjPerByte = 0.084;
+    p.writeNjPerByte = 0.090;
+    p.refreshNj = 12.0;
+    return p;
+}
+
+DramEnergyBreakdown
+computeDynamicEnergy(const DramPoolStats &stats,
+                     const DramEnergyParams &params)
+{
+    DramEnergyBreakdown out;
+    out.activationNj =
+        static_cast<double>(stats.activations) * params.activateNj;
+    out.readNj =
+        static_cast<double>(stats.bytesRead) * params.readNjPerByte;
+    out.writeNj =
+        static_cast<double>(stats.bytesWritten) * params.writeNjPerByte;
+    out.refreshNj =
+        static_cast<double>(stats.refreshes) * params.refreshNj;
+    return out;
+}
+
+} // namespace unison

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Dynamic-energy model for the DRAM pools (Sec. V-D of the paper).
+ *
+ * The paper's energy argument is about *operation counts*, not
+ * absolute joules: page-based designs transfer whole footprints per
+ * off-chip row activation where a block-based design activates a row
+ * for almost every block, so off-chip activation energy drops by
+ * roughly the footprint size. This module turns a pool's operation
+ * counters (activations, bytes moved, refreshes) into a dynamic-energy
+ * breakdown using representative per-operation costs:
+ *
+ *  - off-chip DDR3: ~20 nJ per activate/precharge pair of an 8 KB row
+ *    and ~70 pJ/bit of data movement including I/O (DDR3-1600 DIMM
+ *    figures commonly used in architecture studies);
+ *  - die-stacked DRAM: ~8 nJ per activation (smaller arrays, shorter
+ *    wires) and ~10.5 pJ/bit end to end (the published Hybrid Memory
+ *    Cube figure).
+ *
+ * Absolute values are documented assumptions; every comparison in the
+ * bench suite is a ratio between designs under the *same* parameters,
+ * which is what the paper reports too.
+ */
+
+#ifndef UNISON_DRAM_ENERGY_HH
+#define UNISON_DRAM_ENERGY_HH
+
+#include "dram/dram.hh"
+
+namespace unison {
+
+/** Per-operation dynamic-energy costs of one DRAM pool. */
+struct DramEnergyParams
+{
+    double activateNj = 20.0;     //!< activate+precharge, one 8 KB row
+    double readNjPerByte = 0.56;  //!< data movement incl. I/O
+    double writeNjPerByte = 0.60;
+    double refreshNj = 30.0;      //!< one refresh command
+};
+
+/** Representative DDR3-1600 DIMM costs (off-chip pool). */
+DramEnergyParams offChipDramEnergy();
+
+/** Representative die-stacked DRAM costs (HMC-class). */
+DramEnergyParams stackedDramEnergy();
+
+/** Dynamic energy of one pool over a measurement window, in nJ. */
+struct DramEnergyBreakdown
+{
+    double activationNj = 0.0;
+    double readNj = 0.0;
+    double writeNj = 0.0;
+    double refreshNj = 0.0;
+
+    double
+    totalNj() const
+    {
+        return activationNj + readNj + writeNj + refreshNj;
+    }
+
+    double totalMj() const { return totalNj() * 1e-6; }
+};
+
+/** Apply the per-operation costs to a pool's counters. */
+DramEnergyBreakdown computeDynamicEnergy(const DramPoolStats &stats,
+                                         const DramEnergyParams &params);
+
+} // namespace unison
+
+#endif // UNISON_DRAM_ENERGY_HH

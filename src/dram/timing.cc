@@ -1,0 +1,47 @@
+#include "dram/timing.hh"
+
+namespace unison {
+
+DramTimingParams
+stackedDramTiming()
+{
+    DramTimingParams p;            // Table III values
+    p.clockMhz = 1600.0;           // DDR-like interface at 1.6 GHz
+    p.busBytesPerCycle = 32;       // 128-bit DDR bus: 2 x 16 B / cycle
+    return p;
+}
+
+DramOrganization
+stackedDramOrganization()
+{
+    DramOrganization org;
+    org.name = "stacked";
+    org.numChannels = 4;
+    org.banksPerChannel = 8;
+    org.rowBytes = kRowBytes;
+    return org;
+}
+
+DramTimingParams
+offChipDramTiming()
+{
+    DramTimingParams p;            // DDR3-1600: 800 MHz clock
+    p.clockMhz = 800.0;
+    p.busBytesPerCycle = 16;       // 64-bit DDR bus: 2 x 8 B / cycle
+    return p;
+}
+
+DramOrganization
+offChipDramOrganization()
+{
+    DramOrganization org;
+    org.name = "offchip";
+    org.numChannels = 1;
+    // Table III: 8 banks per rank; a 16-32 GB DDR3 DIMM population is
+    // two ranks, giving 16 scheduler-visible banks on the channel.
+    org.banksPerChannel = 16;
+    org.rowBytes = kRowBytes;
+    return org;
+}
+
+} // namespace unison

@@ -1,0 +1,64 @@
+#include "predictors/miss_predictor.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace unison {
+
+MissPredictor::MissPredictor(const MissPredictorConfig &config)
+    : config_(config)
+{
+    UNISON_ASSERT(config_.numCores >= 1, "miss predictor needs cores");
+    UNISON_ASSERT(isPowerOfTwo(config_.entriesPerCore),
+                  "entriesPerCore must be a power of two");
+    counters_.assign(
+        static_cast<std::size_t>(config_.numCores) *
+            config_.entriesPerCore,
+        config_.initValue);
+}
+
+std::uint64_t
+MissPredictor::index(int core, Pc pc) const
+{
+    UNISON_ASSERT(core >= 0 && core < config_.numCores,
+                  "core ", core, " out of range");
+    const std::uint64_t h =
+        hashCombine(pc, 0x51ed) & (config_.entriesPerCore - 1);
+    return static_cast<std::uint64_t>(core) * config_.entriesPerCore + h;
+}
+
+bool
+MissPredictor::predictHit(int core, Pc pc) const
+{
+    const std::uint8_t counter = counters_[index(core, pc)];
+    return counter > config_.counterMax / 2;
+}
+
+void
+MissPredictor::train(int core, Pc pc, bool predicted_hit, bool actual_hit)
+{
+    std::uint8_t &counter = counters_[index(core, pc)];
+    if (actual_hit) {
+        ++stats_.hitsTotal;
+        if (!predicted_hit)
+            ++stats_.hitsPredictedMiss;
+        if (counter < config_.counterMax)
+            ++counter;
+    } else {
+        ++stats_.missesTotal;
+        if (!predicted_hit)
+            ++stats_.missesPredicted;
+        if (counter > 0)
+            --counter;
+    }
+}
+
+std::uint64_t
+MissPredictor::storageBytes() const
+{
+    // 3-bit counters: 256 entries x 3 bits = 96 B per core.
+    return static_cast<std::uint64_t>(config_.numCores) *
+           config_.entriesPerCore * 3 / 8;
+}
+
+} // namespace unison

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * MAP-I style miss predictor used by the Alloy Cache baseline (from
+ * Qureshi & Loh, MICRO 2012, as adopted in Sec. II-A / IV-C.3).
+ *
+ * A per-core table of 3-bit saturating counters indexed by a hash of
+ * the instruction address. Hits increment, misses decrement; an access
+ * is predicted to hit when the counter's MSB is set. Table II budgets
+ * 96 B per core (256 x 3 bits), 1.5 KB for the 16-core CMP. The
+ * predictor adds one cycle to the lookup path.
+ */
+
+#ifndef UNISON_PREDICTORS_MISS_PREDICTOR_HH
+#define UNISON_PREDICTORS_MISS_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace unison {
+
+struct MissPredictorConfig
+{
+    int numCores = 16;
+    std::uint32_t entriesPerCore = 256;
+    std::uint8_t counterMax = 7;    //!< 3-bit saturating counters
+    std::uint8_t initValue = 7;     //!< start strongly predicting hit
+    Cycle latency = 1;              //!< added cycle (Sec. IV-C.3)
+};
+
+/** Accuracy bookkeeping split the way Table V reports it. */
+struct MissPredictorStats
+{
+    Counter missesPredicted;        //!< actual misses predicted as miss
+    Counter missesTotal;            //!< all actual misses
+    Counter hitsPredictedMiss;      //!< actual hits predicted as miss
+    Counter hitsTotal;              //!< all actual hits
+
+    /** "MP Accuracy": fraction of misses correctly identified. */
+    double
+    accuracyPercent() const
+    {
+        return percent(missesPredicted.value(), missesTotal.value());
+    }
+
+    /**
+     * "MP Overfetch": hits wrongly sent to memory (extra off-chip
+     * fetches), as a fraction of all fetched blocks.
+     */
+    double
+    overfetchPercent() const
+    {
+        return percent(hitsPredictedMiss.value(),
+                       hitsPredictedMiss.value() + missesTotal.value());
+    }
+
+    void
+    reset()
+    {
+        missesPredicted.reset();
+        missesTotal.reset();
+        hitsPredictedMiss.reset();
+        hitsTotal.reset();
+    }
+};
+
+class MissPredictor
+{
+  public:
+    explicit MissPredictor(const MissPredictorConfig &config);
+
+    /** True if this (core, PC) access is predicted to hit. */
+    bool predictHit(int core, Pc pc) const;
+
+    /** Train with the actual outcome and update accuracy counters. */
+    void train(int core, Pc pc, bool predicted_hit, bool actual_hit);
+
+    const MissPredictorConfig &config() const { return config_; }
+    const MissPredictorStats &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+
+    /** Modeled SRAM size in bytes across all cores (Table II check). */
+    std::uint64_t storageBytes() const;
+
+  private:
+    std::uint64_t index(int core, Pc pc) const;
+
+    MissPredictorConfig config_;
+    std::vector<std::uint8_t> counters_;
+    MissPredictorStats stats_;
+};
+
+} // namespace unison
+
+#endif // UNISON_PREDICTORS_MISS_PREDICTOR_HH

@@ -1,0 +1,80 @@
+#include "predictors/singleton_table.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace unison {
+
+SingletonTable::SingletonTable(const SingletonTableConfig &config)
+    : config_(config)
+{
+    UNISON_ASSERT(config_.assoc >= 1, "singleton table assoc >= 1");
+    UNISON_ASSERT(config_.numEntries % config_.assoc == 0,
+                  "singleton entries not divisible by assoc");
+    numSets_ = config_.numEntries / config_.assoc;
+    UNISON_ASSERT(isPowerOfTwo(numSets_),
+                  "singleton set count must be a power of two");
+    entries_.resize(config_.numEntries);
+}
+
+void
+SingletonTable::insert(std::uint64_t page_id, Pc pc, std::uint32_t offset,
+                       std::uint32_t first_block)
+{
+    ++stats_.inserts;
+    const std::uint64_t set = hashCombine(page_id, 0) & (numSets_ - 1);
+    Entry *base = &entries_[set * config_.assoc];
+
+    // Reuse an existing entry for the same page, else invalid, else LRU.
+    Entry *slot = base;
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        if (base[w].valid && base[w].pageId == page_id) {
+            slot = &base[w];
+            break;
+        }
+        if (!base[w].valid) {
+            slot = &base[w];
+            break;
+        }
+        if (base[w].lastUse < slot->lastUse)
+            slot = &base[w];
+    }
+
+    slot->valid = true;
+    slot->pageId = page_id;
+    slot->pc = pc;
+    slot->offset = offset;
+    slot->firstBlock = first_block;
+    slot->lastUse = ++useCounter_;
+}
+
+bool
+SingletonTable::checkAndRemove(std::uint64_t page_id, Pc &pc_out,
+                               std::uint32_t &offset_out,
+                               std::uint32_t &first_block_out)
+{
+    const std::uint64_t set = hashCombine(page_id, 0) & (numSets_ - 1);
+    Entry *base = &entries_[set * config_.assoc];
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.pageId == page_id) {
+            pc_out = e.pc;
+            offset_out = e.offset;
+            first_block_out = e.firstBlock;
+            e.valid = false;
+            ++stats_.promotions;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::uint64_t
+SingletonTable::storageBytes() const
+{
+    // Page tag (~48 bits) + PC hash (32) + offset (5) + first block (5)
+    // + LRU (2): ~92 bits ~= 12 bytes per entry -> 3 KB at 256 entries.
+    return config_.numEntries * 12;
+}
+
+} // namespace unison

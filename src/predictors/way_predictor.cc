@@ -1,0 +1,53 @@
+#include "predictors/way_predictor.hh"
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace unison {
+
+WayPredictor::WayPredictor(std::uint32_t index_bits, std::uint32_t assoc)
+    : indexBits_(index_bits), assoc_(assoc)
+{
+    UNISON_ASSERT(index_bits >= 4 && index_bits <= 24,
+                  "way predictor index bits out of range: ", index_bits);
+    UNISON_ASSERT(assoc >= 1, "way predictor for assoc 0");
+    table_.assign(1ull << indexBits_, 0);
+}
+
+std::uint32_t
+WayPredictor::predict(std::uint64_t page_id) const
+{
+    if (assoc_ <= 1)
+        return 0;
+    const std::uint64_t idx = xorFold(page_id, indexBits_);
+    return table_[idx] % assoc_;
+}
+
+void
+WayPredictor::train(std::uint64_t page_id, std::uint32_t way)
+{
+    if (assoc_ <= 1)
+        return;
+    UNISON_ASSERT(way < assoc_, "training with way ", way,
+                  " >= assoc ", assoc_);
+    const std::uint64_t idx = xorFold(page_id, indexBits_);
+    table_[idx] = static_cast<std::uint8_t>(way);
+}
+
+std::uint32_t
+WayPredictor::indexBitsForCapacity(std::uint64_t cache_bytes)
+{
+    return cache_bytes > 4_GiB ? 16 : 12;
+}
+
+std::uint64_t
+WayPredictor::storageBytes() const
+{
+    // ceil(log2(assoc)) bits per entry; the paper's 4-way points use 2.
+    std::uint32_t bits = 1;
+    while ((1u << bits) < assoc_)
+        ++bits;
+    return (table_.size() * bits + 7) / 8;
+}
+
+} // namespace unison

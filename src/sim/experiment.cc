@@ -1,0 +1,139 @@
+#include "sim/experiment.hh"
+
+#include <algorithm>
+
+#include "baselines/alloy_cache.hh"
+#include "baselines/footprint_cache.hh"
+#include "baselines/ideal_cache.hh"
+#include "baselines/lohhill_cache.hh"
+#include "baselines/naive_block_fp.hh"
+#include "baselines/naive_tagged_page.hh"
+#include "baselines/no_cache.hh"
+#include "common/logging.hh"
+#include "trace/workload.hh"
+
+namespace unison {
+
+std::string
+designName(DesignKind kind)
+{
+    switch (kind) {
+      case DesignKind::Unison:
+        return "Unison Cache";
+      case DesignKind::Alloy:
+        return "Alloy Cache";
+      case DesignKind::Footprint:
+        return "Footprint Cache";
+      case DesignKind::LohHill:
+        return "Loh-Hill Cache";
+      case DesignKind::NaiveBlockFp:
+        return "Naive block+FP";
+      case DesignKind::NaiveTaggedPage:
+        return "Naive tagged-page";
+      case DesignKind::Ideal:
+        return "Ideal";
+      case DesignKind::NoDramCache:
+        return "No DRAM cache";
+    }
+    panic("unknown design kind");
+}
+
+std::uint64_t
+defaultAccessCount(std::uint64_t capacity_bytes, bool quick)
+{
+    // Empirical fill model: a trigger miss installs ~10 blocks and
+    // roughly one CPU reference in twenty causes one, so steady state
+    // needs a few references per cached block. Bounded so the largest
+    // configurations stay tractable on a laptop.
+    const std::uint64_t blocks = capacity_bytes / kBlockBytes;
+    std::uint64_t n = blocks * 8;
+    n = std::clamp<std::uint64_t>(n, 8'000'000, 150'000'000);
+    if (quick)
+        n /= 8;
+    return n;
+}
+
+CacheFactory
+makeCacheFactory(const ExperimentSpec &spec)
+{
+    switch (spec.design) {
+      case DesignKind::Unison:
+        return [spec](DramModule *offchip) -> std::unique_ptr<DramCache> {
+            UnisonConfig cfg;
+            cfg.capacityBytes = spec.capacityBytes;
+            cfg.pageBlocks = spec.unisonPageBlocks;
+            cfg.assoc = spec.unisonAssoc;
+            cfg.wayPolicy = spec.unisonWayPolicy;
+            cfg.missPolicy = spec.unisonMissPolicy;
+            cfg.footprintPredictionEnabled = spec.footprintPrediction;
+            cfg.singletonEnabled = spec.singletonPrediction;
+            cfg.numCores = spec.system.numCores;
+            return std::make_unique<UnisonCache>(cfg, offchip);
+        };
+      case DesignKind::Alloy:
+        return [spec](DramModule *offchip) -> std::unique_ptr<DramCache> {
+            AlloyConfig cfg;
+            cfg.capacityBytes = spec.capacityBytes;
+            cfg.missPredictorEnabled = spec.alloyMissPredictor;
+            cfg.numCores = spec.system.numCores;
+            return std::make_unique<AlloyCache>(cfg, offchip);
+        };
+      case DesignKind::Footprint:
+        return [spec](DramModule *offchip) -> std::unique_ptr<DramCache> {
+            FootprintCacheConfig cfg;
+            cfg.capacityBytes = spec.capacityBytes;
+            cfg.footprintPredictionEnabled = spec.footprintPrediction;
+            cfg.singletonEnabled = spec.singletonPrediction;
+            return std::make_unique<FootprintCache>(cfg, offchip);
+        };
+      case DesignKind::LohHill:
+        return [spec](DramModule *offchip) -> std::unique_ptr<DramCache> {
+            LohHillConfig cfg;
+            cfg.capacityBytes = spec.capacityBytes;
+            return std::make_unique<LohHillCache>(cfg, offchip);
+        };
+      case DesignKind::NaiveBlockFp:
+        return [spec](DramModule *offchip) -> std::unique_ptr<DramCache> {
+            NaiveBlockFpConfig cfg;
+            cfg.capacityBytes = spec.capacityBytes;
+            cfg.footprintPredictionEnabled = spec.footprintPrediction;
+            return std::make_unique<NaiveBlockFpCache>(cfg, offchip);
+        };
+      case DesignKind::NaiveTaggedPage:
+        return [spec](DramModule *offchip) -> std::unique_ptr<DramCache> {
+            NaiveTaggedPageConfig cfg;
+            cfg.capacityBytes = spec.capacityBytes;
+            cfg.footprintPredictionEnabled = spec.footprintPrediction;
+            return std::make_unique<NaiveTaggedPageCache>(cfg, offchip);
+        };
+      case DesignKind::Ideal:
+        return [spec](DramModule *offchip) -> std::unique_ptr<DramCache> {
+            IdealConfig cfg;
+            cfg.capacityBytes = spec.capacityBytes;
+            return std::make_unique<IdealCache>(cfg, offchip);
+        };
+      case DesignKind::NoDramCache:
+        return [](DramModule *offchip) -> std::unique_ptr<DramCache> {
+            return std::make_unique<NoCache>(offchip);
+        };
+    }
+    panic("unknown design kind");
+}
+
+SimResult
+runExperiment(const ExperimentSpec &spec)
+{
+    WorkloadParams params = workloadParams(spec.workload);
+    params.numCores = spec.system.numCores;
+    SyntheticWorkload workload(params, spec.seed);
+
+    System system(spec.system, makeCacheFactory(spec));
+
+    const std::uint64_t n =
+        spec.accesses != 0
+            ? spec.accesses
+            : defaultAccessCount(spec.capacityBytes, spec.quick);
+    return system.run(workload, n);
+}
+
+} // namespace unison

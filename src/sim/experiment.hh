@@ -1,0 +1,77 @@
+/**
+ * @file
+ * One-call experiment runner shared by all bench harnesses and the
+ * examples: pick a workload preset, a design, a capacity and optional
+ * ablation knobs, and get back a SimResult.
+ */
+
+#ifndef UNISON_SIM_EXPERIMENT_HH
+#define UNISON_SIM_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/unison_cache.hh"
+#include "sim/system.hh"
+#include "trace/presets.hh"
+
+namespace unison {
+
+/** The designs the paper evaluates. */
+enum class DesignKind
+{
+    Unison,
+    Alloy,
+    Footprint,
+    LohHill,  //!< Loh & Hill MICRO'11 (Sec. II-A discussion baseline)
+    NaiveBlockFp,     //!< Sec. III-B.1 rejected design (Fig. 4a)
+    NaiveTaggedPage,  //!< Sec. III-B.2 rejected design (Fig. 4b)
+    Ideal,
+    NoDramCache,
+};
+
+std::string designName(DesignKind kind);
+
+/** Full experiment specification. */
+struct ExperimentSpec
+{
+    Workload workload = Workload::WebServing;
+    DesignKind design = DesignKind::Unison;
+    std::uint64_t capacityBytes = 1_GiB;
+
+    /** Unison knobs (ignored by other designs). */
+    std::uint32_t unisonPageBlocks = 15;
+    std::uint32_t unisonAssoc = 4;
+    UnisonWayPolicy unisonWayPolicy = UnisonWayPolicy::Predict;
+    UnisonMissPolicy unisonMissPolicy = UnisonMissPolicy::AlwaysHit;
+    bool footprintPrediction = true;  //!< Unison & Footprint designs
+    bool singletonPrediction = true;  //!< Unison & Footprint designs
+
+    /** Alloy knob. */
+    bool alloyMissPredictor = true;
+
+    /** Simulation length: 0 = auto-scale with capacity. */
+    std::uint64_t accesses = 0;
+
+    /** Divide the auto-scaled length by 8 (CI/quick mode). */
+    bool quick = false;
+
+    std::uint64_t seed = 42;
+    SystemConfig system{};
+};
+
+/**
+ * References needed to warm a cache of this capacity to steady state
+ * under the synthetic workloads (empirical fill-rate model).
+ */
+std::uint64_t defaultAccessCount(std::uint64_t capacity_bytes, bool quick);
+
+/** Build the cache factory for a spec (used by System). */
+CacheFactory makeCacheFactory(const ExperimentSpec &spec);
+
+/** Run the experiment end to end. */
+SimResult runExperiment(const ExperimentSpec &spec);
+
+} // namespace unison
+
+#endif // UNISON_SIM_EXPERIMENT_HH

@@ -1,0 +1,207 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "baselines/alloy_cache.hh"
+#include "core/unison_cache.hh"
+
+namespace unison {
+
+System::System(const SystemConfig &config, const CacheFactory &factory)
+    : config_(config),
+      offchip_(std::make_unique<DramModule>(config.offchipOrg,
+                                            config.offchipTiming)),
+      hierarchy_(std::make_unique<CacheHierarchy>(config.numCores,
+                                                  config.hierarchy))
+{
+    UNISON_ASSERT(config_.numCores >= 1, "system needs cores");
+    UNISON_ASSERT(config_.maxOutstandingMisses >= 1,
+                  "need at least one outstanding miss");
+    cache_ = factory(offchip_.get());
+    UNISON_ASSERT(cache_ != nullptr, "cache factory returned null");
+}
+
+void
+System::resetAllStats()
+{
+    hierarchy_->resetStats();
+    cache_->resetStats();
+    offchip_->resetStats();
+}
+
+SimResult
+System::run(AccessSource &source, std::uint64_t total_accesses)
+{
+    UNISON_ASSERT(total_accesses > 0, "empty simulation");
+    UNISON_ASSERT(source.numCores() <= config_.numCores,
+                  "trace has more cores than the system");
+
+    std::vector<double> core_time(config_.numCores, 0.0);
+
+    // Per-core ring of in-flight DRAM-level load completions: issuing
+    // beyond maxOutstandingMisses stalls until the oldest resolves.
+    const int window = config_.maxOutstandingMisses;
+    std::vector<std::vector<double>> inflight(
+        config_.numCores, std::vector<double>(window, 0.0));
+    std::vector<int> inflight_head(config_.numCores, 0);
+
+    const std::uint64_t warm_count = static_cast<std::uint64_t>(
+        static_cast<double>(total_accesses) * config_.warmFraction);
+
+    std::uint64_t measured_instrs = 0;
+    std::uint64_t measured_refs = 0;
+    std::vector<double> warm_base(config_.numCores, 0.0);
+
+    // Demand DRAM-cache latency bookkeeping (reads reaching it).
+    double dc_latency_sum = 0.0;
+    std::uint64_t dc_latency_samples = 0;
+    double miss_latency_sum = 0.0;
+    std::uint64_t miss_latency_samples = 0;
+
+    const int src_cores = source.numCores();
+    MemoryAccess acc;
+    for (std::uint64_t i = 0; i < total_accesses; ++i) {
+        // Min-time scheduling: always advance the core whose clock is
+        // furthest behind, so DRAM requests arrive in near-global time
+        // order and queueing behaves realistically.
+        int core = 0;
+        for (int c = 1; c < src_cores; ++c) {
+            if (core_time[c] < core_time[core])
+                core = c;
+        }
+        if (!source.next(core, acc)) {
+            // Finite sources (trace files) may drain one core's stream
+            // slightly before the requested total: stop measuring.
+            if (i == 0)
+                fatal("access source produced no references");
+            break;
+        }
+        acc.core = static_cast<std::uint8_t>(core);
+
+        double &now = core_time[acc.core];
+        now += acc.instrsBefore * config_.cpiBase;
+
+        const HierarchyOutcome outcome =
+            hierarchy_->access(acc.core, acc.addr, acc.isWrite);
+
+        if (outcome.level == HierarchyOutcome::Level::Beyond) {
+            DramCacheRequest req;
+            req.addr = acc.addr;
+            req.pc = acc.pc;
+            req.core = acc.core;
+            req.isWrite = acc.isWrite;
+            req.cycle = static_cast<Cycle>(now) + outcome.sramLatency;
+
+            const DramCacheResult res = cache_->access(req);
+            const double dram_latency =
+                static_cast<double>(res.doneAt - req.cycle);
+            if (!acc.isWrite) {
+                dc_latency_sum += dram_latency;
+                ++dc_latency_samples;
+                if (!res.hit) {
+                    miss_latency_sum += dram_latency;
+                    ++miss_latency_samples;
+                }
+                // Overlap the miss with up to `window` others: stall
+                // only when the MSHR window is exhausted.
+                auto &ring = inflight[acc.core];
+                int &head = inflight_head[acc.core];
+                const double completion =
+                    static_cast<double>(res.doneAt);
+                now = std::max(now + outcome.sramLatency, ring[head]);
+                ring[head] = completion;
+                head = (head + 1) % window;
+            }
+        } else if (!acc.isWrite) {
+            now += outcome.sramLatency;
+        }
+
+        // Dirty SRAM victims flow down to the DRAM-cache level too.
+        for (int w = 0; w < outcome.numWritebacks; ++w) {
+            DramCacheRequest wb;
+            wb.addr = outcome.writebackAddr[w];
+            wb.pc = acc.pc;
+            wb.core = acc.core;
+            wb.isWrite = true;
+            wb.cycle = static_cast<Cycle>(now) + outcome.sramLatency;
+            cache_->access(wb);
+        }
+
+        if (acc.isWrite) {
+            // Stores retire through the store buffer: charge only the
+            // L1 issue slot.
+            now += 1.0;
+        }
+
+        if (i + 1 == warm_count) {
+            resetAllStats();
+            warm_base = core_time;
+            dc_latency_sum = 0.0;
+            dc_latency_samples = 0;
+            miss_latency_sum = 0.0;
+            miss_latency_samples = 0;
+            measured_instrs = 0;
+            measured_refs = 0;
+        }
+        measured_instrs += acc.instrsBefore + 1;
+        ++measured_refs;
+    }
+
+    SimResult result;
+    result.designName = cache_->name();
+
+    double max_elapsed = 0.0;
+    for (int c = 0; c < config_.numCores; ++c)
+        max_elapsed = std::max(max_elapsed, core_time[c] - warm_base[c]);
+    result.cycles = static_cast<Cycle>(max_elapsed);
+    result.instructions = measured_instrs;
+    result.references = measured_refs;
+    result.uipc = max_elapsed > 0.0
+                      ? static_cast<double>(measured_instrs) /
+                            (max_elapsed * config_.numCores)
+                      : 0.0;
+
+    // SRAM hierarchy miss rates (aggregated over cores for L1).
+    std::uint64_t l1_acc = 0, l1_miss = 0;
+    for (int c = 0; c < config_.numCores; ++c) {
+        l1_acc += hierarchy_->l1(c).stats().accesses.value();
+        l1_miss += hierarchy_->l1(c).stats().misses.value();
+    }
+    result.l1MissPercent = percent(l1_miss, l1_acc);
+    result.l2MissPercent =
+        percent(hierarchy_->l2().stats().misses.value(),
+                hierarchy_->l2().stats().accesses.value());
+
+    result.cache = cache_->stats();
+    result.offchip = offchip_->stats();
+    if (cache_->stackedDram() != nullptr)
+        result.stacked = cache_->stackedDram()->stats();
+
+    result.avgDramCacheLatency =
+        dc_latency_samples ? dc_latency_sum / dc_latency_samples : 0.0;
+    result.avgMemLatency =
+        miss_latency_samples ? miss_latency_sum / miss_latency_samples
+                             : 0.0;
+
+    if (auto *uc = dynamic_cast<UnisonCache *>(cache_.get())) {
+        result.wpAccuracyPercent =
+            uc->wayPredictorStats().accuracyPercent();
+        if (uc->missPredictor() != nullptr) {
+            result.mpAccuracyPercent =
+                uc->missPredictor()->stats().accuracyPercent();
+            result.mpOverfetchPercent =
+                uc->missPredictor()->stats().overfetchPercent();
+        }
+    } else if (auto *ac = dynamic_cast<AlloyCache *>(cache_.get())) {
+        if (ac->missPredictor() != nullptr) {
+            result.mpAccuracyPercent =
+                ac->missPredictor()->stats().accuracyPercent();
+            result.mpOverfetchPercent =
+                ac->missPredictor()->stats().overfetchPercent();
+        }
+    }
+    return result;
+}
+
+} // namespace unison

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The full-system timing model: 16 cores playing back an access trace
+ * through private L1s, the shared L2, the DRAM cache under study, and
+ * the shared off-chip DDR3 channel.
+ *
+ * Core model: trace-driven with a base CPI for non-memory instructions
+ * and a memory-level-parallelism factor that overlaps load stalls --
+ * the standard trace-driven stand-in for the paper's 3-way OoO cores.
+ * The performance metric is user instructions per cycle (UIPC), the
+ * throughput proxy the paper adopts from SimFlex; speedups divide
+ * UIPCs. Warm-up follows the paper: the first fraction of the trace
+ * only warms state, then all statistics reset and measurement covers
+ * the remainder.
+ */
+
+#ifndef UNISON_SIM_SYSTEM_HH
+#define UNISON_SIM_SYSTEM_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "core/dram_cache.hh"
+#include "dram/dram.hh"
+#include "dram/timing.hh"
+#include "trace/access.hh"
+
+namespace unison {
+
+/** Core/system timing knobs (Table III-derived defaults). */
+struct SystemConfig
+{
+    int numCores = 16;
+    HierarchyConfig hierarchy{};
+    DramOrganization offchipOrg = offChipDramOrganization();
+    DramTimingParams offchipTiming = offChipDramTiming();
+
+    /** Cycles per non-memory instruction (server-workload CPI on a modest 3-way OoO core). */
+    double cpiBase = 2.0;
+
+    /**
+     * Outstanding DRAM-level loads a core can overlap (MSHR / OoO
+     * window limit). The core stalls only when it would exceed this,
+     * which keeps injection self-throttled under saturation.
+     */
+    int maxOutstandingMisses = 4;
+
+    /** Fraction of the trace used for warm-up (paper: two thirds). */
+    double warmFraction = 2.0 / 3.0;
+};
+
+/** Everything a bench needs from one simulation. */
+struct SimResult
+{
+    std::string designName;
+
+    std::uint64_t instructions = 0;
+    Cycle cycles = 0;          //!< max per-core measured cycles
+    double uipc = 0.0;         //!< instructions / (cycles * cores)
+
+    std::uint64_t references = 0;  //!< measured CPU references
+    double l1MissPercent = 0.0;
+    double l2MissPercent = 0.0;
+
+    DramCacheStats cache;      //!< snapshot of the design's counters
+    DramPoolStats offchip;
+    DramPoolStats stacked;
+
+    double avgDramCacheLatency = 0.0; //!< cycles, demand reads
+    double avgMemLatency = 0.0;       //!< for misses, cycles
+
+    /** Predictor accuracies (zero when not applicable). */
+    double wpAccuracyPercent = 0.0;
+    double mpAccuracyPercent = 0.0;
+    double mpOverfetchPercent = 0.0;
+
+    double
+    missRatioPercent() const
+    {
+        return cache.missRatioPercent();
+    }
+};
+
+/** Builds the DRAM cache once the system's memory pool exists. */
+using CacheFactory =
+    std::function<std::unique_ptr<DramCache>(DramModule *offchip)>;
+
+/** The assembled machine: cores, SRAM hierarchy, the DRAM cache
+ *  under study and the shared off-chip channel. */
+class System
+{
+  public:
+    System(const SystemConfig &config, const CacheFactory &factory);
+
+    /**
+     * Play `total_accesses` references from `source` through the
+     * system; the first warmFraction of them only warm state.
+     */
+    SimResult run(AccessSource &source, std::uint64_t total_accesses);
+
+    DramCache &cache() { return *cache_; }
+    DramModule &offchip() { return *offchip_; }
+    CacheHierarchy &hierarchy() { return *hierarchy_; }
+    const SystemConfig &config() const { return config_; }
+
+  private:
+    void resetAllStats();
+
+    SystemConfig config_;
+    std::unique_ptr<DramModule> offchip_;
+    std::unique_ptr<DramCache> cache_;
+    std::unique_ptr<CacheHierarchy> hierarchy_;
+};
+
+} // namespace unison
+
+#endif // UNISON_SIM_SYSTEM_HH

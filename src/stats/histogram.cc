@@ -1,0 +1,92 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace unison {
+
+Histogram::Histogram(std::uint64_t max, std::uint32_t buckets)
+    : max_(max), width_((max + buckets - 1) / buckets), counts_(buckets, 0)
+{
+    UNISON_ASSERT(max > 0 && buckets > 0, "empty histogram geometry");
+    if (width_ == 0)
+        width_ = 1;
+}
+
+void
+Histogram::record(std::uint64_t sample)
+{
+    ++samples_;
+    sum_ += static_cast<double>(sample);
+    if (sample >= max_) {
+        ++overflow_;
+        return;
+    }
+    std::uint64_t idx = sample / width_;
+    if (idx >= counts_.size())
+        idx = counts_.size() - 1;
+    ++counts_[idx];
+}
+
+double
+Histogram::mean() const
+{
+    return samples_ ? sum_ / static_cast<double>(samples_) : 0.0;
+}
+
+std::uint64_t
+Histogram::quantile(double q) const
+{
+    if (samples_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    const std::uint64_t target = static_cast<std::uint64_t>(
+        q * static_cast<double>(samples_));
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        running += counts_[i];
+        if (running >= target)
+            return (i + 1) * width_;
+    }
+    return max_;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    overflow_ = 0;
+    samples_ = 0;
+    sum_ = 0.0;
+}
+
+std::string
+Histogram::render(std::uint32_t max_width) const
+{
+    std::uint64_t peak = overflow_;
+    for (auto c : counts_)
+        peak = std::max(peak, c);
+    if (peak == 0)
+        peak = 1;
+
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const std::uint64_t lo = i * width_;
+        const std::uint64_t hi = lo + width_;
+        const std::uint32_t bar = static_cast<std::uint32_t>(
+            counts_[i] * max_width / peak);
+        oss << "[" << lo << ", " << hi << ") "
+            << std::string(bar, '#') << " " << counts_[i] << "\n";
+    }
+    if (overflow_ > 0) {
+        const std::uint32_t bar = static_cast<std::uint32_t>(
+            overflow_ * max_width / peak);
+        oss << "[" << max_ << ", inf) " << std::string(bar, '#') << " "
+            << overflow_ << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace unison

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fixed-bucket histogram for latency/occupancy distributions, used by
+ * the examples and the micro-benchmarks to show latency shapes.
+ */
+
+#ifndef UNISON_STATS_HISTOGRAM_HH
+#define UNISON_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace unison {
+
+/**
+ * Linear-bucket histogram over [0, max); samples beyond the range land
+ * in the overflow bucket.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param max upper bound of the tracked range (exclusive)
+     * @param buckets number of equal-width buckets
+     */
+    Histogram(std::uint64_t max, std::uint32_t buckets);
+
+    void record(std::uint64_t sample);
+
+    std::uint64_t samples() const { return samples_; }
+    std::uint64_t overflow() const { return overflow_; }
+    double mean() const;
+
+    /** Smallest sample value v such that quantile() of samples <= v. */
+    std::uint64_t quantile(double q) const;
+
+    /** Count in bucket i. */
+    std::uint64_t bucketCount(std::uint32_t i) const { return counts_[i]; }
+    std::uint32_t numBuckets() const
+    {
+        return static_cast<std::uint32_t>(counts_.size());
+    }
+    std::uint64_t bucketWidth() const { return width_; }
+
+    void reset();
+
+    /** Multi-line ASCII rendering for example programs. */
+    std::string render(std::uint32_t max_width = 50) const;
+
+  private:
+    std::uint64_t max_;
+    std::uint64_t width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t samples_ = 0;
+    double sum_ = 0.0;
+};
+
+} // namespace unison
+
+#endif // UNISON_STATS_HISTOGRAM_HH

@@ -1,0 +1,15 @@
+#include "stats/stats.hh"
+
+#include <cstdio>
+
+namespace unison {
+
+std::string
+formatDouble(double v, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+} // namespace unison

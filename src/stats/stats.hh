@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Lightweight statistics primitives: named counters with reset support
+ * (for warm-up handling), ratio helpers, and scalar accumulators.
+ *
+ * Every model in the simulator keeps its statistics in plain Counter
+ * members grouped in a *Stats struct; the System resets them at the end
+ * of the warm-up phase so that reported numbers cover only the measured
+ * window, mirroring the paper's SimFlex-style warm/measure methodology.
+ */
+
+#ifndef UNISON_STATS_STATS_HH
+#define UNISON_STATS_STATS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace unison {
+
+/** A monotonically increasing event counter that can be snapshotted. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+    void operator+=(std::uint64_t n) { value_ += n; }
+
+    /** Value accumulated since the last reset(). */
+    std::uint64_t value() const { return value_; }
+
+    /** Forget everything counted so far (warm-up boundary). */
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Accumulator for averaged quantities (e.g. latency sums). */
+class Average
+{
+  public:
+    void
+    record(double sample)
+    {
+        sum_ += sample;
+        ++count_;
+    }
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    std::uint64_t samples() const { return count_; }
+
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        count_ = 0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/** Safe x/y with a 0 fallback for empty denominators. */
+inline double
+ratio(std::uint64_t num, std::uint64_t den)
+{
+    return den == 0 ? 0.0 : static_cast<double>(num) /
+                                static_cast<double>(den);
+}
+
+/** Ratio expressed in percent. */
+inline double
+percent(std::uint64_t num, std::uint64_t den)
+{
+    return 100.0 * ratio(num, den);
+}
+
+/** Format a double with fixed precision (helper for table cells). */
+std::string formatDouble(double v, int precision = 2);
+
+} // namespace unison
+
+#endif // UNISON_STATS_STATS_HH

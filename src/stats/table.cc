@@ -1,0 +1,108 @@
+#include "stats/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "stats/stats.hh"
+
+namespace unison {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    UNISON_ASSERT(!headers_.empty(), "table with no columns");
+}
+
+void
+Table::beginRow()
+{
+    rows_.emplace_back();
+    rows_.back().reserve(headers_.size());
+}
+
+void
+Table::add(const std::string &cell)
+{
+    UNISON_ASSERT(!rows_.empty(), "add() before beginRow()");
+    UNISON_ASSERT(rows_.back().size() < headers_.size(),
+                  "row has more cells than headers");
+    rows_.back().push_back(cell);
+}
+
+void
+Table::add(double v, int precision)
+{
+    add(formatDouble(v, precision));
+}
+
+void
+Table::add(std::uint64_t v)
+{
+    add(std::to_string(v));
+}
+
+void
+Table::add(std::int64_t v)
+{
+    add(std::to_string(v));
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream oss;
+    auto emitRow = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            oss << (c == 0 ? "" : "  ");
+            oss << cell << std::string(widths[c] - cell.size(), ' ');
+        }
+        oss << "\n";
+    };
+
+    emitRow(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c == 0 ? 0 : 2);
+    oss << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emitRow(row);
+    return oss.str();
+}
+
+std::string
+Table::toCsv() const
+{
+    std::ostringstream oss;
+    auto emitRow = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            if (c > 0)
+                oss << ",";
+            if (c < cells.size())
+                oss << cells[c];
+        }
+        oss << "\n";
+    };
+    emitRow(headers_);
+    for (const auto &row : rows_)
+        emitRow(row);
+    return oss.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(toString().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+} // namespace unison

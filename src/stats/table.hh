@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Plain-text table formatter. The bench binaries use it to print rows
+ * shaped like the paper's tables and figure series, and it can also
+ * emit CSV for plotting.
+ */
+
+#ifndef UNISON_STATS_TABLE_HH
+#define UNISON_STATS_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace unison {
+
+/**
+ * A simple column-aligned table. Columns are declared up front; rows
+ * are appended cell-by-cell with typed helpers.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent add* calls fill it left to right. */
+    void beginRow();
+
+    void add(const std::string &cell);
+    void add(double v, int precision = 2);
+    void add(std::uint64_t v);
+    void add(std::int64_t v);
+    void add(int v) { add(static_cast<std::int64_t>(v)); }
+
+    /** Render as an aligned text table. */
+    std::string toString() const;
+
+    /** Render as CSV (RFC-4180-ish, no quoting of commas needed here). */
+    std::string toCsv() const;
+
+    /** Convenience: print toString() to stdout. */
+    void print() const;
+
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace unison
+
+#endif // UNISON_STATS_TABLE_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The memory-reference record that flows from a workload (synthetic or
+ * trace file) into the simulated memory hierarchy, and the abstract
+ * source interface both implement.
+ */
+
+#ifndef UNISON_TRACE_ACCESS_HH
+#define UNISON_TRACE_ACCESS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace unison {
+
+/**
+ * One memory reference as seen by a core's load/store unit.
+ *
+ * The stream is interleaved across cores; `instrsBefore` is the number
+ * of (non-memory) instructions the issuing core executed since its
+ * previous reference, which the timing model converts into compute
+ * cycles. This is the standard trace-driven contract the paper's Flexus
+ * traces provide.
+ */
+struct MemoryAccess
+{
+    Addr addr = 0;                 //!< physical byte address
+    Pc pc = 0;                     //!< issuing instruction address
+    std::uint16_t instrsBefore = 0;//!< instructions since core's last ref
+    std::uint8_t core = 0;         //!< issuing core id
+    bool isWrite = false;          //!< store (true) or load (false)
+};
+
+/**
+ * Anything that can produce per-core streams of MemoryAccess records:
+ * the synthetic workload models, or a trace file reader.
+ *
+ * The timing model pulls the next reference *for a specific core* (the
+ * one whose clock is furthest behind), which keeps the per-core clocks
+ * synchronized -- the standard discipline for multi-core trace-driven
+ * simulation.
+ */
+class AccessSource
+{
+  public:
+    virtual ~AccessSource() = default;
+
+    /**
+     * Produce core `core`'s next reference.
+     * @return false when that core's stream is exhausted (synthetic
+     *         sources never are).
+     */
+    virtual bool next(int core, MemoryAccess &out) = 0;
+
+    /** Number of cores the source provides streams for. */
+    virtual int numCores() const = 0;
+};
+
+} // namespace unison
+
+#endif // UNISON_TRACE_ACCESS_HH

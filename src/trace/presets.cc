@@ -1,0 +1,228 @@
+#include "trace/presets.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace unison {
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    static const std::vector<Workload> kAll = {
+        Workload::DataAnalytics,   Workload::DataServing,
+        Workload::SoftwareTesting, Workload::WebSearch,
+        Workload::WebServing,      Workload::TpchQueries,
+    };
+    return kAll;
+}
+
+const std::vector<Workload> &
+cloudSuiteWorkloads()
+{
+    static const std::vector<Workload> kCloud = {
+        Workload::DataAnalytics,   Workload::DataServing,
+        Workload::SoftwareTesting, Workload::WebSearch,
+        Workload::WebServing,
+    };
+    return kCloud;
+}
+
+std::string
+workloadName(Workload w)
+{
+    switch (w) {
+      case Workload::DataAnalytics:
+        return "Data Analytics";
+      case Workload::DataServing:
+        return "Data Serving";
+      case Workload::SoftwareTesting:
+        return "Software Testing";
+      case Workload::WebSearch:
+        return "Web Search";
+      case Workload::WebServing:
+        return "Web Serving";
+      case Workload::TpchQueries:
+        return "TPC-H Queries";
+    }
+    panic("unknown workload enum");
+}
+
+WorkloadParams
+workloadParams(Workload w)
+{
+    WorkloadParams p;
+    p.name = workloadName(w);
+
+    switch (w) {
+      case Workload::DataAnalytics:
+        // Map-Reduce: pointer-intensive hash-table lookups, the lowest
+        // spatial locality in the suite (Sec. V-B); many singletons;
+        // the gap between block- and page-based designs is smallest.
+        p.datasetBytes = 8_GiB;
+        p.meanFootprintBlocks = 6.0;
+        p.footprintStddev = 4.0;
+        p.contiguousFraction = 0.20;
+        p.scanStretchMean = 1.0;
+        p.singletonFunctionFraction = 0.25;
+        p.pointerChaseFraction = 0.18;
+        p.footprintNoiseDrop = 0.04;
+        p.footprintNoiseAdd = 0.02;
+        p.regionZipfAlpha = 0.90;       // hot hash buckets: block reuse
+        p.functionZipfAlpha = 0.80;
+        p.episodesPerCore = 4;          // fine-grain interleaving
+        p.burstLength = 2;              // -> lower way-pred accuracy
+        p.writeFraction = 0.18;
+        p.blockRepeatMean = 16.0;
+        p.instrsPerMemRef = 12.0;
+        break;
+
+      case Workload::DataServing:
+        // Cassandra-style key-value store: wide rows, highly regular
+        // accessors (FP accuracy ~97%), very memory-intensive -- the
+        // workload with the largest DRAM-cache speedups (Fig. 7 uses a
+        // different y-scale for it).
+        p.datasetBytes = 12_GiB;
+        p.meanFootprintBlocks = 14.0;
+        p.footprintStddev = 5.0;
+        p.contiguousFraction = 0.55;
+        p.scanStretchMean = 1.0;
+        p.singletonFunctionFraction = 0.08;
+        p.pointerChaseFraction = 0.04;
+        p.footprintNoiseDrop = 0.015;
+        p.footprintNoiseAdd = 0.008;
+        p.regionZipfAlpha = 0.60;       // little temporal reuse for AC
+        p.functionZipfAlpha = 0.90;
+        p.episodesPerCore = 3;
+        p.burstLength = 4;
+        p.writeFraction = 0.30;
+        p.blockRepeatMean = 16.0;
+        p.instrsPerMemRef = 8.0;        // memory bound
+        break;
+
+      case Workload::SoftwareTesting:
+        // Symbolic-execution style: irregular, the least predictable
+        // footprints in Table V (FP accuracy ~82-84%, overfetch ~21-27%).
+        p.datasetBytes = 6_GiB;
+        p.meanFootprintBlocks = 10.0;
+        p.footprintStddev = 8.0;
+        p.contiguousFraction = 0.30;
+        p.scanStretchMean = 1.0;
+        p.singletonFunctionFraction = 0.12;
+        p.pointerChaseFraction = 0.08;
+        p.footprintNoiseDrop = 0.14;
+        p.footprintNoiseAdd = 0.08;
+        p.regionZipfAlpha = 0.80;
+        p.functionZipfAlpha = 0.70;
+        p.episodesPerCore = 3;
+        p.burstLength = 4;
+        p.writeFraction = 0.22;
+        p.blockRepeatMean = 20.0;
+        p.instrsPerMemRef = 14.0;
+        break;
+
+      case Workload::WebSearch:
+        // Index serving: extremely high spatial locality (posting-list
+        // scans), the best FP accuracy and lowest overfetch in Table V.
+        p.datasetBytes = 6_GiB;
+        p.meanFootprintBlocks = 20.0;
+        p.footprintStddev = 6.0;
+        p.contiguousFraction = 0.80;
+        p.scanStretchMean = 1.0;
+        p.singletonFunctionFraction = 0.04;
+        p.pointerChaseFraction = 0.02;
+        p.footprintNoiseDrop = 0.008;
+        p.footprintNoiseAdd = 0.003;
+        p.regionZipfAlpha = 0.75;
+        p.functionZipfAlpha = 0.95;
+        p.episodesPerCore = 3;
+        p.burstLength = 6;
+        p.writeFraction = 0.10;
+        p.blockRepeatMean = 24.0;
+        p.instrsPerMemRef = 12.0;
+        break;
+
+      case Workload::WebServing:
+        // PHP/DB tier: moderate locality, mid-pack accuracy numbers.
+        p.datasetBytes = 8_GiB;
+        p.meanFootprintBlocks = 12.0;
+        p.footprintStddev = 6.0;
+        p.contiguousFraction = 0.50;
+        p.scanStretchMean = 1.0;
+        p.singletonFunctionFraction = 0.10;
+        p.pointerChaseFraction = 0.06;
+        p.footprintNoiseDrop = 0.07;
+        p.footprintNoiseAdd = 0.045;
+        p.regionZipfAlpha = 0.85;
+        p.functionZipfAlpha = 0.85;
+        p.episodesPerCore = 3;
+        p.burstLength = 5;
+        p.writeFraction = 0.25;
+        p.blockRepeatMean = 20.0;
+        p.instrsPerMemRef = 12.0;
+        break;
+
+      case Workload::TpchQueries:
+        // Column-store analytics on a >100 GB dataset: long scans
+        // (dense contiguous footprints, the highest way-pred accuracy),
+        // hash-join chase traffic, and reuse so cold that caches below
+        // 2-4 GB barely help a block-based design (Fig. 6, right).
+        p.datasetBytes = 128_GiB;
+        p.meanFootprintBlocks = 24.0;
+        p.footprintStddev = 6.0;
+        p.contiguousFraction = 0.90;
+        p.scanStretchMean = 10.0;
+        p.singletonFunctionFraction = 0.05;
+        p.pointerChaseFraction = 0.08;
+        p.footprintNoiseDrop = 0.03;
+        p.footprintNoiseAdd = 0.015;
+        p.regionZipfAlpha = 0.70;
+        p.functionZipfAlpha = 0.80;
+        p.episodesPerCore = 2;
+        p.burstLength = 8;              // scans: high way-pred accuracy
+        p.writeFraction = 0.08;
+        p.blockRepeatMean = 12.0;
+        p.instrsPerMemRef = 10.0;
+        break;
+    }
+    return p;
+}
+
+Workload
+workloadFromName(const std::string &name)
+{
+    std::string key;
+    for (char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            key.push_back(static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c))));
+    }
+    for (Workload w : allWorkloads()) {
+        std::string cand;
+        for (char c : workloadName(w)) {
+            if (std::isalnum(static_cast<unsigned char>(c)))
+                cand.push_back(static_cast<char>(
+                    std::tolower(static_cast<unsigned char>(c))));
+        }
+        if (cand == key)
+            return w;
+    }
+    // Short aliases.
+    if (key == "analytics" || key == "da")
+        return Workload::DataAnalytics;
+    if (key == "serving" || key == "ds")
+        return Workload::DataServing;
+    if (key == "testing" || key == "st")
+        return Workload::SoftwareTesting;
+    if (key == "search" || key == "ws")
+        return Workload::WebSearch;
+    if (key == "webserving" || key == "wsv")
+        return Workload::WebServing;
+    if (key == "tpch" || key == "tpchqueries")
+        return Workload::TpchQueries;
+    fatal("unknown workload '", name, "'");
+}
+
+} // namespace unison

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Workload presets named after the paper's evaluation suite (five
+ * CloudSuite workloads + TPC-H on MonetDB, Sec. IV-D). Each preset is a
+ * WorkloadParams tuned so the synthetic stream reproduces the
+ * published behaviour of that workload: footprint-predictor accuracy
+ * and overfetch (Table V), miss-ratio ordering (Figs. 5-6), and the
+ * qualitative locality notes in the text (e.g. Data Analytics is
+ * pointer-intensive with the lowest spatial locality; Web Search has
+ * extremely high spatial locality; TPC-H needs multi-GB caches).
+ */
+
+#ifndef UNISON_TRACE_PRESETS_HH
+#define UNISON_TRACE_PRESETS_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/workload.hh"
+
+namespace unison {
+
+/** The paper's six workloads. */
+enum class Workload
+{
+    DataAnalytics,
+    DataServing,
+    SoftwareTesting,
+    WebSearch,
+    WebServing,
+    TpchQueries,
+};
+
+/** All six, in the paper's presentation order. */
+const std::vector<Workload> &allWorkloads();
+
+/** The five CloudSuite workloads (everything except TPC-H). */
+const std::vector<Workload> &cloudSuiteWorkloads();
+
+/** Parameters reproducing the named workload's published behaviour. */
+WorkloadParams workloadParams(Workload w);
+
+/** Display name as used in the paper's tables/figures. */
+std::string workloadName(Workload w);
+
+/** Parse a workload name (case-insensitive, ignoring spaces/dashes). */
+Workload workloadFromName(const std::string &name);
+
+} // namespace unison
+
+#endif // UNISON_TRACE_PRESETS_HH

@@ -1,0 +1,148 @@
+#include "trace/tracefile.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace unison {
+
+namespace {
+
+constexpr char kMagic[4] = {'U', 'C', 'T', 'R'};
+
+struct PackedHeader
+{
+    char magic[4];
+    std::uint32_t version;
+    std::uint32_t numCores;
+    std::uint32_t pad;
+};
+
+#pragma pack(push, 1)
+struct PackedRecord
+{
+    std::uint64_t addr;
+    std::uint64_t pc;
+    std::uint16_t instrsBefore;
+    std::uint8_t core;
+    std::uint8_t flags;
+};
+#pragma pack(pop)
+
+static_assert(sizeof(PackedHeader) == 16, "header layout drifted");
+static_assert(sizeof(PackedRecord) == 20, "record layout drifted");
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path, int num_cores)
+{
+    UNISON_ASSERT(num_cores >= 1 && num_cores <= 255,
+                  "bad core count ", num_cores);
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr)
+        fatal("cannot open trace file '", path, "' for writing");
+
+    PackedHeader hdr{};
+    std::memcpy(hdr.magic, kMagic, sizeof(kMagic));
+    hdr.version = kTraceVersion;
+    hdr.numCores = static_cast<std::uint32_t>(num_cores);
+    if (std::fwrite(&hdr, sizeof(hdr), 1, file_) != 1)
+        fatal("failed to write trace header to '", path, "'");
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::close()
+{
+    if (file_ != nullptr) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+void
+TraceWriter::write(const MemoryAccess &access)
+{
+    UNISON_ASSERT(file_ != nullptr, "write to closed trace");
+    PackedRecord rec{};
+    rec.addr = access.addr;
+    rec.pc = access.pc;
+    rec.instrsBefore = access.instrsBefore;
+    rec.core = access.core;
+    rec.flags = access.isWrite ? 1 : 0;
+    if (std::fwrite(&rec, sizeof(rec), 1, file_) != 1)
+        fatal("failed to append trace record");
+    ++count_;
+}
+
+TraceReader::TraceReader(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (file_ == nullptr)
+        fatal("cannot open trace file '", path, "'");
+
+    PackedHeader hdr{};
+    if (std::fread(&hdr, sizeof(hdr), 1, file_) != 1)
+        fatal("trace file '", path, "' is truncated");
+    if (std::memcmp(hdr.magic, kMagic, sizeof(kMagic)) != 0)
+        fatal("'", path, "' is not a Unison trace file");
+    if (hdr.version != kTraceVersion)
+        fatal("trace version ", hdr.version, " unsupported (expected ",
+              kTraceVersion, ")");
+    if (hdr.numCores < 1 || hdr.numCores > 255)
+        fatal("trace declares invalid core count ", hdr.numCores);
+    numCores_ = static_cast<int>(hdr.numCores);
+    buffers_.resize(numCores_);
+}
+
+TraceReader::~TraceReader()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+bool
+TraceReader::readRecord(MemoryAccess &out)
+{
+    PackedRecord rec{};
+    if (std::fread(&rec, sizeof(rec), 1, file_) != 1)
+        return false;
+    out.addr = rec.addr;
+    out.pc = rec.pc;
+    out.instrsBefore = rec.instrsBefore;
+    out.core = rec.core;
+    out.isWrite = (rec.flags & 1) != 0;
+    if (out.core >= numCores_)
+        fatal("trace record core ", static_cast<int>(out.core),
+              " out of range (trace has ", numCores_, " cores)");
+    ++count_;
+    return true;
+}
+
+bool
+TraceReader::next(int core, MemoryAccess &out)
+{
+    UNISON_ASSERT(core >= 0 && core < numCores_,
+                  "core ", core, " out of range");
+    if (!buffers_[core].empty()) {
+        out = buffers_[core].front();
+        buffers_[core].pop_front();
+        return true;
+    }
+    // Scan forward, parking other cores' records in their buffers.
+    MemoryAccess rec;
+    while (readRecord(rec)) {
+        if (rec.core == core) {
+            out = rec;
+            return true;
+        }
+        buffers_[rec.core].push_back(rec);
+    }
+    return false;
+}
+
+} // namespace unison

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Binary trace-file format so users can run the simulator on their own
+ * captured traces instead of the synthetic workloads.
+ *
+ * Layout (little-endian):
+ *   header : magic "UCTR" (4B) | version u32 | numCores u32 | pad u32
+ *   record : addr u64 | pc u64 | instrsBefore u16 | core u8 | flags u8
+ * flags bit 0 = write.
+ */
+
+#ifndef UNISON_TRACE_TRACEFILE_HH
+#define UNISON_TRACE_TRACEFILE_HH
+
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "trace/access.hh"
+
+namespace unison {
+
+/** Current trace format version. */
+constexpr std::uint32_t kTraceVersion = 1;
+
+/** Streaming writer for the binary trace format. */
+class TraceWriter
+{
+  public:
+    /** Open (truncate) `path` and write the header. Fatal on error. */
+    TraceWriter(const std::string &path, int num_cores);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one record. */
+    void write(const MemoryAccess &access);
+
+    /** Records written so far. */
+    std::uint64_t count() const { return count_; }
+
+    /** Flush and close early (also done by the destructor). */
+    void close();
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::uint64_t count_ = 0;
+};
+
+/** Streaming reader; implements AccessSource so it plugs into System. */
+class TraceReader : public AccessSource
+{
+  public:
+    /** Open `path` and validate the header. Fatal on error. */
+    explicit TraceReader(const std::string &path);
+    ~TraceReader() override;
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    /**
+     * Next record for `core`. Records of other cores encountered while
+     * scanning forward are buffered, so any interleaving in the file
+     * is supported.
+     */
+    bool next(int core, MemoryAccess &out) override;
+    int numCores() const override { return numCores_; }
+
+    std::uint64_t recordsRead() const { return count_; }
+
+  private:
+    /** Read one raw record from the file. */
+    bool readRecord(MemoryAccess &out);
+
+    std::FILE *file_ = nullptr;
+    int numCores_ = 0;
+    std::uint64_t count_ = 0;
+    std::vector<std::deque<MemoryAccess>> buffers_;
+};
+
+} // namespace unison
+
+#endif // UNISON_TRACE_TRACEFILE_HH

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the Sec. III-A.5 analytical conflict model: the B^2
+ * pairwise amplification (the paper's "~500x" headline for 2 KB pages),
+ * the Poisson set-occupancy conflict proxy, and the Fig. 5 shape it
+ * predicts (4 ways remove most conflicts, more ways add little).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/conflict_model.hh"
+
+namespace unison {
+namespace {
+
+TEST(ConflictModel, BlocksPerPage)
+{
+    EXPECT_EQ(blocksPerPage(2048, 64), 32u);
+    EXPECT_EQ(blocksPerPage(1024, 64), 16u);
+    EXPECT_EQ(blocksPerPage(64, 64), 1u);
+}
+
+TEST(ConflictModel, PaperHeadlineFactorFor2KbPages)
+{
+    // Sec. III-A.5: "for a 1GB cache and 2KB pages, the probability of
+    // conflicts increases by a factor of ~500 in the worst case".
+    const double f = worstCaseConflictFactor(2048, 64);
+    EXPECT_DOUBLE_EQ(f, 512.0);
+    EXPECT_NEAR(f, 500.0, 15.0);
+}
+
+TEST(ConflictModel, FactorGrowsQuadraticallyWithPageSize)
+{
+    const double f1k = worstCaseConflictFactor(1024, 64);
+    const double f2k = worstCaseConflictFactor(2048, 64);
+    const double f4k = worstCaseConflictFactor(4096, 64);
+    EXPECT_DOUBLE_EQ(f2k / f1k, 4.0);
+    EXPECT_DOUBLE_EQ(f4k / f2k, 4.0);
+    // Degenerate case: a one-block "page" has no amplification beyond
+    // the pair itself.
+    EXPECT_DOUBLE_EQ(worstCaseConflictFactor(64, 64), 0.5);
+}
+
+TEST(ConflictModel, AmplificationApproachesBSquaredForRareEvents)
+{
+    // lim_{q->0} (1 - (1-q)^(B^2)) / q = B^2.
+    const std::uint32_t b = 32;
+    EXPECT_NEAR(conflictAmplification(1e-9, b), 1024.0, 1.0);
+    EXPECT_NEAR(conflictAmplification(1e-7, b), 1024.0, 1.0);
+}
+
+TEST(ConflictModel, AmplificationSaturatesForCommonEvents)
+{
+    // When the block pair is almost surely simultaneous, the page pair
+    // cannot be more than surely simultaneous: ratio -> 1.
+    EXPECT_NEAR(conflictAmplification(1.0, 32), 1.0, 1e-12);
+    // And the probability never exceeds 1.
+    EXPECT_LE(pageConflictProbability(0.5, 32), 1.0);
+}
+
+TEST(ConflictModel, PageConflictProbabilityMonotoneInQ)
+{
+    // Strictly increasing until it saturates at 1 (B^2 = 1024 cross
+    // pairs push even modest q to near-certain page conflicts).
+    double prev = 0.0;
+    for (double q : {1e-6, 1e-5, 1e-4, 1e-3}) {
+        const double p = pageConflictProbability(q, 32);
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+    for (double q : {1e-2, 0.1, 0.5}) {
+        const double p = pageConflictProbability(q, 32);
+        EXPECT_GE(p, prev);
+        EXPECT_LE(p, 1.0);
+        prev = p;
+    }
+}
+
+TEST(ConflictModel, PoissonExcessClosedFormDirectMapped)
+{
+    // For a = 1, E[max(K-1, 0)] = lambda - 1 + P(0); at lambda = 1 the
+    // conflict fraction is e^{-1}.
+    EXPECT_NEAR(expectedConflictFractionLambda(1.0, 1),
+                std::exp(-1.0), 1e-12);
+}
+
+TEST(ConflictModel, ZeroLoadMeansNoConflicts)
+{
+    EXPECT_DOUBLE_EQ(expectedConflictFractionLambda(0.0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(expectedConflictFraction(1024, 4, 0), 0.0);
+}
+
+TEST(ConflictModel, ConflictFractionMonotoneInLoad)
+{
+    double prev = -1.0;
+    for (double lambda : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+        const double f = expectedConflictFractionLambda(lambda, 4);
+        EXPECT_GT(f, prev);
+        prev = f;
+    }
+}
+
+TEST(ConflictModel, ConflictFractionMonotoneInAssociativity)
+{
+    // Strictly decreasing while conflicts remain, non-increasing once
+    // the fraction has effectively reached zero.
+    double prev = 2.0;
+    for (std::uint32_t a : {1u, 2u, 4u, 8u}) {
+        const double f = expectedConflictFractionLambda(1.0, a);
+        EXPECT_LT(f, prev);
+        prev = f;
+    }
+    EXPECT_LE(expectedConflictFractionLambda(1.0, 32), prev);
+}
+
+TEST(ConflictModel, FigureFiveShapeFourWaysRemoveMostConflicts)
+{
+    // At full load (lambda = 1, working set == capacity), going
+    // direct-mapped -> 4-way removes the overwhelming majority of
+    // conflict pressure...
+    const double dm = expectedConflictFractionLambda(1.0, 1);
+    const double w4 = expectedConflictFractionLambda(1.0, 4);
+    const double w32 = expectedConflictFractionLambda(1.0, 32);
+    EXPECT_LT(w4, dm / 2.0); // Fig. 5: at least halves the miss ratio
+    // ...and 32 ways add almost nothing on top of 4 (Sec. V-B: "beyond
+    // four ways, there is no significant reduction").
+    EXPECT_LT(dm - w4, dm);
+    EXPECT_LT(w4 - w32, 0.02 * dm);
+}
+
+TEST(ConflictModel, HighLoadNeedsAssociativityProportionallyMore)
+{
+    // Overcommitted caches (lambda = 2) keep benefiting from extra
+    // ways longer than undercommitted ones (lambda = 0.5).
+    const double gain_hot = expectedConflictFractionLambda(2.0, 1) -
+                            expectedConflictFractionLambda(2.0, 4);
+    const double gain_cold = expectedConflictFractionLambda(0.5, 1) -
+                             expectedConflictFractionLambda(0.5, 4);
+    EXPECT_GT(gain_hot, gain_cold);
+}
+
+TEST(ConflictModel, ExcessFractionBoundedByOne)
+{
+    EXPECT_LE(expectedConflictFractionLambda(64.0, 1), 1.0);
+    EXPECT_GE(expectedConflictFractionLambda(64.0, 1), 0.95);
+}
+
+TEST(ConflictModel, RelativePressureExceedsTwoOrdersOfMagnitude)
+{
+    // The end-to-end model: 1 GB direct-mapped cache, 2 KB pages,
+    // working set around the cache size. The page organization's
+    // conflict pressure is hundreds of times the block organization's.
+    const double rel = relativePageConflictPressure(
+        1ull << 30, 2048, 64, (1ull << 30) / 2);
+    EXPECT_GT(rel, 30.0);
+}
+
+TEST(ConflictModel, RelativePressureGrowsWithPageSize)
+{
+    const std::uint64_t cap = 1ull << 30;
+    const std::uint64_t live = cap / 2;
+    const double r1k = relativePageConflictPressure(cap, 1024, 64, live);
+    const double r2k = relativePageConflictPressure(cap, 2048, 64, live);
+    EXPECT_GT(r2k, r1k);
+}
+
+} // namespace
+} // namespace unison

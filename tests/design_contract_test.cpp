@@ -1,0 +1,205 @@
+/**
+ * @file
+ * The behavioural contract every DramCache implementation must honour,
+ * run identically against all eight designs through the same factory
+ * the experiment runner uses. These are the properties the System
+ * timing model and the bench harnesses silently rely on: causality,
+ * counter conservation, determinism, allocate-on-read, and sane
+ * reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "sim/experiment.hh"
+
+namespace unison {
+namespace {
+
+constexpr std::uint64_t kCapacity = 1_MiB;
+
+struct ContractRig
+{
+    DramModule offchip{offChipDramOrganization(), offChipDramTiming()};
+    std::unique_ptr<DramCache> cache;
+    Cycle clock = 0;
+
+    explicit ContractRig(DesignKind kind)
+    {
+        ExperimentSpec spec;
+        spec.design = kind;
+        spec.capacityBytes = kCapacity;
+        cache = makeCacheFactory(spec)(&offchip);
+    }
+
+    DramCacheResult
+    access(Addr addr, bool is_write = false, Pc pc = 0x4000)
+    {
+        clock += 600;
+        DramCacheRequest req;
+        req.addr = addr;
+        req.pc = pc;
+        req.isWrite = is_write;
+        req.cycle = clock;
+        return cache->access(req);
+    }
+};
+
+class DesignContract : public ::testing::TestWithParam<DesignKind>
+{
+  protected:
+    DesignKind kind() const { return GetParam(); }
+    bool isIdeal() const { return kind() == DesignKind::Ideal; }
+    bool isNoCache() const { return kind() == DesignKind::NoDramCache; }
+};
+
+TEST_P(DesignContract, ReportsIdentity)
+{
+    ContractRig rig(kind());
+    EXPECT_FALSE(rig.cache->name().empty());
+    if (isNoCache())
+        EXPECT_EQ(rig.cache->capacityBytes(), 0u);
+    else
+        EXPECT_EQ(rig.cache->capacityBytes(), kCapacity);
+    if (isNoCache())
+        EXPECT_EQ(rig.cache->stackedDram(), nullptr);
+    else
+        EXPECT_NE(rig.cache->stackedDram(), nullptr);
+}
+
+TEST_P(DesignContract, FirstReadClassification)
+{
+    ContractRig rig(kind());
+    const auto r = rig.access(blockAddress(1000));
+    if (isIdeal()) {
+        EXPECT_TRUE(r.hit);
+    } else {
+        EXPECT_FALSE(r.hit);
+        EXPECT_EQ(rig.cache->stats().misses.value(), 1u);
+    }
+}
+
+TEST_P(DesignContract, SecondReadHitsOnceAllocated)
+{
+    ContractRig rig(kind());
+    rig.access(blockAddress(1000));
+    const auto r = rig.access(blockAddress(1000));
+    if (isNoCache())
+        EXPECT_FALSE(r.hit);
+    else
+        EXPECT_TRUE(r.hit);
+}
+
+TEST_P(DesignContract, CompletionRespectsCausality)
+{
+    ContractRig rig(kind());
+    Rng rng(3);
+    for (int i = 0; i < 400; ++i) {
+        const Addr addr = blockAddress(rng.range(0, 4095));
+        const Cycle issue = rig.clock + 600;
+        const auto r = rig.access(addr, rng.chance(0.3));
+        EXPECT_GT(r.doneAt, issue);
+    }
+}
+
+TEST_P(DesignContract, CounterConservation)
+{
+    ContractRig rig(kind());
+    Rng rng(9);
+    std::uint64_t reads = 0, writes = 0;
+    for (int i = 0; i < 1200; ++i) {
+        const bool w = rng.chance(0.25);
+        rig.access(blockAddress(rng.range(0, 2047)), w);
+        w ? ++writes : ++reads;
+    }
+    const DramCacheStats &s = rig.cache->stats();
+    EXPECT_EQ(s.reads.value(), reads);
+    EXPECT_EQ(s.writes.value(), writes);
+    EXPECT_EQ(s.hits.value() + s.misses.value(), s.accesses());
+}
+
+TEST_P(DesignContract, DeterministicAcrossInstances)
+{
+    ContractRig a(kind()), b(kind());
+    Rng rng_a(21), rng_b(21);
+    for (int i = 0; i < 800; ++i) {
+        const Addr addr_a = blockAddress(rng_a.range(0, 2047));
+        const Addr addr_b = blockAddress(rng_b.range(0, 2047));
+        ASSERT_EQ(addr_a, addr_b);
+        const bool w = rng_a.chance(0.2);
+        rng_b.chance(0.2);
+        const auto ra = a.access(addr_a, w);
+        const auto rb = b.access(addr_b, w);
+        ASSERT_EQ(ra.hit, rb.hit);
+        ASSERT_EQ(ra.doneAt, rb.doneAt);
+    }
+    EXPECT_EQ(a.cache->stats().hits.value(),
+              b.cache->stats().hits.value());
+}
+
+TEST_P(DesignContract, ResetStatsZeroesCounters)
+{
+    ContractRig rig(kind());
+    Rng rng(33);
+    for (int i = 0; i < 300; ++i)
+        rig.access(blockAddress(rng.range(0, 1023)), rng.chance(0.2));
+    rig.cache->resetStats();
+    const DramCacheStats &s = rig.cache->stats();
+    EXPECT_EQ(s.accesses(), 0u);
+    EXPECT_EQ(s.hits.value(), 0u);
+    EXPECT_EQ(s.misses.value(), 0u);
+    EXPECT_EQ(s.offchipDemandBlocks.value(), 0u);
+    if (rig.cache->stackedDram() != nullptr)
+        EXPECT_EQ(rig.cache->stackedDram()->stats().accesses(), 0u);
+}
+
+TEST_P(DesignContract, OffchipSilenceForIdeal)
+{
+    // Only the ideal cache promises zero off-chip traffic; everything
+    // else must touch memory on a cold miss.
+    ContractRig rig(kind());
+    rig.access(blockAddress(77));
+    const std::uint64_t offchip_reads = rig.offchip.stats().reads;
+    if (isIdeal())
+        EXPECT_EQ(offchip_reads, 0u);
+    else
+        EXPECT_GE(offchip_reads, 1u);
+}
+
+TEST_P(DesignContract, LatencySaneUnderLightLoad)
+{
+    // A cold read's completion is bounded by a couple of off-chip
+    // conflict latencies -- no design may lose a request in a queue.
+    ContractRig rig(kind());
+    const Cycle bound =
+        4 * rig.offchip.unloadedRowConflictLatency(kRowBytes);
+    for (int i = 0; i < 32; ++i) {
+        const Cycle issue = rig.clock + 600;
+        const auto r = rig.access(blockAddress(10'000 + i * 97));
+        EXPECT_LT(r.doneAt - issue, bound)
+            << "access " << i << " took implausibly long";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDesigns, DesignContract,
+    ::testing::Values(DesignKind::Unison, DesignKind::Alloy,
+                      DesignKind::Footprint, DesignKind::LohHill,
+                      DesignKind::NaiveBlockFp,
+                      DesignKind::NaiveTaggedPage, DesignKind::Ideal,
+                      DesignKind::NoDramCache),
+    [](const ::testing::TestParamInfo<DesignKind> &info) {
+        std::string n = designName(info.param);
+        for (char &c : n)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+} // namespace
+} // namespace unison

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Parameterized DRAM-pool tests run identically against both Table III
+ * configurations (the 1.6 GHz 4-channel stacked pool and the 800 MHz
+ * single-channel DDR3 pool): timing identities, activation accounting,
+ * channel interleaving, bus serialization, and causality invariants
+ * that must hold for any organization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "dram/dram.hh"
+#include "dram/timing.hh"
+
+namespace unison {
+namespace {
+
+enum class Pool
+{
+    Stacked,
+    OffChip,
+};
+
+struct PoolRig
+{
+    DramOrganization org;
+    DramTimingParams params;
+    std::unique_ptr<DramModule> dram;
+
+    explicit PoolRig(Pool which)
+        : org(which == Pool::Stacked ? stackedDramOrganization()
+                                     : offChipDramOrganization()),
+          params(which == Pool::Stacked ? stackedDramTiming()
+                                        : offChipDramTiming()),
+          dram(std::make_unique<DramModule>(org, params))
+    {
+    }
+};
+
+class DramPoolSweep : public ::testing::TestWithParam<Pool>
+{
+  protected:
+    PoolRig rig{GetParam()};
+};
+
+TEST_P(DramPoolSweep, TableThreeParametersSurvivConversion)
+{
+    const DramTimingCpu &t = rig.dram->timing();
+    const double ratio = kCpuClockMhz / rig.params.clockMhz;
+    EXPECT_EQ(t.cas, static_cast<Cycle>(
+                         std::ceil(rig.params.tCAS * ratio)));
+    EXPECT_EQ(t.rcd, static_cast<Cycle>(
+                         std::ceil(rig.params.tRCD * ratio)));
+    EXPECT_EQ(t.rp,
+              static_cast<Cycle>(std::ceil(rig.params.tRP * ratio)));
+    EXPECT_EQ(t.rc,
+              static_cast<Cycle>(std::ceil(rig.params.tRC * ratio)));
+    // Table III identity: tRC = tRAS + tRP in DRAM cycles.
+    EXPECT_EQ(rig.params.tRC, rig.params.tRAS + rig.params.tRP);
+}
+
+TEST_P(DramPoolSweep, CompletionNeverPrecedesIssue)
+{
+    for (std::uint64_t row : {0ull, 17ull, 1023ull}) {
+        const Cycle earliest = 10'000;
+        const DramAccessTiming t =
+            rig.dram->rowAccess(row, kBlockBytes, false, earliest);
+        EXPECT_GT(t.completion, earliest);
+    }
+}
+
+TEST_P(DramPoolSweep, UnloadedHitBeatsConflict)
+{
+    const Cycle hit = rig.dram->unloadedRowHitLatency(kBlockBytes);
+    const Cycle conflict =
+        rig.dram->unloadedRowConflictLatency(kBlockBytes);
+    EXPECT_LT(hit, conflict);
+    // The conflict adds at least precharge + activate.
+    const DramTimingCpu &t = rig.dram->timing();
+    EXPECT_GE(conflict - hit, t.rp);
+}
+
+TEST_P(DramPoolSweep, SecondAccessToSameRowIsARowHit)
+{
+    const DramAccessTiming first =
+        rig.dram->rowAccess(5, kBlockBytes, false, 1000);
+    const DramAccessTiming second = rig.dram->rowAccess(
+        5, kBlockBytes, false, first.completion + 1);
+    EXPECT_FALSE(first.rowHit); // bank was idle: empty "miss"
+    EXPECT_TRUE(second.rowHit);
+    EXPECT_EQ(rig.dram->stats().rowHits, 1u);
+}
+
+TEST_P(DramPoolSweep, ActivationsCountDistinctRowOpenings)
+{
+    // Touch N distinct rows mapped to the same bank (stride = one lap
+    // over channels x banks x window): every access activates.
+    const std::uint64_t lap =
+        static_cast<std::uint64_t>(rig.org.numChannels) *
+        rig.org.banksPerChannel;
+    Cycle clock = 1000;
+    const int laps = 6;
+    for (int i = 0; i < laps; ++i) {
+        // A row stride large enough to leave the bank's open-row
+        // window between visits.
+        const std::uint64_t row =
+            static_cast<std::uint64_t>(i) * lap *
+            (rig.org.openRowWindow + 1);
+        clock = rig.dram->rowAccess(row, kBlockBytes, false, clock)
+                    .completion +
+                1;
+    }
+    EXPECT_EQ(rig.dram->stats().activations,
+              static_cast<std::uint64_t>(laps));
+    EXPECT_EQ(rig.dram->stats().rowHits, 0u);
+}
+
+TEST_P(DramPoolSweep, ConsecutiveRowsSpreadOverChannels)
+{
+    // Rows interleave channel-first: rows 0 .. numChannels-1 must land
+    // on distinct channels, so their concurrent accesses overlap
+    // almost fully instead of serializing on one bus.
+    const int nc = rig.org.numChannels;
+    if (nc < 2)
+        return; // off-chip pool: nothing to interleave
+    std::vector<Cycle> done;
+    for (int r = 0; r < nc; ++r)
+        done.push_back(
+            rig.dram->rowAccess(r, kBlockBytes, false, 1000).completion);
+    // All of them finish within one unloaded conflict latency: no bus
+    // serialization happened between them.
+    const Cycle unloaded =
+        rig.dram->unloadedRowConflictLatency(kBlockBytes);
+    for (Cycle d : done)
+        EXPECT_LE(d, 1000 + unloaded + 2);
+}
+
+TEST_P(DramPoolSweep, SameRowBackToBackSerializesOnTheBus)
+{
+    // Two simultaneous reads of one row: the second's data must wait
+    // for the first's burst (row hit, but shared bus).
+    const DramAccessTiming a =
+        rig.dram->rowAccess(3, kBlockBytes, false, 1000);
+    const DramAccessTiming b =
+        rig.dram->rowAccess(3, kBlockBytes, false, 1000);
+    EXPECT_GT(b.completion, a.completion);
+    EXPECT_GE(b.completion - a.completion,
+              rig.dram->timing().burstCycles(kBlockBytes));
+}
+
+TEST_P(DramPoolSweep, LargerBurstsTakeLonger)
+{
+    const Cycle small = rig.dram->unloadedRowHitLatency(64);
+    const Cycle medium = rig.dram->unloadedRowHitLatency(1024);
+    const Cycle large = rig.dram->unloadedRowHitLatency(8192);
+    EXPECT_LT(small, medium);
+    EXPECT_LT(medium, large);
+    // The burst grows linearly with size at 2x the single-block cost
+    // for 16x the bytes? No: latency = fixed + bytes/bandwidth, so the
+    // *increments* reflect pure bus time.
+    const Cycle inc = large - medium;
+    EXPECT_GE(inc, rig.dram->timing().burstCycles(8192 - 1024) - 2);
+}
+
+TEST_P(DramPoolSweep, BytesAccounting)
+{
+    rig.dram->rowAccess(1, 128, false, 1000);
+    rig.dram->rowAccess(2, 256, true, 1000);
+    EXPECT_EQ(rig.dram->stats().bytesRead, 128u);
+    EXPECT_EQ(rig.dram->stats().bytesWritten, 256u);
+    EXPECT_EQ(rig.dram->stats().reads, 1u);
+    EXPECT_EQ(rig.dram->stats().writes, 1u);
+}
+
+TEST_P(DramPoolSweep, AddrAccessAgreesWithRowAccess)
+{
+    // addrAccess(addr) must behave exactly like rowAccess(addr/row).
+    const Addr addr = 3 * rig.org.rowBytes + 128;
+    const DramAccessTiming via_addr =
+        rig.dram->addrAccess(addr, kBlockBytes, false, 1000);
+    PoolRig fresh(GetParam());
+    const DramAccessTiming via_row = fresh.dram->rowAccess(
+        fresh.dram->rowOfAddr(addr), kBlockBytes, false, 1000);
+    EXPECT_EQ(via_addr.completion, via_row.completion);
+    EXPECT_EQ(via_addr.rowHit, via_row.rowHit);
+}
+
+TEST_P(DramPoolSweep, StatsResetClearsCountersOnly)
+{
+    rig.dram->rowAccess(9, kBlockBytes, false, 1000);
+    rig.dram->resetStats();
+    const DramPoolStats s = rig.dram->stats();
+    EXPECT_EQ(s.accesses(), 0u);
+    EXPECT_EQ(s.activations, 0u);
+    EXPECT_EQ(s.bytesRead, 0u);
+    // Bank state survives: the row is still open, so the next access
+    // to it is a row hit.
+    const DramAccessTiming t =
+        rig.dram->rowAccess(9, kBlockBytes, false, 100'000);
+    EXPECT_TRUE(t.rowHit);
+}
+
+TEST_P(DramPoolSweep, HeavyLoadInflatesLatencyMonotonically)
+{
+    // Issue a saturating batch at one instant; completions must be
+    // strictly increasing on each channel (no two bursts overlap).
+    std::vector<Cycle> done;
+    for (int i = 0; i < 64; ++i)
+        done.push_back(rig.dram
+                           ->rowAccess(0, kBlockBytes, false, 5000)
+                           .completion);
+    for (std::size_t i = 1; i < done.size(); ++i)
+        EXPECT_GT(done[i], done[i - 1]);
+    // Average latency under this load far exceeds unloaded latency.
+    EXPECT_GT(done.back() - 5000,
+              32 * rig.dram->timing().burstCycles(kBlockBytes));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPools, DramPoolSweep,
+                         ::testing::Values(Pool::Stacked, Pool::OffChip),
+                         [](const ::testing::TestParamInfo<Pool> &info) {
+                             return info.param == Pool::Stacked
+                                        ? "Stacked"
+                                        : "OffChip";
+                         });
+
+// ---------------------------------------------------------------------
+// Table III configuration facts (non-parameterized)
+// ---------------------------------------------------------------------
+
+TEST(DramConfigs, TableThreeShapes)
+{
+    const DramOrganization stacked = stackedDramOrganization();
+    const DramOrganization offchip = offChipDramOrganization();
+    EXPECT_EQ(stacked.numChannels, 4);
+    EXPECT_EQ(stacked.banksPerChannel, 8);
+    EXPECT_EQ(stacked.rowBytes, 8192u);
+    EXPECT_EQ(offchip.numChannels, 1);
+    EXPECT_EQ(offchip.rowBytes, 8192u);
+
+    const DramTimingParams st = stackedDramTiming();
+    const DramTimingParams ot = offChipDramTiming();
+    // Same JEDEC numbers, different clocks and bus widths.
+    EXPECT_EQ(st.tCAS, 11u);
+    EXPECT_EQ(ot.tCAS, 11u);
+    EXPECT_EQ(st.tFAW, 24u);
+    EXPECT_GT(st.clockMhz, ot.clockMhz);
+    EXPECT_EQ(st.busBytesPerCycle, 32u);  // 128-bit DDR
+    EXPECT_EQ(ot.busBytesPerCycle, 16u);  // 64-bit DDR3
+}
+
+TEST(DramConfigs, StackedIsFasterUnloaded)
+{
+    DramModule stacked(stackedDramOrganization(), stackedDramTiming());
+    DramModule offchip(offChipDramOrganization(), offChipDramTiming());
+    EXPECT_LT(stacked.unloadedRowHitLatency(kBlockBytes),
+              offchip.unloadedRowHitLatency(kBlockBytes));
+    EXPECT_LT(stacked.unloadedRowConflictLatency(kBlockBytes),
+              offchip.unloadedRowConflictLatency(kBlockBytes));
+}
+
+} // namespace
+} // namespace unison

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the Sec. V-D dynamic-energy model: the breakdown is linear
+ * in the pool counters, the factory parameters encode the documented
+ * stacked-vs-off-chip cost relationships, and the bench-level claim
+ * (activation energy dominates block-granular off-chip traffic)
+ * follows from the numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/energy.hh"
+
+namespace unison {
+namespace {
+
+DramPoolStats
+makeStats(std::uint64_t acts, std::uint64_t bytes_read,
+          std::uint64_t bytes_written, std::uint64_t refreshes = 0)
+{
+    DramPoolStats s;
+    s.activations = acts;
+    s.bytesRead = bytes_read;
+    s.bytesWritten = bytes_written;
+    s.refreshes = refreshes;
+    return s;
+}
+
+TEST(EnergyModel, ZeroCountersZeroEnergy)
+{
+    const DramEnergyBreakdown e =
+        computeDynamicEnergy(DramPoolStats{}, offChipDramEnergy());
+    EXPECT_DOUBLE_EQ(e.totalNj(), 0.0);
+}
+
+TEST(EnergyModel, BreakdownIsLinearInEachCounter)
+{
+    const DramEnergyParams p = offChipDramEnergy();
+    const DramEnergyBreakdown one =
+        computeDynamicEnergy(makeStats(1, 64, 128, 2), p);
+    const DramEnergyBreakdown ten =
+        computeDynamicEnergy(makeStats(10, 640, 1280, 20), p);
+    EXPECT_DOUBLE_EQ(ten.activationNj, 10.0 * one.activationNj);
+    EXPECT_DOUBLE_EQ(ten.readNj, 10.0 * one.readNj);
+    EXPECT_DOUBLE_EQ(ten.writeNj, 10.0 * one.writeNj);
+    EXPECT_DOUBLE_EQ(ten.refreshNj, 10.0 * one.refreshNj);
+    EXPECT_DOUBLE_EQ(ten.totalNj(), 10.0 * one.totalNj());
+}
+
+TEST(EnergyModel, ComponentsMatchParameters)
+{
+    DramEnergyParams p;
+    p.activateNj = 5.0;
+    p.readNjPerByte = 0.1;
+    p.writeNjPerByte = 0.2;
+    p.refreshNj = 7.0;
+    const DramEnergyBreakdown e =
+        computeDynamicEnergy(makeStats(3, 100, 50, 2), p);
+    EXPECT_DOUBLE_EQ(e.activationNj, 15.0);
+    EXPECT_DOUBLE_EQ(e.readNj, 10.0);
+    EXPECT_DOUBLE_EQ(e.writeNj, 10.0);
+    EXPECT_DOUBLE_EQ(e.refreshNj, 14.0);
+    EXPECT_DOUBLE_EQ(e.totalNj(), 49.0);
+    EXPECT_DOUBLE_EQ(e.totalMj(), 49.0e-6);
+}
+
+TEST(EnergyModel, StackedAccessIsMuchCheaperThanOffChip)
+{
+    // The premise of putting a DRAM cache in the package at all: both
+    // the activation and the per-byte movement cost drop by several x.
+    const DramEnergyParams off = offChipDramEnergy();
+    const DramEnergyParams stk = stackedDramEnergy();
+    EXPECT_LT(stk.activateNj * 2.0, off.activateNj);
+    EXPECT_LT(stk.readNjPerByte * 4.0, off.readNjPerByte);
+    EXPECT_LT(stk.writeNjPerByte * 4.0, off.writeNjPerByte);
+}
+
+TEST(EnergyModel, ActivationIsASubstantialShareOfBlockAccess)
+{
+    // Sec. V-D's mechanism: for one 64 B block moved per activation
+    // (the Alloy pattern), the activation is a substantial share of
+    // the access energy -- which is exactly why cutting activations
+    // ~10x (the footprint pattern) saves the paper's ~20-25%.
+    const DramEnergyParams p = offChipDramEnergy();
+    const double act = p.activateNj;
+    const double xfer = 64.0 * p.readNjPerByte;
+    const double share = act / (act + xfer);
+    EXPECT_GT(share, 0.25);
+    EXPECT_LT(share, 0.75); // and transfers are not free either
+}
+
+TEST(EnergyModel, FootprintTransferBeatsBlockTransferPerByte)
+{
+    // Moving a 10-block footprint with ONE activation vs ten blocks
+    // with ten activations: the paper's order-of-magnitude activation
+    // reduction translates into a >25% dynamic saving.
+    const DramEnergyParams p = offChipDramEnergy();
+    const DramEnergyBreakdown footprint =
+        computeDynamicEnergy(makeStats(1, 10 * 64, 0), p);
+    const DramEnergyBreakdown blocks =
+        computeDynamicEnergy(makeStats(10, 10 * 64, 0), p);
+    EXPECT_LT(footprint.totalNj(), 0.75 * blocks.totalNj());
+}
+
+} // namespace
+} // namespace unison

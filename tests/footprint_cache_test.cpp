@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the Footprint Cache baseline: geometry and Table IV tag
+ * latencies/sizes, 32-way LRU, the SRAM-tag fast-miss path, and the
+ * shared footprint machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/footprint_cache.hh"
+#include "common/rng.hh"
+
+namespace unison {
+namespace {
+
+struct Rig
+{
+    DramModule offchip{offChipDramOrganization(), offChipDramTiming()};
+    std::unique_ptr<FootprintCache> cache;
+    Cycle clock = 0;
+
+    explicit Rig(std::uint64_t capacity = 4_MiB)
+    {
+        FootprintCacheConfig cfg;
+        cfg.capacityBytes = capacity;
+        cache = std::make_unique<FootprintCache>(cfg, &offchip);
+    }
+
+    Addr
+    addrOf(std::uint64_t page, std::uint32_t offset) const
+    {
+        return blockAddress(page * 32 + offset);
+    }
+
+    DramCacheResult
+    access(std::uint64_t page, std::uint32_t offset, bool is_write,
+           Pc pc = 0x400000)
+    {
+        clock += 500;
+        DramCacheRequest req;
+        req.addr = addrOf(page, offset);
+        req.pc = pc;
+        req.core = 0;
+        req.isWrite = is_write;
+        req.cycle = clock;
+        return cache->access(req);
+    }
+
+    void
+    forceEvict(std::uint64_t page)
+    {
+        const std::uint64_t sets = cache->geometry().numSets;
+        for (std::uint64_t lap = 1; lap <= 33; ++lap)
+            access(page + lap * sets, 0, false, 0x900000 + lap * 4);
+    }
+};
+
+TEST(FootprintGeometry, TableIVTagSizes)
+{
+    // Table IV: tags 0.8 / 1.58 / 3.12 / 6.2 / 12.5 / 25 / 50 MB for
+    // 128 MB ... 8 GB caches.
+    struct Row
+    {
+        std::uint64_t cap;
+        double tag_mb;
+    };
+    const Row rows[] = {
+        {128_MiB, 0.8}, {256_MiB, 1.58}, {512_MiB, 3.12}, {1_GiB, 6.2},
+        {2_GiB, 12.5},  {4_GiB, 25.0},   {8_GiB, 50.0},
+    };
+    for (const Row &r : rows) {
+        const FootprintGeometry g = FootprintGeometry::compute(r.cap);
+        const double mb =
+            static_cast<double>(g.sramTagBytes) / (1024.0 * 1024.0);
+        EXPECT_NEAR(mb, r.tag_mb, r.tag_mb * 0.25)
+            << "capacity " << r.cap;
+    }
+}
+
+TEST(FootprintGeometry, TableIVTagLatencies)
+{
+    EXPECT_EQ(FootprintGeometry::tagLatencyForCapacity(128_MiB), 6u);
+    EXPECT_EQ(FootprintGeometry::tagLatencyForCapacity(256_MiB), 9u);
+    EXPECT_EQ(FootprintGeometry::tagLatencyForCapacity(512_MiB), 11u);
+    EXPECT_EQ(FootprintGeometry::tagLatencyForCapacity(1_GiB), 16u);
+    EXPECT_EQ(FootprintGeometry::tagLatencyForCapacity(2_GiB), 25u);
+    EXPECT_EQ(FootprintGeometry::tagLatencyForCapacity(4_GiB), 36u);
+    EXPECT_EQ(FootprintGeometry::tagLatencyForCapacity(8_GiB), 48u);
+}
+
+TEST(FootprintGeometry, ThirtyTwoWayTwoKbPages)
+{
+    const FootprintGeometry g = FootprintGeometry::compute(512_MiB);
+    EXPECT_EQ(g.pageBlocks, 32u);
+    EXPECT_EQ(g.assoc, 32u);
+    EXPECT_EQ(g.pagesPerRow, 4u); // 8 KB row = four 2 KB pages
+    EXPECT_EQ(g.numPages, 512_MiB / 2048);
+    EXPECT_EQ(g.numSets, g.numPages / 32);
+}
+
+TEST(FootprintCache, HitAfterAllocation)
+{
+    Rig rig;
+    EXPECT_FALSE(rig.access(10, 1, false).hit);
+    EXPECT_TRUE(rig.access(10, 1, false).hit);
+    EXPECT_TRUE(rig.cache->pagePresent(rig.addrOf(10, 0)));
+}
+
+TEST(FootprintCache, TagLatencyOnEveryAccess)
+{
+    // A miss is detected after only the SRAM tag latency: the done
+    // time of a miss must not include a stacked-DRAM tag read.
+    FootprintCacheConfig cfg;
+    cfg.capacityBytes = 4_MiB;
+    cfg.tagLatencyOverride = 11;
+    DramModule offchip(offChipDramOrganization(), offChipDramTiming());
+    FootprintCache cache(cfg, &offchip);
+    EXPECT_EQ(cache.tagLatency(), 11u);
+
+    DramCacheRequest req;
+    req.addr = 0;
+    req.pc = 0x400000;
+    req.cycle = 10000;
+    const DramCacheResult res = cache.access(req);
+    // Miss path: tag (11) + off-chip fetch; the unloaded off-chip
+    // conflict read is ~141 cycles.
+    const Cycle latency = res.doneAt - req.cycle;
+    EXPECT_GE(latency, 11u + 95u);
+    EXPECT_LE(latency, 11u + 200u);
+}
+
+TEST(FootprintCache, FootprintLearningRoundTrip)
+{
+    Rig rig;
+    const Pc pc = 0x400abc;
+    rig.access(20, 3, false, pc);
+    rig.access(20, 7, false, pc);
+    rig.forceEvict(20);
+
+    const std::uint64_t page2 = 20 + 64 * rig.cache->geometry().numSets;
+    rig.access(page2, 3, false, pc);
+    EXPECT_TRUE(rig.cache->blockPresent(rig.addrOf(page2, 7)));
+    EXPECT_FALSE(rig.cache->blockPresent(rig.addrOf(page2, 12)));
+}
+
+TEST(FootprintCache, ThirtyTwoWayLru)
+{
+    Rig rig;
+    const std::uint64_t sets = rig.cache->geometry().numSets;
+    // Fill all 32 ways of set 2, then re-touch the first 31 pages.
+    for (std::uint64_t w = 0; w < 32; ++w)
+        rig.access(2 + w * sets, 0, false);
+    for (std::uint64_t w = 0; w < 31; ++w)
+        rig.access(2 + w * sets, 1, false);
+    // One more allocation evicts the untouched way 31.
+    rig.access(2 + 40 * sets, 0, false);
+    EXPECT_FALSE(rig.cache->pagePresent(rig.addrOf(2 + 31 * sets, 0)));
+    EXPECT_TRUE(rig.cache->pagePresent(rig.addrOf(2 + 30 * sets, 0)));
+}
+
+TEST(FootprintCache, DirtyWritebackOnEviction)
+{
+    Rig rig;
+    rig.access(5, 2, false); // allocate (write misses do not allocate)
+    rig.access(5, 2, true);
+    rig.access(5, 9, true);
+    const std::uint64_t writes_before = rig.offchip.stats().writes;
+    rig.forceEvict(5);
+    EXPECT_EQ(rig.offchip.stats().writes, writes_before + 2);
+    EXPECT_EQ(rig.cache->stats().offchipWritebackBlocks.value(), 2u);
+}
+
+TEST(FootprintCache, UnderpredictionFetchesSingleBlock)
+{
+    Rig rig;
+    const Pc pc = 0x400777;
+    rig.access(30, 1, false, pc);
+    rig.access(30, 2, false, pc);
+    rig.forceEvict(30);
+
+    const std::uint64_t page2 = 30 + 64 * rig.cache->geometry().numSets;
+    rig.access(page2, 1, false, pc);
+    const std::uint64_t reads_before = rig.offchip.stats().reads;
+    const DramCacheResult res = rig.access(page2, 20, false, pc);
+    EXPECT_FALSE(res.hit);
+    EXPECT_EQ(rig.offchip.stats().reads, reads_before + 1);
+    EXPECT_EQ(rig.cache->stats().blockMisses.value(), 1u);
+}
+
+TEST(FootprintCache, StatsIdentities)
+{
+    Rig rig;
+    Rng rng(13);
+    Cycle clock = 0;
+    for (int i = 0; i < 20000; ++i) {
+        clock += 400;
+        DramCacheRequest req;
+        req.addr = blockAddress(rng.below(1u << 17));
+        req.pc = 0x400000 + rng.below(64) * 4;
+        req.isWrite = rng.chance(0.3);
+        req.cycle = clock;
+        rig.cache->access(req);
+    }
+    const DramCacheStats &s = rig.cache->stats();
+    EXPECT_EQ(s.hits.value() + s.misses.value(), s.accesses());
+    EXPECT_EQ(s.pageMisses.value() + s.blockMisses.value(),
+              s.misses.value());
+    EXPECT_EQ(s.offchipFetchedBlocks(), rig.offchip.stats().reads);
+}
+
+} // namespace
+} // namespace unison

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the Loh-Hill baseline: row-as-set geometry, MissMap
+ * latency on the hit path, fast misses, serialized tag-then-data hits,
+ * and LRU within the large set.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/alloy_cache.hh"
+#include "baselines/lohhill_cache.hh"
+#include "common/rng.hh"
+
+namespace unison {
+namespace {
+
+struct Rig
+{
+    DramModule offchip{offChipDramOrganization(), offChipDramTiming()};
+    std::unique_ptr<LohHillCache> cache;
+    Cycle clock = 0;
+
+    explicit Rig(std::uint64_t capacity = 1_MiB)
+    {
+        LohHillConfig cfg;
+        cfg.capacityBytes = capacity;
+        cache = std::make_unique<LohHillCache>(cfg, &offchip);
+    }
+
+    DramCacheResult
+    access(std::uint64_t block, bool is_write = false)
+    {
+        clock += 500;
+        DramCacheRequest req;
+        req.addr = blockAddress(block);
+        req.pc = 0x400000;
+        req.isWrite = is_write;
+        req.cycle = clock;
+        return cache->access(req);
+    }
+};
+
+TEST(LohHillGeometry, RowAsSet)
+{
+    const LohHillGeometry g = LohHillGeometry::compute(1_GiB);
+    // 8 B tag + 64 B block per way: 113 ways in an 8 KB row.
+    EXPECT_EQ(g.waysPerSet, 113u);
+    EXPECT_EQ(g.tagBytes, 113u * 8u);
+    EXPECT_EQ(g.numRows, 1_GiB / kRowBytes);
+}
+
+TEST(LohHillGeometry, MissMapDoesNotScale)
+{
+    // The Unison paper's point: the MissMap is multi-MB and grows
+    // linearly with capacity.
+    const LohHillGeometry small = LohHillGeometry::compute(512_MiB);
+    const LohHillGeometry large = LohHillGeometry::compute(8_GiB);
+    EXPECT_GT(small.missMapBytes, 1_MiB / 2);
+    EXPECT_NEAR(static_cast<double>(large.missMapBytes),
+                16.0 * static_cast<double>(small.missMapBytes),
+                static_cast<double>(small.missMapBytes));
+    EXPECT_GT(large.missMapBytes, 8_MiB);
+}
+
+TEST(LohHillCache, HitAfterFill)
+{
+    Rig rig;
+    EXPECT_FALSE(rig.access(100).hit);
+    EXPECT_TRUE(rig.access(100).hit);
+    EXPECT_TRUE(rig.cache->blockPresent(blockAddress(100)));
+}
+
+TEST(LohHillCache, MissBypassesDramProbe)
+{
+    // A miss costs MissMap latency + the off-chip access -- no stacked
+    // DRAM read at all.
+    Rig rig;
+    const std::uint64_t stacked_reads_before =
+        rig.cache->stackedDram()->stats().reads;
+    rig.access(42);
+    // Only the fill write touches the stacked DRAM, never a probe.
+    EXPECT_EQ(rig.cache->stackedDram()->stats().reads,
+              stacked_reads_before);
+    EXPECT_EQ(rig.cache->stackedDram()->stats().writes, 1u);
+}
+
+TEST(LohHillCache, HitSlowerThanAlloy)
+{
+    // Sec. II-A: the MissMap plus tag-then-data serialization makes
+    // Loh-Hill hits slower than Alloy's single TAD read.
+    Rig lh;
+    DramModule offchip(offChipDramOrganization(), offChipDramTiming());
+    AlloyConfig acfg;
+    acfg.capacityBytes = 1_MiB;
+    acfg.missPredictorEnabled = false;
+    AlloyCache alloy(acfg, &offchip);
+
+    lh.access(77);
+    DramCacheRequest warm;
+    warm.addr = blockAddress(77);
+    warm.pc = 0x400000;
+    warm.cycle = 1000;
+    alloy.access(warm);
+
+    const DramCacheResult lh_hit = lh.access(77);
+    DramCacheRequest probe = warm;
+    probe.cycle = 100000;
+    const DramCacheResult ac_hit = alloy.access(probe);
+    ASSERT_TRUE(lh_hit.hit);
+    ASSERT_TRUE(ac_hit.hit);
+    EXPECT_GT(lh_hit.doneAt - lh.clock, ac_hit.doneAt - probe.cycle);
+}
+
+TEST(LohHillCache, DirtyEvictionWritesBack)
+{
+    Rig rig(64_KiB); // 8 rows: small enough to force evictions
+    const std::uint32_t ways = rig.cache->geometry().waysPerSet;
+    const std::uint64_t rows = rig.cache->geometry().numRows;
+
+    rig.access(3);       // allocate (write misses do not allocate)
+    rig.access(3, true); // dirty the resident block
+    EXPECT_TRUE(rig.cache->blockDirty(blockAddress(3)));
+    // Fill the whole set with conflicting blocks.
+    const std::uint64_t writes_before = rig.offchip.stats().writes;
+    for (std::uint32_t w = 1; w <= ways; ++w)
+        rig.access(3 + static_cast<std::uint64_t>(w) * rows);
+    EXPECT_FALSE(rig.cache->blockPresent(blockAddress(3)))
+        << "LRU evicted the dirty block";
+    EXPECT_GE(rig.offchip.stats().writes, writes_before + 1);
+}
+
+TEST(LohHillCache, StatsIdentities)
+{
+    Rig rig;
+    Rng rng(5);
+    for (int i = 0; i < 20000; ++i)
+        rig.access(rng.below(1u << 16), rng.chance(0.25));
+    const DramCacheStats &s = rig.cache->stats();
+    EXPECT_EQ(s.hits.value() + s.misses.value(), s.accesses());
+    EXPECT_EQ(s.offchipFetchedBlocks(), rig.offchip.stats().reads);
+}
+
+} // namespace
+} // namespace unison

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Parameterized sweeps over the predictor structures' geometries --
+ * the Table II SRAM budgets are one design point each, but the
+ * structures must behave correctly at any legal size: learn/predict
+ * round trips survive up to capacity, LRU reclaims beyond it, aliasing
+ * degrades gracefully, and storage reports scale linearly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "predictors/footprint_table.hh"
+#include "predictors/miss_predictor.hh"
+#include "predictors/singleton_table.hh"
+#include "predictors/way_predictor.hh"
+
+namespace unison {
+namespace {
+
+// ---------------------------------------------------------------------
+// Footprint history table: entries x assoc sweep
+// ---------------------------------------------------------------------
+
+using FhtParam = std::tuple<std::uint32_t, std::uint32_t>;
+
+class FhtSweep : public ::testing::TestWithParam<FhtParam>
+{
+  protected:
+    FootprintTableConfig
+    config() const
+    {
+        FootprintTableConfig c;
+        c.numEntries = std::get<0>(GetParam());
+        c.assoc = std::get<1>(GetParam());
+        return c;
+    }
+};
+
+TEST_P(FhtSweep, RetainsNearlyAllEntriesAtLightLoad)
+{
+    FootprintHistoryTable fht(config());
+    // Train a sixteenth of capacity with distinct (PC, offset) pairs.
+    // Set-index hashing makes perfect retention impossible (two keys
+    // may land in one set and, at low associativity, evict each
+    // other), but at 1/16 load the overwhelming majority must survive
+    // and every survivor must read back its exact mask.
+    const std::uint32_t n = config().numEntries / 16;
+    for (std::uint32_t i = 0; i < n; ++i)
+        fht.update(0x1000 + i * 8, i % 15, 0x3 | (i % 13) << 2);
+    std::uint64_t mask;
+    std::uint32_t retained = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (fht.predict(0x1000 + i * 8, i % 15, mask)) {
+            EXPECT_EQ(mask, 0x3u | (i % 13) << 2);
+            ++retained;
+        }
+    }
+    EXPECT_GE(retained, n * 9 / 10);
+}
+
+TEST_P(FhtSweep, LruReclaimsBeyondCapacity)
+{
+    FootprintHistoryTable fht(config());
+    const std::uint32_t n = config().numEntries * 3;
+    for (std::uint32_t i = 0; i < n; ++i)
+        fht.update(0x9000 + i * 8, 3, 0x7);
+    // The table must still answer (for the most recent entries) and
+    // must not have grown beyond its configured storage.
+    std::uint64_t mask;
+    EXPECT_TRUE(fht.predict(0x9000 + (n - 1) * 8, 3, mask));
+    EXPECT_LE(fht.storageBytes(),
+              static_cast<std::uint64_t>(config().numEntries) * 16);
+}
+
+TEST_P(FhtSweep, StorageScalesWithEntries)
+{
+    FootprintTableConfig small = config();
+    FootprintTableConfig big = config();
+    big.numEntries *= 2;
+    FootprintHistoryTable a(small), b(big);
+    EXPECT_EQ(b.storageBytes(), 2 * a.storageBytes());
+}
+
+TEST_P(FhtSweep, MergeNeverShrinksAnEntry)
+{
+    FootprintHistoryTable fht(config());
+    fht.update(0x42, 1, 0x6);
+    fht.merge(0x42, 1, 0x18);
+    std::uint64_t mask;
+    ASSERT_TRUE(fht.predict(0x42, 1, mask));
+    EXPECT_EQ(mask & 0x6u, 0x6u);
+    EXPECT_EQ(mask & 0x18u, 0x18u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, FhtSweep,
+    ::testing::Values(FhtParam{4096, 4}, FhtParam{8192, 2},
+                      FhtParam{16384, 1}, FhtParam{24576, 6}),
+    [](const ::testing::TestParamInfo<FhtParam> &info) {
+        return std::to_string(std::get<0>(info.param)) + "e_" +
+               std::to_string(std::get<1>(info.param)) + "w";
+    });
+
+// ---------------------------------------------------------------------
+// Way predictor: index bits x assoc sweep
+// ---------------------------------------------------------------------
+
+using WpParam = std::tuple<std::uint32_t, std::uint32_t>;
+
+class WayPredictorSweep : public ::testing::TestWithParam<WpParam>
+{
+  protected:
+    std::uint32_t indexBits() const { return std::get<0>(GetParam()); }
+    std::uint32_t assoc() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(WayPredictorSweep, TrainPredictRoundTrip)
+{
+    WayPredictor wp(indexBits(), assoc());
+    for (std::uint64_t page = 0; page < 64; ++page)
+        wp.train(page, static_cast<std::uint32_t>(page % assoc()));
+    for (std::uint64_t page = 0; page < 64; ++page)
+        EXPECT_EQ(wp.predict(page),
+                  static_cast<std::uint32_t>(page % assoc()));
+}
+
+TEST_P(WayPredictorSweep, PredictionsAlwaysLegalWays)
+{
+    WayPredictor wp(indexBits(), assoc());
+    for (std::uint64_t page = 0; page < 10'000; page += 37)
+        EXPECT_LT(wp.predict(page), assoc());
+}
+
+TEST_P(WayPredictorSweep, AliasingPagesShareAnEntry)
+{
+    // Two pages an exact table-size apart in the XOR-hash pattern can
+    // collide; training one must never produce an illegal prediction
+    // for the other, and training both in turn must let the later
+    // training win its own entry.
+    WayPredictor wp(indexBits(), assoc());
+    const std::uint64_t a = 12345;
+    wp.train(a, 1 % assoc());
+    wp.train(a, 1 % assoc());
+    EXPECT_EQ(wp.predict(a), 1 % assoc());
+    EXPECT_LT(wp.predict(a + (1ull << indexBits())), assoc());
+}
+
+TEST_P(WayPredictorSweep, StorageMatchesLogAssocBitsPerEntry)
+{
+    WayPredictor wp(indexBits(), assoc());
+    // Each entry stores a way index: log2(assoc) bits. Table II's
+    // 1 KB (12-bit, 4-way) and 16 KB (16-bit... with wider entries)
+    // points both satisfy this formula.
+    std::uint32_t way_bits = 0;
+    while ((1u << way_bits) < assoc())
+        ++way_bits;
+    EXPECT_EQ(wp.storageBytes(),
+              (1ull << indexBits()) * way_bits / 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, WayPredictorSweep,
+    ::testing::Values(WpParam{10, 2}, WpParam{12, 4}, WpParam{14, 4},
+                      WpParam{16, 4}),
+    [](const ::testing::TestParamInfo<WpParam> &info) {
+        return std::to_string(std::get<0>(info.param)) + "b_" +
+               std::to_string(std::get<1>(info.param)) + "w";
+    });
+
+// ---------------------------------------------------------------------
+// Singleton table: capacity-pressure sweep
+// ---------------------------------------------------------------------
+
+class SingletonSweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(SingletonSweep, InsertCheckRemoveAtLightLoad)
+{
+    SingletonTableConfig cfg;
+    cfg.numEntries = GetParam();
+    SingletonTable table(cfg);
+    // Set-index hashing makes some same-set eviction unavoidable even
+    // below capacity; at 1/8 load nearly all entries must survive,
+    // every survivor must read back exactly, and removal must be
+    // destructive (check-and-remove semantics, Sec. III-A.4).
+    const std::uint32_t n = cfg.numEntries / 8;
+    for (std::uint32_t i = 0; i < n; ++i)
+        table.insert(1000 + i, 0x4000 + i * 4, i % 15, i % 15);
+    Pc pc;
+    std::uint32_t off, first;
+    std::uint32_t retained = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (table.checkAndRemove(1000 + i, pc, off, first)) {
+            EXPECT_EQ(pc, 0x4000u + i * 4);
+            EXPECT_EQ(off, i % 15);
+            // Removed: a second query must miss.
+            EXPECT_FALSE(
+                table.checkAndRemove(1000 + i, pc, off, first));
+            ++retained;
+        }
+    }
+    EXPECT_GE(retained, n * 9 / 10);
+}
+
+TEST_P(SingletonSweep, OverflowEvictsOldestNotNewest)
+{
+    SingletonTableConfig cfg;
+    cfg.numEntries = GetParam();
+    SingletonTable table(cfg);
+    const std::uint32_t n = cfg.numEntries * 2;
+    for (std::uint32_t i = 0; i < n; ++i)
+        table.insert(5000 + i, 0x8000, 1, 1);
+    Pc pc;
+    std::uint32_t off, first;
+    // The most recent insert must have survived the pressure.
+    EXPECT_TRUE(table.checkAndRemove(5000 + n - 1, pc, off, first));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SingletonSweep,
+                         ::testing::Values(64u, 256u, 1024u));
+
+// ---------------------------------------------------------------------
+// MAP-I miss predictor: core-count sweep
+// ---------------------------------------------------------------------
+
+class MissPredictorSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MissPredictorSweep, CoresDoNotInterfere)
+{
+    MissPredictorConfig cfg;
+    cfg.numCores = GetParam();
+    MissPredictor mp(cfg);
+    // Drive core 0 to predict miss for one PC; every other core must
+    // still predict hit for the same PC (96 B *per core*, Table II).
+    const Pc pc = 0xabcd;
+    for (int i = 0; i < 16; ++i)
+        mp.train(0, pc, mp.predictHit(0, pc), /*actual_hit=*/false);
+    EXPECT_FALSE(mp.predictHit(0, pc));
+    for (int core = 1; core < cfg.numCores; ++core)
+        EXPECT_TRUE(mp.predictHit(core, pc));
+}
+
+TEST_P(MissPredictorSweep, StorageIsPerCore)
+{
+    MissPredictorConfig cfg;
+    cfg.numCores = GetParam();
+    MissPredictor mp(cfg);
+    MissPredictorConfig one = cfg;
+    one.numCores = 1;
+    MissPredictor single(one);
+    EXPECT_EQ(mp.storageBytes(),
+              static_cast<std::uint64_t>(cfg.numCores) *
+                  single.storageBytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, MissPredictorSweep,
+                         ::testing::Values(1, 4, 16));
+
+} // namespace
+} // namespace unison

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Parameterized properties of the six workload presets -- the
+ * substrate standing in for the paper's CloudSuite/TPC-H traces. Every
+ * preset must satisfy the structural contract the designs and the
+ * footprint predictor sense: addresses inside the declared dataset,
+ * write fraction near its parameter, bounded PC population (code-
+ * footprint correlation requires a finite hot code set), determinism,
+ * and lossless round trips through the trace file format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "trace/presets.hh"
+#include "trace/tracefile.hh"
+#include "trace/workload.hh"
+
+namespace unison {
+namespace {
+
+class PresetSweep : public ::testing::TestWithParam<Workload>
+{
+  protected:
+    WorkloadParams
+    params() const
+    {
+        WorkloadParams p = workloadParams(GetParam());
+        p.numCores = 4; // keep the sweep cheap
+        return p;
+    }
+
+    /** Pull n accesses round-robin across cores. */
+    std::vector<MemoryAccess>
+    generate(SyntheticWorkload &w, int n) const
+    {
+        std::vector<MemoryAccess> out;
+        out.reserve(n);
+        MemoryAccess a;
+        for (int i = 0; i < n; ++i) {
+            EXPECT_TRUE(w.next(i % w.numCores(), a));
+            out.push_back(a);
+        }
+        return out;
+    }
+};
+
+TEST_P(PresetSweep, AddressesStayInsideTheDataset)
+{
+    const WorkloadParams p = params();
+    SyntheticWorkload w(p, 42);
+    for (const MemoryAccess &a : generate(w, 20'000)) {
+        EXPECT_LT(a.addr, p.datasetBytes);
+        // Block-aligned: the stream models L2-miss granularity.
+        EXPECT_EQ(a.addr % kBlockBytes, 0u);
+    }
+}
+
+TEST_P(PresetSweep, DeterministicAcrossInstances)
+{
+    const WorkloadParams p = params();
+    SyntheticWorkload w1(p, 7), w2(p, 7);
+    MemoryAccess a1, a2;
+    for (int i = 0; i < 5'000; ++i) {
+        const int core = i % p.numCores;
+        ASSERT_TRUE(w1.next(core, a1));
+        ASSERT_TRUE(w2.next(core, a2));
+        ASSERT_EQ(a1.addr, a2.addr);
+        ASSERT_EQ(a1.pc, a2.pc);
+        ASSERT_EQ(a1.isWrite, a2.isWrite);
+        ASSERT_EQ(a1.instrsBefore, a2.instrsBefore);
+    }
+}
+
+TEST_P(PresetSweep, WriteFractionNearParameter)
+{
+    const WorkloadParams p = params();
+    SyntheticWorkload w(p, 11);
+    std::uint64_t writes = 0;
+    const int n = 40'000;
+    for (const MemoryAccess &a : generate(w, n))
+        writes += a.isWrite ? 1 : 0;
+    const double measured = static_cast<double>(writes) / n;
+    EXPECT_NEAR(measured, p.writeFraction,
+                0.25 * p.writeFraction + 0.01);
+}
+
+TEST_P(PresetSweep, PcPopulationIsBounded)
+{
+    // Code-footprint correlation needs a bounded hot code set: the
+    // number of distinct PCs must stay within the declared function
+    // count plus the pointer-chase PCs.
+    const WorkloadParams p = params();
+    SyntheticWorkload w(p, 13);
+    std::set<Pc> pcs;
+    for (const MemoryAccess &a : generate(w, 30'000))
+        pcs.insert(a.pc);
+    EXPECT_LE(pcs.size(),
+              static_cast<std::size_t>(2 * p.numFunctions + 64));
+    EXPECT_GE(pcs.size(), 8u); // and not degenerate
+}
+
+TEST_P(PresetSweep, CoreIdsMatchTheRequestedStream)
+{
+    const WorkloadParams p = params();
+    SyntheticWorkload w(p, 17);
+    MemoryAccess a;
+    for (int i = 0; i < 1'000; ++i) {
+        const int core = i % p.numCores;
+        ASSERT_TRUE(w.next(core, a));
+        EXPECT_EQ(a.core, core);
+    }
+}
+
+TEST_P(PresetSweep, SpatialLocalityExistsWithinRegions)
+{
+    // Footprint designs live on blocks sharing their 2 KB region with
+    // a recent neighbour; every preset must exhibit a nontrivial
+    // fraction of such accesses (Data Analytics is the paper's lowest-
+    // locality workload but still far from pure random).
+    const WorkloadParams p = params();
+    SyntheticWorkload w(p, 19);
+    std::set<std::uint64_t> seen_regions;
+    std::uint64_t repeats = 0, n = 0;
+    MemoryAccess a;
+    for (int i = 0; i < 30'000; ++i) {
+        ASSERT_TRUE(w.next(i % p.numCores, a));
+        const std::uint64_t region = a.addr / kRegionBytes;
+        if (!seen_regions.insert(region).second)
+            ++repeats;
+        ++n;
+    }
+    EXPECT_GT(static_cast<double>(repeats) / n, 0.5);
+}
+
+TEST_P(PresetSweep, TraceFileRoundTripPreservesEverything)
+{
+    const WorkloadParams p = params();
+    SyntheticWorkload w(p, 23);
+    const std::vector<MemoryAccess> original = generate(w, 4'000);
+
+    const std::string path =
+        "/tmp/unison_preset_trace_" +
+        std::to_string(static_cast<int>(GetParam())) + ".bin";
+    {
+        TraceWriter writer(path, p.numCores);
+        for (const MemoryAccess &a : original)
+            writer.write(a);
+    }
+    TraceReader reader(path);
+    ASSERT_EQ(reader.numCores(), p.numCores);
+
+    // Replay in the same per-core order the generator produced.
+    std::size_t idx = 0;
+    MemoryAccess a;
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        ASSERT_TRUE(
+            reader.next(static_cast<int>(i % p.numCores), a));
+        EXPECT_EQ(a.addr, original[idx].addr);
+        EXPECT_EQ(a.pc, original[idx].pc);
+        EXPECT_EQ(a.isWrite, original[idx].isWrite);
+        EXPECT_EQ(a.instrsBefore, original[idx].instrsBefore);
+        EXPECT_EQ(a.core, original[idx].core);
+        ++idx;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(WorkloadPlacement, PatternFootprintsStraddleRegionBoundaries)
+{
+    // Regression guard for the boundary-agnostic placement fix: real
+    // objects respect no page boundary, so scattered (non-scan)
+    // footprints must sometimes straddle a 2 KB region line. (The
+    // original generator clamped placements inside one region, which
+    // silently guaranteed that no footprint ever crossed a 2 KB page
+    // of the Footprint Cache while constantly crossing Unison's 960 B
+    // pages -- a structural bias, see DESIGN.md modeling decisions.)
+    WorkloadParams p = workloadParams(Workload::DataServing);
+    p.numCores = 1;
+    p.episodesPerCore = 1;     // sequential episodes
+    p.burstLength = 1024;      // drain each episode fully
+    p.contiguousFraction = 0.0; // isolate scattered patterns
+    p.pointerChaseFraction = 0.0;
+    p.singletonFunctionFraction = 0.0;
+    SyntheticWorkload w(p, 29);
+
+    MemoryAccess a;
+    std::uint64_t prev_block = ~0ull;
+    std::uint64_t crossings = 0, near_pairs = 0;
+    for (int i = 0; i < 60'000; ++i) {
+        ASSERT_TRUE(w.next(0, a));
+        const std::uint64_t block = blockNumber(a.addr);
+        if (prev_block != ~0ull) {
+            const std::uint64_t lo = std::min(block, prev_block);
+            const std::uint64_t hi = std::max(block, prev_block);
+            if (hi - lo < kRegionBlocks) {
+                ++near_pairs;
+                if (lo / kRegionBlocks != hi / kRegionBlocks)
+                    ++crossings;
+            }
+        }
+        prev_block = block;
+    }
+    ASSERT_GT(near_pairs, 10'000u);
+    // Straddling must happen: with uniform alignments a pattern of
+    // span s crosses a boundary in (s-1)/32 of placements, one
+    // crossing pair among its ~s near pairs. The clamped generator
+    // produced *exactly zero* such pairs; any healthy rate is well
+    // above one per thousand.
+    EXPECT_GT(crossings, 0u);
+    EXPECT_GT(static_cast<double>(crossings) / near_pairs, 0.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPresets, PresetSweep,
+    ::testing::Values(Workload::DataAnalytics, Workload::DataServing,
+                      Workload::SoftwareTesting, Workload::WebSearch,
+                      Workload::WebServing, Workload::TpchQueries),
+    [](const ::testing::TestParamInfo<Workload> &info) {
+        std::string n = workloadName(info.param);
+        for (char &c : n)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+} // namespace
+} // namespace unison

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the SRAM cache model and the L1/L2 hierarchy: LRU
+ * behaviour, write-back semantics, and the demand/writeback streams
+ * the DRAM-cache level receives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "cache/sram_cache.hh"
+
+namespace unison {
+namespace {
+
+SramCacheConfig
+tinyConfig(std::uint32_t assoc)
+{
+    SramCacheConfig cfg;
+    cfg.name = "tiny";
+    cfg.sizeBytes = 4 * 1024; // 64 blocks
+    cfg.assoc = assoc;
+    return cfg;
+}
+
+/** Address mapping to a given (set, sequence) pair in the tiny cache. */
+Addr
+addrForSet(const SetAssocCache &cache, std::uint32_t set,
+           std::uint32_t seq)
+{
+    const std::uint64_t block =
+        (static_cast<std::uint64_t>(seq) * cache.numSets()) + set;
+    return block * kBlockBytes;
+}
+
+TEST(SetAssocCache, HitAfterMiss)
+{
+    SetAssocCache cache(tinyConfig(4));
+    EXPECT_FALSE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x1001, false).hit) << "same block";
+    EXPECT_FALSE(cache.access(0x2000, false).hit);
+    EXPECT_EQ(cache.stats().hits.value(), 2u);
+    EXPECT_EQ(cache.stats().misses.value(), 2u);
+}
+
+TEST(SetAssocCache, LruEviction)
+{
+    SetAssocCache cache(tinyConfig(2));
+    const Addr a = addrForSet(cache, 0, 0);
+    const Addr b = addrForSet(cache, 0, 1);
+    const Addr c = addrForSet(cache, 0, 2);
+
+    cache.access(a, false);
+    cache.access(b, false);
+    cache.access(a, false); // a is now MRU
+    cache.access(c, false); // evicts b (LRU)
+    EXPECT_TRUE(cache.probe(a));
+    EXPECT_FALSE(cache.probe(b));
+    EXPECT_TRUE(cache.probe(c));
+}
+
+TEST(SetAssocCache, DirtyWritebackOnEviction)
+{
+    SetAssocCache cache(tinyConfig(1)); // direct-mapped
+    const Addr a = addrForSet(cache, 3, 0);
+    const Addr b = addrForSet(cache, 3, 1);
+
+    cache.access(a, true); // dirty
+    const SramAccessResult res = cache.access(b, false);
+    EXPECT_FALSE(res.hit);
+    EXPECT_TRUE(res.writeback);
+    EXPECT_EQ(res.writebackAddr, a);
+    EXPECT_EQ(cache.stats().writebacks.value(), 1u);
+}
+
+TEST(SetAssocCache, CleanEvictionHasNoWriteback)
+{
+    SetAssocCache cache(tinyConfig(1));
+    const Addr a = addrForSet(cache, 3, 0);
+    const Addr b = addrForSet(cache, 3, 1);
+    cache.access(a, false);
+    const SramAccessResult res = cache.access(b, false);
+    EXPECT_FALSE(res.writeback);
+}
+
+TEST(SetAssocCache, WriteHitMarksDirty)
+{
+    SetAssocCache cache(tinyConfig(2));
+    const Addr a = addrForSet(cache, 1, 0);
+    cache.access(a, false); // clean fill
+    cache.access(a, true);  // dirtied by a later write hit
+    const Addr b = addrForSet(cache, 1, 1);
+    const Addr c = addrForSet(cache, 1, 2);
+    cache.access(b, false);
+    const SramAccessResult res = cache.access(c, false); // evicts a
+    EXPECT_TRUE(res.writeback);
+    EXPECT_EQ(res.writebackAddr, a);
+}
+
+TEST(SetAssocCache, InvalidateReturnsDirtiness)
+{
+    SetAssocCache cache(tinyConfig(4));
+    cache.access(0x40, true);
+    EXPECT_TRUE(cache.invalidate(0x40));
+    EXPECT_FALSE(cache.probe(0x40));
+    EXPECT_FALSE(cache.invalidate(0x40)) << "already gone";
+}
+
+TEST(SetAssocCache, RejectsBadGeometry)
+{
+    SramCacheConfig cfg;
+    cfg.sizeBytes = 100; // smaller than a set
+    cfg.assoc = 8;
+    EXPECT_DEATH({ SetAssocCache cache(cfg); }, "smaller than one set");
+}
+
+TEST(Hierarchy, L1HitStopsThere)
+{
+    CacheHierarchy hier(2, HierarchyConfig{});
+    hier.access(0, 0x1000, false); // warm
+    const HierarchyOutcome out = hier.access(0, 0x1000, false);
+    EXPECT_EQ(out.level, HierarchyOutcome::Level::L1);
+    EXPECT_EQ(out.sramLatency, 2u);
+    EXPECT_EQ(out.numWritebacks, 0);
+}
+
+TEST(Hierarchy, PrivateL1s)
+{
+    CacheHierarchy hier(2, HierarchyConfig{});
+    hier.access(0, 0x1000, false);
+    // Core 1 misses its own L1 but hits the shared L2.
+    const HierarchyOutcome out = hier.access(1, 0x1000, false);
+    EXPECT_EQ(out.level, HierarchyOutcome::Level::L2);
+    EXPECT_EQ(out.sramLatency, 2u + 13u);
+}
+
+TEST(Hierarchy, ColdMissGoesBeyond)
+{
+    CacheHierarchy hier(1, HierarchyConfig{});
+    const HierarchyOutcome out = hier.access(0, 0x1000, false);
+    EXPECT_EQ(out.level, HierarchyOutcome::Level::Beyond);
+}
+
+TEST(Hierarchy, DirtyDataReachesDramCacheLevel)
+{
+    // Use a tiny hierarchy so evictions happen quickly.
+    HierarchyConfig cfg;
+    cfg.l1Bytes = 1024;
+    cfg.l1Assoc = 1;
+    cfg.l2Bytes = 2048;
+    cfg.l2Assoc = 1;
+    CacheHierarchy hier(1, cfg);
+
+    int writebacks = 0;
+    // Write a long stream of distinct blocks: every dirty line must
+    // eventually surface as a beyond-level writeback.
+    for (std::uint64_t i = 0; i < 4096; ++i) {
+        const HierarchyOutcome out =
+            hier.access(0, i * kBlockBytes, true);
+        writebacks += out.numWritebacks;
+    }
+    // 4096 dirty blocks minus what still sits in L1+L2 (1 KB + 2 KB =
+    // 48 blocks) must have been written back.
+    EXPECT_GE(writebacks, 4096 - 48);
+    EXPECT_LE(writebacks, 4096);
+}
+
+TEST(Hierarchy, StatsResetClearsCounters)
+{
+    CacheHierarchy hier(1, HierarchyConfig{});
+    hier.access(0, 0x1000, false);
+    hier.resetStats();
+    EXPECT_EQ(hier.l1(0).stats().accesses.value(), 0u);
+    EXPECT_EQ(hier.l2().stats().accesses.value(), 0u);
+}
+
+} // namespace
+} // namespace unison

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the statistics package: counters, averages, ratio
+ * helpers, histograms and the table formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hh"
+#include "stats/stats.hh"
+#include "stats/table.hh"
+
+namespace unison {
+namespace {
+
+TEST(Counter, CountsAndResets)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 10;
+    EXPECT_EQ(c.value(), 11u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Average, MeanAndReset)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.record(10.0);
+    a.record(20.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 15.0);
+    EXPECT_EQ(a.samples(), 2u);
+    a.reset();
+    EXPECT_EQ(a.samples(), 0u);
+}
+
+TEST(Ratios, SafeOnZeroDenominator)
+{
+    EXPECT_DOUBLE_EQ(ratio(5, 0), 0.0);
+    EXPECT_DOUBLE_EQ(ratio(1, 4), 0.25);
+    EXPECT_DOUBLE_EQ(percent(1, 4), 25.0);
+}
+
+TEST(FormatDouble, Precision)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(3.0, 0), "3");
+}
+
+TEST(Histogram, BucketsAndQuantiles)
+{
+    Histogram h(100, 10);
+    for (std::uint64_t v = 0; v < 100; ++v)
+        h.record(v);
+    EXPECT_EQ(h.samples(), 100u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.bucketCount(0), 10u);
+    EXPECT_NEAR(h.mean(), 49.5, 0.01);
+    EXPECT_LE(h.quantile(0.5), 60u);
+    EXPECT_GE(h.quantile(0.5), 40u);
+}
+
+TEST(Histogram, OverflowBucket)
+{
+    Histogram h(10, 5);
+    h.record(3);
+    h.record(1000);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.samples(), 2u);
+    // Rendering includes the overflow row and never crashes.
+    EXPECT_FALSE(h.render().empty());
+}
+
+TEST(Histogram, ResetClearsState)
+{
+    Histogram h(10, 5);
+    h.record(3);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.bucketCount(0), 0u);
+}
+
+TEST(Table, AlignedOutput)
+{
+    Table t({"name", "value"});
+    t.beginRow();
+    t.add(std::string("alpha"));
+    t.add(std::uint64_t(42));
+    t.beginRow();
+    t.add(std::string("a-much-longer-name"));
+    t.add(3.14159, 2);
+
+    const std::string text = t.toString();
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("3.14"), std::string::npos);
+    EXPECT_NE(text.find("a-much-longer-name"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"a", "b"});
+    t.beginRow();
+    t.add(std::string("x"));
+    t.add(std::int64_t(-1));
+    EXPECT_EQ(t.toCsv(), "a,b\nx,-1\n");
+}
+
+} // namespace
+} // namespace unison

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Integration tests: the full System (cores + L1/L2 + DRAM cache +
+ * off-chip memory) on synthetic workloads -- determinism, warm-up
+ * semantics, speedup ordering across designs, and the trace-replay
+ * path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+#include "trace/tracefile.hh"
+#include "trace/workload.hh"
+
+namespace unison {
+namespace {
+
+WorkloadParams
+testWorkload()
+{
+    WorkloadParams p;
+    p.datasetBytes = 256_MiB;
+    p.numCores = 4;
+    p.blockRepeatMean = 4.0;
+    p.instrsPerMemRef = 6.0;
+    return p;
+}
+
+SimResult
+runDesign(DesignKind design, std::uint64_t accesses = 600000,
+          std::uint64_t seed = 42)
+{
+    ExperimentSpec spec;
+    spec.design = design;
+    spec.capacityBytes = 32_MiB;
+    spec.system.numCores = 4;
+
+    SyntheticWorkload workload(testWorkload(), seed);
+    System system(spec.system, makeCacheFactory(spec));
+    return system.run(workload, accesses);
+}
+
+TEST(System, DeterministicAcrossRuns)
+{
+    const SimResult a = runDesign(DesignKind::Unison);
+    const SimResult b = runDesign(DesignKind::Unison);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cache.hits.value(), b.cache.hits.value());
+    EXPECT_EQ(a.offchip.reads, b.offchip.reads);
+}
+
+TEST(System, SeedChangesResults)
+{
+    const SimResult a = runDesign(DesignKind::Unison, 600000, 1);
+    const SimResult b = runDesign(DesignKind::Unison, 600000, 2);
+    EXPECT_NE(a.cycles, b.cycles);
+}
+
+TEST(System, DesignOrderingSanity)
+{
+    const SimResult none = runDesign(DesignKind::NoDramCache);
+    const SimResult unison = runDesign(DesignKind::Unison);
+    const SimResult ideal = runDesign(DesignKind::Ideal);
+
+    // The ideal cache never misses; the no-cache system always does.
+    EXPECT_DOUBLE_EQ(ideal.missRatioPercent(), 0.0);
+    EXPECT_DOUBLE_EQ(none.missRatioPercent(), 100.0);
+
+    // Performance: ideal >= unison >= no-cache (with real margins).
+    EXPECT_GT(ideal.uipc, unison.uipc);
+    EXPECT_GT(unison.uipc, none.uipc);
+}
+
+TEST(System, AllDesignsRunAndAccount)
+{
+    for (DesignKind d :
+         {DesignKind::Unison, DesignKind::Alloy, DesignKind::Footprint,
+          DesignKind::Ideal, DesignKind::NoDramCache}) {
+        const SimResult r = runDesign(d, 300000);
+        EXPECT_GT(r.instructions, 0u);
+        EXPECT_GT(r.cycles, 0u);
+        EXPECT_GT(r.uipc, 0.0);
+        EXPECT_EQ(r.cache.hits.value() + r.cache.misses.value(),
+                  r.cache.accesses())
+            << designName(d);
+        // The ideal design never touches memory; others may.
+        if (d == DesignKind::Ideal) {
+            EXPECT_EQ(r.offchip.accesses(), 0u);
+        }
+    }
+}
+
+TEST(System, WarmupResetsStatistics)
+{
+    // With warmFraction ~1, almost nothing is measured; statistics
+    // must reflect only the post-warm window.
+    ExperimentSpec spec;
+    spec.design = DesignKind::Unison;
+    spec.capacityBytes = 32_MiB;
+    spec.system.numCores = 4;
+    spec.system.warmFraction = 0.95;
+
+    SyntheticWorkload workload(testWorkload(), 42);
+    System system(spec.system, makeCacheFactory(spec));
+    const SimResult r = system.run(workload, 400000);
+    EXPECT_LE(r.references, 400000u * 6 / 100)
+        << "measured window must be ~5% of the trace";
+    EXPECT_GT(r.references, 0u);
+}
+
+TEST(System, UnisonReportsPredictorStats)
+{
+    const SimResult r = runDesign(DesignKind::Unison);
+    EXPECT_GT(r.wpAccuracyPercent, 0.0);
+    EXPECT_GT(r.cache.fpFetched.value(), 0u);
+}
+
+TEST(System, AlloyReportsMissPredictorStats)
+{
+    const SimResult r = runDesign(DesignKind::Alloy);
+    EXPECT_GT(r.mpAccuracyPercent, 0.0);
+}
+
+TEST(System, TraceReplayIsDeterministic)
+{
+    // Two replays of the same trace file through fresh systems must
+    // agree exactly (the user-trace workflow of examples/custom_trace).
+    const std::string path = testing::TempDir() + "system.trace";
+    const std::uint64_t n = 400000;
+    {
+        TraceWriter writer(path, 4);
+        SyntheticWorkload workload(testWorkload(), 42);
+        MemoryAccess acc;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            workload.next(static_cast<int>(i % 4), acc);
+            acc.core = static_cast<std::uint8_t>(i % 4);
+            writer.write(acc);
+        }
+    }
+
+    ExperimentSpec spec;
+    spec.design = DesignKind::Unison;
+    spec.capacityBytes = 32_MiB;
+    spec.system.numCores = 4;
+
+    auto replay = [&]() {
+        TraceReader reader(path);
+        System system(spec.system, makeCacheFactory(spec));
+        return system.run(reader, n);
+    };
+    const SimResult a = replay();
+    const SimResult b = replay();
+
+    EXPECT_GT(a.cache.accesses(), 0u);
+    EXPECT_EQ(a.cache.accesses(), b.cache.accesses());
+    EXPECT_EQ(a.cache.hits.value(), b.cache.hits.value());
+    EXPECT_EQ(a.cycles, b.cycles);
+    std::remove(path.c_str());
+}
+
+TEST(Experiment, DefaultAccessCountScalesWithCapacity)
+{
+    const std::uint64_t small = defaultAccessCount(128_MiB, false);
+    const std::uint64_t large = defaultAccessCount(1_GiB, false);
+    EXPECT_GT(large, small);
+    EXPECT_EQ(defaultAccessCount(128_MiB, true), small / 8);
+    // Bounded above so 8 GB TPC-H runs stay tractable.
+    EXPECT_LE(defaultAccessCount(64_GiB, false), 200'000'000u);
+}
+
+TEST(Experiment, DesignNamesAreStable)
+{
+    EXPECT_EQ(designName(DesignKind::Unison), "Unison Cache");
+    EXPECT_EQ(designName(DesignKind::Alloy), "Alloy Cache");
+    EXPECT_EQ(designName(DesignKind::Footprint), "Footprint Cache");
+    EXPECT_EQ(designName(DesignKind::Ideal), "Ideal");
+    EXPECT_EQ(designName(DesignKind::NoDramCache), "No DRAM cache");
+}
+
+} // namespace
+} // namespace unison

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Tests for the workload generator and trace-file I/O: determinism,
+ * address-domain bounds, the PC/footprint correlation the predictors
+ * rely on, singleton behaviour, preset sanity, and file round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "trace/presets.hh"
+#include "trace/tracefile.hh"
+#include "trace/workload.hh"
+
+namespace unison {
+namespace {
+
+WorkloadParams
+smallParams()
+{
+    WorkloadParams p;
+    p.datasetBytes = 64_MiB;
+    p.numCores = 4;
+    p.numFunctions = 64;
+    return p;
+}
+
+TEST(Workload, DeterministicForSeed)
+{
+    SyntheticWorkload a(smallParams(), 42);
+    SyntheticWorkload b(smallParams(), 42);
+    MemoryAccess ma, mb;
+    for (int i = 0; i < 20000; ++i) {
+        const int core = i % 4;
+        ASSERT_TRUE(a.next(core, ma));
+        ASSERT_TRUE(b.next(core, mb));
+        EXPECT_EQ(ma.addr, mb.addr);
+        EXPECT_EQ(ma.pc, mb.pc);
+        EXPECT_EQ(ma.isWrite, mb.isWrite);
+        EXPECT_EQ(ma.instrsBefore, mb.instrsBefore);
+    }
+}
+
+TEST(Workload, DifferentSeedsDiffer)
+{
+    SyntheticWorkload a(smallParams(), 1);
+    SyntheticWorkload b(smallParams(), 2);
+    MemoryAccess ma, mb;
+    int differing = 0;
+    for (int i = 0; i < 1000; ++i) {
+        a.next(0, ma);
+        b.next(0, mb);
+        if (ma.addr != mb.addr)
+            ++differing;
+    }
+    EXPECT_GT(differing, 500);
+}
+
+TEST(Workload, AddressesStayInDataset)
+{
+    WorkloadParams p = smallParams();
+    SyntheticWorkload w(p, 7);
+    MemoryAccess acc;
+    for (int i = 0; i < 100000; ++i) {
+        w.next(i % p.numCores, acc);
+        EXPECT_LT(acc.addr, p.datasetBytes);
+        EXPECT_EQ(acc.addr % kBlockBytes, 0u) << "block aligned";
+    }
+}
+
+TEST(Workload, WriteFractionApproximatelyRespected)
+{
+    WorkloadParams p = smallParams();
+    p.writeFraction = 0.25;
+    SyntheticWorkload w(p, 9);
+    MemoryAccess acc;
+    int writes = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        w.next(i % p.numCores, acc);
+        if (acc.isWrite)
+            ++writes;
+    }
+    EXPECT_NEAR(static_cast<double>(writes) / n, 0.25, 0.02);
+}
+
+TEST(Workload, InstrsPerRefApproximatelyRespected)
+{
+    WorkloadParams p = smallParams();
+    p.instrsPerMemRef = 10.0;
+    SyntheticWorkload w(p, 9);
+    MemoryAccess acc;
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        w.next(i % p.numCores, acc);
+        sum += acc.instrsBefore;
+    }
+    EXPECT_NEAR(sum / n, 10.0, 0.5);
+}
+
+TEST(Workload, PcFootprintCorrelation)
+{
+    // The same PC must generate repeating relative access patterns:
+    // collect per-PC sets of block offsets relative to each episode's
+    // first access; a function's pattern should recur.
+    WorkloadParams p = smallParams();
+    p.footprintNoiseDrop = 0.0;
+    p.footprintNoiseAdd = 0.0;
+    p.pointerChaseFraction = 0.0;
+    p.blockRepeatMean = 1.0;
+    p.episodesPerCore = 1;
+    p.burstLength = 1000000; // no interleaving: episodes are contiguous
+    p.contiguousFraction = 0.0;
+    p.singletonFunctionFraction = 0.0;
+    SyntheticWorkload w(p, 21);
+
+    // Episodes from one core arrive contiguously; split on PC change
+    // or backward jump.
+    std::map<Pc, std::set<std::vector<std::uint64_t>>> patterns;
+    MemoryAccess acc;
+    Pc cur_pc = 0;
+    std::uint64_t base = 0;
+    std::vector<std::uint64_t> offsets;
+    for (int i = 0; i < 50000; ++i) {
+        w.next(0, acc);
+        const std::uint64_t block = blockNumber(acc.addr);
+        if (acc.pc != cur_pc || block < base) {
+            if (!offsets.empty())
+                patterns[cur_pc].insert(offsets);
+            offsets.clear();
+            cur_pc = acc.pc;
+            base = block;
+        }
+        offsets.push_back(block - base);
+    }
+
+    // Most functions should exhibit exactly one distinct relative
+    // pattern across all their episodes.
+    int single = 0, multi = 0;
+    for (const auto &[pc, pats] : patterns) {
+        if (pats.size() <= 1)
+            ++single;
+        else
+            ++multi;
+    }
+    EXPECT_GT(single, multi);
+}
+
+TEST(Workload, SingletonFunctionsTouchOneBlock)
+{
+    WorkloadParams p = smallParams();
+    p.singletonFunctionFraction = 1.0; // everything is a singleton
+    p.pointerChaseFraction = 0.0;
+    p.blockRepeatMean = 1.0;
+    p.burstLength = 1;
+    SyntheticWorkload w(p, 3);
+    // With all-singleton functions and repeat 1, consecutive accesses
+    // from one core are all to distinct random blocks.
+    MemoryAccess acc;
+    std::set<Addr> addrs;
+    for (int i = 0; i < 200; ++i) {
+        w.next(0, acc);
+        addrs.insert(acc.addr);
+    }
+    EXPECT_GT(addrs.size(), 150u);
+}
+
+TEST(Workload, RejectsTinyDataset)
+{
+    WorkloadParams p = smallParams();
+    p.datasetBytes = 1024; // fewer than 16 regions
+    EXPECT_DEATH({ SyntheticWorkload w(p, 1); }, "dataset too small");
+}
+
+TEST(Presets, AllConstructAndGenerate)
+{
+    for (Workload wl : allWorkloads()) {
+        WorkloadParams p = workloadParams(wl);
+        EXPECT_EQ(p.numCores, 16);
+        EXPECT_GE(p.datasetBytes, 1_GiB);
+        EXPECT_GT(p.instrsPerMemRef, 1.0);
+        SyntheticWorkload w(p, 42);
+        MemoryAccess acc;
+        for (int i = 0; i < 1000; ++i) {
+            ASSERT_TRUE(w.next(i % p.numCores, acc));
+            EXPECT_LT(acc.addr, p.datasetBytes);
+        }
+    }
+}
+
+TEST(Presets, NameRoundTrip)
+{
+    for (Workload wl : allWorkloads())
+        EXPECT_EQ(workloadFromName(workloadName(wl)), wl);
+    EXPECT_EQ(workloadFromName("tpch"), Workload::TpchQueries);
+    EXPECT_EQ(workloadFromName("web-search"), Workload::WebSearch);
+    EXPECT_EQ(cloudSuiteWorkloads().size(), 5u);
+}
+
+TEST(Presets, TpchHasLargestDataset)
+{
+    const WorkloadParams tpch = workloadParams(Workload::TpchQueries);
+    EXPECT_GE(tpch.datasetBytes, 100_GiB); // "exceeds 100GB" (Sec. IV-D)
+    for (Workload wl : cloudSuiteWorkloads())
+        EXPECT_LT(workloadParams(wl).datasetBytes, tpch.datasetBytes);
+}
+
+TEST(TraceFile, RoundTrip)
+{
+    const std::string path = testing::TempDir() + "roundtrip.trace";
+    std::vector<MemoryAccess> expected;
+    {
+        TraceWriter writer(path, 4);
+        SyntheticWorkload w(smallParams(), 5);
+        MemoryAccess acc;
+        for (int i = 0; i < 5000; ++i) {
+            w.next(i % 4, acc);
+            acc.core = static_cast<std::uint8_t>(i % 4);
+            expected.push_back(acc);
+            writer.write(acc);
+        }
+        EXPECT_EQ(writer.count(), 5000u);
+    }
+
+    TraceReader reader(path);
+    EXPECT_EQ(reader.numCores(), 4);
+    // Pull per core in the same round-robin order.
+    for (int i = 0; i < 5000; ++i) {
+        MemoryAccess acc;
+        ASSERT_TRUE(reader.next(i % 4, acc));
+        EXPECT_EQ(acc.addr, expected[i].addr);
+        EXPECT_EQ(acc.pc, expected[i].pc);
+        EXPECT_EQ(acc.core, expected[i].core);
+        EXPECT_EQ(acc.isWrite, expected[i].isWrite);
+    }
+    MemoryAccess acc;
+    EXPECT_FALSE(reader.next(0, acc));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, OutOfOrderCorePullBuffers)
+{
+    const std::string path = testing::TempDir() + "buffered.trace";
+    {
+        TraceWriter writer(path, 2);
+        MemoryAccess acc;
+        for (int i = 0; i < 10; ++i) {
+            acc.addr = static_cast<Addr>(i) * 64;
+            acc.core = static_cast<std::uint8_t>(i % 2);
+            writer.write(acc);
+        }
+    }
+    TraceReader reader(path);
+    // Drain core 1 first: the reader must buffer core 0's records.
+    MemoryAccess acc;
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(reader.next(1, acc));
+        EXPECT_EQ(acc.addr, static_cast<Addr>(2 * i + 1) * 64);
+    }
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(reader.next(0, acc));
+        EXPECT_EQ(acc.addr, static_cast<Addr>(2 * i) * 64);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, RejectsGarbage)
+{
+    const std::string path = testing::TempDir() + "garbage.trace";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("this is not a trace file at all...", f);
+    std::fclose(f);
+    EXPECT_DEATH({ TraceReader reader(path); }, "not a Unison trace");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace unison

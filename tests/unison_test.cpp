@@ -1,0 +1,635 @@
+/**
+ * @file
+ * Tests for Unison Cache itself: geometry (the Table II arithmetic),
+ * address mapping, the footprint learn/predict/correct cycle,
+ * singleton bypass and promotion, dirty writeback, way prediction, the
+ * ablation policies, and parameterized invariant sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/unison_cache.hh"
+
+namespace unison {
+namespace {
+
+/** A small Unison Cache with its own memory pool and a clock. */
+struct Rig
+{
+    DramModule offchip{offChipDramOrganization(), offChipDramTiming()};
+    std::unique_ptr<UnisonCache> cache;
+    Cycle clock = 0;
+
+    explicit Rig(std::uint64_t capacity = 1_MiB,
+                 std::uint32_t page_blocks = 15, std::uint32_t assoc = 4,
+                 bool singleton = true)
+    {
+        UnisonConfig cfg;
+        cfg.capacityBytes = capacity;
+        cfg.pageBlocks = page_blocks;
+        cfg.assoc = assoc;
+        cfg.singletonEnabled = singleton;
+        cache = std::make_unique<UnisonCache>(cfg, &offchip);
+    }
+
+    Rig(const UnisonConfig &cfg)
+    {
+        cache = std::make_unique<UnisonCache>(cfg, &offchip);
+    }
+
+    Addr
+    addrOf(std::uint64_t page, std::uint32_t offset) const
+    {
+        return blockAddress(page * cache->config().pageBlocks + offset);
+    }
+
+    /** Page id that maps to the same set as `page`, `lap` sets later. */
+    std::uint64_t
+    conflictPage(std::uint64_t page, std::uint64_t lap) const
+    {
+        return page + lap * cache->geometry().numSets;
+    }
+
+    DramCacheResult
+    read(std::uint64_t page, std::uint32_t offset, Pc pc = 0x400000)
+    {
+        clock += 500;
+        DramCacheRequest req;
+        req.addr = addrOf(page, offset);
+        req.pc = pc;
+        req.core = 0;
+        req.isWrite = false;
+        req.cycle = clock;
+        return cache->access(req);
+    }
+
+    DramCacheResult
+    write(std::uint64_t page, std::uint32_t offset, Pc pc = 0x400000)
+    {
+        clock += 500;
+        DramCacheRequest req;
+        req.addr = addrOf(page, offset);
+        req.pc = pc;
+        req.core = 0;
+        req.isWrite = true;
+        req.cycle = clock;
+        return cache->access(req);
+    }
+
+    /**
+     * Evict `page` by filling its set with conflicting allocations.
+     * Uses laps >= 1000 so tests can safely probe low-lap conflict
+     * pages afterwards.
+     */
+    void
+    forceEvict(std::uint64_t page)
+    {
+        for (std::uint64_t lap = 1001;
+             lap <= 1001 + cache->config().assoc; ++lap)
+            read(conflictPage(page, lap), 0, 0x900000 + lap * 4);
+    }
+};
+
+TEST(UnisonGeometry, Paper960ByteConfig)
+{
+    // Sec. IV-C.1: two 4-page sets per row, 120 data blocks per row.
+    const UnisonGeometry g = UnisonGeometry::compute(1_GiB, 15, 4);
+    EXPECT_EQ(g.setsPerRow, 2u);
+    EXPECT_EQ(g.rowsPerSet, 1u);
+    EXPECT_EQ(g.blocksPerRow, 120u);
+    EXPECT_EQ(g.tagBurstBytes, 32u); // Fig. 3: 32 B tag region
+    EXPECT_EQ(g.numRows, 1_GiB / kRowBytes);
+    EXPECT_EQ(g.numSets, g.numRows * 2);
+}
+
+TEST(UnisonGeometry, Paper1984ByteConfig)
+{
+    // Table II: 120-124 blocks per row; 1984 B pages give one set/row.
+    const UnisonGeometry g = UnisonGeometry::compute(1_GiB, 31, 4);
+    EXPECT_EQ(g.setsPerRow, 1u);
+    EXPECT_EQ(g.blocksPerRow, 124u);
+}
+
+TEST(UnisonGeometry, TableIIInDramTagOverheadAt8GB)
+{
+    // Table II: 256-512 MB of in-DRAM tags at 8 GB (3.1-6.2%).
+    const UnisonGeometry g960 = UnisonGeometry::compute(8_GiB, 15, 4);
+    EXPECT_GE(g960.inDramTagBytes, 256_MiB);
+    EXPECT_LE(g960.inDramTagBytes, 512_MiB);
+
+    const UnisonGeometry g1984 = UnisonGeometry::compute(8_GiB, 31, 4);
+    EXPECT_GE(g1984.inDramTagBytes, 128_MiB);
+    EXPECT_LE(g1984.inDramTagBytes, 512_MiB);
+    EXPECT_LT(g1984.inDramTagBytes, g960.inDramTagBytes)
+        << "larger pages -> fewer tags";
+}
+
+TEST(UnisonGeometry, DirectMappedAnd32Way)
+{
+    const UnisonGeometry dm = UnisonGeometry::compute(1_GiB, 15, 1);
+    EXPECT_EQ(dm.setsPerRow, 8u);
+    EXPECT_EQ(dm.blocksPerRow, 120u);
+
+    const UnisonGeometry wide = UnisonGeometry::compute(1_GiB, 15, 32);
+    EXPECT_EQ(wide.setsPerRow, 0u);
+    EXPECT_EQ(wide.rowsPerSet, 4u);
+    EXPECT_EQ(wide.waysPerRow, 8u);
+    // Data rows of a 32-way set span consecutive rows.
+    EXPECT_EQ(wide.dataRowOfWay(0, 0), 0u);
+    EXPECT_EQ(wide.dataRowOfWay(0, 8), 1u);
+    EXPECT_EQ(wide.dataRowOfWay(0, 31), 3u);
+    EXPECT_EQ(wide.dataRowOfWay(1, 0), 4u);
+}
+
+TEST(UnisonCache, AddressMappingMatchesResidueArithmetic)
+{
+    Rig rig(1_MiB, 15, 4);
+    Rng rng(2);
+    for (int i = 0; i < 20000; ++i) {
+        const Addr addr = rng.below(64_GiB) & ~63ull;
+        std::uint64_t page;
+        std::uint32_t offset;
+        rig.cache->mapAddress(addr, page, offset);
+        EXPECT_EQ(page, blockNumber(addr) / 15);
+        EXPECT_EQ(offset, blockNumber(addr) % 15);
+    }
+}
+
+TEST(UnisonCache, ColdMissAllocatesWholePageByDefault)
+{
+    Rig rig;
+    const std::uint64_t page = 1000;
+    EXPECT_FALSE(rig.cache->pagePresent(rig.addrOf(page, 0)));
+    const DramCacheResult res = rig.read(page, 2);
+    EXPECT_FALSE(res.hit);
+    EXPECT_TRUE(rig.cache->pagePresent(rig.addrOf(page, 0)));
+    // With no trained footprint the default is the full page.
+    for (std::uint32_t b = 0; b < 15; ++b)
+        EXPECT_TRUE(rig.cache->blockPresent(rig.addrOf(page, b)));
+    EXPECT_TRUE(rig.cache->blockTouched(rig.addrOf(page, 2)));
+    EXPECT_FALSE(rig.cache->blockTouched(rig.addrOf(page, 3)));
+    EXPECT_EQ(rig.cache->stats().pageMisses.value(), 1u);
+}
+
+TEST(UnisonCache, SubsequentAccessesHit)
+{
+    Rig rig;
+    rig.read(1000, 2);
+    const DramCacheResult res = rig.read(1000, 7);
+    EXPECT_TRUE(res.hit);
+    EXPECT_EQ(rig.cache->stats().hits.value(), 1u);
+}
+
+TEST(UnisonCache, FootprintLearnedAtEvictionPredictsNextAllocation)
+{
+    Rig rig;
+    const Pc pc = 0x400abc;
+    const std::uint64_t page = 77;
+
+    // Residency 1: touch blocks {2, 5, 9}, trigger offset 2.
+    rig.read(page, 2, pc);
+    rig.read(page, 5, pc);
+    rig.read(page, 9, pc);
+    rig.forceEvict(page);
+    EXPECT_FALSE(rig.cache->pagePresent(rig.addrOf(page, 0)));
+
+    // Residency 2 via the SAME (PC, offset) trigger on a different
+    // page in another set: only the learned footprint is fetched.
+    const std::uint64_t page2 = page + 1 + rig.cache->geometry().numSets;
+    rig.read(page2, 2, pc);
+    EXPECT_TRUE(rig.cache->blockPresent(rig.addrOf(page2, 2)));
+    EXPECT_TRUE(rig.cache->blockPresent(rig.addrOf(page2, 5)));
+    EXPECT_TRUE(rig.cache->blockPresent(rig.addrOf(page2, 9)));
+    EXPECT_FALSE(rig.cache->blockPresent(rig.addrOf(page2, 3)));
+    EXPECT_FALSE(rig.cache->blockPresent(rig.addrOf(page2, 14)));
+}
+
+TEST(UnisonCache, UnderpredictionFetchesSingleBlockAndCorrects)
+{
+    Rig rig;
+    const Pc pc = 0x400abc;
+
+    // Train a narrow footprint {2}.
+    rig.read(50, 2, pc);
+    rig.forceEvict(50);
+
+    // New page: predicted singleton would bypass; disable that effect
+    // by touching a second block in residency 1 instead.
+    // (Use a two-block footprint {2,5}.)
+    rig.read(60, 2, pc);
+    rig.read(60, 5, pc);
+    rig.forceEvict(60);
+
+    const std::uint64_t page = 70;
+    rig.read(page, 2, pc);
+    ASSERT_TRUE(rig.cache->blockPresent(rig.addrOf(page, 5)));
+    ASSERT_FALSE(rig.cache->blockPresent(rig.addrOf(page, 11)));
+
+    // Underprediction: block 11 missing while the page is resident.
+    const std::uint64_t misses_before =
+        rig.cache->stats().blockMisses.value();
+    const DramCacheResult res = rig.read(page, 11, pc);
+    EXPECT_FALSE(res.hit);
+    EXPECT_EQ(rig.cache->stats().blockMisses.value(),
+              misses_before + 1);
+    EXPECT_TRUE(rig.cache->blockPresent(rig.addrOf(page, 11)));
+    EXPECT_TRUE(rig.cache->pagePresent(rig.addrOf(page, 0)))
+        << "underprediction must not reallocate the page";
+
+    // The correction propagates at eviction: the next allocation by
+    // this trigger includes block 11.
+    rig.forceEvict(page);
+    const std::uint64_t page2 = page + 2 * rig.cache->geometry().numSets;
+    rig.read(page2, 2, pc);
+    EXPECT_TRUE(rig.cache->blockPresent(rig.addrOf(page2, 11)));
+}
+
+TEST(UnisonCache, SingletonBypassAndPromotion)
+{
+    Rig rig;
+    const Pc pc = 0x400f00;
+
+    // Residency 1 touches only the trigger block -> learned singleton.
+    rig.read(90, 3, pc);
+    rig.forceEvict(90);
+
+    // Next trigger by the same (PC, offset): bypassed, not allocated.
+    const std::uint64_t page = 90 + 3 * rig.cache->geometry().numSets;
+    const std::uint64_t bypasses_before =
+        rig.cache->stats().singletonBypasses.value();
+    rig.read(page, 3, pc);
+    EXPECT_EQ(rig.cache->stats().singletonBypasses.value(),
+              bypasses_before + 1);
+    EXPECT_FALSE(rig.cache->pagePresent(rig.addrOf(page, 3)));
+
+    // A second access to the bypassed page proves it non-singleton:
+    // the singleton table promotes it and the page is allocated.
+    rig.read(page, 8, pc);
+    EXPECT_TRUE(rig.cache->pagePresent(rig.addrOf(page, 8)));
+    EXPECT_EQ(rig.cache->singletonTable().stats().promotions.value(),
+              1u);
+}
+
+TEST(UnisonCache, SingletonDisabledAlwaysAllocates)
+{
+    Rig rig(1_MiB, 15, 4, /*singleton=*/false);
+    const Pc pc = 0x400f00;
+    rig.read(90, 3, pc);
+    rig.forceEvict(90);
+    const std::uint64_t page = 90 + 3 * rig.cache->geometry().numSets;
+    rig.read(page, 3, pc);
+    EXPECT_TRUE(rig.cache->pagePresent(rig.addrOf(page, 3)));
+    EXPECT_EQ(rig.cache->stats().singletonBypasses.value(), 0u);
+}
+
+TEST(UnisonCache, DirtyBlocksWrittenBackExactlyOnce)
+{
+    Rig rig;
+    const std::uint64_t page = 42;
+    rig.read(page, 1); // allocate (write misses do not allocate)
+    rig.write(page, 1);
+    rig.write(page, 4);
+    rig.write(page, 6);
+    EXPECT_TRUE(rig.cache->blockDirty(rig.addrOf(page, 4)));
+
+    const std::uint64_t wb_before = rig.offchip.stats().writes;
+    rig.forceEvict(page);
+    const std::uint64_t wb_after = rig.offchip.stats().writes;
+    EXPECT_EQ(rig.cache->stats().offchipWritebackBlocks.value(), 3u);
+    EXPECT_EQ(wb_after - wb_before, 3u);
+}
+
+TEST(UnisonCache, CleanEvictionWritesNothingBack)
+{
+    Rig rig;
+    rig.read(42, 1);
+    const std::uint64_t wb_before = rig.offchip.stats().writes;
+    rig.forceEvict(42);
+    EXPECT_EQ(rig.offchip.stats().writes, wb_before);
+    EXPECT_EQ(rig.cache->stats().offchipWritebackBlocks.value(), 0u);
+}
+
+TEST(UnisonCache, WritebackToAbsentPageBypassesAllocation)
+{
+    // Write-no-allocate: an L2 writeback to a page that is not
+    // resident must go straight to memory without evicting anything
+    // or fetching a footprint.
+    Rig rig;
+    rig.read(10, 2, 0x400123); // occupy a way in the set
+
+    const std::uint64_t reads_before = rig.offchip.stats().reads;
+    const std::uint64_t writes_before = rig.offchip.stats().writes;
+    const std::uint64_t page = rig.conflictPage(10, 7);
+    const DramCacheResult res = rig.write(page, 2, 0x400123);
+    EXPECT_FALSE(res.hit);
+    EXPECT_FALSE(rig.cache->pagePresent(rig.addrOf(page, 2)));
+    EXPECT_EQ(rig.offchip.stats().reads, reads_before)
+        << "no footprint fetch for a writeback";
+    EXPECT_EQ(rig.offchip.stats().writes, writes_before + 1);
+    EXPECT_TRUE(rig.cache->pagePresent(rig.addrOf(10, 2)))
+        << "resident pages are not evicted by writebacks";
+}
+
+TEST(UnisonCache, WriteToResidentPageAllocatesBlockWithoutFetch)
+{
+    Rig rig;
+    const Pc pc = 0x400123;
+    // Train footprint {2, 5}, then allocate a page with it.
+    rig.read(10, 2, pc);
+    rig.read(10, 5, pc);
+    rig.forceEvict(10);
+    const std::uint64_t page = rig.conflictPage(10, 4);
+    rig.read(page, 2, pc);
+    ASSERT_FALSE(rig.cache->blockPresent(rig.addrOf(page, 9)));
+
+    // A write to a missing block of a *resident* page write-allocates
+    // the block with no off-chip fetch (it arrives whole from L2).
+    const std::uint64_t reads_before = rig.offchip.stats().reads;
+    rig.write(page, 9, pc);
+    EXPECT_EQ(rig.offchip.stats().reads, reads_before);
+    EXPECT_TRUE(rig.cache->blockPresent(rig.addrOf(page, 9)));
+    EXPECT_TRUE(rig.cache->blockDirty(rig.addrOf(page, 9)));
+}
+
+TEST(UnisonCache, WayPredictionTracksHits)
+{
+    Rig rig;
+    rig.read(7, 0);
+    rig.read(7, 1);
+    rig.read(7, 2);
+    const WayPredictorStats &wp = rig.cache->wayPredictorStats();
+    EXPECT_EQ(wp.predictions.value(), 2u) << "hits only";
+    EXPECT_EQ(wp.correct.value(), 2u)
+        << "allocation trains the predictor";
+}
+
+TEST(UnisonCache, WayMispredictionStillServesCorrectly)
+{
+    // A 4-entry way-predictor table guarantees aliasing between pages,
+    // so some predictions go to the wrong way; results must still be
+    // correct and accuracy must drop below 100%.
+    UnisonConfig cfg;
+    cfg.capacityBytes = 1_MiB;
+    cfg.wayPredictorIndexBits = 4;
+    DramModule offchip(offChipDramOrganization(), offChipDramTiming());
+    UnisonCache cache(cfg, &offchip);
+
+    Rng rng(5);
+    Cycle clock = 0;
+    const std::uint64_t num_sets = cache.geometry().numSets;
+    // Allocate many pages in one set and revisit them.
+    std::vector<std::uint64_t> pages;
+    for (std::uint64_t i = 0; i < 3; ++i)
+        pages.push_back(3 + i * num_sets);
+    for (int round = 0; round < 50; ++round) {
+        const std::uint64_t page = pages[rng.below(pages.size())];
+        clock += 500;
+        DramCacheRequest req;
+        req.addr = blockAddress(page * 15 + rng.below(15));
+        req.pc = 0x400000;
+        req.cycle = clock;
+        const DramCacheResult res = cache.access(req);
+        // Once resident, accesses must hit regardless of prediction.
+        (void)res;
+    }
+    const WayPredictorStats &wp = cache.wayPredictorStats();
+    EXPECT_GT(wp.predictions.value(), 0u);
+    EXPECT_GT(wp.accuracyPercent(), 10.0);
+    // All three pages stay resident (4-way set, 3 pages): every access
+    // after allocation is a hit even when the way predictor misses.
+    EXPECT_EQ(cache.stats().pageMisses.value(), 3u);
+}
+
+TEST(UnisonCache, SerialTagPolicySlowerOnHits)
+{
+    UnisonConfig fast_cfg;
+    fast_cfg.capacityBytes = 1_MiB;
+    UnisonConfig slow_cfg = fast_cfg;
+    slow_cfg.wayPolicy = UnisonWayPolicy::SerialTag;
+
+    Rig fast(fast_cfg), slow(slow_cfg);
+    fast.read(5, 1);
+    slow.read(5, 1);
+    const DramCacheResult f = fast.read(5, 2);
+    const DramCacheResult s = slow.read(5, 2);
+    ASSERT_TRUE(f.hit);
+    ASSERT_TRUE(s.hit);
+    const Cycle f_lat = f.doneAt - (fast.clock);
+    const Cycle s_lat = s.doneAt - (slow.clock);
+    EXPECT_GT(s_lat, f_lat)
+        << "tag-then-data serialization must cost extra cycles";
+}
+
+TEST(UnisonCache, FetchAllPolicyMovesMoreStackedData)
+{
+    UnisonConfig pred_cfg;
+    pred_cfg.capacityBytes = 1_MiB;
+    UnisonConfig all_cfg = pred_cfg;
+    all_cfg.wayPolicy = UnisonWayPolicy::FetchAll;
+
+    Rig pred(pred_cfg), all(all_cfg);
+    pred.read(5, 1);
+    all.read(5, 1);
+    const std::uint64_t pred_bytes_before =
+        pred.cache->stackedDram()->stats().bytesRead;
+    const std::uint64_t all_bytes_before =
+        all.cache->stackedDram()->stats().bytesRead;
+    pred.read(5, 2);
+    all.read(5, 2);
+    const std::uint64_t pred_bytes =
+        pred.cache->stackedDram()->stats().bytesRead -
+        pred_bytes_before;
+    const std::uint64_t all_bytes =
+        all.cache->stackedDram()->stats().bytesRead - all_bytes_before;
+    // Fetching all 4 ways moves ~4x the data of the predicted way
+    // (Sec. V-B: "reduces the hit traffic by 4x").
+    EXPECT_GE(all_bytes, pred_bytes + 3 * kBlockBytes);
+}
+
+TEST(UnisonCache, MapIPolicyFunctionallyEquivalent)
+{
+    UnisonConfig cfg;
+    cfg.capacityBytes = 1_MiB;
+    cfg.missPolicy = UnisonMissPolicy::MapI;
+    Rig rig(cfg);
+    rig.read(3, 1);
+    EXPECT_TRUE(rig.read(3, 1).hit);
+    EXPECT_FALSE(rig.read(10000, 1).hit);
+    ASSERT_NE(rig.cache->missPredictor(), nullptr);
+    EXPECT_GT(rig.cache->missPredictor()->stats().missesTotal.value(),
+              0u);
+}
+
+TEST(UnisonCache, LruVictimSelection)
+{
+    Rig rig;
+    const std::uint64_t num_sets = rig.cache->geometry().numSets;
+    // Fill all four ways of set 5.
+    for (std::uint64_t w = 0; w < 4; ++w)
+        rig.read(5 + w * num_sets, 0);
+    // Touch ways 0..2 again; way 3 is LRU.
+    for (std::uint64_t w = 0; w < 3; ++w)
+        rig.read(5 + w * num_sets, 1);
+    // New conflicting page evicts way 3's page.
+    rig.read(5 + 9 * num_sets, 0);
+    EXPECT_TRUE(rig.cache->pagePresent(rig.addrOf(5, 0)));
+    EXPECT_FALSE(rig.cache->pagePresent(
+        rig.addrOf(5 + 3 * num_sets, 0)));
+}
+
+TEST(UnisonCache, ResetStatsClearsEverything)
+{
+    Rig rig;
+    rig.read(1, 0);
+    rig.read(1, 1);
+    rig.cache->resetStats();
+    EXPECT_EQ(rig.cache->stats().accesses(), 0u);
+    EXPECT_EQ(rig.cache->wayPredictorStats().predictions.value(), 0u);
+    EXPECT_EQ(rig.cache->stackedDram()->stats().accesses(), 0u);
+}
+
+/**
+ * Parameterized invariant sweep over (pageBlocks, assoc): random
+ * traffic must preserve the block-state lattice (dirty => touched =>
+ * fetched => page present), the accounting identities, and
+ * determinism.
+ */
+class UnisonPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t,
+                                                 std::uint32_t>>
+{
+};
+
+TEST_P(UnisonPropertyTest, InvariantsHoldUnderRandomTraffic)
+{
+    const auto [page_blocks, assoc] = GetParam();
+    UnisonConfig cfg;
+    cfg.capacityBytes = 512_KiB;
+    cfg.pageBlocks = page_blocks;
+    cfg.assoc = assoc;
+    // Singleton bypass legitimately leaves pages unallocated; the
+    // lattice invariants below assume allocation, so disable it here
+    // (it has its own directed tests).
+    cfg.singletonEnabled = false;
+    DramModule offchip(offChipDramOrganization(), offChipDramTiming());
+    UnisonCache cache(cfg, &offchip);
+
+    Rng rng(assoc * 100 + page_blocks);
+    Cycle clock = 0;
+    const std::uint64_t addr_space = 16_MiB;
+
+    for (int i = 0; i < 30000; ++i) {
+        clock += 300;
+        DramCacheRequest req;
+        req.addr = blockAddress(rng.below(addr_space / kBlockBytes));
+        req.pc = 0x400000 + (rng.below(32) * 4);
+        req.core = 0;
+        req.isWrite = rng.chance(0.3);
+        req.cycle = clock;
+        const DramCacheResult res = cache.access(req);
+        EXPECT_GE(res.doneAt, req.cycle);
+
+        // Block-state lattice on the just-accessed address. A write
+        // to an absent page legitimately bypasses allocation.
+        if (!req.isWrite || cache.pagePresent(req.addr)) {
+            EXPECT_TRUE(cache.blockPresent(req.addr));
+            EXPECT_TRUE(cache.blockTouched(req.addr));
+            if (req.isWrite)
+                EXPECT_TRUE(cache.blockDirty(req.addr));
+        }
+    }
+
+    // Sampled lattice check across the address space.
+    for (int i = 0; i < 5000; ++i) {
+        const Addr addr =
+            blockAddress(rng.below(addr_space / kBlockBytes));
+        if (cache.blockDirty(addr))
+            EXPECT_TRUE(cache.blockTouched(addr));
+        if (cache.blockTouched(addr))
+            EXPECT_TRUE(cache.blockPresent(addr));
+        if (cache.blockPresent(addr))
+            EXPECT_TRUE(cache.pagePresent(addr));
+    }
+
+    // Accounting identities.
+    const DramCacheStats &s = cache.stats();
+    EXPECT_EQ(s.hits.value() + s.misses.value(), s.accesses());
+    EXPECT_EQ(s.pageMisses.value() + s.blockMisses.value(),
+              s.misses.value());
+    EXPECT_GE(s.fpFetched.value(), s.fpTouched.value())
+        << "touched blocks are a subset of fetched blocks";
+    // Every off-chip read is a demand, prefetch or wasted fetch.
+    EXPECT_EQ(offchip.stats().reads, s.offchipFetchedBlocks());
+}
+
+TEST_P(UnisonPropertyTest, DeterministicAcrossRuns)
+{
+    const auto [page_blocks, assoc] = GetParam();
+    auto run = [&]() {
+        UnisonConfig cfg;
+        cfg.capacityBytes = 256_KiB;
+        cfg.pageBlocks = page_blocks;
+        cfg.assoc = assoc;
+        DramModule offchip(offChipDramOrganization(),
+                           offChipDramTiming());
+        UnisonCache cache(cfg, &offchip);
+        Rng rng(99);
+        Cycle clock = 0;
+        std::uint64_t checksum = 0;
+        for (int i = 0; i < 5000; ++i) {
+            clock += 400;
+            DramCacheRequest req;
+            req.addr = blockAddress(rng.below(65536));
+            req.pc = 0x400000;
+            req.isWrite = rng.chance(0.25);
+            req.cycle = clock;
+            checksum ^= cache.access(req).doneAt * (i + 1);
+        }
+        return checksum;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, UnisonPropertyTest,
+    ::testing::Values(std::make_tuple(15u, 1u), std::make_tuple(15u, 4u),
+                      std::make_tuple(31u, 4u), std::make_tuple(15u, 32u),
+                      std::make_tuple(31u, 1u)));
+
+TEST(UnisonCache, AssociativityReducesConflictMisses)
+{
+    // Three pages mapping to one set, accessed round-robin: a
+    // direct-mapped cache thrashes, a 4-way cache hits after warmup
+    // (the Fig. 5 effect in miniature).
+    auto missRatio = [](std::uint32_t assoc) {
+        UnisonConfig cfg;
+        cfg.capacityBytes = 1_MiB;
+        cfg.assoc = assoc;
+        cfg.singletonEnabled = false; // isolate the conflict effect
+        DramModule offchip(offChipDramOrganization(),
+                           offChipDramTiming());
+        UnisonCache cache(cfg, &offchip);
+        const std::uint64_t num_sets = cache.geometry().numSets;
+        Cycle clock = 0;
+        for (int round = 0; round < 60; ++round) {
+            const std::uint64_t page = 3 + (round % 3) * num_sets;
+            clock += 500;
+            DramCacheRequest req;
+            req.addr = blockAddress(page * 15);
+            req.pc = 0x400000;
+            req.cycle = clock;
+            cache.access(req);
+        }
+        return cache.stats().missRatioPercent();
+    };
+    EXPECT_GT(missRatio(1), 95.0);
+    EXPECT_LT(missRatio(4), 10.0);
+}
+
+} // namespace
+} // namespace unison
