@@ -91,7 +91,9 @@ ArgParser::parse(int argc, const char *const *argv)
         if (opt->isFlag) {
             if (have_value)
                 fatal("flag --", name, " does not take a value");
-            opt->value = "1";
+            // count+char assign: `opt->value = "1"` trips a GCC 12
+            // -Wrestrict false positive when inlined here.
+            opt->value.assign(1, '1');
         } else {
             if (!have_value) {
                 if (i + 1 >= argc)

@@ -154,8 +154,9 @@ TEST_P(DesignContract, ResetStatsZeroesCounters)
     EXPECT_EQ(s.hits.value(), 0u);
     EXPECT_EQ(s.misses.value(), 0u);
     EXPECT_EQ(s.offchipDemandBlocks.value(), 0u);
-    if (rig.cache->stackedDram() != nullptr)
+    if (rig.cache->stackedDram() != nullptr) {
         EXPECT_EQ(rig.cache->stackedDram()->stats().accesses(), 0u);
+    }
 }
 
 TEST_P(DesignContract, OffchipSilenceForIdeal)

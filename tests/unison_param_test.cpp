@@ -135,12 +135,15 @@ TEST_P(UnisonSweep, HookImplicationsHoldEverywhere)
     for (std::uint64_t page = 0; page < 256; ++page) {
         for (std::uint32_t off = 0; off < pageBlocks(); ++off) {
             const Addr a = rig.addrOf(page, off);
-            if (rig.cache->blockDirty(a))
+            if (rig.cache->blockDirty(a)) {
                 EXPECT_TRUE(rig.cache->blockPresent(a));
-            if (rig.cache->blockTouched(a))
+            }
+            if (rig.cache->blockTouched(a)) {
                 EXPECT_TRUE(rig.cache->pagePresent(a));
-            if (rig.cache->blockPresent(a))
+            }
+            if (rig.cache->blockPresent(a)) {
                 EXPECT_TRUE(rig.cache->pagePresent(a));
+            }
         }
     }
 }

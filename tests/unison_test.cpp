@@ -539,8 +539,9 @@ TEST_P(UnisonPropertyTest, InvariantsHoldUnderRandomTraffic)
         if (!req.isWrite || cache.pagePresent(req.addr)) {
             EXPECT_TRUE(cache.blockPresent(req.addr));
             EXPECT_TRUE(cache.blockTouched(req.addr));
-            if (req.isWrite)
+            if (req.isWrite) {
                 EXPECT_TRUE(cache.blockDirty(req.addr));
+            }
         }
     }
 
@@ -548,12 +549,15 @@ TEST_P(UnisonPropertyTest, InvariantsHoldUnderRandomTraffic)
     for (int i = 0; i < 5000; ++i) {
         const Addr addr =
             blockAddress(rng.below(addr_space / kBlockBytes));
-        if (cache.blockDirty(addr))
+        if (cache.blockDirty(addr)) {
             EXPECT_TRUE(cache.blockTouched(addr));
-        if (cache.blockTouched(addr))
+        }
+        if (cache.blockTouched(addr)) {
             EXPECT_TRUE(cache.blockPresent(addr));
-        if (cache.blockPresent(addr))
+        }
+        if (cache.blockPresent(addr)) {
             EXPECT_TRUE(cache.pagePresent(addr));
+        }
     }
 
     // Accounting identities.
