@@ -56,57 +56,67 @@ main(int argc, char **argv)
     Table t({"workload", "variant", "miss%", "dc_lat",
              "offchip blk/1K refs", "stacked B/ref", "speedup"});
 
+    const std::vector<std::string> variants = {
+        "baseline (predict, 960B, always-hit)",
+        "fetch all ways",
+        "serial tag-then-data",
+        "1984B pages",
+        "MAP-I miss predictor",
+        "no singleton bypass",
+        "no footprint pred (whole pages)",
+    };
+
+    std::vector<ExperimentSpec> specs;
     for (Workload w : kWorkloads) {
         ExperimentSpec spec = baseSpec(opts);
         spec.workload = w;
         spec.capacityBytes = 1_GiB;
 
         spec.design = DesignKind::NoDramCache;
-        const SimResult base = runExperiment(spec);
+        specs.push_back(spec);
         spec.design = DesignKind::Unison;
 
-        {
-            ExperimentSpec s = spec;
-            const SimResult r = runExperiment(s);
-            addRow(t, "baseline (predict, 960B, always-hit)", w, r,
-                   base);
-        }
+        specs.push_back(spec);
         {
             ExperimentSpec s = spec;
             s.unisonWayPolicy = UnisonWayPolicy::FetchAll;
-            addRow(t, "fetch all ways", w, runExperiment(s), base);
+            specs.push_back(s);
         }
         {
             ExperimentSpec s = spec;
             s.unisonWayPolicy = UnisonWayPolicy::SerialTag;
-            addRow(t, "serial tag-then-data", w, runExperiment(s),
-                   base);
+            specs.push_back(s);
         }
         {
             ExperimentSpec s = spec;
             s.unisonPageBlocks = 31;
-            addRow(t, "1984B pages", w, runExperiment(s), base);
+            specs.push_back(s);
         }
         {
             ExperimentSpec s = spec;
             s.unisonMissPolicy = UnisonMissPolicy::MapI;
-            addRow(t, "MAP-I miss predictor", w, runExperiment(s),
-                   base);
+            specs.push_back(s);
         }
         {
             ExperimentSpec s = spec;
             s.singletonPrediction = false;
-            addRow(t, "no singleton bypass", w, runExperiment(s),
-                   base);
+            specs.push_back(s);
         }
         {
             ExperimentSpec s = spec;
             s.footprintPrediction = false;
-            addRow(t, "no footprint pred (whole pages)", w,
-                   runExperiment(s), base);
+            specs.push_back(s);
         }
-        std::fprintf(stderr, "ablation: %s done\n",
-                     workloadName(w).c_str());
+    }
+
+    const std::vector<SimResult> results =
+        bench::runAll(specs, opts, "ablation");
+
+    std::size_t idx = 0;
+    for (Workload w : kWorkloads) {
+        const SimResult &base = results[idx++];
+        for (const std::string &variant : variants)
+            addRow(t, variant, w, results[idx++], base);
     }
 
     emit(t, opts, "Unison Cache ablations @ 1GB");

@@ -47,18 +47,30 @@ main(int argc, char **argv)
     Table t({"workload", "design", "miss%", "dc_lat",
              "offchip blk/1K refs", "stacked B/ref", "speedup"});
 
+    std::vector<ExperimentSpec> specs;
     for (Workload w : kWorkloads) {
         ExperimentSpec spec = baseSpec(opts);
         spec.workload = w;
         spec.capacityBytes = 1_GiB;
 
         spec.design = DesignKind::NoDramCache;
-        const SimResult base = runExperiment(spec);
-
+        specs.push_back(spec);
         for (DesignKind d : kDesigns) {
             ExperimentSpec s = spec;
             s.design = d;
-            const SimResult r = runExperiment(s);
+            specs.push_back(s);
+        }
+    }
+
+    const std::vector<SimResult> results =
+        bench::runAll(specs, opts, "alternatives");
+
+    std::size_t idx = 0;
+    for (Workload w : kWorkloads) {
+        const SimResult &base = results[idx++];
+
+        for (DesignKind d : kDesigns) {
+            const SimResult &r = results[idx++];
             t.beginRow();
             t.add(workloadName(w));
             t.add(designName(d));
@@ -73,8 +85,6 @@ main(int argc, char **argv)
                   1);
             t.add(base.uipc > 0.0 ? r.uipc / base.uipc : 0.0, 3);
         }
-        std::fprintf(stderr, "alternatives: %s done\n",
-                     workloadName(w).c_str());
     }
 
     emit(t, opts, "Sec. III-B design alternatives @ 1GB");

@@ -66,6 +66,7 @@ main(int argc, char **argv)
         Table t({"workload", "assoc", "miss%", "model conflict%"});
         const std::vector<Workload> workloads = {Workload::WebServing,
                                                  Workload::DataServing};
+        std::vector<ExperimentSpec> specs;
         for (Workload w : workloads) {
             for (std::uint32_t assoc : {1u, 2u, 4u, 8u, 32u}) {
                 ExperimentSpec spec = baseSpec(opts);
@@ -73,7 +74,17 @@ main(int argc, char **argv)
                 spec.design = DesignKind::Unison;
                 spec.capacityBytes = 128_MiB;
                 spec.unisonAssoc = assoc;
-                const SimResult r = runExperiment(spec);
+                specs.push_back(spec);
+            }
+        }
+
+        const std::vector<SimResult> results =
+            runAll(specs, opts, "analytical");
+
+        std::size_t idx = 0;
+        for (Workload w : workloads) {
+            for (std::uint32_t assoc : {1u, 2u, 4u, 8u, 32u}) {
+                const SimResult &r = results[idx++];
 
                 // Model: live pages ~ working set at this page size;
                 // approximate the load factor as 1 (capacity-bound
@@ -86,8 +97,6 @@ main(int argc, char **argv)
                 t.add(r.missRatioPercent(), 2);
                 t.add(model, 2);
             }
-            std::fprintf(stderr, "analytical: %s done\n",
-                         workloadName(w).c_str());
         }
         emit(t, opts,
              "Simulated UC miss ratio vs the model's conflict share "

@@ -15,6 +15,7 @@
 
 #include "common/argparse.hh"
 #include "sim/experiment.hh"
+#include "sim/runner.hh"
 #include "stats/table.hh"
 
 namespace unison {
@@ -26,6 +27,7 @@ struct BenchOptions
     bool quick = false;
     bool csv = false;
     std::uint64_t seed = 42;
+    int threads = 1; //!< experiment-runner workers (0 = all cores)
 };
 
 inline BenchOptions
@@ -35,13 +37,51 @@ parseBenchArgs(int argc, char **argv, const std::string &description)
     args.addFlag("quick", "run 8x shorter simulations (CI mode)");
     args.addFlag("csv", "emit CSV instead of aligned tables");
     args.addOption("seed", "42", "workload seed");
+    args.addOption("threads", "1",
+                   "experiments to run concurrently (0 = all cores)");
     args.parse(argc, argv);
 
     BenchOptions opts;
     opts.quick = args.getFlag("quick");
     opts.csv = args.getFlag("csv");
     opts.seed = args.getUint("seed");
+    opts.threads = static_cast<int>(args.getInt("threads"));
     return opts;
+}
+
+/** Register the shared --threads option on a bespoke ArgParser (for
+ *  example programs that have their own option sets). */
+inline void
+addThreadsOption(ArgParser &args)
+{
+    args.addOption("threads", "1",
+                   "experiments to run concurrently (0 = all cores)");
+}
+
+/**
+ * Run a sweep of independent specs on `threads` workers, with
+ * progress on stderr. Results come back in spec order and are
+ * identical for any thread count.
+ */
+inline std::vector<SimResult>
+runAll(const std::vector<ExperimentSpec> &specs, int threads,
+       const char *tag)
+{
+    std::size_t done = 0;
+    return runExperiments(
+        specs, threads,
+        [&done, &specs, tag](std::size_t, const SimResult &) {
+            ++done;
+            std::fprintf(stderr, "%s: %zu/%zu experiments done\n", tag,
+                         done, specs.size());
+        });
+}
+
+inline std::vector<SimResult>
+runAll(const std::vector<ExperimentSpec> &specs, const BenchOptions &opts,
+       const char *tag)
+{
+    return runAll(specs, opts.threads, tag);
 }
 
 /** Geometric mean of a series (used for Fig. 7's summary panel). */

@@ -16,6 +16,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_common.hh"
 #include "dram/energy.hh"
@@ -36,18 +37,28 @@ main(int argc, char **argv)
     const DramEnergyParams offchip_cost = offChipDramEnergy();
     const DramEnergyParams stacked_cost = stackedDramEnergy();
 
+    const std::vector<DesignKind> designs = {
+        DesignKind::Alloy, DesignKind::Footprint, DesignKind::Unison};
+    std::vector<ExperimentSpec> specs;
     for (Workload w : allWorkloads()) {
-        ExperimentSpec spec = baseSpec(opts);
-        spec.workload = w;
-        spec.capacityBytes =
-            (w == Workload::TpchQueries) ? 4_GiB : 1_GiB;
+        for (DesignKind d : designs) {
+            ExperimentSpec spec = baseSpec(opts);
+            spec.workload = w;
+            spec.capacityBytes =
+                (w == Workload::TpchQueries) ? 4_GiB : 1_GiB;
+            spec.design = d;
+            specs.push_back(spec);
+        }
+    }
 
+    const std::vector<SimResult> results = runAll(specs, opts, "energy");
+
+    std::size_t idx = 0;
+    for (Workload w : allWorkloads()) {
         double alloy_offchip = 0.0;
         double alloy_combined = 0.0;
-        for (DesignKind d : {DesignKind::Alloy, DesignKind::Footprint,
-                             DesignKind::Unison}) {
-            spec.design = d;
-            const SimResult r = runExperiment(spec);
+        for (DesignKind d : designs) {
+            const SimResult &r = results[idx++];
             const double offchip_mj =
                 computeDynamicEnergy(r.offchip, offchip_cost).totalMj();
             const double combined_mj =
@@ -77,8 +88,6 @@ main(int argc, char **argv)
                                        : 1.0,
                   3);
         }
-        std::fprintf(stderr, "energy: %s done\n",
-                     workloadName(w).c_str());
     }
     emit(t, opts,
          "Sec. V-D: off-chip row activations and dynamic DRAM energy "

@@ -9,6 +9,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_common.hh"
 
@@ -24,6 +25,16 @@ main(int argc, char **argv)
     Table t({"workload", "capacity", "Alloy miss%", "Footprint miss%",
              "Unison miss%"});
 
+    // One spec per (workload, capacity, design); rows regroup them.
+    const std::vector<DesignKind> designs = {
+        DesignKind::Alloy, DesignKind::Footprint, DesignKind::Unison};
+    struct Row
+    {
+        Workload w;
+        std::uint64_t cap;
+    };
+    std::vector<ExperimentSpec> specs;
+    std::vector<Row> rows;
     for (Workload w : allWorkloads()) {
         const bool tpch = (w == Workload::TpchQueries);
         const std::vector<std::uint64_t> sizes =
@@ -31,23 +42,26 @@ main(int argc, char **argv)
                  : std::vector<std::uint64_t>{128_MiB, 256_MiB, 512_MiB,
                                               1_GiB};
         for (std::uint64_t cap : sizes) {
-            ExperimentSpec spec = baseSpec(opts);
-            spec.workload = w;
-            spec.capacityBytes = cap;
-
-            t.beginRow();
-            t.add(workloadName(w));
-            t.add(formatSize(cap));
-            for (DesignKind d : {DesignKind::Alloy, DesignKind::Footprint,
-                                 DesignKind::Unison}) {
+            rows.push_back({w, cap});
+            for (DesignKind d : designs) {
+                ExperimentSpec spec = baseSpec(opts);
+                spec.workload = w;
+                spec.capacityBytes = cap;
                 spec.design = d;
-                const SimResult r = runExperiment(spec);
-                t.add(r.missRatioPercent(), 1);
+                specs.push_back(spec);
             }
-            std::fprintf(stderr, "fig6: %s %s done\n",
-                         workloadName(w).c_str(),
-                         formatSize(cap).c_str());
         }
+    }
+
+    const std::vector<SimResult> results = runAll(specs, opts, "fig6");
+
+    std::size_t idx = 0;
+    for (const Row &row : rows) {
+        t.beginRow();
+        t.add(workloadName(row.w));
+        t.add(formatSize(row.cap));
+        for (std::size_t d = 0; d < designs.size(); ++d)
+            t.add(results[idx++].missRatioPercent(), 1);
     }
     emit(t, opts, "Figure 6: miss ratio comparison");
     std::printf(

@@ -35,34 +35,43 @@ main(int argc, char **argv)
     std::map<DesignKind, std::map<std::uint64_t, std::vector<double>>>
         speedups;
 
+    // One no-DRAM-cache baseline per workload (capacity-independent)
+    // followed by every (capacity, design) point of that workload.
+    std::vector<ExperimentSpec> specs;
     for (Workload w : cloudSuiteWorkloads()) {
-        // The no-DRAM-cache baseline is capacity-independent: compute
-        // it once per workload at the largest trace length.
         ExperimentSpec base_spec = baseSpec(opts);
         base_spec.workload = w;
         base_spec.capacityBytes = sizes.back();
         base_spec.design = DesignKind::NoDramCache;
-        const SimResult base = runExperiment(base_spec);
+        specs.push_back(base_spec);
 
         for (std::uint64_t cap : sizes) {
-            ExperimentSpec spec = baseSpec(opts);
-            spec.workload = w;
-            spec.capacityBytes = cap;
+            for (DesignKind d : designs) {
+                ExperimentSpec spec = baseSpec(opts);
+                spec.workload = w;
+                spec.capacityBytes = cap;
+                spec.design = d;
+                specs.push_back(spec);
+            }
+        }
+    }
 
+    const std::vector<SimResult> results = runAll(specs, opts, "fig7");
+
+    std::size_t idx = 0;
+    for (Workload w : cloudSuiteWorkloads()) {
+        const SimResult &base = results[idx++];
+        for (std::uint64_t cap : sizes) {
             t.beginRow();
             t.add(workloadName(w));
             t.add(formatSize(cap));
             for (DesignKind d : designs) {
-                spec.design = d;
-                const SimResult r = runExperiment(spec);
+                const SimResult &r = results[idx++];
                 const double speedup =
                     base.uipc > 0.0 ? r.uipc / base.uipc : 0.0;
                 t.add(speedup, 2);
                 speedups[d][cap].push_back(speedup);
             }
-            std::fprintf(stderr, "fig7: %s %s done\n",
-                         workloadName(w).c_str(),
-                         formatSize(cap).c_str());
         }
     }
 

@@ -43,20 +43,8 @@ struct RunOut
 };
 
 RunOut
-runPoint(DesignKind design, const WorkloadParams &params,
-         std::uint64_t capacity, std::uint64_t accesses, double base_uipc)
+summarize(const SimResult &r, double base_uipc)
 {
-    SystemConfig sys;
-    WorkloadParams wp = params;
-    wp.numCores = sys.numCores;
-    SyntheticWorkload workload(wp, 42);
-
-    ExperimentSpec spec;
-    spec.design = design;
-    spec.capacityBytes = capacity;
-    System system(sys, makeCacheFactory(spec));
-    const SimResult r = system.run(workload, accesses);
-
     RunOut out;
     out.speedup = base_uipc > 0.0 ? r.uipc / base_uipc : 1.0;
     out.missPercent = r.missRatioPercent();
@@ -85,25 +73,33 @@ main(int argc, char **argv)
     Table t({"region zipf", "AC miss%", "AC offchip blk/1K", "AC speedup",
              "UC miss%", "UC offchip blk/1K", "UC speedup", "leader"});
 
-    for (double alpha : {0.60, 0.85, 1.00, 1.10, 1.20}) {
+    const std::vector<double> alphas = {0.60, 0.85, 1.00, 1.10, 1.20};
+
+    // Three experiments per alpha: no-cache baseline, Alloy, Unison.
+    std::vector<ExperimentSpec> specs;
+    for (double alpha : alphas) {
         WorkloadParams p = workloadParams(Workload::DataServing);
         p.regionZipfAlpha = alpha;
 
-        SystemConfig sys;
-        WorkloadParams wp = p;
-        wp.numCores = sys.numCores;
-        SyntheticWorkload base_w(wp, 42);
-        ExperimentSpec base_spec;
-        base_spec.design = DesignKind::NoDramCache;
-        base_spec.capacityBytes = capacity;
-        System base_sys(sys, makeCacheFactory(base_spec));
-        const double base_uipc =
-            base_sys.run(base_w, accesses).uipc;
+        ExperimentSpec spec;
+        spec.customWorkload = p;
+        spec.capacityBytes = capacity;
+        spec.accesses = accesses;
+        for (DesignKind d : {DesignKind::NoDramCache, DesignKind::Alloy,
+                             DesignKind::Unison}) {
+            spec.design = d;
+            specs.push_back(spec);
+        }
+    }
 
-        const RunOut ac = runPoint(DesignKind::Alloy, p, capacity,
-                                   accesses, base_uipc);
-        const RunOut uc = runPoint(DesignKind::Unison, p, capacity,
-                                   accesses, base_uipc);
+    const std::vector<SimResult> results =
+        bench::runAll(specs, opts, "sensitivity");
+
+    std::size_t idx = 0;
+    for (double alpha : alphas) {
+        const double base_uipc = results[idx++].uipc;
+        const RunOut ac = summarize(results[idx++], base_uipc);
+        const RunOut uc = summarize(results[idx++], base_uipc);
 
         t.beginRow();
         t.add(alpha, 2);
@@ -115,7 +111,6 @@ main(int argc, char **argv)
         t.add(uc.speedup, 2);
         t.add(uc.speedup >= ac.speedup ? std::string("Unison")
                                        : std::string("Alloy"));
-        std::fprintf(stderr, "sensitivity: alpha=%.2f done\n", alpha);
     }
 
     emit(t, opts,

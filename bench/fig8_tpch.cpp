@@ -8,6 +8,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_common.hh"
 
@@ -22,24 +23,35 @@ main(int argc, char **argv)
 
     Table t({"capacity", "Alloy", "Footprint", "Unison", "Ideal"});
 
-    for (std::uint64_t cap : {1_GiB, 2_GiB, 4_GiB, 8_GiB}) {
+    const std::vector<std::uint64_t> sizes = {1_GiB, 2_GiB, 4_GiB,
+                                              8_GiB};
+    const std::vector<DesignKind> designs = {
+        DesignKind::Alloy, DesignKind::Footprint, DesignKind::Unison,
+        DesignKind::Ideal};
+    std::vector<ExperimentSpec> specs;
+    for (std::uint64_t cap : sizes) {
         ExperimentSpec spec = baseSpec(opts);
         spec.workload = Workload::TpchQueries;
         spec.capacityBytes = cap;
-
         spec.design = DesignKind::NoDramCache;
-        const SimResult base = runExperiment(spec);
+        specs.push_back(spec);
+        for (DesignKind d : designs) {
+            spec.design = d;
+            specs.push_back(spec);
+        }
+    }
 
+    const std::vector<SimResult> results = runAll(specs, opts, "fig8");
+
+    std::size_t idx = 0;
+    for (std::uint64_t cap : sizes) {
+        const SimResult &base = results[idx++];
         t.beginRow();
         t.add(formatSize(cap));
-        for (DesignKind d : {DesignKind::Alloy, DesignKind::Footprint,
-                             DesignKind::Unison, DesignKind::Ideal}) {
-            spec.design = d;
-            const SimResult r = runExperiment(spec);
+        for (std::size_t d = 0; d < designs.size(); ++d) {
+            const SimResult &r = results[idx++];
             t.add(base.uipc > 0.0 ? r.uipc / base.uipc : 0.0, 2);
         }
-        std::fprintf(stderr, "fig8: %s done\n",
-                     formatSize(cap).c_str());
     }
     emit(t, opts, "Figure 8: TPC-H queries speedup");
     return 0;

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Simulation-engine throughput bench: how many simulated accesses per
+ * second the engine sustains, per design, plus trace-replay speed and
+ * the wall-clock of a figure-style sweep at a given --threads count.
+ *
+ * This is the repo's performance regression guard: run it before and
+ * after engine changes and compare accesses/sec. --json emits the
+ * numbers machine-readably so CI and scripts can track the trajectory:
+ *
+ *   ./perf_engine --quick --json > perf.json
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "trace/tracefile.hh"
+#include "trace/workload.hh"
+
+namespace {
+
+using namespace unison;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Measurement
+{
+    std::string name;
+    std::uint64_t accesses = 0;
+    double seconds = 0.0;
+
+    double rate() const { return seconds > 0.0 ? accesses / seconds : 0.0; }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace unison::bench;
+
+    ArgParser args("Engine throughput: simulated accesses per second");
+    args.addFlag("quick", "run 8x shorter simulations (CI mode)");
+    args.addFlag("json", "emit machine-readable JSON only");
+    args.addOption("seed", "42", "workload seed");
+    addThreadsOption(args);
+    args.parse(argc, argv);
+
+    const bool quick = args.getFlag("quick");
+    const bool json = args.getFlag("json");
+    const std::uint64_t seed = args.getUint("seed");
+    const int threads = static_cast<int>(args.getInt("threads"));
+
+    std::vector<Measurement> engine;
+
+    // --- Single-thread engine throughput per design -------------------
+    const std::uint64_t accesses = defaultAccessCount(256_MiB, quick);
+
+    // Untimed warm-up: fault in the allocator/sampler state so the
+    // first timed design is not penalized relative to the others.
+    {
+        ExperimentSpec warm;
+        warm.workload = Workload::WebServing;
+        warm.design = DesignKind::Unison;
+        warm.capacityBytes = 256_MiB;
+        warm.accesses = accesses / 8;
+        warm.seed = seed;
+        runExperiment(warm);
+    }
+    for (DesignKind d : {DesignKind::Unison, DesignKind::Alloy,
+                         DesignKind::Footprint, DesignKind::NoDramCache}) {
+        ExperimentSpec spec;
+        spec.workload = Workload::WebServing;
+        spec.design = d;
+        spec.capacityBytes = 256_MiB;
+        spec.quick = quick;
+        spec.seed = seed;
+
+        const auto t0 = Clock::now();
+        runExperiment(spec);
+        Measurement m;
+        m.name = designName(d);
+        m.accesses = accesses;
+        m.seconds = secondsSince(t0);
+        engine.push_back(m);
+        std::fprintf(stderr, "perf_engine: %s done (%.0f acc/s)\n",
+                     m.name.c_str(), m.rate());
+    }
+
+    // --- Trace-file replay throughput ---------------------------------
+    Measurement replay;
+    {
+        const std::string path = "perf_engine.trace";
+        const std::uint64_t n = quick ? 2'000'000 : 8'000'000;
+        WorkloadParams params = workloadParams(Workload::WebServing);
+        {
+            TraceWriter writer(path, params.numCores);
+            SyntheticWorkload workload(params, seed);
+            MemoryAccess acc;
+            for (std::uint64_t i = 0; i < n; ++i) {
+                const int core =
+                    static_cast<int>(i % params.numCores);
+                workload.next(core, acc);
+                acc.core = static_cast<std::uint8_t>(core);
+                writer.write(acc);
+            }
+        }
+        ExperimentSpec spec;
+        spec.design = DesignKind::Unison;
+        spec.capacityBytes = 256_MiB;
+        TraceReader reader(path);
+        System system(spec.system, makeCacheFactory(spec));
+        const auto t0 = Clock::now();
+        system.run(reader, n);
+        replay.name = "trace replay (Unison)";
+        replay.accesses = n;
+        replay.seconds = secondsSince(t0);
+        std::remove(path.c_str());
+        std::fprintf(stderr, "perf_engine: replay done (%.0f acc/s)\n",
+                     replay.rate());
+    }
+
+    // --- Figure-style sweep at --threads ------------------------------
+    Measurement sweep;
+    std::size_t sweep_experiments = 0;
+    {
+        std::vector<ExperimentSpec> specs;
+        for (Workload w :
+             {Workload::WebServing, Workload::DataServing}) {
+            for (std::uint64_t cap : {128_MiB, 256_MiB}) {
+                for (DesignKind d :
+                     {DesignKind::Unison, DesignKind::Alloy}) {
+                    ExperimentSpec spec;
+                    spec.workload = w;
+                    spec.design = d;
+                    spec.capacityBytes = cap;
+                    spec.quick = quick;
+                    spec.seed = seed;
+                    specs.push_back(spec);
+                    sweep.accesses += defaultAccessCount(cap, quick);
+                }
+            }
+        }
+        sweep_experiments = specs.size();
+        const auto t0 = Clock::now();
+        runExperiments(specs, threads);
+        sweep.name = "figure sweep";
+        sweep.seconds = secondsSince(t0);
+        std::fprintf(stderr,
+                     "perf_engine: sweep of %zu done in %.2fs "
+                     "(--threads %d)\n",
+                     sweep_experiments, sweep.seconds, threads);
+    }
+
+    if (json) {
+        std::printf("{\n  \"quick\": %s,\n  \"threads\": %d,\n",
+                    quick ? "true" : "false", threads);
+        std::printf("  \"engine\": [\n");
+        for (std::size_t i = 0; i < engine.size(); ++i) {
+            const Measurement &m = engine[i];
+            std::printf("    {\"design\": \"%s\", \"accesses\": %llu, "
+                        "\"seconds\": %.6f, \"accesses_per_sec\": "
+                        "%.0f}%s\n",
+                        m.name.c_str(),
+                        static_cast<unsigned long long>(m.accesses),
+                        m.seconds, m.rate(),
+                        i + 1 < engine.size() ? "," : "");
+        }
+        std::printf("  ],\n");
+        std::printf("  \"replay\": {\"accesses\": %llu, \"seconds\": "
+                    "%.6f, \"accesses_per_sec\": %.0f},\n",
+                    static_cast<unsigned long long>(replay.accesses),
+                    replay.seconds, replay.rate());
+        std::printf("  \"sweep\": {\"experiments\": %zu, \"accesses\": "
+                    "%llu, \"seconds\": %.6f, \"accesses_per_sec\": "
+                    "%.0f}\n}\n",
+                    sweep_experiments,
+                    static_cast<unsigned long long>(sweep.accesses),
+                    sweep.seconds, sweep.rate());
+        return 0;
+    }
+
+    Table t({"benchmark", "accesses", "wall (s)", "accesses/sec"});
+    for (const Measurement &m : engine) {
+        t.beginRow();
+        t.add(m.name);
+        t.add(m.accesses);
+        t.add(m.seconds, 3);
+        t.add(m.rate(), 0);
+    }
+    t.beginRow();
+    t.add(replay.name);
+    t.add(replay.accesses);
+    t.add(replay.seconds, 3);
+    t.add(replay.rate(), 0);
+    t.beginRow();
+    t.add(sweep.name + " (--threads " + std::to_string(threads) + ")");
+    t.add(sweep.accesses);
+    t.add(sweep.seconds, 3);
+    t.add(sweep.rate(), 0);
+    std::printf("\n== Engine throughput ==\n");
+    std::fputs(t.toString().c_str(), stdout);
+    return 0;
+}

@@ -26,6 +26,9 @@ main(int argc, char **argv)
              "UC960 WP acc%", "UC1984 FP acc%", "UC1984 FP over%",
              "UC1984 WP acc%"});
 
+    // Four experiments per workload: Alloy, Footprint, Unison@960B
+    // and Unison@1984B pages.
+    std::vector<ExperimentSpec> specs;
     for (Workload w : allWorkloads()) {
         const std::uint64_t cap =
             (w == Workload::TpchQueries) ? 8_GiB : 1_GiB;
@@ -35,17 +38,27 @@ main(int argc, char **argv)
         spec.capacityBytes = cap;
 
         spec.design = DesignKind::Alloy;
-        const SimResult ac = runExperiment(spec);
+        specs.push_back(spec);
 
         spec.design = DesignKind::Footprint;
-        const SimResult fc = runExperiment(spec);
+        specs.push_back(spec);
 
         spec.design = DesignKind::Unison;
         spec.unisonPageBlocks = 15;
-        const SimResult uc960 = runExperiment(spec);
+        specs.push_back(spec);
 
         spec.unisonPageBlocks = 31;
-        const SimResult uc1984 = runExperiment(spec);
+        specs.push_back(spec);
+    }
+
+    const std::vector<SimResult> results = runAll(specs, opts, "table5");
+
+    std::size_t idx = 0;
+    for (Workload w : allWorkloads()) {
+        const SimResult &ac = results[idx++];
+        const SimResult &fc = results[idx++];
+        const SimResult &uc960 = results[idx++];
+        const SimResult &uc1984 = results[idx++];
 
         t.beginRow();
         t.add(workloadName(w));
@@ -59,8 +72,6 @@ main(int argc, char **argv)
         t.add(uc1984.cache.fpAccuracyPercent(), 1);
         t.add(uc1984.cache.fpOverfetchPercent(), 1);
         t.add(uc1984.wpAccuracyPercent, 1);
-        std::fprintf(stderr, "table5: %s done\n",
-                     workloadName(w).c_str());
     }
     emit(t, opts, "Table V: predictor accuracy");
     std::printf(

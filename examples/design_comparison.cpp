@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_common.hh"
 #include "common/argparse.hh"
 #include "sim/experiment.hh"
 #include "stats/table.hh"
@@ -25,6 +26,7 @@ main(int argc, char **argv)
     args.addOption("accesses", "0", "references (0 = auto-scale)");
     args.addOption("seed", "42", "workload seed");
     args.addFlag("quick", "divide the auto-scaled length by 8");
+    bench::addThreadsOption(args);
     args.parse(argc, argv);
 
     ExperimentSpec spec;
@@ -46,12 +48,20 @@ main(int argc, char **argv)
     Table table({"design", "miss%", "fp_acc%", "fp_over%", "wp_acc%",
                  "dc_lat", "st_rowhit%", "oc_rowhit%", "offchip_blk",
                  "uipc", "speedup"});
-    double base_uipc = 0.0;
+    std::vector<ExperimentSpec> specs;
     for (DesignKind d : designs) {
         ExperimentSpec s = spec;
         s.design = d;
-        const SimResult r = runExperiment(s);
-        if (d == DesignKind::NoDramCache)
+        specs.push_back(s);
+    }
+    const std::vector<SimResult> results = bench::runAll(
+        specs, static_cast<int>(args.getInt("threads")),
+        "design_comparison");
+
+    double base_uipc = 0.0;
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+        const SimResult &r = results[i];
+        if (designs[i] == DesignKind::NoDramCache)
             base_uipc = r.uipc;
         table.beginRow();
         table.add(r.designName);

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.hh"
 #include "common/argparse.hh"
 #include "sim/system.hh"
 #include "sim/experiment.hh"
@@ -25,6 +26,7 @@ main(int argc, char **argv)
     ArgParser args("Spatial-locality sweep for Unison Cache");
     args.addOption("capacity", "256M", "stacked DRAM cache size");
     args.addOption("accesses", "6000000", "references per sweep point");
+    bench::addThreadsOption(args);
     args.parse(argc, argv);
 
     const std::uint64_t capacity = parseSize(args.getString("capacity"));
@@ -49,6 +51,7 @@ main(int argc, char **argv)
     Table table({"locality profile", "miss%", "fp_acc%", "fp_over%",
                  "offchip blocks/ref", "uipc"});
 
+    std::vector<ExperimentSpec> specs;
     for (const Point &pt : sweep) {
         WorkloadParams params; // neutral base, 8 GB dataset
         params.name = pt.label;
@@ -62,16 +65,22 @@ main(int argc, char **argv)
         params.blockRepeatMean = 12.0;
         params.instrsPerMemRef = 10.0;
 
-        SyntheticWorkload workload(params, /*seed=*/42);
-
         ExperimentSpec spec;
+        spec.customWorkload = params;
         spec.design = DesignKind::Unison;
         spec.capacityBytes = capacity;
-        System system(SystemConfig{}, makeCacheFactory(spec));
-        const SimResult r = system.run(workload, accesses);
+        spec.accesses = accesses;
+        specs.push_back(spec);
+    }
 
+    const std::vector<SimResult> results = bench::runAll(
+        specs, static_cast<int>(args.getInt("threads")),
+        "locality_explorer");
+
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const SimResult &r = results[i];
         table.beginRow();
-        table.add(std::string(pt.label));
+        table.add(std::string(sweep[i].label));
         table.add(r.missRatioPercent(), 1);
         table.add(r.cache.fpAccuracyPercent(), 1);
         table.add(r.cache.fpOverfetchPercent(), 1);

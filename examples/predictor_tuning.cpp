@@ -14,11 +14,11 @@
  */
 
 #include <cstdio>
-#include <memory>
+#include <string>
+#include <vector>
 
+#include "bench/bench_common.hh"
 #include "common/argparse.hh"
-#include "core/unison_cache.hh"
-#include "sim/system.hh"
 #include "stats/table.hh"
 #include "trace/presets.hh"
 
@@ -26,23 +26,10 @@ namespace {
 
 using namespace unison;
 
-/** One variant row: run and report. */
+/** One result row. */
 void
-runVariant(Table &t, const std::string &label, Workload w,
-           std::uint64_t capacity, std::uint64_t accesses,
-           std::uint64_t seed, UnisonConfig ucfg)
+addRow(Table &t, const std::string &label, const SimResult &r)
 {
-    ucfg.capacityBytes = capacity;
-    WorkloadParams params = workloadParams(w);
-    SystemConfig sys;
-    params.numCores = sys.numCores;
-    SyntheticWorkload workload(params, seed);
-
-    System system(sys, [&](DramModule *offchip) {
-        return std::make_unique<UnisonCache>(ucfg, offchip);
-    });
-    const SimResult r = system.run(workload, accesses);
-
     t.beginRow();
     t.add(label);
     t.add(r.missRatioPercent(), 2);
@@ -66,12 +53,14 @@ main(int argc, char **argv)
                    "cache must reach steady state for the predictor "
                    "statistics to be meaningful)");
     args.addOption("seed", "42", "workload seed");
+    bench::addThreadsOption(args);
     args.parse(argc, argv);
 
     const Workload w = workloadFromName(args.getString("workload"));
     const std::uint64_t capacity = parseSize(args.getString("capacity"));
     const std::uint64_t accesses = args.getUint("accesses");
     const std::uint64_t seed = args.getUint("seed");
+    const int threads = static_cast<int>(args.getInt("threads"));
 
     std::printf("Tuning predictors on %s, %s Unison Cache...\n",
                 workloadName(w).c_str(), formatSize(capacity).c_str());
@@ -79,47 +68,59 @@ main(int argc, char **argv)
     Table t({"variant", "miss%", "fp acc%", "overfetch%", "wp acc%",
              "singleton bypasses", "uipc"});
 
-    UnisonConfig base;
+    ExperimentSpec base;
+    base.workload = w;
+    base.design = DesignKind::Unison;
     base.capacityBytes = capacity;
+    base.accesses = accesses;
+    base.seed = seed;
+
+    std::vector<std::string> labels;
+    std::vector<ExperimentSpec> specs;
 
     // The paper's configuration (144 KB FHT, Table II).
-    runVariant(t, "paper: 24K-entry FHT (144KB)", w, capacity, accesses,
-               seed, base);
+    labels.push_back("paper: 24K-entry FHT (144KB)");
+    specs.push_back(base);
 
     // A quarter-size FHT: more aliasing, lower accuracy.
     {
-        UnisonConfig cfg = base;
-        cfg.fhtConfig.numEntries = 6 * 1024;
-        runVariant(t, "6K-entry FHT (36KB)", w, capacity, accesses,
-                   seed, cfg);
+        ExperimentSpec spec = base;
+        spec.unisonFhtEntries = 6 * 1024;
+        labels.push_back("6K-entry FHT (36KB)");
+        specs.push_back(spec);
     }
 
     // A direct-mapped FHT of similar size: cheaper lookups, but
     // conflict evictions in the history table itself (set count must
     // stay a power of two).
     {
-        UnisonConfig cfg = base;
-        cfg.fhtConfig.numEntries = 16 * 1024;
-        cfg.fhtConfig.assoc = 1;
-        runVariant(t, "direct-mapped 16K-entry FHT", w, capacity,
-                   accesses, seed, cfg);
+        ExperimentSpec spec = base;
+        spec.unisonFhtEntries = 16 * 1024;
+        spec.unisonFhtAssoc = 1;
+        labels.push_back("direct-mapped 16K-entry FHT");
+        specs.push_back(spec);
     }
 
     // No singleton bypass: singleton pages burn whole page frames.
     {
-        UnisonConfig cfg = base;
-        cfg.singletonEnabled = false;
-        runVariant(t, "no singleton bypass", w, capacity, accesses,
-                   seed, cfg);
+        ExperimentSpec spec = base;
+        spec.singletonPrediction = false;
+        labels.push_back("no singleton bypass");
+        specs.push_back(spec);
     }
 
     // A wider way predictor (the >4GB sizing at any capacity).
     {
-        UnisonConfig cfg = base;
-        cfg.wayPredictorIndexBits = 16;
-        runVariant(t, "16-bit way predictor (16KB)", w, capacity,
-                   accesses, seed, cfg);
+        ExperimentSpec spec = base;
+        spec.unisonWayPredictorIndexBits = 16;
+        labels.push_back("16-bit way predictor (16KB)");
+        specs.push_back(spec);
     }
+
+    const std::vector<SimResult> results =
+        bench::runAll(specs, threads, "predictor_tuning");
+    for (std::size_t i = 0; i < results.size(); ++i)
+        addRow(t, labels[i], results[i]);
 
     t.print();
     std::printf(

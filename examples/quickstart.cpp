@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.hh"
 #include "common/argparse.hh"
 #include "sim/experiment.hh"
 #include "stats/table.hh"
@@ -23,6 +24,7 @@ main(int argc, char **argv)
     args.addOption("workload", "webserving", "workload preset name");
     args.addOption("accesses", "8000000", "trace references to play");
     args.addOption("seed", "42", "workload seed");
+    bench::addThreadsOption(args);
     args.parse(argc, argv);
 
     ExperimentSpec spec;
@@ -37,12 +39,15 @@ main(int argc, char **argv)
                 formatSize(spec.capacityBytes).c_str(),
                 static_cast<unsigned long long>(spec.accesses));
 
-    const SimResult r = runExperiment(spec);
-
-    // A second run with no DRAM cache gives the speedup denominator.
+    // The headline run plus the no-DRAM-cache speedup denominator,
+    // through the shared parallel runner (--threads=2 overlaps them).
     ExperimentSpec base = spec;
     base.design = DesignKind::NoDramCache;
-    const SimResult b = runExperiment(base);
+    const std::vector<SimResult> results = bench::runAll(
+        {spec, base}, static_cast<int>(args.getInt("threads")),
+        "quickstart");
+    const SimResult &r = results[0];
+    const SimResult &b = results[1];
 
     Table table({"metric", "value"});
     table.beginRow();

@@ -9,6 +9,7 @@ SetAssocCache::SetAssocCache(const SramCacheConfig &config)
     : config_(config)
 {
     UNISON_ASSERT(config_.assoc >= 1, config_.name, ": assoc must be >=1");
+    UNISON_ASSERT(config_.assoc <= 256, config_.name, ": assoc too large");
     UNISON_ASSERT(isPowerOfTwo(config_.blockBytes),
                   config_.name, ": block size must be a power of two");
     const std::uint64_t blocks = config_.sizeBytes / config_.blockBytes;
@@ -20,7 +21,9 @@ SetAssocCache::SetAssocCache(const SramCacheConfig &config)
     UNISON_ASSERT(isPowerOfTwo(numSets_),
                   config_.name, ": set count must be a power of two");
     blockShift_ = exactLog2(config_.blockBytes);
+    setShift_ = exactLog2(numSets_);
     lines_.resize(blocks);
+    mru_.resize(numSets_, 0);
 }
 
 SramAccessResult
@@ -29,17 +32,30 @@ SetAssocCache::access(Addr addr, bool is_write)
     ++stats_.accesses;
     const std::uint64_t block = addr >> blockShift_;
     const std::uint64_t set = block & (numSets_ - 1);
-    const std::uint64_t tag = block >> exactLog2(numSets_);
+    const std::uint64_t tag = block >> setShift_;
 
     Line *base = setBase(set);
     SramAccessResult result;
 
+    // Fast path: the most-recently-hit way of this set.
+    Line &mru_line = base[mru_[set]];
+    if ((mru_line.meta & ~Line::kDirty) == (Line::kValid | tag)) {
+        ++stats_.hits;
+        mru_line.lastUse = ++useCounter_;
+        if (is_write)
+            mru_line.meta |= Line::kDirty;
+        result.hit = true;
+        return result;
+    }
+
     for (std::uint32_t w = 0; w < config_.assoc; ++w) {
         Line &line = base[w];
-        if (line.valid && line.tag == tag) {
+        if ((line.meta & ~Line::kDirty) == (Line::kValid | tag)) {
             ++stats_.hits;
             line.lastUse = ++useCounter_;
-            line.dirty |= is_write;
+            if (is_write)
+                line.meta |= Line::kDirty;
+            mru_[set] = static_cast<std::uint8_t>(w);
             result.hit = true;
             return result;
         }
@@ -49,7 +65,7 @@ SetAssocCache::access(Addr addr, bool is_write)
     Line *victim = base;
     for (std::uint32_t w = 0; w < config_.assoc; ++w) {
         Line &line = base[w];
-        if (!line.valid) {
+        if (!line.valid()) {
             victim = &line;
             break;
         }
@@ -58,20 +74,19 @@ SetAssocCache::access(Addr addr, bool is_write)
     }
 
     ++stats_.misses;
-    if (victim->valid) {
+    if (victim->valid()) {
         ++stats_.evictions;
-        if (victim->dirty) {
+        if (victim->dirty()) {
             ++stats_.writebacks;
             result.writeback = true;
             const std::uint64_t victim_block =
-                (victim->tag << exactLog2(numSets_)) | set;
+                (victim->tag() << setShift_) | set;
             result.writebackAddr = victim_block << blockShift_;
         }
     }
-    victim->valid = true;
-    victim->tag = tag;
-    victim->dirty = is_write;
+    victim->meta = Line::kValid | tag | (is_write ? Line::kDirty : 0);
     victim->lastUse = ++useCounter_;
+    mru_[set] = static_cast<std::uint8_t>(victim - base);
     return result;
 }
 
@@ -80,10 +95,10 @@ SetAssocCache::probe(Addr addr) const
 {
     const std::uint64_t block = addr >> blockShift_;
     const std::uint64_t set = block & (numSets_ - 1);
-    const std::uint64_t tag = block >> exactLog2(numSets_);
+    const std::uint64_t tag = block >> setShift_;
     const Line *base = setBase(set);
     for (std::uint32_t w = 0; w < config_.assoc; ++w) {
-        if (base[w].valid && base[w].tag == tag)
+        if ((base[w].meta & ~Line::kDirty) == (Line::kValid | tag))
             return true;
     }
     return false;
@@ -94,13 +109,12 @@ SetAssocCache::invalidate(Addr addr)
 {
     const std::uint64_t block = addr >> blockShift_;
     const std::uint64_t set = block & (numSets_ - 1);
-    const std::uint64_t tag = block >> exactLog2(numSets_);
+    const std::uint64_t tag = block >> setShift_;
     Line *base = setBase(set);
     for (std::uint32_t w = 0; w < config_.assoc; ++w) {
-        if (base[w].valid && base[w].tag == tag) {
-            const bool was_dirty = base[w].dirty;
-            base[w].valid = false;
-            base[w].dirty = false;
+        if ((base[w].meta & ~Line::kDirty) == (Line::kValid | tag)) {
+            const bool was_dirty = base[w].dirty();
+            base[w].meta = 0;
             return was_dirty;
         }
     }

@@ -83,13 +83,30 @@ class SetAssocCache
     std::uint32_t numSets() const { return numSets_; }
 
   private:
+    /**
+     * One tag entry, packed to 16 bytes so an 8-way set spans two
+     * cache lines of the *host* machine instead of three -- the tag
+     * arrays are the simulator's hottest data by far. Valid and dirty
+     * live in the top bits of `meta`; the tag occupies the low bits
+     * (block addresses fit in well under 56 bits).
+     */
     struct Line
     {
-        std::uint64_t tag = 0;
-        std::uint64_t lastUse = 0;
-        bool valid = false;
-        bool dirty = false;
+        static constexpr std::uint64_t kValid = 1ull << 63;
+        static constexpr std::uint64_t kDirty = 1ull << 62;
+        static constexpr std::uint64_t kTagMask = kDirty - 1;
+
+        std::uint64_t meta = 0;
+        /** LRU stamp. 32 bits bound one cache instance to ~4.2G
+         *  accesses, far beyond the longest configured run. */
+        std::uint32_t lastUse = 0;
+        std::uint32_t pad = 0;
+
+        bool valid() const { return (meta & kValid) != 0; }
+        bool dirty() const { return (meta & kDirty) != 0; }
+        std::uint64_t tag() const { return meta & kTagMask; }
     };
+    static_assert(sizeof(Line) == 16, "tag entry no longer packed");
 
     Line *setBase(std::uint64_t set)
     {
@@ -103,8 +120,13 @@ class SetAssocCache
     SramCacheConfig config_;
     std::uint32_t numSets_;
     std::uint32_t blockShift_;
+    std::uint32_t setShift_; //!< log2(numSets_), hoisted off the hot path
     std::vector<Line> lines_;
-    std::uint64_t useCounter_ = 0;
+    /** Most-recently-hit way per set: checked first on access, which
+     *  usually touches one host cache line instead of scanning the
+     *  whole set (block repeats and bursts make MRU hits common). */
+    std::vector<std::uint8_t> mru_;
+    std::uint32_t useCounter_ = 0;
     SramCacheStats stats_;
 };
 

@@ -68,6 +68,13 @@ makeCacheFactory(const ExperimentSpec &spec)
             cfg.footprintPredictionEnabled = spec.footprintPrediction;
             cfg.singletonEnabled = spec.singletonPrediction;
             cfg.numCores = spec.system.numCores;
+            if (spec.unisonFhtEntries != 0)
+                cfg.fhtConfig.numEntries = spec.unisonFhtEntries;
+            if (spec.unisonFhtAssoc != 0)
+                cfg.fhtConfig.assoc = spec.unisonFhtAssoc;
+            if (spec.unisonWayPredictorIndexBits != 0)
+                cfg.wayPredictorIndexBits =
+                    spec.unisonWayPredictorIndexBits;
             return std::make_unique<UnisonCache>(cfg, offchip);
         };
       case DesignKind::Alloy:
@@ -123,7 +130,9 @@ makeCacheFactory(const ExperimentSpec &spec)
 SimResult
 runExperiment(const ExperimentSpec &spec)
 {
-    WorkloadParams params = workloadParams(spec.workload);
+    WorkloadParams params = spec.customWorkload
+                                ? *spec.customWorkload
+                                : workloadParams(spec.workload);
     params.numCores = spec.system.numCores;
     SyntheticWorkload workload(params, spec.seed);
 

@@ -9,6 +9,7 @@
 #define UNISON_SIM_EXPERIMENT_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "core/unison_cache.hh"
@@ -36,6 +37,15 @@ std::string designName(DesignKind kind);
 struct ExperimentSpec
 {
     Workload workload = Workload::WebServing;
+
+    /**
+     * When set, overrides the preset: the experiment synthesizes its
+     * stream from these parameters instead (numCores still follows
+     * system.numCores). Lets parameter-sensitivity sweeps run through
+     * the parallel runner like any other experiment.
+     */
+    std::optional<WorkloadParams> customWorkload;
+
     DesignKind design = DesignKind::Unison;
     std::uint64_t capacityBytes = 1_GiB;
 
@@ -46,6 +56,11 @@ struct ExperimentSpec
     UnisonMissPolicy unisonMissPolicy = UnisonMissPolicy::AlwaysHit;
     bool footprintPrediction = true;  //!< Unison & Footprint designs
     bool singletonPrediction = true;  //!< Unison & Footprint designs
+
+    /** Unison predictor sizing overrides (0 = design default). */
+    std::uint32_t unisonFhtEntries = 0;
+    std::uint32_t unisonFhtAssoc = 0;
+    std::uint32_t unisonWayPredictorIndexBits = 0;
 
     /** Alloy knob. */
     bool alloyMissPredictor = true;

@@ -1,0 +1,59 @@
+#include "sim/runner.hh"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace unison {
+
+std::vector<SimResult>
+runExperiments(const std::vector<ExperimentSpec> &specs, int threads,
+               const ExperimentCallback &on_done)
+{
+    std::vector<SimResult> results(specs.size());
+    if (specs.empty())
+        return results;
+
+    if (threads == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads = hw == 0 ? 1 : static_cast<int>(hw);
+    }
+    const std::size_t workers = std::min<std::size_t>(
+        specs.size(), static_cast<std::size_t>(std::max(threads, 1)));
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            results[i] = runExperiment(specs[i]);
+            if (on_done)
+                on_done(i, results[i]);
+        }
+        return results;
+    }
+
+    // Work-stealing by atomic ticket: long experiments (TPC-H, 8 GB
+    // caches) naturally load-balance against short ones.
+    std::atomic<std::size_t> next{0};
+    std::mutex done_mutex;
+    const auto worker = [&]() {
+        while (true) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= specs.size())
+                return;
+            results[i] = runExperiment(specs[i]);
+            if (on_done) {
+                std::lock_guard<std::mutex> lock(done_mutex);
+                on_done(i, results[i]);
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t)
+        pool.emplace_back(worker);
+    for (auto &thread : pool)
+        thread.join();
+    return results;
+}
+
+} // namespace unison

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Parallel experiment runner: executes a batch of independent
+ * ExperimentSpecs on a pool of worker threads.
+ *
+ * Every figure and table in the paper is a sweep of dozens of
+ * (workload x design x capacity x knob) points, and each point is a
+ * self-contained simulation with its own RNG seed, System and caches.
+ * That makes the sweep embarrassingly parallel: results are
+ * bit-identical whether a spec runs on one thread or sixteen, which a
+ * ctest enforces (runner_test.cpp).
+ */
+
+#ifndef UNISON_SIM_RUNNER_HH
+#define UNISON_SIM_RUNNER_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace unison {
+
+/** Called after each experiment completes, under an internal lock (so
+ *  plain fprintf progress reporting is safe). `index` is the spec's
+ *  position in the input vector. */
+using ExperimentCallback =
+    std::function<void(std::size_t index, const SimResult &result)>;
+
+/**
+ * Run every spec and return the results in input order.
+ *
+ * @param specs    independent experiment specifications
+ * @param threads  worker threads; <= 1 runs serially on the calling
+ *                 thread, 0 means std::thread::hardware_concurrency()
+ * @param on_done  optional per-experiment completion hook
+ *
+ * Results are bit-identical for any thread count: each experiment owns
+ * its workload RNG (seeded from the spec), its System and its caches;
+ * the only shared state is the immutable Zipf sampler cache.
+ */
+std::vector<SimResult>
+runExperiments(const std::vector<ExperimentSpec> &specs, int threads = 1,
+               const ExperimentCallback &on_done = nullptr);
+
+} // namespace unison
+
+#endif // UNISON_SIM_RUNNER_HH

@@ -1,10 +1,12 @@
 #include "sim/system.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.hh"
 #include "baselines/alloy_cache.hh"
 #include "core/unison_cache.hh"
+#include "trace/workload.hh"
 
 namespace unison {
 
@@ -33,9 +35,24 @@ System::resetAllStats()
 SimResult
 System::run(AccessSource &source, std::uint64_t total_accesses)
 {
+    // Specialize the hot loop on the concrete source type: for the
+    // synthetic workloads (the common case by far) this turns the
+    // per-access virtual next() into a direct, inlinable call -- the
+    // dispatch happens once per run instead of once per access.
+    if (auto *synth = dynamic_cast<SyntheticWorkload *>(&source))
+        return runLoop(*synth, total_accesses);
+    return runLoop(source, total_accesses);
+}
+
+template <typename Source>
+SimResult
+System::runLoop(Source &source, std::uint64_t total_accesses)
+{
     UNISON_ASSERT(total_accesses > 0, "empty simulation");
     UNISON_ASSERT(source.numCores() <= config_.numCores,
                   "trace has more cores than the system");
+    UNISON_ASSERT(source.numCores() <= 255,
+                  "scheduler packs core ids into 8 bits");
 
     std::vector<double> core_time(config_.numCores, 0.0);
 
@@ -60,16 +77,50 @@ System::run(AccessSource &source, std::uint64_t total_accesses)
     std::uint64_t miss_latency_samples = 0;
 
     const int src_cores = source.numCores();
+
+    CacheHierarchy *const hier = hierarchy_.get();
+    DramCache *const cache = cache_.get();
+
+    const double *const clocks = core_time.data();
+
     MemoryAccess acc;
     for (std::uint64_t i = 0; i < total_accesses; ++i) {
         // Min-time scheduling: always advance the core whose clock is
         // furthest behind, so DRAM requests arrive in near-global time
-        // order and queueing behaves realistically.
-        int core = 0;
-        for (int c = 1; c < src_cores; ++c) {
-            if (core_time[c] < core_time[core])
-                core = c;
+        // order and queueing behaves realistically. Non-negative IEEE
+        // doubles order identically to their bit patterns, so each
+        // clock becomes an integer key with the core id packed into
+        // the low 8 (mantissa) bits: one branchless min-reduction --
+        // four independent cmov chains, replacing the serial
+        // compare-and-branch scan that gated every access -- yields
+        // both the laggard and, on (quantized) ties, the lowest id.
+        const auto key_of = [clocks](int c) {
+            return (std::bit_cast<std::uint64_t>(clocks[c]) & ~255ull) |
+                   static_cast<std::uint64_t>(c);
+        };
+        std::uint64_t b0 = key_of(0);
+        std::uint64_t b1 = src_cores > 1 ? key_of(1) : b0;
+        std::uint64_t b2 = src_cores > 2 ? key_of(2) : b0;
+        std::uint64_t b3 = src_cores > 3 ? key_of(3) : b0;
+        for (int c = 4; c + 3 < src_cores; c += 4) {
+            const std::uint64_t k0 = key_of(c);
+            const std::uint64_t k1 = key_of(c + 1);
+            const std::uint64_t k2 = key_of(c + 2);
+            const std::uint64_t k3 = key_of(c + 3);
+            b0 = k0 < b0 ? k0 : b0;
+            b1 = k1 < b1 ? k1 : b1;
+            b2 = k2 < b2 ? k2 : b2;
+            b3 = k3 < b3 ? k3 : b3;
         }
+        for (int c = src_cores & ~3; c < src_cores; ++c) {
+            const std::uint64_t k = key_of(c);
+            b0 = k < b0 ? k : b0;
+        }
+        b0 = b1 < b0 ? b1 : b0;
+        b2 = b3 < b2 ? b3 : b2;
+        const int core = static_cast<int>((b2 < b0 ? b2 : b0) & 255);
+
+        double &now = core_time[core];
         if (!source.next(core, acc)) {
             // Finite sources (trace files) may drain one core's stream
             // slightly before the requested total: stop measuring.
@@ -77,23 +128,20 @@ System::run(AccessSource &source, std::uint64_t total_accesses)
                 fatal("access source produced no references");
             break;
         }
-        acc.core = static_cast<std::uint8_t>(core);
-
-        double &now = core_time[acc.core];
         now += acc.instrsBefore * config_.cpiBase;
 
         const HierarchyOutcome outcome =
-            hierarchy_->access(acc.core, acc.addr, acc.isWrite);
+            hier->access(core, acc.addr, acc.isWrite);
 
         if (outcome.level == HierarchyOutcome::Level::Beyond) {
             DramCacheRequest req;
             req.addr = acc.addr;
             req.pc = acc.pc;
-            req.core = acc.core;
+            req.core = core;
             req.isWrite = acc.isWrite;
             req.cycle = static_cast<Cycle>(now) + outcome.sramLatency;
 
-            const DramCacheResult res = cache_->access(req);
+            const DramCacheResult res = cache->access(req);
             const double dram_latency =
                 static_cast<double>(res.doneAt - req.cycle);
             if (!acc.isWrite) {
@@ -105,13 +153,13 @@ System::run(AccessSource &source, std::uint64_t total_accesses)
                 }
                 // Overlap the miss with up to `window` others: stall
                 // only when the MSHR window is exhausted.
-                auto &ring = inflight[acc.core];
-                int &head = inflight_head[acc.core];
+                auto &ring = inflight[core];
+                int &head = inflight_head[core];
                 const double completion =
                     static_cast<double>(res.doneAt);
                 now = std::max(now + outcome.sramLatency, ring[head]);
                 ring[head] = completion;
-                head = (head + 1) % window;
+                head = head + 1 == window ? 0 : head + 1;
             }
         } else if (!acc.isWrite) {
             now += outcome.sramLatency;
@@ -122,10 +170,10 @@ System::run(AccessSource &source, std::uint64_t total_accesses)
             DramCacheRequest wb;
             wb.addr = outcome.writebackAddr[w];
             wb.pc = acc.pc;
-            wb.core = acc.core;
+            wb.core = core;
             wb.isWrite = true;
             wb.cycle = static_cast<Cycle>(now) + outcome.sramLatency;
-            cache_->access(wb);
+            cache->access(wb);
         }
 
         if (acc.isWrite) {

@@ -109,6 +109,11 @@ class System
   private:
     void resetAllStats();
 
+    /** The timing loop, specialized per concrete source type so the
+     *  per-access next() call devirtualizes (see run()). */
+    template <typename Source>
+    SimResult runLoop(Source &source, std::uint64_t total_accesses);
+
     SystemConfig config_;
     std::unique_ptr<DramModule> offchip_;
     std::unique_ptr<DramCache> cache_;

@@ -1,5 +1,6 @@
 #include "trace/tracefile.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.hh"
@@ -105,22 +106,31 @@ TraceReader::~TraceReader()
         std::fclose(file_);
 }
 
-bool
-TraceReader::readRecord(MemoryAccess &out)
+std::size_t
+TraceReader::readChunk()
 {
-    PackedRecord rec{};
-    if (std::fread(&rec, sizeof(rec), 1, file_) != 1)
-        return false;
-    out.addr = rec.addr;
-    out.pc = rec.pc;
-    out.instrsBefore = rec.instrsBefore;
-    out.core = rec.core;
-    out.isWrite = (rec.flags & 1) != 0;
-    if (out.core >= numCores_)
-        fatal("trace record core ", static_cast<int>(out.core),
-              " out of range (trace has ", numCores_, " cores)");
-    ++count_;
-    return true;
+    if (exhausted_)
+        return 0;
+    PackedRecord raw[kTraceReadChunk];
+    const std::size_t got =
+        std::fread(raw, sizeof(PackedRecord), kTraceReadChunk, file_);
+    if (got < kTraceReadChunk)
+        exhausted_ = true;
+    for (std::size_t i = 0; i < got; ++i) {
+        const PackedRecord &rec = raw[i];
+        if (rec.core >= numCores_)
+            fatal("trace record core ", static_cast<int>(rec.core),
+                  " out of range (trace has ", numCores_, " cores)");
+        MemoryAccess acc;
+        acc.addr = rec.addr;
+        acc.pc = rec.pc;
+        acc.instrsBefore = rec.instrsBefore;
+        acc.core = rec.core;
+        acc.isWrite = (rec.flags & 1) != 0;
+        buffers_[rec.core].push(acc);
+    }
+    count_ += got;
+    return got;
 }
 
 bool
@@ -128,21 +138,36 @@ TraceReader::next(int core, MemoryAccess &out)
 {
     UNISON_ASSERT(core >= 0 && core < numCores_,
                   "core ", core, " out of range");
-    if (!buffers_[core].empty()) {
-        out = buffers_[core].front();
-        buffers_[core].pop_front();
-        return true;
+    AccessChunkBuffer &buf = buffers_[core];
+    while (buf.empty()) {
+        if (readChunk() == 0)
+            return false;
     }
-    // Scan forward, parking other cores' records in their buffers.
-    MemoryAccess rec;
-    while (readRecord(rec)) {
-        if (rec.core == core) {
-            out = rec;
-            return true;
+    out = buf.front();
+    buf.popFront();
+    return true;
+}
+
+std::size_t
+TraceReader::nextBatch(int core, MemoryAccess *out, std::size_t max)
+{
+    UNISON_ASSERT(core >= 0 && core < numCores_,
+                  "core ", core, " out of range");
+    AccessChunkBuffer &buf = buffers_[core];
+    std::size_t produced = 0;
+    while (produced < max) {
+        const std::size_t take = std::min(max - produced, buf.size());
+        if (take > 0) {
+            const MemoryAccess *src = buf.pending();
+            std::copy(src, src + take, out + produced);
+            buf.consume(take);
+            produced += take;
+            continue;
         }
-        buffers_[rec.core].push_back(rec);
+        if (readChunk() == 0)
+            break;
     }
-    return false;
+    return produced;
 }
 
 } // namespace unison

@@ -13,7 +13,6 @@
 #define UNISON_TRACE_TRACEFILE_HH
 
 #include <cstdio>
-#include <deque>
 #include <string>
 #include <vector>
 
@@ -23,6 +22,56 @@ namespace unison {
 
 /** Current trace format version. */
 constexpr std::uint32_t kTraceVersion = 1;
+
+/** Records decoded from the file per fread (batched I/O). */
+constexpr std::size_t kTraceReadChunk = 4096;
+
+/**
+ * Contiguous FIFO of parked records for one core: a flat vector plus a
+ * consume cursor, compacted on refill. Replaces the former
+ * deque-of-deques, whose per-node allocation and pointer-chasing
+ * dominated the replay hot path.
+ */
+class AccessChunkBuffer
+{
+  public:
+    bool empty() const { return head_ == data_.size(); }
+    std::size_t size() const { return data_.size() - head_; }
+
+    const MemoryAccess &front() const { return data_[head_]; }
+    void popFront() { ++head_; }
+
+    /** Contiguous view of the pending records. */
+    const MemoryAccess *pending() const { return data_.data() + head_; }
+
+    /** Drop `n` pending records (n <= size()). */
+    void consume(std::size_t n) { head_ += n; }
+
+    void
+    push(const MemoryAccess &access)
+    {
+        compact();
+        data_.push_back(access);
+    }
+
+  private:
+    /** Reclaim the consumed prefix once it dominates the storage. */
+    void
+    compact()
+    {
+        if (head_ == data_.size()) {
+            data_.clear();
+            head_ = 0;
+        } else if (head_ >= 4096 && head_ * 2 >= data_.size()) {
+            data_.erase(data_.begin(),
+                        data_.begin() + static_cast<std::ptrdiff_t>(head_));
+            head_ = 0;
+        }
+    }
+
+    std::vector<MemoryAccess> data_;
+    std::size_t head_ = 0;
+};
 
 /** Streaming writer for the binary trace format. */
 class TraceWriter
@@ -66,18 +115,29 @@ class TraceReader : public AccessSource
      * is supported.
      */
     bool next(int core, MemoryAccess &out) override;
+
+    /** Batched variant: decodes the file in kTraceReadChunk chunks and
+     *  hands out contiguous spans per core. */
+    std::size_t nextBatch(int core, MemoryAccess *out,
+                          std::size_t max) override;
+
     int numCores() const override { return numCores_; }
 
     std::uint64_t recordsRead() const { return count_; }
 
   private:
-    /** Read one raw record from the file. */
-    bool readRecord(MemoryAccess &out);
+    /**
+     * Read and decode up to kTraceReadChunk records, parking each in
+     * its core's buffer. Returns the number of records decoded (0 at
+     * end of file).
+     */
+    std::size_t readChunk();
 
     std::FILE *file_ = nullptr;
     int numCores_ = 0;
     std::uint64_t count_ = 0;
-    std::vector<std::deque<MemoryAccess>> buffers_;
+    bool exhausted_ = false;
+    std::vector<AccessChunkBuffer> buffers_;
 };
 
 } // namespace unison

@@ -3,11 +3,34 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstring>
+#include <map>
+#include <mutex>
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
 
 namespace unison {
+
+std::shared_ptr<const ZipfAliasSampler>
+sharedZipfSampler(std::uint64_t n, double alpha)
+{
+    // Key alpha by bit pattern: presets use exact literals, so there
+    // is no float-comparison fuzziness to worry about.
+    using Key = std::pair<std::uint64_t, std::uint64_t>;
+    static std::mutex mutex;
+    static std::map<Key, std::shared_ptr<const ZipfAliasSampler>> cache;
+
+    std::uint64_t alpha_bits;
+    static_assert(sizeof(alpha_bits) == sizeof(alpha));
+    std::memcpy(&alpha_bits, &alpha, sizeof(alpha));
+
+    std::lock_guard<std::mutex> lock(mutex);
+    auto &entry = cache[{n, alpha_bits}];
+    if (entry == nullptr)
+        entry = std::make_shared<const ZipfAliasSampler>(n, alpha);
+    return entry;
+}
 
 namespace {
 
@@ -20,8 +43,13 @@ std::uint64_t
 scrambleRank(std::uint64_t rank, std::uint64_t num_regions)
 {
     // Multiplicative hashing by a large odd constant, then fold into
-    // the region domain. Near-uniform after the modulo.
-    return (rank * 0x9e3779b97f4a7c15ull) % num_regions;
+    // the region domain. Near-uniform after the fold; the presets all
+    // use power-of-two region counts, where a mask replaces the
+    // 64-bit modulo.
+    const std::uint64_t hashed = rank * 0x9e3779b97f4a7c15ull;
+    if ((num_regions & (num_regions - 1)) == 0)
+        return hashed & (num_regions - 1);
+    return hashed % num_regions;
 }
 
 } // namespace
@@ -30,15 +58,26 @@ SyntheticWorkload::SyntheticWorkload(const WorkloadParams &params,
                                      std::uint64_t seed)
     : params_(params),
       rng_(seed),
-      functionZipf_(std::max(params.numFunctions, 1),
-                    params.functionZipfAlpha),
-      regionZipf_(std::max<std::uint64_t>(params.numRegions(), 1),
-                  params.regionZipfAlpha)
+      functionZipf_(sharedZipfSampler(
+          static_cast<std::uint64_t>(std::max(params.numFunctions, 1)),
+          params.functionZipfAlpha)),
+      regionZipf_(sharedZipfSampler(
+          std::max<std::uint64_t>(params.numRegions(), 1),
+          params.regionZipfAlpha))
 {
     UNISON_ASSERT(params_.numCores >= 1, "workload needs >= 1 core");
     UNISON_ASSERT(params_.numFunctions >= 1, "workload needs functions");
     UNISON_ASSERT(params_.numRegions() >= 16,
                   "dataset too small: ", params_.datasetBytes);
+
+    // Precomputed emitBlock constants (see emitBlock).
+    {
+        const double wf = std::clamp(params_.writeFraction, 0.0, 1.0);
+        writeThresh24_ = static_cast<std::uint32_t>(
+            wf * static_cast<double>(1u << 24));
+        const double hi = 2.0 * params_.instrsPerMemRef - 1.0 + 0.5;
+        instrSpan_ = static_cast<std::uint32_t>(std::max(hi, 1.0));
+    }
 
     buildFunctions();
 
@@ -112,7 +151,7 @@ SyntheticWorkload::buildFunctions()
 std::uint64_t
 SyntheticWorkload::pickRegion()
 {
-    const std::uint64_t rank = regionZipf_.sample(rng_);
+    const std::uint64_t rank = regionZipf_->sample(rng_);
     return scrambleRank(rank, params_.numRegions());
 }
 
@@ -170,7 +209,7 @@ SyntheticWorkload::startEpisode(Episode &ep)
             hashCombine(region, 0x04e12ull) %
             static_cast<std::uint64_t>(params_.numFunctions));
     } else {
-        f = static_cast<std::uint32_t>(functionZipf_.sample(rng_));
+        f = static_cast<std::uint32_t>(functionZipf_->sample(rng_));
     }
     const Function &fn = functions_[f];
     ep.pc = fn.pc;
@@ -234,10 +273,16 @@ SyntheticWorkload::emitBlock(const Episode &ep, std::uint64_t block,
     out.addr = blockAddress(block);
     out.pc = ep.pc;
     out.core = static_cast<std::uint8_t>(core);
-    out.isWrite = rng_.chance(params_.writeFraction);
+    // One RNG draw supplies both fields: the write flag from the top
+    // 24 bits, the instruction gap from the low 32 (emitBlock runs
+    // once per reference, so the second generator step it used to
+    // take was measurable).
+    const std::uint64_t r = rng_.next();
+    out.isWrite = (r >> 40) < writeThresh24_;
     out.instrsBefore = static_cast<std::uint16_t>(
-        rng_.range(1, static_cast<std::uint64_t>(
-                          2.0 * params_.instrsPerMemRef - 1.0 + 0.5)));
+        1 + ((static_cast<std::uint64_t>(static_cast<std::uint32_t>(r)) *
+              instrSpan_) >>
+             32));
 }
 
 bool
@@ -285,18 +330,18 @@ SyntheticWorkload::emitFromEpisode(Episode &ep, int core,
 }
 
 bool
-SyntheticWorkload::next(int core_idx, MemoryAccess &out)
+SyntheticWorkload::generate(CoreState &core, int core_idx,
+                            MemoryAccess &out)
 {
-    UNISON_ASSERT(core_idx >= 0 && core_idx < params_.numCores,
-                  "core ", core_idx, " out of range");
-    CoreState &core = cores_[core_idx];
-
     for (int attempts = 0; attempts < 64; ++attempts) {
         if (core.burstLeft == 0) {
-            // Rotate to the next in-flight episode (interleaving).
+            // Rotate to the next in-flight episode (interleaving);
+            // conditional wrap, since an integer divide here gates
+            // every burst.
             core.burstLeft = params_.burstLength;
-            core.slot = (core.slot + 1) %
-                        static_cast<int>(core.episodes.size());
+            ++core.slot;
+            if (core.slot >= static_cast<int>(core.episodes.size()))
+                core.slot = 0;
         }
 
         Episode &ep = core.episodes[core.slot];
@@ -310,6 +355,28 @@ SyntheticWorkload::next(int core_idx, MemoryAccess &out)
         startEpisode(ep);
     }
     panic("SyntheticWorkload failed to produce an access");
+}
+
+bool
+SyntheticWorkload::next(int core_idx, MemoryAccess &out)
+{
+    UNISON_ASSERT(core_idx >= 0 && core_idx < params_.numCores,
+                  "core ", core_idx, " out of range");
+    return generate(cores_[core_idx], core_idx, out);
+}
+
+std::size_t
+SyntheticWorkload::nextBatch(int core_idx, MemoryAccess *out,
+                             std::size_t max)
+{
+    UNISON_ASSERT(core_idx >= 0 && core_idx < params_.numCores,
+                  "core ", core_idx, " out of range");
+    // Identical record stream to `max` successive next() calls, with
+    // the bounds check and virtual dispatch hoisted out of the loop.
+    CoreState &core = cores_[core_idx];
+    for (std::size_t i = 0; i < max; ++i)
+        generate(core, core_idx, out[i]);
+    return max;
 }
 
 std::uint32_t

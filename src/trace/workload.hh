@@ -27,6 +27,7 @@
 #define UNISON_TRACE_WORKLOAD_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -122,12 +123,14 @@ struct WorkloadParams
  * The synthetic stream generator. Deterministic for a given
  * (params, seed) pair.
  */
-class SyntheticWorkload : public AccessSource
+class SyntheticWorkload final : public AccessSource
 {
   public:
     SyntheticWorkload(const WorkloadParams &params, std::uint64_t seed);
 
     bool next(int core, MemoryAccess &out) override;
+    std::size_t nextBatch(int core, MemoryAccess *out,
+                          std::size_t max) override;
     int numCores() const override { return params_.numCores; }
 
     const WorkloadParams &params() const { return params_; }
@@ -183,15 +186,29 @@ class SyntheticWorkload : public AccessSource
     bool emitFromEpisode(Episode &ep, int core, MemoryAccess &out);
     void emitBlock(const Episode &ep, std::uint64_t block, int core,
                    MemoryAccess &out);
+    bool generate(CoreState &core, int core_idx, MemoryAccess &out);
 
     WorkloadParams params_;
     Rng rng_;
-    ZipfSampler functionZipf_;
-    ZipfSampler regionZipf_;
+    /** Shared immutable O(1) samplers (see sharedZipfSampler). */
+    std::shared_ptr<const ZipfAliasSampler> functionZipf_;
+    std::shared_ptr<const ZipfAliasSampler> regionZipf_;
     std::vector<Function> functions_;
     std::vector<CoreState> cores_;
     Pc chasePcBase_ = 0;
+    std::uint32_t writeThresh24_ = 0; //!< writeFraction in 2^-24 units
+    std::uint32_t instrSpan_ = 1;     //!< instrsBefore drawn from [1, span]
 };
+
+/**
+ * Process-wide cache of alias-method Zipf samplers keyed by
+ * (domain, alpha). The tables are identical for every experiment on
+ * the same preset (a few hundred KB each), so concurrent sweeps share
+ * one copy and pay the construction pow-loop once rather than per
+ * experiment. Thread-safe; returned samplers are immutable.
+ */
+std::shared_ptr<const ZipfAliasSampler>
+sharedZipfSampler(std::uint64_t n, double alpha);
 
 } // namespace unison
 

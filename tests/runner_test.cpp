@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the parallel experiment runner: result ordering, the
+ * completion callback, and the load-bearing guarantee that results are
+ * bit-identical no matter how many threads execute the sweep (each
+ * experiment owns its RNG seed and simulated machine).
+ */
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "sim/runner.hh"
+
+namespace unison {
+namespace {
+
+std::vector<ExperimentSpec>
+smallSweep()
+{
+    std::vector<ExperimentSpec> specs;
+    for (DesignKind d : {DesignKind::Unison, DesignKind::Alloy,
+                         DesignKind::Footprint, DesignKind::NoDramCache,
+                         DesignKind::Ideal, DesignKind::Unison}) {
+        ExperimentSpec spec;
+        spec.design = d;
+        spec.capacityBytes = 32_MiB;
+        spec.system.numCores = 4;
+        spec.accesses = 150000;
+        spec.seed = 7 + specs.size(); // distinct seeds per spec
+        specs.push_back(spec);
+    }
+    // Two specs differing only in seed must differ in results.
+    specs.back().seed = 1234;
+    return specs;
+}
+
+/** Field-by-field exact comparison (doubles compared bit-exactly). */
+void
+expectIdentical(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.designName, b.designName);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.uipc, b.uipc);
+    EXPECT_EQ(a.references, b.references);
+    EXPECT_EQ(a.l1MissPercent, b.l1MissPercent);
+    EXPECT_EQ(a.l2MissPercent, b.l2MissPercent);
+    EXPECT_EQ(a.cache.accesses(), b.cache.accesses());
+    EXPECT_EQ(a.cache.hits.value(), b.cache.hits.value());
+    EXPECT_EQ(a.cache.misses.value(), b.cache.misses.value());
+    EXPECT_EQ(a.offchip.reads, b.offchip.reads);
+    EXPECT_EQ(a.offchip.writes, b.offchip.writes);
+    EXPECT_EQ(a.offchip.activations, b.offchip.activations);
+    EXPECT_EQ(a.stacked.reads, b.stacked.reads);
+    EXPECT_EQ(a.stacked.writes, b.stacked.writes);
+    EXPECT_EQ(a.avgDramCacheLatency, b.avgDramCacheLatency);
+    EXPECT_EQ(a.avgMemLatency, b.avgMemLatency);
+    EXPECT_EQ(a.wpAccuracyPercent, b.wpAccuracyPercent);
+    EXPECT_EQ(a.mpAccuracyPercent, b.mpAccuracyPercent);
+}
+
+TEST(Runner, ParallelResultsIdenticalToSerial)
+{
+    const std::vector<ExperimentSpec> specs = smallSweep();
+    const std::vector<SimResult> serial = runExperiments(specs, 1);
+    const std::vector<SimResult> parallel = runExperiments(specs, 4);
+
+    ASSERT_EQ(serial.size(), specs.size());
+    ASSERT_EQ(parallel.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        expectIdentical(serial[i], parallel[i]);
+}
+
+TEST(Runner, MoreThreadsThanSpecsIsFine)
+{
+    std::vector<ExperimentSpec> specs = smallSweep();
+    specs.resize(2);
+    const std::vector<SimResult> a = runExperiments(specs, 64);
+    const std::vector<SimResult> b = runExperiments(specs, 1);
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        expectIdentical(a[i], b[i]);
+}
+
+TEST(Runner, ResultsComeBackInSpecOrder)
+{
+    const std::vector<ExperimentSpec> specs = smallSweep();
+    const std::vector<SimResult> serial = runExperiments(specs, 1);
+    const std::vector<SimResult> parallel = runExperiments(specs, 3);
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        EXPECT_EQ(parallel[i].designName, serial[i].designName);
+}
+
+TEST(Runner, SeedStillMattersUnderParallelism)
+{
+    const std::vector<ExperimentSpec> specs = smallSweep();
+    const std::vector<SimResult> results = runExperiments(specs, 4);
+    // First and last specs are both Unison but differ in seed.
+    EXPECT_NE(results.front().cycles, results.back().cycles);
+}
+
+TEST(Runner, CallbackFiresOncePerSpecUnderLock)
+{
+    const std::vector<ExperimentSpec> specs = smallSweep();
+    std::set<std::size_t> seen;
+    const std::vector<SimResult> results = runExperiments(
+        specs, 4, [&](std::size_t index, const SimResult &r) {
+            // Runner serializes callbacks, so no extra locking here.
+            EXPECT_TRUE(seen.insert(index).second)
+                << "callback fired twice for index " << index;
+            EXPECT_GT(r.references, 0u);
+        });
+    EXPECT_EQ(seen.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        EXPECT_EQ(results[i].references,
+                  runExperiment(specs[i]).references);
+}
+
+TEST(Runner, EmptyAndZeroThreadCases)
+{
+    EXPECT_TRUE(runExperiments({}, 4).empty());
+
+    std::vector<ExperimentSpec> one(1);
+    one[0].capacityBytes = 32_MiB;
+    one[0].system.numCores = 2;
+    one[0].accesses = 50000;
+    // threads = 0 resolves to hardware concurrency.
+    const std::vector<SimResult> r = runExperiments(one, 0);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_GT(r[0].references, 0u);
+}
+
+} // namespace
+} // namespace unison

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the alias-method Zipf sampler: distributional agreement
+ * with the rejection-inversion sampler it accelerates (chi-square and
+ * head-mass checks, covering both the fully tabulated and the hybrid
+ * head+tail configurations), the truncated-domain tail sampler, and
+ * determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace unison {
+namespace {
+
+/** Exact Zipf pmf over [0, n). */
+std::vector<double>
+zipfPmf(std::uint64_t n, double alpha)
+{
+    std::vector<double> p(n);
+    double sum = 0.0;
+    for (std::uint64_t k = 0; k < n; ++k) {
+        p[k] = std::pow(static_cast<double>(k + 1), -alpha);
+        sum += p[k];
+    }
+    for (double &v : p)
+        v /= sum;
+    return p;
+}
+
+/** Pearson chi-square statistic of observed counts vs pmf. */
+template <typename Sampler>
+double
+chiSquare(Sampler &sampler, const std::vector<double> &pmf,
+          std::uint64_t draws, std::uint64_t rng_seed)
+{
+    Rng rng(rng_seed);
+    std::vector<std::uint64_t> counts(pmf.size(), 0);
+    for (std::uint64_t i = 0; i < draws; ++i) {
+        const std::uint64_t rank = sampler.sample(rng);
+        EXPECT_LT(rank, pmf.size());
+        ++counts[rank];
+    }
+    double chi2 = 0.0;
+    for (std::size_t k = 0; k < pmf.size(); ++k) {
+        const double expected = pmf[k] * static_cast<double>(draws);
+        if (expected < 1e-9)
+            continue;
+        const double d = static_cast<double>(counts[k]) - expected;
+        chi2 += d * d / expected;
+    }
+    return chi2;
+}
+
+/** Acceptance bound: df + 5*sqrt(2*df) is ~5 sigma above the mean. */
+double
+chiBound(std::size_t df)
+{
+    return static_cast<double>(df) +
+           5.0 * std::sqrt(2.0 * static_cast<double>(df));
+}
+
+TEST(ZipfAlias, MatchesExactDistributionWhenFullyTabulated)
+{
+    const std::uint64_t n = 512;
+    const double alpha = 0.9;
+    const std::vector<double> pmf = zipfPmf(n, alpha);
+
+    ZipfAliasSampler alias(n, alpha);
+    EXPECT_LT(chiSquare(alias, pmf, 400000, 11), chiBound(n - 1));
+}
+
+TEST(ZipfAlias, HybridHeadTailMatchesExactDistribution)
+{
+    // Force the hybrid path: only 64 ranks tabulated out of 4096.
+    const std::uint64_t n = 4096;
+    const double alpha = 0.7;
+    const std::vector<double> pmf = zipfPmf(n, alpha);
+
+    ZipfAliasSampler alias(n, alpha, /*max_exact_ranks=*/64);
+    EXPECT_LT(chiSquare(alias, pmf, 600000, 13), chiBound(n - 1));
+}
+
+TEST(ZipfAlias, AgreesWithDirectSampler)
+{
+    // Both samplers binned against the same pmf must pass the same
+    // test -- this pins the alias sampler to the rejection-inversion
+    // reference it replaces on the hot path.
+    const std::uint64_t n = 1000;
+    const double alpha = 1.0;
+    const std::vector<double> pmf = zipfPmf(n, alpha);
+
+    ZipfSampler direct(n, alpha);
+    ZipfAliasSampler alias(n, alpha);
+    EXPECT_LT(chiSquare(direct, pmf, 300000, 17), chiBound(n - 1));
+    EXPECT_LT(chiSquare(alias, pmf, 300000, 19), chiBound(n - 1));
+}
+
+TEST(ZipfAlias, UniformWhenAlphaZero)
+{
+    const std::uint64_t n = 64;
+    ZipfAliasSampler alias(n, 0.0);
+    Rng rng(3);
+    std::vector<std::uint64_t> counts(n, 0);
+    const int draws = 64000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[alias.sample(rng)];
+    for (std::uint64_t k = 0; k < n; ++k)
+        EXPECT_NEAR(static_cast<double>(counts[k]), draws / n,
+                    5.0 * std::sqrt(draws / n));
+}
+
+TEST(ZipfAlias, DeterministicForRngSeed)
+{
+    ZipfAliasSampler alias(10000, 0.8);
+    Rng a(99), b(99);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(alias.sample(a), alias.sample(b));
+}
+
+TEST(ZipfSampler, TruncatedDomainStaysInRangeAndMatchesTail)
+{
+    // The alias sampler's tail: ranks [lo, n) with the conditional
+    // Zipf distribution.
+    const std::uint64_t n = 2048;
+    const std::uint64_t lo = 256;
+    const double alpha = 0.6;
+
+    ZipfSampler tail(n, alpha, lo);
+    Rng rng(5);
+
+    // Conditional pmf over the tail.
+    std::vector<double> pmf(n - lo);
+    double sum = 0.0;
+    for (std::uint64_t k = lo; k < n; ++k) {
+        pmf[k - lo] = std::pow(static_cast<double>(k + 1), -alpha);
+        sum += pmf[k - lo];
+    }
+    for (double &v : pmf)
+        v /= sum;
+
+    const std::uint64_t draws = 400000;
+    std::vector<std::uint64_t> counts(n - lo, 0);
+    for (std::uint64_t i = 0; i < draws; ++i) {
+        const std::uint64_t rank = tail.sample(rng);
+        ASSERT_GE(rank, lo);
+        ASSERT_LT(rank, n);
+        ++counts[rank - lo];
+    }
+    double chi2 = 0.0;
+    for (std::size_t k = 0; k < pmf.size(); ++k) {
+        const double expected = pmf[k] * static_cast<double>(draws);
+        const double d = static_cast<double>(counts[k]) - expected;
+        chi2 += d * d / expected;
+    }
+    EXPECT_LT(chi2, chiBound(pmf.size() - 1));
+}
+
+TEST(ZipfAlias, HeadConcentratesMass)
+{
+    // Rank 0 of a skewed distribution must dominate: sanity that the
+    // alias table is not permuted.
+    ZipfAliasSampler alias(100000, 1.0);
+    Rng rng(23);
+    int rank0 = 0;
+    const int draws = 100000;
+    for (int i = 0; i < draws; ++i)
+        rank0 += alias.sample(rng) == 0;
+    // p(rank 0) = 1/H_100000 ~ 1/12.09 ~ 8.3%.
+    EXPECT_GT(rank0, draws / 20);
+    EXPECT_LT(rank0, draws / 6);
+}
+
+} // namespace
+} // namespace unison
