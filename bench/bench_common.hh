@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/argparse.hh"
+#include "common/logging.hh"
 #include "sim/experiment.hh"
 #include "sim/runner.hh"
 #include "stats/table.hh"
@@ -30,6 +31,8 @@ struct BenchOptions
     int threads = 1; //!< experiment-runner workers (0 = all cores)
 };
 
+inline int parseThreads(const ArgParser &args);
+
 inline BenchOptions
 parseBenchArgs(int argc, char **argv, const std::string &description)
 {
@@ -45,7 +48,7 @@ parseBenchArgs(int argc, char **argv, const std::string &description)
     opts.quick = args.getFlag("quick");
     opts.csv = args.getFlag("csv");
     opts.seed = args.getUint("seed");
-    opts.threads = static_cast<int>(args.getInt("threads"));
+    opts.threads = parseThreads(args);
     return opts;
 }
 
@@ -56,6 +59,17 @@ addThreadsOption(ArgParser &args)
 {
     args.addOption("threads", "1",
                    "experiments to run concurrently (0 = all cores)");
+}
+
+/** Validated read of the shared --threads option. */
+inline int
+parseThreads(const ArgParser &args)
+{
+    const std::int64_t threads = args.getInt("threads");
+    if (threads < 0 || threads > 4096)
+        fatal("--threads must be between 0 (= all cores) and 4096, "
+              "got ", threads);
+    return static_cast<int>(threads);
 }
 
 /**

@@ -57,7 +57,7 @@ main(int argc, char **argv)
     const bool quick = args.getFlag("quick");
     const bool json = args.getFlag("json");
     const std::uint64_t seed = args.getUint("seed");
-    const int threads = static_cast<int>(args.getInt("threads"));
+    const int threads = parseThreads(args);
 
     std::vector<Measurement> engine;
 

@@ -1,0 +1,40 @@
+# ctest helper: bench/mixes must emit byte-identical stdout whether
+# its sweep runs on 1 worker thread or 4 (same guarantee runner_test
+# enforces for the homogeneous sweeps, here end to end through the
+# CSV printer). Invoked as:
+#   cmake -DMIXES_BIN=<path> -P mix_identity_test.cmake
+if(NOT MIXES_BIN)
+  message(FATAL_ERROR "MIXES_BIN not set")
+endif()
+
+set(MIX_ARGS --quick --csv --cores=4 --accesses=400000)
+
+execute_process(
+  COMMAND ${MIXES_BIN} ${MIX_ARGS} --threads=1
+  OUTPUT_VARIABLE out_serial
+  ERROR_VARIABLE err_serial
+  RESULT_VARIABLE rc_serial)
+if(NOT rc_serial EQUAL 0)
+  message(FATAL_ERROR "mixes --threads=1 failed (${rc_serial}):\n${err_serial}")
+endif()
+
+execute_process(
+  COMMAND ${MIXES_BIN} ${MIX_ARGS} --threads=4
+  OUTPUT_VARIABLE out_parallel
+  ERROR_VARIABLE err_parallel
+  RESULT_VARIABLE rc_parallel)
+if(NOT rc_parallel EQUAL 0)
+  message(FATAL_ERROR "mixes --threads=4 failed (${rc_parallel}):\n${err_parallel}")
+endif()
+
+if(NOT out_serial STREQUAL out_parallel)
+  message(FATAL_ERROR
+    "mixes output differs between --threads=1 and --threads=4\n"
+    "--- threads=1 ---\n${out_serial}\n"
+    "--- threads=4 ---\n${out_parallel}")
+endif()
+
+string(LENGTH "${out_serial}" out_len)
+if(out_len EQUAL 0)
+  message(FATAL_ERROR "mixes produced no output")
+endif()

@@ -55,7 +55,7 @@ main(int argc, char **argv)
         specs.push_back(s);
     }
     const std::vector<SimResult> results = bench::runAll(
-        specs, static_cast<int>(args.getInt("threads")),
+        specs, bench::parseThreads(args),
         "design_comparison");
 
     double base_uipc = 0.0;

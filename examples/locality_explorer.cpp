@@ -74,7 +74,7 @@ main(int argc, char **argv)
     }
 
     const std::vector<SimResult> results = bench::runAll(
-        specs, static_cast<int>(args.getInt("threads")),
+        specs, bench::parseThreads(args),
         "locality_explorer");
 
     for (std::size_t i = 0; i < results.size(); ++i) {

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Example: consolidate heterogeneous programs on one chip and see who
+ * wins and who suffers.
+ *
+ *   ./example_mix_explorer --mix=webserving:2,chase:2 --capacity=512M
+ *
+ * Runs the given per-core mix (workload presets and/or scenarios:
+ * chase, scan, gups, prodcons) once per DRAM-cache design with a
+ * warm-up window, then prints the per-core breakdown -- references,
+ * UIPC, AMAT -- and each design's weighted speedup over running the
+ * same mix without a DRAM cache.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "trace/mix.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace unison;
+
+    ArgParser args("Explore a multiprogrammed workload mix");
+    args.addOption("mix", "webserving:2,tpch:2",
+                   "per-core assignment: name[:cores],... (presets or "
+                   "scenarios chase/scan/gups/prodcons)");
+    args.addOption("capacity", "512M", "DRAM cache capacity");
+    args.addOption("accesses", "4000000", "references per run");
+    args.addOption("warmup", "0",
+                   "warm-up references (0 = half of --accesses)");
+    args.addOption("seed", "42", "workload seed");
+    bench::addThreadsOption(args);
+    args.parse(argc, argv);
+
+    const std::vector<MixPart> parts =
+        parseMixSpec(args.getString("mix"));
+    int cores = 0;
+    for (const MixPart &part : parts)
+        cores += part.cores;
+
+    const std::uint64_t accesses = args.getUint("accesses");
+    if (accesses == 0)
+        fatal("--accesses must be non-zero");
+    std::uint64_t warmup = args.getUint("warmup");
+    if (warmup == 0)
+        warmup = accesses / 2;
+    if (warmup >= accesses)
+        fatal("--warmup (", warmup, ") must leave a measured window "
+              "inside --accesses (", accesses, ")");
+
+    const std::vector<DesignKind> designs = {
+        DesignKind::NoDramCache, DesignKind::Alloy,
+        DesignKind::Footprint, DesignKind::Unison};
+
+    std::vector<ExperimentSpec> specs;
+    for (DesignKind d : designs) {
+        ExperimentSpec spec;
+        spec.design = d;
+        spec.mix = parts;
+        spec.capacityBytes = parseSize(args.getString("capacity"));
+        spec.accesses = accesses;
+        spec.seed = args.getUint("seed");
+        spec.system.numCores = cores;
+        spec.system.warmupAccesses = warmup;
+        spec.system.perCoreAccessBudget =
+            accesses / static_cast<std::uint64_t>(cores);
+        specs.push_back(spec);
+    }
+
+    std::printf("mix %s on %d cores, %s cache, %llu refs (%llu warm)\n",
+                specWorkloadName(specs[0]).c_str(), cores,
+                formatSize(specs[0].capacityBytes).c_str(),
+                static_cast<unsigned long long>(accesses),
+                static_cast<unsigned long long>(warmup));
+
+    const std::vector<SimResult> results =
+        bench::runAll(specs, bench::parseThreads(args), "mix_explorer");
+
+    Table t({"design", "core", "workload", "refs", "uipc",
+             "amat_cycles", "speedup_vs_nocache"});
+    const SimResult &base = results[0];
+    for (std::size_t d = 0; d < designs.size(); ++d) {
+        const SimResult &r = results[d];
+        for (std::size_t c = 0; c < r.perCore.size(); ++c) {
+            const CoreSimResult &core = r.perCore[c];
+            t.beginRow();
+            t.add(r.designName);
+            t.add(static_cast<int>(c));
+            t.add(core.sourceName);
+            t.add(core.references);
+            t.add(core.uipc, 4);
+            t.add(core.amatCycles, 1);
+            const double base_uipc =
+                c < base.perCore.size() ? base.perCore[c].uipc : 0.0;
+            t.add(base_uipc > 0.0 ? core.uipc / base_uipc : 0.0, 3);
+        }
+    }
+    t.print();
+
+    std::printf("\nweighted speedup over %s:\n",
+                base.designName.c_str());
+    for (std::size_t d = 1; d < designs.size(); ++d) {
+        const SimResult &r = results[d];
+        double sum = 0.0;
+        int n = 0;
+        for (std::size_t c = 0; c < r.perCore.size(); ++c) {
+            if (c < base.perCore.size() && base.perCore[c].uipc > 0.0) {
+                sum += r.perCore[c].uipc / base.perCore[c].uipc;
+                ++n;
+            }
+        }
+        std::printf("  %-18s %.3f\n", r.designName.c_str(),
+                    n ? sum / n : 0.0);
+    }
+    return 0;
+}

@@ -60,7 +60,7 @@ main(int argc, char **argv)
     const std::uint64_t capacity = parseSize(args.getString("capacity"));
     const std::uint64_t accesses = args.getUint("accesses");
     const std::uint64_t seed = args.getUint("seed");
-    const int threads = static_cast<int>(args.getInt("threads"));
+    const int threads = bench::parseThreads(args);
 
     std::printf("Tuning predictors on %s, %s Unison Cache...\n",
                 workloadName(w).c_str(), formatSize(capacity).c_str());

@@ -44,7 +44,7 @@ main(int argc, char **argv)
     ExperimentSpec base = spec;
     base.design = DesignKind::NoDramCache;
     const std::vector<SimResult> results = bench::runAll(
-        {spec, base}, static_cast<int>(args.getInt("threads")),
+        {spec, base}, bench::parseThreads(args),
         "quickstart");
     const SimResult &r = results[0];
     const SimResult &b = results[1];

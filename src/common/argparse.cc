@@ -1,5 +1,7 @@
 #include "common/argparse.hh"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -119,9 +121,13 @@ ArgParser::getInt(const std::string &name) const
 {
     const std::string v = getString(name);
     char *end = nullptr;
+    errno = 0;
     const std::int64_t result = std::strtoll(v.c_str(), &end, 0);
     if (end == v.c_str() || *end != '\0')
         fatal("option --", name, ": '", v, "' is not an integer");
+    if (errno == ERANGE)
+        fatal("option --", name, ": '", v,
+              "' overflows a 64-bit integer");
     return result;
 }
 
@@ -139,9 +145,13 @@ ArgParser::getDouble(const std::string &name) const
 {
     const std::string v = getString(name);
     char *end = nullptr;
+    errno = 0;
     const double result = std::strtod(v.c_str(), &end);
     if (end == v.c_str() || *end != '\0')
         fatal("option --", name, ": '", v, "' is not a number");
+    if (errno == ERANGE)
+        fatal("option --", name, ": '", v,
+              "' is outside the double range");
     return result;
 }
 
@@ -166,7 +176,7 @@ parseSize(const std::string &text)
         fatal("empty size string");
     char *end = nullptr;
     const double base = std::strtod(text.c_str(), &end);
-    if (end == text.c_str() || base < 0)
+    if (end == text.c_str() || std::isnan(base) || base < 0)
         fatal("malformed size '", text, "'");
     std::uint64_t mult = 1;
     switch (*end) {
@@ -195,7 +205,10 @@ parseSize(const std::string &text)
         ++end;
     if (*end != '\0')
         fatal("trailing characters in size '", text, "'");
-    return static_cast<std::uint64_t>(base * static_cast<double>(mult));
+    const double bytes = base * static_cast<double>(mult);
+    if (bytes >= 18446744073709551616.0) // 2^64: silently wraps below
+        fatal("size '", text, "' overflows a 64-bit byte count");
+    return static_cast<std::uint64_t>(bytes);
 }
 
 std::string

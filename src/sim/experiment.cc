@@ -127,14 +127,25 @@ makeCacheFactory(const ExperimentSpec &spec)
     panic("unknown design kind");
 }
 
+std::string
+specWorkloadName(const ExperimentSpec &spec)
+{
+    if (!spec.mix.empty())
+        return mixName(spec.mix);
+    if (spec.customWorkload)
+        return spec.customWorkload->name;
+    return workloadName(spec.workload);
+}
+
 SimResult
 runExperiment(const ExperimentSpec &spec)
 {
-    WorkloadParams params = spec.customWorkload
-                                ? *spec.customWorkload
-                                : workloadParams(spec.workload);
-    params.numCores = spec.system.numCores;
-    SyntheticWorkload workload(params, spec.seed);
+    if (spec.system.numCores < 1)
+        fatal("experiment needs >= 1 core, got ",
+              spec.system.numCores);
+    if (spec.capacityBytes == 0 &&
+        spec.design != DesignKind::NoDramCache)
+        fatal("experiment needs a non-zero cache capacity");
 
     System system(spec.system, makeCacheFactory(spec));
 
@@ -142,7 +153,26 @@ runExperiment(const ExperimentSpec &spec)
         spec.accesses != 0
             ? spec.accesses
             : defaultAccessCount(spec.capacityBytes, spec.quick);
-    return system.run(workload, n);
+
+    if (!spec.mix.empty()) {
+        MixedWorkload workload(spec.mix, spec.system.numCores,
+                               spec.seed);
+        SimResult result = system.run(workload, n);
+        for (std::size_t c = 0; c < result.perCore.size(); ++c)
+            result.perCore[c].sourceName =
+                workload.coreLabel(static_cast<int>(c));
+        return result;
+    }
+
+    WorkloadParams params = spec.customWorkload
+                                ? *spec.customWorkload
+                                : workloadParams(spec.workload);
+    params.numCores = spec.system.numCores;
+    SyntheticWorkload workload(params, spec.seed);
+    SimResult result = system.run(workload, n);
+    for (CoreSimResult &core : result.perCore)
+        core.sourceName = params.name;
+    return result;
 }
 
 } // namespace unison

@@ -11,9 +11,11 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/unison_cache.hh"
 #include "sim/system.hh"
+#include "trace/mix.hh"
 #include "trace/presets.hh"
 
 namespace unison {
@@ -45,6 +47,14 @@ struct ExperimentSpec
      * the parallel runner like any other experiment.
      */
     std::optional<WorkloadParams> customWorkload;
+
+    /**
+     * Multiprogrammed mix: when non-empty, overrides both the preset
+     * and customWorkload with a per-core source assignment (core
+     * counts must sum to system.numCores). Results carry per-core
+     * partitions in SimResult::perCore, labelled by source.
+     */
+    std::vector<MixPart> mix;
 
     DesignKind design = DesignKind::Unison;
     std::uint64_t capacityBytes = 1_GiB;
@@ -83,6 +93,10 @@ std::uint64_t defaultAccessCount(std::uint64_t capacity_bytes, bool quick);
 
 /** Build the cache factory for a spec (used by System). */
 CacheFactory makeCacheFactory(const ExperimentSpec &spec);
+
+/** Workload display label of a spec ("Web Serving", or the compact
+ *  mix name for multiprogrammed specs). */
+std::string specWorkloadName(const ExperimentSpec &spec);
 
 /** Run the experiment end to end. */
 SimResult runExperiment(const ExperimentSpec &spec);

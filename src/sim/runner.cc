@@ -4,12 +4,18 @@
 #include <mutex>
 #include <thread>
 
+#include "common/logging.hh"
+
 namespace unison {
 
 std::vector<SimResult>
 runExperiments(const std::vector<ExperimentSpec> &specs, int threads,
                const ExperimentCallback &on_done)
 {
+    if (threads < 0)
+        fatal("runExperiments: thread count must be >= 0 (0 = all "
+              "hardware threads), got ", threads);
+
     std::vector<SimResult> results(specs.size());
     if (specs.empty())
         return results;

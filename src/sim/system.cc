@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
 
 #include "common/logging.hh"
 #include "baselines/alloy_cache.hh"
 #include "core/unison_cache.hh"
+#include "trace/mix.hh"
 #include "trace/workload.hh"
 
 namespace unison {
@@ -20,6 +22,9 @@ System::System(const SystemConfig &config, const CacheFactory &factory)
     UNISON_ASSERT(config_.numCores >= 1, "system needs cores");
     UNISON_ASSERT(config_.maxOutstandingMisses >= 1,
                   "need at least one outstanding miss");
+    UNISON_ASSERT(config_.warmFraction >= 0.0 &&
+                      config_.warmFraction <= 1.0,
+                  "warmFraction outside [0, 1]");
     cache_ = factory(offchip_.get());
     UNISON_ASSERT(cache_ != nullptr, "cache factory returned null");
 }
@@ -41,6 +46,8 @@ System::run(AccessSource &source, std::uint64_t total_accesses)
     // dispatch happens once per run instead of once per access.
     if (auto *synth = dynamic_cast<SyntheticWorkload *>(&source))
         return runLoop(*synth, total_accesses);
+    if (auto *mix = dynamic_cast<MixedWorkload *>(&source))
+        return runLoop(*mix, total_accesses);
     return runLoop(source, total_accesses);
 }
 
@@ -55,6 +62,10 @@ System::runLoop(Source &source, std::uint64_t total_accesses)
                   "scheduler packs core ids into 8 bits");
 
     std::vector<double> core_time(config_.numCores, 0.0);
+    // The scheduler's view of the clocks: mirrors core_time, except a
+    // core that exhausted its access budget parks at +inf so the
+    // min-reduction below never selects it again.
+    std::vector<double> sched_time(config_.numCores, 0.0);
 
     // Per-core ring of in-flight DRAM-level load completions: issuing
     // beyond maxOutstandingMisses stalls until the oldest resolves.
@@ -63,11 +74,19 @@ System::runLoop(Source &source, std::uint64_t total_accesses)
         config_.numCores, std::vector<double>(window, 0.0));
     std::vector<int> inflight_head(config_.numCores, 0);
 
-    const std::uint64_t warm_count = static_cast<std::uint64_t>(
-        static_cast<double>(total_accesses) * config_.warmFraction);
+    // Warm-up window: [0, warm_count) only warms state; every
+    // statistic resets at the boundary so measurement covers exactly
+    // [warm_count, end). An explicit warmupAccesses overrides the
+    // fractional default.
+    const std::uint64_t warm_count =
+        config_.warmupAccesses != 0
+            ? config_.warmupAccesses
+            : static_cast<std::uint64_t>(
+                  static_cast<double>(total_accesses) *
+                  config_.warmFraction);
+    bool measuring = warm_count == 0;
 
-    std::uint64_t measured_instrs = 0;
-    std::uint64_t measured_refs = 0;
+    PerCoreStats per_core(config_.numCores);
     std::vector<double> warm_base(config_.numCores, 0.0);
 
     // Demand DRAM-cache latency bookkeeping (reads reaching it).
@@ -78,13 +97,45 @@ System::runLoop(Source &source, std::uint64_t total_accesses)
 
     const int src_cores = source.numCores();
 
+    // Per-core reference budgets (0 = unlimited): the run drains when
+    // every core has issued its share, which pins each program of a
+    // mix to the same amount of work regardless of relative speed.
+    const bool budgeted = config_.perCoreAccessBudget != 0;
+    std::vector<std::uint64_t> budget_left(
+        config_.numCores,
+        budgeted ? config_.perCoreAccessBudget
+                 : std::numeric_limits<std::uint64_t>::max());
+    int active_cores = src_cores;
+
     CacheHierarchy *const hier = hierarchy_.get();
     DramCache *const cache = cache_.get();
 
-    const double *const clocks = core_time.data();
+    // Unbudgeted runs (the common case) schedule straight off
+    // core_time and skip the budget bookkeeping entirely, keeping the
+    // hot loop identical to the budget-free engine.
+    const double *const clocks =
+        budgeted ? sched_time.data() : core_time.data();
+
+    const auto reset_measurement = [&]() {
+        resetAllStats();
+        warm_base = core_time;
+        per_core.reset();
+        dc_latency_sum = 0.0;
+        dc_latency_samples = 0;
+        miss_latency_sum = 0.0;
+        miss_latency_samples = 0;
+    };
 
     MemoryAccess acc;
-    for (std::uint64_t i = 0; i < total_accesses; ++i) {
+    for (std::uint64_t i = 0;
+         i < total_accesses && active_cores > 0; ++i) {
+        if (i == warm_count && !measuring) {
+            // End of warm-up, before access warm_count is processed:
+            // nothing from [0, warm_count) leaks into measurement.
+            reset_measurement();
+            measuring = true;
+        }
+
         // Min-time scheduling: always advance the core whose clock is
         // furthest behind, so DRAM requests arrive in near-global time
         // order and queueing behaves realistically. Non-negative IEEE
@@ -133,6 +184,8 @@ System::runLoop(Source &source, std::uint64_t total_accesses)
         const HierarchyOutcome outcome =
             hier->access(core, acc.addr, acc.isWrite);
 
+        double load_latency = outcome.sramLatency;
+
         if (outcome.level == HierarchyOutcome::Level::Beyond) {
             DramCacheRequest req;
             req.addr = acc.addr;
@@ -145,6 +198,7 @@ System::runLoop(Source &source, std::uint64_t total_accesses)
             const double dram_latency =
                 static_cast<double>(res.doneAt - req.cycle);
             if (!acc.isWrite) {
+                load_latency += dram_latency;
                 dc_latency_sum += dram_latency;
                 ++dc_latency_samples;
                 if (!res.hit) {
@@ -182,18 +236,29 @@ System::runLoop(Source &source, std::uint64_t total_accesses)
             now += 1.0;
         }
 
-        if (i + 1 == warm_count) {
-            resetAllStats();
-            warm_base = core_time;
-            dc_latency_sum = 0.0;
-            dc_latency_samples = 0;
-            miss_latency_sum = 0.0;
-            miss_latency_samples = 0;
-            measured_instrs = 0;
-            measured_refs = 0;
+        CoreWindowStats &cw = per_core[core];
+        cw.instructions += acc.instrsBefore + 1;
+        ++cw.references;
+        if (!acc.isWrite) {
+            ++cw.loads;
+            cw.loadLatencySum += load_latency;
         }
-        measured_instrs += acc.instrsBefore + 1;
-        ++measured_refs;
+
+        if (budgeted) {
+            if (--budget_left[core] == 0) {
+                sched_time[core] =
+                    std::numeric_limits<double>::infinity();
+                --active_cores;
+            } else {
+                sched_time[core] = now;
+            }
+        }
+    }
+
+    if (!measuring) {
+        // The stream (or the budgets) drained inside the warm-up
+        // window: the measured window is empty, not the whole run.
+        reset_measurement();
     }
 
     SimResult result;
@@ -203,12 +268,26 @@ System::runLoop(Source &source, std::uint64_t total_accesses)
     for (int c = 0; c < config_.numCores; ++c)
         max_elapsed = std::max(max_elapsed, core_time[c] - warm_base[c]);
     result.cycles = static_cast<Cycle>(max_elapsed);
-    result.instructions = measured_instrs;
-    result.references = measured_refs;
+    result.instructions = per_core.totalInstructions();
+    result.references = per_core.totalReferences();
     result.uipc = max_elapsed > 0.0
-                      ? static_cast<double>(measured_instrs) /
+                      ? static_cast<double>(result.instructions) /
                             (max_elapsed * config_.numCores)
                       : 0.0;
+
+    result.perCore.resize(static_cast<std::size_t>(src_cores));
+    for (int c = 0; c < src_cores; ++c) {
+        const CoreWindowStats &cw = per_core[c];
+        CoreSimResult &out = result.perCore[static_cast<std::size_t>(c)];
+        const double elapsed = core_time[c] - warm_base[c];
+        out.instructions = cw.instructions;
+        out.references = cw.references;
+        out.cycles = static_cast<Cycle>(elapsed);
+        out.uipc = elapsed > 0.0
+                       ? static_cast<double>(cw.instructions) / elapsed
+                       : 0.0;
+        out.amatCycles = cw.amatCycles();
+    }
 
     // SRAM hierarchy miss rates (aggregated over cores for L1).
     std::uint64_t l1_acc = 0, l1_miss = 0;

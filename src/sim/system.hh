@@ -26,6 +26,7 @@
 #include "core/dram_cache.hh"
 #include "dram/dram.hh"
 #include "dram/timing.hh"
+#include "stats/percore.hh"
 #include "trace/access.hh"
 
 namespace unison {
@@ -50,6 +51,35 @@ struct SystemConfig
 
     /** Fraction of the trace used for warm-up (paper: two thirds). */
     double warmFraction = 2.0 / 3.0;
+
+    /**
+     * Explicit warm-up window in accesses; overrides warmFraction
+     * when non-zero. Accesses [0, warmupAccesses) only warm state,
+     * all statistics reset at the boundary, and measurement covers
+     * the remainder.
+     */
+    std::uint64_t warmupAccesses = 0;
+
+    /**
+     * Per-core cap on issued references, warm-up included (0 =
+     * unlimited). A core that exhausts its budget stops issuing; the
+     * run ends when every core has (or the total access count is
+     * reached, whichever comes first). Gives every program of a mix
+     * the same reference count regardless of its relative speed --
+     * the fixed-work discipline multiprogrammed comparisons need.
+     */
+    std::uint64_t perCoreAccessBudget = 0;
+};
+
+/** One core's slice of a simulation (multiprogrammed mixes). */
+struct CoreSimResult
+{
+    std::string sourceName;        //!< workload/scenario on this core
+    std::uint64_t instructions = 0;
+    std::uint64_t references = 0;
+    Cycle cycles = 0;              //!< this core's measured cycles
+    double uipc = 0.0;             //!< instructions / own cycles
+    double amatCycles = 0.0;       //!< mean load latency, cycles
 };
 
 /** Everything a bench needs from one simulation. */
@@ -76,6 +106,10 @@ struct SimResult
     double wpAccuracyPercent = 0.0;
     double mpAccuracyPercent = 0.0;
     double mpOverfetchPercent = 0.0;
+
+    /** Per-core partition of the measured window (one entry per
+     *  source core; sourceName filled in by runExperiment). */
+    std::vector<CoreSimResult> perCore;
 
     double
     missRatioPercent() const

@@ -1,6 +1,7 @@
 #include "stats/histogram.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -20,13 +21,17 @@ Histogram::record(std::uint64_t sample)
 {
     ++samples_;
     sum_ += static_cast<double>(sample);
-    if (sample >= max_) {
+    // Inclusive range: only samples strictly beyond max_ overflow. A
+    // sample equal to max_ belongs to the last bucket (which the
+    // rounded-up width may otherwise leave short of max_).
+    if (sample > max_) {
         ++overflow_;
         return;
     }
     std::uint64_t idx = sample / width_;
-    if (idx >= counts_.size())
-        idx = counts_.size() - 1;
+    const std::uint64_t last = counts_.size() - 1;
+    if (idx > last)
+        idx = last;
     ++counts_[idx];
 }
 
@@ -42,15 +47,19 @@ Histogram::quantile(double q) const
     if (samples_ == 0)
         return 0;
     q = std::clamp(q, 0.0, 1.0);
-    const std::uint64_t target = static_cast<std::uint64_t>(
-        q * static_cast<double>(samples_));
+    const std::uint64_t target = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(samples_))));
     std::uint64_t running = 0;
     for (std::size_t i = 0; i < counts_.size(); ++i) {
         running += counts_[i];
+        // The upper edge of the last bucket is max_ itself, not the
+        // rounded-up (i + 1) * width_ -- reporting past max_ biased
+        // every quantile that landed in the tail.
         if (running >= target)
-            return (i + 1) * width_;
+            return std::min((i + 1) * width_, max_);
     }
-    return max_;
+    return max_; // target falls among the overflow samples
 }
 
 void
@@ -74,16 +83,19 @@ Histogram::render(std::uint32_t max_width) const
     std::ostringstream oss;
     for (std::size_t i = 0; i < counts_.size(); ++i) {
         const std::uint64_t lo = i * width_;
-        const std::uint64_t hi = lo + width_;
         const std::uint32_t bar = static_cast<std::uint32_t>(
             counts_[i] * max_width / peak);
-        oss << "[" << lo << ", " << hi << ") "
-            << std::string(bar, '#') << " " << counts_[i] << "\n";
+        oss << "[" << lo << ", ";
+        if (i + 1 == counts_.size() && max_ >= lo)
+            oss << max_ << "] "; // last bucket is inclusive of max
+        else
+            oss << lo + width_ << ") "; // incl. unreachable tail rows
+        oss << std::string(bar, '#') << " " << counts_[i] << "\n";
     }
     if (overflow_ > 0) {
         const std::uint32_t bar = static_cast<std::uint32_t>(
             overflow_ * max_width / peak);
-        oss << "[" << max_ << ", inf) " << std::string(bar, '#') << " "
+        oss << "(" << max_ << ", inf) " << std::string(bar, '#') << " "
             << overflow_ << "\n";
     }
     return oss.str();

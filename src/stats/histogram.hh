@@ -14,14 +14,19 @@
 namespace unison {
 
 /**
- * Linear-bucket histogram over [0, max); samples beyond the range land
- * in the overflow bucket.
+ * Linear-bucket histogram over the inclusive range [0, max]; samples
+ * strictly greater than max land in the overflow bucket.
+ *
+ * Bucket widths are ceil(max / buckets), so the last bucket may be
+ * narrower than the rest; it absorbs max itself. quantile() results
+ * are clamped to max so the rounded-up width of the last bucket never
+ * reports values outside the tracked range.
  */
 class Histogram
 {
   public:
     /**
-     * @param max upper bound of the tracked range (exclusive)
+     * @param max upper bound of the tracked range (inclusive)
      * @param buckets number of equal-width buckets
      */
     Histogram(std::uint64_t max, std::uint32_t buckets);

@@ -80,6 +80,26 @@ Table::toString() const
 }
 
 std::string
+Table::csvField(const std::string &cell)
+{
+    // RFC 4180: fields containing the separator, quotes or line
+    // breaks must be quoted, with embedded quotes doubled. Mix names
+    // like "web+tpch,2:2" would otherwise shift every later column.
+    if (cell.find_first_of(",\"\n\r") == std::string::npos)
+        return cell;
+    std::string quoted;
+    quoted.reserve(cell.size() + 2);
+    quoted.push_back('"');
+    for (char c : cell) {
+        if (c == '"')
+            quoted.push_back('"');
+        quoted.push_back(c);
+    }
+    quoted.push_back('"');
+    return quoted;
+}
+
+std::string
 Table::toCsv() const
 {
     std::ostringstream oss;
@@ -88,7 +108,7 @@ Table::toCsv() const
             if (c > 0)
                 oss << ",";
             if (c < cells.size())
-                oss << cells[c];
+                oss << csvField(cells[c]);
         }
         oss << "\n";
     };

@@ -35,8 +35,12 @@ class Table
     /** Render as an aligned text table. */
     std::string toString() const;
 
-    /** Render as CSV (RFC-4180-ish, no quoting of commas needed here). */
+    /** Render as CSV (RFC 4180: fields with commas, quotes or line
+     *  breaks are quoted, embedded quotes doubled). */
     std::string toCsv() const;
+
+    /** Quote one field per RFC 4180 (identity for plain fields). */
+    static std::string csvField(const std::string &cell);
 
     /** Convenience: print toString() to stdout. */
     void print() const;

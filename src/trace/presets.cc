@@ -190,23 +190,25 @@ workloadParams(Workload w)
     return p;
 }
 
-Workload
-workloadFromName(const std::string &name)
+std::string
+normalizedNameKey(const std::string &name)
 {
     std::string key;
+    key.reserve(name.size());
     for (char c : name) {
         if (std::isalnum(static_cast<unsigned char>(c)))
             key.push_back(static_cast<char>(
                 std::tolower(static_cast<unsigned char>(c))));
     }
+    return key;
+}
+
+Workload
+workloadFromName(const std::string &name)
+{
+    const std::string key = normalizedNameKey(name);
     for (Workload w : allWorkloads()) {
-        std::string cand;
-        for (char c : workloadName(w)) {
-            if (std::isalnum(static_cast<unsigned char>(c)))
-                cand.push_back(static_cast<char>(
-                    std::tolower(static_cast<unsigned char>(c))));
-        }
-        if (cand == key)
+        if (normalizedNameKey(workloadName(w)) == key)
             return w;
     }
     // Short aliases.

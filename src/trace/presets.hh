@@ -46,6 +46,10 @@ std::string workloadName(Workload w);
 /** Parse a workload name (case-insensitive, ignoring spaces/dashes). */
 Workload workloadFromName(const std::string &name);
 
+/** Canonical matching key for workload/scenario/mix names: lowercase
+ *  with everything non-alphanumeric stripped. */
+std::string normalizedNameKey(const std::string &name);
+
 } // namespace unison
 
 #endif // UNISON_TRACE_PRESETS_HH

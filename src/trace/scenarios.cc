@@ -1,0 +1,200 @@
+#include "trace/scenarios.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "trace/presets.hh"
+
+namespace unison {
+
+namespace {
+
+/** Dedicated PCs so predictors can key each scenario's behaviour. */
+constexpr Pc kChasePc = 0xA00000;
+constexpr Pc kScanPc = 0xA00100;
+constexpr Pc kGupsPc = 0xA00200;
+constexpr Pc kHotPc = 0xA00300;
+constexpr Pc kColdPc = 0xA00400;
+
+} // namespace
+
+ScenarioParams
+scenarioParams(ScenarioKind kind)
+{
+    ScenarioParams p;
+    p.kind = kind;
+    switch (kind) {
+      case ScenarioKind::PointerChase:
+        // Latency-bound dependent walk: singletons, nearly read-only.
+        p.footprintBytes = 2ull << 30;
+        p.writeFraction = 0.02;
+        p.instrsPerMemRef = 4.0;
+        break;
+      case ScenarioKind::StreamScan:
+        // Bandwidth-bound sequential sweep; a sprinkle of stores so
+        // writeback paths stay exercised.
+        p.footprintBytes = 4ull << 30;
+        p.writeFraction = 0.05;
+        p.instrsPerMemRef = 6.0;
+        p.strideBlocks = 1;
+        break;
+      case ScenarioKind::RandomUpdate:
+        // GUPS: every update is a load+store pair to a random block,
+        // so the effective write fraction is ~50% regardless of
+        // writeFraction (which only shapes the rare extra stores).
+        p.footprintBytes = 1ull << 30;
+        p.writeFraction = 0.0;
+        p.instrsPerMemRef = 3.0;
+        break;
+      case ScenarioKind::ProducerConsumer:
+        p.footprintBytes = 256ull << 20;
+        p.hotSetBytes = 4ull << 20;
+        p.hotFraction = 0.75;
+        p.writeFraction = 0.05;
+        p.instrsPerMemRef = 8.0;
+        break;
+    }
+    return p;
+}
+
+std::string
+scenarioName(ScenarioKind kind)
+{
+    switch (kind) {
+      case ScenarioKind::PointerChase:
+        return "Pointer Chase";
+      case ScenarioKind::StreamScan:
+        return "Streaming Scan";
+      case ScenarioKind::RandomUpdate:
+        return "Random Update";
+      case ScenarioKind::ProducerConsumer:
+        return "Producer-Consumer";
+    }
+    panic("unknown scenario kind");
+}
+
+bool
+scenarioFromName(const std::string &name, ScenarioKind &out)
+{
+    const std::string key = normalizedNameKey(name);
+    if (key == "pointerchase" || key == "chase") {
+        out = ScenarioKind::PointerChase;
+    } else if (key == "streamingscan" || key == "streamscan" ||
+               key == "scan") {
+        out = ScenarioKind::StreamScan;
+    } else if (key == "randomupdate" || key == "gups") {
+        out = ScenarioKind::RandomUpdate;
+    } else if (key == "producerconsumer" || key == "prodcons") {
+        out = ScenarioKind::ProducerConsumer;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+ScenarioSource::ScenarioSource(const ScenarioParams &params,
+                               std::uint64_t seed, int core_id,
+                               Addr private_base, Addr shared_base)
+    : params_(params),
+      rng_(hashCombine(seed, static_cast<std::uint64_t>(core_id) + 1)),
+      producer_(core_id % 2 == 0),
+      privateBaseBlock_(blockNumber(private_base)),
+      sharedBaseBlock_(blockNumber(shared_base)),
+      privateBlocks_(std::max<std::uint64_t>(
+          params.footprintBytes / kBlockBytes, 1)),
+      hotBlocks_(std::max<std::uint64_t>(
+          params.hotSetBytes / kBlockBytes, 1))
+{
+    UNISON_ASSERT(params_.strideBlocks >= 1, "scenario stride of 0");
+    UNISON_ASSERT(params_.hotFraction >= 0.0 &&
+                      params_.hotFraction <= 1.0,
+                  "hotFraction outside [0, 1]");
+    if (params_.kind == ScenarioKind::PointerChase) {
+        // The chase walks a full-period LCG permutation, which needs a
+        // power-of-two node count (a hash walk would collapse into a
+        // ~sqrt(n) rho cycle and silently shrink the working set).
+        privateBlocks_ = std::bit_floor(privateBlocks_);
+    }
+    const double wf = std::clamp(params_.writeFraction, 0.0, 1.0);
+    writeThresh24_ =
+        static_cast<std::uint32_t>(wf * static_cast<double>(1u << 24));
+    const double hi = 2.0 * params_.instrsPerMemRef - 1.0 + 0.5;
+    instrSpan_ = static_cast<std::uint32_t>(std::max(hi, 1.0));
+    // Stagger scan starts so same-scenario cores do not march in
+    // lockstep over identical offsets of their private regions.
+    scanCursor_ = rng_.below(privateBlocks_);
+    chaseCursor_ = rng_.below(privateBlocks_);
+}
+
+void
+ScenarioSource::emit(std::uint64_t block, bool is_write, Pc pc,
+                     MemoryAccess &out)
+{
+    out.addr = blockAddress(block);
+    out.pc = pc;
+    out.core = 0; // rewritten by MixedWorkload to the global core id
+    const std::uint64_t r = rng_.next();
+    out.isWrite = is_write || (r >> 40) < writeThresh24_;
+    out.instrsBefore = static_cast<std::uint16_t>(
+        1 + ((static_cast<std::uint64_t>(static_cast<std::uint32_t>(r)) *
+              instrSpan_) >>
+             32));
+}
+
+bool
+ScenarioSource::next(int core, MemoryAccess &out)
+{
+    UNISON_ASSERT(core == 0, "ScenarioSource is single-core");
+    switch (params_.kind) {
+      case ScenarioKind::PointerChase: {
+        // Dependent walk along a full-period LCG permutation (Hull-
+        // Dobell: multiplier = 1 mod 4, odd increment, power-of-two
+        // modulus): every block of the footprint is visited exactly
+        // once per period, consecutive references share no spatial
+        // locality, and every block is a singleton.
+        chaseCursor_ = (chaseCursor_ * 0xd1342543de82ef95ull +
+                        0x2545f4914f6cdd1dull) &
+                       (privateBlocks_ - 1);
+        emit(privateBaseBlock_ + chaseCursor_, false, kChasePc, out);
+        return true;
+      }
+      case ScenarioKind::StreamScan: {
+        scanCursor_ += params_.strideBlocks;
+        if (scanCursor_ >= privateBlocks_)
+            scanCursor_ -= privateBlocks_;
+        emit(privateBaseBlock_ + scanCursor_, false, kScanPc, out);
+        return true;
+      }
+      case ScenarioKind::RandomUpdate: {
+        if (updatePending_) {
+            // Second half of the update: store to the loaded block.
+            updatePending_ = false;
+            emit(updateBlock_, true, kGupsPc, out);
+            return true;
+        }
+        updateBlock_ = privateBaseBlock_ + rng_.below(privateBlocks_);
+        updatePending_ = true;
+        emit(updateBlock_, false, kGupsPc, out);
+        return true;
+      }
+      case ScenarioKind::ProducerConsumer: {
+        if (rng_.chance(params_.hotFraction)) {
+            // Shared hot set: identical addresses on every core of
+            // the scenario. Producers write, consumers read.
+            const std::uint64_t block =
+                sharedBaseBlock_ + rng_.below(hotBlocks_);
+            emit(block, producer_, kHotPc, out);
+        } else {
+            const std::uint64_t block =
+                privateBaseBlock_ + rng_.below(privateBlocks_);
+            emit(block, false, kColdPc, out);
+        }
+        return true;
+      }
+    }
+    panic("unknown scenario kind");
+}
+
+} // namespace unison

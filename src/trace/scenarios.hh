@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Synthetic micro-scenario generators for multiprogrammed mixes.
+ *
+ * The calibrated CloudSuite/TPC-H presets (presets.hh) model whole
+ * server workloads; these scenarios are the orthogonal stress axes a
+ * heterogeneous consolidation study needs on individual cores:
+ *
+ *  - *pointer chase*: a dependent random walk of singleton reads, the
+ *    worst case for footprint prediction and page-granular allocation;
+ *  - *streaming scan*: a sequential sweep that never reuses a block,
+ *    the best case for spatial footprints and row-buffer locality;
+ *  - *random update (GUPS-style)*: read-modify-write pairs to uniform
+ *    random blocks, stressing dirty-writeback and off-chip bandwidth;
+ *  - *producer/consumer*: most references land in a small hot set
+ *    *shared between the cores running this scenario* (producers write
+ *    it, consumers read it), creating inter-core page contention that
+ *    a homogeneous source cannot express.
+ *
+ * Each ScenarioSource is a single-core AccessSource; MixedWorkload
+ * (mix.hh) assigns one per core and lays out the private/shared
+ * address regions so streams are deterministic per (params, seed,
+ * core) regardless of how the scheduler interleaves cores.
+ */
+
+#ifndef UNISON_TRACE_SCENARIOS_HH
+#define UNISON_TRACE_SCENARIOS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "trace/access.hh"
+
+namespace unison {
+
+/** The four mix-scenario generators. */
+enum class ScenarioKind
+{
+    PointerChase,
+    StreamScan,
+    RandomUpdate,
+    ProducerConsumer,
+};
+
+/** Tunables of one scenario instance (one core). */
+struct ScenarioParams
+{
+    ScenarioKind kind = ScenarioKind::PointerChase;
+
+    /** Private working set of this core. */
+    std::uint64_t footprintBytes = 512ull << 20;
+
+    /** Shared hot set (ProducerConsumer only; same region for every
+     *  core running the scenario in a mix). */
+    std::uint64_t hotSetBytes = 4ull << 20;
+
+    /** Fraction of references that hit the shared hot set. */
+    double hotFraction = 0.75;
+
+    /** Store fraction of the non-paired references. */
+    double writeFraction = 0.02;
+
+    /** Mean non-memory instructions per reference. */
+    double instrsPerMemRef = 6.0;
+
+    /** Blocks advanced per reference (StreamScan). */
+    std::uint32_t strideBlocks = 1;
+};
+
+/** Calibrated defaults for each scenario kind. */
+ScenarioParams scenarioParams(ScenarioKind kind);
+
+/** Display name ("Pointer Chase", "Streaming Scan", ...). */
+std::string scenarioName(ScenarioKind kind);
+
+/** Parse a scenario name or alias ("chase", "scan", "gups",
+ *  "prodcons"); returns false when the name is not a scenario. */
+bool scenarioFromName(const std::string &name, ScenarioKind &out);
+
+/**
+ * One core's scenario stream. Addresses fall in
+ * [privateBase, privateBase + footprintBytes) plus, for
+ * ProducerConsumer, [sharedBase, sharedBase + hotSetBytes); the mix
+ * builder chooses the bases so private regions never overlap and the
+ * hot set is common to all cores of the scenario.
+ */
+class ScenarioSource final : public AccessSource
+{
+  public:
+    /**
+     * @param core_id global core index: seeds the private stream and
+     *        decides the producer/consumer role (even cores produce).
+     */
+    ScenarioSource(const ScenarioParams &params, std::uint64_t seed,
+                   int core_id, Addr private_base, Addr shared_base);
+
+    bool next(int core, MemoryAccess &out) override;
+    int numCores() const override { return 1; }
+
+    const ScenarioParams &params() const { return params_; }
+    bool isProducer() const { return producer_; }
+
+  private:
+    void emit(std::uint64_t block, bool is_write, Pc pc,
+              MemoryAccess &out);
+
+    ScenarioParams params_;
+    Rng rng_;
+    bool producer_;
+    std::uint64_t privateBaseBlock_;
+    std::uint64_t sharedBaseBlock_;
+    std::uint64_t privateBlocks_;
+    std::uint64_t hotBlocks_;
+    std::uint32_t writeThresh24_;
+    std::uint32_t instrSpan_;
+
+    std::uint64_t chaseCursor_ = 0; //!< PointerChase position
+    std::uint64_t scanCursor_ = 0;  //!< StreamScan position
+    bool updatePending_ = false;    //!< RandomUpdate write half due
+    std::uint64_t updateBlock_ = 0;
+};
+
+} // namespace unison
+
+#endif // UNISON_TRACE_SCENARIOS_HH

@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include "dram/energy.hh"
+#include "dram/timing.hh"
+#include "sim/experiment.hh"
 
 namespace unison {
 namespace {
@@ -87,6 +89,72 @@ TEST(EnergyModel, ActivationIsASubstantialShareOfBlockAccess)
     const double share = act / (act + xfer);
     EXPECT_GT(share, 0.25);
     EXPECT_LT(share, 0.75); // and transfers are not free either
+}
+
+TEST(EnergyModel, RefreshAggregationAcrossChannelsFlowsIntoEnergy)
+{
+    // End to end: refreshes happen per channel, DramModule::stats()
+    // sums them, computeDynamicEnergy turns the sum into nJ.
+    DramTimingParams timing = stackedDramTiming();
+    timing.tREFI = 100; // enable refresh with a short interval
+    timing.tRFC = 10;
+    const DramOrganization org = stackedDramOrganization(); // 4 ch
+    DramModule pool(org, timing);
+
+    // Touch each channel (consecutive rows interleave across them)
+    // late enough that every channel catches up on many windows.
+    for (std::uint64_t row = 0;
+         row < static_cast<std::uint64_t>(org.numChannels); ++row)
+        pool.rowAccess(row, 64, /*is_write=*/false,
+                       /*earliest=*/1'000'000);
+
+    const DramPoolStats stats = pool.stats();
+    // Every one of the 4 channels contributed a comparable share, so
+    // the aggregate must far exceed any single channel's count.
+    const std::uint64_t per_channel_windows =
+        1'000'000 / pool.timing().refi;
+    EXPECT_GE(stats.refreshes, 4 * (per_channel_windows - 1));
+
+    const DramEnergyParams params = stackedDramEnergy();
+    const DramEnergyBreakdown e = computeDynamicEnergy(stats, params);
+    EXPECT_DOUBLE_EQ(e.refreshNj,
+                     static_cast<double>(stats.refreshes) *
+                         params.refreshNj);
+    EXPECT_GT(e.refreshNj, 0.0);
+}
+
+TEST(EnergyModel, WarmupResetKeepsPrewarmActivationsOutOfEnergy)
+{
+    // The measured window's energy must not include the cold-cache
+    // fill traffic of the warm-up window: the same run measured with
+    // a warm-up boundary must report strictly less off-chip activity
+    // (and thus energy) than measured from access zero.
+    ExperimentSpec spec;
+    spec.design = DesignKind::Unison;
+    spec.capacityBytes = 32_MiB;
+    spec.system.numCores = 4;
+    spec.accesses = 200000;
+
+    spec.system.warmFraction = 0.0; // measure everything
+    const SimResult cold = runExperiment(spec);
+
+    spec.system.warmFraction = 0.0;
+    spec.system.warmupAccesses = 150000; // measure the last quarter
+    const SimResult warmed = runExperiment(spec);
+
+    ASSERT_GT(cold.offchip.activations, 0u);
+    ASSERT_GT(warmed.offchip.activations, 0u);
+    EXPECT_LT(warmed.offchip.activations, cold.offchip.activations);
+    EXPECT_LT(warmed.stacked.reads + warmed.stacked.writes,
+              cold.stacked.reads + cold.stacked.writes);
+
+    const DramEnergyParams params = offChipDramEnergy();
+    const double warmed_nj =
+        computeDynamicEnergy(warmed.offchip, params).totalNj();
+    const double cold_nj =
+        computeDynamicEnergy(cold.offchip, params).totalNj();
+    EXPECT_GT(warmed_nj, 0.0);
+    EXPECT_LT(warmed_nj, cold_nj);
 }
 
 TEST(EnergyModel, FootprintTransferBeatsBlockTransferPerByte)

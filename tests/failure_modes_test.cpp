@@ -12,11 +12,13 @@
 
 #include "baselines/naive_block_fp.hh"
 #include "baselines/naive_tagged_page.hh"
+#include "common/argparse.hh"
 #include "common/residue.hh"
 #include "core/conflict_model.hh"
 #include "core/geometry.hh"
 #include "core/unison_cache.hh"
 #include "predictors/footprint_table.hh"
+#include "sim/runner.hh"
 #include "trace/presets.hh"
 #include "trace/tracefile.hh"
 
@@ -110,6 +112,73 @@ TEST(FailureModes, UnknownWorkloadNameIsFatal)
 TEST(FailureModes, TraceReaderRejectsMissingFile)
 {
     EXPECT_DEATH(TraceReader("/nonexistent/path/trace.bin"), ".*");
+}
+
+namespace {
+
+/** Parse one --name=value pair through a fresh ArgParser. */
+ArgParser
+parsedOption(const std::string &name, const std::string &value)
+{
+    ArgParser args("cli validation fixture");
+    args.addOption(name, "0", "test option");
+    const std::string arg = "--" + name + "=" + value;
+    const char *argv[] = {"prog", arg.c_str()};
+    args.parse(2, argv);
+    return args;
+}
+
+} // namespace
+
+TEST(FailureModes, ArgparseRejectsNonNumericAndOverflow)
+{
+    EXPECT_DEATH(parsedOption("threads", "abc").getInt("threads"),
+                 "not an integer");
+    EXPECT_DEATH(parsedOption("threads", "12x").getInt("threads"),
+                 "not an integer");
+    // 2^70: strtoll saturates silently without the ERANGE check.
+    EXPECT_DEATH(parsedOption("threads", "1180591620717411303424")
+                     .getInt("threads"),
+                 "overflows");
+    EXPECT_DEATH(parsedOption("accesses", "-5").getUint("accesses"),
+                 "non-negative");
+    EXPECT_DEATH(parsedOption("alpha", "1e99999").getDouble("alpha"),
+                 "outside the double range");
+}
+
+TEST(FailureModes, ParseSizeRejectsNegativeAndOverflow)
+{
+    EXPECT_DEATH(parseSize("-1G"), "malformed size");
+    EXPECT_DEATH(parseSize("nan"), "malformed size");
+    EXPECT_DEATH(parseSize("inf"), "overflows");
+    EXPECT_DEATH(parseSize("999999999T"), "overflows");
+    EXPECT_DEATH(parseSize("12Q"), "suffix");
+    EXPECT_DEATH(parseSize(""), "empty");
+    // Sane inputs still parse.
+    EXPECT_EQ(parseSize("1G"), 1_GiB);
+    EXPECT_EQ(parseSize("512"), 512u);
+}
+
+TEST(FailureModes, RunnerRejectsNegativeThreadCount)
+{
+    std::vector<ExperimentSpec> specs(1);
+    specs[0].capacityBytes = 32_MiB;
+    specs[0].system.numCores = 2;
+    specs[0].accesses = 1000;
+    EXPECT_DEATH(runExperiments(specs, -1), "thread count");
+}
+
+TEST(FailureModes, ExperimentRejectsZeroCoresAndCapacity)
+{
+    ExperimentSpec spec;
+    spec.system.numCores = 0;
+    EXPECT_DEATH(runExperiment(spec), ">= 1 core");
+
+    ExperimentSpec nocap;
+    nocap.system.numCores = 2;
+    nocap.accesses = 1000;
+    nocap.capacityBytes = 0;
+    EXPECT_DEATH(runExperiment(nocap), "capacity");
 }
 
 } // namespace

@@ -1,0 +1,422 @@
+/**
+ * @file
+ * Tests for the multiprogrammed-mix subsystem: scenario generator
+ * shapes, MixedWorkload per-core assignment and address isolation,
+ * mix-spec parsing, warm-up windows, per-core budgets/partitions, and
+ * the thread-count invariance of mix sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+#include <set>
+#include <vector>
+
+#include <cstdio>
+
+#include "sim/runner.hh"
+#include "trace/mix.hh"
+#include "trace/scenarios.hh"
+#include "trace/tracefile.hh"
+
+namespace unison {
+namespace {
+
+// ------------------------------------------------------- scenarios
+
+TEST(Scenarios, PointerChaseIsSingletonReads)
+{
+    ScenarioParams p = scenarioParams(ScenarioKind::PointerChase);
+    p.writeFraction = 0.0;
+    p.footprintBytes = 1_MiB;
+    ScenarioSource src(p, 7, /*core_id=*/0, /*private_base=*/0,
+                       /*shared_base=*/0);
+    MemoryAccess prev{}, acc{};
+    int sequential = 0;
+    for (int i = 0; i < 2000; ++i) {
+        ASSERT_TRUE(src.next(0, acc));
+        EXPECT_FALSE(acc.isWrite);
+        EXPECT_LT(acc.addr, 1_MiB);
+        if (i > 0 && acc.addr == prev.addr + kBlockBytes)
+            ++sequential;
+        prev = acc;
+    }
+    // Dependent walk: essentially never a sequential stream.
+    EXPECT_LT(sequential, 20);
+}
+
+TEST(Scenarios, StreamScanIsSequential)
+{
+    ScenarioParams p = scenarioParams(ScenarioKind::StreamScan);
+    p.writeFraction = 0.0;
+    p.footprintBytes = 1_MiB;
+    p.strideBlocks = 1;
+    ScenarioSource src(p, 7, 0, 1_GiB, 0);
+    MemoryAccess acc{};
+    ASSERT_TRUE(src.next(0, acc));
+    Addr prev = acc.addr;
+    for (int i = 0; i < 2000; ++i) {
+        ASSERT_TRUE(src.next(0, acc));
+        EXPECT_GE(acc.addr, 1_GiB);
+        EXPECT_LT(acc.addr, 1_GiB + 1_MiB);
+        // Sequential modulo the wrap at the end of the footprint.
+        if (acc.addr > prev) {
+            EXPECT_EQ(acc.addr, prev + kBlockBytes);
+        }
+        prev = acc.addr;
+    }
+}
+
+TEST(Scenarios, RandomUpdateIsLoadStorePairs)
+{
+    ScenarioParams p = scenarioParams(ScenarioKind::RandomUpdate);
+    p.writeFraction = 0.0;
+    ScenarioSource src(p, 9, 0, 0, 0);
+    MemoryAccess rd{}, wr{};
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_TRUE(src.next(0, rd));
+        ASSERT_TRUE(src.next(0, wr));
+        EXPECT_FALSE(rd.isWrite);
+        EXPECT_TRUE(wr.isWrite);
+        EXPECT_EQ(rd.addr, wr.addr) << "update must hit one block";
+    }
+}
+
+TEST(Scenarios, ProducerConsumerSharesTheHotSet)
+{
+    ScenarioParams p = scenarioParams(ScenarioKind::ProducerConsumer);
+    p.footprintBytes = 8_MiB;
+    p.hotSetBytes = 64 * 1024;
+    p.hotFraction = 0.8;
+    p.writeFraction = 0.0;
+    const Addr shared = 16_GiB;
+    ScenarioSource producer(p, 3, /*core_id=*/0, 0, shared);
+    ScenarioSource consumer(p, 3, /*core_id=*/1, 1_GiB, shared);
+    EXPECT_TRUE(producer.isProducer());
+    EXPECT_FALSE(consumer.isProducer());
+
+    std::set<Addr> producer_hot, consumer_hot;
+    MemoryAccess acc{};
+    for (int i = 0; i < 4000; ++i) {
+        ASSERT_TRUE(producer.next(0, acc));
+        if (acc.addr >= shared) {
+            EXPECT_TRUE(acc.isWrite) << "producers write the hot set";
+            EXPECT_LT(acc.addr, shared + p.hotSetBytes);
+            producer_hot.insert(acc.addr);
+        }
+        ASSERT_TRUE(consumer.next(0, acc));
+        if (acc.addr >= shared) {
+            EXPECT_FALSE(acc.isWrite) << "consumers read the hot set";
+            consumer_hot.insert(acc.addr);
+        }
+    }
+    // The whole point: both cores touch the same physical blocks.
+    std::vector<Addr> overlap;
+    std::set_intersection(producer_hot.begin(), producer_hot.end(),
+                          consumer_hot.begin(), consumer_hot.end(),
+                          std::back_inserter(overlap));
+    EXPECT_GT(overlap.size(), 100u);
+}
+
+TEST(Scenarios, NamesRoundTrip)
+{
+    ScenarioKind kind;
+    EXPECT_TRUE(scenarioFromName("chase", kind));
+    EXPECT_EQ(kind, ScenarioKind::PointerChase);
+    EXPECT_TRUE(scenarioFromName("Streaming Scan", kind));
+    EXPECT_EQ(kind, ScenarioKind::StreamScan);
+    EXPECT_TRUE(scenarioFromName("gups", kind));
+    EXPECT_EQ(kind, ScenarioKind::RandomUpdate);
+    EXPECT_TRUE(scenarioFromName("prodcons", kind));
+    EXPECT_EQ(kind, ScenarioKind::ProducerConsumer);
+    EXPECT_FALSE(scenarioFromName("webserving", kind));
+}
+
+// ---------------------------------------------------- MixedWorkload
+
+std::vector<MixPart>
+smallMix()
+{
+    WorkloadParams custom;
+    custom.name = "tiny";
+    custom.datasetBytes = 64_MiB;
+    std::vector<MixPart> parts;
+    parts.push_back(mixCustom(custom, 1));
+    parts.push_back(mixScenario(ScenarioKind::StreamScan, 1));
+    parts.push_back(mixScenario(ScenarioKind::PointerChase, 2));
+    return parts;
+}
+
+TEST(MixedWorkload, LabelsFollowTheAssignment)
+{
+    MixedWorkload mix(smallMix(), 4, 42);
+    EXPECT_EQ(mix.numCores(), 4);
+    EXPECT_EQ(mix.coreLabel(0), "tiny");
+    EXPECT_EQ(mix.coreLabel(1), "Streaming Scan");
+    EXPECT_EQ(mix.coreLabel(2), "Pointer Chase");
+    EXPECT_EQ(mix.coreLabel(3), "Pointer Chase");
+}
+
+TEST(MixedWorkload, PrivateRegionsAreDisjoint)
+{
+    MixedWorkload mix(smallMix(), 4, 42);
+    // All four sources here are private (no shared hot set): the
+    // address ranges the cores touch must be pairwise disjoint.
+    Addr lo[4], hi[4];
+    std::fill_n(lo, 4, ~Addr{0});
+    std::fill_n(hi, 4, Addr{0});
+    MemoryAccess acc{};
+    for (int round = 0; round < 3000; ++round) {
+        for (int core = 0; core < 4; ++core) {
+            ASSERT_TRUE(mix.next(core, acc));
+            EXPECT_EQ(acc.core, core);
+            lo[core] = std::min(lo[core], acc.addr);
+            hi[core] = std::max(hi[core], acc.addr);
+        }
+    }
+    for (int a = 0; a < 4; ++a) {
+        for (int b = a + 1; b < 4; ++b) {
+            EXPECT_TRUE(hi[a] < lo[b] || hi[b] < lo[a])
+                << "cores " << a << " and " << b
+                << " touch overlapping regions";
+        }
+    }
+}
+
+TEST(MixedWorkload, StreamsAreInterleavingIndependent)
+{
+    // The same (mix, seed) must hand core c the same reference
+    // sequence no matter how the scheduler interleaves cores -- the
+    // property that keeps mix sweeps reproducible under any timing.
+    MixedWorkload round_robin(smallMix(), 4, 7);
+    MixedWorkload skewed(smallMix(), 4, 7);
+
+    std::vector<std::vector<MemoryAccess>> a(4), b(4);
+    MemoryAccess acc{};
+    for (int i = 0; i < 4000; ++i) {
+        const int core = i % 4;
+        round_robin.next(core, acc);
+        a[static_cast<std::size_t>(core)].push_back(acc);
+    }
+    // Drain core 3 fully first, then 2, then the rest: a completely
+    // different interleaving.
+    for (int core = 3; core >= 0; --core) {
+        for (int i = 0; i < 1000; ++i) {
+            skewed.next(core, acc);
+            b[static_cast<std::size_t>(core)].push_back(acc);
+        }
+    }
+    for (int core = 0; core < 4; ++core) {
+        ASSERT_EQ(a[core].size(), b[core].size());
+        for (std::size_t i = 0; i < a[core].size(); ++i) {
+            EXPECT_EQ(a[core][i].addr, b[core][i].addr);
+            EXPECT_EQ(a[core][i].pc, b[core][i].pc);
+            EXPECT_EQ(a[core][i].isWrite, b[core][i].isWrite);
+            EXPECT_EQ(a[core][i].instrsBefore, b[core][i].instrsBefore);
+        }
+    }
+}
+
+TEST(MixedWorkload, TracePartsShareOneReader)
+{
+    // A trace part with k cores is served by one reader; records keep
+    // their absolute addresses and are routed by sub-stream.
+    const std::string path = testing::TempDir() + "mix.trace";
+    {
+        TraceWriter writer(path, 2);
+        MemoryAccess acc;
+        for (std::uint64_t i = 0; i < 2000; ++i) {
+            acc.addr = 0x1000 + i * kBlockBytes;
+            acc.pc = 0x42;
+            acc.core = static_cast<std::uint8_t>(i % 2);
+            acc.instrsBefore = 3;
+            writer.write(acc);
+        }
+    }
+
+    MixPart trace_part;
+    trace_part.cores = 2;
+    trace_part.tracePath = path;
+    std::vector<MixPart> parts = {
+        trace_part, mixScenario(ScenarioKind::StreamScan, 1)};
+    MixedWorkload mix(parts, 3, 42);
+    EXPECT_EQ(mix.coreLabel(0), "trace:" + path);
+
+    MemoryAccess acc{};
+    ASSERT_TRUE(mix.next(0, acc));
+    EXPECT_EQ(acc.addr, 0x1000u); // absolute: no private-region shift
+    EXPECT_EQ(acc.core, 0);
+    ASSERT_TRUE(mix.next(1, acc));
+    EXPECT_EQ(acc.addr, 0x1000u + kBlockBytes);
+    EXPECT_EQ(acc.core, 1);
+    // Generated regions live at >= 64 TiB, above any trace address.
+    ASSERT_TRUE(mix.next(2, acc));
+    EXPECT_GE(acc.addr, 1ull << 46);
+    // Trace streams drain; the scenario core never does.
+    for (int i = 0; i < 999; ++i)
+        ASSERT_TRUE(mix.next(0, acc));
+    EXPECT_FALSE(mix.next(0, acc));
+    EXPECT_TRUE(mix.next(2, acc));
+    std::remove(path.c_str());
+}
+
+TEST(MixedWorkload, RejectsCoreCountMismatch)
+{
+    EXPECT_DEATH(MixedWorkload(smallMix(), 8, 42), "mix assigns");
+    EXPECT_DEATH(MixedWorkload(smallMix(), 3, 42), "mix assigns");
+}
+
+TEST(MixSpec, ParsesNamesCountsAndAliases)
+{
+    const std::vector<MixPart> parts =
+        parseMixSpec("webserving:2,tpch:1,scan");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0].cores, 2);
+    EXPECT_EQ(*parts[0].preset, Workload::WebServing);
+    EXPECT_EQ(parts[1].cores, 1);
+    EXPECT_EQ(*parts[1].preset, Workload::TpchQueries);
+    EXPECT_EQ(parts[2].cores, 1);
+    EXPECT_EQ(parts[2].scenario->kind, ScenarioKind::StreamScan);
+    EXPECT_EQ(mixName(parts), "webserving:2+tpchqueries:1+streamingscan:1");
+}
+
+TEST(MixSpec, RejectsMalformedInput)
+{
+    EXPECT_DEATH(parseMixSpec(""), "empty");
+    EXPECT_DEATH(parseMixSpec("webserving:0"), "core count");
+    EXPECT_DEATH(parseMixSpec("webserving:x"), "core count");
+    EXPECT_DEATH(parseMixSpec("notaworkload:2"), "unknown workload");
+}
+
+// ------------------------------------------- experiment integration
+
+ExperimentSpec
+mixSpecFixture()
+{
+    ExperimentSpec spec;
+    spec.design = DesignKind::Unison;
+    spec.capacityBytes = 32_MiB;
+    spec.system.numCores = 4;
+    spec.mix = smallMix();
+    spec.accesses = 120000;
+    return spec;
+}
+
+TEST(MixExperiment, PerCorePartitionsAreLabelledAndAccounted)
+{
+    const SimResult r = runExperiment(mixSpecFixture());
+    ASSERT_EQ(r.perCore.size(), 4u);
+    EXPECT_EQ(r.perCore[0].sourceName, "tiny");
+    EXPECT_EQ(r.perCore[1].sourceName, "Streaming Scan");
+    EXPECT_EQ(r.perCore[2].sourceName, "Pointer Chase");
+
+    std::uint64_t refs = 0, instrs = 0;
+    for (const CoreSimResult &core : r.perCore) {
+        EXPECT_GT(core.references, 0u);
+        EXPECT_GT(core.uipc, 0.0);
+        EXPECT_GT(core.amatCycles, 0.0);
+        refs += core.references;
+        instrs += core.instructions;
+    }
+    // The per-core partition tiles the aggregate exactly.
+    EXPECT_EQ(refs, r.references);
+    EXPECT_EQ(instrs, r.instructions);
+}
+
+TEST(MixExperiment, ExplicitWarmupWindowIsExact)
+{
+    ExperimentSpec spec = mixSpecFixture();
+    spec.system.warmupAccesses = 90000;
+    const SimResult r = runExperiment(spec);
+    // Synthetic sources never drain: measurement covers exactly the
+    // post-warm-up remainder, with no off-by-one leakage.
+    EXPECT_EQ(r.references, spec.accesses - 90000);
+}
+
+TEST(MixExperiment, HomogeneousWarmupWindowIsExactToo)
+{
+    // Regression for the boundary off-by-one: the last warm-up access
+    // used to be counted into the measured window.
+    ExperimentSpec spec;
+    spec.design = DesignKind::Alloy;
+    spec.capacityBytes = 32_MiB;
+    spec.system.numCores = 4;
+    spec.accesses = 100000;
+    spec.system.warmupAccesses = 60000;
+    const SimResult r = runExperiment(spec);
+    EXPECT_EQ(r.references, 40000u);
+    ASSERT_EQ(r.perCore.size(), 4u);
+    EXPECT_EQ(r.perCore[0].sourceName, "Web Serving");
+}
+
+TEST(MixExperiment, PerCoreBudgetsBoundEveryCore)
+{
+    ExperimentSpec spec = mixSpecFixture();
+    spec.accesses = 1000000; // more than the budgets allow
+    spec.system.warmupAccesses = 40000;
+    spec.system.perCoreAccessBudget = 30000;
+    const SimResult r = runExperiment(spec);
+    // 4 cores x 30000 budget = 120000 issued; 40000 warmed.
+    EXPECT_EQ(r.references, 80000u);
+    for (const CoreSimResult &core : r.perCore)
+        EXPECT_LE(core.references, 30000u);
+}
+
+TEST(MixExperiment, BudgetInsideWarmupMeansNothingMeasured)
+{
+    ExperimentSpec spec = mixSpecFixture();
+    spec.accesses = 1000000;
+    spec.system.warmupAccesses = 500000;
+    spec.system.perCoreAccessBudget = 10000; // drains during warm-up
+    const SimResult r = runExperiment(spec);
+    EXPECT_EQ(r.references, 0u);
+    EXPECT_EQ(r.cache.accesses(), 0u);
+}
+
+TEST(MixExperiment, SpecWorkloadNameCoversAllSourceKinds)
+{
+    ExperimentSpec preset;
+    preset.workload = Workload::WebSearch;
+    EXPECT_EQ(specWorkloadName(preset), "Web Search");
+
+    ExperimentSpec custom;
+    custom.customWorkload = WorkloadParams{};
+    custom.customWorkload->name = "my-sweep";
+    EXPECT_EQ(specWorkloadName(custom), "my-sweep");
+
+    EXPECT_EQ(specWorkloadName(mixSpecFixture()),
+              "tiny:1+streamingscan:1+pointerchase:2");
+}
+
+TEST(MixExperiment, MixSweepIsThreadCountInvariant)
+{
+    std::vector<ExperimentSpec> specs;
+    for (DesignKind d : {DesignKind::NoDramCache, DesignKind::Alloy,
+                         DesignKind::Unison}) {
+        ExperimentSpec spec = mixSpecFixture();
+        spec.design = d;
+        spec.system.warmupAccesses = 60000;
+        spec.system.perCoreAccessBudget = 30000;
+        specs.push_back(spec);
+    }
+    const std::vector<SimResult> serial = runExperiments(specs, 1);
+    const std::vector<SimResult> parallel = runExperiments(specs, 3);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(serial[i].cycles, parallel[i].cycles);
+        EXPECT_EQ(serial[i].references, parallel[i].references);
+        ASSERT_EQ(serial[i].perCore.size(),
+                  parallel[i].perCore.size());
+        for (std::size_t c = 0; c < serial[i].perCore.size(); ++c) {
+            EXPECT_EQ(serial[i].perCore[c].references,
+                      parallel[i].perCore[c].references);
+            EXPECT_EQ(serial[i].perCore[c].uipc,
+                      parallel[i].perCore[c].uipc);
+            EXPECT_EQ(serial[i].perCore[c].amatCycles,
+                      parallel[i].perCore[c].amatCycles);
+        }
+    }
+}
+
+} // namespace
+} // namespace unison

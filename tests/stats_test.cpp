@@ -73,6 +73,46 @@ TEST(Histogram, OverflowBucket)
     EXPECT_FALSE(h.render().empty());
 }
 
+TEST(Histogram, MaxBelongsToTheLastBucketNotOverflow)
+{
+    // Regression: a sample equal to max used to be counted as
+    // overflow even though the histogram claims to track it.
+    Histogram h(100, 10);
+    h.record(100);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.bucketCount(9), 1u);
+    h.record(101);
+    EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, QuantileNeverReportsBeyondMax)
+{
+    // Regression: ceil-rounded bucket widths made the last bucket's
+    // upper edge overshoot max (e.g. 12 for a [0, 10] histogram),
+    // biasing every quantile that landed in the tail.
+    Histogram h(10, 3); // width 4: buckets [0,4) [4,8) [8,10]
+    h.record(9);
+    h.record(9);
+    EXPECT_EQ(h.quantile(0.5), 10u);
+    EXPECT_EQ(h.quantile(1.0), 10u);
+
+    Histogram spread(100, 10);
+    for (std::uint64_t v = 0; v <= 100; ++v)
+        spread.record(v);
+    for (double q : {0.0, 0.25, 0.5, 0.9, 1.0})
+        EXPECT_LE(spread.quantile(q), 100u);
+}
+
+TEST(Histogram, QuantileIgnoresRoundedUpTailBias)
+{
+    // All mass in the first bucket: every quantile must point there.
+    Histogram h(1000, 7); // width 143; 7 * 143 = 1001 > 1000
+    for (int i = 0; i < 50; ++i)
+        h.record(5);
+    EXPECT_EQ(h.quantile(0.5), 143u);
+    EXPECT_EQ(h.quantile(1.0), 143u);
+}
+
 TEST(Histogram, ResetClearsState)
 {
     Histogram h(10, 5);
@@ -106,6 +146,30 @@ TEST(Table, CsvOutput)
     t.add(std::string("x"));
     t.add(std::int64_t(-1));
     EXPECT_EQ(t.toCsv(), "a,b\nx,-1\n");
+}
+
+TEST(Table, CsvQuotesSpecialFields)
+{
+    // RFC 4180: mix names like "web+tpch,2:2" must not shift columns,
+    // embedded quotes are doubled, newlines stay inside the field.
+    Table t({"mix", "note"});
+    t.beginRow();
+    t.add(std::string("web+tpch,2:2"));
+    t.add(std::string("say \"hi\""));
+    t.beginRow();
+    t.add(std::string("multi\nline"));
+    t.add(std::string("plain"));
+    EXPECT_EQ(t.toCsv(), "mix,note\n"
+                         "\"web+tpch,2:2\",\"say \"\"hi\"\"\"\n"
+                         "\"multi\nline\",plain\n");
+}
+
+TEST(Table, CsvFieldHelper)
+{
+    EXPECT_EQ(Table::csvField("plain"), "plain");
+    EXPECT_EQ(Table::csvField("a,b"), "\"a,b\"");
+    EXPECT_EQ(Table::csvField("q\"q"), "\"q\"\"q\"");
+    EXPECT_EQ(Table::csvField(""), "");
 }
 
 } // namespace
