@@ -4,14 +4,21 @@
  * second the engine sustains, per design, plus trace-replay speed and
  * the wall-clock of a figure-style sweep at a given --threads count.
  *
- * This is the repo's performance regression guard: run it before and
- * after engine changes and compare accesses/sec. --json emits the
- * numbers machine-readably so CI and scripts can track the trajectory:
+ * This is the repo's performance regression guard. Timings on a shared
+ * (CI) host drift by several percent between measurement windows, so
+ * single back-to-back readings systematically mislead: the engine and
+ * replay sections run an odd number of *interleaved* repeats (design
+ * A, B, C, D, then A again ...) and report per-design medians, which
+ * cancels slow drift and rejects one-off spikes. --json emits the
+ * numbers machine-readably and --out additionally writes them to a
+ * file so CI can track the trajectory:
  *
- *   ./perf_engine --quick --json > perf.json
+ *   ./perf_engine --quick --json --out BENCH_engine.json
  */
 
+#include <algorithm>
 #include <chrono>
+#include <cstdarg>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -34,11 +41,35 @@ secondsSince(Clock::time_point start)
 struct Measurement
 {
     std::string name;
-    std::uint64_t accesses = 0;
-    double seconds = 0.0;
+    std::uint64_t accesses = 0;      //!< per repeat
+    std::vector<double> seconds;     //!< one entry per repeat
 
-    double rate() const { return seconds > 0.0 ? accesses / seconds : 0.0; }
+    double
+    medianSeconds() const
+    {
+        std::vector<double> s = seconds;
+        std::sort(s.begin(), s.end());
+        return s.empty() ? 0.0 : s[s.size() / 2];
+    }
+
+    double
+    rate() const
+    {
+        const double med = medianSeconds();
+        return med > 0.0 ? static_cast<double>(accesses) / med : 0.0;
+    }
 };
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    out += buf;
+}
 
 } // namespace
 
@@ -51,18 +82,39 @@ main(int argc, char **argv)
     args.addFlag("quick", "run 8x shorter simulations (CI mode)");
     args.addFlag("json", "emit machine-readable JSON only");
     args.addOption("seed", "42", "workload seed");
+    args.addOption("repeats", "0",
+                   "interleaved timing repeats, odd (0 = auto: 3 quick, "
+                   "5 full)");
+    args.addOption("out", "",
+                   "also write the JSON report to this file");
     addThreadsOption(args);
     args.parse(argc, argv);
 
     const bool quick = args.getFlag("quick");
     const bool json = args.getFlag("json");
     const std::uint64_t seed = args.getUint("seed");
+    const std::string out_path = args.getString("out");
     const int threads = parseThreads(args);
 
-    std::vector<Measurement> engine;
+    std::int64_t repeats = args.getInt("repeats");
+    if (repeats == 0)
+        repeats = quick ? 3 : 5;
+    if (repeats < 1 || repeats % 2 == 0)
+        fatal("--repeats must be odd and >= 1, got ", repeats);
 
     // --- Single-thread engine throughput per design -------------------
     const std::uint64_t accesses = defaultAccessCount(256_MiB, quick);
+    const DesignKind designs[] = {DesignKind::Unison, DesignKind::Alloy,
+                                  DesignKind::Footprint,
+                                  DesignKind::NoDramCache};
+
+    std::vector<Measurement> engine;
+    for (DesignKind d : designs) {
+        Measurement m;
+        m.name = designName(d);
+        m.accesses = accesses;
+        engine.push_back(m);
+    }
 
     // Untimed warm-up: fault in the allocator/sampler state so the
     // first timed design is not penalized relative to the others.
@@ -75,61 +127,67 @@ main(int argc, char **argv)
         warm.seed = seed;
         runExperiment(warm);
     }
-    for (DesignKind d : {DesignKind::Unison, DesignKind::Alloy,
-                         DesignKind::Footprint, DesignKind::NoDramCache}) {
-        ExperimentSpec spec;
-        spec.workload = Workload::WebServing;
-        spec.design = d;
-        spec.capacityBytes = 256_MiB;
-        spec.quick = quick;
-        spec.seed = seed;
 
-        const auto t0 = Clock::now();
-        runExperiment(spec);
-        Measurement m;
-        m.name = designName(d);
-        m.accesses = accesses;
-        m.seconds = secondsSince(t0);
-        engine.push_back(m);
-        std::fprintf(stderr, "perf_engine: %s done (%.0f acc/s)\n",
-                     m.name.c_str(), m.rate());
-    }
-
-    // --- Trace-file replay throughput ---------------------------------
-    Measurement replay;
+    // Trace file for the replay measurement (written once, replayed
+    // once per repeat).
+    const std::string trace_path = "perf_engine.trace";
+    const std::uint64_t replay_n = quick ? 2'000'000 : 8'000'000;
     {
-        const std::string path = "perf_engine.trace";
-        const std::uint64_t n = quick ? 2'000'000 : 8'000'000;
         WorkloadParams params = workloadParams(Workload::WebServing);
-        {
-            TraceWriter writer(path, params.numCores);
-            SyntheticWorkload workload(params, seed);
-            MemoryAccess acc;
-            for (std::uint64_t i = 0; i < n; ++i) {
-                const int core =
-                    static_cast<int>(i % params.numCores);
-                workload.next(core, acc);
-                acc.core = static_cast<std::uint8_t>(core);
-                writer.write(acc);
-            }
+        TraceWriter writer(trace_path, params.numCores);
+        SyntheticWorkload workload(params, seed);
+        MemoryAccess acc;
+        for (std::uint64_t i = 0; i < replay_n; ++i) {
+            const int core = static_cast<int>(i % params.numCores);
+            workload.next(core, acc);
+            acc.core = static_cast<std::uint8_t>(core);
+            writer.write(acc);
         }
-        ExperimentSpec spec;
-        spec.design = DesignKind::Unison;
-        spec.capacityBytes = 256_MiB;
-        TraceReader reader(path);
-        System system(spec.system, makeCacheFactory(spec));
-        const auto t0 = Clock::now();
-        system.run(reader, n);
-        replay.name = "trace replay (Unison)";
-        replay.accesses = n;
-        replay.seconds = secondsSince(t0);
-        std::remove(path.c_str());
-        std::fprintf(stderr, "perf_engine: replay done (%.0f acc/s)\n",
-                     replay.rate());
     }
+    Measurement replay;
+    replay.name = "trace replay (Unison)";
+    replay.accesses = replay_n;
 
-    // --- Figure-style sweep at --threads ------------------------------
+    // Interleaved repeats: one full round of every measurement, then
+    // the next round, so host-speed drift hits all of them equally.
+    for (std::int64_t rep = 0; rep < repeats; ++rep) {
+        for (std::size_t di = 0; di < engine.size(); ++di) {
+            ExperimentSpec spec;
+            spec.workload = Workload::WebServing;
+            spec.design = designs[di];
+            spec.capacityBytes = 256_MiB;
+            spec.quick = quick;
+            spec.seed = seed;
+
+            const auto t0 = Clock::now();
+            runExperiment(spec);
+            engine[di].seconds.push_back(secondsSince(t0));
+        }
+        {
+            ExperimentSpec spec;
+            spec.design = DesignKind::Unison;
+            spec.capacityBytes = 256_MiB;
+            TraceReader reader(trace_path);
+            System system(spec.system, makeCacheFactory(spec));
+            const auto t0 = Clock::now();
+            system.run(reader, replay_n);
+            replay.seconds.push_back(secondsSince(t0));
+        }
+        std::fprintf(stderr, "perf_engine: round %lld/%lld done\n",
+                     static_cast<long long>(rep + 1),
+                     static_cast<long long>(repeats));
+    }
+    std::remove(trace_path.c_str());
+    for (const Measurement &m : engine)
+        std::fprintf(stderr, "perf_engine: %s median %.0f acc/s\n",
+                     m.name.c_str(), m.rate());
+    std::fprintf(stderr, "perf_engine: replay median %.0f acc/s\n",
+                 replay.rate());
+
+    // --- Figure-style sweep at --threads (timed once: it measures
+    // --- the parallel runner, not the single-thread engine) ----------
     Measurement sweep;
+    sweep.name = "figure sweep";
     std::size_t sweep_experiments = 0;
     {
         std::vector<ExperimentSpec> specs;
@@ -152,61 +210,83 @@ main(int argc, char **argv)
         sweep_experiments = specs.size();
         const auto t0 = Clock::now();
         runExperiments(specs, threads);
-        sweep.name = "figure sweep";
-        sweep.seconds = secondsSince(t0);
+        sweep.seconds.push_back(secondsSince(t0));
         std::fprintf(stderr,
                      "perf_engine: sweep of %zu done in %.2fs "
                      "(--threads %d)\n",
-                     sweep_experiments, sweep.seconds, threads);
+                     sweep_experiments, sweep.seconds.back(), threads);
+    }
+
+    // --- Report -------------------------------------------------------
+    // Schema-stable JSON (tracked as BENCH_engine.json at the repo
+    // root): add fields if needed, do not rename or remove them.
+    std::string report;
+    appendf(report,
+            "{\n  \"schema\": \"perf_engine/2\",\n"
+            "  \"quick\": %s,\n  \"threads\": %d,\n"
+            "  \"repeats\": %lld,\n",
+            quick ? "true" : "false", threads,
+            static_cast<long long>(repeats));
+    report += "  \"engine\": [\n";
+    for (std::size_t i = 0; i < engine.size(); ++i) {
+        const Measurement &m = engine[i];
+        appendf(report,
+                "    {\"design\": \"%s\", \"accesses\": %llu, "
+                "\"seconds\": %.6f, \"accesses_per_sec\": %.0f}%s\n",
+                m.name.c_str(),
+                static_cast<unsigned long long>(m.accesses),
+                m.medianSeconds(), m.rate(),
+                i + 1 < engine.size() ? "," : "");
+    }
+    report += "  ],\n";
+    appendf(report,
+            "  \"replay\": {\"accesses\": %llu, \"seconds\": %.6f, "
+            "\"accesses_per_sec\": %.0f},\n",
+            static_cast<unsigned long long>(replay.accesses),
+            replay.medianSeconds(), replay.rate());
+    appendf(report,
+            "  \"sweep\": {\"experiments\": %zu, \"accesses\": %llu, "
+            "\"seconds\": %.6f, \"accesses_per_sec\": %.0f}\n}\n",
+            sweep_experiments,
+            static_cast<unsigned long long>(sweep.accesses),
+            sweep.medianSeconds(), sweep.rate());
+
+    if (!out_path.empty()) {
+        std::FILE *f = std::fopen(out_path.c_str(), "w");
+        if (f == nullptr)
+            fatal("cannot write ", out_path);
+        std::fputs(report.c_str(), f);
+        std::fclose(f);
+        std::fprintf(stderr, "perf_engine: wrote %s\n",
+                     out_path.c_str());
     }
 
     if (json) {
-        std::printf("{\n  \"quick\": %s,\n  \"threads\": %d,\n",
-                    quick ? "true" : "false", threads);
-        std::printf("  \"engine\": [\n");
-        for (std::size_t i = 0; i < engine.size(); ++i) {
-            const Measurement &m = engine[i];
-            std::printf("    {\"design\": \"%s\", \"accesses\": %llu, "
-                        "\"seconds\": %.6f, \"accesses_per_sec\": "
-                        "%.0f}%s\n",
-                        m.name.c_str(),
-                        static_cast<unsigned long long>(m.accesses),
-                        m.seconds, m.rate(),
-                        i + 1 < engine.size() ? "," : "");
-        }
-        std::printf("  ],\n");
-        std::printf("  \"replay\": {\"accesses\": %llu, \"seconds\": "
-                    "%.6f, \"accesses_per_sec\": %.0f},\n",
-                    static_cast<unsigned long long>(replay.accesses),
-                    replay.seconds, replay.rate());
-        std::printf("  \"sweep\": {\"experiments\": %zu, \"accesses\": "
-                    "%llu, \"seconds\": %.6f, \"accesses_per_sec\": "
-                    "%.0f}\n}\n",
-                    sweep_experiments,
-                    static_cast<unsigned long long>(sweep.accesses),
-                    sweep.seconds, sweep.rate());
+        std::fputs(report.c_str(), stdout);
         return 0;
     }
 
-    Table t({"benchmark", "accesses", "wall (s)", "accesses/sec"});
+    Table t({"benchmark", "accesses", "median (s)", "accesses/sec"});
     for (const Measurement &m : engine) {
         t.beginRow();
         t.add(m.name);
         t.add(m.accesses);
-        t.add(m.seconds, 3);
+        t.add(m.medianSeconds(), 3);
         t.add(m.rate(), 0);
     }
     t.beginRow();
     t.add(replay.name);
     t.add(replay.accesses);
-    t.add(replay.seconds, 3);
+    t.add(replay.medianSeconds(), 3);
     t.add(replay.rate(), 0);
     t.beginRow();
     t.add(sweep.name + " (--threads " + std::to_string(threads) + ")");
     t.add(sweep.accesses);
-    t.add(sweep.seconds, 3);
+    t.add(sweep.medianSeconds(), 3);
     t.add(sweep.rate(), 0);
-    std::printf("\n== Engine throughput ==\n");
+    std::printf("\n== Engine throughput (median of %lld interleaved "
+                "repeats) ==\n",
+                static_cast<long long>(repeats));
     std::fputs(t.toString().c_str(), stdout);
     return 0;
 }

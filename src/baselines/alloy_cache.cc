@@ -5,7 +5,7 @@
 namespace unison {
 
 AlloyCache::AlloyCache(const AlloyConfig &config, DramModule *offchip)
-    : DramCache(offchip),
+    : DramCache(offchip, DramCacheKind::Alloy),
       config_(config),
       geometry_(AlloyGeometry::compute(config.capacityBytes)),
       stacked_(std::make_unique<DramModule>(config.stackedOrg,
@@ -17,7 +17,7 @@ AlloyCache::AlloyCache(const AlloyConfig &config, DramModule *offchip)
         mp.numCores = config_.numCores;
         missPred_ = std::make_unique<MissPredictor>(mp);
     }
-    tads_.resize(geometry_.numTads);
+    tads_.assign(geometry_.numTads, 0);
 }
 
 void
@@ -33,8 +33,9 @@ AlloyCache::locate(Addr addr, std::uint64_t &tad_idx,
                    std::uint32_t &tag) const
 {
     const std::uint64_t block = blockNumber(addr);
-    tad_idx = block % geometry_.numTads;
-    tag = static_cast<std::uint32_t>(block / geometry_.numTads);
+    std::uint64_t q;
+    geometry_.numTadsDiv.divMod(block, q, tad_idx);
+    tag = static_cast<std::uint32_t>(q);
 }
 
 DramCacheResult
@@ -43,9 +44,9 @@ AlloyCache::access(const DramCacheRequest &req)
     std::uint64_t tad_idx;
     std::uint32_t tag;
     locate(req.addr, tad_idx, tag);
-    Tad &tad = tads_[tad_idx];
+    std::uint64_t &tad = tads_[tad_idx];
     const std::uint64_t row = geometry_.rowOfTad(tad_idx);
-    const bool hit = tad.valid && tad.tag == tag;
+    const bool hit = (tad & ~kDirty) == (kValid | tag);
 
     DramCacheResult result;
     result.hit = hit;
@@ -57,7 +58,7 @@ AlloyCache::access(const DramCacheRequest &req)
             stacked_->rowAccess(row, 8, false, req.cycle).completion;
         if (hit) {
             ++stats_.hits;
-            tad.dirty = true;
+            tad |= kDirty;
             result.doneAt =
                 stacked_->rowAccess(row, kBlockBytes, true, tag_done)
                     .completion;
@@ -65,24 +66,20 @@ AlloyCache::access(const DramCacheRequest &req)
         }
         // Write-allocate without an off-chip fetch (full-block write).
         ++stats_.misses;
-        if (tad.valid) {
+        if ((tad & kValid) != 0) {
             ++stats_.evictions;
-            if (tad.dirty) {
+            if ((tad & kDirty) != 0) {
                 const Cycle victim_read =
                     stacked_->rowAccess(row, kBlockBytes, false, tag_done)
                         .completion;
                 const Addr victim_addr = blockAddress(
-                    static_cast<std::uint64_t>(tad.tag) *
-                        geometry_.numTads +
-                    tad_idx);
+                    (tad & kTagMask) * geometry_.numTads + tad_idx);
                 offchip_->addrAccess(victim_addr, kBlockBytes, true,
                                      victim_read);
                 ++stats_.offchipWritebackBlocks;
             }
         }
-        tad.valid = true;
-        tad.tag = tag;
-        tad.dirty = true;
+        tad = kValid | kDirty | tag;
         result.doneAt =
             stacked_->rowAccess(row, geometry_.tadBytes, true, tag_done)
                 .completion;
@@ -140,21 +137,18 @@ AlloyCache::access(const DramCacheRequest &req)
     }
 
     // Allocate the fetched block (evicting the direct-mapped victim).
-    if (tad.valid) {
+    if ((tad & kValid) != 0) {
         ++stats_.evictions;
-        if (tad.dirty) {
+        if ((tad & kDirty) != 0) {
             // The victim's data arrived with the probe; write it back.
             const Addr victim_addr = blockAddress(
-                static_cast<std::uint64_t>(tad.tag) * geometry_.numTads +
-                tad_idx);
+                (tad & kTagMask) * geometry_.numTads + tad_idx);
             offchip_->addrAccess(victim_addr, kBlockBytes, true,
                                  result.doneAt);
             ++stats_.offchipWritebackBlocks;
         }
     }
-    tad.valid = true;
-    tad.tag = tag;
-    tad.dirty = false;
+    tad = kValid | tag;
     stacked_->rowAccess(row, geometry_.tadBytes, true, result.doneAt);
     return result;
 }
@@ -165,7 +159,7 @@ AlloyCache::blockPresent(Addr addr) const
     std::uint64_t tad_idx;
     std::uint32_t tag;
     locate(addr, tad_idx, tag);
-    return tads_[tad_idx].valid && tads_[tad_idx].tag == tag;
+    return (tads_[tad_idx] & ~kDirty) == (kValid | tag);
 }
 
 bool
@@ -174,8 +168,7 @@ AlloyCache::blockDirty(Addr addr) const
     std::uint64_t tad_idx;
     std::uint32_t tag;
     locate(addr, tad_idx, tag);
-    return tads_[tad_idx].valid && tads_[tad_idx].tag == tag &&
-           tads_[tad_idx].dirty;
+    return tads_[tad_idx] == (kValid | kDirty | tag);
 }
 
 } // namespace unison

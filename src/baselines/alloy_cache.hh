@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "cache/set_scan.hh"
 #include "core/dram_cache.hh"
 #include "core/geometry.hh"
 #include "dram/dram.hh"
@@ -37,7 +38,7 @@ struct AlloyConfig
     DramTimingParams stackedTiming = stackedDramTiming();
 };
 
-class AlloyCache : public DramCache
+class AlloyCache final : public DramCache
 {
   public:
     AlloyCache(const AlloyConfig &config, DramModule *offchip);
@@ -61,12 +62,10 @@ class AlloyCache : public DramCache
     bool blockDirty(Addr addr) const;
 
   private:
-    struct Tad
-    {
-        std::uint32_t tag = 0;
-        bool valid = false;
-        bool dirty = false;
-    };
+    /** Packed TAD word (the shared set_scan.hh positions). */
+    static constexpr std::uint64_t kValid = kWayValidBit;
+    static constexpr std::uint64_t kDirty = kWayDirtyBit;
+    static constexpr std::uint64_t kTagMask = kWayTagMask;
 
     void locate(Addr addr, std::uint64_t &tad_idx,
                 std::uint32_t &tag) const;
@@ -75,7 +74,9 @@ class AlloyCache : public DramCache
     AlloyGeometry geometry_;
     std::unique_ptr<DramModule> stacked_;
     std::unique_ptr<MissPredictor> missPred_;
-    std::vector<Tad> tads_;
+    /** One packed word per direct-mapped TAD frame: the whole lookup
+     *  is a single 8-byte load and masked compare. */
+    std::vector<std::uint64_t> tads_;
 };
 
 } // namespace unison

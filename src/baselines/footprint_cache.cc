@@ -21,7 +21,7 @@ constexpr std::uint32_t kFullMask = 0xffffffffu; // 32-block pages
 
 FootprintCache::FootprintCache(const FootprintCacheConfig &config,
                                DramModule *offchip)
-    : DramCache(offchip),
+    : DramCache(offchip, DramCacheKind::Footprint),
       config_(config),
       geometry_(FootprintGeometry::compute(config.capacityBytes)),
       tagLatency_(config.tagLatencyOverride != 0
@@ -55,56 +55,34 @@ FootprintCache::locate(Addr addr) const
 {
     Location loc;
     const std::uint64_t block = blockNumber(addr);
-    loc.page = block / geometry_.pageBlocks;   // 32: reduces to shifts
-    loc.offset = static_cast<std::uint32_t>(block % geometry_.pageBlocks);
-    loc.set = loc.page % geometry_.numSets;
-    loc.tag = static_cast<std::uint32_t>(loc.page / geometry_.numSets);
+    std::uint64_t off, tag, set;
+    geometry_.pageBlocksDiv.divMod(block, loc.page, off);
+    loc.offset = static_cast<std::uint32_t>(off);
+    geometry_.numSetsDiv.divMod(loc.page, tag, set);
+    loc.set = set;
+    loc.tag = static_cast<std::uint32_t>(tag);
     return loc;
-}
-
-int
-FootprintCache::findWay(std::uint64_t set, std::uint32_t tag) const
-{
-    const PageWay *base = setBase(set);
-    for (std::uint32_t w = 0; w < geometry_.assoc; ++w) {
-        if (base[w].valid && base[w].tag == tag)
-            return static_cast<int>(w);
-    }
-    return -1;
-}
-
-int
-FootprintCache::pickVictim(std::uint64_t set) const
-{
-    const PageWay *base = setBase(set);
-    int victim = 0;
-    for (std::uint32_t w = 0; w < geometry_.assoc; ++w) {
-        if (!base[w].valid)
-            return static_cast<int>(w);
-        if (base[w].lastUse < base[victim].lastUse)
-            victim = static_cast<int>(w);
-    }
-    return victim;
 }
 
 void
 FootprintCache::evictPage(std::uint64_t set, int way, Cycle when)
 {
-    PageWay &pw = setBase(set)[way];
-    UNISON_ASSERT(pw.valid, "evicting an invalid way");
+    const std::size_t idx = setBase(set) + way;
+    UNISON_ASSERT(ways_.valid(idx), "evicting an invalid way");
     ++stats_.evictions;
 
     const std::uint64_t page =
-        static_cast<std::uint64_t>(pw.tag) * geometry_.numSets + set;
+        ways_.tag(idx) * geometry_.numSets + set;
 
-    if (pw.dirtyMask != 0) {
-        const std::uint32_t dirty_blocks = popCount(pw.dirtyMask);
+    const std::uint32_t dirty_mask = ways_.hot[idx].dirty;
+    if (dirty_mask != 0) {
+        const std::uint32_t dirty_blocks = popCount(dirty_mask);
         const Cycle read_done =
             stacked_
                 ->rowAccess(geometry_.dataRowOfWay(set, way),
                             dirty_blocks * kBlockBytes, false, when)
                 .completion;
-        std::uint32_t mask = pw.dirtyMask;
+        std::uint32_t mask = dirty_mask;
         while (mask != 0) {
             const std::uint32_t off = static_cast<std::uint32_t>(
                 std::countr_zero(mask));
@@ -115,19 +93,20 @@ FootprintCache::evictPage(std::uint64_t set, int way, Cycle when)
         stats_.offchipWritebackBlocks += dirty_blocks;
     }
 
-    UNISON_ASSERT(pw.touchedMask != 0, "resident page never touched");
-    fht_.update(pw.pcHash, pw.triggerOffset, pw.touchedMask);
+    UNISON_ASSERT(ways_.hot[idx].touched != 0, "resident page never touched");
+    fht_.update(ways_.cold[idx].pcHash, ways_.cold[idx].trigger,
+                ways_.hot[idx].touched);
 
-    if (pw.statsGen == statsGen_) {
+    if (ways_.cold[idx].gen == statsGen_) {
         stats_.fpPredictedTouched +=
-            popCount(pw.predictedMask & pw.touchedMask);
-        stats_.fpTouched += popCount(pw.touchedMask);
+            popCount(ways_.cold[idx].predicted & ways_.hot[idx].touched);
+        stats_.fpTouched += popCount(ways_.hot[idx].touched);
         stats_.fpFetchedUntouched +=
-            popCount(pw.fetchedMask & ~pw.touchedMask);
-        stats_.fpFetched += popCount(pw.fetchedMask);
+            popCount(ways_.hot[idx].fetched & ~ways_.hot[idx].touched);
+        stats_.fpFetched += popCount(ways_.hot[idx].fetched);
     }
 
-    pw.valid = false;
+    ways_.invalidate(idx);
 }
 
 DramCacheResult
@@ -147,17 +126,17 @@ FootprintCache::access(const DramCacheRequest &req)
     DramCacheResult result;
 
     if (way >= 0) {
-        PageWay &pw = setBase(loc.set)[way];
+        const std::size_t idx = setBase(loc.set) + way;
         const std::uint64_t data_row =
             geometry_.dataRowOfWay(loc.set, way);
-        if ((pw.fetchedMask & bit) != 0) {
+        if ((ways_.hot[idx].fetched & bit) != 0) {
             // Block hit: SRAM tag, then the DRAM data access
             // (serialized -- Table II's FC hit-latency structure).
             ++stats_.hits;
-            pw.touchedMask |= bit;
+            ways_.hot[idx].touched |= bit;
             if (req.isWrite)
-                pw.dirtyMask |= bit;
-            pw.lastUse = ++useCounter_;
+                ways_.hot[idx].dirty |= bit;
+            ways_.hot[idx].lastUse = ++useCounter_;
             result.hit = true;
             result.doneAt =
                 stacked_
@@ -170,12 +149,12 @@ FootprintCache::access(const DramCacheRequest &req)
         // speed; fetch only the missing block.
         ++stats_.misses;
         ++stats_.blockMisses;
-        pw.lastUse = ++useCounter_;
+        ways_.hot[idx].lastUse = ++useCounter_;
         result.hit = false;
         if (req.isWrite) {
-            pw.fetchedMask |= bit;
-            pw.touchedMask |= bit;
-            pw.dirtyMask |= bit;
+            ways_.hot[idx].fetched |= bit;
+            ways_.hot[idx].touched |= bit;
+            ways_.hot[idx].dirty |= bit;
             result.doneAt =
                 stacked_->rowAccess(data_row, kBlockBytes, true, tag_done)
                     .completion;
@@ -185,8 +164,8 @@ FootprintCache::access(const DramCacheRequest &req)
             offchip_->addrAccess(req.addr, kBlockBytes, false, tag_done)
                 .completion;
         ++stats_.offchipDemandBlocks;
-        pw.fetchedMask |= bit;
-        pw.touchedMask |= bit;
+        ways_.hot[idx].fetched |= bit;
+        ways_.hot[idx].touched |= bit;
         stacked_->rowAccess(data_row, kBlockBytes, true, mem_done);
         result.doneAt = mem_done;
         return result;
@@ -241,8 +220,8 @@ FootprintCache::access(const DramCacheRequest &req)
     }
 
     const int victim = pickVictim(loc.set);
-    PageWay &pw = setBase(loc.set)[victim];
-    if (pw.valid)
+    const std::size_t idx = setBase(loc.set) + victim;
+    if (ways_.valid(idx))
         evictPage(loc.set, victim, tag_done);
 
     // Fetch the footprint: demanded block first (critical), the rest
@@ -275,16 +254,15 @@ FootprintCache::access(const DramCacheRequest &req)
                         popCount(fetch_mask) * kBlockBytes, true,
                         last_done);
 
-    pw.valid = true;
-    pw.tag = loc.tag;
-    pw.pcHash = static_cast<std::uint32_t>(fhtPc(req.pc));
-    pw.triggerOffset = static_cast<std::uint8_t>(loc.offset);
-    pw.predictedMask = predicted;
-    pw.fetchedMask = fetch_mask;
-    pw.touchedMask = bit;
-    pw.dirtyMask = 0;
-    pw.lastUse = ++useCounter_;
-    pw.statsGen = statsGen_;
+    ways_.tagv[idx] = PageWaySoa::kValid | loc.tag;
+    ways_.cold[idx].pcHash = static_cast<std::uint32_t>(fhtPc(req.pc));
+    ways_.cold[idx].trigger = static_cast<std::uint8_t>(loc.offset);
+    ways_.cold[idx].predicted = predicted;
+    ways_.hot[idx].fetched = fetch_mask;
+    ways_.hot[idx].touched = bit;
+    ways_.hot[idx].dirty = 0;
+    ways_.hot[idx].lastUse = ++useCounter_;
+    ways_.cold[idx].gen = statsGen_;
 
     ++stats_.offchipDemandBlocks;
     stats_.offchipPrefetchBlocks += popCount(fetch_mask) - 1;
@@ -306,7 +284,8 @@ FootprintCache::blockPresent(Addr addr) const
     const int way = findWay(loc.set, loc.tag);
     if (way < 0)
         return false;
-    return (setBase(loc.set)[way].fetchedMask & (1u << loc.offset)) != 0;
+    return (ways_.hot[setBase(loc.set) + way].fetched &
+            (1u << loc.offset)) != 0;
 }
 
 bool
@@ -316,7 +295,8 @@ FootprintCache::blockDirty(Addr addr) const
     const int way = findWay(loc.set, loc.tag);
     if (way < 0)
         return false;
-    return (setBase(loc.set)[way].dirtyMask & (1u << loc.offset)) != 0;
+    return (ways_.hot[setBase(loc.set) + way].dirty &
+            (1u << loc.offset)) != 0;
 }
 
 } // namespace unison

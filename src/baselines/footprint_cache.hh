@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "cache/page_set.hh"
 #include "core/dram_cache.hh"
 #include "core/geometry.hh"
 #include "dram/dram.hh"
@@ -45,7 +46,7 @@ struct FootprintCacheConfig
     DramTimingParams stackedTiming = stackedDramTiming();
 };
 
-class FootprintCache : public DramCache
+class FootprintCache final : public DramCache
 {
   public:
     FootprintCache(const FootprintCacheConfig &config, DramModule *offchip);
@@ -74,20 +75,6 @@ class FootprintCache : public DramCache
     /**@}*/
 
   private:
-    struct PageWay
-    {
-        std::uint32_t tag = 0;
-        std::uint32_t pcHash = 0;
-        std::uint32_t predictedMask = 0;
-        std::uint32_t fetchedMask = 0;
-        std::uint32_t touchedMask = 0;
-        std::uint32_t dirtyMask = 0;
-        std::uint32_t lastUse = 0;
-        std::uint8_t triggerOffset = 0;
-        std::uint8_t statsGen = 0; //!< measurement generation
-        bool valid = false;
-    };
-
     struct Location
     {
         std::uint64_t page = 0;
@@ -97,16 +84,23 @@ class FootprintCache : public DramCache
     };
 
     Location locate(Addr addr) const;
-    PageWay *setBase(std::uint64_t set)
+
+    /** Base SoA index of `set` (way fields live at base + way). */
+    std::size_t setBase(std::uint64_t set) const
     {
-        return &ways_[set * geometry_.assoc];
+        return static_cast<std::size_t>(set) * geometry_.assoc;
     }
-    const PageWay *setBase(std::uint64_t set) const
+    int
+    findWay(std::uint64_t set, std::uint32_t tag) const
     {
-        return &ways_[set * geometry_.assoc];
+        return ways_.findWay(setBase(set), geometry_.assoc, tag);
     }
-    int findWay(std::uint64_t set, std::uint32_t tag) const;
-    int pickVictim(std::uint64_t set) const;
+    int
+    pickVictim(std::uint64_t set) const
+    {
+        return static_cast<int>(
+            ways_.pickVictim(setBase(set), geometry_.assoc));
+    }
     void evictPage(std::uint64_t set, int way, Cycle when);
 
     Addr
@@ -121,7 +115,9 @@ class FootprintCache : public DramCache
     std::unique_ptr<DramModule> stacked_;
     FootprintHistoryTable fht_;
     SingletonTable singletons_;
-    std::vector<PageWay> ways_;
+    /** SoA page-way metadata; FC's 32-way sets make the contiguous
+     *  packed-tag scan matter most here (256 B vs a 1 KB AoS sweep). */
+    PageWaySoa ways_;
     std::uint32_t useCounter_ = 0;
     std::uint8_t statsGen_ = 0; //!< see UnisonCache::statsGen_
 };

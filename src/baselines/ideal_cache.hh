@@ -26,11 +26,11 @@ struct IdealConfig
 };
 
 /** The latency-optimized ideal cache of Figs. 7-8. */
-class IdealCache : public DramCache
+class IdealCache final : public DramCache
 {
   public:
     IdealCache(const IdealConfig &config, DramModule *offchip)
-        : DramCache(offchip),
+        : DramCache(offchip, DramCacheKind::Ideal),
           config_(config),
           stacked_(std::make_unique<DramModule>(config.stackedOrg,
                                                 config.stackedTiming))

@@ -1,5 +1,7 @@
 #include "baselines/lohhill_cache.hh"
 
+#include "cache/set_scan.hh"
+
 #include "common/logging.hh"
 
 namespace unison {
@@ -23,11 +25,12 @@ LohHillGeometry::compute(std::uint64_t capacity_bytes)
     // overhead for its own set-associative organization.
     const std::uint64_t blocks = g.numRows * g.waysPerSet;
     g.missMapBytes = blocks / 8 * 5 / 4;
+    g.numRowsDiv.init(g.numRows);
     return g;
 }
 
 LohHillCache::LohHillCache(const LohHillConfig &config, DramModule *offchip)
-    : DramCache(offchip),
+    : DramCache(offchip, DramCacheKind::LohHill),
       config_(config),
       geometry_(LohHillGeometry::compute(config.capacityBytes)),
       stacked_(std::make_unique<DramModule>(config.stackedOrg,
@@ -35,7 +38,9 @@ LohHillCache::LohHillCache(const LohHillConfig &config, DramModule *offchip)
 {
     UNISON_ASSERT(offchip != nullptr,
                   "Loh-Hill cache needs a memory pool");
-    ways_.resize(geometry_.numRows * geometry_.waysPerSet);
+    const std::uint64_t ways = geometry_.numRows * geometry_.waysPerSet;
+    tagv_.assign(ways, 0);
+    lastUse_.assign(ways, 0);
 }
 
 void
@@ -43,33 +48,24 @@ LohHillCache::locate(Addr addr, std::uint64_t &set,
                      std::uint32_t &tag) const
 {
     const std::uint64_t block = blockNumber(addr);
-    set = block % geometry_.numRows;
-    tag = static_cast<std::uint32_t>(block / geometry_.numRows);
+    std::uint64_t q;
+    geometry_.numRowsDiv.divMod(block, q, set);
+    tag = static_cast<std::uint32_t>(q);
 }
 
 int
 LohHillCache::findWay(std::uint64_t set, std::uint32_t tag) const
 {
-    const Way *base = &ways_[set * geometry_.waysPerSet];
-    for (std::uint32_t w = 0; w < geometry_.waysPerSet; ++w) {
-        if (base[w].valid && base[w].tag == tag)
-            return static_cast<int>(w);
-    }
-    return -1;
+    return scanWays(&tagv_[set * geometry_.waysPerSet],
+                    geometry_.waysPerSet, ~kDirty, kValid | tag);
 }
 
 int
 LohHillCache::pickVictim(std::uint64_t set) const
 {
-    const Way *base = &ways_[set * geometry_.waysPerSet];
-    int victim = 0;
-    for (std::uint32_t w = 0; w < geometry_.waysPerSet; ++w) {
-        if (!base[w].valid)
-            return static_cast<int>(w);
-        if (base[w].lastUse < base[victim].lastUse)
-            victim = static_cast<int>(w);
-    }
-    return victim;
+    const std::size_t base = set * geometry_.waysPerSet;
+    return static_cast<int>(pickVictimWay(&tagv_[base], &lastUse_[base],
+                                          geometry_.waysPerSet, kValid));
 }
 
 DramCacheResult
@@ -112,27 +108,24 @@ LohHillCache::access(const DramCacheRequest &req)
 
         // Allocate: tag write + data fill into the row; evict LRU.
         const int victim = pickVictim(set);
-        Way &vw = ways_[set * geometry_.waysPerSet + victim];
-        if (vw.valid) {
+        const std::size_t vidx = set * geometry_.waysPerSet + victim;
+        const std::uint64_t vw = tagv_[vidx];
+        if ((vw & kValid) != 0) {
             ++stats_.evictions;
-            if (vw.dirty) {
+            if ((vw & kDirty) != 0) {
                 const Cycle victim_read =
                     stacked_
                         ->rowAccess(set, kBlockBytes, false, mem_done)
                         .completion;
                 const Addr victim_addr = blockAddress(
-                    static_cast<std::uint64_t>(vw.tag) *
-                        geometry_.numRows +
-                    set);
+                    (vw & kTagMask) * geometry_.numRows + set);
                 offchip_->addrAccess(victim_addr, kBlockBytes, true,
                                      victim_read);
                 ++stats_.offchipWritebackBlocks;
             }
         }
-        vw.valid = true;
-        vw.tag = tag;
-        vw.dirty = false;
-        vw.lastUse = ++useCounter_;
+        tagv_[vidx] = kValid | tag;
+        lastUse_[vidx] = ++useCounter_;
         stacked_->rowAccess(set, kBlockBytes + 8, true, mem_done);
         result.doneAt = mem_done;
         return result;
@@ -143,13 +136,13 @@ LohHillCache::access(const DramCacheRequest &req)
     // the second a row-buffer hit; Sec. II-A).
     ++stats_.hits;
     result.hit = true;
-    Way &hw = ways_[set * geometry_.waysPerSet + way];
-    hw.lastUse = ++useCounter_;
+    const std::size_t hidx = set * geometry_.waysPerSet + way;
+    lastUse_[hidx] = ++useCounter_;
     const Cycle tag_done =
         stacked_->rowAccess(set, geometry_.tagBytes, false, mm_done)
             .completion;
     if (req.isWrite) {
-        hw.dirty = true;
+        tagv_[hidx] |= kDirty;
         result.doneAt =
             stacked_->rowAccess(set, kBlockBytes, true, tag_done)
                 .completion;
@@ -178,7 +171,7 @@ LohHillCache::blockDirty(Addr addr) const
     locate(addr, set, tag);
     const int way = findWay(set, tag);
     return way >= 0 &&
-           ways_[set * geometry_.waysPerSet + way].dirty;
+           (tagv_[set * geometry_.waysPerSet + way] & kDirty) != 0;
 }
 
 } // namespace unison

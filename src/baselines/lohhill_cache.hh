@@ -25,6 +25,8 @@
 #include <memory>
 #include <vector>
 
+#include "cache/set_scan.hh"
+#include "common/fastdiv.hh"
 #include "core/dram_cache.hh"
 #include "dram/dram.hh"
 #include "dram/timing.hh"
@@ -52,10 +54,13 @@ struct LohHillGeometry
     std::uint64_t inDramTagBytes = 0;
     std::uint64_t missMapBytes = 0; //!< presence bits, 1 per block
 
+    /** Invariant-divisor split of the block index (row-as-set). */
+    FastDiv64 numRowsDiv;
+
     static LohHillGeometry compute(std::uint64_t capacity_bytes);
 };
 
-class LohHillCache : public DramCache
+class LohHillCache final : public DramCache
 {
   public:
     LohHillCache(const LohHillConfig &config, DramModule *offchip);
@@ -79,13 +84,10 @@ class LohHillCache : public DramCache
     /**@}*/
 
   private:
-    struct Way
-    {
-        std::uint32_t tag = 0;
-        std::uint32_t lastUse = 0;
-        bool valid = false;
-        bool dirty = false;
-    };
+    /** Packed way word (the shared set_scan.hh positions). */
+    static constexpr std::uint64_t kValid = kWayValidBit;
+    static constexpr std::uint64_t kDirty = kWayDirtyBit;
+    static constexpr std::uint64_t kTagMask = kWayTagMask;
 
     void locate(Addr addr, std::uint64_t &set, std::uint32_t &tag) const;
     int findWay(std::uint64_t set, std::uint32_t tag) const;
@@ -94,7 +96,11 @@ class LohHillCache : public DramCache
     LohHillConfig config_;
     LohHillGeometry geometry_;
     std::unique_ptr<DramModule> stacked_;
-    std::vector<Way> ways_;
+    /** SoA way metadata (`set * waysPerSet + way`): the 113-way row-
+     *  as-set scan sweeps packed tag words contiguously instead of
+     *  pointer-chasing way objects. */
+    std::vector<std::uint64_t> tagv_;
+    std::vector<std::uint32_t> lastUse_;
     std::uint32_t useCounter_ = 0;
 };
 

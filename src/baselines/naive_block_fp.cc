@@ -20,9 +20,10 @@ fhtPc(Pc pc)
 
 NaiveBlockFpCache::NaiveBlockFpCache(const NaiveBlockFpConfig &config,
                                      DramModule *offchip)
-    : DramCache(offchip),
+    : DramCache(offchip, DramCacheKind::NaiveBlockFp),
       config_(config),
       geometry_(AlloyGeometry::compute(config.capacityBytes)),
+      pageDiv_(config.pageBlocks),
       stacked_(std::make_unique<DramModule>(config.stackedOrg,
                                             config.stackedTiming)),
       fht_([&] {
@@ -37,7 +38,7 @@ NaiveBlockFpCache::NaiveBlockFpCache(const NaiveBlockFpConfig &config,
                   "logical page size must be a power of two");
     UNISON_ASSERT(config_.pageBlocks <= 32,
                   "footprint masks hold at most 32 blocks");
-    tads_.resize(geometry_.numTads);
+    tads_.assign(geometry_.numTads, 0);
 }
 
 void
@@ -53,11 +54,11 @@ NaiveBlockFpCache::locate(Addr addr) const
 {
     Location loc;
     loc.block = blockNumber(addr);
-    loc.page = loc.block / config_.pageBlocks;
-    loc.offset =
-        static_cast<std::uint32_t>(loc.block % config_.pageBlocks);
-    loc.tadIdx = loc.block % geometry_.numTads;
-    loc.tag = static_cast<std::uint32_t>(loc.block / geometry_.numTads);
+    std::uint64_t off, tag;
+    pageDiv_.divMod(loc.block, loc.page, off);
+    loc.offset = static_cast<std::uint32_t>(off);
+    geometry_.numTadsDiv.divMod(loc.block, tag, loc.tadIdx);
+    loc.tag = static_cast<std::uint32_t>(tag);
     return loc;
 }
 
@@ -110,14 +111,13 @@ void
 NaiveBlockFpCache::installBlock(const Location &loc, bool dirty,
                                 Cycle when)
 {
-    Tad &tad = tads_[loc.tadIdx];
-    if (tad.valid && tad.tag != loc.tag) {
+    std::uint64_t &tad = tads_[loc.tadIdx];
+    if ((tad & kValid) != 0 && (tad & kTagMask) != loc.tag) {
         ++stats_.evictions;
         ++naiveStats_.conflictFills;
         const std::uint64_t victim_block =
-            static_cast<std::uint64_t>(tad.tag) * geometry_.numTads +
-            loc.tadIdx;
-        if (tad.dirty) {
+            (tad & kTagMask) * geometry_.numTads + loc.tadIdx;
+        if ((tad & kDirty) != 0) {
             const Cycle read_done =
                 stacked_
                     ->rowAccess(geometry_.rowOfTad(loc.tadIdx),
@@ -143,9 +143,7 @@ NaiveBlockFpCache::installBlock(const Location &loc, bool dirty,
                                        config_.pageBlocks),
             when);
     }
-    tad.valid = true;
-    tad.tag = loc.tag;
-    tad.dirty = dirty;
+    tad = kValid | (dirty ? kDirty : 0) | loc.tag;
     stacked_->rowAccess(geometry_.rowOfTad(loc.tadIdx),
                         geometry_.tadBytes, true, when);
 }
@@ -154,9 +152,9 @@ DramCacheResult
 NaiveBlockFpCache::access(const DramCacheRequest &req)
 {
     const Location loc = locate(req.addr);
-    Tad &tad = tads_[loc.tadIdx];
+    std::uint64_t &tad = tads_[loc.tadIdx];
     const std::uint64_t row = geometry_.rowOfTad(loc.tadIdx);
-    const bool hit = tad.valid && tad.tag == loc.tag;
+    const bool hit = (tad & ~kDirty) == (kValid | loc.tag);
     const std::uint32_t bit = 1u << loc.offset;
 
     DramCacheResult result;
@@ -168,7 +166,7 @@ NaiveBlockFpCache::access(const DramCacheRequest &req)
             stacked_->rowAccess(row, 8, false, req.cycle).completion;
         if (hit) {
             ++stats_.hits;
-            tad.dirty = true;
+            tad |= kDirty;
             auto it = pages_.find(loc.page);
             if (it != pages_.end()) {
                 it->second.touchedMask |= bit;
@@ -300,15 +298,14 @@ bool
 NaiveBlockFpCache::blockPresent(Addr addr) const
 {
     const Location loc = locate(addr);
-    return tads_[loc.tadIdx].valid && tads_[loc.tadIdx].tag == loc.tag;
+    return (tads_[loc.tadIdx] & ~kDirty) == (kValid | loc.tag);
 }
 
 bool
 NaiveBlockFpCache::blockDirty(Addr addr) const
 {
     const Location loc = locate(addr);
-    return tads_[loc.tadIdx].valid && tads_[loc.tadIdx].tag == loc.tag &&
-           tads_[loc.tadIdx].dirty;
+    return tads_[loc.tadIdx] == (kValid | kDirty | loc.tag);
 }
 
 bool

@@ -35,6 +35,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/set_scan.hh"
 #include "core/dram_cache.hh"
 #include "core/geometry.hh"
 #include "dram/dram.hh"
@@ -84,7 +85,7 @@ struct NaiveBlockFpStats
 
 /** Block-based direct-mapped TAD cache with bolted-on footprint
  *  prefetching (the Sec. III-B.1 straw man). */
-class NaiveBlockFpCache : public DramCache
+class NaiveBlockFpCache final : public DramCache
 {
   public:
     NaiveBlockFpCache(const NaiveBlockFpConfig &config, DramModule *offchip);
@@ -113,14 +114,10 @@ class NaiveBlockFpCache : public DramCache
     /**@}*/
 
   private:
-    /** One direct-mapped TAD frame. */
-    struct Tad
-    {
-        std::uint32_t tag = 0;
-        bool valid = false;
-        bool dirty = false;
-        bool touched = false;
-    };
+    /** Packed TAD word (the shared set_scan.hh positions). */
+    static constexpr std::uint64_t kValid = kWayValidBit;
+    static constexpr std::uint64_t kDirty = kWayDirtyBit;
+    static constexpr std::uint64_t kTagMask = kWayTagMask;
 
     /**
      * Bookkeeping for a logical page with at least one resident block.
@@ -170,9 +167,12 @@ class NaiveBlockFpCache : public DramCache
 
     NaiveBlockFpConfig config_;
     AlloyGeometry geometry_;
+    /** Logical-page split (pageBlocks is a runtime power of two). */
+    FastDiv64 pageDiv_;
     std::unique_ptr<DramModule> stacked_;
     FootprintHistoryTable fht_;
-    std::vector<Tad> tads_;
+    /** One packed word per direct-mapped TAD frame. */
+    std::vector<std::uint64_t> tads_;
     std::unordered_map<std::uint64_t, PageInfo> pages_;
     NaiveBlockFpStats naiveStats_;
 };

@@ -29,12 +29,15 @@ NaiveTaggedPageGeometry::compute(std::uint64_t capacity_bytes)
     g.dataBlocks = g.numFrames * g.pageBlocks;
     g.inDramTagBytes =
         capacity_bytes - g.dataBlocks * kBlockBytes;
+    g.pageBlocksDiv.init(g.pageBlocks);
+    g.numFramesDiv.init(g.numFrames);
+    g.pagesPerRowDiv.init(g.pagesPerRow);
     return g;
 }
 
 NaiveTaggedPageCache::NaiveTaggedPageCache(
     const NaiveTaggedPageConfig &config, DramModule *offchip)
-    : DramCache(offchip),
+    : DramCache(offchip, DramCacheKind::NaiveTaggedPage),
       config_(config),
       geometry_(NaiveTaggedPageGeometry::compute(config.capacityBytes)),
       stacked_(std::make_unique<DramModule>(config.stackedOrg,
@@ -64,19 +67,18 @@ NaiveTaggedPageCache::locate(Addr addr) const
 {
     Location loc;
     const std::uint64_t block = blockNumber(addr);
-    loc.page = block / geometry_.pageBlocks;
-    loc.offset =
-        static_cast<std::uint32_t>(block % geometry_.pageBlocks);
-    loc.frame = loc.page % geometry_.numFrames;
-    loc.tag = loc.page / geometry_.numFrames;
+    std::uint64_t off;
+    geometry_.pageBlocksDiv.divMod(block, loc.page, off);
+    loc.offset = static_cast<std::uint32_t>(off);
+    geometry_.numFramesDiv.divMod(loc.page, loc.tag, loc.frame);
     return loc;
 }
 
 void
 NaiveTaggedPageCache::evictFrame(std::uint64_t frame, Cycle when)
 {
-    Frame &f = frames_[frame];
-    UNISON_ASSERT(f.valid, "evicting an empty frame");
+    const std::size_t idx = frame;
+    UNISON_ASSERT(frames_.valid(idx), "evicting an empty frame");
     ++stats_.evictions;
 
     // Sec. III-B.2: no footprint summary exists, so the page's TAD
@@ -92,15 +94,16 @@ NaiveTaggedPageCache::evictFrame(std::uint64_t frame, Cycle when)
             .completion;
 
     const std::uint64_t page =
-        f.tag * geometry_.numFrames + frame;
-    if (f.dirtyMask != 0) {
-        const std::uint32_t dirty_blocks = popCount(f.dirtyMask);
+        frames_.tag(idx) * geometry_.numFrames + frame;
+    const std::uint32_t dirty_mask = frames_.hot[idx].dirty;
+    if (dirty_mask != 0) {
+        const std::uint32_t dirty_blocks = popCount(dirty_mask);
         const Cycle read_done =
             stacked_
                 ->rowAccess(geometry_.rowOfFrame(frame),
                             dirty_blocks * kBlockBytes, false, scan_done)
                 .completion;
-        std::uint32_t mask = f.dirtyMask;
+        std::uint32_t mask = dirty_mask;
         while (mask != 0) {
             const std::uint32_t off =
                 static_cast<std::uint32_t>(std::countr_zero(mask));
@@ -113,30 +116,32 @@ NaiveTaggedPageCache::evictFrame(std::uint64_t frame, Cycle when)
 
     // The (PC, offset) word sits at a fixed position, so training the
     // FHT needs no extra access beyond the header scan above.
-    if (f.touchedMask != 0)
-        fht_.update(f.pcHash, f.triggerOffset, f.touchedMask);
+    if (frames_.hot[idx].touched != 0)
+        fht_.update(frames_.cold[idx].pcHash, frames_.cold[idx].trigger,
+                    frames_.hot[idx].touched);
 
-    if (f.statsGen == statsGen_) {
+    if (frames_.cold[idx].gen == statsGen_) {
         stats_.fpPredictedTouched +=
-            popCount(f.predictedMask & f.touchedMask);
-        stats_.fpTouched += popCount(f.touchedMask);
+            popCount(frames_.cold[idx].predicted & frames_.hot[idx].touched);
+        stats_.fpTouched += popCount(frames_.hot[idx].touched);
         stats_.fpFetchedUntouched +=
-            popCount(f.fetchedMask & ~f.touchedMask);
-        stats_.fpFetched += popCount(f.fetchedMask);
+            popCount(frames_.hot[idx].fetched & ~frames_.hot[idx].touched);
+        stats_.fpFetched += popCount(frames_.hot[idx].fetched);
     }
 
-    f.valid = false;
+    frames_.invalidate(idx);
 }
 
 DramCacheResult
 NaiveTaggedPageCache::access(const DramCacheRequest &req)
 {
     const Location loc = locate(req.addr);
-    Frame &f = frames_[loc.frame];
+    const std::size_t idx = loc.frame;
     const std::uint64_t row = geometry_.rowOfFrame(loc.frame);
     const std::uint32_t bit = 1u << loc.offset;
-    const bool page_hit = f.valid && f.tag == loc.tag;
-    const bool block_hit = page_hit && (f.fetchedMask & bit) != 0;
+    const bool page_hit =
+        frames_.tagv[idx] == (PageWaySoa::kValid | loc.tag);
+    const bool block_hit = page_hit && (frames_.hot[idx].fetched & bit) != 0;
 
     DramCacheResult result;
     result.hit = block_hit;
@@ -145,8 +150,8 @@ NaiveTaggedPageCache::access(const DramCacheRequest &req)
         ++stats_.writes;
         if (block_hit) {
             ++stats_.hits;
-            f.touchedMask |= bit;
-            f.dirtyMask |= bit;
+            frames_.hot[idx].touched |= bit;
+            frames_.hot[idx].dirty |= bit;
             result.doneAt =
                 stacked_
                     ->rowAccess(row, geometry_.tadBytes, true, req.cycle)
@@ -158,9 +163,9 @@ NaiveTaggedPageCache::access(const DramCacheRequest &req)
             // Full-block write into the resident page: becomes valid
             // and dirty without an off-chip fetch.
             ++stats_.blockMisses;
-            f.fetchedMask |= bit;
-            f.touchedMask |= bit;
-            f.dirtyMask |= bit;
+            frames_.hot[idx].fetched |= bit;
+            frames_.hot[idx].touched |= bit;
+            frames_.hot[idx].dirty |= bit;
             result.doneAt =
                 stacked_
                     ->rowAccess(row, geometry_.tadBytes, true, req.cycle)
@@ -187,7 +192,7 @@ NaiveTaggedPageCache::access(const DramCacheRequest &req)
 
     if (block_hit) {
         ++stats_.hits;
-        f.touchedMask |= bit;
+        frames_.hot[idx].touched |= bit;
         result.doneAt = tad_done;
         return result;
     }
@@ -202,8 +207,8 @@ NaiveTaggedPageCache::access(const DramCacheRequest &req)
             offchip_->addrAccess(req.addr, kBlockBytes, false, tad_done)
                 .completion;
         ++stats_.offchipDemandBlocks;
-        f.fetchedMask |= bit;
-        f.touchedMask |= bit;
+        frames_.hot[idx].fetched |= bit;
+        frames_.hot[idx].touched |= bit;
         stacked_->rowAccess(row, geometry_.tadBytes, true, mem_done);
         result.doneAt = mem_done;
         return result;
@@ -213,7 +218,7 @@ NaiveTaggedPageCache::access(const DramCacheRequest &req)
     // footprint.
     ++stats_.pageMisses;
     Cycle insert_start = tad_done;
-    if (f.valid) {
+    if (frames_.valid(idx)) {
         evictFrame(loc.frame, tad_done);
         insert_start = tad_done;
     }
@@ -255,15 +260,14 @@ NaiveTaggedPageCache::access(const DramCacheRequest &req)
                         fetched * geometry_.tadBytes + unfetched * 8 + 8,
                         true, last_done);
 
-    f.valid = true;
-    f.tag = loc.tag;
-    f.pcHash = static_cast<std::uint32_t>(fhtPc(req.pc));
-    f.triggerOffset = static_cast<std::uint8_t>(loc.offset);
-    f.predictedMask = predicted;
-    f.fetchedMask = predicted;
-    f.touchedMask = bit;
-    f.dirtyMask = 0;
-    f.statsGen = statsGen_;
+    frames_.tagv[idx] = PageWaySoa::kValid | loc.tag;
+    frames_.cold[idx].pcHash = static_cast<std::uint32_t>(fhtPc(req.pc));
+    frames_.cold[idx].trigger = static_cast<std::uint8_t>(loc.offset);
+    frames_.cold[idx].predicted = predicted;
+    frames_.hot[idx].fetched = predicted;
+    frames_.hot[idx].touched = bit;
+    frames_.hot[idx].dirty = 0;
+    frames_.cold[idx].gen = statsGen_;
 
     result.doneAt = critical;
     return result;
@@ -273,26 +277,23 @@ bool
 NaiveTaggedPageCache::pagePresent(Addr addr) const
 {
     const Location loc = locate(addr);
-    const Frame &f = frames_[loc.frame];
-    return f.valid && f.tag == loc.tag;
+    return frames_.tagv[loc.frame] == (PageWaySoa::kValid | loc.tag);
 }
 
 bool
 NaiveTaggedPageCache::blockPresent(Addr addr) const
 {
     const Location loc = locate(addr);
-    const Frame &f = frames_[loc.frame];
-    return f.valid && f.tag == loc.tag &&
-           (f.fetchedMask & (1u << loc.offset)) != 0;
+    return frames_.tagv[loc.frame] == (PageWaySoa::kValid | loc.tag) &&
+           (frames_.hot[loc.frame].fetched & (1u << loc.offset)) != 0;
 }
 
 bool
 NaiveTaggedPageCache::blockDirty(Addr addr) const
 {
     const Location loc = locate(addr);
-    const Frame &f = frames_[loc.frame];
-    return f.valid && f.tag == loc.tag &&
-           (f.dirtyMask & (1u << loc.offset)) != 0;
+    return frames_.tagv[loc.frame] == (PageWaySoa::kValid | loc.tag) &&
+           (frames_.hot[loc.frame].dirty & (1u << loc.offset)) != 0;
 }
 
 } // namespace unison

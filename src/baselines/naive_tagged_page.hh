@@ -32,6 +32,8 @@
 #include <memory>
 #include <vector>
 
+#include "cache/page_set.hh"
+#include "common/fastdiv.hh"
 #include "core/dram_cache.hh"
 #include "dram/dram.hh"
 #include "dram/timing.hh"
@@ -67,12 +69,17 @@ struct NaiveTaggedPageGeometry
     std::uint64_t dataBlocks = 0;   //!< payload capacity in blocks
     std::uint64_t inDramTagBytes = 0;
 
+    /** Invariant-divisor helpers for the per-access mapping. */
+    FastDiv64 pageBlocksDiv;
+    FastDiv64 numFramesDiv;
+    FastDiv64 pagesPerRowDiv;
+
     static NaiveTaggedPageGeometry compute(std::uint64_t capacity_bytes);
 
     std::uint64_t
     rowOfFrame(std::uint64_t frame) const
     {
-        return frame / pagesPerRow;
+        return pagesPerRowDiv.div(frame);
     }
 };
 
@@ -94,7 +101,7 @@ struct NaiveTaggedPageStats
 
 /** Page-based cache whose blocks each carry their own tag (the
  *  Sec. III-B.2 straw man). */
-class NaiveTaggedPageCache : public DramCache
+class NaiveTaggedPageCache final : public DramCache
 {
   public:
     NaiveTaggedPageCache(const NaiveTaggedPageConfig &config,
@@ -123,20 +130,6 @@ class NaiveTaggedPageCache : public DramCache
     /**@}*/
 
   private:
-    /** One direct-mapped page frame (a quarter of a DRAM row). */
-    struct Frame
-    {
-        std::uint64_t tag = 0;
-        std::uint32_t pcHash = 0;
-        std::uint32_t predictedMask = 0;
-        std::uint32_t fetchedMask = 0;
-        std::uint32_t touchedMask = 0;
-        std::uint32_t dirtyMask = 0;
-        std::uint8_t triggerOffset = 0;
-        std::uint8_t statsGen = 0;
-        bool valid = false;
-    };
-
     struct Location
     {
         std::uint64_t page = 0;
@@ -167,7 +160,9 @@ class NaiveTaggedPageCache : public DramCache
     NaiveTaggedPageGeometry geometry_;
     std::unique_ptr<DramModule> stacked_;
     FootprintHistoryTable fht_;
-    std::vector<Frame> frames_;
+    /** Direct-mapped page frames in SoA form (assoc-1 sets: the
+     *  shared page-way arrays with an unused LRU column). */
+    PageWaySoa frames_;
     NaiveTaggedPageStats naiveStats_;
     std::uint8_t statsGen_ = 0;
 };

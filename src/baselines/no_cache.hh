@@ -13,10 +13,13 @@
 namespace unison {
 
 /** The speedup denominator: no stacked DRAM at all. */
-class NoCache : public DramCache
+class NoCache final : public DramCache
 {
   public:
-    explicit NoCache(DramModule *offchip) : DramCache(offchip) {}
+    explicit NoCache(DramModule *offchip)
+        : DramCache(offchip, DramCacheKind::NoCache)
+    {
+    }
 
     DramCacheResult
     access(const DramCacheRequest &req) override

@@ -1,81 +1,44 @@
 #include "cache/hierarchy.hh"
 
-#include "common/logging.hh"
+#include <string>
 
 namespace unison {
 
+SramCacheConfig
+CacheHierarchy::l1Config(const HierarchyConfig &config, int core)
+{
+    SramCacheConfig cfg;
+    cfg.name = "l1d" + std::to_string(core);
+    cfg.sizeBytes = config.l1Bytes;
+    cfg.assoc = config.l1Assoc;
+    return cfg;
+}
+
+SramCacheConfig
+CacheHierarchy::l2Config(const HierarchyConfig &config)
+{
+    SramCacheConfig cfg;
+    cfg.name = "l2";
+    cfg.sizeBytes = config.l2Bytes;
+    cfg.assoc = config.l2Assoc;
+    return cfg;
+}
+
 CacheHierarchy::CacheHierarchy(int num_cores, const HierarchyConfig &config)
-    : config_(config)
+    : config_(config), l2_(l2Config(config))
 {
     UNISON_ASSERT(num_cores >= 1, "hierarchy needs >= 1 core");
     l1s_.reserve(num_cores);
-    for (int c = 0; c < num_cores; ++c) {
-        SramCacheConfig l1cfg;
-        l1cfg.name = "l1d" + std::to_string(c);
-        l1cfg.sizeBytes = config_.l1Bytes;
-        l1cfg.assoc = config_.l1Assoc;
-        l1s_.push_back(std::make_unique<SetAssocCache>(l1cfg));
-    }
-    SramCacheConfig l2cfg;
-    l2cfg.name = "l2";
-    l2cfg.sizeBytes = config_.l2Bytes;
-    l2cfg.assoc = config_.l2Assoc;
-    l2_ = std::make_unique<SetAssocCache>(l2cfg);
-}
-
-void
-CacheHierarchy::writebackToL2(Addr addr, HierarchyOutcome &outcome)
-{
-    const SramAccessResult res = l2_->access(addr, /*is_write=*/true);
-    if (res.writeback) {
-        UNISON_ASSERT(outcome.numWritebacks < 2,
-                      "more than two writebacks from one reference");
-        outcome.writebackAddr[outcome.numWritebacks++] = res.writebackAddr;
-    }
-}
-
-HierarchyOutcome
-CacheHierarchy::access(int core, Addr addr, bool is_write)
-{
-    UNISON_ASSERT(core >= 0 && core < static_cast<int>(l1s_.size()),
-                  "core ", core, " out of range");
-    HierarchyOutcome outcome;
-
-    const SramAccessResult l1res = l1s_[core]->access(addr, is_write);
-    if (l1res.hit) {
-        outcome.level = HierarchyOutcome::Level::L1;
-        outcome.sramLatency = config_.l1Latency;
-        return outcome;
-    }
-    // L1 miss: a dirty L1 victim is written back into the L2 first.
-    if (l1res.writeback)
-        writebackToL2(l1res.writebackAddr, outcome);
-
-    const SramAccessResult l2res = l2_->access(addr, is_write);
-    if (l2res.writeback) {
-        UNISON_ASSERT(outcome.numWritebacks < 2,
-                      "more than two writebacks from one reference");
-        outcome.writebackAddr[outcome.numWritebacks++] =
-            l2res.writebackAddr;
-    }
-
-    if (l2res.hit) {
-        outcome.level = HierarchyOutcome::Level::L2;
-        outcome.sramLatency = config_.l1Latency + config_.l2Latency;
-        return outcome;
-    }
-
-    outcome.level = HierarchyOutcome::Level::Beyond;
-    outcome.sramLatency = config_.l1Latency + config_.l2Latency;
-    return outcome;
+    for (int c = 0; c < num_cores; ++c)
+        l1s_.emplace_back(l1Config(config, c));
 }
 
 void
 CacheHierarchy::resetStats()
 {
-    for (auto &l1 : l1s_)
-        l1->resetStats();
-    l2_->resetStats();
+    for (SetAssocCache &l1 : l1s_)
+        l1.resetStats();
+    l2_.resetStats();
 }
 
 } // namespace unison

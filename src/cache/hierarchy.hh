@@ -10,10 +10,10 @@
 #ifndef UNISON_CACHE_HIERARCHY_HH
 #define UNISON_CACHE_HIERARCHY_HH
 
-#include <memory>
 #include <vector>
 
 #include "cache/sram_cache.hh"
+#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace unison {
@@ -51,28 +51,79 @@ struct HierarchyOutcome
     Addr writebackAddr[2] = {0, 0};
 };
 
-/** Per-core L1s in front of one shared L2. */
+/**
+ * Per-core L1s in front of one shared L2. The caches are stored by
+ * value (no per-access pointer chase), and access() is inline: it is
+ * the front door of every simulated reference.
+ */
 class CacheHierarchy
 {
   public:
     CacheHierarchy(int num_cores, const HierarchyConfig &config);
 
     /** Run one reference through L1 and (if needed) L2. */
-    HierarchyOutcome access(int core, Addr addr, bool is_write);
+    HierarchyOutcome
+    access(int core, Addr addr, bool is_write)
+    {
+        UNISON_ASSERT(core >= 0 && core < static_cast<int>(l1s_.size()),
+                      "core ", core, " out of range");
+        HierarchyOutcome outcome;
 
-    const SetAssocCache &l1(int core) const { return *l1s_[core]; }
-    const SetAssocCache &l2() const { return *l2_; }
+        const SramAccessResult l1res = l1s_[core].access(addr, is_write);
+        if (l1res.hit) {
+            outcome.level = HierarchyOutcome::Level::L1;
+            outcome.sramLatency = config_.l1Latency;
+            return outcome;
+        }
+        // L1 miss: a dirty L1 victim is written back into the L2 first.
+        if (l1res.writeback)
+            writebackToL2(l1res.writebackAddr, outcome);
+
+        const SramAccessResult l2res = l2_.access(addr, is_write);
+        if (l2res.writeback) {
+            UNISON_ASSERT(outcome.numWritebacks < 2,
+                          "more than two writebacks from one reference");
+            outcome.writebackAddr[outcome.numWritebacks++] =
+                l2res.writebackAddr;
+        }
+
+        if (l2res.hit) {
+            outcome.level = HierarchyOutcome::Level::L2;
+            outcome.sramLatency = config_.l1Latency + config_.l2Latency;
+            return outcome;
+        }
+
+        outcome.level = HierarchyOutcome::Level::Beyond;
+        outcome.sramLatency = config_.l1Latency + config_.l2Latency;
+        return outcome;
+    }
+
+    const SetAssocCache &l1(int core) const { return l1s_[core]; }
+    const SetAssocCache &l2() const { return l2_; }
     const HierarchyConfig &config() const { return config_; }
 
     void resetStats();
 
   private:
     /** Insert a dirty L1 victim into the L2 (write-allocate). */
-    void writebackToL2(Addr addr, HierarchyOutcome &outcome);
+    void
+    writebackToL2(Addr addr, HierarchyOutcome &outcome)
+    {
+        const SramAccessResult res = l2_.access(addr, /*is_write=*/true);
+        if (res.writeback) {
+            UNISON_ASSERT(outcome.numWritebacks < 2,
+                          "more than two writebacks from one reference");
+            outcome.writebackAddr[outcome.numWritebacks++] =
+                res.writebackAddr;
+        }
+    }
+
+    static SramCacheConfig l1Config(const HierarchyConfig &config, int core);
+    static SramCacheConfig l2Config(const HierarchyConfig &config);
 
     HierarchyConfig config_;
-    std::vector<std::unique_ptr<SetAssocCache>> l1s_;
-    std::unique_ptr<SetAssocCache> l2_;
+    std::vector<SetAssocCache> l1s_;
+    SetAssocCache l2_;
 };
 
 } // namespace unison

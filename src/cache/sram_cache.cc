@@ -22,72 +22,9 @@ SetAssocCache::SetAssocCache(const SramCacheConfig &config)
                   config_.name, ": set count must be a power of two");
     blockShift_ = exactLog2(config_.blockBytes);
     setShift_ = exactLog2(numSets_);
-    lines_.resize(blocks);
-    mru_.resize(numSets_, 0);
-}
-
-SramAccessResult
-SetAssocCache::access(Addr addr, bool is_write)
-{
-    ++stats_.accesses;
-    const std::uint64_t block = addr >> blockShift_;
-    const std::uint64_t set = block & (numSets_ - 1);
-    const std::uint64_t tag = block >> setShift_;
-
-    Line *base = setBase(set);
-    SramAccessResult result;
-
-    // Fast path: the most-recently-hit way of this set.
-    Line &mru_line = base[mru_[set]];
-    if ((mru_line.meta & ~Line::kDirty) == (Line::kValid | tag)) {
-        ++stats_.hits;
-        mru_line.lastUse = ++useCounter_;
-        if (is_write)
-            mru_line.meta |= Line::kDirty;
-        result.hit = true;
-        return result;
-    }
-
-    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
-        Line &line = base[w];
-        if ((line.meta & ~Line::kDirty) == (Line::kValid | tag)) {
-            ++stats_.hits;
-            line.lastUse = ++useCounter_;
-            if (is_write)
-                line.meta |= Line::kDirty;
-            mru_[set] = static_cast<std::uint8_t>(w);
-            result.hit = true;
-            return result;
-        }
-    }
-
-    // Miss: pick an invalid way if one exists, else the LRU way.
-    Line *victim = base;
-    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
-        Line &line = base[w];
-        if (!line.valid()) {
-            victim = &line;
-            break;
-        }
-        if (line.lastUse < victim->lastUse)
-            victim = &line;
-    }
-
-    ++stats_.misses;
-    if (victim->valid()) {
-        ++stats_.evictions;
-        if (victim->dirty()) {
-            ++stats_.writebacks;
-            result.writeback = true;
-            const std::uint64_t victim_block =
-                (victim->tag() << setShift_) | set;
-            result.writebackAddr = victim_block << blockShift_;
-        }
-    }
-    victim->meta = Line::kValid | tag | (is_write ? Line::kDirty : 0);
-    victim->lastUse = ++useCounter_;
-    mru_[set] = static_cast<std::uint8_t>(victim - base);
-    return result;
+    meta_.assign(blocks, 0);
+    lastUse_.assign(blocks, 0);
+    mru_.assign(numSets_, 0);
 }
 
 bool
@@ -96,12 +33,8 @@ SetAssocCache::probe(Addr addr) const
     const std::uint64_t block = addr >> blockShift_;
     const std::uint64_t set = block & (numSets_ - 1);
     const std::uint64_t tag = block >> setShift_;
-    const Line *base = setBase(set);
-    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
-        if ((base[w].meta & ~Line::kDirty) == (Line::kValid | tag))
-            return true;
-    }
-    return false;
+    return scanWaysMru(&meta_[set * config_.assoc], config_.assoc,
+                       ~kDirty, kValid | tag, mru_[set]) >= 0;
 }
 
 bool
@@ -110,15 +43,14 @@ SetAssocCache::invalidate(Addr addr)
     const std::uint64_t block = addr >> blockShift_;
     const std::uint64_t set = block & (numSets_ - 1);
     const std::uint64_t tag = block >> setShift_;
-    Line *base = setBase(set);
-    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
-        if ((base[w].meta & ~Line::kDirty) == (Line::kValid | tag)) {
-            const bool was_dirty = base[w].dirty();
-            base[w].meta = 0;
-            return was_dirty;
-        }
-    }
-    return false;
+    const std::size_t base = set * config_.assoc;
+    const int way = scanWaysMru(&meta_[base], config_.assoc, ~kDirty,
+                                kValid | tag, mru_[set]);
+    if (way < 0)
+        return false;
+    const bool was_dirty = (meta_[base + way] & kDirty) != 0;
+    meta_[base + way] = 0;
+    return was_dirty;
 }
 
 } // namespace unison

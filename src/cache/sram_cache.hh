@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/set_scan.hh"
 #include "common/types.hh"
 #include "stats/stats.hh"
 
@@ -57,18 +58,93 @@ struct SramAccessResult
     Addr writebackAddr = 0; //!< block address of that victim
 };
 
-/** A generic set-associative write-back SRAM cache with LRU
- *  replacement -- the building block of the L1/L2 hierarchy. */
+/**
+ * A generic set-associative write-back SRAM cache with LRU replacement
+ * -- the building block of the L1/L2 hierarchy.
+ *
+ * The per-way metadata is struct-of-arrays: one contiguous array of
+ * packed tag words (valid/dirty in the top bits, tag in the low bits;
+ * an 8-way set's tags span exactly one 64 B host cache line) and a
+ * parallel array of LRU stamps, both indexed `set * assoc + way`.
+ * These are the simulator's hottest arrays by far, and the tag scan is
+ * a branch-reduced compare over the packed words (see set_scan.hh),
+ * entered through a most-recently-hit way hint.
+ */
 class SetAssocCache
 {
   public:
+    /** Packed tag word layout (the shared set_scan.hh positions). */
+    static constexpr std::uint64_t kValid = kWayValidBit;
+    static constexpr std::uint64_t kDirty = kWayDirtyBit;
+    static constexpr std::uint64_t kTagMask = kWayTagMask;
+
     explicit SetAssocCache(const SramCacheConfig &config);
 
     /**
      * Access (and on miss, allocate) the block containing `addr`.
-     * Writes mark the block dirty.
+     * Writes mark the block dirty. Defined inline: this is the first
+     * thing every simulated reference does, and it must inline into
+     * the timing loop even without LTO.
      */
-    SramAccessResult access(Addr addr, bool is_write);
+    SramAccessResult
+    access(Addr addr, bool is_write)
+    {
+        ++stats_.accesses;
+        const std::uint64_t block = addr >> blockShift_;
+        const std::uint64_t set = block & (numSets_ - 1);
+        const std::uint64_t tag = block >> setShift_;
+        const std::uint64_t key = kValid | tag;
+        const std::size_t base = set * config_.assoc;
+        std::uint64_t *const tags = &meta_[base];
+
+        SramAccessResult result;
+        // MRU fast path. A hit on the hinted way needs no restamp: the
+        // most recently touched way of a set by construction holds the
+        // set's maximum LRU stamp, and victim selection compares
+        // stamps only within a set, so skipping the write (and the
+        // global counter bump) leaves every eviction decision
+        // bit-identical while touching one cache line instead of two.
+        const std::uint32_t mru = mru_[set];
+        if ((tags[mru] & ~kDirty) == key) {
+            ++stats_.hits;
+            if (is_write)
+                tags[mru] |= kDirty;
+            result.hit = true;
+            return result;
+        }
+
+        // One fused sweep finds the hit way and, failing that, the
+        // victim the miss path needs (invalid first, else LRU).
+        int way;
+        std::uint32_t victim;
+        scanSet(tags, &lastUse_[base], config_.assoc, ~kDirty, key,
+                kValid, way, victim);
+        if (way >= 0) {
+            ++stats_.hits;
+            lastUse_[base + way] = ++useCounter_;
+            if (is_write)
+                tags[way] |= kDirty;
+            mru_[set] = static_cast<std::uint8_t>(way);
+            result.hit = true;
+            return result;
+        }
+        const std::uint64_t old = tags[victim];
+        if (old != 0) {
+            ++stats_.evictions;
+            if ((old & kDirty) != 0) {
+                ++stats_.writebacks;
+                result.writeback = true;
+                const std::uint64_t victim_block =
+                    ((old & kTagMask) << setShift_) | set;
+                result.writebackAddr = victim_block << blockShift_;
+            }
+        }
+        ++stats_.misses;
+        tags[victim] = key | (is_write ? kDirty : 0);
+        lastUse_[base + victim] = ++useCounter_;
+        mru_[set] = static_cast<std::uint8_t>(victim);
+        return result;
+    }
 
     /** True if the block is resident (no state change). */
     bool probe(Addr addr) const;
@@ -83,48 +159,16 @@ class SetAssocCache
     std::uint32_t numSets() const { return numSets_; }
 
   private:
-    /**
-     * One tag entry, packed to 16 bytes so an 8-way set spans two
-     * cache lines of the *host* machine instead of three -- the tag
-     * arrays are the simulator's hottest data by far. Valid and dirty
-     * live in the top bits of `meta`; the tag occupies the low bits
-     * (block addresses fit in well under 56 bits).
-     */
-    struct Line
-    {
-        static constexpr std::uint64_t kValid = 1ull << 63;
-        static constexpr std::uint64_t kDirty = 1ull << 62;
-        static constexpr std::uint64_t kTagMask = kDirty - 1;
-
-        std::uint64_t meta = 0;
-        /** LRU stamp. 32 bits bound one cache instance to ~4.2G
-         *  accesses, far beyond the longest configured run. */
-        std::uint32_t lastUse = 0;
-        std::uint32_t pad = 0;
-
-        bool valid() const { return (meta & kValid) != 0; }
-        bool dirty() const { return (meta & kDirty) != 0; }
-        std::uint64_t tag() const { return meta & kTagMask; }
-    };
-    static_assert(sizeof(Line) == 16, "tag entry no longer packed");
-
-    Line *setBase(std::uint64_t set)
-    {
-        return &lines_[set * config_.assoc];
-    }
-    const Line *setBase(std::uint64_t set) const
-    {
-        return &lines_[set * config_.assoc];
-    }
-
     SramCacheConfig config_;
     std::uint32_t numSets_;
     std::uint32_t blockShift_;
     std::uint32_t setShift_; //!< log2(numSets_), hoisted off the hot path
-    std::vector<Line> lines_;
-    /** Most-recently-hit way per set: checked first on access, which
-     *  usually touches one host cache line instead of scanning the
-     *  whole set (block repeats and bursts make MRU hits common). */
+    /** Packed tag words, `set * assoc + way` (kValid | kDirty | tag). */
+    std::vector<std::uint64_t> meta_;
+    /** LRU stamps, same indexing. 32 bits bound one cache instance to
+     *  ~4.2G accesses, far beyond the longest configured run. */
+    std::vector<std::uint32_t> lastUse_;
+    /** Most-recently-hit way per set: probed first on access. */
     std::vector<std::uint8_t> mru_;
     std::uint32_t useCounter_ = 0;
     SramCacheStats stats_;

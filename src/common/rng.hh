@@ -97,10 +97,31 @@ class Rng
     {
         if (mean <= 1.0)
             return 1;
-        const double p = 1.0 / mean;
+        return geometricWith(geometricDenom(mean));
+    }
+
+    /**
+     * The denominator log1p(-1/mean) of the inverse-CDF geometric
+     * draw. It only depends on the mean, so hot callers with a fixed
+     * mean precompute it once instead of paying a second log1p on
+     * every draw. Only meaningful for mean > 1 (geometric() returns 1
+     * without consuming randomness otherwise -- callers hoisting the
+     * denominator must keep that early-out).
+     */
+    static double
+    geometricDenom(double mean)
+    {
+        return std::log1p(-1.0 / mean);
+    }
+
+    /** geometric(mean) with the denominator precomputed; identical
+     *  draw-for-draw to geometric() for the same mean > 1. */
+    std::uint64_t
+    geometricWith(double log_denom)
+    {
         const double u = uniform();
         const std::uint64_t v = static_cast<std::uint64_t>(
-            std::ceil(std::log1p(-u) / std::log1p(-p)));
+            std::ceil(std::log1p(-u) / log_denom));
         return v == 0 ? 1 : v;
     }
 

@@ -125,6 +125,29 @@ struct DramCacheStats
     }
 };
 
+/**
+ * Concrete-type tag of a DramCache instance.
+ *
+ * The timing loop (System::runLoop) is monomorphized per concrete
+ * cache type so access() devirtualizes and inlines; this tag is how
+ * the once-per-run dispatch recovers the concrete type without a
+ * dynamic_cast chain. Every design the experiment factory can build
+ * carries its own tag; `Other` is the explicit opt-in for out-of-tree
+ * subclasses, which take the generic virtual-dispatch loop.
+ */
+enum class DramCacheKind : std::uint8_t
+{
+    Unison,
+    Alloy,
+    Footprint,
+    LohHill,
+    NaiveBlockFp,
+    NaiveTaggedPage,
+    Ideal,
+    NoCache,
+    Other, //!< out-of-tree subclass: virtual per-access dispatch
+};
+
 /** Abstract DRAM cache. */
 class DramCache
 {
@@ -132,9 +155,18 @@ class DramCache
     /**
      * @param offchip the shared off-chip memory pool (not owned);
      *        nullptr only for designs that never touch memory.
+     * @param kind concrete-type tag; subclasses outside this repo keep
+     *        the `Other` default and run through virtual dispatch.
      */
-    explicit DramCache(DramModule *offchip) : offchip_(offchip) {}
+    explicit DramCache(DramModule *offchip,
+                       DramCacheKind kind = DramCacheKind::Other)
+        : offchip_(offchip), kind_(kind)
+    {
+    }
     virtual ~DramCache() = default;
+
+    /** Concrete-type tag (see DramCacheKind). */
+    DramCacheKind kind() const { return kind_; }
 
     DramCache(const DramCache &) = delete;
     DramCache &operator=(const DramCache &) = delete;
@@ -165,6 +197,9 @@ class DramCache
   protected:
     DramModule *offchip_;
     DramCacheStats stats_;
+
+  private:
+    DramCacheKind kind_;
 };
 
 } // namespace unison

@@ -57,25 +57,12 @@ UnisonGeometry::compute(std::uint64_t capacity_bytes,
     g.inDramTagBytes =
         capacity_bytes - g.dataBlocks * static_cast<std::uint64_t>(
                                             kBlockBytes);
+    if (g.setsPerRow >= 1)
+        g.setsPerRowDiv.init(g.setsPerRow);
+    if (g.waysPerRow >= 1)
+        g.waysPerRowDiv.init(g.waysPerRow);
+    g.numSetsDiv.init(g.numSets);
     return g;
-}
-
-std::uint64_t
-UnisonGeometry::rowOfSet(std::uint64_t set) const
-{
-    UNISON_ASSERT(set < numSets, "set ", set, " out of range");
-    if (setsPerRow >= 1)
-        return set / setsPerRow;
-    return set * rowsPerSet;
-}
-
-std::uint64_t
-UnisonGeometry::dataRowOfWay(std::uint64_t set, std::uint32_t way) const
-{
-    UNISON_ASSERT(way < assoc, "way ", way, " out of range");
-    if (setsPerRow >= 1)
-        return rowOfSet(set);
-    return rowOfSet(set) + way / waysPerRow;
 }
 
 AlloyGeometry
@@ -90,6 +77,8 @@ AlloyGeometry::compute(std::uint64_t capacity_bytes)
     g.inDramTagBytes =
         capacity_bytes -
         g.numTads * static_cast<std::uint64_t>(kBlockBytes);
+    g.tadsPerRowDiv.init(g.tadsPerRow);
+    g.numTadsDiv.init(g.numTads);
     return g;
 }
 
@@ -104,6 +93,9 @@ FootprintGeometry::compute(std::uint64_t capacity_bytes)
     g.numSets = g.numPages / g.assoc;
     g.sramTagBytes = g.numPages * 12; // 12 B/page, matches Table IV
     g.tagLatency = tagLatencyForCapacity(capacity_bytes);
+    g.pagesPerRowDiv.init(g.pagesPerRow);
+    g.pageBlocksDiv.init(g.pageBlocks);
+    g.numSetsDiv.init(g.numSets);
     return g;
 }
 

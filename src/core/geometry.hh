@@ -11,6 +11,8 @@
 
 #include <cstdint>
 
+#include "common/fastdiv.hh"
+#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace unison {
@@ -53,6 +55,11 @@ struct UnisonGeometry
     std::uint32_t blocksPerRow = 0;
     std::uint64_t inDramTagBytes = 0; //!< capacity - payload
 
+    /** Invariant-divisor helpers for the per-access row mapping. */
+    FastDiv64 setsPerRowDiv;  //!< valid when setsPerRow >= 1
+    FastDiv64 waysPerRowDiv;
+    FastDiv64 numSetsDiv;
+
     /** Compute the geometry; fatal on impossible configurations. */
     static UnisonGeometry compute(std::uint64_t capacity_bytes,
                                   std::uint32_t page_blocks,
@@ -60,10 +67,24 @@ struct UnisonGeometry
                                   std::uint32_t phys_addr_bits = 40);
 
     /** Row holding the set's tag metadata. */
-    std::uint64_t rowOfSet(std::uint64_t set) const;
+    std::uint64_t
+    rowOfSet(std::uint64_t set) const
+    {
+        UNISON_ASSERT(set < numSets, "set ", set, " out of range");
+        if (setsPerRow >= 1)
+            return setsPerRowDiv.div(set);
+        return set * rowsPerSet;
+    }
 
     /** Row holding way `way`'s data blocks. */
-    std::uint64_t dataRowOfWay(std::uint64_t set, std::uint32_t way) const;
+    std::uint64_t
+    dataRowOfWay(std::uint64_t set, std::uint32_t way) const
+    {
+        UNISON_ASSERT(way < assoc, "way ", way, " out of range");
+        if (setsPerRow >= 1)
+            return rowOfSet(set);
+        return rowOfSet(set) + waysPerRowDiv.div(way);
+    }
 };
 
 /**
@@ -79,10 +100,18 @@ struct AlloyGeometry
     std::uint64_t numTads = 0;     //!< == number of sets (direct-mapped)
     std::uint64_t inDramTagBytes = 0;
 
+    /** Invariant-divisor helpers for the per-access mapping. */
+    FastDiv64 tadsPerRowDiv;
+    FastDiv64 numTadsDiv;
+
     static AlloyGeometry compute(std::uint64_t capacity_bytes);
 
     /** Row and slot of a TAD index. */
-    std::uint64_t rowOfTad(std::uint64_t tad) const { return tad / tadsPerRow; }
+    std::uint64_t
+    rowOfTad(std::uint64_t tad) const
+    {
+        return tadsPerRowDiv.div(tad);
+    }
 };
 
 /**
@@ -101,6 +130,11 @@ struct FootprintGeometry
     std::uint64_t sramTagBytes = 0;
     Cycle tagLatency = 0;          //!< Table IV
 
+    /** Invariant-divisor helpers for the per-access mapping. */
+    FastDiv64 pagesPerRowDiv;
+    FastDiv64 pageBlocksDiv;
+    FastDiv64 numSetsDiv;
+
     static FootprintGeometry compute(std::uint64_t capacity_bytes);
 
     /** Table IV: SRAM tag-array lookup latency for a capacity. */
@@ -110,7 +144,7 @@ struct FootprintGeometry
     std::uint64_t
     dataRowOfWay(std::uint64_t set, std::uint32_t way) const
     {
-        return (set * assoc + way) / pagesPerRow;
+        return pagesPerRowDiv.div(set * assoc + way);
     }
 };
 

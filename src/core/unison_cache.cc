@@ -9,18 +9,6 @@ namespace unison {
 
 namespace {
 
-/** Divider geometry: bit width when pageBlocks is of the 2^n-1 form. */
-std::uint32_t
-dividerBitsFor(std::uint32_t page_blocks)
-{
-    if (isPowerOfTwo(page_blocks + 1)) {
-        const std::uint32_t bits = floorLog2(page_blocks + 1);
-        if (bits >= 2 && bits <= 31)
-            return bits;
-    }
-    return 4; // placeholder; the divider is unused in this case
-}
-
 /** FHT keys use the low 32 PC bits (the stored trigger PC width). */
 Pc
 fhtPc(Pc pc)
@@ -31,12 +19,11 @@ fhtPc(Pc pc)
 } // namespace
 
 UnisonCache::UnisonCache(const UnisonConfig &config, DramModule *offchip)
-    : DramCache(offchip),
+    : DramCache(offchip, DramCacheKind::Unison),
       config_(config),
       geometry_(UnisonGeometry::compute(config.capacityBytes,
                                         config.pageBlocks, config.assoc)),
-      divider_(dividerBitsFor(config.pageBlocks)),
-      dividerUsable_(isPowerOfTwo(config.pageBlocks + 1)),
+      pageDiv_(config.pageBlocks),
       stacked_(std::make_unique<DramModule>(config.stackedOrg,
                                             config.stackedTiming)),
       wayPred_(config.wayPredictorIndexBits != 0
@@ -86,16 +73,15 @@ void
 UnisonCache::mapAddress(Addr addr, std::uint64_t &page,
                         std::uint32_t &offset) const
 {
-    const std::uint64_t block = blockNumber(addr);
-    if (dividerUsable_) {
-        std::uint64_t q, r;
-        divider_.divMod(block, q, r);
-        page = q;
-        offset = static_cast<std::uint32_t>(r);
-    } else {
-        page = block / config_.pageBlocks;
-        offset = static_cast<std::uint32_t>(block % config_.pageBlocks);
-    }
+    // The modelled hardware computes this with the residue-arithmetic
+    // adder tree (MersenneDivider, Sec. III-A.7; the paper charges it
+    // 2 cycles, overlapped with the L2 access). The simulator itself
+    // uses the reciprocal divider: the exact same quotient/remainder,
+    // an order of magnitude fewer host instructions per access.
+    std::uint64_t q, r;
+    pageDiv_.divMod(blockNumber(addr), q, r);
+    page = q;
+    offset = static_cast<std::uint32_t>(r);
 }
 
 UnisonCache::Location
@@ -103,34 +89,11 @@ UnisonCache::locate(Addr addr) const
 {
     Location loc;
     mapAddress(addr, loc.page, loc.offset);
-    loc.set = loc.page % geometry_.numSets;
-    loc.tag = static_cast<std::uint32_t>(loc.page / geometry_.numSets);
+    std::uint64_t q, r;
+    geometry_.numSetsDiv.divMod(loc.page, q, r);
+    loc.set = r;
+    loc.tag = static_cast<std::uint32_t>(q);
     return loc;
-}
-
-int
-UnisonCache::findWay(std::uint64_t set, std::uint32_t tag) const
-{
-    const PageWay *base = setBase(set);
-    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
-        if (base[w].valid && base[w].tag == tag)
-            return static_cast<int>(w);
-    }
-    return -1;
-}
-
-int
-UnisonCache::pickVictim(std::uint64_t set) const
-{
-    const PageWay *base = setBase(set);
-    int victim = 0;
-    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
-        if (!base[w].valid)
-            return static_cast<int>(w);
-        if (base[w].lastUse < base[victim].lastUse)
-            victim = static_cast<int>(w);
-    }
-    return victim;
 }
 
 void
@@ -188,14 +151,14 @@ UnisonCache::serveBlockHit(const DramCacheRequest &req, const Location &loc,
                            int way, std::uint32_t pred_way, Cycle tag_done,
                            Cycle data_done)
 {
-    PageWay &pw = setBase(loc.set)[way];
+    const std::size_t idx = setBase(loc.set) + way;
     const std::uint32_t bit = blockBit(loc.offset);
 
     ++stats_.hits;
-    pw.touchedMask |= bit;
+    ways_.hot[idx].touched |= bit;
     if (req.isWrite)
-        pw.dirtyMask |= bit;
-    pw.lastUse = ++useCounter_;
+        ways_.hot[idx].dirty |= bit;
+    ways_.hot[idx].lastUse = ++useCounter_;
 
     DramCacheResult result;
     result.hit = true;
@@ -255,12 +218,12 @@ DramCacheResult
 UnisonCache::serveBlockMiss(const DramCacheRequest &req,
                             const Location &loc, int way, Cycle tag_done)
 {
-    PageWay &pw = setBase(loc.set)[way];
+    const std::size_t idx = setBase(loc.set) + way;
     const std::uint32_t bit = blockBit(loc.offset);
 
     ++stats_.misses;
     ++stats_.blockMisses;
-    pw.lastUse = ++useCounter_;
+    ways_.hot[idx].lastUse = ++useCounter_;
 
     DramCacheResult result;
     result.hit = false;
@@ -268,9 +231,9 @@ UnisonCache::serveBlockMiss(const DramCacheRequest &req,
     const std::uint64_t data_row = geometry_.dataRowOfWay(loc.set, way);
     if (req.isWrite) {
         // Full-block write allocation: no off-chip fetch needed.
-        pw.fetchedMask |= bit;
-        pw.touchedMask |= bit;
-        pw.dirtyMask |= bit;
+        ways_.hot[idx].fetched |= bit;
+        ways_.hot[idx].touched |= bit;
+        ways_.hot[idx].dirty |= bit;
         result.doneAt = stacked_
                             ->rowAccess(data_row, kBlockBytes, true,
                                         tag_done)
@@ -284,8 +247,8 @@ UnisonCache::serveBlockMiss(const DramCacheRequest &req,
         offchip_->addrAccess(req.addr, kBlockBytes, false, tag_done)
             .completion;
     ++stats_.offchipDemandBlocks;
-    pw.fetchedMask |= bit;
-    pw.touchedMask |= bit; // eviction will propagate the correction
+    ways_.hot[idx].fetched |= bit;
+    ways_.hot[idx].touched |= bit; // eviction will propagate the correction
 
     // Background fill of the block into the stacked row.
     stacked_->rowAccess(data_row, kBlockBytes, true, mem_done);
@@ -296,24 +259,25 @@ UnisonCache::serveBlockMiss(const DramCacheRequest &req,
 void
 UnisonCache::evictPage(std::uint64_t set, int way, Cycle when)
 {
-    PageWay &pw = setBase(set)[way];
-    UNISON_ASSERT(pw.valid, "evicting an invalid way");
+    const std::size_t idx = setBase(set) + way;
+    UNISON_ASSERT(ways_.valid(idx), "evicting an invalid way");
     ++stats_.evictions;
 
     const std::uint64_t page =
-        static_cast<std::uint64_t>(pw.tag) * geometry_.numSets + set;
+        ways_.tag(idx) * geometry_.numSets + set;
 
     // Write back dirty blocks: one batched read from the stacked row,
     // then per-block writes into memory (footprint-granular transfers,
     // the Sec. V-D energy advantage).
-    if (pw.dirtyMask != 0) {
-        const std::uint32_t dirty_blocks = popCount(pw.dirtyMask);
+    const std::uint32_t dirty_mask = ways_.hot[idx].dirty;
+    if (dirty_mask != 0) {
+        const std::uint32_t dirty_blocks = popCount(dirty_mask);
         const Cycle read_done =
             stacked_
                 ->rowAccess(geometry_.dataRowOfWay(set, way),
                             dirty_blocks * kBlockBytes, false, when)
                 .completion;
-        std::uint32_t mask = pw.dirtyMask;
+        std::uint32_t mask = dirty_mask;
         while (mask != 0) {
             const std::uint32_t off = static_cast<std::uint32_t>(
                 std::countr_zero(mask));
@@ -326,23 +290,24 @@ UnisonCache::evictPage(std::uint64_t set, int way, Cycle when)
 
     // The stored (PC, offset) pair is read from the row only now, at
     // eviction, and used to train the FHT with the observed footprint.
-    UNISON_ASSERT(pw.touchedMask != 0,
+    UNISON_ASSERT(ways_.hot[idx].touched != 0,
                   "resident page was never touched");
-    fht_.update(pw.pcHash, pw.triggerOffset, pw.touchedMask);
+    fht_.update(ways_.cold[idx].pcHash, ways_.cold[idx].trigger,
+                ways_.hot[idx].touched);
 
     // Table V bookkeeping -- only for pages allocated in the current
     // measurement generation (cold-phase allocations would otherwise
     // dominate large-cache statistics with default predictions).
-    if (pw.statsGen == statsGen_) {
+    if (ways_.cold[idx].gen == statsGen_) {
         stats_.fpPredictedTouched +=
-            popCount(pw.predictedMask & pw.touchedMask);
-        stats_.fpTouched += popCount(pw.touchedMask);
+            popCount(ways_.cold[idx].predicted & ways_.hot[idx].touched);
+        stats_.fpTouched += popCount(ways_.hot[idx].touched);
         stats_.fpFetchedUntouched +=
-            popCount(pw.fetchedMask & ~pw.touchedMask);
-        stats_.fpFetched += popCount(pw.fetchedMask);
+            popCount(ways_.hot[idx].fetched & ~ways_.hot[idx].touched);
+        stats_.fpFetched += popCount(ways_.hot[idx].fetched);
     }
 
-    pw.valid = false;
+    ways_.invalidate(idx);
 }
 
 Cycle
@@ -455,8 +420,8 @@ UnisonCache::serveTriggerMiss(const DramCacheRequest &req,
 
     // Allocate: evict the victim way first.
     const int victim = pickVictim(loc.set);
-    PageWay &pw = setBase(loc.set)[victim];
-    if (pw.valid)
+    const std::size_t idx = setBase(loc.set) + victim;
+    if (ways_.valid(idx))
         evictPage(loc.set, victim, tag_done);
 
     // Fetch the predicted footprint, demanded block first.
@@ -474,16 +439,15 @@ UnisonCache::serveTriggerMiss(const DramCacheRequest &req,
                         true, last_done);
 
     // Install the page metadata (Fig. 2: tag, bit vectors, PC+offset).
-    pw.valid = true;
-    pw.tag = loc.tag;
-    pw.pcHash = static_cast<std::uint32_t>(fhtPc(req.pc));
-    pw.triggerOffset = static_cast<std::uint8_t>(loc.offset);
-    pw.predictedMask = predicted;
-    pw.fetchedMask = fetch_mask;
-    pw.touchedMask = blockBit(loc.offset);
-    pw.dirtyMask = 0;
-    pw.lastUse = ++useCounter_;
-    pw.statsGen = statsGen_;
+    ways_.tagv[idx] = PageWaySoa::kValid | loc.tag;
+    ways_.cold[idx].pcHash = static_cast<std::uint32_t>(fhtPc(req.pc));
+    ways_.cold[idx].trigger = static_cast<std::uint8_t>(loc.offset);
+    ways_.cold[idx].predicted = predicted;
+    ways_.hot[idx].fetched = fetch_mask;
+    ways_.hot[idx].touched = blockBit(loc.offset);
+    ways_.hot[idx].dirty = 0;
+    ways_.hot[idx].lastUse = ++useCounter_;
+    ways_.cold[idx].gen = statsGen_;
 
     if (config_.assoc > 1 && config_.wayPolicy == UnisonWayPolicy::Predict)
         wayPred_.train(loc.page, static_cast<std::uint32_t>(victim));
@@ -531,7 +495,8 @@ UnisonCache::access(const DramCacheRequest &req)
     const int way = findWay(loc.set, loc.tag);
     const bool block_hit =
         way >= 0 &&
-        (setBase(loc.set)[way].fetchedMask & blockBit(loc.offset)) != 0;
+        (ways_.hot[setBase(loc.set) + way].fetched & blockBit(loc.offset)) !=
+            0;
 
     // MAP-I ablation: train, and account for speculative memory reads.
     bool offchip_started = false;
@@ -574,7 +539,8 @@ UnisonCache::blockPresent(Addr addr) const
     const int way = findWay(loc.set, loc.tag);
     if (way < 0)
         return false;
-    return (setBase(loc.set)[way].fetchedMask & blockBit(loc.offset)) != 0;
+    return (ways_.hot[setBase(loc.set) + way].fetched &
+            blockBit(loc.offset)) != 0;
 }
 
 bool
@@ -584,7 +550,8 @@ UnisonCache::blockDirty(Addr addr) const
     const int way = findWay(loc.set, loc.tag);
     if (way < 0)
         return false;
-    return (setBase(loc.set)[way].dirtyMask & blockBit(loc.offset)) != 0;
+    return (ways_.hot[setBase(loc.set) + way].dirty &
+            blockBit(loc.offset)) != 0;
 }
 
 bool
@@ -594,7 +561,8 @@ UnisonCache::blockTouched(Addr addr) const
     const int way = findWay(loc.set, loc.tag);
     if (way < 0)
         return false;
-    return (setBase(loc.set)[way].touchedMask & blockBit(loc.offset)) != 0;
+    return (ways_.hot[setBase(loc.set) + way].touched &
+            blockBit(loc.offset)) != 0;
 }
 
 } // namespace unison

@@ -29,7 +29,8 @@
 #include <memory>
 #include <vector>
 
-#include "common/residue.hh"
+#include "cache/page_set.hh"
+#include "common/fastdiv.hh"
 #include "core/dram_cache.hh"
 #include "core/geometry.hh"
 #include "dram/dram.hh"
@@ -84,7 +85,7 @@ struct UnisonConfig
     int numCores = 16; //!< for the MAP-I ablation predictor
 };
 
-class UnisonCache : public DramCache
+class UnisonCache final : public DramCache
 {
   public:
     UnisonCache(const UnisonConfig &config, DramModule *offchip);
@@ -122,26 +123,6 @@ class UnisonCache : public DramCache
     mapAddress(Addr addr, std::uint64_t &page, std::uint32_t &offset) const;
 
   private:
-    /**
-     * One page frame's metadata. The bit masks realize the paper's
-     * two-bit-per-block state encoding: fetched (valid) / touched
-     * (demanded) / dirty, with predicted kept for accuracy accounting
-     * only (measurement infrastructure, not modelled hardware).
-     */
-    struct PageWay
-    {
-        std::uint32_t tag = 0;
-        std::uint32_t pcHash = 0;      //!< trigger PC (stored in row)
-        std::uint32_t predictedMask = 0;
-        std::uint32_t fetchedMask = 0; //!< valid blocks
-        std::uint32_t touchedMask = 0; //!< demanded blocks
-        std::uint32_t dirtyMask = 0;
-        std::uint32_t lastUse = 0;     //!< LRU stamp
-        std::uint8_t triggerOffset = 0;
-        std::uint8_t statsGen = 0;     //!< measurement generation
-        bool valid = false;
-    };
-
     struct Location
     {
         std::uint64_t page = 0;
@@ -152,20 +133,26 @@ class UnisonCache : public DramCache
 
     Location locate(Addr addr) const;
 
-    PageWay *setBase(std::uint64_t set)
+    /** Base SoA index of `set` (way fields live at base + way). */
+    std::size_t setBase(std::uint64_t set) const
     {
-        return &ways_[set * config_.assoc];
-    }
-    const PageWay *setBase(std::uint64_t set) const
-    {
-        return &ways_[set * config_.assoc];
+        return static_cast<std::size_t>(set) * config_.assoc;
     }
 
     /** Find the way holding `tag` in `set`; -1 if absent. */
-    int findWay(std::uint64_t set, std::uint32_t tag) const;
+    int
+    findWay(std::uint64_t set, std::uint32_t tag) const
+    {
+        return ways_.findWay(setBase(set), config_.assoc, tag);
+    }
 
     /** Victim way: an invalid way if any, else LRU. */
-    int pickVictim(std::uint64_t set) const;
+    int
+    pickVictim(std::uint64_t set) const
+    {
+        return static_cast<int>(
+            ways_.pickVictim(setBase(set), config_.assoc));
+    }
 
     /**
      * Time the overlapped tag + data reads that start every probe.
@@ -223,8 +210,13 @@ class UnisonCache : public DramCache
 
     UnisonConfig config_;
     UnisonGeometry geometry_;
-    MersenneDivider divider_;
-    bool dividerUsable_;
+    /**
+     * Page split (block -> page, offset). The modelled hardware uses
+     * the MersenneDivider adder tree for its 2^n - 1 page sizes; the
+     * simulator computes the identical mapping with a reciprocal
+     * multiply, which also covers non-Mersenne ablation page sizes.
+     */
+    FastDiv64 pageDiv_;
 
     std::unique_ptr<DramModule> stacked_;
     WayPredictor wayPred_;
@@ -232,7 +224,14 @@ class UnisonCache : public DramCache
     SingletonTable singletons_;
     std::unique_ptr<MissPredictor> missPred_;
 
-    std::vector<PageWay> ways_;
+    /**
+     * Per-way page metadata in struct-of-arrays form (the paper's
+     * two-bit-per-block state encoding: fetched (valid) / touched
+     * (demanded) / dirty, with predicted kept for accuracy accounting
+     * only). The packed tag words are all the hot findWay scan reads:
+     * a 4-way set's tags are 32 contiguous bytes.
+     */
+    PageWaySoa ways_;
     std::uint32_t useCounter_ = 0;
 
     /**

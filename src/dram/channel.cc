@@ -40,21 +40,26 @@ DramChannel::noteActivate(Cycle t)
 Cycle
 DramChannel::applyRefresh(Cycle t)
 {
-    if (timing_.refi == 0)
+    if (timing_.refi == 0 || nextRefreshAt_ > t)
         return t;
     // Catch up on all refresh windows that started before t; the
     // channel is unavailable for tRFC after each (rank-wide refresh,
-    // all banks close their rows).
-    while (nextRefreshAt_ <= t) {
-        refreshBusyUntil_ = nextRefreshAt_ + timing_.rfc;
-        nextRefreshAt_ += timing_.refi;
-        ++stats_.refreshes;
-        for (BankState &bank : banks_) {
-            for (int i = 0; i < kMaxOpenRowWindow; ++i)
-                bank.openRows[i] = kNoRow;
-            bank.busyUntil = std::max(bank.busyUntil,
-                                      refreshBusyUntil_);
-        }
+    // all banks close their rows). The number of elapsed windows is
+    // closed-form -- after a long idle gap this must not walk every
+    // missed window one at a time -- and only the *last* window's
+    // busy-until matters for bank state, so one pass over the banks
+    // reproduces the loop's effect exactly.
+    const std::uint64_t elapsed =
+        (t - nextRefreshAt_) / timing_.refi + 1;
+    const Cycle last_window =
+        nextRefreshAt_ + (elapsed - 1) * timing_.refi;
+    refreshBusyUntil_ = last_window + timing_.rfc;
+    nextRefreshAt_ = last_window + timing_.refi;
+    stats_.refreshes += elapsed;
+    for (BankState &bank : banks_) {
+        for (int i = 0; i < kMaxOpenRowWindow; ++i)
+            bank.openRows[i] = kNoRow;
+        bank.busyUntil = std::max(bank.busyUntil, refreshBusyUntil_);
     }
     return std::max(t, refreshBusyUntil_);
 }
@@ -69,15 +74,25 @@ DramChannel::access(int bank_idx, std::uint64_t row, std::uint32_t bytes,
     UNISON_ASSERT(bytes > 0, "zero-byte DRAM access");
 
     BankState &bank = banks_[bank_idx];
+    // applyRefresh early-outs on one compare when no refresh window
+    // elapsed (always, when refresh is disabled), so the common case
+    // -- a hit on the bank's most-recently-opened row -- reaches the
+    // column/bus arithmetic below without touching any loop.
     const Cycle start =
         applyRefresh(std::max(earliest, bank.busyUntil));
 
     DramAccessTiming result;
     Cycle col_ready; // earliest cycle the column command may issue
 
-    if (bank.rowOpen(row, openRowWindow_)) {
-        // Row-buffer hit (possibly via the FR-FCFS reordering window):
-        // the column command can go immediately.
+    if (bank.openRows[0] == row) {
+        // Row-buffer hit on the open row: the column command can go
+        // immediately.
+        result.rowHit = true;
+        ++stats_.rowHits;
+        col_ready = start;
+    } else if (bank.rowOpen(row, openRowWindow_)) {
+        // Row hit via the FR-FCFS reordering window (recently-open
+        // rows beyond the MRU one).
         result.rowHit = true;
         ++stats_.rowHits;
         col_ready = start;

@@ -6,13 +6,17 @@ namespace unison {
 
 DramModule::DramModule(const DramOrganization &org,
                        const DramTimingParams &params)
-    : org_(org), timing_(DramTimingCpu::fromParams(params))
+    : org_(org),
+      timing_(DramTimingCpu::fromParams(params)),
+      chDiv_(static_cast<std::uint64_t>(org.numChannels)),
+      bankDiv_(static_cast<std::uint64_t>(org.banksPerChannel)),
+      rowBytesDiv_(org.rowBytes)
 {
     UNISON_ASSERT(org_.numChannels >= 1, "pool needs >= 1 channel");
     channels_.reserve(org_.numChannels);
     for (int c = 0; c < org_.numChannels; ++c) {
-        channels_.push_back(std::make_unique<DramChannel>(
-            timing_, org_.banksPerChannel, org_.openRowWindow));
+        channels_.emplace_back(timing_, org_.banksPerChannel,
+                               org_.openRowWindow);
     }
 }
 
@@ -20,16 +24,11 @@ DramAccessTiming
 DramModule::rowAccess(std::uint64_t row_idx, std::uint32_t bytes,
                       bool is_write, Cycle earliest)
 {
-    const int channel = static_cast<int>(
-        row_idx % static_cast<std::uint64_t>(org_.numChannels));
-    const std::uint64_t per_channel =
-        row_idx / static_cast<std::uint64_t>(org_.numChannels);
-    const int bank = static_cast<int>(
-        per_channel % static_cast<std::uint64_t>(org_.banksPerChannel));
-    const std::uint64_t row =
-        per_channel / static_cast<std::uint64_t>(org_.banksPerChannel);
-    return channels_[channel]->access(bank, row, bytes, is_write,
-                                      earliest);
+    std::uint64_t per_channel, channel, row, bank;
+    chDiv_.divMod(row_idx, per_channel, channel);
+    bankDiv_.divMod(per_channel, row, bank);
+    return channels_[channel].access(static_cast<int>(bank), row, bytes,
+                                     is_write, earliest);
 }
 
 DramAccessTiming
@@ -43,8 +42,8 @@ DramPoolStats
 DramModule::stats() const
 {
     DramPoolStats agg;
-    for (const auto &ch : channels_) {
-        const DramChannelStats &s = ch->stats();
+    for (const DramChannel &ch : channels_) {
+        const DramChannelStats &s = ch.stats();
         agg.reads += s.reads.value();
         agg.writes += s.writes.value();
         agg.rowHits += s.rowHits.value();
@@ -61,8 +60,8 @@ DramModule::stats() const
 void
 DramModule::resetStats()
 {
-    for (auto &ch : channels_)
-        ch->resetStats();
+    for (DramChannel &ch : channels_)
+        ch.resetStats();
 }
 
 Cycle

@@ -10,10 +10,10 @@
 #define UNISON_DRAM_DRAM_HH
 
 #include <cstdint>
-#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/fastdiv.hh"
 #include "dram/channel.hh"
 #include "dram/timing.hh"
 
@@ -70,7 +70,7 @@ class DramModule
     std::uint64_t
     rowOfAddr(Addr addr) const
     {
-        return addr / org_.rowBytes;
+        return rowBytesDiv_.div(addr);
     }
 
     const DramOrganization &organization() const { return org_; }
@@ -87,7 +87,15 @@ class DramModule
   private:
     DramOrganization org_;
     DramTimingCpu timing_;
-    std::vector<std::unique_ptr<DramChannel>> channels_;
+    /** Invariant-divisor splits of the row index (the channel/bank
+     *  counts are runtime values, so plain '/' was a hardware divide
+     *  on every access). */
+    FastDiv64 chDiv_;
+    FastDiv64 bankDiv_;
+    FastDiv64 rowBytesDiv_;
+    /** By value: the per-access channel lookup is one index, not a
+     *  pointer chase. */
+    std::vector<DramChannel> channels_;
 };
 
 } // namespace unison

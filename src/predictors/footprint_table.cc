@@ -17,6 +17,8 @@ FootprintHistoryTable::FootprintHistoryTable(
                   "FHT set count must be a power of two, got ", numSets_);
     UNISON_ASSERT(config_.maxBlocksPerPage <= 64,
                   "footprint masks wider than 64 blocks unsupported");
+    UNISON_ASSERT(config_.tagBits <= 31,
+                  "packed FHT entries hold at most 31 tag bits");
     entries_.resize(config_.numEntries);
 }
 
@@ -34,8 +36,9 @@ FootprintHistoryTable::Entry *
 FootprintHistoryTable::find(std::uint64_t set, std::uint32_t tag)
 {
     Entry *base = &entries_[set * config_.assoc];
+    const std::uint32_t key = Entry::kValid | tag;
     for (std::uint32_t w = 0; w < config_.assoc; ++w) {
-        if (base[w].valid && base[w].tag == tag)
+        if (base[w].vtag == key)
             return &base[w];
     }
     return nullptr;
@@ -73,15 +76,14 @@ FootprintHistoryTable::update(Pc pc, std::uint32_t offset,
         Entry *base = &entries_[set * config_.assoc];
         entry = base;
         for (std::uint32_t w = 0; w < config_.assoc; ++w) {
-            if (!base[w].valid) {
+            if (!base[w].valid()) {
                 entry = &base[w];
                 break;
             }
             if (base[w].lastUse < entry->lastUse)
                 entry = &base[w];
         }
-        entry->valid = true;
-        entry->tag = tag;
+        entry->vtag = Entry::kValid | tag;
     }
     entry->mask = actual_mask;
     entry->lastUse = ++useCounter_;

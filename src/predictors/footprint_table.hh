@@ -83,13 +83,23 @@ class FootprintHistoryTable
     std::uint64_t storageBytes() const;
 
   private:
+    /**
+     * Packed to 16 bytes (valid folded into the tag word, 32-bit LRU
+     * stamp): lookups hash all over the 24K-entry table, so a 6-way
+     * set spanning 1.5 host cache lines instead of 3 halves the miss
+     * traffic of the hottest predictor.
+     */
     struct Entry
     {
-        std::uint32_t tag = 0;
+        static constexpr std::uint32_t kValid = 1u << 31;
+
         std::uint64_t mask = 0;
-        std::uint64_t lastUse = 0;
-        bool valid = false;
+        std::uint32_t vtag = 0;    //!< kValid | tag (tagBits <= 31)
+        std::uint32_t lastUse = 0;
+
+        bool valid() const { return (vtag & kValid) != 0; }
     };
+    static_assert(sizeof(Entry) == 16, "FHT entry no longer packed");
 
     /** Map (pc, offset) to (set, tag). */
     void index(Pc pc, std::uint32_t offset, std::uint64_t &set,
@@ -100,7 +110,7 @@ class FootprintHistoryTable
     FootprintTableConfig config_;
     std::uint32_t numSets_;
     std::vector<Entry> entries_;
-    std::uint64_t useCounter_ = 0;
+    std::uint32_t useCounter_ = 0;
     FootprintTableStats stats_;
 };
 

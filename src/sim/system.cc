@@ -6,8 +6,16 @@
 
 #include "common/logging.hh"
 #include "baselines/alloy_cache.hh"
+#include "baselines/footprint_cache.hh"
+#include "baselines/ideal_cache.hh"
+#include "baselines/lohhill_cache.hh"
+#include "baselines/naive_block_fp.hh"
+#include "baselines/naive_tagged_page.hh"
+#include "baselines/no_cache.hh"
 #include "core/unison_cache.hh"
 #include "trace/mix.hh"
+#include "trace/scenarios.hh"
+#include "trace/tracefile.hh"
 #include "trace/workload.hh"
 
 namespace unison {
@@ -40,20 +48,78 @@ System::resetAllStats()
 SimResult
 System::run(AccessSource &source, std::uint64_t total_accesses)
 {
-    // Specialize the hot loop on the concrete source type: for the
-    // synthetic workloads (the common case by far) this turns the
-    // per-access virtual next() into a direct, inlinable call -- the
-    // dispatch happens once per run instead of once per access.
-    if (auto *synth = dynamic_cast<SyntheticWorkload *>(&source))
-        return runLoop(*synth, total_accesses);
-    if (auto *mix = dynamic_cast<MixedWorkload *>(&source))
-        return runLoop(*mix, total_accesses);
-    return runLoop(source, total_accesses);
+    // First dispatch stage: specialize the hot loop on the concrete
+    // source type, turning the per-access virtual next() into a
+    // direct, inlinable call -- the dispatch happens once per run
+    // instead of once per access. The kind() tag replaces the earlier
+    // dynamic_cast chain: a new source type cannot compile without
+    // declaring a kind, and a new kind value makes this switch warn
+    // (-Wswitch) until it is routed explicitly.
+    switch (source.kind()) {
+      case AccessSourceKind::Synthetic:
+        return dispatchCache(static_cast<SyntheticWorkload &>(source),
+                             total_accesses);
+      case AccessSourceKind::Mixed:
+        return dispatchCache(static_cast<MixedWorkload &>(source),
+                             total_accesses);
+      case AccessSourceKind::TraceFile:
+        return dispatchCache(static_cast<TraceReader &>(source),
+                             total_accesses);
+      case AccessSourceKind::Scenario:
+      case AccessSourceKind::Other:
+        // Explicitly virtual: single-core scenarios are driven through
+        // MixedWorkload in practice, and Other is the opt-in slow path.
+        return dispatchCache(source, total_accesses);
+    }
+    panic("unhandled AccessSourceKind");
 }
 
 template <typename Source>
 SimResult
-System::runLoop(Source &source, std::uint64_t total_accesses)
+System::dispatchCache(Source &source, std::uint64_t total_accesses)
+{
+    // Second dispatch stage: monomorphize on the concrete cache type.
+    // Every design makeCacheFactory can build is covered here, and all
+    // the concrete classes are final, so cache.access(req) in the loop
+    // body compiles to a direct (inlinable) call -- zero virtual calls
+    // per simulated access for built-in designs.
+    DramCache &cache = *cache_;
+    switch (cache.kind()) {
+      case DramCacheKind::Unison:
+        return runLoop(source, static_cast<UnisonCache &>(cache),
+                       total_accesses);
+      case DramCacheKind::Alloy:
+        return runLoop(source, static_cast<AlloyCache &>(cache),
+                       total_accesses);
+      case DramCacheKind::Footprint:
+        return runLoop(source, static_cast<FootprintCache &>(cache),
+                       total_accesses);
+      case DramCacheKind::LohHill:
+        return runLoop(source, static_cast<LohHillCache &>(cache),
+                       total_accesses);
+      case DramCacheKind::NaiveBlockFp:
+        return runLoop(source, static_cast<NaiveBlockFpCache &>(cache),
+                       total_accesses);
+      case DramCacheKind::NaiveTaggedPage:
+        return runLoop(source,
+                       static_cast<NaiveTaggedPageCache &>(cache),
+                       total_accesses);
+      case DramCacheKind::Ideal:
+        return runLoop(source, static_cast<IdealCache &>(cache),
+                       total_accesses);
+      case DramCacheKind::NoCache:
+        return runLoop(source, static_cast<NoCache &>(cache),
+                       total_accesses);
+      case DramCacheKind::Other:
+        return runLoop(source, cache, total_accesses);
+    }
+    panic("unhandled DramCacheKind");
+}
+
+template <typename Source, typename Cache>
+SimResult
+System::runLoop(Source &source, Cache &cache,
+                std::uint64_t total_accesses)
 {
     UNISON_ASSERT(total_accesses > 0, "empty simulation");
     UNISON_ASSERT(source.numCores() <= config_.numCores,
@@ -69,9 +135,10 @@ System::runLoop(Source &source, std::uint64_t total_accesses)
 
     // Per-core ring of in-flight DRAM-level load completions: issuing
     // beyond maxOutstandingMisses stalls until the oldest resolves.
+    // One flat allocation (core-major) instead of a vector-of-vectors.
     const int window = config_.maxOutstandingMisses;
-    std::vector<std::vector<double>> inflight(
-        config_.numCores, std::vector<double>(window, 0.0));
+    std::vector<double> inflight(
+        static_cast<std::size_t>(config_.numCores) * window, 0.0);
     std::vector<int> inflight_head(config_.numCores, 0);
 
     // Warm-up window: [0, warm_count) only warms state; every
@@ -108,7 +175,6 @@ System::runLoop(Source &source, std::uint64_t total_accesses)
     int active_cores = src_cores;
 
     CacheHierarchy *const hier = hierarchy_.get();
-    DramCache *const cache = cache_.get();
 
     // Unbudgeted runs (the common case) schedule straight off
     // core_time and skip the budget bookkeeping entirely, keeping the
@@ -126,6 +192,32 @@ System::runLoop(Source &source, std::uint64_t total_accesses)
         miss_latency_samples = 0;
     };
 
+    // Min-time scheduling: always advance the core whose clock is
+    // furthest behind, so DRAM requests arrive in near-global time
+    // order and queueing behaves realistically. Non-negative IEEE
+    // doubles order identically to their bit patterns, so each clock
+    // becomes an integer key with the core id packed into the low 8
+    // (mantissa) bits: the min key yields both the laggard and, on
+    // (quantized) ties, the lowest id. Keys live in a persistent
+    // array -- only the advanced core's clock changes per iteration,
+    // so one key is recomputed per access and the selection is a
+    // branchless min-reduction (four independent cmov chains) over
+    // ready-made keys. (Two cleverer schedulers were tried and
+    // measured slower here: a log-depth tournament tree serializes on
+    // store-to-load forwarding, and a cached-runner-up scheme
+    // pessimizes the whole loop with its rescan branch.)
+    const auto key_of = [clocks](int c) {
+        return (std::bit_cast<std::uint64_t>(clocks[c]) & ~255ull) |
+               static_cast<std::uint64_t>(c);
+    };
+    // Pad to at least four entries with the maximum key, which can
+    // never win the min against a real clock key (real keys carry a
+    // finite or +inf clock pattern and a sub-256 core id).
+    std::vector<std::uint64_t> keys(
+        static_cast<std::size_t>(std::max(src_cores, 4)), ~0ull);
+    for (int c = 0; c < src_cores; ++c)
+        keys[c] = key_of(c);
+
     MemoryAccess acc;
     for (std::uint64_t i = 0;
          i < total_accesses && active_cores > 0; ++i) {
@@ -136,35 +228,22 @@ System::runLoop(Source &source, std::uint64_t total_accesses)
             measuring = true;
         }
 
-        // Min-time scheduling: always advance the core whose clock is
-        // furthest behind, so DRAM requests arrive in near-global time
-        // order and queueing behaves realistically. Non-negative IEEE
-        // doubles order identically to their bit patterns, so each
-        // clock becomes an integer key with the core id packed into
-        // the low 8 (mantissa) bits: one branchless min-reduction --
-        // four independent cmov chains, replacing the serial
-        // compare-and-branch scan that gated every access -- yields
-        // both the laggard and, on (quantized) ties, the lowest id.
-        const auto key_of = [clocks](int c) {
-            return (std::bit_cast<std::uint64_t>(clocks[c]) & ~255ull) |
-                   static_cast<std::uint64_t>(c);
-        };
-        std::uint64_t b0 = key_of(0);
-        std::uint64_t b1 = src_cores > 1 ? key_of(1) : b0;
-        std::uint64_t b2 = src_cores > 2 ? key_of(2) : b0;
-        std::uint64_t b3 = src_cores > 3 ? key_of(3) : b0;
+        std::uint64_t b0 = keys[0];
+        std::uint64_t b1 = keys[1];
+        std::uint64_t b2 = keys[2];
+        std::uint64_t b3 = keys[3];
         for (int c = 4; c + 3 < src_cores; c += 4) {
-            const std::uint64_t k0 = key_of(c);
-            const std::uint64_t k1 = key_of(c + 1);
-            const std::uint64_t k2 = key_of(c + 2);
-            const std::uint64_t k3 = key_of(c + 3);
+            const std::uint64_t k0 = keys[c];
+            const std::uint64_t k1 = keys[c + 1];
+            const std::uint64_t k2 = keys[c + 2];
+            const std::uint64_t k3 = keys[c + 3];
             b0 = k0 < b0 ? k0 : b0;
             b1 = k1 < b1 ? k1 : b1;
             b2 = k2 < b2 ? k2 : b2;
             b3 = k3 < b3 ? k3 : b3;
         }
-        for (int c = src_cores & ~3; c < src_cores; ++c) {
-            const std::uint64_t k = key_of(c);
+        for (int c = std::max(src_cores & ~3, 4); c < src_cores; ++c) {
+            const std::uint64_t k = keys[c];
             b0 = k < b0 ? k : b0;
         }
         b0 = b1 < b0 ? b1 : b0;
@@ -194,7 +273,7 @@ System::runLoop(Source &source, std::uint64_t total_accesses)
             req.isWrite = acc.isWrite;
             req.cycle = static_cast<Cycle>(now) + outcome.sramLatency;
 
-            const DramCacheResult res = cache->access(req);
+            const DramCacheResult res = cache.access(req);
             const double dram_latency =
                 static_cast<double>(res.doneAt - req.cycle);
             if (!acc.isWrite) {
@@ -207,7 +286,8 @@ System::runLoop(Source &source, std::uint64_t total_accesses)
                 }
                 // Overlap the miss with up to `window` others: stall
                 // only when the MSHR window is exhausted.
-                auto &ring = inflight[core];
+                double *const ring =
+                    &inflight[static_cast<std::size_t>(core) * window];
                 int &head = inflight_head[core];
                 const double completion =
                     static_cast<double>(res.doneAt);
@@ -227,7 +307,7 @@ System::runLoop(Source &source, std::uint64_t total_accesses)
             wb.core = core;
             wb.isWrite = true;
             wb.cycle = static_cast<Cycle>(now) + outcome.sramLatency;
-            cache->access(wb);
+            cache.access(wb);
         }
 
         if (acc.isWrite) {
@@ -253,6 +333,9 @@ System::runLoop(Source &source, std::uint64_t total_accesses)
                 sched_time[core] = now;
             }
         }
+
+        // Only this core's clock moved: refresh its key alone.
+        keys[core] = key_of(core);
     }
 
     if (!measuring) {
@@ -311,7 +394,32 @@ System::runLoop(Source &source, std::uint64_t total_accesses)
         miss_latency_samples ? miss_latency_sum / miss_latency_samples
                              : 0.0;
 
-    if (auto *uc = dynamic_cast<UnisonCache *>(cache_.get())) {
+    fillPredictorStats(result);
+    return result;
+}
+
+void
+System::fillPredictorStats(SimResult &result) const
+{
+    // Design-specific accuracy fields, recovered through the kind tag
+    // (dynamic_cast only for out-of-tree subclasses).
+    const UnisonCache *uc = nullptr;
+    const AlloyCache *ac = nullptr;
+    switch (cache_->kind()) {
+      case DramCacheKind::Unison:
+        uc = static_cast<const UnisonCache *>(cache_.get());
+        break;
+      case DramCacheKind::Alloy:
+        ac = static_cast<const AlloyCache *>(cache_.get());
+        break;
+      case DramCacheKind::Other:
+        uc = dynamic_cast<const UnisonCache *>(cache_.get());
+        ac = dynamic_cast<const AlloyCache *>(cache_.get());
+        break;
+      default:
+        break;
+    }
+    if (uc != nullptr) {
         result.wpAccuracyPercent =
             uc->wayPredictorStats().accuracyPercent();
         if (uc->missPredictor() != nullptr) {
@@ -320,7 +428,7 @@ System::runLoop(Source &source, std::uint64_t total_accesses)
             result.mpOverfetchPercent =
                 uc->missPredictor()->stats().overfetchPercent();
         }
-    } else if (auto *ac = dynamic_cast<AlloyCache *>(cache_.get())) {
+    } else if (ac != nullptr) {
         if (ac->missPredictor() != nullptr) {
             result.mpAccuracyPercent =
                 ac->missPredictor()->stats().accuracyPercent();
@@ -328,7 +436,6 @@ System::runLoop(Source &source, std::uint64_t total_accesses)
                 ac->missPredictor()->stats().overfetchPercent();
         }
     }
-    return result;
 }
 
 } // namespace unison

@@ -132,6 +132,12 @@ class System
     /**
      * Play `total_accesses` references from `source` through the
      * system; the first warmFraction of them only warm state.
+     *
+     * The timing loop is monomorphized twice over: once on the
+     * concrete source type (AccessSourceKind) and once on the concrete
+     * cache type (DramCacheKind), so for every built-in design both
+     * the per-access next() and the per-access DramCache::access()
+     * devirtualize and inline. Unknown kinds take the virtual path.
      */
     SimResult run(AccessSource &source, std::uint64_t total_accesses);
 
@@ -143,10 +149,18 @@ class System
   private:
     void resetAllStats();
 
-    /** The timing loop, specialized per concrete source type so the
-     *  per-access next() call devirtualizes (see run()). */
+    /** Second dispatch stage: switch on the concrete cache kind. */
     template <typename Source>
-    SimResult runLoop(Source &source, std::uint64_t total_accesses);
+    SimResult dispatchCache(Source &source, std::uint64_t total_accesses);
+
+    /** The timing loop, monomorphized on (source, cache) so both
+     *  per-access calls devirtualize (see run()). */
+    template <typename Source, typename Cache>
+    SimResult runLoop(Source &source, Cache &cache,
+                      std::uint64_t total_accesses);
+
+    /** Predictor-accuracy SimResult fields (design-specific, cold). */
+    void fillPredictorStats(SimResult &result) const;
 
     SystemConfig config_;
     std::unique_ptr<DramModule> offchip_;

@@ -34,6 +34,26 @@ struct MemoryAccess
 };
 
 /**
+ * Concrete-type tag of an AccessSource.
+ *
+ * System::run monomorphizes its timing loop on the concrete source
+ * type so the per-access next() devirtualizes; the tag is how that
+ * once-per-run dispatch recovers the type. kind() is pure virtual on
+ * purpose: a newly added source type fails to compile until its author
+ * decides whether it gets a specialized loop (add an enum value and a
+ * case in System::run -- -Wswitch keeps the two in sync) or explicitly
+ * opts into the generic virtual-dispatch path with `Other`.
+ */
+enum class AccessSourceKind : std::uint8_t
+{
+    Synthetic, //!< SyntheticWorkload
+    Mixed,     //!< MixedWorkload
+    TraceFile, //!< TraceReader
+    Scenario,  //!< ScenarioSource (single-core; mixes embed it)
+    Other,     //!< explicit opt-in to the virtual slow path
+};
+
+/**
  * Anything that can produce per-core streams of MemoryAccess records:
  * the synthetic workload models, or a trace file reader.
  *
@@ -46,6 +66,9 @@ class AccessSource
 {
   public:
     virtual ~AccessSource() = default;
+
+    /** Concrete-type tag (see AccessSourceKind). */
+    virtual AccessSourceKind kind() const = 0;
 
     /**
      * Produce core `core`'s next reference.

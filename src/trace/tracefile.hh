@@ -99,7 +99,7 @@ class TraceWriter
 };
 
 /** Streaming reader; implements AccessSource so it plugs into System. */
-class TraceReader : public AccessSource
+class TraceReader final : public AccessSource
 {
   public:
     /** Open `path` and validate the header. Fatal on error. */
@@ -122,6 +122,10 @@ class TraceReader : public AccessSource
                           std::size_t max) override;
 
     int numCores() const override { return numCores_; }
+    AccessSourceKind kind() const override
+    {
+        return AccessSourceKind::TraceFile;
+    }
 
     std::uint64_t recordsRead() const { return count_; }
 

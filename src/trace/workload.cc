@@ -77,6 +77,10 @@ SyntheticWorkload::SyntheticWorkload(const WorkloadParams &params,
             wf * static_cast<double>(1u << 24));
         const double hi = 2.0 * params_.instrsPerMemRef - 1.0 + 0.5;
         instrSpan_ = static_cast<std::uint32_t>(std::max(hi, 1.0));
+        if (params_.blockRepeatMean > 1.0) {
+            geomRepeat_ = true;
+            geomDenom_ = Rng::geometricDenom(params_.blockRepeatMean);
+        }
     }
 
     buildFunctions();
@@ -314,7 +318,7 @@ SyntheticWorkload::emitFromEpisode(Episode &ep, int core,
             ep.pendingMask &= ep.pendingMask - 1;
         }
         const std::uint64_t repeats =
-            rng_.geometric(params_.blockRepeatMean);
+            geomRepeat_ ? rng_.geometricWith(geomDenom_) : 1;
         ep.repeatsLeft = static_cast<std::uint8_t>(
             std::min<std::uint64_t>(repeats, 64));
     }

@@ -132,6 +132,10 @@ class SyntheticWorkload final : public AccessSource
     std::size_t nextBatch(int core, MemoryAccess *out,
                           std::size_t max) override;
     int numCores() const override { return params_.numCores; }
+    AccessSourceKind kind() const override
+    {
+        return AccessSourceKind::Synthetic;
+    }
 
     const WorkloadParams &params() const { return params_; }
 
@@ -198,6 +202,11 @@ class SyntheticWorkload final : public AccessSource
     Pc chasePcBase_ = 0;
     std::uint32_t writeThresh24_ = 0; //!< writeFraction in 2^-24 units
     std::uint32_t instrSpan_ = 1;     //!< instrsBefore drawn from [1, span]
+    /** Precomputed log1p(-1/blockRepeatMean): the geometric repeat
+     *  draw runs once per distinct block, and the denominator log1p
+     *  is invariant (see Rng::geometricDenom). */
+    double geomDenom_ = 0.0;
+    bool geomRepeat_ = false; //!< blockRepeatMean > 1
 };
 
 /**

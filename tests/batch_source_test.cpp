@@ -88,6 +88,10 @@ TEST(BatchSource, DefaultNextBatchForwardsToNext)
             return true;
         }
         int numCores() const override { return 1; }
+        AccessSourceKind kind() const override
+        {
+            return AccessSourceKind::Other;
+        }
     };
 
     Counting source;

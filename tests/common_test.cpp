@@ -12,6 +12,7 @@
 
 #include "common/argparse.hh"
 #include "common/bitops.hh"
+#include "common/fastdiv.hh"
 #include "common/residue.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
@@ -97,6 +98,42 @@ TEST(Residue, LargeDivisors)
             const std::uint64_t v = rng.below(1ull << 40);
             EXPECT_EQ(div.modulo(v), v % div.divisor());
             EXPECT_EQ(div.divide(v), v / div.divisor());
+        }
+    }
+}
+
+TEST(FastDiv, MatchesHardwareDivisionExactly)
+{
+    // Divisors the address mappings actually use, plus adversarial
+    // ones (Mersenne-like, near powers of two, huge).
+    const std::uint64_t divisors[] = {
+        1, 2, 3, 4, 5, 7, 8, 15, 28, 31, 32, 112, 113, 960, 1984,
+        4096, 8191, 8192, 8193, 65535, 1'000'003, 87'381'000,
+        (1ull << 32) - 1, (1ull << 32) + 1, (1ull << 52) - 5,
+        ~0ull, ~0ull - 1};
+    Rng rng(77);
+    for (std::uint64_t d : divisors) {
+        const FastDiv64 fd(d);
+        EXPECT_EQ(fd.divisor(), d);
+        // Edges: 0, 1, d-1, d, d+1, multiples, and the u64 extremes.
+        const std::uint64_t edges[] = {
+            0, 1, d - 1, d, d + 1, 2 * d, 2 * d + 1, 17 * d,
+            ~0ull, ~0ull - 1, ~0ull / 2, 1ull << 63};
+        for (std::uint64_t n : edges) {
+            ASSERT_EQ(fd.div(n), n / d) << "n=" << n << " d=" << d;
+            ASSERT_EQ(fd.mod(n), n % d) << "n=" << n << " d=" << d;
+        }
+        for (int i = 0; i < 2000; ++i) {
+            std::uint64_t n = rng.next();
+            // Mix in small and mid-range numerators too.
+            if (i % 3 == 1)
+                n >>= 32;
+            if (i % 3 == 2)
+                n >>= 48;
+            std::uint64_t q, r;
+            fd.divMod(n, q, r);
+            ASSERT_EQ(q, n / d) << "n=" << n << " d=" << d;
+            ASSERT_EQ(r, n % d) << "n=" << n << " d=" << d;
         }
     }
 }

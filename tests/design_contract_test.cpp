@@ -187,6 +187,106 @@ TEST_P(DesignContract, LatencySaneUnderLightLoad)
     }
 }
 
+/**
+ * Golden end-to-end pins: one small experiment per design through the
+ * real System/runExperiment path, with every integer SimResult field
+ * compared against values captured before the SoA/devirtualization
+ * refactor. Any engine change that alters simulated behaviour -- tag
+ * scan order, victim choice, DRAM timing, refresh accounting, the
+ * scheduler -- trips these exact equalities. (Wall-clock-only
+ * optimizations keep them green; that is the point.)
+ */
+struct GoldenRow
+{
+    DesignKind kind;
+    std::uint64_t cycles, instructions, references;
+    std::uint64_t hits, misses, pageMisses, blockMisses, evictions;
+    std::uint64_t offchipDemand, offchipWriteback;
+    std::uint64_t offchipReads, offchipWrites, offchipRefreshes;
+    std::uint64_t stackedAccesses, stackedRefreshes;
+};
+
+void
+expectGolden(const SimResult &r, const GoldenRow &g)
+{
+    EXPECT_EQ(r.cycles, g.cycles);
+    EXPECT_EQ(r.instructions, g.instructions);
+    EXPECT_EQ(r.references, g.references);
+    EXPECT_EQ(r.cache.hits.value(), g.hits);
+    EXPECT_EQ(r.cache.misses.value(), g.misses);
+    EXPECT_EQ(r.cache.pageMisses.value(), g.pageMisses);
+    EXPECT_EQ(r.cache.blockMisses.value(), g.blockMisses);
+    EXPECT_EQ(r.cache.evictions.value(), g.evictions);
+    EXPECT_EQ(r.cache.offchipDemandBlocks.value(), g.offchipDemand);
+    EXPECT_EQ(r.cache.offchipWritebackBlocks.value(),
+              g.offchipWriteback);
+    EXPECT_EQ(r.offchip.reads, g.offchipReads);
+    EXPECT_EQ(r.offchip.writes, g.offchipWrites);
+    EXPECT_EQ(r.offchip.refreshes, g.offchipRefreshes);
+    EXPECT_EQ(r.stacked.reads + r.stacked.writes, g.stackedAccesses);
+    EXPECT_EQ(r.stacked.refreshes, g.stackedRefreshes);
+}
+
+TEST(DesignGolden, BitIdenticalSimResults)
+{
+    // Captured from the pre-refactor engine: 300k WebServing accesses,
+    // 64 MiB caches, seed 7 (measured window = the last 100k).
+    const GoldenRow golden[] = {
+        {DesignKind::Unison, 263061ull, 1296315ull, 100000ull, 3346ull,
+         1155ull, 1155ull, 0ull, 0ull, 872ull, 283ull, 13080ull, 283ull,
+         0ull, 9591ull, 0ull},
+        {DesignKind::Alloy, 164157ull, 1296704ull, 100000ull, 0ull,
+         4680ull, 0ull, 0ull, 95ull, 3483ull, 27ull, 3483ull, 27ull,
+         0ull, 9364ull, 0ull},
+        {DesignKind::Footprint, 339164ull, 1294320ull, 100000ull,
+         3739ull, 903ull, 903ull, 0ull, 0ull, 672ull, 231ull, 21504ull,
+         231ull, 0ull, 4411ull, 0ull},
+        {DesignKind::LohHill, 163555ull, 1296050ull, 100000ull, 0ull,
+         4773ull, 0ull, 0ull, 0ull, 3558ull, 1215ull, 3558ull, 1215ull,
+         0ull, 3558ull, 0ull},
+        {DesignKind::NaiveBlockFp, 268547ull, 1298368ull, 100000ull,
+         3517ull, 1113ull, 850ull, 11ull, 561ull, 861ull, 281ull,
+         13495ull, 281ull, 0ull, 19986ull, 0ull},
+        {DesignKind::NaiveTaggedPage, 360971ull, 1297028ull, 100000ull,
+         3716ull, 988ull, 939ull, 49ull, 44ull, 742ull, 281ull,
+         19346ull, 281ull, 0ull, 5274ull, 0ull},
+        {DesignKind::Ideal, 163669ull, 1297175ull, 100000ull, 4707ull,
+         0ull, 0ull, 0ull, 0ull, 0ull, 0ull, 0ull, 0ull, 0ull, 4707ull,
+         0ull},
+        {DesignKind::NoDramCache, 163567ull, 1295730ull, 100000ull,
+         0ull, 4643ull, 0ull, 0ull, 0ull, 3511ull, 1132ull, 3511ull,
+         1132ull, 0ull, 0ull, 0ull},
+    };
+
+    for (const GoldenRow &g : golden) {
+        ExperimentSpec spec;
+        spec.design = g.kind;
+        spec.capacityBytes = 64_MiB;
+        spec.accesses = 300'000;
+        spec.seed = 7;
+        const SimResult r = runExperiment(spec);
+        SCOPED_TRACE(designName(g.kind));
+        expectGolden(r, g);
+    }
+}
+
+TEST(DesignGolden, BitIdenticalMixedWorkload)
+{
+    // Same pin through the MixedWorkload loop specialization.
+    const GoldenRow g = {DesignKind::Unison, 815782ull, 1268372ull,
+                         100000ull, 5427ull, 3324ull, 3324ull, 0ull,
+                         5ull, 2970ull, 354ull, 40644ull, 354ull, 0ull,
+                         19847ull, 0ull};
+    ExperimentSpec spec;
+    spec.design = g.kind;
+    spec.capacityBytes = 64_MiB;
+    spec.accesses = 300'000;
+    spec.seed = 7;
+    spec.mix = parseMixSpec("webserving:8,chase:4,scan:4");
+    const SimResult r = runExperiment(spec);
+    expectGolden(r, g);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllDesigns, DesignContract,
     ::testing::Values(DesignKind::Unison, DesignKind::Alloy,

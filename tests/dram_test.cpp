@@ -253,5 +253,45 @@ TEST(DramRefresh, RateMatchesInterval)
     EXPECT_NEAR(static_cast<double>(dram.stats().refreshes), 100.0, 2.0);
 }
 
+TEST(DramRefresh, LongIdleGapCatchUpIsClosedFormIdentical)
+{
+    // A years-long idle gap (simulated time) must account every missed
+    // refresh window and produce the same timing as stepping windows
+    // one at a time -- the catch-up is computed in closed form, so
+    // this also has to return instantly rather than walk ~5 billion
+    // windows.
+    DramTimingParams params = offChipDramTiming();
+    params.tREFI = 6240;
+    DramOrganization org = offChipDramOrganization();
+    const DramTimingCpu t = DramTimingCpu::fromParams(params);
+
+    DramModule dram(org, params);
+    dram.rowAccess(7, 64, false, 0); // open a row, start the clock
+
+    const std::uint64_t windows = 5'000'000'000ull;
+    const Cycle idle_until = static_cast<Cycle>(windows) * t.refi + 17;
+    const DramAccessTiming after =
+        dram.rowAccess(7, 64, false, idle_until);
+
+    // Exactly `windows` boundaries elapsed in (0, idle_until].
+    EXPECT_EQ(dram.stats().refreshes, windows);
+    // The refresh closed the open row: not a row hit, and the access
+    // starts no earlier than the last window's tRFC shadow.
+    EXPECT_FALSE(after.rowHit);
+    EXPECT_GE(after.completion, idle_until);
+
+    // Same end state as a channel that slept through the same gap in
+    // two shorter hops (each hop catches up its own windows).
+    DramModule hops(org, params);
+    hops.rowAccess(7, 64, false, 0);
+    hops.rowAccess(9, 64, false,
+                   static_cast<Cycle>(windows / 2) * t.refi + 5);
+    const DramAccessTiming hop_after =
+        hops.rowAccess(7, 64, false, idle_until);
+    EXPECT_EQ(hops.stats().refreshes, windows);
+    EXPECT_EQ(hop_after.completion, after.completion);
+    EXPECT_EQ(hop_after.rowHit, after.rowHit);
+}
+
 } // namespace
 } // namespace unison
