@@ -66,51 +66,12 @@ main(int argc, char **argv)
         "no footprint pred (whole pages)",
     };
 
-    std::vector<ExperimentSpec> specs;
-    for (Workload w : kWorkloads) {
-        ExperimentSpec spec = baseSpec(opts);
-        spec.workload = w;
-        spec.capacityBytes = 1_GiB;
-
-        spec.design = DesignKind::NoDramCache;
-        specs.push_back(spec);
-        spec.design = DesignKind::Unison;
-
-        specs.push_back(spec);
-        {
-            ExperimentSpec s = spec;
-            s.unisonWayPolicy = UnisonWayPolicy::FetchAll;
-            specs.push_back(s);
-        }
-        {
-            ExperimentSpec s = spec;
-            s.unisonWayPolicy = UnisonWayPolicy::SerialTag;
-            specs.push_back(s);
-        }
-        {
-            ExperimentSpec s = spec;
-            s.unisonPageBlocks = 31;
-            specs.push_back(s);
-        }
-        {
-            ExperimentSpec s = spec;
-            s.unisonMissPolicy = UnisonMissPolicy::MapI;
-            specs.push_back(s);
-        }
-        {
-            ExperimentSpec s = spec;
-            s.singletonPrediction = false;
-            specs.push_back(s);
-        }
-        {
-            ExperimentSpec s = spec;
-            s.footprintPrediction = false;
-            specs.push_back(s);
-        }
-    }
-
+    // One nocache baseline plus seven Unison arms per workload; the
+    // grid lives in sim/figures.cc (shared with unison_sim).
+    const std::vector<GridPoint> points =
+        figureGrid("ablation", figureOptions(opts));
     const std::vector<SimResult> results =
-        bench::runAll(specs, opts, "ablation");
+        bench::runAll(points, opts, "ablation");
 
     std::size_t idx = 0;
     for (Workload w : kWorkloads) {
@@ -118,6 +79,7 @@ main(int argc, char **argv)
         for (const std::string &variant : variants)
             addRow(t, variant, w, results[idx++], base);
     }
+    expectConsumedAll(idx, results, "ablation");
 
     emit(t, opts, "Unison Cache ablations @ 1GB");
     std::printf(

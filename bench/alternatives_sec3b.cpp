@@ -47,23 +47,12 @@ main(int argc, char **argv)
     Table t({"workload", "design", "miss%", "dc_lat",
              "offchip blk/1K refs", "stacked B/ref", "speedup"});
 
-    std::vector<ExperimentSpec> specs;
-    for (Workload w : kWorkloads) {
-        ExperimentSpec spec = baseSpec(opts);
-        spec.workload = w;
-        spec.capacityBytes = 1_GiB;
-
-        spec.design = DesignKind::NoDramCache;
-        specs.push_back(spec);
-        for (DesignKind d : kDesigns) {
-            ExperimentSpec s = spec;
-            s.design = d;
-            specs.push_back(s);
-        }
-    }
-
+    // Each workload block is (nocache baseline, then kDesigns); the
+    // grid lives in sim/figures.cc (shared with unison_sim).
+    const std::vector<GridPoint> points =
+        figureGrid("alternatives", figureOptions(opts));
     const std::vector<SimResult> results =
-        bench::runAll(specs, opts, "alternatives");
+        bench::runAll(points, opts, "alternatives");
 
     std::size_t idx = 0;
     for (Workload w : kWorkloads) {
@@ -86,6 +75,7 @@ main(int argc, char **argv)
             t.add(base.uipc > 0.0 ? r.uipc / base.uipc : 0.0, 3);
         }
     }
+    expectConsumedAll(idx, results, "alternatives");
 
     emit(t, opts, "Sec. III-B design alternatives @ 1GB");
     std::printf(

@@ -66,20 +66,12 @@ main(int argc, char **argv)
         Table t({"workload", "assoc", "miss%", "model conflict%"});
         const std::vector<Workload> workloads = {Workload::WebServing,
                                                  Workload::DataServing};
-        std::vector<ExperimentSpec> specs;
-        for (Workload w : workloads) {
-            for (std::uint32_t assoc : {1u, 2u, 4u, 8u, 32u}) {
-                ExperimentSpec spec = baseSpec(opts);
-                spec.workload = w;
-                spec.design = DesignKind::Unison;
-                spec.capacityBytes = 128_MiB;
-                spec.unisonAssoc = assoc;
-                specs.push_back(spec);
-            }
-        }
-
+        // workload x associativity at 128 MB; the grid lives in
+        // sim/figures.cc (shared with unison_sim).
+        const std::vector<GridPoint> points =
+            figureGrid("analytical", figureOptions(opts));
         const std::vector<SimResult> results =
-            runAll(specs, opts, "analytical");
+            runAll(points, opts, "analytical");
 
         std::size_t idx = 0;
         for (Workload w : workloads) {
@@ -98,6 +90,7 @@ main(int argc, char **argv)
                 t.add(model, 2);
             }
         }
+        expectConsumedAll(idx, results, "analytical");
         emit(t, opts,
              "Simulated UC miss ratio vs the model's conflict share "
              "(128MB, 960B pages)");

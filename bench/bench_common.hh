@@ -16,7 +16,9 @@
 #include "common/argparse.hh"
 #include "common/logging.hh"
 #include "sim/experiment.hh"
+#include "sim/figures.hh"
 #include "sim/runner.hh"
+#include "sim/sweep.hh"
 #include "stats/table.hh"
 
 namespace unison {
@@ -73,29 +75,53 @@ parseThreads(const ArgParser &args)
 }
 
 /**
- * Run a sweep of independent specs on `threads` workers, with
- * progress on stderr. Results come back in spec order and are
- * identical for any thread count.
+ * Run a sweep grid on `threads` workers, with per-point progress on
+ * stderr ("tag: [k/n] <label> done" -- the grid's stable labels, not a
+ * bare counter). Results come back in point order and are identical
+ * for any thread count.
  */
 inline std::vector<SimResult>
-runAll(const std::vector<ExperimentSpec> &specs, int threads,
+runAll(const std::vector<GridPoint> &points, int threads,
        const char *tag)
 {
+    std::vector<ExperimentSpec> specs;
+    specs.reserve(points.size());
+    for (const GridPoint &point : points)
+        specs.push_back(point.spec);
+
     std::size_t done = 0;
     return runExperiments(
         specs, threads,
-        [&done, &specs, tag](std::size_t, const SimResult &) {
+        [&done, &points, tag](std::size_t index, const SimResult &) {
             ++done;
-            std::fprintf(stderr, "%s: %zu/%zu experiments done\n", tag,
-                         done, specs.size());
+            std::fprintf(stderr, "%s: [%zu/%zu] %s done\n", tag, done,
+                         points.size(), points[index].label.c_str());
         });
 }
 
 inline std::vector<SimResult>
-runAll(const std::vector<ExperimentSpec> &specs, const BenchOptions &opts,
+runAll(const std::vector<GridPoint> &points, const BenchOptions &opts,
        const char *tag)
 {
-    return runAll(specs, opts.threads, tag);
+    return runAll(points, opts.threads, tag);
+}
+
+/**
+ * Guard for positional result consumption: benches that regroup a
+ * figure grid's results with their own row loops must walk exactly
+ * the points the grid ran, or the table would print numbers under the
+ * wrong rows after a grid edit in sim/figures.cc.
+ */
+inline void
+expectConsumedAll(std::size_t consumed,
+                  const std::vector<SimResult> &results,
+                  const char *tag)
+{
+    if (consumed != results.size())
+        panic(tag, ": bench rows consumed ", consumed, " of ",
+              results.size(),
+              " grid results -- row loops are out of sync with the "
+              "figure grid in sim/figures.cc");
 }
 
 /** Geometric mean of a series (used for Fig. 7's summary panel). */
@@ -131,6 +157,16 @@ baseSpec(const BenchOptions &opts)
     spec.quick = opts.quick;
     spec.seed = opts.seed;
     return spec;
+}
+
+/** The figure-grid options slice of the shared bench options. */
+inline FigureOptions
+figureOptions(const BenchOptions &opts)
+{
+    FigureOptions fig;
+    fig.quick = opts.quick;
+    fig.seed = opts.seed;
+    return fig;
 }
 
 } // namespace bench

@@ -39,19 +39,11 @@ main(int argc, char **argv)
 
     const std::vector<DesignKind> designs = {
         DesignKind::Alloy, DesignKind::Footprint, DesignKind::Unison};
-    std::vector<ExperimentSpec> specs;
-    for (Workload w : allWorkloads()) {
-        for (DesignKind d : designs) {
-            ExperimentSpec spec = baseSpec(opts);
-            spec.workload = w;
-            spec.capacityBytes =
-                (w == Workload::TpchQueries) ? 4_GiB : 1_GiB;
-            spec.design = d;
-            specs.push_back(spec);
-        }
-    }
-
-    const std::vector<SimResult> results = runAll(specs, opts, "energy");
+    // workload x design (4 GB cache for TPC-H, 1 GB else); the grid
+    // lives in sim/figures.cc (shared with unison_sim).
+    const std::vector<GridPoint> points =
+        figureGrid("energy", figureOptions(opts));
+    const std::vector<SimResult> results = runAll(points, opts, "energy");
 
     std::size_t idx = 0;
     for (Workload w : allWorkloads()) {
@@ -89,6 +81,7 @@ main(int argc, char **argv)
                   3);
         }
     }
+    expectConsumedAll(idx, results, "energy");
     emit(t, opts,
          "Sec. V-D: off-chip row activations and dynamic DRAM energy "
          "(normalized to Alloy)");

@@ -23,40 +23,25 @@ main(int argc, char **argv)
     Table t({"workload", "capacity", "1-way miss%", "4-way miss%",
              "32-way miss%"});
 
-    struct Row
-    {
-        Workload w;
-        std::uint64_t cap;
-    };
-    std::vector<ExperimentSpec> specs;
-    std::vector<Row> rows;
-    for (Workload w : allWorkloads()) {
-        const bool tpch = (w == Workload::TpchQueries);
-        const std::uint64_t sizes[2] = {tpch ? 1_GiB : 128_MiB,
-                                        tpch ? 8_GiB : 1_GiB};
-        for (std::uint64_t cap : sizes) {
-            rows.push_back({w, cap});
-            for (std::uint32_t assoc : {1u, 4u, 32u}) {
-                ExperimentSpec spec = baseSpec(opts);
-                spec.workload = w;
-                spec.design = DesignKind::Unison;
-                spec.capacityBytes = cap;
-                spec.unisonAssoc = assoc;
-                specs.push_back(spec);
-            }
-        }
-    }
-
-    const std::vector<SimResult> results = runAll(specs, opts, "fig5");
+    // The grid lives in sim/figures.cc (shared with unison_sim);
+    // point order is workload -> capacity -> associativity.
+    const std::vector<GridPoint> points =
+        figureGrid("fig5", figureOptions(opts));
+    const std::vector<SimResult> results = runAll(points, opts, "fig5");
 
     std::size_t idx = 0;
-    for (const Row &row : rows) {
-        t.beginRow();
-        t.add(workloadName(row.w));
-        t.add(formatSize(row.cap));
-        for (int a = 0; a < 3; ++a)
-            t.add(results[idx++].missRatioPercent(), 1);
+    for (Workload w : allWorkloads()) {
+        const bool tpch = (w == Workload::TpchQueries);
+        for (std::uint64_t cap : {tpch ? 1_GiB : 128_MiB,
+                                  tpch ? 8_GiB : 1_GiB}) {
+            t.beginRow();
+            t.add(workloadName(w));
+            t.add(formatSize(cap));
+            for (int a = 0; a < 3; ++a)
+                t.add(results[idx++].missRatioPercent(), 1);
+        }
     }
+    expectConsumedAll(idx, results, "fig5");
     emit(t, opts,
          "Figure 5: Unison Cache miss ratio vs associativity "
          "(960B pages)");

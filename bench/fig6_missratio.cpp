@@ -22,19 +22,22 @@ main(int argc, char **argv)
     const BenchOptions opts = parseBenchArgs(
         argc, argv, "Figure 6: miss ratio vs capacity");
 
-    Table t({"workload", "capacity", "Alloy miss%", "Footprint miss%",
-             "Unison miss%"});
-
-    // One spec per (workload, capacity, design); rows regroup them.
+    // Column labels come from the registry (fig6's design axis).
     const std::vector<DesignKind> designs = {
         DesignKind::Alloy, DesignKind::Footprint, DesignKind::Unison};
-    struct Row
-    {
-        Workload w;
-        std::uint64_t cap;
-    };
-    std::vector<ExperimentSpec> specs;
-    std::vector<Row> rows;
+    std::vector<std::string> columns = {"workload", "capacity"};
+    for (DesignKind d : designs)
+        columns.push_back(
+            DesignRegistry::instance().byKind(d).shortName + " miss%");
+    Table t(columns);
+
+    // The grid lives in sim/figures.cc (shared with unison_sim);
+    // point order is workload -> capacity -> design.
+    const std::vector<GridPoint> points =
+        figureGrid("fig6", figureOptions(opts));
+    const std::vector<SimResult> results = runAll(points, opts, "fig6");
+
+    std::size_t idx = 0;
     for (Workload w : allWorkloads()) {
         const bool tpch = (w == Workload::TpchQueries);
         const std::vector<std::uint64_t> sizes =
@@ -42,27 +45,14 @@ main(int argc, char **argv)
                  : std::vector<std::uint64_t>{128_MiB, 256_MiB, 512_MiB,
                                               1_GiB};
         for (std::uint64_t cap : sizes) {
-            rows.push_back({w, cap});
-            for (DesignKind d : designs) {
-                ExperimentSpec spec = baseSpec(opts);
-                spec.workload = w;
-                spec.capacityBytes = cap;
-                spec.design = d;
-                specs.push_back(spec);
-            }
+            t.beginRow();
+            t.add(workloadName(w));
+            t.add(formatSize(cap));
+            for (std::size_t d = 0; d < designs.size(); ++d)
+                t.add(results[idx++].missRatioPercent(), 1);
         }
     }
-
-    const std::vector<SimResult> results = runAll(specs, opts, "fig6");
-
-    std::size_t idx = 0;
-    for (const Row &row : rows) {
-        t.beginRow();
-        t.add(workloadName(row.w));
-        t.add(formatSize(row.cap));
-        for (std::size_t d = 0; d < designs.size(); ++d)
-            t.add(results[idx++].missRatioPercent(), 1);
-    }
+    expectConsumedAll(idx, results, "fig6");
     emit(t, opts, "Figure 6: miss ratio comparison");
     std::printf(
         "\nPaper reference: Alloy has by far the highest miss ratio "

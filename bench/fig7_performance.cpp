@@ -29,34 +29,22 @@ main(int argc, char **argv)
         DesignKind::Alloy, DesignKind::Footprint, DesignKind::Unison,
         DesignKind::Ideal};
 
-    Table t({"workload", "capacity", "Alloy", "Footprint", "Unison",
-             "Ideal"});
+    // Column labels come from the registry (fig7's design axis).
+    std::vector<std::string> columns = {"workload", "capacity"};
+    for (DesignKind d : designs)
+        columns.push_back(
+            DesignRegistry::instance().byKind(d).shortName);
+    Table t(columns);
     // speedups[design][size] across workloads, for the geomean panel.
     std::map<DesignKind, std::map<std::uint64_t, std::vector<double>>>
         speedups;
 
-    // One no-DRAM-cache baseline per workload (capacity-independent)
-    // followed by every (capacity, design) point of that workload.
-    std::vector<ExperimentSpec> specs;
-    for (Workload w : cloudSuiteWorkloads()) {
-        ExperimentSpec base_spec = baseSpec(opts);
-        base_spec.workload = w;
-        base_spec.capacityBytes = sizes.back();
-        base_spec.design = DesignKind::NoDramCache;
-        specs.push_back(base_spec);
-
-        for (std::uint64_t cap : sizes) {
-            for (DesignKind d : designs) {
-                ExperimentSpec spec = baseSpec(opts);
-                spec.workload = w;
-                spec.capacityBytes = cap;
-                spec.design = d;
-                specs.push_back(spec);
-            }
-        }
-    }
-
-    const std::vector<SimResult> results = runAll(specs, opts, "fig7");
+    // The grid lives in sim/figures.cc (shared with unison_sim): one
+    // no-DRAM-cache baseline per workload, then that workload's
+    // (capacity x design) block.
+    const std::vector<GridPoint> points =
+        figureGrid("fig7", figureOptions(opts));
+    const std::vector<SimResult> results = runAll(points, opts, "fig7");
 
     std::size_t idx = 0;
     for (Workload w : cloudSuiteWorkloads()) {
@@ -74,6 +62,7 @@ main(int argc, char **argv)
             }
         }
     }
+    expectConsumedAll(idx, results, "fig7");
 
     for (std::uint64_t cap : sizes) {
         t.beginRow();

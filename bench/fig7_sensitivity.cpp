@@ -67,33 +67,17 @@ main(int argc, char **argv)
         argc, argv,
         "Fig. 7 sensitivity: AC-vs-UC ordering vs page-level reuse");
 
-    const std::uint64_t capacity = 64_MiB;
-    const std::uint64_t accesses = opts.quick ? 2'500'000 : 10'000'000;
-
     Table t({"region zipf", "AC miss%", "AC offchip blk/1K", "AC speedup",
              "UC miss%", "UC offchip blk/1K", "UC speedup", "leader"});
 
     const std::vector<double> alphas = {0.60, 0.85, 1.00, 1.10, 1.20};
 
-    // Three experiments per alpha: no-cache baseline, Alloy, Unison.
-    std::vector<ExperimentSpec> specs;
-    for (double alpha : alphas) {
-        WorkloadParams p = workloadParams(Workload::DataServing);
-        p.regionZipfAlpha = alpha;
-
-        ExperimentSpec spec;
-        spec.customWorkload = p;
-        spec.capacityBytes = capacity;
-        spec.accesses = accesses;
-        for (DesignKind d : {DesignKind::NoDramCache, DesignKind::Alloy,
-                             DesignKind::Unison}) {
-            spec.design = d;
-            specs.push_back(spec);
-        }
-    }
-
+    // Three experiments per alpha (no-cache baseline, Alloy, Unison);
+    // the grid lives in sim/figures.cc (shared with unison_sim).
+    const std::vector<GridPoint> points =
+        figureGrid("fig7sens", figureOptions(opts));
     const std::vector<SimResult> results =
-        bench::runAll(specs, opts, "sensitivity");
+        bench::runAll(points, opts, "sensitivity");
 
     std::size_t idx = 0;
     for (double alpha : alphas) {
@@ -112,6 +96,7 @@ main(int argc, char **argv)
         t.add(uc.speedup >= ac.speedup ? std::string("Unison")
                                        : std::string("Alloy"));
     }
+    expectConsumedAll(idx, results, "sensitivity");
 
     emit(t, opts,
          "AC vs UC (Data Serving base, 64MB) as page-level temporal "

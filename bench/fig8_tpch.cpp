@@ -21,27 +21,24 @@ main(int argc, char **argv)
     const BenchOptions opts = parseBenchArgs(
         argc, argv, "Figure 8: TPC-H speedup, 1-8GB caches");
 
-    Table t({"capacity", "Alloy", "Footprint", "Unison", "Ideal"});
-
     const std::vector<std::uint64_t> sizes = {1_GiB, 2_GiB, 4_GiB,
                                               8_GiB};
     const std::vector<DesignKind> designs = {
         DesignKind::Alloy, DesignKind::Footprint, DesignKind::Unison,
         DesignKind::Ideal};
-    std::vector<ExperimentSpec> specs;
-    for (std::uint64_t cap : sizes) {
-        ExperimentSpec spec = baseSpec(opts);
-        spec.workload = Workload::TpchQueries;
-        spec.capacityBytes = cap;
-        spec.design = DesignKind::NoDramCache;
-        specs.push_back(spec);
-        for (DesignKind d : designs) {
-            spec.design = d;
-            specs.push_back(spec);
-        }
-    }
 
-    const std::vector<SimResult> results = runAll(specs, opts, "fig8");
+    // Column labels come from the registry (fig8's design axis).
+    std::vector<std::string> columns = {"capacity"};
+    for (DesignKind d : designs)
+        columns.push_back(
+            DesignRegistry::instance().byKind(d).shortName);
+    Table t(columns);
+
+    // The grid lives in sim/figures.cc (shared with unison_sim);
+    // each capacity block is (nocache baseline, then the designs).
+    const std::vector<GridPoint> points =
+        figureGrid("fig8", figureOptions(opts));
+    const std::vector<SimResult> results = runAll(points, opts, "fig8");
 
     std::size_t idx = 0;
     for (std::uint64_t cap : sizes) {
@@ -53,6 +50,7 @@ main(int argc, char **argv)
             t.add(base.uipc > 0.0 ? r.uipc / base.uipc : 0.0, 2);
         }
     }
+    expectConsumedAll(idx, results, "fig8");
     emit(t, opts, "Figure 8: TPC-H queries speedup");
     return 0;
 }

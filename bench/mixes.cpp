@@ -57,7 +57,6 @@ main(int argc, char **argv)
         fatal("--cores must be an even count in [2, 64], got ",
               cores_arg);
     const int cores = static_cast<int>(cores_arg);
-    const int half = cores / 2;
 
     const std::uint64_t capacity = parseSize(args.getString("capacity"));
     std::uint64_t accesses = args.getUint("accesses");
@@ -69,59 +68,24 @@ main(int argc, char **argv)
         accesses - accesses % static_cast<std::uint64_t>(cores),
         static_cast<std::uint64_t>(cores));
 
-    struct NamedMix
-    {
-        std::string title;
-        std::vector<MixPart> parts;
-    };
-    std::vector<NamedMix> mixes = {
-        {"web+tpch",
-         {mixPreset(Workload::WebServing, half),
-          mixPreset(Workload::TpchQueries, half)}},
-        {"serving+analytics",
-         {mixPreset(Workload::DataServing, half),
-          mixPreset(Workload::DataAnalytics, half)}},
-        {"scan+chase",
-         {mixScenario(ScenarioKind::StreamScan, half),
-          mixScenario(ScenarioKind::PointerChase, half)}},
-        {"gups+web",
-         {mixScenario(ScenarioKind::RandomUpdate, half),
-          mixPreset(Workload::WebServing, half)}},
-        {"prodcons",
-         {mixScenario(ScenarioKind::ProducerConsumer, cores)}},
-    };
+    // The five standard consolidation mixes come from sim/figures.cc
+    // (shared with unison_sim's "mixes" grid); --mix appends a custom
+    // one.
+    std::vector<NamedMix> mixes = standardMixes(cores);
     if (args.wasProvided("mix")) {
         const std::string text = args.getString("mix");
         mixes.push_back({text, parseMixSpec(text)});
     }
 
-    // NoDramCache first: it is the weighted-speedup baseline.
+    // NoDramCache first: it is the weighted-speedup baseline (the
+    // grid's design axis order).
     const std::vector<DesignKind> designs = {
         DesignKind::NoDramCache, DesignKind::Alloy,
         DesignKind::Footprint, DesignKind::Unison};
 
-    std::vector<ExperimentSpec> specs;
-    for (const NamedMix &mix : mixes) {
-        for (DesignKind d : designs) {
-            ExperimentSpec spec;
-            spec.design = d;
-            spec.mix = mix.parts;
-            spec.capacityBytes = capacity;
-            spec.accesses = accesses;
-            spec.seed = opts.seed;
-            spec.quick = opts.quick;
-            spec.system.numCores = cores;
-            // Explicit measurement methodology: the first half of the
-            // references only warms state, and every core gets the
-            // same reference budget (fixed work per program).
-            spec.system.warmupAccesses = accesses / 2;
-            spec.system.perCoreAccessBudget =
-                accesses / static_cast<std::uint64_t>(cores);
-            specs.push_back(spec);
-        }
-    }
-
-    const std::vector<SimResult> results = runAll(specs, opts, "mixes");
+    const std::vector<GridPoint> points = mixesGrid(
+        mixes, capacity, accesses, cores, figureOptions(opts));
+    const std::vector<SimResult> results = runAll(points, opts, "mixes");
 
     Table per_core({"mix", "design", "core", "workload", "refs",
                     "uipc", "amat_cycles"});
@@ -158,6 +122,7 @@ main(int argc, char **argv)
             summary.add(ws_cores ? ws_sum / ws_cores : 0.0, 3);
         }
     }
+    expectConsumedAll(idx, results, "mixes");
 
     emit(per_core, opts, "Per-core breakdown (measured window)");
     emit(summary, opts,

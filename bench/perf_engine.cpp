@@ -190,22 +190,19 @@ main(int argc, char **argv)
     sweep.name = "figure sweep";
     std::size_t sweep_experiments = 0;
     {
+        SweepGrid grid;
+        grid.base().quick = quick;
+        grid.base().seed = seed;
+        grid.overWorkloads({Workload::WebServing,
+                            Workload::DataServing})
+            .overCapacities({128_MiB, 256_MiB})
+            .overDesigns({DesignKind::Unison, DesignKind::Alloy});
+
         std::vector<ExperimentSpec> specs;
-        for (Workload w :
-             {Workload::WebServing, Workload::DataServing}) {
-            for (std::uint64_t cap : {128_MiB, 256_MiB}) {
-                for (DesignKind d :
-                     {DesignKind::Unison, DesignKind::Alloy}) {
-                    ExperimentSpec spec;
-                    spec.workload = w;
-                    spec.design = d;
-                    spec.capacityBytes = cap;
-                    spec.quick = quick;
-                    spec.seed = seed;
-                    specs.push_back(spec);
-                    sweep.accesses += defaultAccessCount(cap, quick);
-                }
-            }
+        for (const GridPoint &point : grid.points()) {
+            specs.push_back(point.spec);
+            sweep.accesses +=
+                defaultAccessCount(point.spec.capacityBytes, quick);
         }
         sweep_experiments = specs.size();
         const auto t0 = Clock::now();

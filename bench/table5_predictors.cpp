@@ -26,32 +26,12 @@ main(int argc, char **argv)
              "UC960 WP acc%", "UC1984 FP acc%", "UC1984 FP over%",
              "UC1984 WP acc%"});
 
-    // Four experiments per workload: Alloy, Footprint, Unison@960B
-    // and Unison@1984B pages.
-    std::vector<ExperimentSpec> specs;
-    for (Workload w : allWorkloads()) {
-        const std::uint64_t cap =
-            (w == Workload::TpchQueries) ? 8_GiB : 1_GiB;
-
-        ExperimentSpec spec = baseSpec(opts);
-        spec.workload = w;
-        spec.capacityBytes = cap;
-
-        spec.design = DesignKind::Alloy;
-        specs.push_back(spec);
-
-        spec.design = DesignKind::Footprint;
-        specs.push_back(spec);
-
-        spec.design = DesignKind::Unison;
-        spec.unisonPageBlocks = 15;
-        specs.push_back(spec);
-
-        spec.unisonPageBlocks = 31;
-        specs.push_back(spec);
-    }
-
-    const std::vector<SimResult> results = runAll(specs, opts, "table5");
+    // Four experiments per workload (Alloy, Footprint, Unison@960B,
+    // Unison@1984B); the grid lives in sim/figures.cc (shared with
+    // unison_sim).
+    const std::vector<GridPoint> points =
+        figureGrid("table5", figureOptions(opts));
+    const std::vector<SimResult> results = runAll(points, opts, "table5");
 
     std::size_t idx = 0;
     for (Workload w : allWorkloads()) {
@@ -73,6 +53,7 @@ main(int argc, char **argv)
         t.add(uc1984.cache.fpOverfetchPercent(), 1);
         t.add(uc1984.wpAccuracyPercent, 1);
     }
+    expectConsumedAll(idx, results, "table5");
     emit(t, opts, "Table V: predictor accuracy");
     std::printf(
         "\nPaper reference (Table V): MP acc 89-97%%; FC FP acc "

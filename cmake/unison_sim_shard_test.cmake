@@ -1,0 +1,77 @@
+# ctest helper: a grid run sharded 0/2 + 1/2 through unison_sim and
+# merged must be byte-identical to the unsharded run's JSON output --
+# the guarantee that lets sweeps spread across processes or hosts with
+# no coordination beyond the spec file. Also smoke-tests --list.
+# Invoked as:
+#   cmake -DUNISON_SIM_BIN=<path> -DSMOKE_SPEC=<specs/smoke.json>
+#         -DWORK_DIR=<dir> -P unison_sim_shard_test.cmake
+if(NOT UNISON_SIM_BIN)
+  message(FATAL_ERROR "UNISON_SIM_BIN not set")
+endif()
+if(NOT SMOKE_SPEC)
+  message(FATAL_ERROR "SMOKE_SPEC not set")
+endif()
+if(NOT WORK_DIR)
+  message(FATAL_ERROR "WORK_DIR not set")
+endif()
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+execute_process(
+  COMMAND ${UNISON_SIM_BIN} --list
+  OUTPUT_VARIABLE list_out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "unison_sim --list failed (${rc})")
+endif()
+foreach(needle "unison" "fig7" "webserving")
+  string(FIND "${list_out}" "${needle}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "--list output is missing '${needle}'")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${UNISON_SIM_BIN} --spec ${SMOKE_SPEC} --format json
+          --out ${WORK_DIR}/full.json
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "unsharded run failed (${rc}):\n${err}")
+endif()
+
+execute_process(
+  COMMAND ${UNISON_SIM_BIN} --spec ${SMOKE_SPEC} --format json
+          --shard 0/2 --out ${WORK_DIR}/s0.json
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "shard 0/2 failed (${rc}):\n${err}")
+endif()
+
+execute_process(
+  COMMAND ${UNISON_SIM_BIN} --spec ${SMOKE_SPEC} --format json
+          --shard 1/2 --out ${WORK_DIR}/s1.json
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "shard 1/2 failed (${rc}):\n${err}")
+endif()
+
+execute_process(
+  COMMAND ${UNISON_SIM_BIN}
+          --merge ${WORK_DIR}/s0.json,${WORK_DIR}/s1.json
+          --out ${WORK_DIR}/merged.json
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "merge failed (${rc}):\n${err}")
+endif()
+
+file(READ ${WORK_DIR}/full.json full)
+file(READ ${WORK_DIR}/merged.json merged)
+if(NOT full STREQUAL merged)
+  message(FATAL_ERROR
+    "merged shard results differ from the unsharded run\n"
+    "--- full ---\n${full}\n--- merged ---\n${merged}")
+endif()
+
+string(LENGTH "${full}" full_len)
+if(full_len EQUAL 0)
+  message(FATAL_ERROR "unison_sim produced no JSON output")
+endif()

@@ -48,14 +48,10 @@ main(int argc, char **argv)
     Table table({"design", "miss%", "fp_acc%", "fp_over%", "wp_acc%",
                  "dc_lat", "st_rowhit%", "oc_rowhit%", "offchip_blk",
                  "uipc", "speedup"});
-    std::vector<ExperimentSpec> specs;
-    for (DesignKind d : designs) {
-        ExperimentSpec s = spec;
-        s.design = d;
-        specs.push_back(s);
-    }
+    SweepGrid grid(spec);
+    grid.overDesigns(designs);
     const std::vector<SimResult> results = bench::runAll(
-        specs, bench::parseThreads(args),
+        grid.points(), bench::parseThreads(args),
         "design_comparison");
 
     double base_uipc = 0.0;

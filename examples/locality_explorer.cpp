@@ -51,7 +51,9 @@ main(int argc, char **argv)
     Table table({"locality profile", "miss%", "fp_acc%", "fp_over%",
                  "offchip blocks/ref", "uipc"});
 
-    std::vector<ExperimentSpec> specs;
+    // One locality profile per axis value, each a custom synthetic
+    // workload under the same Unison Cache.
+    std::vector<SweepGrid::AxisValue> profiles;
     for (const Point &pt : sweep) {
         WorkloadParams params; // neutral base, 8 GB dataset
         params.name = pt.label;
@@ -64,17 +66,20 @@ main(int argc, char **argv)
         params.scanStretchMean = pt.footprint_blocks >= 16 ? 8.0 : 1.5;
         params.blockRepeatMean = 12.0;
         params.instrsPerMemRef = 10.0;
-
-        ExperimentSpec spec;
-        spec.customWorkload = params;
-        spec.design = DesignKind::Unison;
-        spec.capacityBytes = capacity;
-        spec.accesses = accesses;
-        specs.push_back(spec);
+        profiles.push_back({pt.label, [params](ExperimentSpec &spec) {
+                                spec.customWorkload = params;
+                            }});
     }
 
+    ExperimentSpec base;
+    base.design = DesignKind::Unison;
+    base.capacityBytes = capacity;
+    base.accesses = accesses;
+    SweepGrid grid(base);
+    grid.over("profile", std::move(profiles));
+
     const std::vector<SimResult> results = bench::runAll(
-        specs, bench::parseThreads(args),
+        grid.points(), bench::parseThreads(args),
         "locality_explorer");
 
     for (std::size_t i = 0; i < results.size(); ++i) {

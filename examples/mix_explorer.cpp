@@ -48,37 +48,34 @@ main(int argc, char **argv)
     std::uint64_t warmup = args.getUint("warmup");
     if (warmup == 0)
         warmup = accesses / 2;
-    if (warmup >= accesses)
-        fatal("--warmup (", warmup, ") must leave a measured window "
-              "inside --accesses (", accesses, ")");
+    // A warmup window that swallows --accesses is rejected by
+    // ExperimentSpec::validate() with an actionable message.
 
     const std::vector<DesignKind> designs = {
         DesignKind::NoDramCache, DesignKind::Alloy,
         DesignKind::Footprint, DesignKind::Unison};
 
-    std::vector<ExperimentSpec> specs;
-    for (DesignKind d : designs) {
-        ExperimentSpec spec;
-        spec.design = d;
-        spec.mix = parts;
-        spec.capacityBytes = parseSize(args.getString("capacity"));
-        spec.accesses = accesses;
-        spec.seed = args.getUint("seed");
-        spec.system.numCores = cores;
-        spec.system.warmupAccesses = warmup;
-        spec.system.perCoreAccessBudget =
-            accesses / static_cast<std::uint64_t>(cores);
-        specs.push_back(spec);
-    }
+    ExperimentSpec base_spec;
+    base_spec.mix = parts;
+    base_spec.capacityBytes = parseSize(args.getString("capacity"));
+    base_spec.accesses = accesses;
+    base_spec.seed = args.getUint("seed");
+    base_spec.system.numCores = cores;
+    base_spec.system.warmupAccesses = warmup;
+    base_spec.system.perCoreAccessBudget =
+        accesses / static_cast<std::uint64_t>(cores);
+
+    SweepGrid grid(base_spec);
+    grid.overDesigns(designs);
 
     std::printf("mix %s on %d cores, %s cache, %llu refs (%llu warm)\n",
-                specWorkloadName(specs[0]).c_str(), cores,
-                formatSize(specs[0].capacityBytes).c_str(),
+                specWorkloadName(base_spec).c_str(), cores,
+                formatSize(base_spec.capacityBytes).c_str(),
                 static_cast<unsigned long long>(accesses),
                 static_cast<unsigned long long>(warmup));
 
-    const std::vector<SimResult> results =
-        bench::runAll(specs, bench::parseThreads(args), "mix_explorer");
+    const std::vector<SimResult> results = bench::runAll(
+        grid.points(), bench::parseThreads(args), "mix_explorer");
 
     Table t({"design", "core", "workload", "refs", "uipc",
              "amat_cycles", "speedup_vs_nocache"});

@@ -70,55 +70,61 @@ main(int argc, char **argv)
 
     ExperimentSpec base;
     base.workload = w;
-    base.design = DesignKind::Unison;
     base.capacityBytes = capacity;
     base.accesses = accesses;
     base.seed = seed;
 
+    // Each variant is a full typed UnisonConfig -- the same struct the
+    // cache is constructed from, tweaked field by field (no flat
+    // spec knobs to mirror).
     std::vector<std::string> labels;
-    std::vector<ExperimentSpec> specs;
+    std::vector<SweepGrid::AxisValue> variants;
+    const auto add_variant = [&](const std::string &label,
+                                 const UnisonConfig &config) {
+        labels.push_back(label);
+        variants.push_back({label, [config](ExperimentSpec &spec) {
+                                spec.design = config;
+                            }});
+    };
 
     // The paper's configuration (144 KB FHT, Table II).
-    labels.push_back("paper: 24K-entry FHT (144KB)");
-    specs.push_back(base);
+    add_variant("paper: 24K-entry FHT (144KB)", UnisonConfig{});
 
     // A quarter-size FHT: more aliasing, lower accuracy.
     {
-        ExperimentSpec spec = base;
-        spec.unisonFhtEntries = 6 * 1024;
-        labels.push_back("6K-entry FHT (36KB)");
-        specs.push_back(spec);
+        UnisonConfig config;
+        config.fhtConfig.numEntries = 6 * 1024;
+        add_variant("6K-entry FHT (36KB)", config);
     }
 
     // A direct-mapped FHT of similar size: cheaper lookups, but
     // conflict evictions in the history table itself (set count must
     // stay a power of two).
     {
-        ExperimentSpec spec = base;
-        spec.unisonFhtEntries = 16 * 1024;
-        spec.unisonFhtAssoc = 1;
-        labels.push_back("direct-mapped 16K-entry FHT");
-        specs.push_back(spec);
+        UnisonConfig config;
+        config.fhtConfig.numEntries = 16 * 1024;
+        config.fhtConfig.assoc = 1;
+        add_variant("direct-mapped 16K-entry FHT", config);
     }
 
     // No singleton bypass: singleton pages burn whole page frames.
     {
-        ExperimentSpec spec = base;
-        spec.singletonPrediction = false;
-        labels.push_back("no singleton bypass");
-        specs.push_back(spec);
+        UnisonConfig config;
+        config.singletonEnabled = false;
+        add_variant("no singleton bypass", config);
     }
 
     // A wider way predictor (the >4GB sizing at any capacity).
     {
-        ExperimentSpec spec = base;
-        spec.unisonWayPredictorIndexBits = 16;
-        labels.push_back("16-bit way predictor (16KB)");
-        specs.push_back(spec);
+        UnisonConfig config;
+        config.wayPredictorIndexBits = 16;
+        add_variant("16-bit way predictor (16KB)", config);
     }
 
+    SweepGrid grid(base);
+    grid.over("variant", std::move(variants));
     const std::vector<SimResult> results =
-        bench::runAll(specs, threads, "predictor_tuning");
+        bench::runAll(grid.points(), threads, "predictor_tuning");
     for (std::size_t i = 0; i < results.size(); ++i)
         addRow(t, labels[i], results[i]);
 

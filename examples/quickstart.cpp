@@ -29,7 +29,6 @@ main(int argc, char **argv)
 
     ExperimentSpec spec;
     spec.workload = workloadFromName(args.getString("workload"));
-    spec.design = DesignKind::Unison;
     spec.capacityBytes = parseSize(args.getString("capacity"));
     spec.accesses = args.getUint("accesses");
     spec.seed = args.getUint("seed");
@@ -41,11 +40,10 @@ main(int argc, char **argv)
 
     // The headline run plus the no-DRAM-cache speedup denominator,
     // through the shared parallel runner (--threads=2 overlaps them).
-    ExperimentSpec base = spec;
-    base.design = DesignKind::NoDramCache;
+    SweepGrid grid(spec);
+    grid.overDesigns({DesignKind::Unison, DesignKind::NoDramCache});
     const std::vector<SimResult> results = bench::runAll(
-        {spec, base}, bench::parseThreads(args),
-        "quickstart");
+        grid.points(), bench::parseThreads(args), "quickstart");
     const SimResult &r = results[0];
     const SimResult &b = results[1];
 

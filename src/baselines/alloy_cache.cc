@@ -1,5 +1,7 @@
 #include "baselines/alloy_cache.hh"
 
+#include "sim/design_registry.hh"
+
 #include "common/logging.hh"
 
 namespace unison {
@@ -169,6 +171,37 @@ AlloyCache::blockDirty(Addr addr) const
     std::uint32_t tag;
     locate(addr, tad_idx, tag);
     return tads_[tad_idx] == (kValid | kDirty | tag);
+}
+
+
+// --------------------------------------------------- registry entry
+
+DesignInfo
+alloyDesignInfo()
+{
+    DesignInfo info;
+    info.kind = DesignKind::Alloy;
+    info.id = "alloy";
+    info.name = "Alloy Cache";
+    info.shortName = "Alloy";
+    info.summary = "direct-mapped block cache, 72B tag-and-data units, "
+                   "MAP-I miss predictor (Qureshi & Loh)";
+    info.defaults = AlloyConfig{};
+    info.knobs = {
+        knobBool<AlloyConfig>(
+            "missPredictor",
+            "MAP-I miss predictor (false: always probe first)",
+            &AlloyConfig::missPredictorEnabled),
+    };
+    info.build = [](const DesignVariant &v,
+                    const DesignBuildContext &ctx,
+                    DramModule *offchip) -> std::unique_ptr<DramCache> {
+        AlloyConfig cfg = std::get<AlloyConfig>(v);
+        cfg.capacityBytes = ctx.capacityBytes;
+        cfg.numCores = ctx.numCores;
+        return std::make_unique<AlloyCache>(cfg, offchip);
+    };
+    return info;
 }
 
 } // namespace unison

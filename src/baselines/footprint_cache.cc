@@ -1,5 +1,7 @@
 #include "baselines/footprint_cache.hh"
 
+#include "sim/design_registry.hh"
+
 #include <bit>
 
 #include "common/bitops.hh"
@@ -297,6 +299,44 @@ FootprintCache::blockDirty(Addr addr) const
         return false;
     return (ways_.hot[setBase(loc.set) + way].dirty &
             (1u << loc.offset)) != 0;
+}
+
+
+// --------------------------------------------------- registry entry
+
+DesignInfo
+footprintDesignInfo()
+{
+    DesignInfo info;
+    info.kind = DesignKind::Footprint;
+    info.id = "footprint";
+    info.name = "Footprint Cache";
+    info.shortName = "Footprint";
+    info.summary = "page-based, 32-way, SRAM tag array that grows with "
+                   "capacity (Jevdjic et al., ISCA'13)";
+    info.defaults = FootprintCacheConfig{};
+    info.knobs = {
+        knobBool<FootprintCacheConfig>(
+            "footprintPrediction",
+            "fetch predicted footprints (false: whole pages)",
+            &FootprintCacheConfig::footprintPredictionEnabled),
+        knobBool<FootprintCacheConfig>(
+            "singletonPrediction",
+            "bypass pages predicted to be singletons",
+            &FootprintCacheConfig::singletonEnabled),
+        knobUInt<FootprintCacheConfig>(
+            "tagLatency",
+            "SRAM tag latency override in cycles (0 = Table IV)",
+            &FootprintCacheConfig::tagLatencyOverride, 0, 1000),
+    };
+    info.build = [](const DesignVariant &v,
+                    const DesignBuildContext &ctx,
+                    DramModule *offchip) -> std::unique_ptr<DramCache> {
+        FootprintCacheConfig cfg = std::get<FootprintCacheConfig>(v);
+        cfg.capacityBytes = ctx.capacityBytes;
+        return std::make_unique<FootprintCache>(cfg, offchip);
+    };
+    return info;
 }
 
 } // namespace unison

@@ -1,5 +1,7 @@
 #include "baselines/lohhill_cache.hh"
 
+#include "sim/design_registry.hh"
+
 #include "cache/set_scan.hh"
 
 #include "common/logging.hh"
@@ -172,6 +174,35 @@ LohHillCache::blockDirty(Addr addr) const
     const int way = findWay(set, tag);
     return way >= 0 &&
            (tagv_[set * geometry_.waysPerSet + way] & kDirty) != 0;
+}
+
+
+// --------------------------------------------------- registry entry
+
+DesignInfo
+lohHillDesignInfo()
+{
+    DesignInfo info;
+    info.kind = DesignKind::LohHill;
+    info.id = "lohhill";
+    info.name = "Loh-Hill Cache";
+    info.shortName = "Loh-Hill";
+    info.summary = "row-as-set block cache with an SRAM MissMap "
+                   "(Loh & Hill, MICRO'11)";
+    info.defaults = LohHillConfig{};
+    info.knobs = {
+        knobUInt<LohHillConfig>(
+            "missMapLatency", "MissMap SRAM lookup latency in cycles",
+            &LohHillConfig::missMapLatency, 1, 1000),
+    };
+    info.build = [](const DesignVariant &v,
+                    const DesignBuildContext &ctx,
+                    DramModule *offchip) -> std::unique_ptr<DramCache> {
+        LohHillConfig cfg = std::get<LohHillConfig>(v);
+        cfg.capacityBytes = ctx.capacityBytes;
+        return std::make_unique<LohHillCache>(cfg, offchip);
+    };
+    return info;
 }
 
 } // namespace unison

@@ -1,5 +1,7 @@
 #include "baselines/naive_block_fp.hh"
 
+#include "sim/design_registry.hh"
+
 #include <algorithm>
 #include <bit>
 
@@ -312,6 +314,47 @@ bool
 NaiveBlockFpCache::pageTracked(Addr addr) const
 {
     return pages_.count(locate(addr).page) != 0;
+}
+
+
+// --------------------------------------------------- registry entry
+
+DesignInfo
+naiveBlockFpDesignInfo()
+{
+    DesignInfo info;
+    info.kind = DesignKind::NaiveBlockFp;
+    info.id = "naiveblockfp";
+    info.name = "Naive block+FP";
+    info.shortName = "Block+FP";
+    info.summary = "rejected Sec. III-B.1 splice: block-based array "
+                   "with footprint prediction (row scans on misses)";
+    info.defaults = NaiveBlockFpConfig{};
+    info.knobs = {
+        knobBool<NaiveBlockFpConfig>(
+            "footprintPrediction",
+            "fetch predicted footprints (false: degenerates to Alloy)",
+            &NaiveBlockFpConfig::footprintPredictionEnabled),
+        knobUInt<NaiveBlockFpConfig>(
+            "pageBlocks", "blocks per logical page (power of two)",
+            &NaiveBlockFpConfig::pageBlocks, 1, 64),
+    };
+    info.validate = [](const DesignVariant &v,
+                       const DesignBuildContext &) -> std::string {
+        const NaiveBlockFpConfig &c = std::get<NaiveBlockFpConfig>(v);
+        if ((c.pageBlocks & (c.pageBlocks - 1)) != 0)
+            return "pageBlocks must be a power of two, got " +
+                   std::to_string(c.pageBlocks);
+        return "";
+    };
+    info.build = [](const DesignVariant &v,
+                    const DesignBuildContext &ctx,
+                    DramModule *offchip) -> std::unique_ptr<DramCache> {
+        NaiveBlockFpConfig cfg = std::get<NaiveBlockFpConfig>(v);
+        cfg.capacityBytes = ctx.capacityBytes;
+        return std::make_unique<NaiveBlockFpCache>(cfg, offchip);
+    };
+    return info;
 }
 
 } // namespace unison

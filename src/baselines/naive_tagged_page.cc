@@ -1,5 +1,7 @@
 #include "baselines/naive_tagged_page.hh"
 
+#include "sim/design_registry.hh"
+
 #include <bit>
 
 #include "common/bitops.hh"
@@ -294,6 +296,36 @@ NaiveTaggedPageCache::blockDirty(Addr addr) const
     const Location loc = locate(addr);
     return frames_.tagv[loc.frame] == (PageWaySoa::kValid | loc.tag) &&
            (frames_.hot[loc.frame].dirty & (1u << loc.offset)) != 0;
+}
+
+
+// --------------------------------------------------- registry entry
+
+DesignInfo
+naiveTaggedPageDesignInfo()
+{
+    DesignInfo info;
+    info.kind = DesignKind::NaiveTaggedPage;
+    info.id = "naivetaggedpage";
+    info.name = "Naive tagged-page";
+    info.shortName = "Tagged-page";
+    info.summary = "rejected Sec. III-B.2 splice: page-based array "
+                   "with per-block replicated tags";
+    info.defaults = NaiveTaggedPageConfig{};
+    info.knobs = {
+        knobBool<NaiveTaggedPageConfig>(
+            "footprintPrediction",
+            "fetch predicted footprints (false: whole pages)",
+            &NaiveTaggedPageConfig::footprintPredictionEnabled),
+    };
+    info.build = [](const DesignVariant &v,
+                    const DesignBuildContext &ctx,
+                    DramModule *offchip) -> std::unique_ptr<DramCache> {
+        NaiveTaggedPageConfig cfg = std::get<NaiveTaggedPageConfig>(v);
+        cfg.capacityBytes = ctx.capacityBytes;
+        return std::make_unique<NaiveTaggedPageCache>(cfg, offchip);
+    };
+    return info;
 }
 
 } // namespace unison

@@ -12,6 +12,13 @@
 
 namespace unison {
 
+/** No tunables: the baseline is the absence of a cache. Exists so the
+ *  design registry's typed-config variant has an alternative per
+ *  design. */
+struct NoCacheConfig
+{
+};
+
 /** The speedup denominator: no stacked DRAM at all. */
 class NoCache final : public DramCache
 {

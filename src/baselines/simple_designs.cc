@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Registry entries for the two bracketing designs that are
+ * header-only: the ideal cache (upper bound of Figs. 7-8) and the
+ * no-DRAM-cache baseline (speedup denominator). Neither has tunable
+ * knobs; they exist so every sweep axis endpoint goes through the same
+ * registry path as the real designs.
+ */
+
+#include "baselines/ideal_cache.hh"
+#include "baselines/no_cache.hh"
+#include "sim/design_registry.hh"
+
+namespace unison {
+
+DesignInfo
+idealDesignInfo()
+{
+    DesignInfo info;
+    info.kind = DesignKind::Ideal;
+    info.id = "ideal";
+    info.name = "Ideal";
+    info.shortName = "Ideal";
+    info.summary = "every access hits at raw stacked-DRAM latency "
+                   "(upper bound of Figs. 7-8)";
+    info.defaults = IdealConfig{};
+    info.build = [](const DesignVariant &v,
+                    const DesignBuildContext &ctx,
+                    DramModule *offchip) -> std::unique_ptr<DramCache> {
+        IdealConfig cfg = std::get<IdealConfig>(v);
+        cfg.capacityBytes = ctx.capacityBytes;
+        return std::make_unique<IdealCache>(cfg, offchip);
+    };
+    return info;
+}
+
+DesignInfo
+noCacheDesignInfo()
+{
+    DesignInfo info;
+    info.kind = DesignKind::NoDramCache;
+    info.id = "nocache";
+    info.name = "No DRAM cache";
+    info.shortName = "NoCache";
+    info.summary = "all L2 misses go straight off-chip (speedup "
+                   "denominator)";
+    info.defaults = NoCacheConfig{};
+    info.build = [](const DesignVariant &, const DesignBuildContext &,
+                    DramModule *offchip) -> std::unique_ptr<DramCache> {
+        return std::make_unique<NoCache>(offchip);
+    };
+    return info;
+}
+
+} // namespace unison

@@ -1,0 +1,614 @@
+#include "common/json.hh"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+
+#include "common/logging.hh"
+
+namespace unison {
+namespace json {
+
+// ------------------------------------------------------------- Value
+
+const char *
+Value::kindName() const
+{
+    switch (kind_) {
+      case Kind::Null:
+        return "null";
+      case Kind::Bool:
+        return "bool";
+      case Kind::Int:
+      case Kind::UInt:
+      case Kind::Double:
+        return "number";
+      case Kind::String:
+        return "string";
+      case Kind::Array:
+        return "array";
+      case Kind::Object:
+        return "object";
+    }
+    return "?";
+}
+
+void
+Value::wrongKind(const char *wanted) const
+{
+    throw Error(std::string("expected ") + wanted + ", got " +
+                kindName());
+}
+
+bool
+Value::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        wrongKind("bool");
+    return bool_;
+}
+
+std::int64_t
+Value::asInt() const
+{
+    switch (kind_) {
+      case Kind::Int:
+        return int_;
+      case Kind::UInt:
+        if (uint_ > static_cast<std::uint64_t>(INT64_MAX))
+            throw Error("number does not fit a signed 64-bit integer");
+        return static_cast<std::int64_t>(uint_);
+      default:
+        wrongKind("integer");
+    }
+}
+
+std::uint64_t
+Value::asUint() const
+{
+    switch (kind_) {
+      case Kind::UInt:
+        return uint_;
+      case Kind::Int:
+        if (int_ < 0)
+            throw Error("expected a non-negative integer, got " +
+                        std::to_string(int_));
+        return static_cast<std::uint64_t>(int_);
+      default:
+        wrongKind("non-negative integer");
+    }
+}
+
+double
+Value::asDouble() const
+{
+    switch (kind_) {
+      case Kind::Double:
+        return double_;
+      case Kind::Int:
+        return static_cast<double>(int_);
+      case Kind::UInt:
+        return static_cast<double>(uint_);
+      default:
+        wrongKind("number");
+    }
+}
+
+const std::string &
+Value::asString() const
+{
+    if (kind_ != Kind::String)
+        wrongKind("string");
+    return string_;
+}
+
+const Array &
+Value::asArray() const
+{
+    if (kind_ != Kind::Array)
+        wrongKind("array");
+    return array_;
+}
+
+const Object &
+Value::asObject() const
+{
+    if (kind_ != Kind::Object)
+        wrongKind("object");
+    return object_;
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    for (const auto &[k, v] : asObject())
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+void
+Value::set(const std::string &key, Value v)
+{
+    if (kind_ == Kind::Null && object_.empty())
+        kind_ = Kind::Object;
+    if (kind_ != Kind::Object)
+        wrongKind("object");
+    if (find(key) != nullptr)
+        throw Error("duplicate key '" + key + "'");
+    object_.emplace_back(key, std::move(v));
+}
+
+// ------------------------------------------------------------ parser
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Value
+    document()
+    {
+        Value v = value();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after the document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        std::size_t line = 1, col = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        throw Error("JSON parse error at line " + std::to_string(line) +
+                    ", column " + std::to_string(col) + ": " + msg);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    literal(const char *word)
+    {
+        for (const char *p = word; *p != '\0'; ++p, ++pos_)
+            if (pos_ >= text_.size() || text_[pos_] != *p)
+                fail(std::string("bad literal (expected '") + word +
+                     "')");
+    }
+
+    Value
+    value()
+    {
+        switch (peek()) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return Value(string());
+          case 't':
+            literal("true");
+            return Value(true);
+          case 'f':
+            literal("false");
+            return Value(false);
+          case 'n':
+            literal("null");
+            return Value();
+          default:
+            return number();
+        }
+    }
+
+    Value
+    object()
+    {
+        expect('{');
+        Value out{Object{}};
+        if (consume('}'))
+            return out;
+        while (true) {
+            if (peek() != '"')
+                fail("expected a string key");
+            std::string key = string();
+            expect(':');
+            Value v = value();
+            try {
+                out.set(key, std::move(v));
+            } catch (const Error &e) {
+                fail(e.what());
+            }
+            if (consume('}'))
+                return out;
+            expect(',');
+        }
+    }
+
+    Value
+    array()
+    {
+        expect('[');
+        Array out;
+        if (consume(']'))
+            return Value(std::move(out));
+        while (true) {
+            out.push_back(value());
+            if (consume(']'))
+                return Value(std::move(out));
+            expect(',');
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const unsigned char c =
+                static_cast<unsigned char>(text_[pos_++]);
+            if (c == '"')
+                return out;
+            if (c < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out.push_back(static_cast<char>(c));
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"':
+              case '\\':
+              case '/':
+                out.push_back(esc);
+                break;
+              case 'b':
+                out.push_back('\b');
+                break;
+              case 'f':
+                out.push_back('\f');
+                break;
+              case 'n':
+                out.push_back('\n');
+                break;
+              case 'r':
+                out.push_back('\r');
+                break;
+              case 't':
+                out.push_back('\t');
+                break;
+              case 'u': {
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    if (pos_ >= text_.size())
+                        fail("truncated \\u escape");
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape digit");
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs are
+                // out of scope for this schema: names are ASCII).
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(
+                        static_cast<char>(0xC0 | (code >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                } else {
+                    out.push_back(
+                        static_cast<char>(0xE0 | (code >> 12)));
+                    out.push_back(static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3F)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                }
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    Value
+    number()
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        bool integral = true;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c >= '0' && c <= '9') {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                integral = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start)
+            fail("expected a value");
+        const char *first = text_.data() + start;
+        const char *last = text_.data() + pos_;
+        if (integral) {
+            if (*first == '-') {
+                std::int64_t v = 0;
+                const auto r = std::from_chars(first, last, v);
+                if (r.ec == std::errc() && r.ptr == last)
+                    return Value(v);
+            } else {
+                std::uint64_t v = 0;
+                const auto r = std::from_chars(first, last, v);
+                if (r.ec == std::errc() && r.ptr == last)
+                    return Value(v);
+            }
+            // fall through on overflow: keep it as a double
+        }
+        double v = 0.0;
+        const auto r = std::from_chars(first, last, v);
+        if (r.ec != std::errc() || r.ptr != last)
+            fail("malformed number");
+        return Value(v);
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Value
+parse(const std::string &text)
+{
+    return Parser(text).document();
+}
+
+// ------------------------------------------------------------ writer
+
+namespace {
+
+void
+writeString(std::string &out, const std::string &s)
+{
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+void
+writeDouble(std::string &out, double v)
+{
+    if (!std::isfinite(v))
+        throw Error("cannot serialize a non-finite number");
+    char buf[40];
+    // Shortest round-trip form: the value parses back bit-exactly,
+    // which is what makes spec/result round trips lossless.
+    const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+    out.append(buf, r.ptr);
+}
+
+void
+writeValue(std::string &out, const Value &v, int indent)
+{
+    const std::string pad(2 * static_cast<std::size_t>(indent), ' ');
+    const std::string inner(2 * static_cast<std::size_t>(indent + 1),
+                            ' ');
+    switch (v.kind()) {
+      case Value::Kind::Null:
+        out += "null";
+        return;
+      case Value::Kind::Bool:
+        out += v.asBool() ? "true" : "false";
+        return;
+      case Value::Kind::Int:
+        out += std::to_string(v.asInt());
+        return;
+      case Value::Kind::UInt:
+        out += std::to_string(v.asUint());
+        return;
+      case Value::Kind::Double:
+        writeDouble(out, v.asDouble());
+        return;
+      case Value::Kind::String:
+        writeString(out, v.asString());
+        return;
+      case Value::Kind::Array: {
+        const Array &a = v.asArray();
+        if (a.empty()) {
+            out += "[]";
+            return;
+        }
+        out += "[\n";
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            out += inner;
+            writeValue(out, a[i], indent + 1);
+            if (i + 1 < a.size())
+                out.push_back(',');
+            out.push_back('\n');
+        }
+        out += pad;
+        out.push_back(']');
+        return;
+      }
+      case Value::Kind::Object: {
+        const Object &o = v.asObject();
+        if (o.empty()) {
+            out += "{}";
+            return;
+        }
+        out += "{\n";
+        for (std::size_t i = 0; i < o.size(); ++i) {
+            out += inner;
+            writeString(out, o[i].first);
+            out += ": ";
+            writeValue(out, o[i].second, indent + 1);
+            if (i + 1 < o.size())
+                out.push_back(',');
+            out.push_back('\n');
+        }
+        out += pad;
+        out.push_back('}');
+        return;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+write(const Value &value)
+{
+    std::string out;
+    writeValue(out, value, 0);
+    out.push_back('\n');
+    return out;
+}
+
+// ------------------------------------------------------ ObjectReader
+
+ObjectReader::ObjectReader(const Value &value, std::string what)
+    : object_(value.asObject()), what_(std::move(what))
+{
+}
+
+ObjectReader::~ObjectReader() noexcept(false)
+{
+    // Enforce the unknown-key check even when the caller forgets
+    // finish() -- but never throw over an in-flight exception.
+    if (std::uncaught_exceptions() == 0)
+        finish();
+}
+
+const Value &
+ObjectReader::req(const std::string &key)
+{
+    const Value *v = opt(key);
+    if (v == nullptr)
+        throw Error(what_ + ": missing required key '" + key + "'");
+    return *v;
+}
+
+const Value *
+ObjectReader::opt(const std::string &key)
+{
+    consumed_.push_back(key);
+    for (const auto &[k, v] : object_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+void
+ObjectReader::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    for (const auto &[k, v] : object_) {
+        if (std::find(consumed_.begin(), consumed_.end(), k) !=
+            consumed_.end())
+            continue;
+        throw Error(what_ + ": unknown key '" + k +
+                    "' (accepted keys: " + commaJoin(consumed_) + ")");
+    }
+}
+
+} // namespace json
+} // namespace unison

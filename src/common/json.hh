@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Dependency-free JSON: a small value type, a strict RFC 8259 parser
+ * and a deterministic pretty-printer.
+ *
+ * Written for the experiment spec/result schema (sim/spec_json.hh), so
+ * the priorities differ from a general-purpose library:
+ *
+ *  - *determinism*: objects preserve insertion order and the writer
+ *    has exactly one rendering per value, so serialized specs and
+ *    results can be byte-compared (sharded sweeps must merge to the
+ *    same file an unsharded run writes);
+ *  - *exactness*: integers keep 64-bit precision (signed and unsigned
+ *    tracked separately) and doubles print in shortest round-trip form
+ *    via std::to_chars, so spec -> JSON -> spec is lossless;
+ *  - *strictness*: duplicate object keys and malformed input raise
+ *    json::Error with a line/column; schema code layers unknown-key
+ *    rejection on top (ObjectReader).
+ *
+ * Errors are exceptions (not fatal()) because callers differ: the CLI
+ * prints them as user errors, tests assert on them.
+ */
+
+#ifndef UNISON_COMMON_JSON_HH
+#define UNISON_COMMON_JSON_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace unison {
+namespace json {
+
+/** Any malformed-document or wrong-shape condition. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &what) : std::runtime_error(what) {}
+};
+
+class Value;
+
+/** Insertion-ordered key/value list (deterministic serialization). */
+using Object = std::vector<std::pair<std::string, Value>>;
+using Array = std::vector<Value>;
+
+/** One JSON value. Numbers keep their parsed flavour (Int/UInt/Double)
+ *  so 64-bit counters survive a round trip untouched. */
+class Value
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Int,    //!< fits std::int64_t, was negative or int-typed
+        UInt,   //!< fits std::uint64_t
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    Value() : kind_(Kind::Null) {}
+    Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Value(std::int64_t v) : kind_(Kind::Int), int_(v) {}
+    Value(std::uint64_t v) : kind_(Kind::UInt), uint_(v) {}
+    Value(int v) : kind_(Kind::Int), int_(v) {}
+    Value(unsigned v) : kind_(Kind::UInt), uint_(v) {}
+    Value(double v) : kind_(Kind::Double), double_(v) {}
+    Value(const char *s) : kind_(Kind::String), string_(s) {}
+    Value(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+    Value(Array a) : kind_(Kind::Array), array_(std::move(a)) {}
+    Value(Object o) : kind_(Kind::Object), object_(std::move(o)) {}
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isNumber() const
+    {
+        return kind_ == Kind::Int || kind_ == Kind::UInt ||
+               kind_ == Kind::Double;
+    }
+
+    /** Typed accessors; throw Error on a kind mismatch. Numeric
+     *  accessors convert between the three number flavours when the
+     *  value is exactly representable. */
+    bool asBool() const;
+    std::int64_t asInt() const;
+    std::uint64_t asUint() const;
+    double asDouble() const;
+    const std::string &asString() const;
+    const Array &asArray() const;
+    const Object &asObject() const;
+
+    /** Object member lookup; nullptr when absent (object kind only). */
+    const Value *find(const std::string &key) const;
+
+    /** Append a member (object kind); throws Error on duplicate key. */
+    void set(const std::string &key, Value v);
+
+  private:
+    [[noreturn]] void wrongKind(const char *wanted) const;
+    const char *kindName() const;
+
+    Kind kind_;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    std::uint64_t uint_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    Array array_;
+    Object object_;
+};
+
+/** Parse a complete document (trailing garbage is an error). */
+Value parse(const std::string &text);
+
+/** Deterministic pretty-printed rendering, trailing newline included. */
+std::string write(const Value &value);
+
+/**
+ * Strict schema helper: reads members of one object and, at the end of
+ * scope (or finish()), rejects any member the schema never asked for
+ * with an Error naming the unknown and the accepted keys. This is the
+ * unknown-key rejection every spec/result parser uses: a typo'd knob
+ * fails loudly instead of silently running defaults.
+ */
+class ObjectReader
+{
+  public:
+    /** @param what  schema location for error messages ("spec",
+     *               "design 'unison'", ...). */
+    ObjectReader(const Value &value, std::string what);
+    ~ObjectReader() noexcept(false);
+
+    /** Required member; Error when missing. */
+    const Value &req(const std::string &key);
+
+    /** Optional member; nullptr when absent. */
+    const Value *opt(const std::string &key);
+
+    /** True when the member is present (and marks it consumed). */
+    bool has(const std::string &key) { return opt(key) != nullptr; }
+
+    /** Run the unknown-key check now (idempotent). */
+    void finish();
+
+  private:
+    const Object &object_;
+    std::string what_;
+    std::vector<std::string> consumed_;
+    bool finished_ = false;
+};
+
+} // namespace json
+} // namespace unison
+
+#endif // UNISON_COMMON_JSON_HH

@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace unison {
 
@@ -75,6 +76,19 @@ inform(Args &&...args)
 {
     detail::printMessage(
         "info", detail::composeMessage(std::forward<Args>(args)...));
+}
+
+/** ", "-join for the known-values listings of error messages. */
+inline std::string
+commaJoin(const std::vector<std::string> &items)
+{
+    std::string out;
+    for (const std::string &item : items) {
+        if (!out.empty())
+            out += ", ";
+        out += item;
+    }
+    return out;
 }
 
 /**

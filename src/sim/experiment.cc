@@ -2,41 +2,10 @@
 
 #include <algorithm>
 
-#include "baselines/alloy_cache.hh"
-#include "baselines/footprint_cache.hh"
-#include "baselines/ideal_cache.hh"
-#include "baselines/lohhill_cache.hh"
-#include "baselines/naive_block_fp.hh"
-#include "baselines/naive_tagged_page.hh"
-#include "baselines/no_cache.hh"
 #include "common/logging.hh"
 #include "trace/workload.hh"
 
 namespace unison {
-
-std::string
-designName(DesignKind kind)
-{
-    switch (kind) {
-      case DesignKind::Unison:
-        return "Unison Cache";
-      case DesignKind::Alloy:
-        return "Alloy Cache";
-      case DesignKind::Footprint:
-        return "Footprint Cache";
-      case DesignKind::LohHill:
-        return "Loh-Hill Cache";
-      case DesignKind::NaiveBlockFp:
-        return "Naive block+FP";
-      case DesignKind::NaiveTaggedPage:
-        return "Naive tagged-page";
-      case DesignKind::Ideal:
-        return "Ideal";
-      case DesignKind::NoDramCache:
-        return "No DRAM cache";
-    }
-    panic("unknown design kind");
-}
 
 std::uint64_t
 defaultAccessCount(std::uint64_t capacity_bytes, bool quick)
@@ -56,75 +25,15 @@ defaultAccessCount(std::uint64_t capacity_bytes, bool quick)
 CacheFactory
 makeCacheFactory(const ExperimentSpec &spec)
 {
-    switch (spec.design) {
-      case DesignKind::Unison:
-        return [spec](DramModule *offchip) -> std::unique_ptr<DramCache> {
-            UnisonConfig cfg;
-            cfg.capacityBytes = spec.capacityBytes;
-            cfg.pageBlocks = spec.unisonPageBlocks;
-            cfg.assoc = spec.unisonAssoc;
-            cfg.wayPolicy = spec.unisonWayPolicy;
-            cfg.missPolicy = spec.unisonMissPolicy;
-            cfg.footprintPredictionEnabled = spec.footprintPrediction;
-            cfg.singletonEnabled = spec.singletonPrediction;
-            cfg.numCores = spec.system.numCores;
-            if (spec.unisonFhtEntries != 0)
-                cfg.fhtConfig.numEntries = spec.unisonFhtEntries;
-            if (spec.unisonFhtAssoc != 0)
-                cfg.fhtConfig.assoc = spec.unisonFhtAssoc;
-            if (spec.unisonWayPredictorIndexBits != 0)
-                cfg.wayPredictorIndexBits =
-                    spec.unisonWayPredictorIndexBits;
-            return std::make_unique<UnisonCache>(cfg, offchip);
-        };
-      case DesignKind::Alloy:
-        return [spec](DramModule *offchip) -> std::unique_ptr<DramCache> {
-            AlloyConfig cfg;
-            cfg.capacityBytes = spec.capacityBytes;
-            cfg.missPredictorEnabled = spec.alloyMissPredictor;
-            cfg.numCores = spec.system.numCores;
-            return std::make_unique<AlloyCache>(cfg, offchip);
-        };
-      case DesignKind::Footprint:
-        return [spec](DramModule *offchip) -> std::unique_ptr<DramCache> {
-            FootprintCacheConfig cfg;
-            cfg.capacityBytes = spec.capacityBytes;
-            cfg.footprintPredictionEnabled = spec.footprintPrediction;
-            cfg.singletonEnabled = spec.singletonPrediction;
-            return std::make_unique<FootprintCache>(cfg, offchip);
-        };
-      case DesignKind::LohHill:
-        return [spec](DramModule *offchip) -> std::unique_ptr<DramCache> {
-            LohHillConfig cfg;
-            cfg.capacityBytes = spec.capacityBytes;
-            return std::make_unique<LohHillCache>(cfg, offchip);
-        };
-      case DesignKind::NaiveBlockFp:
-        return [spec](DramModule *offchip) -> std::unique_ptr<DramCache> {
-            NaiveBlockFpConfig cfg;
-            cfg.capacityBytes = spec.capacityBytes;
-            cfg.footprintPredictionEnabled = spec.footprintPrediction;
-            return std::make_unique<NaiveBlockFpCache>(cfg, offchip);
-        };
-      case DesignKind::NaiveTaggedPage:
-        return [spec](DramModule *offchip) -> std::unique_ptr<DramCache> {
-            NaiveTaggedPageConfig cfg;
-            cfg.capacityBytes = spec.capacityBytes;
-            cfg.footprintPredictionEnabled = spec.footprintPrediction;
-            return std::make_unique<NaiveTaggedPageCache>(cfg, offchip);
-        };
-      case DesignKind::Ideal:
-        return [spec](DramModule *offchip) -> std::unique_ptr<DramCache> {
-            IdealConfig cfg;
-            cfg.capacityBytes = spec.capacityBytes;
-            return std::make_unique<IdealCache>(cfg, offchip);
-        };
-      case DesignKind::NoDramCache:
-        return [](DramModule *offchip) -> std::unique_ptr<DramCache> {
-            return std::make_unique<NoCache>(offchip);
-        };
-    }
-    panic("unknown design kind");
+    const DesignInfo &info =
+        DesignRegistry::instance().byKind(spec.designKind());
+    DesignBuildContext ctx;
+    ctx.capacityBytes = spec.capacityBytes;
+    ctx.numCores = spec.system.numCores;
+    return [config = spec.design.variant(), ctx,
+            build = info.build](DramModule *offchip) {
+        return build(config, ctx, offchip);
+    };
 }
 
 std::string
@@ -137,15 +46,98 @@ specWorkloadName(const ExperimentSpec &spec)
     return workloadName(spec.workload);
 }
 
+std::string
+ExperimentSpec::validationError() const
+{
+    const DesignInfo &info =
+        DesignRegistry::instance().byKind(designKind());
+
+    if (system.numCores < 1)
+        return "experiment needs >= 1 core, got " +
+               std::to_string(system.numCores);
+    if (system.numCores > 256)
+        return "experiment supports at most 256 cores (trace records "
+               "carry 8-bit core ids), got " +
+               std::to_string(system.numCores);
+
+    if (designKind() != DesignKind::NoDramCache) {
+        if (capacityBytes == 0)
+            return "experiment needs a non-zero cache capacity "
+                   "(design '" + info.id + "')";
+        if (capacityBytes % kRowBytes != 0)
+            return "cache capacity must be a multiple of the " +
+                   std::to_string(kRowBytes) +
+                   "-byte DRAM row, got " +
+                   std::to_string(capacityBytes);
+    }
+
+    DesignBuildContext ctx;
+    ctx.capacityBytes = capacityBytes;
+    ctx.numCores = system.numCores;
+    if (info.validate) {
+        const std::string err = info.validate(design.variant(), ctx);
+        if (!err.empty())
+            return "design '" + info.id + "': " + err;
+    }
+
+    if (!mix.empty()) {
+        int total = 0;
+        for (std::size_t i = 0; i < mix.size(); ++i) {
+            const MixPart &part = mix[i];
+            if (part.cores < 1)
+                return "mix part #" + std::to_string(i) +
+                       " needs >= 1 core, got " +
+                       std::to_string(part.cores);
+            const int sources = (part.preset ? 1 : 0) +
+                                (part.custom ? 1 : 0) +
+                                (part.scenario ? 1 : 0) +
+                                (part.tracePath.empty() ? 0 : 1);
+            if (sources != 1)
+                return "mix part #" + std::to_string(i) +
+                       " must set exactly one of preset/custom/"
+                       "scenario/trace, has " +
+                       std::to_string(sources);
+            total += part.cores;
+        }
+        if (total != system.numCores)
+            return "mix assigns " + std::to_string(total) +
+                   " cores but the system has " +
+                   std::to_string(system.numCores) +
+                   " (counts must match)";
+    }
+
+    if (system.warmFraction < 0.0 || system.warmFraction >= 1.0)
+        return "warmFraction must be in [0, 1), got " +
+               std::to_string(system.warmFraction);
+    const std::uint64_t total =
+        accesses != 0 ? accesses
+                      : defaultAccessCount(capacityBytes, quick);
+    if (system.warmupAccesses >= total)
+        return "warmupAccesses (" +
+               std::to_string(system.warmupAccesses) +
+               ") must leave a measured window inside the " +
+               std::to_string(total) + " total accesses" +
+               (accesses == 0 ? " (auto-scaled from capacity)" : "");
+    if (system.cpiBase <= 0.0)
+        return "cpiBase must be positive";
+    if (system.maxOutstandingMisses < 1)
+        return "maxOutstandingMisses must be >= 1, got " +
+               std::to_string(system.maxOutstandingMisses);
+    return "";
+}
+
+void
+ExperimentSpec::validate() const
+{
+    const std::string err = validationError();
+    if (!err.empty())
+        fatal("invalid experiment spec: ", err);
+}
+
 SimResult
 runExperiment(const ExperimentSpec &spec)
 {
-    if (spec.system.numCores < 1)
-        fatal("experiment needs >= 1 core, got ",
-              spec.system.numCores);
-    if (spec.capacityBytes == 0 &&
-        spec.design != DesignKind::NoDramCache)
-        fatal("experiment needs a non-zero cache capacity");
+    spec.validate();
 
     System system(spec.system, makeCacheFactory(spec));
 

@@ -1,8 +1,16 @@
 /**
  * @file
- * One-call experiment runner shared by all bench harnesses and the
- * examples: pick a workload preset, a design, a capacity and optional
- * ablation knobs, and get back a SimResult.
+ * One-call experiment runner shared by all bench harnesses, the
+ * examples and the `unison_sim` driver: pick a workload source, a
+ * design config, a capacity and optional knobs, and get back a
+ * SimResult.
+ *
+ * The design under test is a *typed* per-design config
+ * (UnisonConfig/AlloyConfig/...) held in a variant (see
+ * design_registry.hh); the flat knob fields that used to be smeared
+ * across this struct live in those configs now, and everything
+ * design-specific -- names, factories, knob parsing, validation --
+ * comes from the design registry.
  */
 
 #ifndef UNISON_SIM_EXPERIMENT_HH
@@ -13,29 +21,15 @@
 #include <string>
 #include <vector>
 
-#include "core/unison_cache.hh"
+#include "sim/design_registry.hh"
 #include "sim/system.hh"
 #include "trace/mix.hh"
 #include "trace/presets.hh"
 
 namespace unison {
 
-/** The designs the paper evaluates. */
-enum class DesignKind
-{
-    Unison,
-    Alloy,
-    Footprint,
-    LohHill,  //!< Loh & Hill MICRO'11 (Sec. II-A discussion baseline)
-    NaiveBlockFp,     //!< Sec. III-B.1 rejected design (Fig. 4a)
-    NaiveTaggedPage,  //!< Sec. III-B.2 rejected design (Fig. 4b)
-    Ideal,
-    NoDramCache,
-};
-
-std::string designName(DesignKind kind);
-
-/** Full experiment specification. */
+/** Full experiment specification. Serializable: see sim/spec_json.hh
+ *  for the JSON schema (`unison-spec/1`). */
 struct ExperimentSpec
 {
     Workload workload = Workload::WebServing;
@@ -56,24 +50,17 @@ struct ExperimentSpec
      */
     std::vector<MixPart> mix;
 
-    DesignKind design = DesignKind::Unison;
+    /**
+     * The design under test: a typed config selected and defaulted
+     * through the registry. `spec.design = DesignKind::Alloy` picks
+     * registry defaults; `spec.design.as<UnisonConfig>().assoc = 8`
+     * tweaks a knob. The config's own capacityBytes/numCores fields
+     * are ignored -- the spec-level fields below win, so sweep axes
+     * never reach inside the variant.
+     */
+    DesignConfig design;
+
     std::uint64_t capacityBytes = 1_GiB;
-
-    /** Unison knobs (ignored by other designs). */
-    std::uint32_t unisonPageBlocks = 15;
-    std::uint32_t unisonAssoc = 4;
-    UnisonWayPolicy unisonWayPolicy = UnisonWayPolicy::Predict;
-    UnisonMissPolicy unisonMissPolicy = UnisonMissPolicy::AlwaysHit;
-    bool footprintPrediction = true;  //!< Unison & Footprint designs
-    bool singletonPrediction = true;  //!< Unison & Footprint designs
-
-    /** Unison predictor sizing overrides (0 = design default). */
-    std::uint32_t unisonFhtEntries = 0;
-    std::uint32_t unisonFhtAssoc = 0;
-    std::uint32_t unisonWayPredictorIndexBits = 0;
-
-    /** Alloy knob. */
-    bool alloyMissPredictor = true;
 
     /** Simulation length: 0 = auto-scale with capacity. */
     std::uint64_t accesses = 0;
@@ -83,6 +70,20 @@ struct ExperimentSpec
 
     std::uint64_t seed = 42;
     SystemConfig system{};
+
+    DesignKind designKind() const { return design.kind(); }
+
+    /**
+     * The one place spec consistency is checked: core counts, capacity
+     * alignment, mix shape, warm-up windows, and the design's own knob
+     * ranges (via its registry validate hook). Returns "" when the
+     * spec is runnable, else one actionable message.
+     */
+    std::string validationError() const;
+
+    /** fatal() with validationError() when the spec is malformed.
+     *  Called by runExperiment and the unison_sim driver. */
+    void validate() const;
 };
 
 /**
@@ -91,14 +92,15 @@ struct ExperimentSpec
  */
 std::uint64_t defaultAccessCount(std::uint64_t capacity_bytes, bool quick);
 
-/** Build the cache factory for a spec (used by System). */
+/** Build the cache factory for a spec through the design registry
+ *  (used by System). */
 CacheFactory makeCacheFactory(const ExperimentSpec &spec);
 
 /** Workload display label of a spec ("Web Serving", or the compact
  *  mix name for multiprogrammed specs). */
 std::string specWorkloadName(const ExperimentSpec &spec);
 
-/** Run the experiment end to end. */
+/** Run the experiment end to end (validates first). */
 SimResult runExperiment(const ExperimentSpec &spec);
 
 } // namespace unison

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The paper's figure and table sweeps as named, reusable grids. Each
+ * bench binary used to own its grid as nested loops; now the grid
+ * lives here once, and three frontends share it:
+ *
+ *  - the bench harnesses (fig5_associativity & co) expand the named
+ *    grid and keep only their presentation logic;
+ *  - `unison_sim --figure fig7` runs the same grid from the command
+ *    line, optionally sharded across processes;
+ *  - `unison_sim --figure fig7 --export-spec fig7.json` serializes it,
+ *    and the checked-in files under specs/ are exactly these exports.
+ *
+ * Point order within a grid is part of the figure's definition (the
+ * benches index results positionally), so changes here are output-
+ * affecting: the byte-identity tests over the bench outputs pin it.
+ */
+
+#ifndef UNISON_SIM_FIGURES_HH
+#define UNISON_SIM_FIGURES_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/sweep.hh"
+
+namespace unison {
+
+/** The shared sweep-scale options every figure honours. */
+struct FigureOptions
+{
+    bool quick = false;       //!< 8x shorter simulations (CI mode)
+    std::uint64_t seed = 42;  //!< workload seed
+};
+
+/** One multiprogrammed mix with a display title ("web+tpch"). */
+struct NamedMix
+{
+    std::string title;
+    std::vector<MixPart> parts;
+};
+
+/** Names accepted by figureGrid(), in presentation order. */
+const std::vector<std::string> &figureNames();
+
+/** One-line description for `unison_sim --list`. */
+std::string figureSummary(const std::string &name);
+
+/** Expand a named figure's grid; fatal on an unknown name (listing
+ *  the known ones). */
+std::vector<GridPoint> figureGrid(const std::string &name,
+                                  const FigureOptions &opts);
+
+/** The five standard consolidation mixes of bench/mixes, sized for
+ *  `cores` (must be even: every mix splits the cores in half). */
+std::vector<NamedMix> standardMixes(int cores);
+
+/**
+ * The mixes sweep: every mix crossed with {nocache, alloy, footprint,
+ * unison}, with the explicit warm-up window and per-core budgets the
+ * multiprogrammed methodology requires. Shared by bench/mixes (CLI
+ * parameters) and figureGrid("mixes") (defaults).
+ */
+std::vector<GridPoint> mixesGrid(const std::vector<NamedMix> &mixes,
+                                 std::uint64_t capacity_bytes,
+                                 std::uint64_t accesses, int cores,
+                                 const FigureOptions &opts);
+
+} // namespace unison
+
+#endif // UNISON_SIM_FIGURES_HH

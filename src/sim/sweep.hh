@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Declarative sweep grids: every figure and table in the paper is a
+ * cross product of (workload x design x capacity x knob) points, and
+ * every bench used to hand-roll it as nested loops pushing into a
+ * spec vector. A SweepGrid declares the axes once --
+ *
+ *     SweepGrid grid(baseSpec(opts));
+ *     grid.overWorkloads(cloudSuiteWorkloads())
+ *         .overCapacities({128_MiB, 256_MiB, 512_MiB, 1_GiB})
+ *         .overDesigns({DesignKind::Alloy, DesignKind::Unison});
+ *     std::vector<GridPoint> points = grid.points();
+ *
+ * -- and expands to points in nested-loop order (first axis outermost,
+ * last axis fastest), each carrying a *stable label* built from its
+ * axis value labels ("webserving/1GB/unison"). Labels name points in
+ * progress output, JSON result files and shard merges; coords let a
+ * bench regroup results into its table layout without re-deriving the
+ * expansion order.
+ *
+ * Grids serialize: unison_sim can export any named figure grid to a
+ * JSON spec file and re-run it point-by-point, sharded across
+ * processes, merging to bit-identical results (spec_json.hh).
+ */
+
+#ifndef UNISON_SIM_SWEEP_HH
+#define UNISON_SIM_SWEEP_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace unison {
+
+/** One expanded grid point: a runnable spec plus its identity. */
+struct GridPoint
+{
+    std::string label;               //!< "axis0/axis1/..." value labels
+    std::size_t index = 0;           //!< flat position in the full grid
+    std::vector<std::size_t> coords; //!< index along each axis
+    ExperimentSpec spec;
+
+    /** Coordinate along the axis named when it was declared. */
+    std::size_t coord(std::size_t axis) const { return coords.at(axis); }
+};
+
+/** Fluent grid builder. Axes expand in declaration order. */
+class SweepGrid
+{
+  public:
+    using Mutator = std::function<void(ExperimentSpec &)>;
+
+    /** One value of an axis: a label and a spec edit. */
+    struct AxisValue
+    {
+        std::string label;
+        Mutator apply;
+    };
+
+    SweepGrid() = default;
+    explicit SweepGrid(ExperimentSpec base) : base_(std::move(base)) {}
+
+    ExperimentSpec &base() { return base_; }
+    const ExperimentSpec &base() const { return base_; }
+
+    /** Generic axis from prelabelled values. */
+    SweepGrid &over(const std::string &axis,
+                    std::vector<AxisValue> values);
+
+    /** Design axis with registry defaults; labels are registry ids. */
+    SweepGrid &overDesigns(const std::vector<DesignKind> &designs);
+
+    /** Design axis from explicit configs (labelled by registry id). */
+    SweepGrid &overDesignConfigs(const std::vector<DesignConfig> &configs);
+
+    /** Workload-preset axis; labels are canonical preset tokens. */
+    SweepGrid &overWorkloads(const std::vector<Workload> &workloads);
+
+    /** Capacity axis; labels via formatSize ("512MB"). */
+    SweepGrid &overCapacities(const std::vector<std::uint64_t> &sizes);
+
+    /**
+     * Knob axis: arbitrary values applied through a setter, labelled
+     * "name=<label>" with the label from std::to_string (or the
+     * explicit label list).
+     *
+     *     grid.overKnob<std::uint32_t>("assoc", {1, 4, 32},
+     *         [](ExperimentSpec &s, std::uint32_t a) {
+     *             s.design.as<UnisonConfig>().assoc = a;
+     *         });
+     */
+    template <typename T>
+    SweepGrid &
+    overKnob(const std::string &name, const std::vector<T> &values,
+             std::function<void(ExperimentSpec &, const T &)> apply)
+    {
+        std::vector<AxisValue> axis;
+        axis.reserve(values.size());
+        for (const T &value : values)
+            axis.push_back({name + "=" + std::to_string(value),
+                            [apply, value](ExperimentSpec &spec) {
+                                apply(spec, value);
+                            }});
+        return over(name, std::move(axis));
+    }
+
+    template <typename T>
+    SweepGrid &
+    overKnob(const std::string &name, const std::vector<T> &values,
+             const std::vector<std::string> &labels,
+             std::function<void(ExperimentSpec &, const T &)> apply);
+
+    std::size_t axes() const { return axes_.size(); }
+
+    /** Points of the full cross product, last axis fastest. */
+    std::vector<GridPoint> points() const;
+
+    /** Product of the axis sizes (0 axes = the base spec alone). */
+    std::size_t size() const;
+
+  private:
+    ExperimentSpec base_;
+    std::vector<std::pair<std::string, std::vector<AxisValue>>> axes_;
+};
+
+/**
+ * The `--shard i/n` split: points whose flat index is congruent to
+ * `shard` mod `shards` (round-robin, so every shard gets a similar mix
+ * of cheap and expensive points). The union over all shards is exactly
+ * the full grid, disjointly -- tested, and relied on by the CI job
+ * that byte-compares a merged sharded run against an unsharded one.
+ */
+std::vector<GridPoint> shardPoints(const std::vector<GridPoint> &points,
+                                   std::size_t shard,
+                                   std::size_t shards);
+
+/** Concatenate grids that run as one batch (e.g. per-workload
+ *  baselines followed by the main grid). Labels must stay unique
+ *  across segments (fatal otherwise) -- they identify points in
+ *  result files and shard merges. */
+std::vector<GridPoint>
+concatGrids(const std::vector<std::vector<GridPoint>> &segments);
+
+} // namespace unison
+
+#endif // UNISON_SIM_SWEEP_HH

@@ -184,9 +184,9 @@ TEST(SystemOrdering, UnisonAssociativityReducesMissRatio)
     ExperimentSpec dm = shortSpec(DesignKind::Unison,
                                   Workload::WebServing, 16_MiB);
     dm.accesses = 1'000'000;
-    dm.unisonAssoc = 1;
+    dm.design.as<UnisonConfig>().assoc = 1;
     ExperimentSpec w4 = dm;
-    w4.unisonAssoc = 4;
+    w4.design.as<UnisonConfig>().assoc = 4;
     const SimResult r_dm = runExperiment(dm);
     const SimResult r_w4 = runExperiment(w4);
     EXPECT_LT(r_w4.missRatioPercent(), r_dm.missRatioPercent());

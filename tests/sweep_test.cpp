@@ -1,0 +1,217 @@
+/**
+ * @file
+ * SweepGrid and spec-validation contracts: expansion order matches
+ * the nested loops it replaced (last axis fastest), labels and coords
+ * are stable, shards partition the grid exactly, every named figure
+ * expands to valid specs, and ExperimentSpec::validationError catches
+ * the malformed-spec classes with actionable messages.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/figures.hh"
+#include "sim/sweep.hh"
+
+namespace unison {
+namespace {
+
+TEST(SweepGrid, ExpandsInNestedLoopOrder)
+{
+    SweepGrid grid;
+    grid.overWorkloads({Workload::WebServing, Workload::DataServing})
+        .overCapacities({128_MiB, 256_MiB})
+        .overDesigns({DesignKind::Alloy, DesignKind::Unison});
+
+    const std::vector<GridPoint> points = grid.points();
+    ASSERT_EQ(points.size(), 8u);
+    EXPECT_EQ(grid.size(), 8u);
+
+    // Same order as: for (w) for (cap) for (design).
+    EXPECT_EQ(points[0].label, "webserving/128MB/alloy");
+    EXPECT_EQ(points[1].label, "webserving/128MB/unison");
+    EXPECT_EQ(points[2].label, "webserving/256MB/alloy");
+    EXPECT_EQ(points[4].label, "dataserving/128MB/alloy");
+    EXPECT_EQ(points[7].label, "dataserving/256MB/unison");
+
+    EXPECT_EQ(points[5].spec.workload, Workload::DataServing);
+    EXPECT_EQ(points[5].spec.capacityBytes, 128_MiB);
+    EXPECT_EQ(points[5].spec.designKind(), DesignKind::Unison);
+    EXPECT_EQ(points[5].coords,
+              (std::vector<std::size_t>{1, 0, 1}));
+    for (std::size_t i = 0; i < points.size(); ++i)
+        EXPECT_EQ(points[i].index, i);
+}
+
+TEST(SweepGrid, KnobAxisAppliesIntoTheDesignConfig)
+{
+    SweepGrid grid;
+    grid.base().design = DesignKind::Unison;
+    grid.overKnob<std::uint32_t>(
+        "assoc", {1, 4, 32},
+        [](ExperimentSpec &spec, const std::uint32_t &assoc) {
+            spec.design.as<UnisonConfig>().assoc = assoc;
+        });
+
+    const std::vector<GridPoint> points = grid.points();
+    ASSERT_EQ(points.size(), 3u);
+    EXPECT_EQ(points[0].label, "assoc=1");
+    EXPECT_EQ(points[2].label, "assoc=32");
+    EXPECT_EQ(points[2].spec.design.as<UnisonConfig>().assoc, 32u);
+}
+
+TEST(SweepGrid, EmptyGridIsJustTheBaseSpec)
+{
+    ExperimentSpec base;
+    base.capacityBytes = 64_MiB;
+    SweepGrid grid(base);
+    const std::vector<GridPoint> points = grid.points();
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_EQ(points[0].spec.capacityBytes, 64_MiB);
+}
+
+TEST(SweepGrid, ShardUnionIsExactlyTheFullGrid)
+{
+    FigureOptions opts;
+    opts.quick = true;
+    const std::vector<GridPoint> full = figureGrid("fig6", opts);
+
+    for (std::size_t shards : {1u, 2u, 3u, 7u}) {
+        std::set<std::size_t> seen;
+        std::size_t total = 0;
+        for (std::size_t s = 0; s < shards; ++s) {
+            for (const GridPoint &point :
+                 shardPoints(full, s, shards)) {
+                // Disjoint: no index may appear in two shards.
+                EXPECT_TRUE(seen.insert(point.index).second);
+                EXPECT_EQ(full[point.index].label, point.label);
+                ++total;
+            }
+        }
+        EXPECT_EQ(total, full.size());
+        EXPECT_EQ(seen.size(), full.size());
+    }
+}
+
+TEST(SweepGrid, EveryFigureExpandsToValidUniqueSpecs)
+{
+    FigureOptions opts;
+    opts.quick = true;
+    for (const std::string &name : figureNames()) {
+        SCOPED_TRACE(name);
+        const std::vector<GridPoint> points = figureGrid(name, opts);
+        EXPECT_FALSE(points.empty());
+        std::set<std::string> labels;
+        for (const GridPoint &point : points) {
+            EXPECT_EQ(point.spec.validationError(), "")
+                << "point " << point.label;
+            EXPECT_TRUE(labels.insert(point.label).second)
+                << "duplicate label " << point.label;
+        }
+    }
+}
+
+// ------------------------------------------------------- validation
+
+TEST(SpecValidation, AcceptsTheDefaultSpec)
+{
+    ExperimentSpec spec;
+    EXPECT_EQ(spec.validationError(), "");
+}
+
+TEST(SpecValidation, RejectsBadCoreCounts)
+{
+    ExperimentSpec spec;
+    spec.system.numCores = 0;
+    EXPECT_NE(spec.validationError().find(">= 1 core"),
+              std::string::npos);
+    spec.system.numCores = 1000;
+    EXPECT_NE(spec.validationError().find("256"), std::string::npos);
+}
+
+TEST(SpecValidation, RejectsBadCapacities)
+{
+    ExperimentSpec spec;
+    spec.capacityBytes = 0;
+    EXPECT_NE(spec.validationError().find("non-zero"),
+              std::string::npos);
+    spec.capacityBytes = 12345; // not row-aligned
+    EXPECT_NE(spec.validationError().find("DRAM row"),
+              std::string::npos);
+
+    // The no-cache baseline does not need a capacity.
+    spec.design = DesignKind::NoDramCache;
+    spec.capacityBytes = 0;
+    EXPECT_EQ(spec.validationError(), "");
+}
+
+TEST(SpecValidation, RejectsMixCoreMismatch)
+{
+    ExperimentSpec spec;
+    spec.mix = parseMixSpec("webserving:2,chase:2");
+    spec.system.numCores = 16; // mix covers only 4
+    const std::string err = spec.validationError();
+    EXPECT_NE(err.find("mix assigns 4 cores"), std::string::npos);
+    EXPECT_NE(err.find("16"), std::string::npos);
+
+    spec.system.numCores = 4;
+    EXPECT_EQ(spec.validationError(), "");
+}
+
+TEST(SpecValidation, RejectsMixPartWithoutASource)
+{
+    ExperimentSpec spec;
+    MixPart empty;
+    empty.cores = 4;
+    spec.mix = {empty};
+    spec.system.numCores = 4;
+    EXPECT_NE(spec.validationError().find("exactly one"),
+              std::string::npos);
+}
+
+TEST(SpecValidation, RejectsWarmupSwallowingTheRun)
+{
+    ExperimentSpec spec;
+    spec.accesses = 1000;
+    spec.system.warmupAccesses = 1000;
+    EXPECT_NE(spec.validationError().find("measured window"),
+              std::string::npos);
+    spec.system.warmupAccesses = 999;
+    EXPECT_EQ(spec.validationError(), "");
+
+    // The auto-scaled length (accesses = 0) is checked too: a warm-up
+    // larger than defaultAccessCount must not silently produce an
+    // all-warm-up run with zero measured references.
+    spec.accesses = 0;
+    spec.system.warmupAccesses =
+        defaultAccessCount(spec.capacityBytes, spec.quick);
+    EXPECT_NE(spec.validationError().find("auto-scaled"),
+              std::string::npos);
+    spec.system.warmupAccesses -= 1;
+    EXPECT_EQ(spec.validationError(), "");
+}
+
+TEST(SpecValidation, DesignKnobRangesComeFromTheRegistry)
+{
+    ExperimentSpec spec;
+    spec.design.as<UnisonConfig>().fhtConfig.numEntries = 1000;
+    // 1000 entries / 6 ways is not a power-of-two set count.
+    const std::string err = spec.validationError();
+    EXPECT_NE(err.find("unison"), std::string::npos);
+    EXPECT_NE(err.find("fhtEntries"), std::string::npos);
+}
+
+TEST(SpecValidation, RunExperimentFatalsOnInvalidSpecs)
+{
+    ExperimentSpec spec;
+    spec.system.numCores = 0;
+    EXPECT_EXIT(runExperiment(spec),
+                ::testing::ExitedWithCode(1),
+                "invalid experiment spec");
+}
+
+} // namespace
+} // namespace unison

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * `unison_sim` -- the one driver for the declarative experiment API.
+ * Any sweep the bench binaries run (and any spec a user writes) runs
+ * from here, machine-readably:
+ *
+ *   unison_sim --list                          # designs, workloads,
+ *                                              # scenarios, figures
+ *   unison_sim --figure fig7 --threads 4       # re-run a paper figure
+ *   unison_sim --figure fig7 --export-spec fig7.json
+ *   unison_sim --spec specs/fig7.json --format json --out out.json
+ *   unison_sim --spec specs/smoke.json --shard 0/2 --out s0.json
+ *   unison_sim --merge s0.json,s1.json --out merged.json
+ *
+ * Sharding splits a grid round-robin by point index; a merge of all
+ * shard result files is byte-identical to the unsharded run's output
+ * (CI enforces this), so grids can spread across processes or hosts
+ * with no coordination beyond the spec file.
+ */
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "sim/figures.hh"
+#include "sim/spec_json.hh"
+#include "trace/scenarios.hh"
+
+namespace {
+
+using namespace unison;
+using namespace unison::bench;
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot read ", path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+void
+writeOutput(const std::string &path, const std::string &content)
+{
+    if (path.empty()) {
+        std::fputs(content.c_str(), stdout);
+        return;
+    }
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot write ", path);
+    out << content;
+    std::fprintf(stderr, "unison_sim: wrote %s\n", path.c_str());
+}
+
+/** `--shard i/n` -> (i, n); (0, 1) when absent. Rejects trailing
+ *  garbage ("1x/2", "1/2,") instead of silently truncating it. */
+void
+parseShard(const std::string &text, std::size_t &shard,
+           std::size_t &shards)
+{
+    shard = 0;
+    shards = 1;
+    if (text.empty())
+        return;
+    const char *begin = text.data();
+    const char *end = begin + text.size();
+    auto r = std::from_chars(begin, end, shard);
+    if (r.ec != std::errc() || r.ptr == end || *r.ptr != '/')
+        fatal("--shard must look like i/n, got '", text, "'");
+    r = std::from_chars(r.ptr + 1, end, shards);
+    if (r.ec != std::errc() || r.ptr != end)
+        fatal("--shard must look like i/n, got '", text, "'");
+    if (shards == 0 || shard >= shards)
+        fatal("--shard needs 0 <= i < n, got ", shard, "/", shards);
+}
+
+// ------------------------------------------------------------- list
+
+void
+listEverything()
+{
+    const DesignRegistry &registry = DesignRegistry::instance();
+    std::printf("designs (--design ids for spec files):\n");
+    for (const DesignInfo &info : registry.all()) {
+        std::printf("  %-16s %s\n      %s\n", info.id.c_str(),
+                    info.name.c_str(), info.summary.c_str());
+        for (const DesignKnob &knob : info.knobs)
+            std::printf("      knob %-22s %s\n", knob.key.c_str(),
+                        knob.help.c_str());
+    }
+
+    std::printf("\nworkload presets:\n");
+    for (Workload w : allWorkloads())
+        std::printf("  %-16s %s\n",
+                    normalizedNameKey(workloadName(w)).c_str(),
+                    workloadName(w).c_str());
+
+    std::printf("\nmix scenarios:\n");
+    for (ScenarioKind kind :
+         {ScenarioKind::PointerChase, ScenarioKind::StreamScan,
+          ScenarioKind::RandomUpdate, ScenarioKind::ProducerConsumer})
+        std::printf("  %-16s %s\n",
+                    normalizedNameKey(scenarioName(kind)).c_str(),
+                    scenarioName(kind).c_str());
+
+    std::printf("\nfigures (--figure):\n");
+    for (const std::string &name : figureNames())
+        std::printf("  %-16s %s\n", name.c_str(),
+                    figureSummary(name).c_str());
+}
+
+// ------------------------------------------------------------ merge
+
+std::vector<std::string>
+splitCommas(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::string current;
+    for (const char c : text) {
+        if (c == ',') {
+            if (!current.empty())
+                out.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    if (!current.empty())
+        out.push_back(current);
+    return out;
+}
+
+void
+mergeResults(const std::vector<std::string> &paths,
+             const std::string &out_path)
+{
+    if (paths.size() < 2)
+        fatal("--merge needs at least two result files");
+    std::string grid_name, grid_hash;
+    std::vector<ResultPoint> merged;
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+        std::string name, shard, hash;
+        std::vector<ResultPoint> points =
+            resultsFromJson(json::parse(readFile(paths[i])), &name,
+                            &shard, &hash);
+        if (i == 0) {
+            grid_name = name;
+            grid_hash = hash;
+        } else if (name != grid_name) {
+            fatal("cannot merge results of grid '", name,
+                  "' into grid '", grid_name, "'");
+        } else if (hash != grid_hash) {
+            // Same grid name but a different fingerprint: the spec
+            // file changed between shard runs.
+            fatal("cannot merge ", paths[i], ": its grid fingerprint ",
+                  hash.empty() ? "(none)" : hash,
+                  " differs from ",
+                  grid_hash.empty() ? "(none)" : grid_hash,
+                  " -- the shards come from different runs of grid '",
+                  grid_name, "'");
+        }
+        for (ResultPoint &point : points)
+            merged.push_back(std::move(point));
+    }
+
+    // The shards of one grid partition [0, n): after sorting, indexes
+    // must be exactly 0..n-1 (no holes, no duplicates).
+    std::sort(merged.begin(), merged.end(),
+              [](const ResultPoint &a, const ResultPoint &b) {
+                  return a.index < b.index;
+              });
+    for (std::size_t i = 0; i < merged.size(); ++i)
+        if (merged[i].index != i)
+            fatal("merged shards do not cover the grid: expected "
+                  "point index ", i, ", found ", merged[i].index,
+                  " (missing or duplicated shard?)");
+
+    writeOutput(out_path,
+                json::write(resultsToJson(grid_name, "", grid_hash,
+                                          std::move(merged))));
+}
+
+// ------------------------------------------------------------- runs
+
+std::string
+tableOutput(const std::vector<ResultPoint> &points, bool csv)
+{
+    Table t({"label", "design", "workload", "capacity", "miss%",
+             "dc_lat", "uipc"});
+    for (const ResultPoint &point : points) {
+        const SimResult &r = point.result;
+        t.beginRow();
+        t.add(point.label);
+        t.add(r.designName);
+        t.add(specWorkloadName(point.spec));
+        t.add(formatSize(point.spec.capacityBytes));
+        t.add(r.missRatioPercent(), 2);
+        t.add(r.avgDramCacheLatency, 0);
+        t.add(r.uipc, 4);
+    }
+    return csv ? t.toCsv() : t.toString();
+}
+
+int
+runGrid(const std::string &grid_name, std::vector<GridPoint> points,
+        const std::string &shard_text, int threads,
+        const std::string &format, const std::string &out_path)
+{
+    std::size_t shard = 0, shards = 1;
+    parseShard(shard_text, shard, shards);
+    // Fingerprint the FULL grid (before sharding): every shard of one
+    // grid carries the same hash, which is what lets --merge prove the
+    // shard files belong together.
+    const std::string grid_hash = gridFingerprint(
+        json::write(gridToJson(grid_name, points)));
+    if (shards > 1)
+        points = shardPoints(points, shard, shards);
+    if (points.empty())
+        fatal("nothing to run: the grid (or this shard) is empty");
+
+    // Validate everything up front: a bad point should fail before
+    // hours of simulation, not mid-grid.
+    for (const GridPoint &point : points) {
+        const std::string err = point.spec.validationError();
+        if (!err.empty())
+            fatal("point '", point.label, "': ", err);
+    }
+
+    const std::vector<SimResult> results =
+        runAll(points, threads, "unison_sim");
+
+    std::vector<ResultPoint> out;
+    out.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        ResultPoint point;
+        point.index = points[i].index;
+        point.label = points[i].label;
+        point.spec = points[i].spec;
+        point.result = results[i];
+        out.push_back(std::move(point));
+    }
+
+    if (format == "json") {
+        writeOutput(out_path,
+                    json::write(resultsToJson(grid_name, shard_text,
+                                              grid_hash,
+                                              std::move(out))));
+    } else if (format == "csv" || format == "table") {
+        writeOutput(out_path, tableOutput(out, format == "csv"));
+    } else {
+        fatal("--format must be table, csv or json, got '", format,
+              "'");
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(
+        "unison_sim: run experiment specs, paper figures and sharded "
+        "sweeps from the declarative experiment API");
+    args.addFlag("list", "list designs, workloads, scenarios, figures");
+    args.addOption("figure", "", "run a named paper figure sweep");
+    args.addOption("spec", "",
+                   "run a spec/grid JSON file (unison-spec/1 or "
+                   "unison-grid/1)");
+    args.addOption("export-spec", "",
+                   "with --figure: write the grid as JSON instead of "
+                   "running it");
+    args.addOption("shard", "",
+                   "run only points i, i+n, ... of the grid (i/n)");
+    args.addOption("merge", "",
+                   "merge sharded result files (comma-separated) "
+                   "into one");
+    args.addOption("format", "table", "output format: table|csv|json");
+    args.addOption("out", "", "write output to this file (default "
+                              "stdout)");
+    args.addFlag("quick", "8x shorter simulations (figures only)");
+    args.addOption("seed", "42", "workload seed (figures only)");
+    addThreadsOption(args);
+    args.parse(argc, argv);
+
+    const std::string figure = args.getString("figure");
+    const std::string spec_path = args.getString("spec");
+    const std::string merge = args.getString("merge");
+    const int threads = parseThreads(args);
+
+    const int modes = (args.getFlag("list") ? 1 : 0) +
+                      (merge.empty() ? 0 : 1) +
+                      (figure.empty() ? 0 : 1) +
+                      (spec_path.empty() ? 0 : 1);
+    if (modes != 1)
+        fatal("pick exactly one of --list, --figure, --spec or "
+              "--merge (try --list first, or --help)");
+
+    if (args.getFlag("list")) {
+        listEverything();
+        return 0;
+    }
+    if (!merge.empty()) {
+        mergeResults(splitCommas(merge), args.getString("out"));
+        return 0;
+    }
+
+    try {
+        if (!figure.empty()) {
+            FigureOptions opts;
+            opts.quick = args.getFlag("quick");
+            opts.seed = args.getUint("seed");
+            std::vector<GridPoint> points = figureGrid(figure, opts);
+
+            const std::string export_path =
+                args.getString("export-spec");
+            if (!export_path.empty()) {
+                writeOutput(export_path,
+                            json::write(gridToJson(figure, points)));
+                return 0;
+            }
+            return runGrid(figure, std::move(points),
+                           args.getString("shard"), threads,
+                           args.getString("format"),
+                           args.getString("out"));
+        }
+
+        GridFile grid = gridFromJson(json::parse(readFile(spec_path)));
+        return runGrid(grid.name, std::move(grid.points),
+                       args.getString("shard"), threads,
+                       args.getString("format"),
+                       args.getString("out"));
+    } catch (const json::Error &e) {
+        fatal(e.what());
+    }
+}
