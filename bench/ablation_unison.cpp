@@ -10,7 +10,11 @@
  *                     (the paper argues the predictor is unnecessary);
  *  4. singleton    -- singleton bypass on/off (effective capacity);
  *  5. footprint    -- footprint prediction off = fetch whole pages
- *                     (the off-chip traffic explosion FP prevents).
+ *                     (the off-chip traffic explosion FP prevents);
+ *  6. compositions -- the policy-framework hybrids: alloy-fp (block
+ *                     cache + footprint-grouped prefetch) and the
+ *                     unisonwp pluggable way predictors (mru,
+ *                     static0) against the paper's hashed one.
  */
 
 #include <cstdio>
@@ -64,10 +68,14 @@ main(int argc, char **argv)
         "MAP-I miss predictor",
         "no singleton bypass",
         "no footprint pred (whole pages)",
+        "alloy-fp (composed hybrid)",
+        "wp=mru way predictor (composed)",
+        "wp=static0 way predictor (composed)",
     };
 
-    // One nocache baseline plus seven Unison arms per workload; the
-    // grid lives in sim/figures.cc (shared with unison_sim).
+    // One nocache baseline plus ten arms per workload (seven Unison
+    // deviations and three policy-framework compositions); the grid
+    // lives in sim/figures.cc (shared with unison_sim).
     const std::vector<GridPoint> points =
         figureGrid("ablation", figureOptions(opts));
     const std::vector<SimResult> results =

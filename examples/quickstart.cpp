@@ -88,5 +88,12 @@ main(int argc, char **argv)
     table.add(std::string("speedup"));
     table.add(b.uipc > 0 ? r.uipc / b.uipc : 0.0);
     table.print();
+
+    // The raw counter set behind the headline numbers, emitted from
+    // the same X-macro field list the JSON schema and reset() use.
+    std::printf("\nDRAM cache counters:\n");
+    Table counters({"counter", "value"});
+    addCounterRows(counters, r.cache);
+    counters.print();
     return 0;
 }

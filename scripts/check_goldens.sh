@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Byte-compare the paper-figure bench outputs against the checked-in
+# goldens in goldens/. This is how the policy framework's bit-identity
+# claim is enforced on every push: any change to simulated behaviour
+# -- tag scan order, victim choice, DRAM timing, fetch policy -- shows
+# up as a diff here.
+#
+# Usage:
+#   scripts/check_goldens.sh <build-dir>            # compare
+#   scripts/check_goldens.sh <build-dir> --update   # regenerate goldens
+#
+# Output is bit-identical for any --threads, so THREADS (default 2)
+# only affects wall-clock.
+set -euo pipefail
+
+build="${1:?usage: check_goldens.sh <build-dir> [--update]}"
+mode="${2:-}"
+threads="${THREADS:-2}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+
+benches="fig5_associativity fig6_missratio fig7_performance \
+         fig8_tpch table5_predictors ablation_unison mixes"
+
+rc=0
+for bench in $benches; do
+    golden="$root/goldens/$bench.csv"
+    tmp="$(mktemp)"
+    "$build/$bench" --quick --seed 42 --threads "$threads" --csv \
+        > "$tmp" 2>/dev/null
+    if [ "$mode" = "--update" ]; then
+        mv "$tmp" "$golden"
+        echo "updated $golden"
+    elif cmp -s "$golden" "$tmp"; then
+        echo "OK       $bench"
+        rm -f "$tmp"
+    else
+        echo "DIFFERS  $bench (vs $golden)"
+        diff "$golden" "$tmp" | head -20 || true
+        rm -f "$tmp"
+        rc=1
+    fi
+done
+exit $rc

@@ -19,7 +19,9 @@ AlloyCache::AlloyCache(const AlloyConfig &config, DramModule *offchip)
         mp.numCores = config_.numCores;
         missPred_ = std::make_unique<MissPredictor>(mp);
     }
-    tads_.assign(geometry_.numTads, 0);
+    org_.init(geometry_.numTads);
+    fill_.init(offchip, &stats_);
+    writeback_.init(offchip, &stats_);
 }
 
 void
@@ -30,23 +32,13 @@ AlloyCache::resetStats()
         missPred_->resetStats();
 }
 
-void
-AlloyCache::locate(Addr addr, std::uint64_t &tad_idx,
-                   std::uint32_t &tag) const
-{
-    const std::uint64_t block = blockNumber(addr);
-    std::uint64_t q;
-    geometry_.numTadsDiv.divMod(block, q, tad_idx);
-    tag = static_cast<std::uint32_t>(q);
-}
-
 DramCacheResult
 AlloyCache::access(const DramCacheRequest &req)
 {
     std::uint64_t tad_idx;
     std::uint32_t tag;
-    locate(req.addr, tad_idx, tag);
-    std::uint64_t &tad = tads_[tad_idx];
+    org_.locate(blockNumber(req.addr), tad_idx, tag);
+    std::uint64_t &tad = org_.word(tad_idx);
     const std::uint64_t row = geometry_.rowOfTad(tad_idx);
     const bool hit = (tad & ~kDirty) == (kValid | tag);
 
@@ -74,11 +66,8 @@ AlloyCache::access(const DramCacheRequest &req)
                 const Cycle victim_read =
                     stacked_->rowAccess(row, kBlockBytes, false, tag_done)
                         .completion;
-                const Addr victim_addr = blockAddress(
-                    (tad & kTagMask) * geometry_.numTads + tad_idx);
-                offchip_->addrAccess(victim_addr, kBlockBytes, true,
-                                     victim_read);
-                ++stats_.offchipWritebackBlocks;
+                writeback_.writeBlock(
+                    blockAddress(org_.blockOf(tad_idx)), victim_read);
             }
         }
         tad = kValid | kDirty | tag;
@@ -111,11 +100,7 @@ AlloyCache::access(const DramCacheRequest &req)
         // Predicted hit, actual miss: memory access is serialized
         // behind the in-DRAM tag probe (the AC miss penalty).
         ++stats_.misses;
-        const Cycle mem_done =
-            offchip_->addrAccess(req.addr, kBlockBytes, false, tad_done)
-                .completion;
-        ++stats_.offchipDemandBlocks;
-        result.doneAt = mem_done;
+        result.doneAt = fill_.demandBlock(req.addr, tad_done);
     } else {
         // Predicted miss: fetch from memory immediately; the probe
         // only verifies (issued in parallel).
@@ -125,16 +110,12 @@ AlloyCache::access(const DramCacheRequest &req)
         if (hit) {
             // Useless memory fetch for a block we already have.
             ++stats_.hits;
-            offchip_->addrAccess(req.addr, kBlockBytes, false, start);
-            ++stats_.offchipWastedBlocks;
+            fill_.wastedBlock(req.addr, start);
             result.doneAt = tad_done;
             return result;
         }
         ++stats_.misses;
-        const Cycle mem_done =
-            offchip_->addrAccess(req.addr, kBlockBytes, false, start)
-                .completion;
-        ++stats_.offchipDemandBlocks;
+        const Cycle mem_done = fill_.demandBlock(req.addr, start);
         result.doneAt = std::max(mem_done, Cycle(0));
     }
 
@@ -143,11 +124,8 @@ AlloyCache::access(const DramCacheRequest &req)
         ++stats_.evictions;
         if ((tad & kDirty) != 0) {
             // The victim's data arrived with the probe; write it back.
-            const Addr victim_addr = blockAddress(
-                (tad & kTagMask) * geometry_.numTads + tad_idx);
-            offchip_->addrAccess(victim_addr, kBlockBytes, true,
-                                 result.doneAt);
-            ++stats_.offchipWritebackBlocks;
+            writeback_.writeBlock(blockAddress(org_.blockOf(tad_idx)),
+                                  result.doneAt);
         }
     }
     tad = kValid | tag;
@@ -160,8 +138,8 @@ AlloyCache::blockPresent(Addr addr) const
 {
     std::uint64_t tad_idx;
     std::uint32_t tag;
-    locate(addr, tad_idx, tag);
-    return (tads_[tad_idx] & ~kDirty) == (kValid | tag);
+    org_.locate(blockNumber(addr), tad_idx, tag);
+    return org_.present(tad_idx, tag);
 }
 
 bool
@@ -169,8 +147,8 @@ AlloyCache::blockDirty(Addr addr) const
 {
     std::uint64_t tad_idx;
     std::uint32_t tag;
-    locate(addr, tad_idx, tag);
-    return tads_[tad_idx] == (kValid | kDirty | tag);
+    org_.locate(blockNumber(addr), tad_idx, tag);
+    return org_.word(tad_idx) == (kValid | kDirty | tag);
 }
 
 

@@ -5,11 +5,14 @@
  *
  * A direct-mapped, block-based stacked-DRAM cache that "alloys" each
  * 64 B data block with its 8 B tag into a 72 B TAD unit, streamed in a
- * single DRAM access (112 TADs per 8 KB row). A MAP-I miss predictor
- * moves the in-DRAM tag probe off the critical path on predicted
- * misses: the off-chip fetch is issued immediately and the probe only
- * verifies. Mispredicted hits cost a useless memory fetch; mispredicted
- * misses serialize the probe before the memory access.
+ * single DRAM access (112 TADs per 8 KB row). In framework terms this
+ * is DirectOrganization (one packed tag word per TAD frame) with the
+ * single-block fetch policy -- no footprint machinery -- plus a MAP-I
+ * miss predictor that moves the in-DRAM tag probe off the critical
+ * path on predicted misses: the off-chip fetch is issued immediately
+ * and the probe only verifies. Mispredicted hits cost a useless memory
+ * fetch; mispredicted misses serialize the probe before the memory
+ * access.
  */
 
 #ifndef UNISON_BASELINES_ALLOY_CACHE_HH
@@ -19,8 +22,9 @@
 #include <memory>
 #include <vector>
 
-#include "cache/set_scan.hh"
+#include "cache/organization.hh"
 #include "core/dram_cache.hh"
+#include "core/fill_engine.hh"
 #include "core/geometry.hh"
 #include "dram/dram.hh"
 #include "dram/timing.hh"
@@ -67,16 +71,15 @@ class AlloyCache final : public DramCache
     static constexpr std::uint64_t kDirty = kWayDirtyBit;
     static constexpr std::uint64_t kTagMask = kWayTagMask;
 
-    void locate(Addr addr, std::uint64_t &tad_idx,
-                std::uint32_t &tag) const;
-
     AlloyConfig config_;
     AlloyGeometry geometry_;
     std::unique_ptr<DramModule> stacked_;
     std::unique_ptr<MissPredictor> missPred_;
-    /** One packed word per direct-mapped TAD frame: the whole lookup
-     *  is a single 8-byte load and masked compare. */
-    std::vector<std::uint64_t> tads_;
+    /** CacheOrganization: one packed word per direct-mapped TAD frame;
+     *  the whole lookup is a single 8-byte load and masked compare. */
+    DirectOrganization org_;
+    FillEngine fill_;
+    WritebackEngine writeback_;
 };
 
 } // namespace unison

@@ -2,24 +2,10 @@
 
 #include "sim/design_registry.hh"
 
-#include <bit>
-
 #include "common/bitops.hh"
 #include "common/logging.hh"
 
 namespace unison {
-
-namespace {
-
-Pc
-fhtPc(Pc pc)
-{
-    return pc & 0xffffffffull;
-}
-
-constexpr std::uint32_t kFullMask = 0xffffffffu; // 32-block pages
-
-} // namespace
 
 FootprintCache::FootprintCache(const FootprintCacheConfig &config,
                                DramModule *offchip)
@@ -31,16 +17,21 @@ FootprintCache::FootprintCache(const FootprintCacheConfig &config,
                       : geometry_.tagLatency),
       stacked_(std::make_unique<DramModule>(config.stackedOrg,
                                             config.stackedTiming)),
-      fht_([&] {
-          FootprintTableConfig c = config.fhtConfig;
-          c.maxBlocksPerPage = 32;
+      fetchPolicy_([&] {
+          FootprintFetchPolicy::Config c;
+          c.fht = config.fhtConfig;
+          c.fht.maxBlocksPerPage = 32;
+          c.singleton = config.singletonConfig;
+          c.footprintPrediction = config.footprintPredictionEnabled;
+          c.singletonBypass = config.singletonEnabled;
           return c;
-      }()),
-      singletons_(config.singletonConfig)
+      }())
 {
     UNISON_ASSERT(offchip != nullptr,
                   "Footprint Cache needs a memory pool");
-    ways_.resize(geometry_.numSets * geometry_.assoc);
+    org_.init(geometry_.pageBlocks, geometry_.numSets, geometry_.assoc);
+    fill_.init(offchip, &stats_);
+    writeback_.init(offchip, &stats_);
 }
 
 void
@@ -48,67 +39,20 @@ FootprintCache::resetStats()
 {
     DramCache::resetStats();
     ++statsGen_;
-    fht_.resetStats();
-    singletons_.resetStats();
-}
-
-FootprintCache::Location
-FootprintCache::locate(Addr addr) const
-{
-    Location loc;
-    const std::uint64_t block = blockNumber(addr);
-    std::uint64_t off, tag, set;
-    geometry_.pageBlocksDiv.divMod(block, loc.page, off);
-    loc.offset = static_cast<std::uint32_t>(off);
-    geometry_.numSetsDiv.divMod(loc.page, tag, set);
-    loc.set = set;
-    loc.tag = static_cast<std::uint32_t>(tag);
-    return loc;
+    fetchPolicy_.resetStats();
 }
 
 void
 FootprintCache::evictPage(std::uint64_t set, int way, Cycle when)
 {
     const std::size_t idx = setBase(set) + way;
-    UNISON_ASSERT(ways_.valid(idx), "evicting an invalid way");
-    ++stats_.evictions;
-
     const std::uint64_t page =
-        ways_.tag(idx) * geometry_.numSets + set;
-
-    const std::uint32_t dirty_mask = ways_.hot[idx].dirty;
-    if (dirty_mask != 0) {
-        const std::uint32_t dirty_blocks = popCount(dirty_mask);
-        const Cycle read_done =
-            stacked_
-                ->rowAccess(geometry_.dataRowOfWay(set, way),
-                            dirty_blocks * kBlockBytes, false, when)
-                .completion;
-        std::uint32_t mask = dirty_mask;
-        while (mask != 0) {
-            const std::uint32_t off = static_cast<std::uint32_t>(
-                std::countr_zero(mask));
-            mask &= mask - 1;
-            offchip_->addrAccess(blockAddrOf(page, off), kBlockBytes,
-                                 true, read_done);
-        }
-        stats_.offchipWritebackBlocks += dirty_blocks;
-    }
-
-    UNISON_ASSERT(ways_.hot[idx].touched != 0, "resident page never touched");
-    fht_.update(ways_.cold[idx].pcHash, ways_.cold[idx].trigger,
-                ways_.hot[idx].touched);
-
-    if (ways_.cold[idx].gen == statsGen_) {
-        stats_.fpPredictedTouched +=
-            popCount(ways_.cold[idx].predicted & ways_.hot[idx].touched);
-        stats_.fpTouched += popCount(ways_.hot[idx].touched);
-        stats_.fpFetchedUntouched +=
-            popCount(ways_.hot[idx].fetched & ~ways_.hot[idx].touched);
-        stats_.fpFetched += popCount(ways_.hot[idx].fetched);
-    }
-
-    ways_.invalidate(idx);
+        org_.pageOf(set, static_cast<std::uint32_t>(way));
+    evictPageWay(
+        ways(), idx, writeback_, *stacked_,
+        geometry_.dataRowOfWay(set, static_cast<std::uint32_t>(way)),
+        [&](std::uint32_t off) { return blockAddrOf(page, off); }, when,
+        fetchPolicy_, stats_, statsGen_);
 }
 
 DramCacheResult
@@ -131,14 +75,14 @@ FootprintCache::access(const DramCacheRequest &req)
         const std::size_t idx = setBase(loc.set) + way;
         const std::uint64_t data_row =
             geometry_.dataRowOfWay(loc.set, way);
-        if ((ways_.hot[idx].fetched & bit) != 0) {
+        if ((ways().hot[idx].fetched & bit) != 0) {
             // Block hit: SRAM tag, then the DRAM data access
             // (serialized -- Table II's FC hit-latency structure).
             ++stats_.hits;
-            ways_.hot[idx].touched |= bit;
+            ways().hot[idx].touched |= bit;
             if (req.isWrite)
-                ways_.hot[idx].dirty |= bit;
-            ways_.hot[idx].lastUse = ++useCounter_;
+                ways().hot[idx].dirty |= bit;
+            ways().hot[idx].lastUse = ++useCounter_;
             result.hit = true;
             result.doneAt =
                 stacked_
@@ -151,23 +95,20 @@ FootprintCache::access(const DramCacheRequest &req)
         // speed; fetch only the missing block.
         ++stats_.misses;
         ++stats_.blockMisses;
-        ways_.hot[idx].lastUse = ++useCounter_;
+        ways().hot[idx].lastUse = ++useCounter_;
         result.hit = false;
         if (req.isWrite) {
-            ways_.hot[idx].fetched |= bit;
-            ways_.hot[idx].touched |= bit;
-            ways_.hot[idx].dirty |= bit;
+            ways().hot[idx].fetched |= bit;
+            ways().hot[idx].touched |= bit;
+            ways().hot[idx].dirty |= bit;
             result.doneAt =
                 stacked_->rowAccess(data_row, kBlockBytes, true, tag_done)
                     .completion;
             return result;
         }
-        const Cycle mem_done =
-            offchip_->addrAccess(req.addr, kBlockBytes, false, tag_done)
-                .completion;
-        ++stats_.offchipDemandBlocks;
-        ways_.hot[idx].fetched |= bit;
-        ways_.hot[idx].touched |= bit;
+        const Cycle mem_done = fill_.demandBlock(req.addr, tag_done);
+        ways().hot[idx].fetched |= bit;
+        ways().hot[idx].touched |= bit;
         stacked_->rowAccess(data_row, kBlockBytes, true, mem_done);
         result.doneAt = mem_done;
         return result;
@@ -181,94 +122,47 @@ FootprintCache::access(const DramCacheRequest &req)
     if (req.isWrite) {
         // Write-no-allocate: L2 writebacks to non-resident pages go
         // straight to memory (see the Unison Cache rationale).
-        result.doneAt =
-            offchip_
-                ->addrAccess(blockAddrOf(loc.page, loc.offset),
-                             kBlockBytes, true, tag_done)
-                .completion;
-        ++stats_.offchipWritebackBlocks;
+        result.doneAt = writeback_.writeBlock(
+            blockAddrOf(loc.page, loc.offset), tag_done);
         return result;
     }
 
-    bool promoted = false;
-    if (config_.singletonEnabled) {
-        Pc spc;
-        std::uint32_t soff, sfirst;
-        if (singletons_.checkAndRemove(loc.page, spc, soff, sfirst)) {
-            fht_.merge(spc, soff, (1u << sfirst) | bit);
-            promoted = true;
-        }
-    }
+    // Footprint prediction (and singleton promotion) for the trigger.
+    const FetchDecision decision = fetchPolicy_.onTriggerMiss(
+        loc.page, req.pc, loc.offset, 0xffffffffu);
 
-    std::uint32_t predicted = kFullMask;
-    if (config_.footprintPredictionEnabled) {
-        std::uint64_t fht_mask;
-        if (fht_.predict(fhtPc(req.pc), loc.offset, fht_mask))
-            predicted = static_cast<std::uint32_t>(fht_mask);
-    }
-    predicted |= bit;
-
-    if (config_.singletonEnabled && !promoted && predicted == bit &&
-        config_.footprintPredictionEnabled) {
+    if (decision.bypassSingleton) {
         ++stats_.singletonBypasses;
-        const Addr addr = blockAddrOf(loc.page, loc.offset);
-        result.doneAt =
-            offchip_->addrAccess(addr, kBlockBytes, false, tag_done)
-                .completion;
-        ++stats_.offchipDemandBlocks;
-        singletons_.insert(loc.page, fhtPc(req.pc), loc.offset,
-                           loc.offset);
+        result.doneAt = fill_.demandBlock(
+            blockAddrOf(loc.page, loc.offset), tag_done);
+        fetchPolicy_.noteBypass(loc.page, req.pc, loc.offset);
         return result;
     }
 
-    const int victim = pickVictim(loc.set);
+    const int victim = org_.pickVictim(loc.set);
     const std::size_t idx = setBase(loc.set) + victim;
-    if (ways_.valid(idx))
+    if (ways().valid(idx))
         evictPage(loc.set, victim, tag_done);
 
     // Fetch the footprint: demanded block first (critical), the rest
     // streamed behind it.
-    const std::uint32_t fetch_mask = predicted;
-    Cycle critical = tag_done;
-    Cycle last_done = tag_done;
-    std::uint32_t mask = fetch_mask;
-    if ((mask & bit) != 0) {
-        critical = offchip_
-                       ->addrAccess(blockAddrOf(loc.page, loc.offset),
-                                    kBlockBytes, false, tag_done)
-                       .completion;
-        last_done = critical;
-        mask &= ~bit;
-    }
-    while (mask != 0) {
-        const std::uint32_t off = static_cast<std::uint32_t>(
-            std::countr_zero(mask));
-        mask &= mask - 1;
-        const Cycle done =
-            offchip_
-                ->addrAccess(blockAddrOf(loc.page, off), kBlockBytes,
-                             false, tag_done)
-                .completion;
-        last_done = std::max(last_done, done);
-    }
+    const std::uint32_t fetch_mask = decision.mask;
+    const FillEngine::FootprintFetch fetch = fill_.fetchFootprint(
+        [&](std::uint32_t off) { return blockAddrOf(loc.page, off); },
+        fetch_mask, loc.offset, tag_done, tag_done);
 
     stacked_->rowAccess(geometry_.dataRowOfWay(loc.set, victim),
                         popCount(fetch_mask) * kBlockBytes, true,
-                        last_done);
+                        fetch.lastDone);
 
-    ways_.tagv[idx] = PageWaySoa::kValid | loc.tag;
-    ways_.cold[idx].pcHash = static_cast<std::uint32_t>(fhtPc(req.pc));
-    ways_.cold[idx].trigger = static_cast<std::uint8_t>(loc.offset);
-    ways_.cold[idx].predicted = predicted;
-    ways_.hot[idx].fetched = fetch_mask;
-    ways_.hot[idx].touched = bit;
-    ways_.hot[idx].dirty = 0;
-    ways_.hot[idx].lastUse = ++useCounter_;
-    ways_.cold[idx].gen = statsGen_;
+    ways().install(idx,
+                   {loc.tag,
+                    static_cast<std::uint32_t>(fhtPc(req.pc)),
+                    static_cast<std::uint8_t>(loc.offset),
+                    decision.mask, fetch_mask, bit, ++useCounter_,
+                    statsGen_});
 
-    ++stats_.offchipDemandBlocks;
-    stats_.offchipPrefetchBlocks += popCount(fetch_mask) - 1;
-    result.doneAt = critical;
+    result.doneAt = fetch.critical;
     return result;
 }
 
@@ -286,7 +180,7 @@ FootprintCache::blockPresent(Addr addr) const
     const int way = findWay(loc.set, loc.tag);
     if (way < 0)
         return false;
-    return (ways_.hot[setBase(loc.set) + way].fetched &
+    return (ways().hot[setBase(loc.set) + way].fetched &
             (1u << loc.offset)) != 0;
 }
 
@@ -297,7 +191,7 @@ FootprintCache::blockDirty(Addr addr) const
     const int way = findWay(loc.set, loc.tag);
     if (way < 0)
         return false;
-    return (ways_.hot[setBase(loc.set) + way].dirty &
+    return (ways().hot[setBase(loc.set) + way].dirty &
             (1u << loc.offset)) != 0;
 }
 

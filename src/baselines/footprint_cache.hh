@@ -3,12 +3,15 @@
  * Footprint Cache baseline (Jevdjic et al., ISCA 2013; Sec. II-B and
  * IV-C.2 of the Unison paper).
  *
- * A page-based stacked-DRAM cache with *SRAM* tags: 2 KB pages, 32-way
- * sets, the same footprint predictor and singleton machinery as Unison
- * Cache. Every access pays the SRAM tag-array latency (Table IV, 6-48
- * cycles depending on capacity) before the DRAM data access -- the
- * scalability problem Unison Cache exists to remove. Misses, however,
- * are detected at SRAM speed (FC's miss-latency advantage).
+ * A page-based stacked-DRAM cache with *SRAM* tags, expressed as a
+ * composition over the policy framework: PageOrganization (2 KB
+ * pages, 32-way sets) + FootprintFetchPolicy (the same footprint
+ * predictor and singleton machinery as Unison Cache) + the shared
+ * fill/writeback engines. Every access pays the SRAM tag-array
+ * latency (Table IV, 6-48 cycles depending on capacity) before the
+ * DRAM data access -- the scalability problem Unison Cache exists to
+ * remove. Misses, however, are detected at SRAM speed (FC's
+ * miss-latency advantage).
  */
 
 #ifndef UNISON_BASELINES_FOOTPRINT_CACHE_HH
@@ -18,13 +21,13 @@
 #include <memory>
 #include <vector>
 
-#include "cache/page_set.hh"
+#include "cache/organization.hh"
 #include "core/dram_cache.hh"
+#include "core/fill_engine.hh"
 #include "core/geometry.hh"
 #include "dram/dram.hh"
 #include "dram/timing.hh"
-#include "predictors/footprint_table.hh"
-#include "predictors/singleton_table.hh"
+#include "predictors/fetch_policy.hh"
 
 namespace unison {
 
@@ -64,8 +67,14 @@ class FootprintCache final : public DramCache
     const FootprintCacheConfig &config() const { return config_; }
     const FootprintGeometry &geometry() const { return geometry_; }
     Cycle tagLatency() const { return tagLatency_; }
-    const FootprintHistoryTable &footprintTable() const { return fht_; }
-    const SingletonTable &singletonTable() const { return singletons_; }
+    const FootprintHistoryTable &footprintTable() const
+    {
+        return fetchPolicy_.footprintTable();
+    }
+    const SingletonTable &singletonTable() const
+    {
+        return fetchPolicy_.singletonTable();
+    }
 
     /** @name Test hooks */
     /**@{*/
@@ -75,33 +84,23 @@ class FootprintCache final : public DramCache
     /**@}*/
 
   private:
-    struct Location
-    {
-        std::uint64_t page = 0;
-        std::uint32_t offset = 0;
-        std::uint64_t set = 0;
-        std::uint32_t tag = 0;
-    };
+    using Location = PageLocation;
 
-    Location locate(Addr addr) const;
+    Location locate(Addr addr) const { return org_.locate(addr); }
 
-    /** Base SoA index of `set` (way fields live at base + way). */
     std::size_t setBase(std::uint64_t set) const
     {
-        return static_cast<std::size_t>(set) * geometry_.assoc;
+        return org_.setBase(set);
     }
     int
     findWay(std::uint64_t set, std::uint32_t tag) const
     {
-        return ways_.findWay(setBase(set), geometry_.assoc, tag);
-    }
-    int
-    pickVictim(std::uint64_t set) const
-    {
-        return static_cast<int>(
-            ways_.pickVictim(setBase(set), geometry_.assoc));
+        return org_.findWay(set, tag);
     }
     void evictPage(std::uint64_t set, int way, Cycle when);
+
+    PageWaySoa &ways() { return org_.ways(); }
+    const PageWaySoa &ways() const { return org_.ways(); }
 
     Addr
     blockAddrOf(std::uint64_t page, std::uint32_t offset) const
@@ -113,13 +112,15 @@ class FootprintCache final : public DramCache
     FootprintGeometry geometry_;
     Cycle tagLatency_;
     std::unique_ptr<DramModule> stacked_;
-    FootprintHistoryTable fht_;
-    SingletonTable singletons_;
-    /** SoA page-way metadata; FC's 32-way sets make the contiguous
-     *  packed-tag scan matter most here (256 B vs a 1 KB AoS sweep). */
-    PageWaySoa ways_;
+    FootprintFetchPolicy fetchPolicy_;
+    /** CacheOrganization: SoA page-way metadata; FC's 32-way sets make
+     *  the contiguous packed-tag scan matter most here (256 B vs a
+     *  1 KB AoS sweep). */
+    PageOrganization org_;
+    FillEngine fill_;
+    WritebackEngine writeback_;
     std::uint32_t useCounter_ = 0;
-    std::uint8_t statsGen_ = 0; //!< see UnisonCache::statsGen_
+    std::uint8_t statsGen_ = 0; //!< see UnisonCacheT::statsGen_
 };
 
 } // namespace unison

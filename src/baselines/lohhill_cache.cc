@@ -2,8 +2,6 @@
 
 #include "sim/design_registry.hh"
 
-#include "cache/set_scan.hh"
-
 #include "common/logging.hh"
 
 namespace unison {
@@ -40,34 +38,16 @@ LohHillCache::LohHillCache(const LohHillConfig &config, DramModule *offchip)
 {
     UNISON_ASSERT(offchip != nullptr,
                   "Loh-Hill cache needs a memory pool");
-    const std::uint64_t ways = geometry_.numRows * geometry_.waysPerSet;
-    tagv_.assign(ways, 0);
-    lastUse_.assign(ways, 0);
+    org_.init(geometry_.numRows, geometry_.waysPerSet);
+    fill_.init(offchip, &stats_);
+    writeback_.init(offchip, &stats_);
 }
 
 void
 LohHillCache::locate(Addr addr, std::uint64_t &set,
                      std::uint32_t &tag) const
 {
-    const std::uint64_t block = blockNumber(addr);
-    std::uint64_t q;
-    geometry_.numRowsDiv.divMod(block, q, set);
-    tag = static_cast<std::uint32_t>(q);
-}
-
-int
-LohHillCache::findWay(std::uint64_t set, std::uint32_t tag) const
-{
-    return scanWays(&tagv_[set * geometry_.waysPerSet],
-                    geometry_.waysPerSet, ~kDirty, kValid | tag);
-}
-
-int
-LohHillCache::pickVictim(std::uint64_t set) const
-{
-    const std::size_t base = set * geometry_.waysPerSet;
-    return static_cast<int>(pickVictimWay(&tagv_[base], &lastUse_[base],
-                                          geometry_.waysPerSet, kValid));
+    org_.locate(blockNumber(addr), set, tag);
 }
 
 DramCacheResult
@@ -84,7 +64,7 @@ LohHillCache::access(const DramCacheRequest &req)
     // Every access consults the MissMap first (Sec. II-A: it "further
     // increases the DRAM cache hit latency").
     const Cycle mm_done = req.cycle + config_.missMapLatency;
-    const int way = findWay(set, tag);
+    const int way = org_.findWay(set, tag);
 
     DramCacheResult result;
 
@@ -96,22 +76,15 @@ LohHillCache::access(const DramCacheRequest &req)
         if (req.isWrite) {
             // Write-no-allocate keeps the comparison uniform with the
             // other block-based baseline behaviourally relevant paths.
-            result.doneAt =
-                offchip_
-                    ->addrAccess(req.addr, kBlockBytes, true, mm_done)
-                    .completion;
-            ++stats_.offchipWritebackBlocks;
+            result.doneAt = writeback_.writeBlock(req.addr, mm_done);
             return result;
         }
-        const Cycle mem_done =
-            offchip_->addrAccess(req.addr, kBlockBytes, false, mm_done)
-                .completion;
-        ++stats_.offchipDemandBlocks;
+        const Cycle mem_done = fill_.demandBlock(req.addr, mm_done);
 
         // Allocate: tag write + data fill into the row; evict LRU.
-        const int victim = pickVictim(set);
-        const std::size_t vidx = set * geometry_.waysPerSet + victim;
-        const std::uint64_t vw = tagv_[vidx];
+        const int victim = org_.pickVictim(set);
+        const std::size_t vidx = org_.base(set) + victim;
+        const std::uint64_t vw = org_.tagWord(vidx);
         if ((vw & kValid) != 0) {
             ++stats_.evictions;
             if ((vw & kDirty) != 0) {
@@ -119,15 +92,13 @@ LohHillCache::access(const DramCacheRequest &req)
                     stacked_
                         ->rowAccess(set, kBlockBytes, false, mem_done)
                         .completion;
-                const Addr victim_addr = blockAddress(
-                    (vw & kTagMask) * geometry_.numRows + set);
-                offchip_->addrAccess(victim_addr, kBlockBytes, true,
-                                     victim_read);
-                ++stats_.offchipWritebackBlocks;
+                writeback_.writeBlock(
+                    blockAddress(org_.blockOf(set, victim)),
+                    victim_read);
             }
         }
-        tagv_[vidx] = kValid | tag;
-        lastUse_[vidx] = ++useCounter_;
+        org_.tagWord(vidx) = kValid | tag;
+        org_.lastUse(vidx) = ++useCounter_;
         stacked_->rowAccess(set, kBlockBytes + 8, true, mem_done);
         result.doneAt = mem_done;
         return result;
@@ -138,13 +109,13 @@ LohHillCache::access(const DramCacheRequest &req)
     // the second a row-buffer hit; Sec. II-A).
     ++stats_.hits;
     result.hit = true;
-    const std::size_t hidx = set * geometry_.waysPerSet + way;
-    lastUse_[hidx] = ++useCounter_;
+    const std::size_t hidx = org_.base(set) + way;
+    org_.lastUse(hidx) = ++useCounter_;
     const Cycle tag_done =
         stacked_->rowAccess(set, geometry_.tagBytes, false, mm_done)
             .completion;
     if (req.isWrite) {
-        tagv_[hidx] |= kDirty;
+        org_.tagWord(hidx) |= kDirty;
         result.doneAt =
             stacked_->rowAccess(set, kBlockBytes, true, tag_done)
                 .completion;
@@ -162,7 +133,7 @@ LohHillCache::blockPresent(Addr addr) const
     std::uint64_t set;
     std::uint32_t tag;
     locate(addr, set, tag);
-    return findWay(set, tag) >= 0;
+    return org_.findWay(set, tag) >= 0;
 }
 
 bool
@@ -171,9 +142,9 @@ LohHillCache::blockDirty(Addr addr) const
     std::uint64_t set;
     std::uint32_t tag;
     locate(addr, set, tag);
-    const int way = findWay(set, tag);
+    const int way = org_.findWay(set, tag);
     return way >= 0 &&
-           (tagv_[set * geometry_.waysPerSet + way] & kDirty) != 0;
+           (org_.tagWord(org_.base(set) + way) & kDirty) != 0;
 }
 
 

@@ -25,9 +25,10 @@
 #include <memory>
 #include <vector>
 
-#include "cache/set_scan.hh"
+#include "cache/organization.hh"
 #include "common/fastdiv.hh"
 #include "core/dram_cache.hh"
+#include "core/fill_engine.hh"
 #include "dram/dram.hh"
 #include "dram/timing.hh"
 
@@ -90,17 +91,16 @@ class LohHillCache final : public DramCache
     static constexpr std::uint64_t kTagMask = kWayTagMask;
 
     void locate(Addr addr, std::uint64_t &set, std::uint32_t &tag) const;
-    int findWay(std::uint64_t set, std::uint32_t tag) const;
-    int pickVictim(std::uint64_t set) const;
 
     LohHillConfig config_;
     LohHillGeometry geometry_;
     std::unique_ptr<DramModule> stacked_;
-    /** SoA way metadata (`set * waysPerSet + way`): the 113-way row-
-     *  as-set scan sweeps packed tag words contiguously instead of
-     *  pointer-chasing way objects. */
-    std::vector<std::uint64_t> tagv_;
-    std::vector<std::uint32_t> lastUse_;
+    /** CacheOrganization: SoA way metadata (`set * waysPerSet + way`);
+     *  the 113-way row-as-set scan sweeps packed tag words
+     *  contiguously instead of pointer-chasing way objects. */
+    RowSetOrganization org_;
+    FillEngine fill_;
+    WritebackEngine writeback_;
     std::uint32_t useCounter_ = 0;
 };
 

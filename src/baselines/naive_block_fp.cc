@@ -10,16 +10,6 @@
 
 namespace unison {
 
-namespace {
-
-Pc
-fhtPc(Pc pc)
-{
-    return pc & 0xffffffffull;
-}
-
-} // namespace
-
 NaiveBlockFpCache::NaiveBlockFpCache(const NaiveBlockFpConfig &config,
                                      DramModule *offchip)
     : DramCache(offchip, DramCacheKind::NaiveBlockFp),
@@ -28,9 +18,15 @@ NaiveBlockFpCache::NaiveBlockFpCache(const NaiveBlockFpConfig &config,
       pageDiv_(config.pageBlocks),
       stacked_(std::make_unique<DramModule>(config.stackedOrg,
                                             config.stackedTiming)),
-      fht_([&] {
-          FootprintTableConfig c = config.fhtConfig;
-          c.maxBlocksPerPage = config.pageBlocks;
+      fetchPolicy_([&] {
+          FootprintFetchPolicy::Config c;
+          c.fht = config.fhtConfig;
+          c.fht.maxBlocksPerPage = config.pageBlocks;
+          c.footprintPrediction = config.footprintPredictionEnabled;
+          c.singletonBypass = false;
+          // Disabling prediction degenerates to Alloy Cache: fetch
+          // only the demanded block, not the whole logical page.
+          c.wholePageWhenDisabled = false;
           return c;
       }())
 {
@@ -40,7 +36,9 @@ NaiveBlockFpCache::NaiveBlockFpCache(const NaiveBlockFpConfig &config,
                   "logical page size must be a power of two");
     UNISON_ASSERT(config_.pageBlocks <= 32,
                   "footprint masks hold at most 32 blocks");
-    tads_.assign(geometry_.numTads, 0);
+    org_.init(geometry_.numTads);
+    fill_.init(offchip, &stats_);
+    writeback_.init(offchip, &stats_);
 }
 
 void
@@ -48,7 +46,7 @@ NaiveBlockFpCache::resetStats()
 {
     DramCache::resetStats();
     naiveStats_.reset();
-    fht_.resetStats();
+    fetchPolicy_.resetStats();
 }
 
 NaiveBlockFpCache::Location
@@ -56,11 +54,10 @@ NaiveBlockFpCache::locate(Addr addr) const
 {
     Location loc;
     loc.block = blockNumber(addr);
-    std::uint64_t off, tag;
+    std::uint64_t off;
     pageDiv_.divMod(loc.block, loc.page, off);
     loc.offset = static_cast<std::uint32_t>(off);
-    geometry_.numTadsDiv.divMod(loc.block, tag, loc.tadIdx);
-    loc.tag = static_cast<std::uint32_t>(tag);
+    org_.locate(loc.block, loc.tadIdx, loc.tag);
     return loc;
 }
 
@@ -81,12 +78,8 @@ void
 NaiveBlockFpCache::noteBlockEvicted(std::uint64_t page,
                                     std::uint32_t offset, Cycle when)
 {
-    auto it = pages_.find(page);
-    if (it == pages_.end())
-        return;
-    PageInfo &info = it->second;
-    info.residentMask &= ~(1u << offset);
-    if (info.residentMask != 0)
+    PageGroupTracker::PageInfo info;
+    if (!pages_.removeBlock(page, offset, info))
         return;
 
     // Last block of the page left the cache: the hardware would have
@@ -98,42 +91,36 @@ NaiveBlockFpCache::noteBlockEvicted(std::uint64_t page,
     chargeRowScan(geometry_.rowOfTad(first_tad), when);
 
     if (info.touchedMask != 0)
-        fht_.update(info.pcHash, info.triggerOffset, info.touchedMask);
+        fetchPolicy_.trainEviction(info.pcHash, info.triggerOffset,
+                                   info.touchedMask);
 
-    stats_.fpPredictedTouched +=
-        popCount(info.fetchedMask & info.touchedMask);
-    stats_.fpTouched += popCount(info.touchedMask);
-    stats_.fpFetchedUntouched +=
-        popCount(info.fetchedMask & ~info.touchedMask);
-    stats_.fpFetched += popCount(info.fetchedMask);
-    pages_.erase(it);
+    accountFootprint(stats_, info.fetchedMask, info.touchedMask,
+                     info.fetchedMask);
 }
 
 void
 NaiveBlockFpCache::installBlock(const Location &loc, bool dirty,
                                 Cycle when)
 {
-    std::uint64_t &tad = tads_[loc.tadIdx];
+    std::uint64_t &tad = org_.word(loc.tadIdx);
     if ((tad & kValid) != 0 && (tad & kTagMask) != loc.tag) {
         ++stats_.evictions;
         ++naiveStats_.conflictFills;
-        const std::uint64_t victim_block =
-            (tad & kTagMask) * geometry_.numTads + loc.tadIdx;
+        const std::uint64_t victim_block = org_.blockOf(loc.tadIdx);
         if ((tad & kDirty) != 0) {
             const Cycle read_done =
                 stacked_
                     ->rowAccess(geometry_.rowOfTad(loc.tadIdx),
                                 kBlockBytes, false, when)
                     .completion;
-            offchip_->addrAccess(blockAddr(victim_block), kBlockBytes,
-                                 true, read_done);
-            ++stats_.offchipWritebackBlocks;
+            writeback_.writeBlock(blockAddr(victim_block), read_done);
         }
         const std::uint64_t victim_page =
             victim_block / config_.pageBlocks;
-        auto it = pages_.find(victim_page);
-        if (it != pages_.end() &&
-            popCount(it->second.residentMask) > 1) {
+        PageGroupTracker::PageInfo *victim_info =
+            pages_.find(victim_page);
+        if (victim_info != nullptr &&
+            popCount(victim_info->residentMask) > 1) {
             // The victim page still had other live blocks: its
             // footprint is being truncated mid-residency (Fig. 4a's
             // overlap conflict).
@@ -154,7 +141,7 @@ DramCacheResult
 NaiveBlockFpCache::access(const DramCacheRequest &req)
 {
     const Location loc = locate(req.addr);
-    std::uint64_t &tad = tads_[loc.tadIdx];
+    std::uint64_t &tad = org_.word(loc.tadIdx);
     const std::uint64_t row = geometry_.rowOfTad(loc.tadIdx);
     const bool hit = (tad & ~kDirty) == (kValid | loc.tag);
     const std::uint32_t bit = 1u << loc.offset;
@@ -169,10 +156,10 @@ NaiveBlockFpCache::access(const DramCacheRequest &req)
         if (hit) {
             ++stats_.hits;
             tad |= kDirty;
-            auto it = pages_.find(loc.page);
-            if (it != pages_.end()) {
-                it->second.touchedMask |= bit;
-                it->second.fetchedMask |= bit;
+            if (PageGroupTracker::PageInfo *info =
+                    pages_.find(loc.page)) {
+                info->touchedMask |= bit;
+                info->fetchedMask |= bit;
             }
             result.doneAt =
                 stacked_->rowAccess(row, kBlockBytes, true, tag_done)
@@ -183,10 +170,7 @@ NaiveBlockFpCache::access(const DramCacheRequest &req)
         // write would train footprints with writeback PCs (the same
         // rationale as the page-based designs).
         ++stats_.misses;
-        result.doneAt =
-            offchip_->addrAccess(req.addr, kBlockBytes, true, req.cycle)
-                .completion;
-        ++stats_.offchipWritebackBlocks;
+        result.doneAt = writeback_.writeBlock(req.addr, req.cycle);
         return result;
     }
 
@@ -199,9 +183,8 @@ NaiveBlockFpCache::access(const DramCacheRequest &req)
 
     if (hit) {
         ++stats_.hits;
-        auto it = pages_.find(loc.page);
-        if (it != pages_.end())
-            it->second.touchedMask |= bit;
+        if (PageGroupTracker::PageInfo *info = pages_.find(loc.page))
+            info->touchedMask |= bit;
         result.doneAt = tad_done;
         return result;
     }
@@ -213,24 +196,19 @@ NaiveBlockFpCache::access(const DramCacheRequest &req)
     // scanning every TAD tag in the row.
     const Cycle scan_done = chargeRowScan(row, tad_done);
 
-    auto it = pages_.find(loc.page);
-    const bool trigger = (it == pages_.end());
+    const bool trigger = !pages_.tracked(loc.page);
 
     if (!trigger) {
         // Some blocks of the page are resident: fetch just this block.
         ++stats_.blockMisses;
-        const Cycle mem_done =
-            offchip_->addrAccess(req.addr, kBlockBytes, false, scan_done)
-                .completion;
-        ++stats_.offchipDemandBlocks;
+        const Cycle mem_done = fill_.demandBlock(req.addr, scan_done);
         installBlock(loc, false, mem_done);
         // installBlock may have displaced this very page's tracking if
         // the victim was a sibling; re-find before updating.
-        auto it2 = pages_.find(loc.page);
-        if (it2 != pages_.end()) {
-            it2->second.fetchedMask |= bit;
-            it2->second.touchedMask |= bit;
-            it2->second.residentMask |= bit;
+        if (PageGroupTracker::PageInfo *info = pages_.find(loc.page)) {
+            info->fetchedMask |= bit;
+            info->touchedMask |= bit;
+            info->residentMask |= bit;
         }
         result.doneAt = mem_done;
         return result;
@@ -238,39 +216,26 @@ NaiveBlockFpCache::access(const DramCacheRequest &req)
 
     // Trigger miss: predict the footprint and fetch it.
     ++stats_.pageMisses;
-    std::uint32_t predicted = bit;
-    if (config_.footprintPredictionEnabled) {
-        std::uint64_t mask;
-        if (fht_.predict(fhtPc(req.pc), loc.offset, mask))
-            predicted = static_cast<std::uint32_t>(mask) | bit;
-        else
-            predicted = (config_.pageBlocks >= 32)
-                            ? 0xffffffffu
-                            : ((1u << config_.pageBlocks) - 1);
-    }
+    const FetchDecision decision = fetchPolicy_.onTriggerMiss(
+        loc.page, req.pc, loc.offset, fullBlockMask(config_.pageBlocks));
+    const std::uint32_t predicted = decision.mask;
 
     // Critical (demanded) block first, the rest streamed behind it.
-    const Cycle critical =
-        offchip_->addrAccess(req.addr, kBlockBytes, false, scan_done)
-            .completion;
-    ++stats_.offchipDemandBlocks;
+    const Cycle critical = fill_.demandBlock(req.addr, scan_done);
 
-    PageInfo info;
+    PageGroupTracker::PageInfo info;
     info.pcHash = static_cast<std::uint32_t>(fhtPc(req.pc));
     info.triggerOffset = static_cast<std::uint8_t>(loc.offset);
     info.fetchedMask = bit;
     info.touchedMask = bit;
     info.residentMask = bit;
-    pages_[loc.page] = info;
+    pages_.insert(loc.page, info);
     naiveStats_.pageInfoPeak =
         std::max<std::uint64_t>(naiveStats_.pageInfoPeak, pages_.size());
 
     installBlock(loc, false, critical);
-    {
-        auto it2 = pages_.find(loc.page);
-        if (it2 != pages_.end())
-            it2->second.residentMask |= bit;
-    }
+    if (PageGroupTracker::PageInfo *self = pages_.find(loc.page))
+        self->residentMask |= bit;
 
     std::uint32_t rest = predicted & ~bit;
     const std::uint64_t page_first_block = loc.page * config_.pageBlocks;
@@ -280,16 +245,13 @@ NaiveBlockFpCache::access(const DramCacheRequest &req)
         rest &= rest - 1;
         Location fl = locate(blockAddr(page_first_block + off));
         const Cycle done =
-            offchip_->addrAccess(blockAddr(fl.block), kBlockBytes, false,
-                                 scan_done)
-                .completion;
-        ++stats_.offchipPrefetchBlocks;
+            fill_.prefetchBlock(blockAddr(fl.block), scan_done);
         installBlock(fl, false, done);
-        auto it2 = pages_.find(loc.page);
-        if (it2 == pages_.end())
+        PageGroupTracker::PageInfo *self = pages_.find(loc.page);
+        if (self == nullptr)
             break; // a sibling fill conflicted this page away entirely
-        it2->second.fetchedMask |= 1u << off;
-        it2->second.residentMask |= 1u << off;
+        self->fetchedMask |= 1u << off;
+        self->residentMask |= 1u << off;
     }
 
     result.doneAt = critical;
@@ -300,20 +262,20 @@ bool
 NaiveBlockFpCache::blockPresent(Addr addr) const
 {
     const Location loc = locate(addr);
-    return (tads_[loc.tadIdx] & ~kDirty) == (kValid | loc.tag);
+    return org_.present(loc.tadIdx, loc.tag);
 }
 
 bool
 NaiveBlockFpCache::blockDirty(Addr addr) const
 {
     const Location loc = locate(addr);
-    return tads_[loc.tadIdx] == (kValid | kDirty | loc.tag);
+    return org_.word(loc.tadIdx) == (kValid | kDirty | loc.tag);
 }
 
 bool
 NaiveBlockFpCache::pageTracked(Addr addr) const
 {
-    return pages_.count(locate(addr).page) != 0;
+    return pages_.tracked(locate(addr).page);
 }
 
 

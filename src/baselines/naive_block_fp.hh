@@ -6,11 +6,11 @@
  * ablation baseline so the bench suite can quantify the problems the
  * paper describes qualitatively.
  *
- * The organization starts from Alloy Cache: direct-mapped 72 B
- * tag-and-data (TAD) units, 112 per 8 KB row. Footprint prediction is
- * bolted on top as a prefetcher over *logical pages* (groups of
- * neighbouring blocks). The design inherits exactly the mismatches the
- * paper calls out:
+ * In framework terms: DirectOrganization (Alloy's 72 B TAD units, 112
+ * per 8 KB row) + FootprintFetchPolicy over *logical pages* (groups
+ * of neighbouring blocks) + a PageGroupTracker standing in for
+ * metadata the hardware could not actually keep. The design inherits
+ * exactly the mismatches the paper calls out:
  *
  *  - there is no fast page-presence lookup, so classifying a miss as a
  *    trigger miss requires scanning all the TAD tags in the DRAM row
@@ -25,6 +25,10 @@
  *  - per-page (PC, offset) metadata has no natural home in the row; it
  *    is modelled as a side table whose storage the hardware could not
  *    actually provide (documented, measured in `pageInfoPeak`).
+ *
+ * Contrast with core/alloy_fp.hh: the *same* composition minus the
+ * penalty charges -- what the splice would cost if the page-presence
+ * and footprint metadata lived in SRAM.
  */
 
 #ifndef UNISON_BASELINES_NAIVE_BLOCK_FP_HH
@@ -32,15 +36,16 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
-#include "cache/set_scan.hh"
+#include "cache/organization.hh"
+#include "cache/page_tracker.hh"
 #include "core/dram_cache.hh"
+#include "core/fill_engine.hh"
 #include "core/geometry.hh"
 #include "dram/dram.hh"
 #include "dram/timing.hh"
-#include "predictors/footprint_table.hh"
+#include "predictors/fetch_policy.hh"
 
 namespace unison {
 
@@ -62,25 +67,20 @@ struct NaiveBlockFpConfig
     DramTimingParams stackedTiming = stackedDramTiming();
 };
 
-/** The row-scan and conflict pathologies Sec. III-B.1 predicts. */
+/** The row-scan and conflict pathologies Sec. III-B.1 predicts.
+ *  (pageInfoPeak deliberately survives reset: it measures a structural
+ *  storage requirement, not a rate.) */
+#define UNISON_NAIVE_BLOCK_FP_STATS_FIELDS(X)                           \
+    X(Counter, rowScans)           /* full-row tag scans issued */      \
+    X(Counter, scanBytes)          /* stacked bytes those scans read */ \
+    X(Counter, prematureEvictions) /* pages truncated by a fill */      \
+    X(Counter, conflictFills)      /* fills displacing another page */
+
 struct NaiveBlockFpStats
 {
-    Counter rowScans;           //!< full-row tag scans issued
-    Counter scanBytes;          //!< stacked-DRAM bytes those scans read
-    Counter prematureEvictions; //!< pages truncated by a conflicting fill
-    Counter conflictFills;      //!< fills that displaced another page's block
-    std::uint64_t pageInfoPeak = 0; //!< high-water mark of side-table pages
+    UNISON_STAT_STRUCT_BODY(UNISON_NAIVE_BLOCK_FP_STATS_FIELDS)
 
-    void
-    reset()
-    {
-        rowScans.reset();
-        scanBytes.reset();
-        prematureEvictions.reset();
-        conflictFills.reset();
-        // pageInfoPeak deliberately survives: it measures a structural
-        // storage requirement, not a rate.
-    }
+    std::uint64_t pageInfoPeak = 0; //!< high-water mark of side-table pages
 };
 
 /** Block-based direct-mapped TAD cache with bolted-on footprint
@@ -103,7 +103,10 @@ class NaiveBlockFpCache final : public DramCache
     const NaiveBlockFpConfig &config() const { return config_; }
     const AlloyGeometry &geometry() const { return geometry_; }
     const NaiveBlockFpStats &naiveStats() const { return naiveStats_; }
-    const FootprintHistoryTable &footprintTable() const { return fht_; }
+    const FootprintHistoryTable &footprintTable() const
+    {
+        return fetchPolicy_.footprintTable();
+    }
 
     /** @name Test hooks */
     /**@{*/
@@ -118,21 +121,6 @@ class NaiveBlockFpCache final : public DramCache
     static constexpr std::uint64_t kValid = kWayValidBit;
     static constexpr std::uint64_t kDirty = kWayDirtyBit;
     static constexpr std::uint64_t kTagMask = kWayTagMask;
-
-    /**
-     * Bookkeeping for a logical page with at least one resident block.
-     * Stands in for metadata the hardware would have to reconstruct by
-     * scanning rows; every place the hardware would scan, the model
-     * charges a row read.
-     */
-    struct PageInfo
-    {
-        std::uint32_t pcHash = 0;
-        std::uint8_t triggerOffset = 0;
-        std::uint32_t fetchedMask = 0;
-        std::uint32_t touchedMask = 0;
-        std::uint32_t residentMask = 0;
-    };
 
     struct Location
     {
@@ -170,10 +158,12 @@ class NaiveBlockFpCache final : public DramCache
     /** Logical-page split (pageBlocks is a runtime power of two). */
     FastDiv64 pageDiv_;
     std::unique_ptr<DramModule> stacked_;
-    FootprintHistoryTable fht_;
-    /** One packed word per direct-mapped TAD frame. */
-    std::vector<std::uint64_t> tads_;
-    std::unordered_map<std::uint64_t, PageInfo> pages_;
+    FootprintFetchPolicy fetchPolicy_;
+    /** CacheOrganization: one packed word per direct-mapped TAD frame. */
+    DirectOrganization org_;
+    PageGroupTracker pages_;
+    FillEngine fill_;
+    WritebackEngine writeback_;
     NaiveBlockFpStats naiveStats_;
 };
 

@@ -9,16 +9,6 @@
 
 namespace unison {
 
-namespace {
-
-Pc
-fhtPc(Pc pc)
-{
-    return pc & 0xffffffffull;
-}
-
-} // namespace
-
 NaiveTaggedPageGeometry
 NaiveTaggedPageGeometry::compute(std::uint64_t capacity_bytes)
 {
@@ -44,15 +34,20 @@ NaiveTaggedPageCache::NaiveTaggedPageCache(
       geometry_(NaiveTaggedPageGeometry::compute(config.capacityBytes)),
       stacked_(std::make_unique<DramModule>(config.stackedOrg,
                                             config.stackedTiming)),
-      fht_([&] {
-          FootprintTableConfig c = config.fhtConfig;
-          c.maxBlocksPerPage = 28;
+      fetchPolicy_([&] {
+          FootprintFetchPolicy::Config c;
+          c.fht = config.fhtConfig;
+          c.fht.maxBlocksPerPage = 28;
+          c.footprintPrediction = config.footprintPredictionEnabled;
+          c.singletonBypass = false;
           return c;
       }())
 {
     UNISON_ASSERT(offchip != nullptr,
                   "NaiveTaggedPage cache needs a memory pool");
-    frames_.resize(geometry_.numFrames);
+    org_.init(geometry_.pageBlocks, geometry_.numFrames, 1);
+    fill_.init(offchip, &stats_);
+    writeback_.init(offchip, &stats_);
 }
 
 void
@@ -61,27 +56,14 @@ NaiveTaggedPageCache::resetStats()
     DramCache::resetStats();
     ++statsGen_;
     naiveStats_.reset();
-    fht_.resetStats();
-}
-
-NaiveTaggedPageCache::Location
-NaiveTaggedPageCache::locate(Addr addr) const
-{
-    Location loc;
-    const std::uint64_t block = blockNumber(addr);
-    std::uint64_t off;
-    geometry_.pageBlocksDiv.divMod(block, loc.page, off);
-    loc.offset = static_cast<std::uint32_t>(off);
-    geometry_.numFramesDiv.divMod(loc.page, loc.tag, loc.frame);
-    return loc;
+    fetchPolicy_.resetStats();
 }
 
 void
 NaiveTaggedPageCache::evictFrame(std::uint64_t frame, Cycle when)
 {
     const std::size_t idx = frame;
-    UNISON_ASSERT(frames_.valid(idx), "evicting an empty frame");
-    ++stats_.evictions;
+    UNISON_ASSERT(frames().valid(idx), "evicting an empty frame");
 
     // Sec. III-B.2: no footprint summary exists, so the page's TAD
     // headers (28 x 8 B) are all read back to find the valid and dirty
@@ -95,55 +77,26 @@ NaiveTaggedPageCache::evictFrame(std::uint64_t frame, Cycle when)
                         when)
             .completion;
 
-    const std::uint64_t page =
-        frames_.tag(idx) * geometry_.numFrames + frame;
-    const std::uint32_t dirty_mask = frames_.hot[idx].dirty;
-    if (dirty_mask != 0) {
-        const std::uint32_t dirty_blocks = popCount(dirty_mask);
-        const Cycle read_done =
-            stacked_
-                ->rowAccess(geometry_.rowOfFrame(frame),
-                            dirty_blocks * kBlockBytes, false, scan_done)
-                .completion;
-        std::uint32_t mask = dirty_mask;
-        while (mask != 0) {
-            const std::uint32_t off =
-                static_cast<std::uint32_t>(std::countr_zero(mask));
-            mask &= mask - 1;
-            offchip_->addrAccess(blockAddrOf(page, off), kBlockBytes,
-                                 true, read_done);
-        }
-        stats_.offchipWritebackBlocks += dirty_blocks;
-    }
-
     // The (PC, offset) word sits at a fixed position, so training the
     // FHT needs no extra access beyond the header scan above.
-    if (frames_.hot[idx].touched != 0)
-        fht_.update(frames_.cold[idx].pcHash, frames_.cold[idx].trigger,
-                    frames_.hot[idx].touched);
-
-    if (frames_.cold[idx].gen == statsGen_) {
-        stats_.fpPredictedTouched +=
-            popCount(frames_.cold[idx].predicted & frames_.hot[idx].touched);
-        stats_.fpTouched += popCount(frames_.hot[idx].touched);
-        stats_.fpFetchedUntouched +=
-            popCount(frames_.hot[idx].fetched & ~frames_.hot[idx].touched);
-        stats_.fpFetched += popCount(frames_.hot[idx].fetched);
-    }
-
-    frames_.invalidate(idx);
+    const std::uint64_t page = org_.pageOf(frame, 0);
+    evictPageWay(
+        frames(), idx, writeback_, *stacked_, geometry_.rowOfFrame(frame),
+        [&](std::uint32_t off) { return blockAddrOf(page, off); },
+        scan_done, fetchPolicy_, stats_, statsGen_);
 }
 
 DramCacheResult
 NaiveTaggedPageCache::access(const DramCacheRequest &req)
 {
     const Location loc = locate(req.addr);
-    const std::size_t idx = loc.frame;
-    const std::uint64_t row = geometry_.rowOfFrame(loc.frame);
+    const std::size_t idx = loc.set;
+    const std::uint64_t row = geometry_.rowOfFrame(loc.set);
     const std::uint32_t bit = 1u << loc.offset;
     const bool page_hit =
-        frames_.tagv[idx] == (PageWaySoa::kValid | loc.tag);
-    const bool block_hit = page_hit && (frames_.hot[idx].fetched & bit) != 0;
+        frames().tagv[idx] == (PageWaySoa::kValid | loc.tag);
+    const bool block_hit =
+        page_hit && (frames().hot[idx].fetched & bit) != 0;
 
     DramCacheResult result;
     result.hit = block_hit;
@@ -152,8 +105,8 @@ NaiveTaggedPageCache::access(const DramCacheRequest &req)
         ++stats_.writes;
         if (block_hit) {
             ++stats_.hits;
-            frames_.hot[idx].touched |= bit;
-            frames_.hot[idx].dirty |= bit;
+            frames().hot[idx].touched |= bit;
+            frames().hot[idx].dirty |= bit;
             result.doneAt =
                 stacked_
                     ->rowAccess(row, geometry_.tadBytes, true, req.cycle)
@@ -165,9 +118,9 @@ NaiveTaggedPageCache::access(const DramCacheRequest &req)
             // Full-block write into the resident page: becomes valid
             // and dirty without an off-chip fetch.
             ++stats_.blockMisses;
-            frames_.hot[idx].fetched |= bit;
-            frames_.hot[idx].touched |= bit;
-            frames_.hot[idx].dirty |= bit;
+            frames().hot[idx].fetched |= bit;
+            frames().hot[idx].touched |= bit;
+            frames().hot[idx].dirty |= bit;
             result.doneAt =
                 stacked_
                     ->rowAccess(row, geometry_.tadBytes, true, req.cycle)
@@ -177,10 +130,7 @@ NaiveTaggedPageCache::access(const DramCacheRequest &req)
         // Write-no-allocate: non-resident pages are not allocated from
         // writebacks (same policy as the other page-based designs).
         ++stats_.pageMisses;
-        result.doneAt =
-            offchip_->addrAccess(req.addr, kBlockBytes, true, req.cycle)
-                .completion;
-        ++stats_.offchipWritebackBlocks;
+        result.doneAt = writeback_.writeBlock(req.addr, req.cycle);
         return result;
     }
 
@@ -194,7 +144,7 @@ NaiveTaggedPageCache::access(const DramCacheRequest &req)
 
     if (block_hit) {
         ++stats_.hits;
-        frames_.hot[idx].touched |= bit;
+        frames().hot[idx].touched |= bit;
         result.doneAt = tad_done;
         return result;
     }
@@ -205,12 +155,9 @@ NaiveTaggedPageCache::access(const DramCacheRequest &req)
         // Underprediction: the TAD read already proves the block is
         // absent; fetch only it.
         ++stats_.blockMisses;
-        const Cycle mem_done =
-            offchip_->addrAccess(req.addr, kBlockBytes, false, tad_done)
-                .completion;
-        ++stats_.offchipDemandBlocks;
-        frames_.hot[idx].fetched |= bit;
-        frames_.hot[idx].touched |= bit;
+        const Cycle mem_done = fill_.demandBlock(req.addr, tad_done);
+        frames().hot[idx].fetched |= bit;
+        frames().hot[idx].touched |= bit;
         stacked_->rowAccess(row, geometry_.tadBytes, true, mem_done);
         result.doneAt = mem_done;
         return result;
@@ -220,37 +167,18 @@ NaiveTaggedPageCache::access(const DramCacheRequest &req)
     // footprint.
     ++stats_.pageMisses;
     Cycle insert_start = tad_done;
-    if (frames_.valid(idx)) {
-        evictFrame(loc.frame, tad_done);
+    if (frames().valid(idx)) {
+        evictFrame(loc.set, tad_done);
         insert_start = tad_done;
     }
 
-    std::uint32_t predicted = fullMask();
-    if (config_.footprintPredictionEnabled) {
-        std::uint64_t mask;
-        if (fht_.predict(fhtPc(req.pc), loc.offset, mask))
-            predicted = static_cast<std::uint32_t>(mask) & fullMask();
-    }
-    predicted |= bit;
+    const FetchDecision decision = fetchPolicy_.onTriggerMiss(
+        loc.page, req.pc, loc.offset, fullMask());
+    const std::uint32_t predicted = decision.mask;
 
-    const Cycle critical =
-        offchip_->addrAccess(req.addr, kBlockBytes, false, insert_start)
-            .completion;
-    ++stats_.offchipDemandBlocks;
-    Cycle last_done = critical;
-    std::uint32_t rest = predicted & ~bit;
-    while (rest != 0) {
-        const std::uint32_t off =
-            static_cast<std::uint32_t>(std::countr_zero(rest));
-        rest &= rest - 1;
-        const Cycle done =
-            offchip_
-                ->addrAccess(blockAddrOf(loc.page, off), kBlockBytes,
-                             false, insert_start)
-                .completion;
-        last_done = std::max(last_done, done);
-    }
-    stats_.offchipPrefetchBlocks += popCount(predicted) - 1;
+    const FillEngine::FootprintFetch fetch = fill_.fetchFootprint(
+        [&](std::uint32_t off) { return blockAddrOf(loc.page, off); },
+        predicted, loc.offset, insert_start, insert_start);
 
     // Insertion writes the fetched TADs *and* must rewrite the tag
     // word / reset the valid bit of every non-fetched TAD in the page
@@ -260,18 +188,16 @@ NaiveTaggedPageCache::access(const DramCacheRequest &req)
     naiveStats_.extraTagWrites += unfetched;
     stacked_->rowAccess(row,
                         fetched * geometry_.tadBytes + unfetched * 8 + 8,
-                        true, last_done);
+                        true, fetch.lastDone);
 
-    frames_.tagv[idx] = PageWaySoa::kValid | loc.tag;
-    frames_.cold[idx].pcHash = static_cast<std::uint32_t>(fhtPc(req.pc));
-    frames_.cold[idx].trigger = static_cast<std::uint8_t>(loc.offset);
-    frames_.cold[idx].predicted = predicted;
-    frames_.hot[idx].fetched = predicted;
-    frames_.hot[idx].touched = bit;
-    frames_.hot[idx].dirty = 0;
-    frames_.cold[idx].gen = statsGen_;
+    frames().install(idx,
+                     {loc.tag,
+                      static_cast<std::uint32_t>(fhtPc(req.pc)),
+                      static_cast<std::uint8_t>(loc.offset),
+                      predicted, predicted, bit, /*lastUse=*/0,
+                      statsGen_});
 
-    result.doneAt = critical;
+    result.doneAt = fetch.critical;
     return result;
 }
 
@@ -279,23 +205,23 @@ bool
 NaiveTaggedPageCache::pagePresent(Addr addr) const
 {
     const Location loc = locate(addr);
-    return frames_.tagv[loc.frame] == (PageWaySoa::kValid | loc.tag);
+    return frames().tagv[loc.set] == (PageWaySoa::kValid | loc.tag);
 }
 
 bool
 NaiveTaggedPageCache::blockPresent(Addr addr) const
 {
     const Location loc = locate(addr);
-    return frames_.tagv[loc.frame] == (PageWaySoa::kValid | loc.tag) &&
-           (frames_.hot[loc.frame].fetched & (1u << loc.offset)) != 0;
+    return frames().tagv[loc.set] == (PageWaySoa::kValid | loc.tag) &&
+           (frames().hot[loc.set].fetched & (1u << loc.offset)) != 0;
 }
 
 bool
 NaiveTaggedPageCache::blockDirty(Addr addr) const
 {
     const Location loc = locate(addr);
-    return frames_.tagv[loc.frame] == (PageWaySoa::kValid | loc.tag) &&
-           (frames_.hot[loc.frame].dirty & (1u << loc.offset)) != 0;
+    return frames().tagv[loc.set] == (PageWaySoa::kValid | loc.tag) &&
+           (frames().hot[loc.set].dirty & (1u << loc.offset)) != 0;
 }
 
 

@@ -32,12 +32,14 @@
 #include <memory>
 #include <vector>
 
+#include "cache/organization.hh"
 #include "cache/page_set.hh"
 #include "common/fastdiv.hh"
 #include "core/dram_cache.hh"
+#include "core/fill_engine.hh"
 #include "dram/dram.hh"
 #include "dram/timing.hh"
-#include "predictors/footprint_table.hh"
+#include "predictors/fetch_policy.hh"
 
 namespace unison {
 
@@ -84,19 +86,14 @@ struct NaiveTaggedPageGeometry
 };
 
 /** The insertion-write and eviction-scan pathologies of Sec. III-B.2. */
+#define UNISON_NAIVE_TAGGED_PAGE_STATS_FIELDS(X)                        \
+    X(Counter, extraTagWrites) /* tag resets for unfetched blocks */    \
+    X(Counter, evictionScans)  /* full page-header scans at evict */    \
+    X(Counter, scanBytes)      /* stacked bytes those scans read */
+
 struct NaiveTaggedPageStats
 {
-    Counter extraTagWrites; //!< tag resets for blocks never fetched
-    Counter evictionScans;  //!< full page-header scans at eviction
-    Counter scanBytes;      //!< stacked-DRAM bytes those scans read
-
-    void
-    reset()
-    {
-        extraTagWrites.reset();
-        evictionScans.reset();
-        scanBytes.reset();
-    }
+    UNISON_STAT_STRUCT_BODY(UNISON_NAIVE_TAGGED_PAGE_STATS_FIELDS)
 };
 
 /** Page-based cache whose blocks each carry their own tag (the
@@ -120,7 +117,10 @@ class NaiveTaggedPageCache final : public DramCache
     const NaiveTaggedPageConfig &config() const { return config_; }
     const NaiveTaggedPageGeometry &geometry() const { return geometry_; }
     const NaiveTaggedPageStats &naiveStats() const { return naiveStats_; }
-    const FootprintHistoryTable &footprintTable() const { return fht_; }
+    const FootprintHistoryTable &footprintTable() const
+    {
+        return fetchPolicy_.footprintTable();
+    }
 
     /** @name Test hooks */
     /**@{*/
@@ -130,15 +130,12 @@ class NaiveTaggedPageCache final : public DramCache
     /**@}*/
 
   private:
-    struct Location
-    {
-        std::uint64_t page = 0;
-        std::uint32_t offset = 0;
-        std::uint64_t frame = 0;
-        std::uint64_t tag = 0;
-    };
+    using Location = PageLocation; //!< set == direct-mapped frame
 
-    Location locate(Addr addr) const;
+    Location locate(Addr addr) const { return org_.locate(addr); }
+
+    PageWaySoa &frames() { return org_.ways(); }
+    const PageWaySoa &frames() const { return org_.ways(); }
 
     /** Evict the resident page of `frame`: header scan, writebacks,
      *  FHT training. */
@@ -159,10 +156,12 @@ class NaiveTaggedPageCache final : public DramCache
     NaiveTaggedPageConfig config_;
     NaiveTaggedPageGeometry geometry_;
     std::unique_ptr<DramModule> stacked_;
-    FootprintHistoryTable fht_;
-    /** Direct-mapped page frames in SoA form (assoc-1 sets: the
-     *  shared page-way arrays with an unused LRU column). */
-    PageWaySoa frames_;
+    FootprintFetchPolicy fetchPolicy_;
+    /** CacheOrganization: direct-mapped page frames (assoc-1 sets of
+     *  the shared page-way SoA with an unused LRU column). */
+    PageOrganization org_;
+    FillEngine fill_;
+    WritebackEngine writeback_;
     NaiveTaggedPageStats naiveStats_;
     std::uint8_t statsGen_ = 0;
 };

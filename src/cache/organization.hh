@@ -1,0 +1,283 @@
+/**
+ * @file
+ * The CacheOrganization layer of the DRAM-cache policy framework: how
+ * a byte address maps onto the stacked array's frames, and where the
+ * tags that answer "is it here?" live. Every design in the repo is a
+ * composition of one of these organizations with a fetch policy
+ * (predictors/fetch_policy.hh) and the shared fill/writeback engines
+ * (core/fill_engine.hh); the organizations own the packed-SoA tag
+ * state and the branch-reduced scans from cache/set_scan.hh.
+ *
+ * Three tag granularities cover the whole design space of the paper:
+ *
+ *  - PageOrganization: page-granular frames in set-associative sets
+ *    (Unison Cache, Footprint Cache; associativity 1 degenerates to
+ *    the direct-mapped tagged-page straw man);
+ *  - DirectOrganization: direct-mapped block frames with one packed
+ *    tag word each (Alloy Cache, the naive block+FP splice, and the
+ *    composed alloy-fp hybrid);
+ *  - RowSetOrganization: one DRAM row per set with a wide way array
+ *    (the Loh-Hill organization).
+ *
+ * None of these charge any timing: *where* tags live decides what the
+ * design's access path must read, and that is the design's own
+ * composition logic. The organizations only answer lookup, victim and
+ * install questions over their metadata arrays.
+ */
+
+#ifndef UNISON_CACHE_ORGANIZATION_HH
+#define UNISON_CACHE_ORGANIZATION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/page_set.hh"
+#include "cache/set_scan.hh"
+#include "common/fastdiv.hh"
+#include "common/types.hh"
+
+namespace unison {
+
+/** Where a byte address falls in a page-organized cache. */
+struct PageLocation
+{
+    std::uint64_t page = 0;   //!< global page number
+    std::uint32_t offset = 0; //!< block offset within the page
+    std::uint64_t set = 0;
+    std::uint32_t tag = 0;
+};
+
+/**
+ * Page-granular, set-associative organization: `numSets * assoc` page
+ * frames whose per-way metadata (packed tag words, footprint masks,
+ * LRU stamps, trigger PCs) lives in the hot/cold-split PageWaySoa.
+ * The page split and the set split both use invariant-divisor
+ * reciprocals, so non-power-of-two page sizes (15/31 blocks) cost the
+ * same as the power-of-two ones.
+ */
+class PageOrganization
+{
+  public:
+    PageOrganization() = default;
+
+    void
+    init(std::uint32_t page_blocks, std::uint64_t num_sets,
+         std::uint32_t assoc)
+    {
+        pageBlocks_ = page_blocks;
+        numSets_ = num_sets;
+        assoc_ = assoc;
+        pageDiv_.init(page_blocks);
+        numSetsDiv_.init(num_sets);
+        ways_.resize(num_sets * assoc);
+    }
+
+    /** Page number and in-page block offset for a byte address. */
+    void
+    mapAddress(Addr addr, std::uint64_t &page,
+               std::uint32_t &offset) const
+    {
+        std::uint64_t q, r;
+        pageDiv_.divMod(blockNumber(addr), q, r);
+        page = q;
+        offset = static_cast<std::uint32_t>(r);
+    }
+
+    PageLocation
+    locate(Addr addr) const
+    {
+        PageLocation loc;
+        mapAddress(addr, loc.page, loc.offset);
+        std::uint64_t q, r;
+        numSetsDiv_.divMod(loc.page, q, r);
+        loc.set = r;
+        loc.tag = static_cast<std::uint32_t>(q);
+        return loc;
+    }
+
+    /** Inverse of locate's set split: the global page number of the
+     *  page resident in (set, way). */
+    std::uint64_t
+    pageOf(std::uint64_t set, std::uint32_t way) const
+    {
+        return ways_.tag(setBase(set) + way) * numSets_ + set;
+    }
+
+    /** Base SoA index of `set` (way fields live at base + way). */
+    std::size_t
+    setBase(std::uint64_t set) const
+    {
+        return static_cast<std::size_t>(set) * assoc_;
+    }
+
+    /** Way of `set` holding page tag `tag`, or -1 (absent). */
+    int
+    findWay(std::uint64_t set, std::uint32_t tag) const
+    {
+        return ways_.findWay(setBase(set), assoc_, tag);
+    }
+
+    /** Victim way of `set`: an invalid way if any, else LRU. */
+    int
+    pickVictim(std::uint64_t set) const
+    {
+        return static_cast<int>(ways_.pickVictim(setBase(set), assoc_));
+    }
+
+    std::uint32_t pageBlocks() const { return pageBlocks_; }
+    std::uint64_t numSets() const { return numSets_; }
+    std::uint32_t assoc() const { return assoc_; }
+
+    PageWaySoa &ways() { return ways_; }
+    const PageWaySoa &ways() const { return ways_; }
+
+  private:
+    std::uint32_t pageBlocks_ = 1;
+    std::uint64_t numSets_ = 1;
+    std::uint32_t assoc_ = 1;
+    /** Page split (block -> page, offset). The modelled hardware uses
+     *  the MersenneDivider adder tree for its 2^n - 1 page sizes; the
+     *  simulator computes the identical mapping with a reciprocal
+     *  multiply, which also covers non-Mersenne ablation page sizes. */
+    FastDiv64 pageDiv_;
+    FastDiv64 numSetsDiv_;
+    PageWaySoa ways_;
+};
+
+/**
+ * Direct-mapped block organization: one packed 64-bit tag word per
+ * frame (valid/dirty folded into the top bits, set_scan.hh layout), so
+ * the whole lookup is a single 8-byte load and masked compare.
+ */
+class DirectOrganization
+{
+  public:
+    DirectOrganization() = default;
+
+    void
+    init(std::uint64_t num_frames)
+    {
+        numFrames_ = num_frames;
+        numFramesDiv_.init(num_frames);
+        words_.assign(num_frames, 0);
+    }
+
+    /** Frame and tag of a global block number. */
+    void
+    locate(std::uint64_t block, std::uint64_t &frame,
+           std::uint32_t &tag) const
+    {
+        std::uint64_t q;
+        numFramesDiv_.divMod(block, q, frame);
+        tag = static_cast<std::uint32_t>(q);
+    }
+
+    /** Global block number resident in `frame` (from its tag word). */
+    std::uint64_t
+    blockOf(std::uint64_t frame) const
+    {
+        return (words_[frame] & kWayTagMask) * numFrames_ + frame;
+    }
+
+    bool
+    present(std::uint64_t frame, std::uint32_t tag) const
+    {
+        return (words_[frame] & ~kWayDirtyBit) == (kWayValidBit | tag);
+    }
+
+    std::uint64_t &word(std::uint64_t frame) { return words_[frame]; }
+    const std::uint64_t &
+    word(std::uint64_t frame) const
+    {
+        return words_[frame];
+    }
+
+    std::uint64_t numFrames() const { return numFrames_; }
+
+  private:
+    std::uint64_t numFrames_ = 1;
+    FastDiv64 numFramesDiv_;
+    /** One packed word per direct-mapped frame. */
+    std::vector<std::uint64_t> words_;
+};
+
+/**
+ * Row-as-set organization (Loh-Hill): every DRAM row is one very wide
+ * set (113 ways of 8 B tag + 64 B data); packed tag words and LRU
+ * stamps live in two parallel arrays indexed `set * waysPerSet + way`.
+ */
+class RowSetOrganization
+{
+  public:
+    RowSetOrganization() = default;
+
+    void
+    init(std::uint64_t num_sets, std::uint32_t ways_per_set)
+    {
+        numSets_ = num_sets;
+        waysPerSet_ = ways_per_set;
+        numSetsDiv_.init(num_sets);
+        tagv_.assign(num_sets * ways_per_set, 0);
+        lastUse_.assign(num_sets * ways_per_set, 0);
+    }
+
+    /** Set and tag of a global block number. */
+    void
+    locate(std::uint64_t block, std::uint64_t &set,
+           std::uint32_t &tag) const
+    {
+        std::uint64_t q;
+        numSetsDiv_.divMod(block, q, set);
+        tag = static_cast<std::uint32_t>(q);
+    }
+
+    /** Global block number resident in (set, way). */
+    std::uint64_t
+    blockOf(std::uint64_t set, std::uint32_t way) const
+    {
+        return (tagv_[base(set) + way] & kWayTagMask) * numSets_ + set;
+    }
+
+    std::size_t
+    base(std::uint64_t set) const
+    {
+        return static_cast<std::size_t>(set) * waysPerSet_;
+    }
+
+    int
+    findWay(std::uint64_t set, std::uint32_t tag) const
+    {
+        return scanWays(&tagv_[base(set)], waysPerSet_, ~kWayDirtyBit,
+                        kWayValidBit | tag);
+    }
+
+    int
+    pickVictim(std::uint64_t set) const
+    {
+        const std::size_t b = base(set);
+        return static_cast<int>(pickVictimWay(
+            &tagv_[b], &lastUse_[b], waysPerSet_, kWayValidBit));
+    }
+
+    std::uint64_t &tagWord(std::size_t idx) { return tagv_[idx]; }
+    const std::uint64_t &
+    tagWord(std::size_t idx) const
+    {
+        return tagv_[idx];
+    }
+    std::uint32_t &lastUse(std::size_t idx) { return lastUse_[idx]; }
+
+    std::uint64_t numSets() const { return numSets_; }
+    std::uint32_t waysPerSet() const { return waysPerSet_; }
+
+  private:
+    std::uint64_t numSets_ = 1;
+    std::uint32_t waysPerSet_ = 1;
+    FastDiv64 numSetsDiv_;
+    std::vector<std::uint64_t> tagv_;
+    std::vector<std::uint32_t> lastUse_;
+};
+
+} // namespace unison
+
+#endif // UNISON_CACHE_ORGANIZATION_HH

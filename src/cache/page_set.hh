@@ -52,6 +52,20 @@ struct PageWayCold
     std::uint8_t gen = 0;        //!< measurement generation
 };
 
+/** Metadata installed when a page is allocated into a way (Fig. 2:
+ *  tag, bit vectors, trigger PC + offset, measurement generation). */
+struct PageInstall
+{
+    std::uint32_t tag = 0;
+    std::uint32_t pcHash = 0;
+    std::uint8_t trigger = 0;
+    std::uint32_t predicted = 0;
+    std::uint32_t fetched = 0;
+    std::uint32_t touched = 0;
+    std::uint32_t lastUse = 0;
+    std::uint8_t gen = 0;
+};
+
 /** Page-way metadata; all arrays are indexed `set * assoc + way`. */
 struct PageWaySoa
 {
@@ -73,6 +87,21 @@ struct PageWaySoa
     bool valid(std::size_t idx) const { return tagv[idx] != 0; }
     std::uint64_t tag(std::size_t idx) const { return tagv[idx] & ~kValid; }
     void invalidate(std::size_t idx) { tagv[idx] = 0; }
+
+    /** Install a freshly allocated page's metadata into way `idx`. */
+    void
+    install(std::size_t idx, const PageInstall &p)
+    {
+        tagv[idx] = kValid | p.tag;
+        cold[idx].pcHash = p.pcHash;
+        cold[idx].trigger = p.trigger;
+        cold[idx].predicted = p.predicted;
+        cold[idx].gen = p.gen;
+        hot[idx].fetched = p.fetched;
+        hot[idx].touched = p.touched;
+        hot[idx].dirty = 0;
+        hot[idx].lastUse = p.lastUse;
+    }
 
     /** Way of the set at `base` holding `tag`, or -1 (absent). */
     int

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Page-group tracking for *block*-organized caches that still want
+ * page-level footprint learning (the naive block+FP splice and the
+ * composed alloy-fp hybrid): while any block of a logical page is
+ * resident, the tracker remembers the page's trigger (PC, offset) and
+ * its fetched/touched/resident masks so the footprint predictor can
+ * be trained when the last block leaves.
+ *
+ * The tracker models an SRAM-side structure and charges no timing;
+ * designs that would have to reconstruct this information from the
+ * in-DRAM tags (Sec. III-B.1) charge those scans themselves.
+ */
+
+#ifndef UNISON_CACHE_PAGE_TRACKER_HH
+#define UNISON_CACHE_PAGE_TRACKER_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace unison {
+
+class PageGroupTracker
+{
+  public:
+    struct PageInfo
+    {
+        std::uint32_t pcHash = 0;
+        std::uint8_t triggerOffset = 0;
+        std::uint32_t fetchedMask = 0;
+        std::uint32_t touchedMask = 0;
+        std::uint32_t residentMask = 0;
+    };
+
+    /** Tracked info for `page`, nullptr when no block is resident. */
+    PageInfo *
+    find(std::uint64_t page)
+    {
+        auto it = pages_.find(page);
+        return it == pages_.end() ? nullptr : &it->second;
+    }
+
+    bool tracked(std::uint64_t page) const { return pages_.count(page) != 0; }
+
+    /** Start tracking a page at its trigger miss (replaces any stale
+     *  entry for the same page). */
+    PageInfo &
+    insert(std::uint64_t page, const PageInfo &info)
+    {
+        return pages_[page] = info;
+    }
+
+    /**
+     * A block of `page` left the cache. Clears its resident bit; when
+     * that was the last resident block, copies the page's info to
+     * `out`, stops tracking it and returns true -- the caller trains
+     * the footprint predictor (and charges whatever tag-reconstruction
+     * traffic its organization implies).
+     */
+    bool
+    removeBlock(std::uint64_t page, std::uint32_t offset, PageInfo &out)
+    {
+        auto it = pages_.find(page);
+        if (it == pages_.end())
+            return false;
+        it->second.residentMask &= ~(1u << offset);
+        if (it->second.residentMask != 0)
+            return false;
+        out = it->second;
+        pages_.erase(it);
+        return true;
+    }
+
+    std::size_t size() const { return pages_.size(); }
+
+    void clear() { pages_.clear(); }
+
+  private:
+    std::unordered_map<std::uint64_t, PageInfo> pages_;
+};
+
+} // namespace unison
+
+#endif // UNISON_CACHE_PAGE_TRACKER_HH

@@ -57,6 +57,15 @@ popCount(std::uint64_t v)
     return static_cast<std::uint32_t>(std::popcount(v));
 }
 
+/** All-ones mask for a page of `page_blocks` blocks (block bitmaps are
+ *  32 bits wide; 32-block pages saturate the mask). */
+constexpr std::uint32_t
+fullBlockMask(std::uint32_t page_blocks)
+{
+    return (page_blocks >= 32) ? 0xffffffffu
+                               : ((1u << page_blocks) - 1);
+}
+
 /**
  * XOR-fold a 64-bit value down to `bits` bits. This is the hash the
  * Unison way predictor uses on page addresses (Sec. III-A.6: "a 2-bit

@@ -1,0 +1,280 @@
+#include "core/alloy_fp.hh"
+
+#include "sim/design_registry.hh"
+
+#include <bit>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace unison {
+
+AlloyFpCache::AlloyFpCache(const AlloyFpConfig &config,
+                           DramModule *offchip)
+    : DramCache(offchip, DramCacheKind::AlloyFp),
+      config_(config),
+      geometry_(AlloyGeometry::compute(config.capacityBytes)),
+      pageDiv_(config.pageBlocks),
+      stacked_(std::make_unique<DramModule>(config.stackedOrg,
+                                            config.stackedTiming)),
+      fetchPolicy_([&] {
+          FootprintFetchPolicy::Config c;
+          c.fht = config.fhtConfig;
+          c.fht.maxBlocksPerPage = config.pageBlocks;
+          c.footprintPrediction = config.footprintPredictionEnabled;
+          c.singletonBypass = false;
+          // Prediction off degenerates to a predictor-less Alloy
+          // Cache: fetch only the demanded block.
+          c.wholePageWhenDisabled = false;
+          return c;
+      }())
+{
+    UNISON_ASSERT(offchip != nullptr,
+                  "AlloyFP cache needs a memory pool");
+    UNISON_ASSERT(std::has_single_bit(config_.pageBlocks),
+                  "prefetch group size must be a power of two");
+    UNISON_ASSERT(config_.pageBlocks <= 32,
+                  "footprint masks hold at most 32 blocks");
+    org_.init(geometry_.numTads);
+    fill_.init(offchip, &stats_);
+    writeback_.init(offchip, &stats_);
+}
+
+void
+AlloyFpCache::resetStats()
+{
+    DramCache::resetStats();
+    fetchPolicy_.resetStats();
+}
+
+AlloyFpCache::Location
+AlloyFpCache::locate(Addr addr) const
+{
+    Location loc;
+    loc.block = blockNumber(addr);
+    std::uint64_t off;
+    pageDiv_.divMod(loc.block, loc.page, off);
+    loc.offset = static_cast<std::uint32_t>(off);
+    org_.locate(loc.block, loc.frame, loc.tag);
+    return loc;
+}
+
+void
+AlloyFpCache::installBlock(const Location &loc, Cycle when)
+{
+    std::uint64_t &tad = org_.word(loc.frame);
+    if ((tad & kValid) != 0 && (tad & kTagMask) != loc.tag) {
+        ++stats_.evictions;
+        const std::uint64_t victim_block = org_.blockOf(loc.frame);
+        if ((tad & kDirty) != 0) {
+            const Cycle read_done =
+                stacked_
+                    ->rowAccess(geometry_.rowOfTad(loc.frame),
+                                kBlockBytes, false, when)
+                    .completion;
+            writeback_.writeBlock(blockAddress(victim_block),
+                                  read_done);
+        }
+        // The SRAM tracker knows the victim page's footprint without
+        // any row scan (the difference from naiveblockfp): when the
+        // page's last block leaves, train the predictor directly.
+        PageGroupTracker::PageInfo gone;
+        if (pages_.removeBlock(
+                victim_block / config_.pageBlocks,
+                static_cast<std::uint32_t>(victim_block %
+                                           config_.pageBlocks),
+                gone)) {
+            if (gone.touchedMask != 0)
+                fetchPolicy_.trainEviction(gone.pcHash,
+                                           gone.triggerOffset,
+                                           gone.touchedMask);
+            accountFootprint(stats_, gone.fetchedMask,
+                             gone.touchedMask, gone.fetchedMask);
+        }
+    }
+    tad = kValid | loc.tag;
+    stacked_->rowAccess(geometry_.rowOfTad(loc.frame),
+                        geometry_.tadBytes, true, when);
+}
+
+DramCacheResult
+AlloyFpCache::access(const DramCacheRequest &req)
+{
+    const Location loc = locate(req.addr);
+    std::uint64_t &tad = org_.word(loc.frame);
+    const std::uint64_t row = geometry_.rowOfTad(loc.frame);
+    const bool hit = (tad & ~kDirty) == (kValid | loc.tag);
+    const std::uint32_t bit = 1u << loc.offset;
+
+    DramCacheResult result;
+    result.hit = hit;
+
+    if (req.isWrite) {
+        ++stats_.writes;
+        const Cycle tag_done =
+            stacked_->rowAccess(row, 8, false, req.cycle).completion;
+        if (hit) {
+            ++stats_.hits;
+            tad |= kDirty;
+            if (PageGroupTracker::PageInfo *info =
+                    pages_.find(loc.page)) {
+                info->touchedMask |= bit;
+                info->fetchedMask |= bit;
+            }
+            result.doneAt =
+                stacked_->rowAccess(row, kBlockBytes, true, tag_done)
+                    .completion;
+            return result;
+        }
+        // Write-no-allocate (the page-based designs' rationale:
+        // footprints must not be trained from writeback PCs).
+        ++stats_.misses;
+        result.doneAt = writeback_.writeBlock(req.addr, req.cycle);
+        return result;
+    }
+
+    ++stats_.reads;
+
+    // Alloy-style probe: the block's TAD streamed in one access.
+    const Cycle tad_done =
+        stacked_->rowAccess(row, geometry_.tadBytes, false, req.cycle)
+            .completion;
+
+    if (hit) {
+        ++stats_.hits;
+        if (PageGroupTracker::PageInfo *info = pages_.find(loc.page))
+            info->touchedMask |= bit;
+        result.doneAt = tad_done;
+        return result;
+    }
+
+    ++stats_.misses;
+
+    if (pages_.tracked(loc.page)) {
+        // Blocks of this page are resident: an underprediction. The
+        // SRAM tracker classified it without the row scan the naive
+        // splice needs; fetch just the demanded block.
+        ++stats_.blockMisses;
+        const Cycle mem_done = fill_.demandBlock(req.addr, tad_done);
+        installBlock(loc, mem_done);
+        if (PageGroupTracker::PageInfo *info = pages_.find(loc.page)) {
+            info->fetchedMask |= bit;
+            info->touchedMask |= bit;
+            info->residentMask |= bit;
+        }
+        result.doneAt = mem_done;
+        return result;
+    }
+
+    // Trigger miss: predict the footprint and stream the group in,
+    // demanded block first.
+    ++stats_.pageMisses;
+    const FetchDecision decision = fetchPolicy_.onTriggerMiss(
+        loc.page, req.pc, loc.offset, fullMask());
+
+    const Cycle critical = fill_.demandBlock(req.addr, tad_done);
+
+    PageGroupTracker::PageInfo info;
+    info.pcHash = static_cast<std::uint32_t>(fhtPc(req.pc));
+    info.triggerOffset = static_cast<std::uint8_t>(loc.offset);
+    info.fetchedMask = bit;
+    info.touchedMask = bit;
+    info.residentMask = bit;
+    pages_.insert(loc.page, info);
+
+    installBlock(loc, critical);
+    if (PageGroupTracker::PageInfo *self = pages_.find(loc.page))
+        self->residentMask |= bit;
+
+    std::uint32_t rest = decision.mask & ~bit;
+    const std::uint64_t page_first_block =
+        loc.page * config_.pageBlocks;
+    while (rest != 0) {
+        const std::uint32_t off =
+            static_cast<std::uint32_t>(std::countr_zero(rest));
+        rest &= rest - 1;
+        const Location fl =
+            locate(blockAddress(page_first_block + off));
+        const Cycle done =
+            fill_.prefetchBlock(blockAddress(fl.block), tad_done);
+        installBlock(fl, done);
+        PageGroupTracker::PageInfo *self = pages_.find(loc.page);
+        if (self == nullptr)
+            break; // a sibling fill conflicted this page away entirely
+        self->fetchedMask |= 1u << off;
+        self->residentMask |= 1u << off;
+    }
+
+    result.doneAt = critical;
+    return result;
+}
+
+bool
+AlloyFpCache::blockPresent(Addr addr) const
+{
+    const Location loc = locate(addr);
+    return org_.present(loc.frame, loc.tag);
+}
+
+bool
+AlloyFpCache::blockDirty(Addr addr) const
+{
+    const Location loc = locate(addr);
+    return org_.word(loc.frame) == (kValid | kDirty | loc.tag);
+}
+
+bool
+AlloyFpCache::pageTracked(Addr addr) const
+{
+    return pages_.tracked(locate(addr).page);
+}
+
+
+// --------------------------------------------------- registry entry
+
+DesignInfo
+alloyFpDesignInfo()
+{
+    DesignInfo info;
+    info.kind = DesignKind::AlloyFp;
+    info.id = "alloyfp";
+    info.name = "Alloy-FP";
+    info.shortName = "AlloyFP";
+    info.summary = "composed hybrid: direct-mapped block cache with "
+                   "footprint-grouped prefetch (SRAM page tracking)";
+    info.defaults = AlloyFpConfig{};
+    info.knobs = {
+        knobBool<AlloyFpConfig>(
+            "footprintPrediction",
+            "fetch predicted footprints (false: single blocks)",
+            &AlloyFpConfig::footprintPredictionEnabled),
+        knobUInt<AlloyFpConfig>(
+            "pageBlocks",
+            "blocks per prefetch group (power of two)",
+            &AlloyFpConfig::pageBlocks, 1, 32),
+        knobUIntFn<AlloyFpConfig, std::uint32_t>(
+            "fhtEntries", "footprint history table entries",
+            [](AlloyFpConfig &c) -> std::uint32_t & {
+                return c.fhtConfig.numEntries;
+            },
+            1, 1u << 24),
+    };
+    info.validate = [](const DesignVariant &v,
+                       const DesignBuildContext &) -> std::string {
+        const AlloyFpConfig &c = std::get<AlloyFpConfig>(v);
+        if ((c.pageBlocks & (c.pageBlocks - 1)) != 0)
+            return "pageBlocks must be a power of two, got " +
+                   std::to_string(c.pageBlocks);
+        return "";
+    };
+    info.build = [](const DesignVariant &v,
+                    const DesignBuildContext &ctx,
+                    DramModule *offchip) -> std::unique_ptr<DramCache> {
+        AlloyFpConfig cfg = std::get<AlloyFpConfig>(v);
+        cfg.capacityBytes = ctx.capacityBytes;
+        return std::make_unique<AlloyFpCache>(cfg, offchip);
+    };
+    return info;
+}
+
+} // namespace unison

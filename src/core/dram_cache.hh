@@ -38,31 +38,44 @@ struct DramCacheResult
     bool hit = false;   //!< serviced from the stacked DRAM
 };
 
+/**
+ * The one field list of DramCacheStats. reset(), the JSON schema
+ * (sim/spec_json.cc) and table emission (addCounterRows) all iterate
+ * this list through forEachCounter, in this declaration order:
+ *
+ *  - reads/writes/hits/misses: the access classification;
+ *  - pageMisses (trigger misses), blockMisses (page present, block
+ *    absent = underprediction), evictions;
+ *  - offchip*Blocks: off-chip traffic in 64 B blocks (demand fetches,
+ *    footprint blocks beyond demand, mispredict-wasted fetches, dirty
+ *    writebacks);
+ *  - fp*: footprint bookkeeping accumulated at page evictions
+ *    (|predicted AND touched|, |touched|, |fetched AND NOT touched|,
+ *    |fetched|);
+ *  - singletonBypasses: pages served without allocation.
+ */
+#define UNISON_DRAM_CACHE_STATS_FIELDS(X)                               \
+    X(Counter, reads)                                                   \
+    X(Counter, writes)                                                  \
+    X(Counter, hits)                                                    \
+    X(Counter, misses)                                                  \
+    X(Counter, pageMisses)                                              \
+    X(Counter, blockMisses)                                             \
+    X(Counter, evictions)                                               \
+    X(Counter, offchipDemandBlocks)                                     \
+    X(Counter, offchipPrefetchBlocks)                                   \
+    X(Counter, offchipWastedBlocks)                                     \
+    X(Counter, offchipWritebackBlocks)                                  \
+    X(Counter, fpPredictedTouched)                                      \
+    X(Counter, fpTouched)                                               \
+    X(Counter, fpFetchedUntouched)                                      \
+    X(Counter, fpFetched)                                               \
+    X(Counter, singletonBypasses)
+
 /** Statistics every design maintains (superset; unused stay zero). */
 struct DramCacheStats
 {
-    Counter reads;
-    Counter writes;
-    Counter hits;
-    Counter misses;
-
-    Counter pageMisses;     //!< trigger misses (page absent)
-    Counter blockMisses;    //!< page present, block absent (underpred.)
-    Counter evictions;      //!< page/block allocations that evicted
-
-    /** Off-chip traffic in 64 B blocks. */
-    Counter offchipDemandBlocks;    //!< fetches for demanded blocks
-    Counter offchipPrefetchBlocks;  //!< footprint blocks beyond demand
-    Counter offchipWastedBlocks;    //!< fetches caused by mispredicts
-    Counter offchipWritebackBlocks; //!< dirty data written back
-
-    /** Footprint bookkeeping, accumulated at page evictions. */
-    Counter fpPredictedTouched; //!< |predicted AND touched|
-    Counter fpTouched;          //!< |touched|
-    Counter fpFetchedUntouched; //!< |fetched AND NOT touched|
-    Counter fpFetched;          //!< |fetched|
-
-    Counter singletonBypasses;  //!< pages served without allocation
+    UNISON_STAT_STRUCT_BODY(UNISON_DRAM_CACHE_STATS_FIELDS)
 
     std::uint64_t
     accesses() const
@@ -102,27 +115,6 @@ struct DramCacheStats
                offchipPrefetchBlocks.value() +
                offchipWastedBlocks.value();
     }
-
-    void
-    reset()
-    {
-        reads.reset();
-        writes.reset();
-        hits.reset();
-        misses.reset();
-        pageMisses.reset();
-        blockMisses.reset();
-        evictions.reset();
-        offchipDemandBlocks.reset();
-        offchipPrefetchBlocks.reset();
-        offchipWastedBlocks.reset();
-        offchipWritebackBlocks.reset();
-        fpPredictedTouched.reset();
-        fpTouched.reset();
-        fpFetchedUntouched.reset();
-        fpFetched.reset();
-        singletonBypasses.reset();
-    }
 };
 
 /**
@@ -145,6 +137,8 @@ enum class DramCacheKind : std::uint8_t
     NaiveTaggedPage,
     Ideal,
     NoCache,
+    AlloyFp,  //!< composed: direct-mapped blocks + footprint prefetch
+    UnisonWp, //!< composed: Unison with pluggable way predictors
     Other, //!< out-of-tree subclass: virtual per-access dispatch
 };
 

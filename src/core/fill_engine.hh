@@ -1,0 +1,244 @@
+/**
+ * @file
+ * The fill/writeback layer of the DRAM-cache policy framework: the two
+ * engines that own ALL off-chip traffic a design generates, and the
+ * DramCacheStats accounting for it -- exactly once, here.
+ *
+ *  - FillEngine issues the off-chip reads: the demanded block (counted
+ *    as demand traffic), the streamed remainder of a predicted
+ *    footprint (counted as prefetch traffic), and mispredict-wasted
+ *    fetches (counted as wasted traffic).
+ *  - WritebackEngine issues the off-chip writes: single-block
+ *    writebacks/write-throughs and the batched dirty-footprint
+ *    writeback of a page eviction (one stacked-row read, then
+ *    per-block off-chip writes -- the footprint-granular transfer
+ *    behaviour behind the Sec. V-D energy advantage).
+ *
+ * The accounting identity the engines guarantee (asserted by
+ * tests/fill_engine_test.cpp): every off-chip read is exactly one of
+ * demand / prefetch / wasted, so
+ *
+ *     offchipFetchedBlocks() == offchip reads issued,
+ *     offchipWritebackBlocks == offchip writes issued.
+ *
+ * A design composes these with a CacheOrganization and a FetchPolicy;
+ * the design's own code decides *when* (probe timing, hit/miss
+ * serving) and the engines decide what that costs off-chip.
+ */
+
+#ifndef UNISON_CORE_FILL_ENGINE_HH
+#define UNISON_CORE_FILL_ENGINE_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "cache/page_set.hh"
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "core/dram_cache.hh"
+#include "dram/dram.hh"
+#include "predictors/fetch_policy.hh"
+
+namespace unison {
+
+/**
+ * Table V footprint-accuracy bookkeeping, accumulated when a page's
+ * residency ends: how much of the touched footprint was predicted, and
+ * how much of the fetched data was never touched.
+ */
+inline void
+accountFootprint(DramCacheStats &stats, std::uint32_t predicted,
+                 std::uint32_t touched, std::uint32_t fetched)
+{
+    stats.fpPredictedTouched += popCount(predicted & touched);
+    stats.fpTouched += popCount(touched);
+    stats.fpFetchedUntouched += popCount(fetched & ~touched);
+    stats.fpFetched += popCount(fetched);
+}
+
+/** Issues and accounts all off-chip *read* traffic. */
+class FillEngine
+{
+  public:
+    void
+    init(DramModule *offchip, DramCacheStats *stats)
+    {
+        offchip_ = offchip;
+        stats_ = stats;
+    }
+
+    /** Fetch the demanded block; counted as demand traffic. */
+    Cycle
+    demandBlock(Addr addr, Cycle start)
+    {
+        const Cycle done =
+            offchip_->addrAccess(addr, kBlockBytes, false, start)
+                .completion;
+        ++stats_->offchipDemandBlocks;
+        return done;
+    }
+
+    /** Fetch one non-demanded footprint block; counted as prefetch. */
+    Cycle
+    prefetchBlock(Addr addr, Cycle start)
+    {
+        const Cycle done =
+            offchip_->addrAccess(addr, kBlockBytes, false, start)
+                .completion;
+        ++stats_->offchipPrefetchBlocks;
+        return done;
+    }
+
+    /** A speculative fetch for a block the cache already had (miss
+     *  predictor overfetch); counted as wasted traffic. */
+    void
+    wastedBlock(Addr addr, Cycle start)
+    {
+        offchip_->addrAccess(addr, kBlockBytes, false, start);
+        ++stats_->offchipWastedBlocks;
+    }
+
+    struct FootprintFetch
+    {
+        Cycle critical = 0; //!< completion of the demanded block
+        Cycle lastDone = 0; //!< completion of the slowest block
+    };
+
+    /**
+     * Fetch a predicted footprint: the demanded block first (critical,
+     * issued at `head_start` -- usually the tag-resolve cycle, earlier
+     * when a miss predictor already started the fetch), then the
+     * remaining blocks streamed from `rest_start`. They share memory
+     * rows, so this is one activation plus row-buffer hits.
+     *
+     * @param block_addr maps an in-page block offset to its byte
+     *        address.
+     */
+    template <typename AddrFn>
+    FootprintFetch
+    fetchFootprint(AddrFn &&block_addr, std::uint32_t mask,
+                   std::uint32_t demand_offset, Cycle rest_start,
+                   Cycle head_start)
+    {
+        const std::uint32_t demand_bit = 1u << demand_offset;
+        UNISON_ASSERT((mask & demand_bit) != 0,
+                      "footprint fetch must include the demand block");
+        FootprintFetch result;
+        result.critical = demandBlock(block_addr(demand_offset),
+                                      head_start);
+        result.lastDone = result.critical;
+        std::uint32_t rest = mask & ~demand_bit;
+        while (rest != 0) {
+            const std::uint32_t off = static_cast<std::uint32_t>(
+                std::countr_zero(rest));
+            rest &= rest - 1;
+            const Cycle done =
+                prefetchBlock(block_addr(off), rest_start);
+            result.lastDone = std::max(result.lastDone, done);
+        }
+        return result;
+    }
+
+  private:
+    DramModule *offchip_ = nullptr;
+    DramCacheStats *stats_ = nullptr;
+};
+
+/** Issues and accounts all off-chip *write* traffic. */
+class WritebackEngine
+{
+  public:
+    void
+    init(DramModule *offchip, DramCacheStats *stats)
+    {
+        offchip_ = offchip;
+        stats_ = stats;
+    }
+
+    /** One dirty block to memory (victim writeback, or the
+     *  write-no-allocate path for writes missing the cache). */
+    Cycle
+    writeBlock(Addr addr, Cycle start)
+    {
+        const Cycle done =
+            offchip_->addrAccess(addr, kBlockBytes, true, start)
+                .completion;
+        ++stats_->offchipWritebackBlocks;
+        return done;
+    }
+
+    /**
+     * Page-eviction writeback: one batched read of the dirty blocks
+     * from the page's stacked row, then per-block writes into memory
+     * (footprint-granular transfers). Caller guarantees a non-empty
+     * dirty mask.
+     * @return completion of the batched stacked-row read.
+     */
+    template <typename AddrFn>
+    Cycle
+    writebackDirty(DramModule &stacked, std::uint64_t data_row,
+                   std::uint32_t dirty_mask, AddrFn &&block_addr,
+                   Cycle when)
+    {
+        UNISON_ASSERT(dirty_mask != 0, "empty dirty-writeback mask");
+        const std::uint32_t dirty_blocks = popCount(dirty_mask);
+        const Cycle read_done =
+            stacked
+                .rowAccess(data_row, dirty_blocks * kBlockBytes, false,
+                           when)
+                .completion;
+        std::uint32_t mask = dirty_mask;
+        while (mask != 0) {
+            const std::uint32_t off = static_cast<std::uint32_t>(
+                std::countr_zero(mask));
+            mask &= mask - 1;
+            offchip_->addrAccess(block_addr(off), kBlockBytes, true,
+                                 read_done);
+        }
+        stats_->offchipWritebackBlocks += dirty_blocks;
+        return read_done;
+    }
+
+  private:
+    DramModule *offchip_ = nullptr;
+    DramCacheStats *stats_ = nullptr;
+};
+
+/**
+ * The shared page-eviction sequence of the page-organized designs:
+ * write back the dirty footprint, train the FHT with the observed
+ * footprint (read from the row only now, at eviction), accumulate the
+ * Table V accuracy counters -- only for pages *allocated* in the
+ * current measurement generation, so cold-phase allocations cannot
+ * pollute post-warm statistics -- and invalidate the way.
+ */
+template <typename AddrFn>
+inline void
+evictPageWay(PageWaySoa &ways, std::size_t idx, WritebackEngine &wb,
+             DramModule &stacked, std::uint64_t data_row,
+             AddrFn &&block_addr, Cycle when, FootprintFetchPolicy &fp,
+             DramCacheStats &stats, std::uint8_t stats_gen)
+{
+    UNISON_ASSERT(ways.valid(idx), "evicting an invalid way");
+    ++stats.evictions;
+
+    const std::uint32_t dirty_mask = ways.hot[idx].dirty;
+    if (dirty_mask != 0)
+        wb.writebackDirty(stacked, data_row, dirty_mask, block_addr,
+                          when);
+
+    UNISON_ASSERT(ways.hot[idx].touched != 0,
+                  "resident page was never touched");
+    fp.trainEviction(ways.cold[idx].pcHash, ways.cold[idx].trigger,
+                     ways.hot[idx].touched);
+
+    if (ways.cold[idx].gen == stats_gen)
+        accountFootprint(stats, ways.cold[idx].predicted,
+                         ways.hot[idx].touched, ways.hot[idx].fetched);
+
+    ways.invalidate(idx);
+}
+
+} // namespace unison
+
+#endif // UNISON_CORE_FILL_ENGINE_HH

@@ -1,574 +1,17 @@
+/**
+ * @file
+ * Registry entry for Unison Cache. The cache body itself is the
+ * UnisonCacheT composition template in unison_cache.hh (shared with
+ * the unison-wp ablation design in unison_wp.hh); this file only
+ * describes the design -- names, knobs, validation, factory -- to the
+ * design registry.
+ */
+
 #include "core/unison_cache.hh"
 
 #include "sim/design_registry.hh"
 
-#include <algorithm>
-
-#include "common/bitops.hh"
-#include "common/logging.hh"
-
 namespace unison {
-
-namespace {
-
-/** FHT keys use the low 32 PC bits (the stored trigger PC width). */
-Pc
-fhtPc(Pc pc)
-{
-    return pc & 0xffffffffull;
-}
-
-} // namespace
-
-UnisonCache::UnisonCache(const UnisonConfig &config, DramModule *offchip)
-    : DramCache(offchip, DramCacheKind::Unison),
-      config_(config),
-      geometry_(UnisonGeometry::compute(config.capacityBytes,
-                                        config.pageBlocks, config.assoc)),
-      pageDiv_(config.pageBlocks),
-      stacked_(std::make_unique<DramModule>(config.stackedOrg,
-                                            config.stackedTiming)),
-      wayPred_(config.wayPredictorIndexBits != 0
-                   ? config.wayPredictorIndexBits
-                   : WayPredictor::indexBitsForCapacity(
-                         config.capacityBytes),
-               config.assoc),
-      fht_([&] {
-          FootprintTableConfig c = config.fhtConfig;
-          c.maxBlocksPerPage = config.pageBlocks;
-          return c;
-      }()),
-      singletons_(config.singletonConfig)
-{
-    UNISON_ASSERT(offchip != nullptr, "Unison Cache needs a memory pool");
-    UNISON_ASSERT(config_.pageBlocks <= 32,
-                  "page masks are 32 bits wide; pageBlocks = ",
-                  config_.pageBlocks);
-    if (config_.missPolicy == UnisonMissPolicy::MapI) {
-        MissPredictorConfig mp;
-        mp.numCores = config_.numCores;
-        missPred_ = std::make_unique<MissPredictor>(mp);
-    }
-    ways_.resize(geometry_.numSets * config_.assoc);
-}
-
-std::string
-UnisonCache::name() const
-{
-    return "Unison-" + std::to_string(config_.pageBlocks * kBlockBytes) +
-           "B-" + std::to_string(config_.assoc) + "way";
-}
-
-void
-UnisonCache::resetStats()
-{
-    DramCache::resetStats();
-    ++statsGen_;
-    wayPred_.resetStats();
-    fht_.resetStats();
-    singletons_.resetStats();
-    if (missPred_)
-        missPred_->resetStats();
-}
-
-void
-UnisonCache::mapAddress(Addr addr, std::uint64_t &page,
-                        std::uint32_t &offset) const
-{
-    // The modelled hardware computes this with the residue-arithmetic
-    // adder tree (MersenneDivider, Sec. III-A.7; the paper charges it
-    // 2 cycles, overlapped with the L2 access). The simulator itself
-    // uses the reciprocal divider: the exact same quotient/remainder,
-    // an order of magnitude fewer host instructions per access.
-    std::uint64_t q, r;
-    pageDiv_.divMod(blockNumber(addr), q, r);
-    page = q;
-    offset = static_cast<std::uint32_t>(r);
-}
-
-UnisonCache::Location
-UnisonCache::locate(Addr addr) const
-{
-    Location loc;
-    mapAddress(addr, loc.page, loc.offset);
-    std::uint64_t q, r;
-    geometry_.numSetsDiv.divMod(loc.page, q, r);
-    loc.set = r;
-    loc.tag = static_cast<std::uint32_t>(q);
-    return loc;
-}
-
-void
-UnisonCache::issueProbeReads(const Location &loc, std::uint32_t pred_way,
-                             Cycle start, Cycle &tag_done,
-                             Cycle &data_done)
-{
-    // Tag burst first, then the speculative data read: back-to-back
-    // commands to the same row; the channel model overlaps the row
-    // activation and serializes only the bus bursts (Sec. III-A).
-    const std::uint64_t tag_row = geometry_.rowOfSet(loc.set);
-    tag_done = stacked_
-                   ->rowAccess(tag_row, geometry_.tagBurstBytes,
-                               /*is_write=*/false, start)
-                   .completion;
-
-    if (config_.wayPolicy == UnisonWayPolicy::SerialTag) {
-        data_done = 0; // the data read is issued after tag resolve
-        return;
-    }
-
-    if (config_.wayPolicy == UnisonWayPolicy::FetchAll) {
-        // Stream every way of the set (possibly from several rows).
-        Cycle done = 0;
-        if (geometry_.rowsPerSet == 1) {
-            done = stacked_
-                       ->rowAccess(tag_row,
-                                   config_.assoc * kBlockBytes,
-                                   false, start)
-                       .completion;
-        } else {
-            for (std::uint32_t r = 0; r < geometry_.rowsPerSet; ++r) {
-                done = std::max(
-                    done,
-                    stacked_
-                        ->rowAccess(tag_row + r,
-                                    geometry_.waysPerRow * kBlockBytes,
-                                    false, start)
-                        .completion);
-            }
-        }
-        data_done = done;
-        return;
-    }
-
-    const std::uint64_t data_row = geometry_.dataRowOfWay(loc.set,
-                                                          pred_way);
-    data_done = stacked_
-                    ->rowAccess(data_row, kBlockBytes, false, start)
-                    .completion;
-}
-
-DramCacheResult
-UnisonCache::serveBlockHit(const DramCacheRequest &req, const Location &loc,
-                           int way, std::uint32_t pred_way, Cycle tag_done,
-                           Cycle data_done)
-{
-    const std::size_t idx = setBase(loc.set) + way;
-    const std::uint32_t bit = blockBit(loc.offset);
-
-    ++stats_.hits;
-    ways_.hot[idx].touched |= bit;
-    if (req.isWrite)
-        ways_.hot[idx].dirty |= bit;
-    ways_.hot[idx].lastUse = ++useCounter_;
-
-    DramCacheResult result;
-    result.hit = true;
-
-    if (req.isWrite) {
-        // Tag check resolved the way; then the block write goes to the
-        // (open) row. Writes are posted: done when accepted.
-        result.doneAt = stacked_
-                            ->rowAccess(geometry_.dataRowOfWay(loc.set,
-                                                               way),
-                                        kBlockBytes, true, tag_done)
-                            .completion;
-        if (config_.assoc > 1 &&
-            config_.wayPolicy == UnisonWayPolicy::Predict)
-            wayPred_.train(loc.page, static_cast<std::uint32_t>(way));
-        return result;
-    }
-
-    switch (config_.wayPolicy) {
-      case UnisonWayPolicy::Predict: {
-        const bool correct =
-            static_cast<std::uint32_t>(way) == pred_way ||
-            config_.assoc == 1;
-        if (config_.assoc > 1) {
-            wayPred_.recordOutcome(correct);
-            wayPred_.train(loc.page, static_cast<std::uint32_t>(way));
-        }
-        if (correct) {
-            result.doneAt = data_done;
-        } else {
-            // Way mispredict: re-read the correct way. The row is now
-            // open, so this is a cheap row-buffer hit (Sec. III-A.6).
-            result.doneAt =
-                stacked_
-                    ->rowAccess(geometry_.dataRowOfWay(loc.set, way),
-                                kBlockBytes, false,
-                                std::max(tag_done, data_done))
-                    .completion;
-        }
-        break;
-      }
-      case UnisonWayPolicy::FetchAll:
-        result.doneAt = std::max(tag_done, data_done);
-        break;
-      case UnisonWayPolicy::SerialTag:
-        result.doneAt =
-            stacked_
-                ->rowAccess(geometry_.dataRowOfWay(loc.set, way),
-                            kBlockBytes, false, tag_done)
-                .completion;
-        break;
-    }
-    return result;
-}
-
-DramCacheResult
-UnisonCache::serveBlockMiss(const DramCacheRequest &req,
-                            const Location &loc, int way, Cycle tag_done)
-{
-    const std::size_t idx = setBase(loc.set) + way;
-    const std::uint32_t bit = blockBit(loc.offset);
-
-    ++stats_.misses;
-    ++stats_.blockMisses;
-    ways_.hot[idx].lastUse = ++useCounter_;
-
-    DramCacheResult result;
-    result.hit = false;
-
-    const std::uint64_t data_row = geometry_.dataRowOfWay(loc.set, way);
-    if (req.isWrite) {
-        // Full-block write allocation: no off-chip fetch needed.
-        ways_.hot[idx].fetched |= bit;
-        ways_.hot[idx].touched |= bit;
-        ways_.hot[idx].dirty |= bit;
-        result.doneAt = stacked_
-                            ->rowAccess(data_row, kBlockBytes, true,
-                                        tag_done)
-                            .completion;
-        return result;
-    }
-
-    // Underprediction (Sec. III-A.3): fetch just the missing block.
-    // The miss is detected after the in-DRAM tag resolves.
-    const Cycle mem_done =
-        offchip_->addrAccess(req.addr, kBlockBytes, false, tag_done)
-            .completion;
-    ++stats_.offchipDemandBlocks;
-    ways_.hot[idx].fetched |= bit;
-    ways_.hot[idx].touched |= bit; // eviction will propagate the correction
-
-    // Background fill of the block into the stacked row.
-    stacked_->rowAccess(data_row, kBlockBytes, true, mem_done);
-    result.doneAt = mem_done;
-    return result;
-}
-
-void
-UnisonCache::evictPage(std::uint64_t set, int way, Cycle when)
-{
-    const std::size_t idx = setBase(set) + way;
-    UNISON_ASSERT(ways_.valid(idx), "evicting an invalid way");
-    ++stats_.evictions;
-
-    const std::uint64_t page =
-        ways_.tag(idx) * geometry_.numSets + set;
-
-    // Write back dirty blocks: one batched read from the stacked row,
-    // then per-block writes into memory (footprint-granular transfers,
-    // the Sec. V-D energy advantage).
-    const std::uint32_t dirty_mask = ways_.hot[idx].dirty;
-    if (dirty_mask != 0) {
-        const std::uint32_t dirty_blocks = popCount(dirty_mask);
-        const Cycle read_done =
-            stacked_
-                ->rowAccess(geometry_.dataRowOfWay(set, way),
-                            dirty_blocks * kBlockBytes, false, when)
-                .completion;
-        std::uint32_t mask = dirty_mask;
-        while (mask != 0) {
-            const std::uint32_t off = static_cast<std::uint32_t>(
-                std::countr_zero(mask));
-            mask &= mask - 1;
-            offchip_->addrAccess(blockAddrOf(page, off), kBlockBytes,
-                                 true, read_done);
-        }
-        stats_.offchipWritebackBlocks += dirty_blocks;
-    }
-
-    // The stored (PC, offset) pair is read from the row only now, at
-    // eviction, and used to train the FHT with the observed footprint.
-    UNISON_ASSERT(ways_.hot[idx].touched != 0,
-                  "resident page was never touched");
-    fht_.update(ways_.cold[idx].pcHash, ways_.cold[idx].trigger,
-                ways_.hot[idx].touched);
-
-    // Table V bookkeeping -- only for pages allocated in the current
-    // measurement generation (cold-phase allocations would otherwise
-    // dominate large-cache statistics with default predictions).
-    if (ways_.cold[idx].gen == statsGen_) {
-        stats_.fpPredictedTouched +=
-            popCount(ways_.cold[idx].predicted & ways_.hot[idx].touched);
-        stats_.fpTouched += popCount(ways_.hot[idx].touched);
-        stats_.fpFetchedUntouched +=
-            popCount(ways_.hot[idx].fetched & ~ways_.hot[idx].touched);
-        stats_.fpFetched += popCount(ways_.hot[idx].fetched);
-    }
-
-    ways_.invalidate(idx);
-}
-
-Cycle
-UnisonCache::fetchFootprint(const Location &loc, std::uint32_t mask,
-                            bool fetch_demand, Cycle start,
-                            Cycle head_start, bool head_started,
-                            Cycle &last_done)
-{
-    (void)head_started;
-    const std::uint32_t demand_bit = blockBit(loc.offset);
-    Cycle critical = start;
-    last_done = start;
-
-    if (fetch_demand && (mask & demand_bit) != 0) {
-        critical = offchip_
-                       ->addrAccess(blockAddrOf(loc.page, loc.offset),
-                                    kBlockBytes, false, head_start)
-                       .completion;
-        last_done = critical;
-        mask &= ~demand_bit;
-    }
-
-    // Remaining footprint blocks stream behind the critical block;
-    // they share the memory row, so this is one activation plus
-    // row-buffer hits (the bulk-transfer behaviour of Sec. V-D).
-    while (mask != 0) {
-        const std::uint32_t off = static_cast<std::uint32_t>(
-            std::countr_zero(mask));
-        mask &= mask - 1;
-        const Cycle done =
-            offchip_
-                ->addrAccess(blockAddrOf(loc.page, off), kBlockBytes,
-                             false, start)
-                .completion;
-        last_done = std::max(last_done, done);
-    }
-    return critical;
-}
-
-DramCacheResult
-UnisonCache::serveTriggerMiss(const DramCacheRequest &req,
-                              const Location &loc, Cycle tag_done,
-                              Cycle offchip_head_start,
-                              bool offchip_started)
-{
-    ++stats_.misses;
-    ++stats_.pageMisses;
-
-    if (req.isWrite) {
-        // Write-no-allocate: an L2 writeback whose page is not
-        // resident goes straight to memory. Allocating here would
-        // evict a useful page and (worse) fetch a footprint predicted
-        // from a trigger PC that has nothing to do with this data.
-        DramCacheResult result;
-        result.hit = false;
-        result.doneAt =
-            offchip_
-                ->addrAccess(blockAddrOf(loc.page, loc.offset),
-                             kBlockBytes, true, tag_done)
-                .completion;
-        ++stats_.offchipWritebackBlocks;
-        return result;
-    }
-
-    // Singleton promotion check (Sec. III-A.4): was this page bypassed
-    // as a singleton earlier? If so, widen its FHT entry -- it is not
-    // a singleton after all.
-    bool promoted = false;
-    if (config_.singletonEnabled) {
-        Pc spc;
-        std::uint32_t soff, sfirst;
-        if (singletons_.checkAndRemove(loc.page, spc, soff, sfirst)) {
-            fht_.merge(spc, soff,
-                       blockBit(sfirst) | blockBit(loc.offset));
-            promoted = true;
-        }
-    }
-
-    // Footprint prediction for the trigger (PC, offset).
-    std::uint32_t predicted = fullPageMask();
-    if (config_.footprintPredictionEnabled) {
-        std::uint64_t fht_mask;
-        if (fht_.predict(fhtPc(req.pc), loc.offset, fht_mask))
-            predicted = static_cast<std::uint32_t>(fht_mask) &
-                        fullPageMask();
-    }
-    predicted |= blockBit(loc.offset);
-
-    DramCacheResult result;
-    result.hit = false;
-
-    // Singleton bypass: serve the block straight from memory without
-    // allocating a page.
-    if (config_.singletonEnabled && !promoted &&
-        predicted == blockBit(loc.offset) &&
-        config_.footprintPredictionEnabled) {
-        ++stats_.singletonBypasses;
-        const Addr addr = blockAddrOf(loc.page, loc.offset);
-        result.doneAt = offchip_
-                            ->addrAccess(addr, kBlockBytes, false,
-                                         offchip_started
-                                             ? offchip_head_start
-                                             : tag_done)
-                            .completion;
-        ++stats_.offchipDemandBlocks;
-        singletons_.insert(loc.page, fhtPc(req.pc), loc.offset,
-                           loc.offset);
-        return result;
-    }
-
-    // Allocate: evict the victim way first.
-    const int victim = pickVictim(loc.set);
-    const std::size_t idx = setBase(loc.set) + victim;
-    if (ways_.valid(idx))
-        evictPage(loc.set, victim, tag_done);
-
-    // Fetch the predicted footprint, demanded block first.
-    const std::uint32_t fetch_mask = predicted;
-    Cycle last_done = tag_done;
-    const Cycle critical = fetchFootprint(
-        loc, fetch_mask, /*fetch_demand=*/true, tag_done,
-        offchip_started ? offchip_head_start : tag_done, offchip_started,
-        last_done);
-
-    // Fill the page (data + metadata) into the stacked row.
-    stacked_->rowAccess(geometry_.dataRowOfWay(loc.set, victim),
-                        popCount(fetch_mask) * kBlockBytes +
-                            geometry_.pageMetaBytes,
-                        true, last_done);
-
-    // Install the page metadata (Fig. 2: tag, bit vectors, PC+offset).
-    ways_.tagv[idx] = PageWaySoa::kValid | loc.tag;
-    ways_.cold[idx].pcHash = static_cast<std::uint32_t>(fhtPc(req.pc));
-    ways_.cold[idx].trigger = static_cast<std::uint8_t>(loc.offset);
-    ways_.cold[idx].predicted = predicted;
-    ways_.hot[idx].fetched = fetch_mask;
-    ways_.hot[idx].touched = blockBit(loc.offset);
-    ways_.hot[idx].dirty = 0;
-    ways_.hot[idx].lastUse = ++useCounter_;
-    ways_.cold[idx].gen = statsGen_;
-
-    if (config_.assoc > 1 && config_.wayPolicy == UnisonWayPolicy::Predict)
-        wayPred_.train(loc.page, static_cast<std::uint32_t>(victim));
-
-    ++stats_.offchipDemandBlocks;
-    stats_.offchipPrefetchBlocks += popCount(fetch_mask) - 1;
-    result.doneAt = critical;
-    return result;
-}
-
-DramCacheResult
-UnisonCache::access(const DramCacheRequest &req)
-{
-    const Location loc = locate(req.addr);
-    if (req.isWrite)
-        ++stats_.writes;
-    else
-        ++stats_.reads;
-
-    // Miss-policy speculation (reads only; writes always probe).
-    bool predicted_hit = true;
-    Cycle start = req.cycle;
-    if (missPred_ && !req.isWrite) {
-        predicted_hit = missPred_->predictHit(req.core, req.pc);
-        start += missPred_->config().latency;
-    }
-
-    const std::uint32_t pred_way =
-        (config_.assoc > 1 && config_.wayPolicy == UnisonWayPolicy::Predict)
-            ? wayPred_.predict(loc.page)
-            : 0;
-
-    // Probe: tag burst (+ overlapped speculative data read for reads).
-    Cycle tag_done = 0;
-    Cycle data_done = 0;
-    if (req.isWrite) {
-        tag_done = stacked_
-                       ->rowAccess(geometry_.rowOfSet(loc.set),
-                                   geometry_.tagBurstBytes, false, start)
-                       .completion;
-    } else {
-        issueProbeReads(loc, pred_way, start, tag_done, data_done);
-    }
-
-    const int way = findWay(loc.set, loc.tag);
-    const bool block_hit =
-        way >= 0 &&
-        (ways_.hot[setBase(loc.set) + way].fetched & blockBit(loc.offset)) !=
-            0;
-
-    // MAP-I ablation: train, and account for speculative memory reads.
-    bool offchip_started = false;
-    Cycle offchip_head_start = tag_done;
-    if (missPred_ && !req.isWrite) {
-        missPred_->train(req.core, req.pc, predicted_hit, block_hit);
-        if (!predicted_hit) {
-            if (block_hit) {
-                // Useless fetch: the block was in the cache.
-                offchip_->addrAccess(req.addr, kBlockBytes, false, start);
-                ++stats_.offchipWastedBlocks;
-            } else {
-                offchip_started = true;
-                offchip_head_start = start;
-            }
-        }
-    }
-
-    if (way >= 0) {
-        if (block_hit)
-            return serveBlockHit(req, loc, way, pred_way, tag_done,
-                                 data_done);
-        return serveBlockMiss(req, loc, way, tag_done);
-    }
-    return serveTriggerMiss(req, loc, tag_done, offchip_head_start,
-                            offchip_started);
-}
-
-bool
-UnisonCache::pagePresent(Addr addr) const
-{
-    const Location loc = locate(addr);
-    return findWay(loc.set, loc.tag) >= 0;
-}
-
-bool
-UnisonCache::blockPresent(Addr addr) const
-{
-    const Location loc = locate(addr);
-    const int way = findWay(loc.set, loc.tag);
-    if (way < 0)
-        return false;
-    return (ways_.hot[setBase(loc.set) + way].fetched &
-            blockBit(loc.offset)) != 0;
-}
-
-bool
-UnisonCache::blockDirty(Addr addr) const
-{
-    const Location loc = locate(addr);
-    const int way = findWay(loc.set, loc.tag);
-    if (way < 0)
-        return false;
-    return (ways_.hot[setBase(loc.set) + way].dirty &
-            blockBit(loc.offset)) != 0;
-}
-
-bool
-UnisonCache::blockTouched(Addr addr) const
-{
-    const Location loc = locate(addr);
-    const int way = findWay(loc.set, loc.tag);
-    if (way < 0)
-        return false;
-    return (ways_.hot[setBase(loc.set) + way].touched &
-            blockBit(loc.offset)) != 0;
-}
-
-
-// --------------------------------------------------- registry entry
 
 DesignInfo
 unisonDesignInfo()
@@ -626,22 +69,7 @@ unisonDesignInfo()
     };
     info.validate = [](const DesignVariant &v,
                        const DesignBuildContext &) -> std::string {
-        const UnisonConfig &c = std::get<UnisonConfig>(v);
-        if (c.fhtConfig.numEntries % c.fhtConfig.assoc != 0)
-            return "fhtEntries (" +
-                   std::to_string(c.fhtConfig.numEntries) +
-                   ") must be a multiple of fhtAssoc (" +
-                   std::to_string(c.fhtConfig.assoc) + ")";
-        const std::uint32_t sets =
-            c.fhtConfig.numEntries / c.fhtConfig.assoc;
-        if ((sets & (sets - 1)) != 0)
-            return "fhtEntries/fhtAssoc must be a power of two "
-                   "(FHT set count), got " +
-                   std::to_string(sets) + " sets";
-        if (c.wayPredictorIndexBits != 0 &&
-            c.wayPredictorIndexBits < 4)
-            return "wayPredictorIndexBits must be 0 (auto) or >= 4";
-        return "";
+        return validateUnisonKnobs(std::get<UnisonConfig>(v));
     };
     info.build = [](const DesignVariant &v,
                     const DesignBuildContext &ctx,
@@ -652,6 +80,26 @@ unisonDesignInfo()
         return std::make_unique<UnisonCache>(cfg, offchip);
     };
     return info;
+}
+
+std::string
+validateUnisonKnobs(const UnisonConfig &c)
+{
+    if (c.fhtConfig.numEntries % c.fhtConfig.assoc != 0)
+        return "fhtEntries (" +
+               std::to_string(c.fhtConfig.numEntries) +
+               ") must be a multiple of fhtAssoc (" +
+               std::to_string(c.fhtConfig.assoc) + ")";
+    const std::uint32_t sets =
+        c.fhtConfig.numEntries / c.fhtConfig.assoc;
+    if ((sets & (sets - 1)) != 0)
+        return "fhtEntries/fhtAssoc must be a power of two "
+               "(FHT set count), got " +
+               std::to_string(sets) + " sets";
+    if (c.wayPredictorIndexBits != 0 &&
+        c.wayPredictorIndexBits < 4)
+        return "wayPredictorIndexBits must be 0 (auto) or >= 4";
+    return "";
 }
 
 } // namespace unison

@@ -23,32 +23,27 @@
 
 namespace unison {
 
+/**
+ * The one list of DRAM traffic counters, shared by the per-channel
+ * struct (Counter fields, resettable at the warm-up boundary) and the
+ * pool aggregate (plain uint64 sums in dram.hh). rowConflicts counts
+ * precharge + activate, rowEmpty an activate into an idle bank.
+ */
+#define UNISON_DRAM_TRAFFIC_FIELDS(X, T)                                \
+    X(T, reads)                                                         \
+    X(T, writes)                                                        \
+    X(T, rowHits)                                                       \
+    X(T, rowConflicts)                                                  \
+    X(T, rowEmpty)                                                      \
+    X(T, activations)                                                   \
+    X(T, bytesRead)                                                     \
+    X(T, bytesWritten)                                                  \
+    X(T, refreshes)
+
 /** Counters kept per channel (aggregated by DramModule). */
 struct DramChannelStats
 {
-    Counter reads;
-    Counter writes;
-    Counter rowHits;
-    Counter rowConflicts;   //!< precharge + activate needed
-    Counter rowEmpty;       //!< activate needed (bank was idle)
-    Counter activations;
-    Counter bytesRead;
-    Counter bytesWritten;
-    Counter refreshes;
-
-    void
-    reset()
-    {
-        reads.reset();
-        writes.reset();
-        rowHits.reset();
-        rowConflicts.reset();
-        rowEmpty.reset();
-        activations.reset();
-        bytesRead.reset();
-        bytesWritten.reset();
-        refreshes.reset();
-    }
+    UNISON_STAT_STRUCT_BODY_T(UNISON_DRAM_TRAFFIC_FIELDS, Counter)
 };
 
 /** Result of timing one access through the channel. */

@@ -42,18 +42,8 @@ DramPoolStats
 DramModule::stats() const
 {
     DramPoolStats agg;
-    for (const DramChannel &ch : channels_) {
-        const DramChannelStats &s = ch.stats();
-        agg.reads += s.reads.value();
-        agg.writes += s.writes.value();
-        agg.rowHits += s.rowHits.value();
-        agg.rowConflicts += s.rowConflicts.value();
-        agg.rowEmpty += s.rowEmpty.value();
-        agg.activations += s.activations.value();
-        agg.bytesRead += s.bytesRead.value();
-        agg.bytesWritten += s.bytesWritten.value();
-        agg.refreshes += s.refreshes.value();
-    }
+    for (const DramChannel &ch : channels_)
+        agg.add(ch.stats());
     return agg;
 }
 

@@ -19,18 +19,21 @@
 
 namespace unison {
 
-/** Aggregated statistics across a pool's channels. */
+/** Aggregated statistics across a pool's channels: the same traffic
+ *  field list as DramChannelStats, as plain uint64 sums. */
 struct DramPoolStats
 {
-    std::uint64_t reads = 0;
-    std::uint64_t writes = 0;
-    std::uint64_t rowHits = 0;
-    std::uint64_t rowConflicts = 0;
-    std::uint64_t rowEmpty = 0;
-    std::uint64_t activations = 0;
-    std::uint64_t bytesRead = 0;
-    std::uint64_t bytesWritten = 0;
-    std::uint64_t refreshes = 0;
+    UNISON_STAT_STRUCT_BODY_T(UNISON_DRAM_TRAFFIC_FIELDS, std::uint64_t)
+
+    /** Fold one channel's counters in (field-by-field, generated from
+     *  the shared list so an added counter cannot be missed here). */
+#define UNISON_POOL_ADD_FIELD(T, name) name += ch.name.value();
+    void
+    add(const DramChannelStats &ch)
+    {
+        UNISON_DRAM_TRAFFIC_FIELDS(UNISON_POOL_ADD_FIELD, )
+    }
+#undef UNISON_POOL_ADD_FIELD
 
     std::uint64_t accesses() const { return reads + writes; }
 

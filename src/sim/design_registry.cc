@@ -49,6 +49,16 @@ static_assert(std::is_same_v<std::variant_alternative_t<
                                      DesignKind::NoDramCache),
                                  DesignVariant>,
                              NoCacheConfig>);
+static_assert(std::is_same_v<std::variant_alternative_t<
+                                 static_cast<std::size_t>(
+                                     DesignKind::AlloyFp),
+                                 DesignVariant>,
+                             AlloyFpConfig>);
+static_assert(std::is_same_v<std::variant_alternative_t<
+                                 static_cast<std::size_t>(
+                                     DesignKind::UnisonWp),
+                                 DesignVariant>,
+                             UnisonWpConfig>);
 
 DesignRegistry &
 DesignRegistry::instance()
@@ -63,6 +73,8 @@ DesignRegistry::instance()
         r.add(lohHillDesignInfo());
         r.add(naiveBlockFpDesignInfo());
         r.add(naiveTaggedPageDesignInfo());
+        r.add(alloyFpDesignInfo());
+        r.add(unisonWpDesignInfo());
         r.add(idealDesignInfo());
         r.add(noCacheDesignInfo());
         return r;

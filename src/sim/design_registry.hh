@@ -44,7 +44,9 @@
 #include "baselines/no_cache.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "core/alloy_fp.hh"
 #include "core/unison_cache.hh"
+#include "core/unison_wp.hh"
 
 namespace unison {
 
@@ -61,6 +63,8 @@ enum class DesignKind
     NaiveTaggedPage,  //!< Sec. III-B.2 rejected design (Fig. 4b)
     Ideal,
     NoDramCache,
+    AlloyFp,  //!< composed: block cache + footprint-grouped prefetch
+    UnisonWp, //!< composed: Unison with pluggable way predictors
 };
 
 /**
@@ -73,7 +77,8 @@ enum class DesignKind
 using DesignVariant =
     std::variant<UnisonConfig, AlloyConfig, FootprintCacheConfig,
                  LohHillConfig, NaiveBlockFpConfig,
-                 NaiveTaggedPageConfig, IdealConfig, NoCacheConfig>;
+                 NaiveTaggedPageConfig, IdealConfig, NoCacheConfig,
+                 AlloyFpConfig, UnisonWpConfig>;
 
 /** Spec-level values the factory folds into the design config. */
 struct DesignBuildContext
@@ -92,6 +97,8 @@ struct DesignKnob
 {
     std::string key;
     std::string help;
+    std::string type;  //!< "uint" | "bool" | "enum" (for --knobs)
+    std::string range; //!< human-readable valid range / value set
     std::function<json::Value(const DesignVariant &)> get;
     /** Throws json::Error on a bad value. */
     std::function<void(DesignVariant &, const json::Value &)> set;
@@ -172,6 +179,8 @@ class DesignConfig
     DesignConfig(NaiveTaggedPageConfig c) : v_(std::move(c)) {}
     DesignConfig(IdealConfig c) : v_(std::move(c)) {}
     DesignConfig(NoCacheConfig c) : v_(std::move(c)) {}
+    DesignConfig(AlloyFpConfig c) : v_(std::move(c)) {}
+    DesignConfig(UnisonWpConfig c) : v_(std::move(c)) {}
 
     DesignKind
     kind() const
@@ -226,6 +235,8 @@ DesignInfo naiveBlockFpDesignInfo();    // src/baselines/naive_block_fp.cc
 DesignInfo naiveTaggedPageDesignInfo(); // src/baselines/naive_tagged_page.cc
 DesignInfo idealDesignInfo();           // src/baselines/simple_designs.cc
 DesignInfo noCacheDesignInfo();         // src/baselines/simple_designs.cc
+DesignInfo alloyFpDesignInfo();         // src/core/alloy_fp.cc
+DesignInfo unisonWpDesignInfo();        // src/core/unison_wp.cc
 /**@}*/
 
 /** @name Knob-table helpers
@@ -243,6 +254,8 @@ knobUInt(const char *key, const char *help, T Cfg::*member,
     DesignKnob k;
     k.key = key;
     k.help = help;
+    k.type = "uint";
+    k.range = "[" + std::to_string(lo) + ", " + std::to_string(hi) + "]";
     k.get = [member](const DesignVariant &v) {
         return json::Value(
             static_cast<std::uint64_t>(std::get<Cfg>(v).*member));
@@ -267,6 +280,8 @@ knobBool(const char *key, const char *help, bool Cfg::*member)
     DesignKnob k;
     k.key = key;
     k.help = help;
+    k.type = "bool";
+    k.range = "true | false";
     k.get = [member](const DesignVariant &v) {
         return json::Value(std::get<Cfg>(v).*member);
     };
@@ -284,6 +299,13 @@ knobEnum(const char *key, const char *help, E Cfg::*member,
     DesignKnob k;
     k.key = key;
     k.help = help;
+    k.type = "enum";
+    {
+        std::vector<std::string> names;
+        for (const auto &[name, e] : values)
+            names.push_back(name);
+        k.range = commaJoin(names);
+    }
     k.get = [member, values](const DesignVariant &v) {
         const E current = std::get<Cfg>(v).*member;
         for (const auto &[name, e] : values)
@@ -319,6 +341,8 @@ knobUIntFn(const char *key, const char *help,
     DesignKnob k;
     k.key = key;
     k.help = help;
+    k.type = "uint";
+    k.range = "[" + std::to_string(lo) + ", " + std::to_string(hi) + "]";
     k.get = [access](const DesignVariant &v) {
         Cfg cfg = std::get<Cfg>(v);
         return json::Value(static_cast<std::uint64_t>(access(cfg)));

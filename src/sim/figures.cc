@@ -179,8 +179,10 @@ table5Grid(const FigureOptions &opts)
 
 // ---------------------------------------------------------- ablation
 
-/** The Unison design-choice ablations of DESIGN.md: baseline first,
- *  then one arm per deviation, per workload, all at 1 GB. */
+/** The Unison design-choice ablations of core/DESIGN.md: baseline
+ *  first, then one arm per deviation, per workload, all at 1 GB. The
+ *  last three arms are compositions from the policy framework: the
+ *  alloy-fp hybrid and the unisonwp pluggable-way-predictor variants. */
 std::vector<GridPoint>
 ablationGrid(const FigureOptions &opts)
 {
@@ -196,6 +198,10 @@ ablationGrid(const FigureOptions &opts)
     no_singleton.singletonEnabled = false;
     UnisonConfig no_fp;
     no_fp.footprintPredictionEnabled = false;
+    UnisonWpConfig wp_mru;
+    wp_mru.wayPredictorKind = UnisonWayPredictorKind::Mru;
+    UnisonWpConfig wp_static;
+    wp_static.wayPredictorKind = UnisonWayPredictorKind::Static0;
 
     std::vector<std::vector<GridPoint>> segments;
     for (Workload w : {Workload::DataServing, Workload::WebSearch,
@@ -211,7 +217,10 @@ ablationGrid(const FigureOptions &opts)
              designValue("pb31", pb31),
              designValue("map-i", map_i),
              designValue("no-singleton", no_singleton),
-             designValue("no-footprint", no_fp)});
+             designValue("no-footprint", no_fp),
+             designValue("alloy-fp", AlloyFpConfig{}),
+             designValue("wp-mru", wp_mru),
+             designValue("wp-static0", wp_static)});
         segments.push_back(grid.points());
     }
     return concatGrids(segments);

@@ -282,35 +282,19 @@ systemFromJson(const Value &value)
 
 // ------------------------------------------------ result sub-objects
 
+/**
+ * Counter-struct (de)serialization, generated from the same X-macro
+ * field lists reset() iterates: keys are the field names, in
+ * declaration order, so the schema can never drift from the structs.
+ */
 Value
 cacheStatsToJson(const DramCacheStats &s)
 {
     Value out{Object{}};
-    out.set("reads", s.reads.value());
-    out.set("writes", s.writes.value());
-    out.set("hits", s.hits.value());
-    out.set("misses", s.misses.value());
-    out.set("pageMisses", s.pageMisses.value());
-    out.set("blockMisses", s.blockMisses.value());
-    out.set("evictions", s.evictions.value());
-    out.set("offchipDemandBlocks", s.offchipDemandBlocks.value());
-    out.set("offchipPrefetchBlocks", s.offchipPrefetchBlocks.value());
-    out.set("offchipWastedBlocks", s.offchipWastedBlocks.value());
-    out.set("offchipWritebackBlocks",
-            s.offchipWritebackBlocks.value());
-    out.set("fpPredictedTouched", s.fpPredictedTouched.value());
-    out.set("fpTouched", s.fpTouched.value());
-    out.set("fpFetchedUntouched", s.fpFetchedUntouched.value());
-    out.set("fpFetched", s.fpFetched.value());
-    out.set("singletonBypasses", s.singletonBypasses.value());
+    s.forEachCounter([&](const char *name, const Counter &c) {
+        out.set(name, c.value());
+    });
     return out;
-}
-
-void
-setCounter(Counter &counter, const Value &v)
-{
-    counter.reset();
-    counter += v.asUint();
 }
 
 DramCacheStats
@@ -318,24 +302,10 @@ cacheStatsFromJson(const Value &value)
 {
     ObjectReader r(value, "cache stats");
     DramCacheStats s;
-    setCounter(s.reads, r.req("reads"));
-    setCounter(s.writes, r.req("writes"));
-    setCounter(s.hits, r.req("hits"));
-    setCounter(s.misses, r.req("misses"));
-    setCounter(s.pageMisses, r.req("pageMisses"));
-    setCounter(s.blockMisses, r.req("blockMisses"));
-    setCounter(s.evictions, r.req("evictions"));
-    setCounter(s.offchipDemandBlocks, r.req("offchipDemandBlocks"));
-    setCounter(s.offchipPrefetchBlocks,
-               r.req("offchipPrefetchBlocks"));
-    setCounter(s.offchipWastedBlocks, r.req("offchipWastedBlocks"));
-    setCounter(s.offchipWritebackBlocks,
-               r.req("offchipWritebackBlocks"));
-    setCounter(s.fpPredictedTouched, r.req("fpPredictedTouched"));
-    setCounter(s.fpTouched, r.req("fpTouched"));
-    setCounter(s.fpFetchedUntouched, r.req("fpFetchedUntouched"));
-    setCounter(s.fpFetched, r.req("fpFetched"));
-    setCounter(s.singletonBypasses, r.req("singletonBypasses"));
+    s.forEachCounter([&](const char *name, Counter &c) {
+        c.reset();
+        c += r.req(name).asUint();
+    });
     return s;
 }
 
@@ -343,15 +313,9 @@ Value
 poolStatsToJson(const DramPoolStats &s)
 {
     Value out{Object{}};
-    out.set("reads", s.reads);
-    out.set("writes", s.writes);
-    out.set("rowHits", s.rowHits);
-    out.set("rowConflicts", s.rowConflicts);
-    out.set("rowEmpty", s.rowEmpty);
-    out.set("activations", s.activations);
-    out.set("bytesRead", s.bytesRead);
-    out.set("bytesWritten", s.bytesWritten);
-    out.set("refreshes", s.refreshes);
+    s.forEachCounter([&](const char *name, const std::uint64_t &v) {
+        out.set(name, v);
+    });
     return out;
 }
 
@@ -360,15 +324,9 @@ poolStatsFromJson(const Value &value)
 {
     ObjectReader r(value, "DRAM pool stats");
     DramPoolStats s;
-    s.reads = r.req("reads").asUint();
-    s.writes = r.req("writes").asUint();
-    s.rowHits = r.req("rowHits").asUint();
-    s.rowConflicts = r.req("rowConflicts").asUint();
-    s.rowEmpty = r.req("rowEmpty").asUint();
-    s.activations = r.req("activations").asUint();
-    s.bytesRead = r.req("bytesRead").asUint();
-    s.bytesWritten = r.req("bytesWritten").asUint();
-    s.refreshes = r.req("refreshes").asUint();
+    s.forEachCounter([&](const char *name, std::uint64_t &v) {
+        v = r.req(name).asUint();
+    });
     return s;
 }
 

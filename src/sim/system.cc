@@ -12,7 +12,9 @@
 #include "baselines/naive_block_fp.hh"
 #include "baselines/naive_tagged_page.hh"
 #include "baselines/no_cache.hh"
+#include "core/alloy_fp.hh"
 #include "core/unison_cache.hh"
+#include "core/unison_wp.hh"
 #include "trace/mix.hh"
 #include "trace/scenarios.hh"
 #include "trace/tracefile.hh"
@@ -109,6 +111,12 @@ System::dispatchCache(Source &source, std::uint64_t total_accesses)
                        total_accesses);
       case DramCacheKind::NoCache:
         return runLoop(source, static_cast<NoCache &>(cache),
+                       total_accesses);
+      case DramCacheKind::AlloyFp:
+        return runLoop(source, static_cast<AlloyFpCache &>(cache),
+                       total_accesses);
+      case DramCacheKind::UnisonWp:
+        return runLoop(source, static_cast<UnisonWpCache &>(cache),
                        total_accesses);
       case DramCacheKind::Other:
         return runLoop(source, cache, total_accesses);
@@ -404,10 +412,14 @@ System::fillPredictorStats(SimResult &result) const
     // Design-specific accuracy fields, recovered through the kind tag
     // (dynamic_cast only for out-of-tree subclasses).
     const UnisonCache *uc = nullptr;
+    const UnisonWpCache *wc = nullptr;
     const AlloyCache *ac = nullptr;
     switch (cache_->kind()) {
       case DramCacheKind::Unison:
         uc = static_cast<const UnisonCache *>(cache_.get());
+        break;
+      case DramCacheKind::UnisonWp:
+        wc = static_cast<const UnisonWpCache *>(cache_.get());
         break;
       case DramCacheKind::Alloy:
         ac = static_cast<const AlloyCache *>(cache_.get());
@@ -427,6 +439,15 @@ System::fillPredictorStats(SimResult &result) const
                 uc->missPredictor()->stats().accuracyPercent();
             result.mpOverfetchPercent =
                 uc->missPredictor()->stats().overfetchPercent();
+        }
+    } else if (wc != nullptr) {
+        result.wpAccuracyPercent =
+            wc->wayPredictorStats().accuracyPercent();
+        if (wc->missPredictor() != nullptr) {
+            result.mpAccuracyPercent =
+                wc->missPredictor()->stats().accuracyPercent();
+            result.mpOverfetchPercent =
+                wc->missPredictor()->stats().overfetchPercent();
         }
     } else if (ac != nullptr) {
         if (ac->missPredictor() != nullptr) {

@@ -16,15 +16,25 @@
 #include <cstdint>
 #include <vector>
 
+#include "stats/stats.hh"
+
 namespace unison {
 
-/** One core's share of the measured window. */
+/**
+ * One core's share of the measured window: user instructions retired,
+ * memory references issued, read references (the AMAT sample count)
+ * and their total latency in cycles. One X-macro list feeds reset()
+ * and any per-field emission, like the other *Stats structs.
+ */
+#define UNISON_CORE_WINDOW_STATS_FIELDS(X)                              \
+    X(std::uint64_t, instructions)                                      \
+    X(std::uint64_t, references)                                        \
+    X(std::uint64_t, loads)                                             \
+    X(double, loadLatencySum)
+
 struct CoreWindowStats
 {
-    std::uint64_t instructions = 0; //!< user instructions retired
-    std::uint64_t references = 0;   //!< memory references issued
-    std::uint64_t loads = 0;        //!< read references (AMAT samples)
-    double loadLatencySum = 0.0;    //!< total load latency, cycles
+    UNISON_STAT_STRUCT_BODY(UNISON_CORE_WINDOW_STATS_FIELDS)
 
     /** Average memory access time of this core's loads, in cycles. */
     double
@@ -32,15 +42,6 @@ struct CoreWindowStats
     {
         return loads ? loadLatencySum / static_cast<double>(loads)
                      : 0.0;
-    }
-
-    void
-    reset()
-    {
-        instructions = 0;
-        references = 0;
-        loads = 0;
-        loadLatencySum = 0.0;
     }
 };
 

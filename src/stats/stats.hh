@@ -63,6 +63,72 @@ class Average
     std::uint64_t count_ = 0;
 };
 
+/** @name X-macro field enumeration for *Stats structs
+ *
+ * Every *Stats struct declares its fields once, in an X-macro list
+ * (`X(type, name)` entries), and generates the declarations, a
+ * `forEachCounter(f)` visitor and `reset()` from that single list.
+ * Reset, JSON serialization (sim/spec_json.cc) and table emission
+ * (stats/table.hh addCounterRows) all iterate the same list, so a new
+ * counter can never be counted but silently dropped from one of them.
+ *
+ * Usage:
+ *
+ *     #define MY_STATS_FIELDS(X)  X(Counter, hits) X(Counter, misses)
+ *     struct MyStats { UNISON_STAT_STRUCT_BODY(MY_STATS_FIELDS) };
+ *
+ * Lists whose field type varies per instantiation (e.g. the DRAM
+ * traffic counters, kept as Counter per channel but plain uint64_t in
+ * the pool aggregate) take the type as a second list parameter and use
+ * UNISON_STAT_STRUCT_BODY_T instead.
+ */
+/**@{*/
+
+/** reset() visitor: Counters reset, arithmetic fields zero. */
+struct ResetStatField
+{
+    void operator()(const char *, Counter &c) const { c.reset(); }
+    template <typename T>
+    void
+    operator()(const char *, T &v) const
+    {
+        v = T{};
+    }
+};
+
+#define UNISON_STAT_FIELD(type, name) type name{};
+#define UNISON_STAT_VISIT(type, name) f(#name, name);
+
+#define UNISON_STAT_STRUCT_BODY(LIST)                                   \
+    LIST(UNISON_STAT_FIELD)                                             \
+    template <typename F> void forEachCounter(F &&f)                    \
+    {                                                                   \
+        LIST(UNISON_STAT_VISIT)                                         \
+    }                                                                   \
+    template <typename F> void forEachCounter(F &&f) const              \
+    {                                                                   \
+        LIST(UNISON_STAT_VISIT)                                         \
+    }                                                                   \
+    void reset() { forEachCounter(ResetStatField{}); }
+
+/** Same-type-ignored variants for lists parameterized by field type. */
+#define UNISON_STAT_FIELD_T(type, name) type name{};
+#define UNISON_STAT_VISIT_T(type, name) f(#name, name);
+
+#define UNISON_STAT_STRUCT_BODY_T(LIST, TYPE)                           \
+    LIST(UNISON_STAT_FIELD_T, TYPE)                                     \
+    template <typename F> void forEachCounter(F &&f)                    \
+    {                                                                   \
+        LIST(UNISON_STAT_VISIT_T, TYPE)                                 \
+    }                                                                   \
+    template <typename F> void forEachCounter(F &&f) const              \
+    {                                                                   \
+        LIST(UNISON_STAT_VISIT_T, TYPE)                                 \
+    }                                                                   \
+    void reset() { forEachCounter(ResetStatField{}); }
+
+/**@}*/
+
 /** Safe x/y with a 0 fallback for empty denominators. */
 inline double
 ratio(std::uint64_t num, std::uint64_t den)

@@ -52,6 +52,26 @@ class Table
     std::vector<std::vector<std::string>> rows_;
 };
 
+/**
+ * Append one `(name, value)` row per counter of an X-macro *Stats
+ * struct (DramCacheStats, DramChannelStats, ...). The third consumer
+ * of the shared field lists, next to reset() and the JSON schema: a
+ * counter added to the list shows up here without any other change.
+ */
+template <typename Stats>
+void
+addCounterRows(Table &table, const Stats &stats)
+{
+    stats.forEachCounter([&](const char *name, const auto &field) {
+        table.beginRow();
+        table.add(std::string(name));
+        if constexpr (requires { field.value(); })
+            table.add(field.value());
+        else
+            table.add(field);
+    });
+}
+
 } // namespace unison
 
 #endif // UNISON_STATS_TABLE_HH

@@ -256,6 +256,16 @@ TEST(DesignGolden, BitIdenticalSimResults)
         {DesignKind::NoDramCache, 163567ull, 1295730ull, 100000ull,
          0ull, 4643ull, 0ull, 0ull, 0ull, 3511ull, 1132ull, 3511ull,
          1132ull, 0ull, 0ull, 0ull},
+        // The two policy-framework compositions (PR 5). UnisonWp's
+        // default (hashed) row is identical to Unison's -- the
+        // composition template is behaviour-preserving by
+        // construction, and this pin keeps it that way.
+        {DesignKind::AlloyFp, 248216ull, 1297417ull, 100000ull,
+         3463ull, 1102ull, 823ull, 11ull, 736ull, 834ull, 319ull,
+         13109ull, 319ull, 0ull, 18602ull, 0ull},
+        {DesignKind::UnisonWp, 263061ull, 1296315ull, 100000ull,
+         3346ull, 1155ull, 1155ull, 0ull, 0ull, 872ull, 283ull,
+         13080ull, 283ull, 0ull, 9591ull, 0ull},
     };
 
     for (const GoldenRow &g : golden) {
@@ -268,6 +278,25 @@ TEST(DesignGolden, BitIdenticalSimResults)
         SCOPED_TRACE(designName(g.kind));
         expectGolden(r, g);
     }
+}
+
+TEST(DesignGolden, UnisonWpPredictorKnobChangesTiming)
+{
+    // The composed design's point: swapping the way predictor via
+    // knob is a real ablation arm. MRU tracks bursty same-page reuse
+    // almost as well as the paper's hash (99.8% here vs 100%), and
+    // the accuracy gap shows up as extra stacked re-reads and cycles.
+    ExperimentSpec spec;
+    UnisonWpConfig wp;
+    wp.wayPredictorKind = UnisonWayPredictorKind::Mru;
+    spec.design = wp;
+    spec.capacityBytes = 64_MiB;
+    spec.accesses = 300'000;
+    spec.seed = 7;
+    const SimResult r = runExperiment(spec);
+    EXPECT_EQ(r.cycles, 281555u);
+    EXPECT_LT(r.wpAccuracyPercent, 100.0);
+    EXPECT_GT(r.wpAccuracyPercent, 90.0);
 }
 
 TEST(DesignGolden, BitIdenticalMixedWorkload)
@@ -293,7 +322,8 @@ INSTANTIATE_TEST_SUITE_P(
                       DesignKind::Footprint, DesignKind::LohHill,
                       DesignKind::NaiveBlockFp,
                       DesignKind::NaiveTaggedPage, DesignKind::Ideal,
-                      DesignKind::NoDramCache),
+                      DesignKind::NoDramCache, DesignKind::AlloyFp,
+                      DesignKind::UnisonWp),
     [](const ::testing::TestParamInfo<DesignKind> &info) {
         std::string n = designName(info.param);
         for (char &c : n)

@@ -245,8 +245,10 @@ TEST(SpecJson, ResultsDocumentSortsByIndex)
 TEST(DesignRegistryTable, SingleSourceOfNames)
 {
     const DesignRegistry &registry = DesignRegistry::instance();
-    EXPECT_EQ(registry.all().size(), 8u);
+    EXPECT_EQ(registry.all().size(), 10u);
     EXPECT_EQ(designName(DesignKind::Unison), "Unison Cache");
+    EXPECT_EQ(designId(DesignKind::AlloyFp), "alloyfp");
+    EXPECT_EQ(designId(DesignKind::UnisonWp), "unisonwp");
     EXPECT_EQ(designId(DesignKind::NoDramCache), "nocache");
     EXPECT_EQ(registry.byId("Unison Cache").id, "unison");
     EXPECT_EQ(registry.byId("ALLOY").kind, DesignKind::Alloy);

@@ -29,6 +29,7 @@
 #include "bench/bench_common.hh"
 #include "sim/figures.hh"
 #include "sim/spec_json.hh"
+#include "stats/table.hh"
 #include "trace/scenarios.hh"
 
 namespace {
@@ -116,6 +117,38 @@ listEverything()
     for (const std::string &name : figureNames())
         std::printf("  %-16s %s\n", name.c_str(),
                     figureSummary(name).c_str());
+}
+
+// ------------------------------------------------------------ knobs
+
+/** `--knobs <design>`: the registry's knob table for one design --
+ *  name, type, default and valid range -- so the knobs used by the
+ *  checked-in spec files are discoverable without reading source. */
+void
+listKnobs(const std::string &design_id)
+{
+    const DesignInfo &info =
+        DesignRegistry::instance().byId(design_id);
+    std::printf("%s (%s): %s\n", info.id.c_str(), info.name.c_str(),
+                info.summary.c_str());
+    if (info.knobs.empty()) {
+        std::printf("  (no tunable knobs)\n");
+        return;
+    }
+    Table t({"knob", "type", "default", "valid", "description"});
+    for (const DesignKnob &knob : info.knobs) {
+        std::string def = json::write(knob.get(info.defaults));
+        while (!def.empty() &&
+               (def.back() == '\n' || def.back() == ' '))
+            def.pop_back();
+        t.beginRow();
+        t.add(knob.key);
+        t.add(knob.type);
+        t.add(def);
+        t.add(knob.range);
+        t.add(knob.help);
+    }
+    t.print();
 }
 
 // ------------------------------------------------------------ merge
@@ -272,6 +305,9 @@ main(int argc, char **argv)
         "unison_sim: run experiment specs, paper figures and sharded "
         "sweeps from the declarative experiment API");
     args.addFlag("list", "list designs, workloads, scenarios, figures");
+    args.addOption("knobs", "",
+                   "print a design's knob table (name, type, default, "
+                   "valid range)");
     args.addOption("figure", "", "run a named paper figure sweep");
     args.addOption("spec", "",
                    "run a spec/grid JSON file (unison-spec/1 or "
@@ -295,18 +331,24 @@ main(int argc, char **argv)
     const std::string figure = args.getString("figure");
     const std::string spec_path = args.getString("spec");
     const std::string merge = args.getString("merge");
+    const std::string knobs = args.getString("knobs");
     const int threads = parseThreads(args);
 
     const int modes = (args.getFlag("list") ? 1 : 0) +
+                      (knobs.empty() ? 0 : 1) +
                       (merge.empty() ? 0 : 1) +
                       (figure.empty() ? 0 : 1) +
                       (spec_path.empty() ? 0 : 1);
     if (modes != 1)
-        fatal("pick exactly one of --list, --figure, --spec or "
-              "--merge (try --list first, or --help)");
+        fatal("pick exactly one of --list, --knobs, --figure, --spec "
+              "or --merge (try --list first, or --help)");
 
     if (args.getFlag("list")) {
         listEverything();
+        return 0;
+    }
+    if (!knobs.empty()) {
+        listKnobs(knobs);
         return 0;
     }
     if (!merge.empty()) {
