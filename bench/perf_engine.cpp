@@ -1,8 +1,10 @@
 /**
  * @file
  * Simulation-engine throughput bench: how many simulated accesses per
- * second the engine sustains, per design, plus trace-replay speed and
- * the wall-clock of a figure-style sweep at a given --threads count.
+ * second the engine sustains, per design, plus trace-replay speed, a
+ * multiprogrammed mix at a given --engine-threads count, the
+ * convergence grid with and without warm-checkpoint grouping, and the
+ * wall-clock of a figure-style sweep at a given --threads count.
  *
  * This is the repo's performance regression guard. Timings on a shared
  * (CI) host drift by several percent between measurement windows, so
@@ -24,6 +26,8 @@
 #include <vector>
 
 #include "bench/bench_common.hh"
+#include "sim/figures.hh"
+#include "sim/runner.hh"
 #include "trace/tracefile.hh"
 #include "trace/workload.hh"
 
@@ -87,6 +91,9 @@ main(int argc, char **argv)
                    "5 full)");
     args.addOption("out", "",
                    "also write the JSON report to this file");
+    args.addOption("engine-threads", "1",
+                   "system.engineThreads for the mix-engine section "
+                   "(results are bit-identical for any value)");
     addThreadsOption(args);
     args.parse(argc, argv);
 
@@ -95,6 +102,10 @@ main(int argc, char **argv)
     const std::uint64_t seed = args.getUint("seed");
     const std::string out_path = args.getString("out");
     const int threads = parseThreads(args);
+    const int engine_threads =
+        static_cast<int>(args.getUint("engine-threads"));
+    if (engine_threads < 1)
+        fatal("--engine-threads must be >= 1, got ", engine_threads);
 
     std::int64_t repeats = args.getInt("repeats");
     if (repeats == 0)
@@ -148,6 +159,26 @@ main(int argc, char **argv)
     replay.name = "trace replay (Unison)";
     replay.accesses = replay_n;
 
+    // Multiprogrammed spec for the intra-experiment engine section:
+    // per-core-deterministic streams are what lets engineThreads > 1
+    // engage the epoch-sharded producers.
+    const auto mix_spec = [&]() {
+        ExperimentSpec spec;
+        spec.design = DesignKind::Unison;
+        spec.capacityBytes = 128_MiB;
+        spec.accesses = quick ? 2'000'000 : 8'000'000;
+        spec.seed = seed;
+        spec.system.numCores = 8;
+        spec.mix = {mixPreset(Workload::WebServing, 4),
+                    mixPreset(Workload::DataServing, 4)};
+        spec.system.engineThreads = engine_threads;
+        return spec;
+    }();
+    Measurement mix_engine;
+    mix_engine.name = "mix engine (engineThreads " +
+                      std::to_string(engine_threads) + ")";
+    mix_engine.accesses = mix_spec.accesses;
+
     // Interleaved repeats: one full round of every measurement, then
     // the next round, so host-speed drift hits all of them equally.
     for (std::int64_t rep = 0; rep < repeats; ++rep) {
@@ -172,6 +203,11 @@ main(int argc, char **argv)
             const auto t0 = Clock::now();
             system.run(reader, replay_n);
             replay.seconds.push_back(secondsSince(t0));
+        }
+        {
+            const auto t0 = Clock::now();
+            runExperiment(mix_spec);
+            mix_engine.seconds.push_back(secondsSince(t0));
         }
         std::fprintf(stderr, "perf_engine: round %lld/%lld done\n",
                      static_cast<long long>(rep + 1),
@@ -214,15 +250,47 @@ main(int argc, char **argv)
                      sweep_experiments, sweep.seconds.back(), threads);
     }
 
+    // --- Warm-checkpoint reuse: the convergence grid (shared warm
+    // --- prefixes) through the grouping runner vs. spec-by-spec ------
+    Measurement ckpt_sweep, ckpt_cold;
+    ckpt_sweep.name = "convergence sweep (checkpoint reuse)";
+    ckpt_cold.name = "convergence sweep (cold, per spec)";
+    {
+        FigureOptions fopts;
+        fopts.quick = quick;
+        fopts.seed = seed;
+        std::vector<ExperimentSpec> specs;
+        for (const GridPoint &point : figureGrid("convergence", fopts)) {
+            specs.push_back(point.spec);
+            ckpt_sweep.accesses += point.spec.accesses;
+        }
+        ckpt_cold.accesses = ckpt_sweep.accesses;
+
+        auto t0 = Clock::now();
+        runExperiments(specs, threads); // groups by warm prefix
+        ckpt_sweep.seconds.push_back(secondsSince(t0));
+
+        t0 = Clock::now();
+        for (const ExperimentSpec &spec : specs)
+            runExperiment(spec); // every run re-simulates its warm-up
+        ckpt_cold.seconds.push_back(secondsSince(t0));
+        std::fprintf(stderr,
+                     "perf_engine: convergence sweep %.2fs with "
+                     "checkpoint reuse, %.2fs cold\n",
+                     ckpt_sweep.seconds.back(),
+                     ckpt_cold.seconds.back());
+    }
+
     // --- Report -------------------------------------------------------
     // Schema-stable JSON (tracked as BENCH_engine.json at the repo
     // root): add fields if needed, do not rename or remove them.
     std::string report;
     appendf(report,
-            "{\n  \"schema\": \"perf_engine/2\",\n"
+            "{\n  \"schema\": \"perf_engine/3\",\n"
             "  \"quick\": %s,\n  \"threads\": %d,\n"
+            "  \"engine_threads\": %d,\n"
             "  \"repeats\": %lld,\n",
-            quick ? "true" : "false", threads,
+            quick ? "true" : "false", threads, engine_threads,
             static_cast<long long>(repeats));
     report += "  \"engine\": [\n";
     for (std::size_t i = 0; i < engine.size(); ++i) {
@@ -241,6 +309,23 @@ main(int argc, char **argv)
             "\"accesses_per_sec\": %.0f},\n",
             static_cast<unsigned long long>(replay.accesses),
             replay.medianSeconds(), replay.rate());
+    appendf(report,
+            "  \"mix_engine\": {\"engine_threads\": %d, "
+            "\"accesses\": %llu, \"seconds\": %.6f, "
+            "\"accesses_per_sec\": %.0f},\n",
+            engine_threads,
+            static_cast<unsigned long long>(mix_engine.accesses),
+            mix_engine.medianSeconds(), mix_engine.rate());
+    appendf(report,
+            "  \"ckpt_sweep\": {\"accesses\": %llu, \"seconds\": %.6f, "
+            "\"accesses_per_sec\": %.0f},\n",
+            static_cast<unsigned long long>(ckpt_sweep.accesses),
+            ckpt_sweep.medianSeconds(), ckpt_sweep.rate());
+    appendf(report,
+            "  \"ckpt_cold\": {\"accesses\": %llu, \"seconds\": %.6f, "
+            "\"accesses_per_sec\": %.0f},\n",
+            static_cast<unsigned long long>(ckpt_cold.accesses),
+            ckpt_cold.medianSeconds(), ckpt_cold.rate());
     appendf(report,
             "  \"sweep\": {\"experiments\": %zu, \"accesses\": %llu, "
             "\"seconds\": %.6f, \"accesses_per_sec\": %.0f}\n}\n",
@@ -276,6 +361,21 @@ main(int argc, char **argv)
     t.add(replay.accesses);
     t.add(replay.medianSeconds(), 3);
     t.add(replay.rate(), 0);
+    t.beginRow();
+    t.add(mix_engine.name);
+    t.add(mix_engine.accesses);
+    t.add(mix_engine.medianSeconds(), 3);
+    t.add(mix_engine.rate(), 0);
+    t.beginRow();
+    t.add(ckpt_sweep.name);
+    t.add(ckpt_sweep.accesses);
+    t.add(ckpt_sweep.medianSeconds(), 3);
+    t.add(ckpt_sweep.rate(), 0);
+    t.beginRow();
+    t.add(ckpt_cold.name);
+    t.add(ckpt_cold.accesses);
+    t.add(ckpt_cold.medianSeconds(), 3);
+    t.add(ckpt_cold.rate(), 0);
     t.beginRow();
     t.add(sweep.name + " (--threads " + std::to_string(threads) + ")");
     t.add(sweep.accesses);

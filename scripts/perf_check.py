@@ -23,6 +23,17 @@ def rates(report):
         out["engine/" + entry["design"]] = entry["accesses_per_sec"]
     if "replay" in report:
         out["replay"] = report["replay"]["accesses_per_sec"]
+    # perf_engine/3 additions: the multiprogrammed intra-experiment
+    # engine (keyed by its thread count so serial and threaded
+    # snapshots never compare against each other) and the
+    # warm-checkpoint-reuse sweep with its cold control.
+    if "mix_engine" in report:
+        key = "mix_engine/t%d" % report["mix_engine"]["engine_threads"]
+        out[key] = report["mix_engine"]["accesses_per_sec"]
+    if "ckpt_sweep" in report:
+        out["ckpt_sweep"] = report["ckpt_sweep"]["accesses_per_sec"]
+    if "ckpt_cold" in report:
+        out["ckpt_cold"] = report["ckpt_cold"]["accesses_per_sec"]
     if "sweep" in report:
         out["sweep"] = report["sweep"]["accesses_per_sec"]
     return out

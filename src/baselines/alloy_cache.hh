@@ -65,6 +65,26 @@ class AlloyCache final : public DramCache
     bool blockPresent(Addr addr) const;
     bool blockDirty(Addr addr) const;
 
+    bool checkpointable() const override { return true; }
+
+    void
+    saveState(StateWriter &out) const override
+    {
+        org_.saveState(out);
+        stacked_->saveState(out);
+        if (missPred_)
+            missPred_->saveState(out);
+    }
+
+    void
+    loadState(StateReader &in) override
+    {
+        org_.loadState(in);
+        stacked_->loadState(in);
+        if (missPred_)
+            missPred_->loadState(in);
+    }
+
   private:
     /** Packed TAD word (the shared set_scan.hh positions). */
     static constexpr std::uint64_t kValid = kWayValidBit;

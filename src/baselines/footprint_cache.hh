@@ -83,6 +83,28 @@ class FootprintCache final : public DramCache
     bool blockDirty(Addr addr) const;
     /**@}*/
 
+    bool checkpointable() const override { return true; }
+
+    void
+    saveState(StateWriter &out) const override
+    {
+        org_.saveState(out);
+        stacked_->saveState(out);
+        fetchPolicy_.saveState(out);
+        out.pod(useCounter_);
+        out.pod(statsGen_);
+    }
+
+    void
+    loadState(StateReader &in) override
+    {
+        org_.loadState(in);
+        stacked_->loadState(in);
+        fetchPolicy_.loadState(in);
+        in.pod(useCounter_);
+        in.pod(statsGen_);
+    }
+
   private:
     using Location = PageLocation;
 

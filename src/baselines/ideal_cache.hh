@@ -64,6 +64,16 @@ class IdealCache final : public DramCache
     }
     DramModule *stackedDram() override { return stacked_.get(); }
 
+    bool checkpointable() const override { return true; }
+
+    void
+    saveState(StateWriter &out) const override
+    {
+        stacked_->saveState(out);
+    }
+
+    void loadState(StateReader &in) override { stacked_->loadState(in); }
+
   private:
     IdealConfig config_;
     std::unique_ptr<DramModule> stacked_;

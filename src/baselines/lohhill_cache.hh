@@ -84,6 +84,24 @@ class LohHillCache final : public DramCache
     bool blockDirty(Addr addr) const;
     /**@}*/
 
+    bool checkpointable() const override { return true; }
+
+    void
+    saveState(StateWriter &out) const override
+    {
+        org_.saveState(out);
+        stacked_->saveState(out);
+        out.pod(useCounter_);
+    }
+
+    void
+    loadState(StateReader &in) override
+    {
+        org_.loadState(in);
+        stacked_->loadState(in);
+        in.pod(useCounter_);
+    }
+
   private:
     /** Packed way word (the shared set_scan.hh positions). */
     static constexpr std::uint64_t kValid = kWayValidBit;

@@ -116,6 +116,31 @@ class NaiveBlockFpCache final : public DramCache
     std::size_t trackedPages() const { return pages_.size(); }
     /**@}*/
 
+    bool checkpointable() const override { return true; }
+
+    /** pageInfoPeak rides along although it lives in the stats struct:
+     *  it deliberately survives the warm-boundary reset (a structural
+     *  high-water mark), so a resumed run must inherit it. */
+    void
+    saveState(StateWriter &out) const override
+    {
+        org_.saveState(out);
+        stacked_->saveState(out);
+        fetchPolicy_.saveState(out);
+        pages_.saveState(out);
+        out.pod(naiveStats_.pageInfoPeak);
+    }
+
+    void
+    loadState(StateReader &in) override
+    {
+        org_.loadState(in);
+        stacked_->loadState(in);
+        fetchPolicy_.loadState(in);
+        pages_.loadState(in);
+        in.pod(naiveStats_.pageInfoPeak);
+    }
+
   private:
     /** Packed TAD word (the shared set_scan.hh positions). */
     static constexpr std::uint64_t kValid = kWayValidBit;

@@ -52,6 +52,11 @@ class NoCache final : public DramCache
 
     std::string name() const override { return "NoCache"; }
     std::uint64_t capacityBytes() const override { return 0; }
+
+    /** Stateless (the off-chip pool is checkpointed by the system). */
+    bool checkpointable() const override { return true; }
+    void saveState(StateWriter &) const override {}
+    void loadState(StateReader &) override {}
 };
 
 } // namespace unison

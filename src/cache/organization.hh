@@ -33,7 +33,9 @@
 
 #include "cache/page_set.hh"
 #include "cache/set_scan.hh"
+#include "cache/set_scan_simd.hh"
 #include "common/fastdiv.hh"
+#include "common/state_io.hh"
 #include "common/types.hh"
 
 namespace unison {
@@ -131,6 +133,10 @@ class PageOrganization
     PageWaySoa &ways() { return ways_; }
     const PageWaySoa &ways() const { return ways_; }
 
+    /** Warm-state checkpoint of the per-way metadata arrays. */
+    void saveState(StateWriter &out) const { ways_.saveState(out); }
+    void loadState(StateReader &in) { ways_.loadState(in); }
+
   private:
     std::uint32_t pageBlocks_ = 1;
     std::uint64_t numSets_ = 1;
@@ -194,6 +200,10 @@ class DirectOrganization
 
     std::uint64_t numFrames() const { return numFrames_; }
 
+    /** Warm-state checkpoint of the packed tag words. */
+    void saveState(StateWriter &out) const { out.podVector(words_); }
+    void loadState(StateReader &in) { in.podVectorExact(words_); }
+
   private:
     std::uint64_t numFrames_ = 1;
     FastDiv64 numFramesDiv_;
@@ -247,15 +257,15 @@ class RowSetOrganization
     int
     findWay(std::uint64_t set, std::uint32_t tag) const
     {
-        return scanWays(&tagv_[base(set)], waysPerSet_, ~kWayDirtyBit,
-                        kWayValidBit | tag);
+        return scanWaysFast(&tagv_[base(set)], waysPerSet_,
+                            ~kWayDirtyBit, kWayValidBit | tag);
     }
 
     int
     pickVictim(std::uint64_t set) const
     {
         const std::size_t b = base(set);
-        return static_cast<int>(pickVictimWay(
+        return static_cast<int>(pickVictimWayFast(
             &tagv_[b], &lastUse_[b], waysPerSet_, kWayValidBit));
     }
 
@@ -269,6 +279,21 @@ class RowSetOrganization
 
     std::uint64_t numSets() const { return numSets_; }
     std::uint32_t waysPerSet() const { return waysPerSet_; }
+
+    /** Warm-state checkpoint of the tag and LRU arrays. */
+    void
+    saveState(StateWriter &out) const
+    {
+        out.podVector(tagv_);
+        out.podVector(lastUse_);
+    }
+
+    void
+    loadState(StateReader &in)
+    {
+        in.podVectorExact(tagv_);
+        in.podVectorExact(lastUse_);
+    }
 
   private:
     std::uint64_t numSets_ = 1;

@@ -30,6 +30,8 @@
 #include <vector>
 
 #include "cache/set_scan.hh"
+#include "cache/set_scan_simd.hh"
+#include "common/state_io.hh"
 
 namespace unison {
 
@@ -107,21 +109,40 @@ struct PageWaySoa
     int
     findWay(std::size_t base, std::uint32_t assoc, std::uint64_t tag) const
     {
-        return scanWays(&tagv[base], assoc, ~0ull, kValid | tag);
+        return scanWaysFast(&tagv[base], assoc, ~0ull, kValid | tag);
     }
 
-    /** Victim way for the set at `base`: invalid first, else LRU. */
+    /** Victim way for the set at `base`: invalid first, else LRU --
+     *  the shared victimOrderKey order. The stamps live strided
+     *  inside PageWayHot (16 B apart), so this stays a scalar
+     *  encoded-min loop rather than growing a gather. */
     std::uint32_t
     pickVictim(std::size_t base, std::uint32_t assoc) const
     {
-        std::uint32_t victim = 0;
-        for (std::uint32_t w = 0; w < assoc; ++w) {
-            if (tagv[base + w] == 0)
-                return w;
-            if (hot[base + w].lastUse < hot[base + victim].lastUse)
-                victim = w;
+        std::uint64_t best = ~0ull;
+        for (std::uint32_t w = assoc; w-- > 0;) {
+            const std::uint64_t vk = victimOrderKey(
+                tagv[base + w], hot[base + w].lastUse, w, kValid);
+            best = vk < best ? vk : best;
         }
-        return victim;
+        return static_cast<std::uint32_t>(best & 255);
+    }
+
+    /** Warm-state checkpoint of all three parallel arrays. */
+    void
+    saveState(StateWriter &out) const
+    {
+        out.podVector(tagv);
+        out.podVector(hot);
+        out.podVector(cold);
+    }
+
+    void
+    loadState(StateReader &in)
+    {
+        in.podVectorExact(tagv);
+        in.podVectorExact(hot);
+        in.podVectorExact(cold);
     }
 };
 

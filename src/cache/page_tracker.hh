@@ -17,6 +17,10 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/state_io.hh"
 
 namespace unison {
 
@@ -74,6 +78,37 @@ class PageGroupTracker
     std::size_t size() const { return pages_.size(); }
 
     void clear() { pages_.clear(); }
+
+    /** Warm-state checkpoint. The map is serialized as a flat
+     *  key/value vector (std::pair is not trivially copyable): its
+     *  only operations are keyed lookups, so the rebuilt map's
+     *  (unspecified) iteration order cannot affect behaviour. */
+    struct FlatEntry
+    {
+        std::uint64_t page;
+        PageInfo info;
+    };
+
+    void
+    saveState(StateWriter &out) const
+    {
+        std::vector<FlatEntry> flat;
+        flat.reserve(pages_.size());
+        for (const auto &[page, info] : pages_)
+            flat.push_back({page, info});
+        out.podVector(flat);
+    }
+
+    void
+    loadState(StateReader &in)
+    {
+        std::vector<FlatEntry> flat;
+        in.podVectorResize(flat);
+        pages_.clear();
+        pages_.reserve(flat.size());
+        for (const FlatEntry &e : flat)
+            pages_.emplace(e.page, e.info);
+    }
 
   private:
     std::unordered_map<std::uint64_t, PageInfo> pages_;

@@ -63,12 +63,35 @@ scanWaysMru(const std::uint64_t *tags, std::uint32_t assoc,
 }
 
 /**
+ * Victim-order key of one way: `invalid ? w : 2^63 | stamp << 8 | w`.
+ * The replacement order every design here uses -- first invalid way,
+ * else smallest stamp, lowest way on stamp ties -- becomes a plain
+ * unsigned min over these keys, and the winning way index rides in the
+ * low byte (which caps supported associativity at 256 ways; the widest
+ * organization, Loh-Hill's row set, uses 113). Keys within a set are
+ * unique because of that low byte, so the min is order-independent --
+ * which is what lets the scalar and SIMD scans below, and the strided
+ * page-set victim scan, all share this one definition.
+ */
+inline std::uint64_t
+victimOrderKey(std::uint64_t word, std::uint32_t stamp, std::uint32_t w,
+               std::uint64_t valid_bit)
+{
+    return (word & valid_bit) != 0
+               ? (1ull << 63) | (static_cast<std::uint64_t>(stamp) << 8) |
+                     w
+               : w;
+}
+
+/**
  * One fused pass over a set: the hit way under (mask, key), and the
- * victim the miss path would evict -- the first way whose `valid_bit`
- * is clear, else the smallest-stamp way (first wins ties). Encoding
- * each way as `invalid ? w : 2^63 | stamp << 8 | w` makes that victim
- * order a plain unsigned min, so hit search and victim selection share
- * one sweep of the packed tag words instead of two.
+ * victim the miss path would evict (victimOrderKey min), so hit search
+ * and victim selection share one sweep of the packed tag words instead
+ * of two. The loop runs descending so the *lowest* matching way wins
+ * -- the same answer scanWays gives -- which only matters for
+ * synthetic duplicate-tag inputs (the property tests exercise them;
+ * live sets never hold duplicates); the victim min is
+ * order-independent.
  */
 inline void
 scanSet(const std::uint64_t *tags, const std::uint32_t *last_use,
@@ -77,14 +100,11 @@ scanSet(const std::uint64_t *tags, const std::uint32_t *last_use,
 {
     int hit = -1;
     std::uint64_t best = ~0ull;
-    for (std::uint32_t w = 0; w < assoc; ++w) {
+    for (std::uint32_t w = assoc; w-- > 0;) {
         const std::uint64_t word = tags[w];
         hit = (word & mask) == key ? static_cast<int>(w) : hit;
         const std::uint64_t vk =
-            (word & valid_bit) != 0
-                ? (1ull << 63) |
-                      (static_cast<std::uint64_t>(last_use[w]) << 8) | w
-                : w;
+            victimOrderKey(word, last_use[w], w, valid_bit);
         best = vk < best ? vk : best;
     }
     hit_way = hit;
@@ -94,20 +114,22 @@ scanSet(const std::uint64_t *tags, const std::uint32_t *last_use,
 /**
  * Victim selection over packed tags + LRU stamps: the first way whose
  * `valid_bit` is clear, else the way with the smallest stamp (first
- * one wins ties) -- the replacement order every design here uses.
+ * one wins ties). Same branchless victimOrderKey min as scanSet's
+ * fused victim half -- an invalid way's key is just its index, below
+ * every valid key, so the min lands on the lowest invalid way exactly
+ * as the old early-exit loop did.
  */
 inline std::uint32_t
 pickVictimWay(const std::uint64_t *tags, const std::uint32_t *last_use,
               std::uint32_t assoc, std::uint64_t valid_bit)
 {
-    std::uint32_t victim = 0;
-    for (std::uint32_t w = 0; w < assoc; ++w) {
-        if ((tags[w] & valid_bit) == 0)
-            return w;
-        if (last_use[w] < last_use[victim])
-            victim = w;
+    std::uint64_t best = ~0ull;
+    for (std::uint32_t w = assoc; w-- > 0;) {
+        const std::uint64_t vk =
+            victimOrderKey(tags[w], last_use[w], w, valid_bit);
+        best = vk < best ? vk : best;
     }
-    return victim;
+    return static_cast<std::uint32_t>(best & 255);
 }
 
 } // namespace unison

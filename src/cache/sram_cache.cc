@@ -33,8 +33,8 @@ SetAssocCache::probe(Addr addr) const
     const std::uint64_t block = addr >> blockShift_;
     const std::uint64_t set = block & (numSets_ - 1);
     const std::uint64_t tag = block >> setShift_;
-    return scanWaysMru(&meta_[set * config_.assoc], config_.assoc,
-                       ~kDirty, kValid | tag, mru_[set]) >= 0;
+    return scanWaysMruFast(&meta_[set * config_.assoc], config_.assoc,
+                           ~kDirty, kValid | tag, mru_[set]) >= 0;
 }
 
 bool
@@ -44,8 +44,8 @@ SetAssocCache::invalidate(Addr addr)
     const std::uint64_t set = block & (numSets_ - 1);
     const std::uint64_t tag = block >> setShift_;
     const std::size_t base = set * config_.assoc;
-    const int way = scanWaysMru(&meta_[base], config_.assoc, ~kDirty,
-                                kValid | tag, mru_[set]);
+    const int way = scanWaysMruFast(&meta_[base], config_.assoc,
+                                    ~kDirty, kValid | tag, mru_[set]);
     if (way < 0)
         return false;
     const bool was_dirty = (meta_[base + way] & kDirty) != 0;

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "cache/set_scan.hh"
+#include "cache/set_scan_simd.hh"
+#include "common/state_io.hh"
 #include "common/types.hh"
 #include "stats/stats.hh"
 
@@ -89,7 +91,62 @@ class SetAssocCache
     SramAccessResult
     access(Addr addr, bool is_write)
     {
-        ++stats_.accesses;
+        return accessImpl<true>(addr, is_write);
+    }
+
+    /**
+     * access() without the statistic bumps: the epoch-sharded engine's
+     * producer threads run their cores' private L1s through this so
+     * the worker threads never race on the shared counters; the commit
+     * thread accounts the L1 totals itself from the outcomes.
+     */
+    SramAccessResult
+    accessQuiet(Addr addr, bool is_write)
+    {
+        return accessImpl<false>(addr, is_write);
+    }
+
+    /** True if the block is resident (no state change). */
+    bool probe(Addr addr) const;
+
+    /** Drop the block if resident; returns true if it was dirty. */
+    bool invalidate(Addr addr);
+
+    /** Serialize / restore the full replacement state (tags, stamps,
+     *  MRU hints, the stamp counter) for warm-state checkpoints.
+     *  Statistics are not part of a checkpoint: measurement runs reset
+     *  them at the warm boundary anyway. */
+    void
+    saveState(StateWriter &out) const
+    {
+        out.podVector(meta_);
+        out.podVector(lastUse_);
+        out.podVector(mru_);
+        out.pod(useCounter_);
+    }
+
+    void
+    loadState(StateReader &in)
+    {
+        in.podVectorExact(meta_);
+        in.podVectorExact(lastUse_);
+        in.podVectorExact(mru_);
+        in.pod(useCounter_);
+    }
+
+    const SramCacheConfig &config() const { return config_; }
+    const SramCacheStats &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+
+    std::uint32_t numSets() const { return numSets_; }
+
+  private:
+    template <bool CountStats>
+    SramAccessResult
+    accessImpl(Addr addr, bool is_write)
+    {
+        if constexpr (CountStats)
+            ++stats_.accesses;
         const std::uint64_t block = addr >> blockShift_;
         const std::uint64_t set = block & (numSets_ - 1);
         const std::uint64_t tag = block >> setShift_;
@@ -106,7 +163,8 @@ class SetAssocCache
         // bit-identical while touching one cache line instead of two.
         const std::uint32_t mru = mru_[set];
         if ((tags[mru] & ~kDirty) == key) {
-            ++stats_.hits;
+            if constexpr (CountStats)
+                ++stats_.hits;
             if (is_write)
                 tags[mru] |= kDirty;
             result.hit = true;
@@ -117,10 +175,11 @@ class SetAssocCache
         // victim the miss path needs (invalid first, else LRU).
         int way;
         std::uint32_t victim;
-        scanSet(tags, &lastUse_[base], config_.assoc, ~kDirty, key,
-                kValid, way, victim);
+        scanSetFast(tags, &lastUse_[base], config_.assoc, ~kDirty, key,
+                    kValid, way, victim);
         if (way >= 0) {
-            ++stats_.hits;
+            if constexpr (CountStats)
+                ++stats_.hits;
             lastUse_[base + way] = ++useCounter_;
             if (is_write)
                 tags[way] |= kDirty;
@@ -130,35 +189,25 @@ class SetAssocCache
         }
         const std::uint64_t old = tags[victim];
         if (old != 0) {
-            ++stats_.evictions;
+            if constexpr (CountStats)
+                ++stats_.evictions;
             if ((old & kDirty) != 0) {
-                ++stats_.writebacks;
+                if constexpr (CountStats)
+                    ++stats_.writebacks;
                 result.writeback = true;
                 const std::uint64_t victim_block =
                     ((old & kTagMask) << setShift_) | set;
                 result.writebackAddr = victim_block << blockShift_;
             }
         }
-        ++stats_.misses;
+        if constexpr (CountStats)
+            ++stats_.misses;
         tags[victim] = key | (is_write ? kDirty : 0);
         lastUse_[base + victim] = ++useCounter_;
         mru_[set] = static_cast<std::uint8_t>(victim);
         return result;
     }
 
-    /** True if the block is resident (no state change). */
-    bool probe(Addr addr) const;
-
-    /** Drop the block if resident; returns true if it was dirty. */
-    bool invalidate(Addr addr);
-
-    const SramCacheConfig &config() const { return config_; }
-    const SramCacheStats &stats() const { return stats_; }
-    void resetStats() { stats_.reset(); }
-
-    std::uint32_t numSets() const { return numSets_; }
-
-  private:
     SramCacheConfig config_;
     std::uint32_t numSets_;
     std::uint32_t blockShift_;

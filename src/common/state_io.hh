@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Flat byte-stream (de)serialization for warm-state checkpoints.
+ *
+ * A checkpoint is a snapshot of every piece of *simulation* state that
+ * the measurement phase's behaviour depends on -- cache tag words, LRU
+ * stamps, predictor tables, RNG streams, DRAM bank timing, scheduler
+ * clocks -- so a run forked from it is byte-identical to one that
+ * re-simulated the warmup. Statistics are never serialized: the warm
+ * boundary resets them anyway.
+ *
+ * The format is deliberately dumb: raw little-endian PODs in component
+ * order, vectors prefixed by their element count. It is an in-memory,
+ * same-build, same-process format (the runner shares checkpoints
+ * between sweep points of one invocation); it is not a stable on-disk
+ * interchange format and has no versioning. StateReader restores
+ * vectors *in place* and fatals on any size mismatch -- components are
+ * sized by configuration before loading, and keeping the buffers'
+ * addresses stable matters because the timing loop holds raw pointers
+ * into some of them (System's scheduler keys).
+ */
+
+#ifndef UNISON_COMMON_STATE_IO_HH
+#define UNISON_COMMON_STATE_IO_HH
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace unison {
+
+/** Append-only writer producing a checkpoint byte buffer. */
+class StateWriter
+{
+  public:
+    template <typename T>
+    void
+    pod(const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "checkpoint fields must be trivially copyable");
+        const std::size_t at = bytes_.size();
+        bytes_.resize(at + sizeof(T));
+        std::memcpy(bytes_.data() + at, &value, sizeof(T));
+    }
+
+    template <typename T>
+    void
+    podVector(const std::vector<T> &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "checkpoint fields must be trivially copyable");
+        pod(static_cast<std::uint64_t>(v.size()));
+        const std::size_t at = bytes_.size();
+        bytes_.resize(at + v.size() * sizeof(T));
+        if (!v.empty())
+            std::memcpy(bytes_.data() + at, v.data(),
+                        v.size() * sizeof(T));
+    }
+
+    std::vector<std::uint8_t> take() && { return std::move(bytes_); }
+    std::size_t size() const { return bytes_.size(); }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+};
+
+/** Sequential reader over a checkpoint buffer; fatals on underrun,
+ *  size mismatch, or trailing bytes left after expectEnd(). */
+class StateReader
+{
+  public:
+    explicit StateReader(const std::vector<std::uint8_t> &bytes)
+        : bytes_(bytes)
+    {
+    }
+
+    template <typename T>
+    void
+    pod(T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "checkpoint fields must be trivially copyable");
+        if (at_ + sizeof(T) > bytes_.size())
+            fatal("checkpoint underrun: need ", sizeof(T), " bytes at ",
+                  at_, " of ", bytes_.size());
+        std::memcpy(&value, bytes_.data() + at_, sizeof(T));
+        at_ += sizeof(T);
+    }
+
+    /**
+     * Restore a vector whose size is already correct (the component
+     * was configured identically before loading). In-place fill, no
+     * reallocation: pointers into the vector stay valid.
+     */
+    template <typename T>
+    void
+    podVectorExact(std::vector<T> &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "checkpoint fields must be trivially copyable");
+        std::uint64_t n = 0;
+        pod(n);
+        if (n != v.size())
+            fatal("checkpoint shape mismatch: saved vector has ", n,
+                  " elements, component expects ", v.size());
+        if (at_ + n * sizeof(T) > bytes_.size())
+            fatal("checkpoint underrun: need ", n * sizeof(T),
+                  " bytes at ", at_, " of ", bytes_.size());
+        if (n != 0)
+            std::memcpy(v.data(), bytes_.data() + at_, n * sizeof(T));
+        at_ += n * sizeof(T);
+    }
+
+    /** Restore a vector whose saved size is authoritative (hash-map
+     *  style state with data-dependent size). May reallocate. */
+    template <typename T>
+    void
+    podVectorResize(std::vector<T> &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "checkpoint fields must be trivially copyable");
+        std::uint64_t n = 0;
+        pod(n);
+        if (at_ + n * sizeof(T) > bytes_.size())
+            fatal("checkpoint underrun: need ", n * sizeof(T),
+                  " bytes at ", at_, " of ", bytes_.size());
+        v.resize(n);
+        if (n != 0)
+            std::memcpy(v.data(), bytes_.data() + at_, n * sizeof(T));
+        at_ += n * sizeof(T);
+    }
+
+    /** Assert the whole buffer was consumed (catches component lists
+     *  that drifted between save and load). */
+    void
+    expectEnd() const
+    {
+        if (at_ != bytes_.size())
+            fatal("checkpoint has ", bytes_.size() - at_,
+                  " trailing bytes: save/load component lists differ");
+    }
+
+  private:
+    const std::vector<std::uint8_t> &bytes_;
+    std::size_t at_ = 0;
+};
+
+} // namespace unison
+
+#endif // UNISON_COMMON_STATE_IO_HH

@@ -86,6 +86,26 @@ class AlloyFpCache final : public DramCache
     bool pageTracked(Addr addr) const;
     /**@}*/
 
+    bool checkpointable() const override { return true; }
+
+    void
+    saveState(StateWriter &out) const override
+    {
+        org_.saveState(out);
+        stacked_->saveState(out);
+        fetchPolicy_.saveState(out);
+        pages_.saveState(out);
+    }
+
+    void
+    loadState(StateReader &in) override
+    {
+        org_.loadState(in);
+        stacked_->loadState(in);
+        fetchPolicy_.loadState(in);
+        pages_.loadState(in);
+    }
+
   private:
     /** Packed TAD word (the shared set_scan.hh positions). */
     static constexpr std::uint64_t kValid = kWayValidBit;

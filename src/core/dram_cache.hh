@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/state_io.hh"
 #include "common/types.hh"
 #include "dram/dram.hh"
 #include "stats/stats.hh"
@@ -187,6 +188,20 @@ class DramCache
         if (stackedDram() != nullptr)
             stackedDram()->resetStats();
     }
+
+    /**
+     * Warm-state checkpoint support. A design that returns true must
+     * serialize *all* mutable simulation state -- tag/stamp arrays,
+     * predictor tables, trackers, the stacked pool's bank timing --
+     * in saveState, such that loadState on a freshly constructed
+     * identical design makes every subsequent access() bit-identical
+     * to a design that simulated the warmup itself. Statistics are
+     * excluded by contract (the warm boundary resets them). Default
+     * false: out-of-tree designs simply opt out of checkpoint reuse.
+     */
+    virtual bool checkpointable() const { return false; }
+    virtual void saveState(StateWriter &out) const { (void)out; }
+    virtual void loadState(StateReader &in) { (void)in; }
 
   protected:
     DramModule *offchip_;

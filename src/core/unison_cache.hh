@@ -130,6 +130,9 @@ class HashedWayPolicy
 
     std::string nameSuffix() const { return ""; }
 
+    void saveState(StateWriter &out) const { pred_.saveState(out); }
+    void loadState(StateReader &in) { pred_.loadState(in); }
+
   private:
     WayPredictor pred_;
 };
@@ -192,6 +195,34 @@ class UnisonCacheT final : public DramCache
                std::uint32_t &offset) const
     {
         org_.mapAddress(addr, page, offset);
+    }
+
+    bool checkpointable() const override { return true; }
+
+    void
+    saveState(StateWriter &out) const override
+    {
+        org_.saveState(out);
+        stacked_->saveState(out);
+        wayPred_.saveState(out);
+        fetchPolicy_.saveState(out);
+        if (missPred_)
+            missPred_->saveState(out);
+        out.pod(useCounter_);
+        out.pod(statsGen_);
+    }
+
+    void
+    loadState(StateReader &in) override
+    {
+        org_.loadState(in);
+        stacked_->loadState(in);
+        wayPred_.loadState(in);
+        fetchPolicy_.loadState(in);
+        if (missPred_)
+            missPred_->loadState(in);
+        in.pod(useCounter_);
+        in.pod(statsGen_);
     }
 
   private:

@@ -130,6 +130,22 @@ class SwappableWayPolicy
 
     UnisonWayPredictorKind kind() const { return kind_; }
 
+    /** Warm-state checkpoint: every predictor variant's state (the
+     *  unused ones are empty/no-ops, so the format stays uniform). */
+    void
+    saveState(StateWriter &out) const
+    {
+        hashed_.saveState(out);
+        out.podVector(mruWay_);
+    }
+
+    void
+    loadState(StateReader &in)
+    {
+        hashed_.loadState(in);
+        in.podVectorExact(mruWay_);
+    }
+
   private:
     UnisonWayPredictorKind kind_;
     WayPredictor hashed_;

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/state_io.hh"
 #include "common/types.hh"
 #include "dram/timing.hh"
 #include "stats/stats.hh"
@@ -79,6 +80,34 @@ class DramChannel
     Cycle busFreeAt() const { return busFreeAt_; }
 
     int numBanks() const { return static_cast<int>(banks_.size()); }
+
+    /** Warm-state checkpoint of the bank/bus/refresh state machines
+     *  (statistics excluded by the state_io.hh contract). */
+    void
+    saveState(StateWriter &out) const
+    {
+        out.podVector(banks_);
+        out.pod(busFreeAt_);
+        out.pod(lastBurstWasWrite_);
+        out.pod(lastActivate_);
+        out.pod(nextRefreshAt_);
+        out.pod(refreshBusyUntil_);
+        out.pod(actWindow_);
+        out.pod(actWindowIdx_);
+    }
+
+    void
+    loadState(StateReader &in)
+    {
+        in.podVectorExact(banks_);
+        in.pod(busFreeAt_);
+        in.pod(lastBurstWasWrite_);
+        in.pod(lastActivate_);
+        in.pod(nextRefreshAt_);
+        in.pod(refreshBusyUntil_);
+        in.pod(actWindow_);
+        in.pod(actWindowIdx_);
+    }
 
   private:
     static constexpr std::uint64_t kNoRow = ~0ull;

@@ -83,6 +83,21 @@ class DramModule
     DramPoolStats stats() const;
     void resetStats();
 
+    /** Warm-state checkpoint of every channel's timing state. */
+    void
+    saveState(StateWriter &out) const
+    {
+        for (const DramChannel &ch : channels_)
+            ch.saveState(out);
+    }
+
+    void
+    loadState(StateReader &in)
+    {
+        for (DramChannel &ch : channels_)
+            ch.loadState(in);
+    }
+
     /** Idealized unloaded read latency for a row-buffer hit/conflict. */
     Cycle unloadedRowHitLatency(std::uint32_t bytes) const;
     Cycle unloadedRowConflictLatency(std::uint32_t bytes) const;

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 
+#include "common/state_io.hh"
 #include "common/types.hh"
 #include "predictors/footprint_table.hh"
 #include "predictors/singleton_table.hh"
@@ -147,6 +148,21 @@ class FootprintFetchPolicy
     const FootprintHistoryTable &footprintTable() const { return fht_; }
     const SingletonTable &singletonTable() const { return singletons_; }
 
+    /** Warm-state checkpoint: both owned predictor tables. */
+    void
+    saveState(StateWriter &out) const
+    {
+        fht_.saveState(out);
+        singletons_.saveState(out);
+    }
+
+    void
+    loadState(StateReader &in)
+    {
+        fht_.loadState(in);
+        singletons_.loadState(in);
+    }
+
   private:
     Config config_;
     FootprintHistoryTable fht_;
@@ -165,6 +181,8 @@ struct SingleBlockFetchPolicy
 
     void trainEviction(std::uint32_t, std::uint32_t, std::uint32_t) {}
     void resetStats() {}
+    void saveState(StateWriter &) const {}
+    void loadState(StateReader &) {}
 };
 
 } // namespace unison

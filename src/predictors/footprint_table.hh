@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/state_io.hh"
 #include "common/types.hh"
 #include "stats/stats.hh"
 
@@ -81,6 +82,22 @@ class FootprintHistoryTable
 
     /** Modeled SRAM footprint in bytes (Table II check). */
     std::uint64_t storageBytes() const;
+
+    /** Warm-state checkpoint of the trained entries and the LRU clock
+     *  (stats excluded by the state_io.hh contract). */
+    void
+    saveState(StateWriter &out) const
+    {
+        out.podVector(entries_);
+        out.pod(useCounter_);
+    }
+
+    void
+    loadState(StateReader &in)
+    {
+        in.podVectorExact(entries_);
+        in.pod(useCounter_);
+    }
 
   private:
     /**

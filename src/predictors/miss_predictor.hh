@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/state_io.hh"
 #include "common/types.hh"
 #include "stats/stats.hh"
 
@@ -83,6 +84,11 @@ class MissPredictor
 
     /** Modeled SRAM size in bytes across all cores (Table II check). */
     std::uint64_t storageBytes() const;
+
+    /** Warm-state checkpoint of the saturating counters (stats
+     *  excluded by the state_io.hh contract). */
+    void saveState(StateWriter &out) const { out.podVector(counters_); }
+    void loadState(StateReader &in) { in.podVectorExact(counters_); }
 
   private:
     std::uint64_t index(int core, Pc pc) const;

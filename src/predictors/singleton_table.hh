@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/state_io.hh"
 #include "common/types.hh"
 #include "stats/stats.hh"
 
@@ -68,6 +69,22 @@ class SingletonTable
 
     /** Modeled SRAM size in bytes (Table II check). */
     std::uint64_t storageBytes() const;
+
+    /** Warm-state checkpoint of the tracked pages and the LRU clock
+     *  (stats excluded by the state_io.hh contract). */
+    void
+    saveState(StateWriter &out) const
+    {
+        out.podVector(entries_);
+        out.pod(useCounter_);
+    }
+
+    void
+    loadState(StateReader &in)
+    {
+        in.podVectorExact(entries_);
+        in.pod(useCounter_);
+    }
 
   private:
     struct Entry

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/bitops.hh"
+#include "common/state_io.hh"
 #include "stats/stats.hh"
 
 namespace unison {
@@ -78,6 +79,11 @@ class WayPredictor
     void resetStats() { stats_.reset(); }
 
     std::uint32_t indexBits() const { return indexBits_; }
+
+    /** Warm-state checkpoint of the prediction table (stats excluded
+     *  by the state_io.hh contract). */
+    void saveState(StateWriter &out) const { out.podVector(table_); }
+    void loadState(StateReader &in) { in.podVectorExact(table_); }
 
   private:
     std::uint32_t indexBits_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "sim/spec_json.hh"
 #include "trace/workload.hh"
 
 namespace unison {
@@ -137,6 +138,34 @@ ExperimentSpec::validate() const
 SimResult
 runExperiment(const ExperimentSpec &spec)
 {
+    return runExperimentCk(spec, nullptr, nullptr);
+}
+
+bool
+checkpointEligible(const ExperimentSpec &spec)
+{
+    // An explicit boundary is what makes the warm prefix independent
+    // of the total access count (validation guarantees it leaves a
+    // measured window). Fractional warm-up boundaries move with the
+    // spec's length, so such specs never share a prefix usefully.
+    return spec.system.warmupAccesses != 0;
+}
+
+std::string
+warmPrefixKey(const ExperimentSpec &spec)
+{
+    ExperimentSpec prefix = spec;
+    prefix.accesses = 0;
+    prefix.quick = false;
+    prefix.system.engineThreads = 1;
+    return json::write(specToJson(prefix));
+}
+
+SimResult
+runExperimentCk(const ExperimentSpec &spec,
+                const WarmCheckpoint *resume_from,
+                WarmCheckpoint *capture_to)
+{
     spec.validate();
 
     System system(spec.system, makeCacheFactory(spec));
@@ -146,10 +175,21 @@ runExperiment(const ExperimentSpec &spec)
             ? spec.accesses
             : defaultAccessCount(spec.capacityBytes, spec.quick);
 
+    const auto run_through = [&](AccessSource &source) {
+        if (!checkpointEligible(spec) ||
+            !system.checkpointSupported(source)) {
+            resume_from = nullptr;
+            capture_to = nullptr;
+        }
+        if (resume_from != nullptr && !resume_from->valid())
+            resume_from = nullptr; // the capture never fired
+        return system.run(source, n, resume_from, capture_to);
+    };
+
     if (!spec.mix.empty()) {
         MixedWorkload workload(spec.mix, spec.system.numCores,
                                spec.seed);
-        SimResult result = system.run(workload, n);
+        SimResult result = run_through(workload);
         for (std::size_t c = 0; c < result.perCore.size(); ++c)
             result.perCore[c].sourceName =
                 workload.coreLabel(static_cast<int>(c));
@@ -161,7 +201,7 @@ runExperiment(const ExperimentSpec &spec)
                                 : workloadParams(spec.workload);
     params.numCores = spec.system.numCores;
     SyntheticWorkload workload(params, spec.seed);
-    SimResult result = system.run(workload, n);
+    SimResult result = run_through(workload);
     for (CoreSimResult &core : result.perCore)
         core.sourceName = params.name;
     return result;

@@ -103,6 +103,35 @@ std::string specWorkloadName(const ExperimentSpec &spec);
 /** Run the experiment end to end (validates first). */
 SimResult runExperiment(const ExperimentSpec &spec);
 
+/**
+ * Whether the spec pins an explicit warm boundary a warm-state
+ * checkpoint can capture and resume (the spec-shape half of
+ * eligibility; whether the design and source can serialize their
+ * state is checked at run time and falls back to a plain run).
+ */
+bool checkpointEligible(const ExperimentSpec &spec);
+
+/**
+ * Canonical identity of the spec's warm-up prefix: two specs with
+ * equal keys simulate byte-identical system states over
+ * [0, warmupAccesses). The key is the spec's JSON serialization with
+ * the measured-window-only fields -- total accesses, quick, and
+ * engineThreads -- normalized away, since none of them can influence
+ * the stream or the state before an explicit warm boundary.
+ */
+std::string warmPrefixKey(const ExperimentSpec &spec);
+
+/**
+ * runExperiment with warm-checkpoint hooks (see System::run). Either
+ * hook is silently dropped -- plain run -- when the spec has no
+ * explicit warm boundary, the design or source cannot checkpoint, or
+ * `resume_from` holds an invalid snapshot (its capture never fired),
+ * so callers may pass hooks optimistically.
+ */
+SimResult runExperimentCk(const ExperimentSpec &spec,
+                          const WarmCheckpoint *resume_from,
+                          WarmCheckpoint *capture_to);
+
 } // namespace unison
 
 #endif // UNISON_SIM_EXPERIMENT_HH

@@ -298,6 +298,52 @@ defaultMixesGrid(const FigureOptions &opts)
                      opts);
 }
 
+// ------------------------------------------------------- convergence
+
+/**
+ * Measurement-window convergence: one pinned warm-up prefix per
+ * (workload, design), crossed with growing measured windows. Every
+ * point of a block shares its warm prefix, so the parallel runner
+ * warms each block once, captures the boundary checkpoint and forks
+ * the measurement runs from it -- the showcase (and the regression
+ * canary) for warm-state checkpoint reuse. The data itself answers a
+ * methodology question the paper's fixed two-thirds split sidesteps:
+ * how long a measured window must be before the reported UIPC
+ * stabilizes.
+ */
+std::vector<GridPoint>
+convergenceGrid(const FigureOptions &opts)
+{
+    const std::uint64_t scale = opts.quick ? 8 : 1;
+    const std::uint64_t warm = 4'000'000 / scale;
+    const std::vector<std::pair<const char *, std::uint64_t>> windows =
+        {{"win=0.5M", 500'000 / scale},
+         {"win=1M", 1'000'000 / scale},
+         {"win=2M", 2'000'000 / scale},
+         {"win=4M", 4'000'000 / scale}};
+
+    ExperimentSpec base = baseSpec(opts);
+    base.capacityBytes = 128_MiB;
+    base.system.warmupAccesses = warm;
+
+    std::vector<SweepGrid::AxisValue> window_axis;
+    for (const auto &[label, win] : windows)
+        window_axis.push_back(
+            {label, [total = warm + win](ExperimentSpec &spec) {
+                 spec.accesses = total;
+             }});
+
+    std::vector<std::vector<GridPoint>> segments;
+    for (Workload w : {Workload::WebServing, Workload::DataServing}) {
+        SweepGrid grid(base);
+        grid.overWorkloads({w})
+            .overDesigns({DesignKind::Alloy, DesignKind::Unison})
+            .over("window", window_axis);
+        segments.push_back(grid.points());
+    }
+    return concatGrids(segments);
+}
+
 // ------------------------------------------------------------- smoke
 
 /** Seconds-scale CI grid: three designs at one small capacity. The
@@ -349,6 +395,9 @@ const FigureEntry kFigures[] = {
      energyGrid},
     {"mixes", "multiprogrammed consolidation mixes x designs",
      defaultMixesGrid},
+    {"convergence",
+     "UIPC vs measured-window length from one shared warm prefix",
+     convergenceGrid},
     {"smoke", "seconds-scale CI grid (shard/merge identity checks)",
      smokeGrid},
 };

@@ -261,11 +261,17 @@ systemToJson(const SystemConfig &sys)
     out.set("warmFraction", sys.warmFraction);
     out.set("warmupAccesses", sys.warmupAccesses);
     out.set("perCoreAccessBudget", sys.perCoreAccessBudget);
+    out.set("engineThreads",
+            static_cast<std::int64_t>(sys.engineThreads));
     return out;
 }
 
+/** `v2`: schema version of the enclosing spec. engineThreads joined
+ *  in v2; a v1 document neither carries the key (unknown-key
+ *  rejection still fires if it does) nor needs it -- absent means the
+ *  serial engine, which is what every v1 spec ran. */
 SystemConfig
-systemFromJson(const Value &value)
+systemFromJson(const Value &value, bool v2)
 {
     ObjectReader r(value, "system");
     SystemConfig sys;
@@ -277,6 +283,9 @@ systemFromJson(const Value &value)
     sys.warmFraction = r.req("warmFraction").asDouble();
     sys.warmupAccesses = r.req("warmupAccesses").asUint();
     sys.perCoreAccessBudget = r.req("perCoreAccessBudget").asUint();
+    sys.engineThreads =
+        v2 ? asCount(r.req("engineThreads"), "engineThreads", 1, 4096)
+           : 1;
     return sys;
 }
 
@@ -359,9 +368,11 @@ specFromJson(const json::Value &value)
 {
     ObjectReader r(value, "spec");
     const std::string schema = r.req("schema").asString();
-    if (schema != kSpecSchema)
+    const bool v2 = schema == kSpecSchema;
+    if (!v2 && schema != kSpecSchemaV1)
         throw json::Error("unsupported spec schema '" + schema +
-                          "' (this build reads " + kSpecSchema + ")");
+                          "' (this build reads " + kSpecSchema +
+                          " and " + kSpecSchemaV1 + ")");
 
     ExperimentSpec spec;
     spec.workload = workloadFromToken(r.req("workload").asString());
@@ -374,7 +385,7 @@ specFromJson(const json::Value &value)
     spec.accesses = r.req("accesses").asUint();
     spec.quick = r.req("quick").asBool();
     spec.seed = r.req("seed").asUint();
-    spec.system = systemFromJson(r.req("system"));
+    spec.system = systemFromJson(r.req("system"), v2);
     return spec;
 }
 
@@ -479,7 +490,8 @@ gridFromJson(const json::Value &value)
         throw json::Error("document has no 'schema' field");
 
     GridFile grid;
-    if (schema->asString() == kSpecSchema) {
+    if (schema->asString() == kSpecSchema ||
+        schema->asString() == kSpecSchemaV1) {
         // A bare spec is a one-point grid labelled by its design.
         GridPoint point;
         point.spec = specFromJson(value);

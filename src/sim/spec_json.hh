@@ -7,7 +7,9 @@
  *
  * Three document kinds, each self-identifying via a "schema" field:
  *
- *  - `unison-spec/1`    one experiment spec;
+ *  - `unison-spec/2`    one experiment spec (v1 is still read: it is
+ *                       v2 minus system.engineThreads, which defaults
+ *                       to 1; writes always emit v2);
  *  - `unison-grid/1`    a named list of labelled specs (a sweep);
  *  - `unison-results/1` a list of (index, label, spec, result) points.
  *
@@ -21,9 +23,10 @@
  *  - design knobs come from the design registry's knob table, so the
  *    schema extends automatically when a design registers a knob.
  *
- * Not serialized in schema v1 (fixed at their Table III defaults): the
- * SRAM hierarchy geometry and the DRAM organization/timing structs.
- * Bump the schema version before serializing them.
+ * Not serialized through schema v2 (fixed at their Table III
+ * defaults): the SRAM hierarchy geometry and the DRAM
+ * organization/timing structs. Bump the schema version before
+ * serializing them.
  */
 
 #ifndef UNISON_SIM_SPEC_JSON_HH
@@ -37,7 +40,9 @@
 
 namespace unison {
 
-inline constexpr const char *kSpecSchema = "unison-spec/1";
+inline constexpr const char *kSpecSchema = "unison-spec/2";
+/** Previous spec schema, still accepted by specFromJson. */
+inline constexpr const char *kSpecSchemaV1 = "unison-spec/1";
 inline constexpr const char *kGridSchema = "unison-grid/1";
 inline constexpr const char *kResultsSchema = "unison-results/1";
 

@@ -1,10 +1,13 @@
 #include "sim/system.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <limits>
+#include <thread>
 
 #include "common/logging.hh"
+#include "common/state_io.hh"
 #include "baselines/alloy_cache.hh"
 #include "baselines/footprint_cache.hh"
 #include "baselines/ideal_cache.hh"
@@ -22,6 +25,240 @@
 
 namespace unison {
 
+namespace {
+
+/**
+ * The serial engine's front end: generate the next reference and probe
+ * the SRAM hierarchy inline, exactly the pre-existing timing loop.
+ * (A front end provides next/access/resetWindow/l1Totals; runLoopBody
+ * monomorphizes on it, so this wrapper costs nothing.)
+ */
+template <typename Source>
+struct SerialEngineFrontEnd
+{
+    Source &source;
+    CacheHierarchy *hier;
+    int numCores;
+
+    bool
+    next(int core, MemoryAccess &acc)
+    {
+        return source.next(core, acc);
+    }
+
+    HierarchyOutcome
+    access(int core, const MemoryAccess &acc)
+    {
+        return hier->access(core, acc.addr, acc.isWrite);
+    }
+
+    void resetWindow() {}
+
+    void
+    l1Totals(std::uint64_t &accesses, std::uint64_t &misses) const
+    {
+        accesses = 0;
+        misses = 0;
+        for (int c = 0; c < numCores; ++c) {
+            accesses += hier->l1(c).stats().accesses.value();
+            misses += hier->l1(c).stats().misses.value();
+        }
+    }
+};
+
+/** One producer-to-commit handoff record of the epoch-sharded engine:
+ *  a reference plus its (stats-free) private-L1 outcome. */
+struct EngineRecord
+{
+    MemoryAccess acc;
+    SramAccessResult l1res;
+    bool end = false; //!< the core's stream drained (acc/l1res unset)
+};
+
+/**
+ * Single-producer single-consumer ring of EngineRecords for one core.
+ * head/tail are free-running counters over a power-of-two slot array;
+ * the producer publishes in epoch-sized chunks (one release store per
+ * epoch, not per record), the commit thread consumes one at a time.
+ */
+struct EngineRing
+{
+    static constexpr std::uint64_t kCapacity = 4096;
+    static constexpr std::uint64_t kMask = kCapacity - 1;
+
+    std::vector<EngineRecord> slots =
+        std::vector<EngineRecord>(kCapacity);
+
+    /** Producer side (own cache line: no false sharing with commit). */
+    alignas(64) std::atomic<std::uint64_t> head{0}; //!< published
+    std::uint64_t produced = 0; //!< includes not-yet-published slots
+    std::uint64_t tailCache = 0;
+
+    /** Commit side. */
+    alignas(64) std::atomic<std::uint64_t> tail{0}; //!< consumed
+    std::uint64_t consumed = 0;
+    std::uint64_t headCache = 0;
+};
+
+/**
+ * The epoch-sharded engine front end. Producer threads own disjoint
+ * core shards and run everything that is a pure function of one
+ * core's stream -- reference generation and the private L1 -- ahead of
+ * the commit thread, which pops records in exactly the order the
+ * serial scheduler would have processed them and replays the shared
+ * levels (L2, DRAM cache, off-chip) through finishAccess. Every
+ * decision the shared state sees is therefore made in serial order,
+ * which is the whole bit-identity argument; the producers' relative
+ * progress only changes *when* records were precomputed, never their
+ * content (per-core-deterministic sources) nor their commit order.
+ */
+template <typename Source>
+class ThreadedEngine
+{
+  public:
+    /** References per publication chunk (the epoch). */
+    static constexpr std::uint64_t kEpoch = 1024;
+
+    ThreadedEngine(Source &source, CacheHierarchy *hier, int src_cores,
+                   int num_threads)
+        : source_(source),
+          hier_(hier),
+          srcCores_(src_cores),
+          rings_(std::make_unique<EngineRing[]>(
+              static_cast<std::size_t>(src_cores)))
+    {
+        const int workers = std::min(num_threads, src_cores);
+        threads_.reserve(static_cast<std::size_t>(workers));
+        for (int t = 0; t < workers; ++t)
+            threads_.emplace_back(
+                [this, t, workers] { producerLoop(t, workers); });
+    }
+
+    ~ThreadedEngine()
+    {
+        stop_.store(true, std::memory_order_release);
+        for (std::thread &t : threads_)
+            t.join();
+    }
+
+    bool
+    next(int core, MemoryAccess &acc)
+    {
+        EngineRing &ring = rings_[core];
+        const std::uint64_t at = ring.consumed;
+        while (at == ring.headCache) {
+            ring.headCache = ring.head.load(std::memory_order_acquire);
+            if (at == ring.headCache)
+                std::this_thread::yield();
+        }
+        const EngineRecord &rec = ring.slots[at & EngineRing::kMask];
+        if (rec.end)
+            return false; // the EOF slot is never consumed: sticky
+        acc = rec.acc;
+        pending_ = rec.l1res;
+        ring.consumed = at + 1;
+        ring.tail.store(at + 1, std::memory_order_release);
+        return true;
+    }
+
+    HierarchyOutcome
+    access(int, const MemoryAccess &acc)
+    {
+        // Producers probe the L1s stats-free (accessQuiet); the L1
+        // totals the serial engine reads from the L1 stats structs are
+        // counted here instead, one access per reference.
+        ++l1Accesses_;
+        if (!pending_.hit)
+            ++l1Misses_;
+        return hier_->finishAccess(pending_, acc.addr, acc.isWrite);
+    }
+
+    void
+    resetWindow()
+    {
+        l1Accesses_ = 0;
+        l1Misses_ = 0;
+    }
+
+    void
+    l1Totals(std::uint64_t &accesses, std::uint64_t &misses) const
+    {
+        accesses = l1Accesses_;
+        misses = l1Misses_;
+    }
+
+  private:
+    void
+    producerLoop(int t, int workers)
+    {
+        // Round-robin shard: worker t owns cores t, t+workers, ...
+        std::vector<int> mine;
+        for (int c = t; c < srcCores_; c += workers)
+            mine.push_back(c);
+        std::vector<bool> done(mine.size(), false);
+        std::size_t remaining = mine.size();
+
+        while (remaining > 0 &&
+               !stop_.load(std::memory_order_acquire)) {
+            bool progressed = false;
+            for (std::size_t k = 0; k < mine.size(); ++k) {
+                if (done[k])
+                    continue;
+                const int core = mine[k];
+                EngineRing &ring = rings_[core];
+                SetAssocCache &l1 = hier_->l1Front(core);
+
+                ring.tailCache =
+                    ring.tail.load(std::memory_order_acquire);
+                const std::uint64_t room = ring.tailCache +
+                                           EngineRing::kCapacity -
+                                           ring.produced;
+                const std::uint64_t n = std::min(room, kEpoch);
+                if (n == 0)
+                    continue; // ring full; serve the other cores
+                std::uint64_t filled = 0;
+                for (; filled < n; ++filled) {
+                    EngineRecord &rec =
+                        ring.slots[(ring.produced + filled) &
+                                   EngineRing::kMask];
+                    if (!source_.next(core, rec.acc)) {
+                        rec.end = true;
+                        ++filled;
+                        done[k] = true;
+                        --remaining;
+                        break;
+                    }
+                    rec.end = false;
+                    rec.l1res =
+                        l1.accessQuiet(rec.acc.addr, rec.acc.isWrite);
+                }
+                if (filled != 0) {
+                    ring.produced += filled;
+                    ring.head.store(ring.produced,
+                                    std::memory_order_release);
+                    progressed = true;
+                }
+            }
+            if (!progressed)
+                std::this_thread::yield();
+        }
+    }
+
+    Source &source_;
+    CacheHierarchy *hier_;
+    int srcCores_;
+    std::unique_ptr<EngineRing[]> rings_;
+    std::vector<std::thread> threads_;
+    std::atomic<bool> stop_{false};
+
+    /** L1 outcome of the record the commit thread just popped. */
+    SramAccessResult pending_{};
+    std::uint64_t l1Accesses_ = 0;
+    std::uint64_t l1Misses_ = 0;
+};
+
+} // namespace
+
 System::System(const SystemConfig &config, const CacheFactory &factory)
     : config_(config),
       offchip_(std::make_unique<DramModule>(config.offchipOrg,
@@ -35,6 +272,8 @@ System::System(const SystemConfig &config, const CacheFactory &factory)
     UNISON_ASSERT(config_.warmFraction >= 0.0 &&
                       config_.warmFraction <= 1.0,
                   "warmFraction outside [0, 1]");
+    UNISON_ASSERT(config_.engineThreads >= 1,
+                  "engineThreads must be at least 1");
     cache_ = factory(offchip_.get());
     UNISON_ASSERT(cache_ != nullptr, "cache factory returned null");
 }
@@ -74,6 +313,23 @@ System::run(AccessSource &source, std::uint64_t total_accesses)
         return dispatchCache(source, total_accesses);
     }
     panic("unhandled AccessSourceKind");
+}
+
+SimResult
+System::run(AccessSource &source, std::uint64_t total_accesses,
+            const WarmCheckpoint *resume_from, WarmCheckpoint *capture_to)
+{
+    if ((resume_from != nullptr || capture_to != nullptr) &&
+        !checkpointSupported(source))
+        fatal("design '", cache_->name(),
+              "' or the access source does not support warm-state "
+              "checkpoints");
+    resumeFrom_ = resume_from;
+    captureTo_ = capture_to;
+    SimResult result = run(source, total_accesses);
+    resumeFrom_ = nullptr;
+    captureTo_ = nullptr;
+    return result;
 }
 
 template <typename Source>
@@ -129,6 +385,33 @@ SimResult
 System::runLoop(Source &source, Cache &cache,
                 std::uint64_t total_accesses)
 {
+    // Engine selection. The epoch-sharded engine needs (a) more than
+    // one engine thread requested, (b) more than one core to shard,
+    // (c) no checkpoint hooks (the serialized L1/source state must be
+    // taken at an exact access boundary, which the run-ahead producers
+    // have already crossed), and (d) a source whose per-core streams
+    // are deterministic in isolation -- the content of core c's next
+    // reference must not depend on how far the other cores have
+    // advanced. Anything else silently uses the serial engine; both
+    // produce bit-identical SimResults.
+    if (config_.engineThreads > 1 && source.numCores() > 1 &&
+        resumeFrom_ == nullptr && captureTo_ == nullptr &&
+        source.perCoreDeterministic()) {
+        ThreadedEngine<Source> fe(source, hierarchy_.get(),
+                                  source.numCores(),
+                                  config_.engineThreads);
+        return runLoopBody(fe, source, cache, total_accesses);
+    }
+    SerialEngineFrontEnd<Source> fe{source, hierarchy_.get(),
+                                    config_.numCores};
+    return runLoopBody(fe, source, cache, total_accesses);
+}
+
+template <typename FrontEnd, typename Source, typename Cache>
+SimResult
+System::runLoopBody(FrontEnd &fe, Source &source, Cache &cache,
+                    std::uint64_t total_accesses)
+{
     UNISON_ASSERT(total_accesses > 0, "empty simulation");
     UNISON_ASSERT(source.numCores() <= config_.numCores,
                   "trace has more cores than the system");
@@ -182,8 +465,6 @@ System::runLoop(Source &source, Cache &cache,
                  : std::numeric_limits<std::uint64_t>::max());
     int active_cores = src_cores;
 
-    CacheHierarchy *const hier = hierarchy_.get();
-
     // Unbudgeted runs (the common case) schedule straight off
     // core_time and skip the budget bookkeeping entirely, keeping the
     // hot loop identical to the budget-free engine.
@@ -192,6 +473,7 @@ System::runLoop(Source &source, Cache &cache,
 
     const auto reset_measurement = [&]() {
         resetAllStats();
+        fe.resetWindow();
         warm_base = core_time;
         per_core.reset();
         dc_latency_sum = 0.0;
@@ -226,12 +508,62 @@ System::runLoop(Source &source, Cache &cache,
     for (int c = 0; c < src_cores; ++c)
         keys[c] = key_of(c);
 
+    // Warm-checkpoint resume: deserialize the exact state a cold run
+    // has when i reaches warm_count (the snapshot below is taken at
+    // that point, before the boundary reset), then enter the loop at
+    // i = warm_count with measuring still false -- the boundary branch
+    // fires the same reset_measurement() a cold run would, so the two
+    // paths are byte-identical from the boundary on.
+    std::uint64_t first_access = 0;
+    if (resumeFrom_ != nullptr) {
+        const WarmCheckpoint &ck = *resumeFrom_;
+        if (!ck.valid() || ck.warmAccesses != warm_count ||
+            warm_count == 0 || total_accesses <= warm_count)
+            fatal("checkpoint boundary ", ck.warmAccesses,
+                  " does not match the run's warm-up window ",
+                  warm_count, " of ", total_accesses, " accesses");
+        StateReader in(ck.bytes);
+        source.loadState(in);
+        hierarchy_->loadState(in);
+        cache_->loadState(in);
+        offchip_->loadState(in);
+        in.podVectorExact(core_time);
+        in.podVectorExact(sched_time);
+        in.podVectorExact(inflight);
+        in.podVectorExact(inflight_head);
+        in.podVectorExact(budget_left);
+        in.pod(active_cores);
+        in.expectEnd();
+        // podVectorExact filled the vectors in place, so the `clocks`
+        // alias above is still valid; only the keys need refreshing.
+        for (int c = 0; c < src_cores; ++c)
+            keys[c] = key_of(c);
+        first_access = warm_count;
+    }
+
     MemoryAccess acc;
-    for (std::uint64_t i = 0;
+    for (std::uint64_t i = first_access;
          i < total_accesses && active_cores > 0; ++i) {
         if (i == warm_count && !measuring) {
             // End of warm-up, before access warm_count is processed:
             // nothing from [0, warm_count) leaks into measurement.
+            if (captureTo_ != nullptr) {
+                // Snapshot the pre-reset state: what a resumed run
+                // restores is exactly what the reset below acts on.
+                StateWriter out;
+                source.saveState(out);
+                hierarchy_->saveState(out);
+                cache_->saveState(out);
+                offchip_->saveState(out);
+                out.podVector(core_time);
+                out.podVector(sched_time);
+                out.podVector(inflight);
+                out.podVector(inflight_head);
+                out.podVector(budget_left);
+                out.pod(active_cores);
+                captureTo_->warmAccesses = warm_count;
+                captureTo_->bytes = std::move(out).take();
+            }
             reset_measurement();
             measuring = true;
         }
@@ -259,7 +591,7 @@ System::runLoop(Source &source, Cache &cache,
         const int core = static_cast<int>((b2 < b0 ? b2 : b0) & 255);
 
         double &now = core_time[core];
-        if (!source.next(core, acc)) {
+        if (!fe.next(core, acc)) {
             // Finite sources (trace files) may drain one core's stream
             // slightly before the requested total: stop measuring.
             if (i == 0)
@@ -268,8 +600,7 @@ System::runLoop(Source &source, Cache &cache,
         }
         now += acc.instrsBefore * config_.cpiBase;
 
-        const HierarchyOutcome outcome =
-            hier->access(core, acc.addr, acc.isWrite);
+        const HierarchyOutcome outcome = fe.access(core, acc);
 
         double load_latency = outcome.sramLatency;
 
@@ -380,12 +711,11 @@ System::runLoop(Source &source, Cache &cache,
         out.amatCycles = cw.amatCycles();
     }
 
-    // SRAM hierarchy miss rates (aggregated over cores for L1).
+    // SRAM hierarchy miss rates (the front end aggregates L1 over
+    // cores -- from the per-L1 stats structs in the serial engine,
+    // from commit-side counters in the threaded one).
     std::uint64_t l1_acc = 0, l1_miss = 0;
-    for (int c = 0; c < config_.numCores; ++c) {
-        l1_acc += hierarchy_->l1(c).stats().accesses.value();
-        l1_miss += hierarchy_->l1(c).stats().misses.value();
-    }
+    fe.l1Totals(l1_acc, l1_miss);
     result.l1MissPercent = percent(l1_miss, l1_acc);
     result.l2MissPercent =
         percent(hierarchy_->l2().stats().misses.value(),

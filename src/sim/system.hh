@@ -69,6 +69,37 @@ struct SystemConfig
      * the fixed-work discipline multiprogrammed comparisons need.
      */
     std::uint64_t perCoreAccessBudget = 0;
+
+    /**
+     * Worker threads for the intra-experiment engine (1 = the serial
+     * reference engine). The SimResult is bit-identical for any value
+     * -- the same contract sweep-level --threads gives across
+     * experiments, applied inside one: producer threads shard the
+     * cores, run only per-core-independent work (stream generation and
+     * the private L1s) ahead of time, and a commit thread replays the
+     * recorded outcomes through the shared levels in exactly the
+     * serial engine's scheduling order. Sources whose streams are not
+     * per-core deterministic (trace readers, multi-core synthetic
+     * generators sharing one RNG) silently fall back to the serial
+     * engine, as do single-core systems and checkpoint capture/resume
+     * runs.
+     */
+    int engineThreads = 1;
+};
+
+/**
+ * A warm-state snapshot taken at the warm-up boundary (see
+ * common/state_io.hh for what "state" means). Captured by a run whose
+ * spec pins the boundary with warmupAccesses; a later run over the
+ * same (design, workload, system) prefix can resume from it and skip
+ * re-simulating the warmup, byte-identical to having simulated it.
+ */
+struct WarmCheckpoint
+{
+    std::uint64_t warmAccesses = 0; //!< boundary the snapshot is at
+    std::vector<std::uint8_t> bytes;
+
+    bool valid() const { return !bytes.empty(); }
 };
 
 /** One core's slice of a simulation (multiprogrammed mixes). */
@@ -141,6 +172,28 @@ class System
      */
     SimResult run(AccessSource &source, std::uint64_t total_accesses);
 
+    /**
+     * run() with warm-checkpoint hooks. When `capture_to` is non-null
+     * and the run crosses the warm boundary, the boundary state is
+     * serialized into it (left invalid if the stream drains first).
+     * When `resume_from` is non-null the run starts *at* the boundary
+     * from the snapshot instead of simulating [0, warmAccesses); the
+     * caller must construct System and source from the identical spec
+     * prefix (state shapes are fatal-checked, identity is the
+     * caller's contract). Either hook forces the serial engine.
+     */
+    SimResult run(AccessSource &source, std::uint64_t total_accesses,
+                  const WarmCheckpoint *resume_from,
+                  WarmCheckpoint *capture_to);
+
+    /** Whether this design + source pair can checkpoint its warm
+     *  state (the spec-shape conditions are the runner's to check). */
+    bool
+    checkpointSupported(const AccessSource &source) const
+    {
+        return cache_->checkpointable() && source.checkpointable();
+    }
+
     DramCache &cache() { return *cache_; }
     DramModule &offchip() { return *offchip_; }
     CacheHierarchy &hierarchy() { return *hierarchy_; }
@@ -153,11 +206,17 @@ class System
     template <typename Source>
     SimResult dispatchCache(Source &source, std::uint64_t total_accesses);
 
-    /** The timing loop, monomorphized on (source, cache) so both
-     *  per-access calls devirtualize (see run()). */
+    /** Engine selection: the epoch-sharded front end when eligible,
+     *  else the serial one; both feed the same loop body. */
     template <typename Source, typename Cache>
     SimResult runLoop(Source &source, Cache &cache,
                       std::uint64_t total_accesses);
+
+    /** The timing loop, monomorphized on (front end, source, cache) so
+     *  the per-access calls devirtualize (see run()). */
+    template <typename FrontEnd, typename Source, typename Cache>
+    SimResult runLoopBody(FrontEnd &fe, Source &source, Cache &cache,
+                          std::uint64_t total_accesses);
 
     /** Predictor-accuracy SimResult fields (design-specific, cold). */
     void fillPredictorStats(SimResult &result) const;
@@ -166,6 +225,10 @@ class System
     std::unique_ptr<DramModule> offchip_;
     std::unique_ptr<DramCache> cache_;
     std::unique_ptr<CacheHierarchy> hierarchy_;
+
+    /** Checkpoint hooks for the current run() (see the overload). */
+    const WarmCheckpoint *resumeFrom_ = nullptr;
+    WarmCheckpoint *captureTo_ = nullptr;
 };
 
 } // namespace unison

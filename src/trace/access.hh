@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/state_io.hh"
 #include "common/types.hh"
 
 namespace unison {
@@ -99,6 +100,30 @@ class AccessSource
 
     /** Number of cores the source provides streams for. */
     virtual int numCores() const = 0;
+
+    /**
+     * True when core c's stream is a pure function of (source config,
+     * seed, c) -- independent of the order next() is called across
+     * cores. That independence is the eligibility condition for the
+     * epoch-sharded engine: its producer threads pull each core's
+     * stream ahead of the global commit order, so any source whose
+     * streams couple through shared mutable state (one RNG shared by
+     * several cores, a shared file cursor) must return false and run
+     * on the serial engine. Default false: a new source must opt in
+     * deliberately.
+     */
+    virtual bool perCoreDeterministic() const { return false; }
+
+    /**
+     * Warm-state checkpoint support. A source that returns true must
+     * serialize *all* mutable stream state in saveState so a loadState
+     * on a freshly constructed identical source resumes the exact
+     * stream. Default false (and empty save/load): trace readers and
+     * out-of-tree sources simply opt out of checkpoint reuse.
+     */
+    virtual bool checkpointable() const { return false; }
+    virtual void saveState(StateWriter &out) const { (void)out; }
+    virtual void loadState(StateReader &in) { (void)in; }
 };
 
 } // namespace unison

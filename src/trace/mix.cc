@@ -193,6 +193,7 @@ MixedWorkload::MixedWorkload(const std::vector<MixPart> &parts,
 
         TraceReader *reader = nullptr;
         if (!part.tracePath.empty()) {
+            noTraceParts_ = false;
             auto owned = std::make_unique<TraceReader>(part.tracePath);
             reader = owned.get();
             if (reader->numCores() < part.cores)
@@ -246,6 +247,29 @@ MixedWorkload::next(int core, MemoryAccess &out)
     out.addr += binding.addrOffset;
     out.core = static_cast<std::uint8_t>(core);
     return true;
+}
+
+bool
+MixedWorkload::checkpointable() const
+{
+    for (const auto &src : owned_)
+        if (!src->checkpointable())
+            return false;
+    return true;
+}
+
+void
+MixedWorkload::saveState(StateWriter &out) const
+{
+    for (const auto &src : owned_)
+        src->saveState(out);
+}
+
+void
+MixedWorkload::loadState(StateReader &in)
+{
+    for (const auto &src : owned_)
+        src->loadState(in);
 }
 
 const std::string &

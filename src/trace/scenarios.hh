@@ -106,6 +106,32 @@ class ScenarioSource final : public AccessSource
     const ScenarioParams &params() const { return params_; }
     bool isProducer() const { return producer_; }
 
+    /** Single-core by construction: the stream is a pure function of
+     *  (params, seed, core_id). */
+    bool perCoreDeterministic() const override { return true; }
+
+    bool checkpointable() const override { return true; }
+
+    void
+    saveState(StateWriter &out) const override
+    {
+        out.pod(rng_);
+        out.pod(chaseCursor_);
+        out.pod(scanCursor_);
+        out.pod(updatePending_);
+        out.pod(updateBlock_);
+    }
+
+    void
+    loadState(StateReader &in) override
+    {
+        in.pod(rng_);
+        in.pod(chaseCursor_);
+        in.pod(scanCursor_);
+        in.pod(updatePending_);
+        in.pod(updateBlock_);
+    }
+
   private:
     void emit(std::uint64_t block, bool is_write, Pc pc,
               MemoryAccess &out);

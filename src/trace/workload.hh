@@ -137,6 +137,45 @@ class SyntheticWorkload final : public AccessSource
         return AccessSourceKind::Synthetic;
     }
 
+    /**
+     * One RNG drives every core's episode draws, so with several cores
+     * the stream each core sees depends on the cross-core next()
+     * order; only the single-core degenerate case (mix parts are built
+     * this way) is per-core deterministic.
+     */
+    bool
+    perCoreDeterministic() const override
+    {
+        return params_.numCores == 1;
+    }
+
+    bool checkpointable() const override { return true; }
+
+    /** Mutable stream state: the RNG and each core's in-flight
+     *  episodes. Functions/samplers are immutable after construction
+     *  and rebuilt identically from (params, seed). */
+    void
+    saveState(StateWriter &out) const override
+    {
+        out.pod(rng_);
+        for (const CoreState &core : cores_) {
+            out.podVector(core.episodes);
+            out.pod(core.slot);
+            out.pod(core.burstLeft);
+        }
+    }
+
+    void
+    loadState(StateReader &in) override
+    {
+        in.pod(rng_);
+        for (CoreState &core : cores_) {
+            in.podVectorExact(core.episodes);
+            in.pod(core.slot);
+            in.pod(core.burstLeft);
+        }
+    }
+
     const WorkloadParams &params() const { return params_; }
 
     /** Canonical footprint mask of function f (test hook). */

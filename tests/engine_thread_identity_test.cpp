@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The engineThreads bit-identity contract: a System run with any
+ * number of intra-experiment engine threads returns a SimResult
+ * byte-identical to the serial engine's. The epoch-sharded producers
+ * only precompute per-core-independent work (stream generation, the
+ * private L1s); everything shared commits in the serial scheduler's
+ * exact order, so nothing observable may change. Sources that are not
+ * per-core deterministic must silently fall back to the serial
+ * engine and likewise match.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/experiment.hh"
+#include "sim/spec_json.hh"
+#include "trace/mix.hh"
+
+namespace unison {
+namespace {
+
+std::string
+resultKey(const SimResult &result)
+{
+    return json::write(resultToJson(result));
+}
+
+/** A multiprogrammed spec: MixedWorkload seeds one generator per
+ *  core, so its streams are per-core deterministic and the threaded
+ *  engine actually engages. */
+ExperimentSpec
+mixSpec(DesignKind design)
+{
+    ExperimentSpec spec;
+    spec.design = design;
+    spec.capacityBytes = 32_MiB;
+    spec.system.numCores = 4;
+    spec.accesses = 120'000;
+    spec.seed = 5;
+    spec.mix = {mixPreset(Workload::WebServing, 2),
+                mixPreset(Workload::DataServing, 2)};
+    return spec;
+}
+
+void
+expectThreadCountInvariant(const ExperimentSpec &base)
+{
+    ExperimentSpec serial = base;
+    serial.system.engineThreads = 1;
+    const std::string want = resultKey(runExperiment(serial));
+
+    for (int n : {2, 3, 8}) {
+        SCOPED_TRACE("engineThreads=" + std::to_string(n));
+        ExperimentSpec threaded = base;
+        threaded.system.engineThreads = n;
+        EXPECT_EQ(resultKey(runExperiment(threaded)), want);
+    }
+}
+
+TEST(EngineThreadIdentity, MixAcrossDesigns)
+{
+    for (DesignKind d : {DesignKind::Unison, DesignKind::Alloy,
+                         DesignKind::Footprint, DesignKind::NoDramCache}) {
+        SCOPED_TRACE(designId(d));
+        expectThreadCountInvariant(mixSpec(d));
+    }
+}
+
+TEST(EngineThreadIdentity, ScenarioMix)
+{
+    ExperimentSpec spec = mixSpec(DesignKind::Unison);
+    spec.mix = {mixScenario(ScenarioKind::StreamScan, 2),
+                mixScenario(ScenarioKind::RandomUpdate, 2)};
+    expectThreadCountInvariant(spec);
+}
+
+TEST(EngineThreadIdentity, WithWarmupAndBudgets)
+{
+    // The mixes methodology: explicit warm boundary and per-core
+    // budgets. Cores drain mid-run (the budget path), which the
+    // commit thread must replay exactly.
+    ExperimentSpec spec = mixSpec(DesignKind::Unison);
+    spec.system.warmupAccesses = 60'000;
+    spec.system.perCoreAccessBudget = spec.accesses / 4;
+    expectThreadCountInvariant(spec);
+}
+
+TEST(EngineThreadIdentity, SharedRngSourceFallsBackToSerial)
+{
+    // A multi-core SyntheticWorkload interleaves one RNG across
+    // cores: not per-core deterministic, so any engineThreads value
+    // must take the serial engine -- and still match, trivially.
+    ExperimentSpec spec;
+    spec.design = DesignKind::Unison;
+    spec.capacityBytes = 32_MiB;
+    spec.system.numCores = 4;
+    spec.accesses = 120'000;
+    spec.seed = 5;
+    expectThreadCountInvariant(spec);
+}
+
+TEST(EngineThreadIdentity, ThreadedEngineComposesWithCheckpoints)
+{
+    // Checkpoint hooks force the serial engine, but a threaded run of
+    // the same spec must still match a resumed serial run: the two
+    // features interact only through the shared bit-identity contract.
+    ExperimentSpec spec = mixSpec(DesignKind::Alloy);
+    spec.system.warmupAccesses = 60'000;
+
+    WarmCheckpoint ck;
+    runExperimentCk(spec, nullptr, &ck);
+    ASSERT_TRUE(ck.valid());
+    const SimResult resumed = runExperimentCk(spec, &ck, nullptr);
+
+    ExperimentSpec threaded = spec;
+    threaded.system.engineThreads = 4;
+    EXPECT_EQ(resultKey(runExperiment(threaded)), resultKey(resumed));
+}
+
+} // namespace
+} // namespace unison

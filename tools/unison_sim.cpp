@@ -245,9 +245,17 @@ tableOutput(const std::vector<ResultPoint> &points, bool csv)
 
 int
 runGrid(const std::string &grid_name, std::vector<GridPoint> points,
-        const std::string &shard_text, int threads,
+        const std::string &shard_text, int threads, int engine_threads,
         const std::string &format, const std::string &out_path)
 {
+    // Apply the intra-experiment engine override before the grid is
+    // fingerprinted: shard result files then refuse to merge across
+    // mismatched overrides (the results would still be bit-identical,
+    // but the serialized specs would not).
+    if (engine_threads > 0)
+        for (GridPoint &point : points)
+            point.spec.system.engineThreads = engine_threads;
+
     std::size_t shard = 0, shards = 1;
     parseShard(shard_text, shard, shards);
     // Fingerprint the FULL grid (before sharding): every shard of one
@@ -310,8 +318,8 @@ main(int argc, char **argv)
                    "valid range)");
     args.addOption("figure", "", "run a named paper figure sweep");
     args.addOption("spec", "",
-                   "run a spec/grid JSON file (unison-spec/1 or "
-                   "unison-grid/1)");
+                   "run a spec/grid JSON file (unison-spec/2, the "
+                   "older unison-spec/1, or unison-grid/1)");
     args.addOption("export-spec", "",
                    "with --figure: write the grid as JSON instead of "
                    "running it");
@@ -325,6 +333,10 @@ main(int argc, char **argv)
                               "stdout)");
     args.addFlag("quick", "8x shorter simulations (figures only)");
     args.addOption("seed", "42", "workload seed (figures only)");
+    args.addOption("engine-threads", "0",
+                   "override system.engineThreads of every point: "
+                   "worker threads inside each experiment, "
+                   "bit-identical results (0 = leave spec values)");
     addThreadsOption(args);
     args.parse(argc, argv);
 
@@ -333,6 +345,8 @@ main(int argc, char **argv)
     const std::string merge = args.getString("merge");
     const std::string knobs = args.getString("knobs");
     const int threads = parseThreads(args);
+    const int engine_threads =
+        static_cast<int>(args.getUint("engine-threads"));
 
     const int modes = (args.getFlag("list") ? 1 : 0) +
                       (knobs.empty() ? 0 : 1) +
@@ -372,14 +386,14 @@ main(int argc, char **argv)
             }
             return runGrid(figure, std::move(points),
                            args.getString("shard"), threads,
-                           args.getString("format"),
+                           engine_threads, args.getString("format"),
                            args.getString("out"));
         }
 
         GridFile grid = gridFromJson(json::parse(readFile(spec_path)));
         return runGrid(grid.name, std::move(grid.points),
                        args.getString("shard"), threads,
-                       args.getString("format"),
+                       engine_threads, args.getString("format"),
                        args.getString("out"));
     } catch (const json::Error &e) {
         fatal(e.what());
