@@ -179,6 +179,27 @@ main(int argc, char **argv)
                       std::to_string(engine_threads) + ")";
     mix_engine.accesses = mix_spec.accesses;
 
+    // Memory-backend cost: the same spec through the fast analytic
+    // model and the detailed FR-FCFS controller. The tracked ratio is
+    // what keeps the detailed backend honest -- it may be slower, but
+    // a regression that makes it an order of magnitude slower would
+    // silently kill the validation grid.
+    const auto backend_spec = [&](MemoryBackendKind kind) {
+        ExperimentSpec spec;
+        spec.workload = Workload::WebServing;
+        spec.design = DesignKind::Unison;
+        spec.capacityBytes = 128_MiB;
+        spec.accesses = quick ? 1'000'000 : 4'000'000;
+        spec.seed = seed;
+        spec.system.memoryBackend = kind;
+        return spec;
+    };
+    Measurement backend_fast, backend_detailed;
+    backend_fast.name = "backend fast";
+    backend_fast.accesses = backend_spec(MemoryBackendKind::Fast).accesses;
+    backend_detailed.name = "backend detailed";
+    backend_detailed.accesses = backend_fast.accesses;
+
     // Interleaved repeats: one full round of every measurement, then
     // the next round, so host-speed drift hits all of them equally.
     for (std::int64_t rep = 0; rep < repeats; ++rep) {
@@ -208,6 +229,14 @@ main(int argc, char **argv)
             const auto t0 = Clock::now();
             runExperiment(mix_spec);
             mix_engine.seconds.push_back(secondsSince(t0));
+        }
+        {
+            auto t0 = Clock::now();
+            runExperiment(backend_spec(MemoryBackendKind::Fast));
+            backend_fast.seconds.push_back(secondsSince(t0));
+            t0 = Clock::now();
+            runExperiment(backend_spec(MemoryBackendKind::Detailed));
+            backend_detailed.seconds.push_back(secondsSince(t0));
         }
         std::fprintf(stderr, "perf_engine: round %lld/%lld done\n",
                      static_cast<long long>(rep + 1),
@@ -286,7 +315,7 @@ main(int argc, char **argv)
     // root): add fields if needed, do not rename or remove them.
     std::string report;
     appendf(report,
-            "{\n  \"schema\": \"perf_engine/3\",\n"
+            "{\n  \"schema\": \"perf_engine/4\",\n"
             "  \"quick\": %s,\n  \"threads\": %d,\n"
             "  \"engine_threads\": %d,\n"
             "  \"repeats\": %lld,\n",
@@ -316,6 +345,19 @@ main(int argc, char **argv)
             engine_threads,
             static_cast<unsigned long long>(mix_engine.accesses),
             mix_engine.medianSeconds(), mix_engine.rate());
+    {
+        const double fast_rate = backend_fast.rate();
+        const double detailed_rate = backend_detailed.rate();
+        appendf(report,
+                "  \"backend\": {\"accesses\": %llu, "
+                "\"fast_seconds\": %.6f, \"fast_per_sec\": %.0f, "
+                "\"detailed_seconds\": %.6f, \"detailed_per_sec\": "
+                "%.0f, \"fast_over_detailed\": %.3f},\n",
+                static_cast<unsigned long long>(backend_fast.accesses),
+                backend_fast.medianSeconds(), fast_rate,
+                backend_detailed.medianSeconds(), detailed_rate,
+                detailed_rate > 0.0 ? fast_rate / detailed_rate : 0.0);
+    }
     appendf(report,
             "  \"ckpt_sweep\": {\"accesses\": %llu, \"seconds\": %.6f, "
             "\"accesses_per_sec\": %.0f},\n",
@@ -366,6 +408,13 @@ main(int argc, char **argv)
     t.add(mix_engine.accesses);
     t.add(mix_engine.medianSeconds(), 3);
     t.add(mix_engine.rate(), 0);
+    for (const Measurement *m : {&backend_fast, &backend_detailed}) {
+        t.beginRow();
+        t.add(m->name);
+        t.add(m->accesses);
+        t.add(m->medianSeconds(), 3);
+        t.add(m->rate(), 0);
+    }
     t.beginRow();
     t.add(ckpt_sweep.name);
     t.add(ckpt_sweep.accesses);

@@ -30,6 +30,12 @@ def rates(report):
     if "mix_engine" in report:
         key = "mix_engine/t%d" % report["mix_engine"]["engine_threads"]
         out[key] = report["mix_engine"]["accesses_per_sec"]
+    # perf_engine/4 addition: the same spec through both memory
+    # backends. The fast/detailed throughputs are tracked separately,
+    # and the ratio guards the detailed controller's relative cost.
+    if "backend" in report:
+        out["backend/fast"] = report["backend"]["fast_per_sec"]
+        out["backend/detailed"] = report["backend"]["detailed_per_sec"]
     if "ckpt_sweep" in report:
         out["ckpt_sweep"] = report["ckpt_sweep"]["accesses_per_sec"]
     if "ckpt_cold" in report:

@@ -6,12 +6,11 @@
 
 namespace unison {
 
-AlloyCache::AlloyCache(const AlloyConfig &config, DramModule *offchip)
+AlloyCache::AlloyCache(const AlloyConfig &config, MemoryBackend *offchip)
     : DramCache(offchip, DramCacheKind::Alloy),
       config_(config),
       geometry_(AlloyGeometry::compute(config.capacityBytes)),
-      stacked_(std::make_unique<DramModule>(config.stackedOrg,
-                                            config.stackedTiming))
+      stacked_(makeMemoryBackend(config.stackedOrg, config.stackedTiming))
 {
     UNISON_ASSERT(offchip != nullptr, "Alloy Cache needs a memory pool");
     if (config_.missPredictorEnabled) {
@@ -173,9 +172,10 @@ alloyDesignInfo()
     };
     info.build = [](const DesignVariant &v,
                     const DesignBuildContext &ctx,
-                    DramModule *offchip) -> std::unique_ptr<DramCache> {
+                    MemoryBackend *offchip) -> std::unique_ptr<DramCache> {
         AlloyConfig cfg = std::get<AlloyConfig>(v);
         cfg.capacityBytes = ctx.capacityBytes;
+        cfg.stackedOrg.backend = ctx.backend;
         cfg.numCores = ctx.numCores;
         return std::make_unique<AlloyCache>(cfg, offchip);
     };

@@ -26,7 +26,7 @@
 #include "core/dram_cache.hh"
 #include "core/fill_engine.hh"
 #include "core/geometry.hh"
-#include "dram/dram.hh"
+#include "dram/backend.hh"
 #include "dram/timing.hh"
 #include "predictors/miss_predictor.hh"
 
@@ -45,7 +45,7 @@ struct AlloyConfig
 class AlloyCache final : public DramCache
 {
   public:
-    AlloyCache(const AlloyConfig &config, DramModule *offchip);
+    AlloyCache(const AlloyConfig &config, MemoryBackend *offchip);
 
     DramCacheResult access(const DramCacheRequest &req) override;
 
@@ -54,7 +54,7 @@ class AlloyCache final : public DramCache
     {
         return config_.capacityBytes;
     }
-    DramModule *stackedDram() override { return stacked_.get(); }
+    MemoryBackend *stackedDram() override { return stacked_.get(); }
     void resetStats() override;
 
     const AlloyConfig &config() const { return config_; }
@@ -93,7 +93,7 @@ class AlloyCache final : public DramCache
 
     AlloyConfig config_;
     AlloyGeometry geometry_;
-    std::unique_ptr<DramModule> stacked_;
+    std::unique_ptr<MemoryBackend> stacked_;
     std::unique_ptr<MissPredictor> missPred_;
     /** CacheOrganization: one packed word per direct-mapped TAD frame;
      *  the whole lookup is a single 8-byte load and masked compare. */

@@ -8,15 +8,14 @@
 namespace unison {
 
 FootprintCache::FootprintCache(const FootprintCacheConfig &config,
-                               DramModule *offchip)
+                               MemoryBackend *offchip)
     : DramCache(offchip, DramCacheKind::Footprint),
       config_(config),
       geometry_(FootprintGeometry::compute(config.capacityBytes)),
       tagLatency_(config.tagLatencyOverride != 0
                       ? config.tagLatencyOverride
                       : geometry_.tagLatency),
-      stacked_(std::make_unique<DramModule>(config.stackedOrg,
-                                            config.stackedTiming)),
+      stacked_(makeMemoryBackend(config.stackedOrg, config.stackedTiming)),
       fetchPolicy_([&] {
           FootprintFetchPolicy::Config c;
           c.fht = config.fhtConfig;
@@ -225,9 +224,10 @@ footprintDesignInfo()
     };
     info.build = [](const DesignVariant &v,
                     const DesignBuildContext &ctx,
-                    DramModule *offchip) -> std::unique_ptr<DramCache> {
+                    MemoryBackend *offchip) -> std::unique_ptr<DramCache> {
         FootprintCacheConfig cfg = std::get<FootprintCacheConfig>(v);
         cfg.capacityBytes = ctx.capacityBytes;
+        cfg.stackedOrg.backend = ctx.backend;
         return std::make_unique<FootprintCache>(cfg, offchip);
     };
     return info;

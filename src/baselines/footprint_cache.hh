@@ -25,7 +25,7 @@
 #include "core/dram_cache.hh"
 #include "core/fill_engine.hh"
 #include "core/geometry.hh"
-#include "dram/dram.hh"
+#include "dram/backend.hh"
 #include "dram/timing.hh"
 #include "predictors/fetch_policy.hh"
 
@@ -52,7 +52,7 @@ struct FootprintCacheConfig
 class FootprintCache final : public DramCache
 {
   public:
-    FootprintCache(const FootprintCacheConfig &config, DramModule *offchip);
+    FootprintCache(const FootprintCacheConfig &config, MemoryBackend *offchip);
 
     DramCacheResult access(const DramCacheRequest &req) override;
 
@@ -61,7 +61,7 @@ class FootprintCache final : public DramCache
     {
         return config_.capacityBytes;
     }
-    DramModule *stackedDram() override { return stacked_.get(); }
+    MemoryBackend *stackedDram() override { return stacked_.get(); }
     void resetStats() override;
 
     const FootprintCacheConfig &config() const { return config_; }
@@ -133,7 +133,7 @@ class FootprintCache final : public DramCache
     FootprintCacheConfig config_;
     FootprintGeometry geometry_;
     Cycle tagLatency_;
-    std::unique_ptr<DramModule> stacked_;
+    std::unique_ptr<MemoryBackend> stacked_;
     FootprintFetchPolicy fetchPolicy_;
     /** CacheOrganization: SoA page-way metadata; FC's 32-way sets make
      *  the contiguous packed-tag scan matter most here (256 B vs a

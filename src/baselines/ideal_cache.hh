@@ -12,7 +12,7 @@
 #include <memory>
 
 #include "core/dram_cache.hh"
-#include "dram/dram.hh"
+#include "dram/backend.hh"
 #include "dram/timing.hh"
 
 namespace unison {
@@ -29,11 +29,10 @@ struct IdealConfig
 class IdealCache final : public DramCache
 {
   public:
-    IdealCache(const IdealConfig &config, DramModule *offchip)
+    IdealCache(const IdealConfig &config, MemoryBackend *offchip)
         : DramCache(offchip, DramCacheKind::Ideal),
           config_(config),
-          stacked_(std::make_unique<DramModule>(config.stackedOrg,
-                                                config.stackedTiming))
+          stacked_(makeMemoryBackend(config.stackedOrg, config.stackedTiming))
     {
     }
 
@@ -62,7 +61,7 @@ class IdealCache final : public DramCache
     {
         return config_.capacityBytes;
     }
-    DramModule *stackedDram() override { return stacked_.get(); }
+    MemoryBackend *stackedDram() override { return stacked_.get(); }
 
     bool checkpointable() const override { return true; }
 
@@ -76,7 +75,7 @@ class IdealCache final : public DramCache
 
   private:
     IdealConfig config_;
-    std::unique_ptr<DramModule> stacked_;
+    std::unique_ptr<MemoryBackend> stacked_;
 };
 
 } // namespace unison

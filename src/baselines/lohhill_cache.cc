@@ -29,12 +29,11 @@ LohHillGeometry::compute(std::uint64_t capacity_bytes)
     return g;
 }
 
-LohHillCache::LohHillCache(const LohHillConfig &config, DramModule *offchip)
+LohHillCache::LohHillCache(const LohHillConfig &config, MemoryBackend *offchip)
     : DramCache(offchip, DramCacheKind::LohHill),
       config_(config),
       geometry_(LohHillGeometry::compute(config.capacityBytes)),
-      stacked_(std::make_unique<DramModule>(config.stackedOrg,
-                                            config.stackedTiming))
+      stacked_(makeMemoryBackend(config.stackedOrg, config.stackedTiming))
 {
     UNISON_ASSERT(offchip != nullptr,
                   "Loh-Hill cache needs a memory pool");
@@ -168,9 +167,10 @@ lohHillDesignInfo()
     };
     info.build = [](const DesignVariant &v,
                     const DesignBuildContext &ctx,
-                    DramModule *offchip) -> std::unique_ptr<DramCache> {
+                    MemoryBackend *offchip) -> std::unique_ptr<DramCache> {
         LohHillConfig cfg = std::get<LohHillConfig>(v);
         cfg.capacityBytes = ctx.capacityBytes;
+        cfg.stackedOrg.backend = ctx.backend;
         return std::make_unique<LohHillCache>(cfg, offchip);
     };
     return info;

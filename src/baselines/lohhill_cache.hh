@@ -29,7 +29,7 @@
 #include "common/fastdiv.hh"
 #include "core/dram_cache.hh"
 #include "core/fill_engine.hh"
-#include "dram/dram.hh"
+#include "dram/backend.hh"
 #include "dram/timing.hh"
 
 namespace unison {
@@ -64,7 +64,7 @@ struct LohHillGeometry
 class LohHillCache final : public DramCache
 {
   public:
-    LohHillCache(const LohHillConfig &config, DramModule *offchip);
+    LohHillCache(const LohHillConfig &config, MemoryBackend *offchip);
 
     DramCacheResult access(const DramCacheRequest &req) override;
 
@@ -73,7 +73,7 @@ class LohHillCache final : public DramCache
     {
         return config_.capacityBytes;
     }
-    DramModule *stackedDram() override { return stacked_.get(); }
+    MemoryBackend *stackedDram() override { return stacked_.get(); }
 
     const LohHillConfig &config() const { return config_; }
     const LohHillGeometry &geometry() const { return geometry_; }
@@ -112,7 +112,7 @@ class LohHillCache final : public DramCache
 
     LohHillConfig config_;
     LohHillGeometry geometry_;
-    std::unique_ptr<DramModule> stacked_;
+    std::unique_ptr<MemoryBackend> stacked_;
     /** CacheOrganization: SoA way metadata (`set * waysPerSet + way`);
      *  the 113-way row-as-set scan sweeps packed tag words
      *  contiguously instead of pointer-chasing way objects. */

@@ -11,13 +11,12 @@
 namespace unison {
 
 NaiveBlockFpCache::NaiveBlockFpCache(const NaiveBlockFpConfig &config,
-                                     DramModule *offchip)
+                                     MemoryBackend *offchip)
     : DramCache(offchip, DramCacheKind::NaiveBlockFp),
       config_(config),
       geometry_(AlloyGeometry::compute(config.capacityBytes)),
       pageDiv_(config.pageBlocks),
-      stacked_(std::make_unique<DramModule>(config.stackedOrg,
-                                            config.stackedTiming)),
+      stacked_(makeMemoryBackend(config.stackedOrg, config.stackedTiming)),
       fetchPolicy_([&] {
           FootprintFetchPolicy::Config c;
           c.fht = config.fhtConfig;
@@ -311,9 +310,10 @@ naiveBlockFpDesignInfo()
     };
     info.build = [](const DesignVariant &v,
                     const DesignBuildContext &ctx,
-                    DramModule *offchip) -> std::unique_ptr<DramCache> {
+                    MemoryBackend *offchip) -> std::unique_ptr<DramCache> {
         NaiveBlockFpConfig cfg = std::get<NaiveBlockFpConfig>(v);
         cfg.capacityBytes = ctx.capacityBytes;
+        cfg.stackedOrg.backend = ctx.backend;
         return std::make_unique<NaiveBlockFpCache>(cfg, offchip);
     };
     return info;

@@ -43,7 +43,7 @@
 #include "core/dram_cache.hh"
 #include "core/fill_engine.hh"
 #include "core/geometry.hh"
-#include "dram/dram.hh"
+#include "dram/backend.hh"
 #include "dram/timing.hh"
 #include "predictors/fetch_policy.hh"
 
@@ -88,7 +88,7 @@ struct NaiveBlockFpStats
 class NaiveBlockFpCache final : public DramCache
 {
   public:
-    NaiveBlockFpCache(const NaiveBlockFpConfig &config, DramModule *offchip);
+    NaiveBlockFpCache(const NaiveBlockFpConfig &config, MemoryBackend *offchip);
 
     DramCacheResult access(const DramCacheRequest &req) override;
 
@@ -97,7 +97,7 @@ class NaiveBlockFpCache final : public DramCache
     {
         return config_.capacityBytes;
     }
-    DramModule *stackedDram() override { return stacked_.get(); }
+    MemoryBackend *stackedDram() override { return stacked_.get(); }
     void resetStats() override;
 
     const NaiveBlockFpConfig &config() const { return config_; }
@@ -182,7 +182,7 @@ class NaiveBlockFpCache final : public DramCache
     AlloyGeometry geometry_;
     /** Logical-page split (pageBlocks is a runtime power of two). */
     FastDiv64 pageDiv_;
-    std::unique_ptr<DramModule> stacked_;
+    std::unique_ptr<MemoryBackend> stacked_;
     FootprintFetchPolicy fetchPolicy_;
     /** CacheOrganization: one packed word per direct-mapped TAD frame. */
     DirectOrganization org_;

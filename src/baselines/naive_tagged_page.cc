@@ -28,12 +28,11 @@ NaiveTaggedPageGeometry::compute(std::uint64_t capacity_bytes)
 }
 
 NaiveTaggedPageCache::NaiveTaggedPageCache(
-    const NaiveTaggedPageConfig &config, DramModule *offchip)
+    const NaiveTaggedPageConfig &config, MemoryBackend *offchip)
     : DramCache(offchip, DramCacheKind::NaiveTaggedPage),
       config_(config),
       geometry_(NaiveTaggedPageGeometry::compute(config.capacityBytes)),
-      stacked_(std::make_unique<DramModule>(config.stackedOrg,
-                                            config.stackedTiming)),
+      stacked_(makeMemoryBackend(config.stackedOrg, config.stackedTiming)),
       fetchPolicy_([&] {
           FootprintFetchPolicy::Config c;
           c.fht = config.fhtConfig;
@@ -246,9 +245,10 @@ naiveTaggedPageDesignInfo()
     };
     info.build = [](const DesignVariant &v,
                     const DesignBuildContext &ctx,
-                    DramModule *offchip) -> std::unique_ptr<DramCache> {
+                    MemoryBackend *offchip) -> std::unique_ptr<DramCache> {
         NaiveTaggedPageConfig cfg = std::get<NaiveTaggedPageConfig>(v);
         cfg.capacityBytes = ctx.capacityBytes;
+        cfg.stackedOrg.backend = ctx.backend;
         return std::make_unique<NaiveTaggedPageCache>(cfg, offchip);
     };
     return info;

@@ -37,7 +37,7 @@
 #include "common/fastdiv.hh"
 #include "core/dram_cache.hh"
 #include "core/fill_engine.hh"
-#include "dram/dram.hh"
+#include "dram/backend.hh"
 #include "dram/timing.hh"
 #include "predictors/fetch_policy.hh"
 
@@ -102,7 +102,7 @@ class NaiveTaggedPageCache final : public DramCache
 {
   public:
     NaiveTaggedPageCache(const NaiveTaggedPageConfig &config,
-                         DramModule *offchip);
+                         MemoryBackend *offchip);
 
     DramCacheResult access(const DramCacheRequest &req) override;
 
@@ -111,7 +111,7 @@ class NaiveTaggedPageCache final : public DramCache
     {
         return config_.capacityBytes;
     }
-    DramModule *stackedDram() override { return stacked_.get(); }
+    MemoryBackend *stackedDram() override { return stacked_.get(); }
     void resetStats() override;
 
     const NaiveTaggedPageConfig &config() const { return config_; }
@@ -175,7 +175,7 @@ class NaiveTaggedPageCache final : public DramCache
 
     NaiveTaggedPageConfig config_;
     NaiveTaggedPageGeometry geometry_;
-    std::unique_ptr<DramModule> stacked_;
+    std::unique_ptr<MemoryBackend> stacked_;
     FootprintFetchPolicy fetchPolicy_;
     /** CacheOrganization: direct-mapped page frames (assoc-1 sets of
      *  the shared page-way SoA with an unused LRU column). */

@@ -23,7 +23,7 @@ struct NoCacheConfig
 class NoCache final : public DramCache
 {
   public:
-    explicit NoCache(DramModule *offchip)
+    explicit NoCache(MemoryBackend *offchip)
         : DramCache(offchip, DramCacheKind::NoCache)
     {
     }

@@ -26,9 +26,10 @@ idealDesignInfo()
     info.defaults = IdealConfig{};
     info.build = [](const DesignVariant &v,
                     const DesignBuildContext &ctx,
-                    DramModule *offchip) -> std::unique_ptr<DramCache> {
+                    MemoryBackend *offchip) -> std::unique_ptr<DramCache> {
         IdealConfig cfg = std::get<IdealConfig>(v);
         cfg.capacityBytes = ctx.capacityBytes;
+        cfg.stackedOrg.backend = ctx.backend;
         return std::make_unique<IdealCache>(cfg, offchip);
     };
     return info;
@@ -46,7 +47,7 @@ noCacheDesignInfo()
                    "denominator)";
     info.defaults = NoCacheConfig{};
     info.build = [](const DesignVariant &, const DesignBuildContext &,
-                    DramModule *offchip) -> std::unique_ptr<DramCache> {
+                    MemoryBackend *offchip) -> std::unique_ptr<DramCache> {
         return std::make_unique<NoCache>(offchip);
     };
     return info;

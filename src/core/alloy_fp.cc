@@ -10,13 +10,12 @@
 namespace unison {
 
 AlloyFpCache::AlloyFpCache(const AlloyFpConfig &config,
-                           DramModule *offchip)
+                           MemoryBackend *offchip)
     : DramCache(offchip, DramCacheKind::AlloyFp),
       config_(config),
       geometry_(AlloyGeometry::compute(config.capacityBytes)),
       pageDiv_(config.pageBlocks),
-      stacked_(std::make_unique<DramModule>(config.stackedOrg,
-                                            config.stackedTiming)),
+      stacked_(makeMemoryBackend(config.stackedOrg, config.stackedTiming)),
       fetchPolicy_([&] {
           FootprintFetchPolicy::Config c;
           c.fht = config.fhtConfig;
@@ -269,9 +268,10 @@ alloyFpDesignInfo()
     };
     info.build = [](const DesignVariant &v,
                     const DesignBuildContext &ctx,
-                    DramModule *offchip) -> std::unique_ptr<DramCache> {
+                    MemoryBackend *offchip) -> std::unique_ptr<DramCache> {
         AlloyFpConfig cfg = std::get<AlloyFpConfig>(v);
         cfg.capacityBytes = ctx.capacityBytes;
+        cfg.stackedOrg.backend = ctx.backend;
         return std::make_unique<AlloyFpCache>(cfg, offchip);
     };
     return info;

@@ -33,7 +33,7 @@
 #include "core/dram_cache.hh"
 #include "core/fill_engine.hh"
 #include "core/geometry.hh"
-#include "dram/dram.hh"
+#include "dram/backend.hh"
 #include "dram/timing.hh"
 #include "predictors/fetch_policy.hh"
 
@@ -60,7 +60,7 @@ struct AlloyFpConfig
 class AlloyFpCache final : public DramCache
 {
   public:
-    AlloyFpCache(const AlloyFpConfig &config, DramModule *offchip);
+    AlloyFpCache(const AlloyFpConfig &config, MemoryBackend *offchip);
 
     DramCacheResult access(const DramCacheRequest &req) override;
 
@@ -69,7 +69,7 @@ class AlloyFpCache final : public DramCache
     {
         return config_.capacityBytes;
     }
-    DramModule *stackedDram() override { return stacked_.get(); }
+    MemoryBackend *stackedDram() override { return stacked_.get(); }
     void resetStats() override;
 
     const AlloyFpConfig &config() const { return config_; }
@@ -137,7 +137,7 @@ class AlloyFpCache final : public DramCache
     AlloyGeometry geometry_;
     /** Logical-page split (pageBlocks is a runtime power of two). */
     FastDiv64 pageDiv_;
-    std::unique_ptr<DramModule> stacked_;
+    std::unique_ptr<MemoryBackend> stacked_;
     FootprintFetchPolicy fetchPolicy_;
     /** CacheOrganization: one packed word per direct-mapped frame. */
     DirectOrganization org_;

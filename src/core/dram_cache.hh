@@ -17,7 +17,7 @@
 
 #include "common/state_io.hh"
 #include "common/types.hh"
-#include "dram/dram.hh"
+#include "dram/backend.hh"
 #include "stats/stats.hh"
 
 namespace unison {
@@ -153,7 +153,7 @@ class DramCache
      * @param kind concrete-type tag; subclasses outside this repo keep
      *        the `Other` default and run through virtual dispatch.
      */
-    explicit DramCache(DramModule *offchip,
+    explicit DramCache(MemoryBackend *offchip,
                        DramCacheKind kind = DramCacheKind::Other)
         : offchip_(offchip), kind_(kind)
     {
@@ -176,7 +176,7 @@ class DramCache
     virtual std::uint64_t capacityBytes() const = 0;
 
     /** The stacked pool, if the design has one (for traffic stats). */
-    virtual DramModule *stackedDram() { return nullptr; }
+    virtual MemoryBackend *stackedDram() { return nullptr; }
 
     const DramCacheStats &stats() const { return stats_; }
 
@@ -204,7 +204,7 @@ class DramCache
     virtual void loadState(StateReader &in) { (void)in; }
 
   protected:
-    DramModule *offchip_;
+    MemoryBackend *offchip_;
     DramCacheStats stats_;
 
   private:

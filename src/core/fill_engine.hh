@@ -36,7 +36,7 @@
 #include "common/bitops.hh"
 #include "common/logging.hh"
 #include "core/dram_cache.hh"
-#include "dram/dram.hh"
+#include "dram/backend.hh"
 #include "predictors/fetch_policy.hh"
 
 namespace unison {
@@ -61,7 +61,7 @@ class FillEngine
 {
   public:
     void
-    init(DramModule *offchip, DramCacheStats *stats)
+    init(MemoryBackend *offchip, DramCacheStats *stats)
     {
         offchip_ = offchip;
         stats_ = stats;
@@ -140,7 +140,7 @@ class FillEngine
     }
 
   private:
-    DramModule *offchip_ = nullptr;
+    MemoryBackend *offchip_ = nullptr;
     DramCacheStats *stats_ = nullptr;
 };
 
@@ -149,7 +149,7 @@ class WritebackEngine
 {
   public:
     void
-    init(DramModule *offchip, DramCacheStats *stats)
+    init(MemoryBackend *offchip, DramCacheStats *stats)
     {
         offchip_ = offchip;
         stats_ = stats;
@@ -176,7 +176,7 @@ class WritebackEngine
      */
     template <typename AddrFn>
     Cycle
-    writebackDirty(DramModule &stacked, std::uint64_t data_row,
+    writebackDirty(MemoryBackend &stacked, std::uint64_t data_row,
                    std::uint32_t dirty_mask, AddrFn &&block_addr,
                    Cycle when)
     {
@@ -200,7 +200,7 @@ class WritebackEngine
     }
 
   private:
-    DramModule *offchip_ = nullptr;
+    MemoryBackend *offchip_ = nullptr;
     DramCacheStats *stats_ = nullptr;
 };
 
@@ -215,7 +215,7 @@ class WritebackEngine
 template <typename AddrFn>
 inline void
 evictPageWay(PageWaySoa &ways, std::size_t idx, WritebackEngine &wb,
-             DramModule &stacked, std::uint64_t data_row,
+             MemoryBackend &stacked, std::uint64_t data_row,
              AddrFn &&block_addr, Cycle when, FootprintFetchPolicy &fp,
              DramCacheStats &stats, std::uint8_t stats_gen)
 {

@@ -73,9 +73,10 @@ unisonDesignInfo()
     };
     info.build = [](const DesignVariant &v,
                     const DesignBuildContext &ctx,
-                    DramModule *offchip) -> std::unique_ptr<DramCache> {
+                    MemoryBackend *offchip) -> std::unique_ptr<DramCache> {
         UnisonConfig cfg = std::get<UnisonConfig>(v);
         cfg.capacityBytes = ctx.capacityBytes;
+        cfg.stackedOrg.backend = ctx.backend;
         cfg.numCores = ctx.numCores;
         return std::make_unique<UnisonCache>(cfg, offchip);
     };

@@ -42,7 +42,7 @@
 #include "core/dram_cache.hh"
 #include "core/fill_engine.hh"
 #include "core/geometry.hh"
-#include "dram/dram.hh"
+#include "dram/backend.hh"
 #include "dram/timing.hh"
 #include "predictors/fetch_policy.hh"
 #include "predictors/miss_predictor.hh"
@@ -153,7 +153,7 @@ template <typename WayPolicyT, typename ConfigT = UnisonConfig>
 class UnisonCacheT final : public DramCache
 {
   public:
-    UnisonCacheT(const ConfigT &config, DramModule *offchip);
+    UnisonCacheT(const ConfigT &config, MemoryBackend *offchip);
 
     DramCacheResult access(const DramCacheRequest &req) override;
 
@@ -162,7 +162,7 @@ class UnisonCacheT final : public DramCache
     {
         return config_.capacityBytes;
     }
-    DramModule *stackedDram() override { return stacked_.get(); }
+    MemoryBackend *stackedDram() override { return stacked_.get(); }
     void resetStats() override;
 
     const ConfigT &config() const { return config_; }
@@ -296,7 +296,7 @@ class UnisonCacheT final : public DramCache
     /** CacheOrganization: page split + set metadata (hot/cold SoA). */
     PageOrganization org_;
 
-    std::unique_ptr<DramModule> stacked_;
+    std::unique_ptr<MemoryBackend> stacked_;
     WayPolicyT wayPred_;
     FootprintFetchPolicy fetchPolicy_;
     std::unique_ptr<MissPredictor> missPred_;
@@ -320,13 +320,12 @@ class UnisonCacheT final : public DramCache
 
 template <typename WayPolicyT, typename ConfigT>
 UnisonCacheT<WayPolicyT, ConfigT>::UnisonCacheT(const ConfigT &config,
-                                                DramModule *offchip)
+                                                MemoryBackend *offchip)
     : DramCache(offchip, WayPolicyT::kCacheKind),
       config_(config),
       geometry_(UnisonGeometry::compute(config.capacityBytes,
                                         config.pageBlocks, config.assoc)),
-      stacked_(std::make_unique<DramModule>(config.stackedOrg,
-                                            config.stackedTiming)),
+      stacked_(makeMemoryBackend(config.stackedOrg, config.stackedTiming)),
       wayPred_(config, geometry_),
       fetchPolicy_([&] {
           FootprintFetchPolicy::Config c;

@@ -73,9 +73,10 @@ unisonWpDesignInfo()
     };
     info.build = [](const DesignVariant &v,
                     const DesignBuildContext &ctx,
-                    DramModule *offchip) -> std::unique_ptr<DramCache> {
+                    MemoryBackend *offchip) -> std::unique_ptr<DramCache> {
         UnisonWpConfig cfg = std::get<UnisonWpConfig>(v);
         cfg.capacityBytes = ctx.capacityBytes;
+        cfg.stackedOrg.backend = ctx.backend;
         cfg.numCores = ctx.numCores;
         return std::make_unique<UnisonWpCache>(cfg, offchip);
     };

@@ -1,0 +1,71 @@
+#include "dram/backend.hh"
+
+#include "common/logging.hh"
+#include "dram/detailed.hh"
+#include "dram/dram.hh"
+
+namespace unison {
+
+MemoryBackend::MemoryBackend(const DramOrganization &org,
+                             const DramTimingParams &params)
+    : org_(org),
+      timing_(DramTimingCpu::fromParams(params)),
+      rowBytesDiv_(org.rowBytes)
+{
+    UNISON_ASSERT(org_.numChannels >= 1, "pool needs >= 1 channel");
+}
+
+std::unique_ptr<MemoryBackend>
+makeMemoryBackend(const DramOrganization &org,
+                  const DramTimingParams &params)
+{
+    switch (org.backend) {
+    case MemoryBackendKind::Fast:
+        return std::make_unique<DramModule>(org, params);
+    case MemoryBackendKind::Detailed:
+        return std::make_unique<DetailedBackend>(org, params);
+    }
+    panic("unknown memory backend kind");
+}
+
+const std::vector<std::string> &
+memoryBackendIds()
+{
+    static const std::vector<std::string> ids = {"fast", "detailed"};
+    return ids;
+}
+
+std::string
+memoryBackendId(MemoryBackendKind kind)
+{
+    return memoryBackendIds()[static_cast<std::size_t>(kind)];
+}
+
+std::string
+memoryBackendSummary(MemoryBackendKind kind)
+{
+    switch (kind) {
+    case MemoryBackendKind::Fast:
+        return "analytic open-page model (default; goldens pinned "
+               "against it)";
+    case MemoryBackendKind::Detailed:
+        return "cycle-accurate FR-FCFS controller with write-drain "
+               "watermarks";
+    }
+    return "";
+}
+
+bool
+memoryBackendFromId(const std::string &token, MemoryBackendKind &out)
+{
+    const std::vector<std::string> &ids = memoryBackendIds();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (ids[i] == token) {
+            out = static_cast<MemoryBackendKind>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace unison

@@ -21,10 +21,18 @@ DramChannel::DramChannel(const DramTimingCpu &timing, int num_banks,
 Cycle
 DramChannel::activateAllowedAt(Cycle t) const
 {
-    Cycle allowed = std::max(t, lastActivate_ + timing_.rrd);
-    // tFAW: at most four activates per window; the new activate must
-    // wait until the fourth-to-last one is tFAW old.
-    allowed = std::max(allowed, actWindow_[actWindowIdx_] + timing_.faw);
+    Cycle allowed = t;
+    if (actCount_ >= 1)
+        allowed = std::max(allowed, lastActivate_ + timing_.rrd);
+    // tFAW: at most four activates in any tFAW window. The gate only
+    // exists once four real activates have been recorded -- before
+    // that, the ring slot still holds its construction-time zero,
+    // which must not delay early activates under large tFAW values.
+    // The window is half-open: an activate issuing on the exact cycle
+    // the fourth-to-last one turns tFAW old is legal.
+    if (actCount_ >= 4)
+        allowed =
+            std::max(allowed, actWindow_[actWindowIdx_] + timing_.faw);
     return allowed;
 }
 
@@ -34,6 +42,7 @@ DramChannel::noteActivate(Cycle t)
     lastActivate_ = t;
     actWindow_[actWindowIdx_] = t;
     actWindowIdx_ = (actWindowIdx_ + 1) % 4;
+    ++actCount_;
     ++stats_.activations;
 }
 

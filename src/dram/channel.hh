@@ -6,9 +6,11 @@
  *
  * The model is open-page FCFS: requests are timed in the order they
  * arrive, each respecting bank state, bus occupancy and the activate
- * windows. Full FR-FCFS reordering is deliberately omitted -- it shifts
- * absolute latencies slightly but none of the row-hit/row-conflict
- * behaviour the cache designs are sensitive to.
+ * windows. Full FR-FCFS reordering is approximated by the open-row
+ * window (see DramOrganization::openRowWindow); the cycle-accurate
+ * FR-FCFS controller behind the same MemoryBackend seam lives in
+ * detailed.hh, and the `validation` figure grid measures where this
+ * approximation diverges from it.
  */
 
 #ifndef UNISON_DRAM_CHANNEL_HH
@@ -27,7 +29,7 @@ namespace unison {
 /**
  * The one list of DRAM traffic counters, shared by the per-channel
  * struct (Counter fields, resettable at the warm-up boundary) and the
- * pool aggregate (plain uint64 sums in dram.hh). rowConflicts counts
+ * pool aggregate (plain uint64 sums in backend.hh). rowConflicts counts
  * precharge + activate, rowEmpty an activate into an idle bank.
  */
 #define UNISON_DRAM_TRAFFIC_FIELDS(X, T)                                \
@@ -94,6 +96,7 @@ class DramChannel
         out.pod(refreshBusyUntil_);
         out.pod(actWindow_);
         out.pod(actWindowIdx_);
+        out.pod(actCount_);
     }
 
     void
@@ -107,6 +110,7 @@ class DramChannel
         in.pod(refreshBusyUntil_);
         in.pod(actWindow_);
         in.pod(actWindowIdx_);
+        in.pod(actCount_);
     }
 
   private:
@@ -170,6 +174,10 @@ class DramChannel
     Cycle refreshBusyUntil_ = 0;
     Cycle actWindow_[4] = {0, 0, 0, 0}; //!< ring buffer for tFAW
     int actWindowIdx_ = 0;
+    /** Activates recorded so far: the tRRD/tFAW gates only apply once
+     *  real activates back them (the ring's initial zeros are not
+     *  activates at cycle 0). */
+    std::uint64_t actCount_ = 0;
     DramChannelStats stats_;
 };
 

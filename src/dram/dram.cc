@@ -6,13 +6,10 @@ namespace unison {
 
 DramModule::DramModule(const DramOrganization &org,
                        const DramTimingParams &params)
-    : org_(org),
-      timing_(DramTimingCpu::fromParams(params)),
+    : MemoryBackend(org, params),
       chDiv_(static_cast<std::uint64_t>(org.numChannels)),
-      bankDiv_(static_cast<std::uint64_t>(org.banksPerChannel)),
-      rowBytesDiv_(org.rowBytes)
+      bankDiv_(static_cast<std::uint64_t>(org.banksPerChannel))
 {
-    UNISON_ASSERT(org_.numChannels >= 1, "pool needs >= 1 channel");
     channels_.reserve(org_.numChannels);
     for (int c = 0; c < org_.numChannels; ++c) {
         channels_.emplace_back(timing_, org_.banksPerChannel,
@@ -31,13 +28,6 @@ DramModule::rowAccess(std::uint64_t row_idx, std::uint32_t bytes,
                                      is_write, earliest);
 }
 
-DramAccessTiming
-DramModule::addrAccess(Addr addr, std::uint32_t bytes, bool is_write,
-                       Cycle earliest)
-{
-    return rowAccess(rowOfAddr(addr), bytes, is_write, earliest);
-}
-
 DramPoolStats
 DramModule::stats() const
 {
@@ -52,19 +42,6 @@ DramModule::resetStats()
 {
     for (DramChannel &ch : channels_)
         ch.resetStats();
-}
-
-Cycle
-DramModule::unloadedRowHitLatency(std::uint32_t bytes) const
-{
-    return timing_.cas + timing_.burstCycles(bytes);
-}
-
-Cycle
-DramModule::unloadedRowConflictLatency(std::uint32_t bytes) const
-{
-    return timing_.rp + timing_.rcd + timing_.cas +
-           timing_.burstCycles(bytes);
 }
 
 } // namespace unison

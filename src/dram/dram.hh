@@ -1,116 +1,64 @@
 /**
  * @file
- * A DRAM pool (stacked or off-chip): a set of channels plus the row
- * mapping. Cache designs either address it by *global row index* (the
- * stacked pool, whose layout the cache controls) or by *byte address*
- * (the off-chip pool, which backs all of physical memory).
+ * The analytic DRAM pool model (the "fast" MemoryBackend): a set of
+ * open-page channels timed in arrival order. Cache designs either
+ * address a pool by *global row index* (the stacked pool, whose layout
+ * the cache controls) or by *byte address* (the off-chip pool, which
+ * backs all of physical memory); both entry points live on the
+ * MemoryBackend base in backend.hh.
  */
 
 #ifndef UNISON_DRAM_DRAM_HH
 #define UNISON_DRAM_DRAM_HH
 
 #include <cstdint>
-#include <string>
 #include <vector>
 
 #include "common/fastdiv.hh"
+#include "dram/backend.hh"
 #include "dram/channel.hh"
 #include "dram/timing.hh"
 
 namespace unison {
 
-/** Aggregated statistics across a pool's channels: the same traffic
- *  field list as DramChannelStats, as plain uint64 sums. */
-struct DramPoolStats
-{
-    UNISON_STAT_STRUCT_BODY_T(UNISON_DRAM_TRAFFIC_FIELDS, std::uint64_t)
-
-    /** Fold one channel's counters in (field-by-field, generated from
-     *  the shared list so an added counter cannot be missed here). */
-#define UNISON_POOL_ADD_FIELD(T, name) name += ch.name.value();
-    void
-    add(const DramChannelStats &ch)
-    {
-        UNISON_DRAM_TRAFFIC_FIELDS(UNISON_POOL_ADD_FIELD, )
-    }
-#undef UNISON_POOL_ADD_FIELD
-
-    std::uint64_t accesses() const { return reads + writes; }
-
-    double
-    rowHitRatio() const
-    {
-        const std::uint64_t total = rowHits + rowConflicts + rowEmpty;
-        return total ? static_cast<double>(rowHits) / total : 0.0;
-    }
-};
-
 /**
- * One DRAM pool. Rows are interleaved across channels then banks, so
- * consecutive row indices spread over the parallel resources exactly
- * as consecutive DRAM-cache sets should (Sec. III-A.6).
+ * The analytic open-page pool. Every golden is pinned against this
+ * backend; its per-access cost is a handful of compares, so it is also
+ * the one the sweeps run.
  */
-class DramModule
+class DramModule final : public MemoryBackend
 {
   public:
     DramModule(const DramOrganization &org, const DramTimingParams &params);
 
-    /**
-     * Time an access to global row `row_idx` (cache-controlled layout,
-     * used by the stacked pool).
-     */
     DramAccessTiming rowAccess(std::uint64_t row_idx, std::uint32_t bytes,
-                               bool is_write, Cycle earliest);
-
-    /**
-     * Time an access to the row containing byte address `addr`
-     * (memory-controlled layout, used by the off-chip pool).
-     */
-    DramAccessTiming addrAccess(Addr addr, std::uint32_t bytes,
-                                bool is_write, Cycle earliest);
-
-    /** Global row index that backs byte address `addr`. */
-    std::uint64_t
-    rowOfAddr(Addr addr) const
-    {
-        return rowBytesDiv_.div(addr);
-    }
-
-    const DramOrganization &organization() const { return org_; }
-    const DramTimingCpu &timing() const { return timing_; }
+                               bool is_write, Cycle earliest) override;
 
     /** Sum the per-channel counters. */
-    DramPoolStats stats() const;
-    void resetStats();
+    DramPoolStats stats() const override;
+    void resetStats() override;
 
     /** Warm-state checkpoint of every channel's timing state. */
     void
-    saveState(StateWriter &out) const
+    saveState(StateWriter &out) const override
     {
         for (const DramChannel &ch : channels_)
             ch.saveState(out);
     }
 
     void
-    loadState(StateReader &in)
+    loadState(StateReader &in) override
     {
         for (DramChannel &ch : channels_)
             ch.loadState(in);
     }
 
-    /** Idealized unloaded read latency for a row-buffer hit/conflict. */
-    Cycle unloadedRowHitLatency(std::uint32_t bytes) const;
-    Cycle unloadedRowConflictLatency(std::uint32_t bytes) const;
-
   private:
-    DramOrganization org_;
-    DramTimingCpu timing_;
     /** Invariant-divisor splits of the row index (the channel/bank
      *  counts are runtime values, so plain '/' was a hardware divide
      *  on every access). */
     FastDiv64 chDiv_;
     FastDiv64 bankDiv_;
-    FastDiv64 rowBytesDiv_;
     /** By value: the per-access channel lookup is one index, not a
      *  pointer chase. */
     std::vector<DramChannel> channels_;

@@ -101,6 +101,17 @@ struct DramTimingCpu
 };
 
 /**
+ * Which timing implementation a DRAM pool runs behind the
+ * MemoryBackend seam (dram/backend.hh): the analytic open-page model
+ * or the cycle-accurate FR-FCFS controller.
+ */
+enum class MemoryBackendKind : std::uint8_t
+{
+    Fast,     //!< analytic open-page model (DramModule)
+    Detailed, //!< FR-FCFS controller with write queues (DetailedBackend)
+};
+
+/**
  * Physical organization of one DRAM pool (channels x banks x rows).
  */
 struct DramOrganization
@@ -109,6 +120,9 @@ struct DramOrganization
     int numChannels = 1;
     int banksPerChannel = 8;
     std::uint32_t rowBytes = kRowBytes;
+
+    /** Timing implementation behind the MemoryBackend seam. */
+    MemoryBackendKind backend = MemoryBackendKind::Fast;
 
     /**
      * Depth of the per-bank recently-open-row window. The channel

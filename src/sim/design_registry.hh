@@ -85,6 +85,9 @@ struct DesignBuildContext
 {
     std::uint64_t capacityBytes = 0;
     int numCores = 16;
+    /** Timing model for the design's stacked pool (the build functions
+     *  fold it into stackedOrg before constructing the pool). */
+    MemoryBackendKind backend = MemoryBackendKind::Fast;
 };
 
 /**
@@ -124,7 +127,7 @@ struct DesignInfo
     /** Build the cache for a (config, spec context) pair. */
     std::function<std::unique_ptr<DramCache>(
         const DesignVariant &, const DesignBuildContext &,
-        DramModule *offchip)>
+        MemoryBackend *offchip)>
         build;
 };
 

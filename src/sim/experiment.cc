@@ -31,8 +31,9 @@ makeCacheFactory(const ExperimentSpec &spec)
     DesignBuildContext ctx;
     ctx.capacityBytes = spec.capacityBytes;
     ctx.numCores = spec.system.numCores;
+    ctx.backend = spec.system.memoryBackend;
     return [config = spec.design.variant(), ctx,
-            build = info.build](DramModule *offchip) {
+            build = info.build](MemoryBackend *offchip) {
         return build(config, ctx, offchip);
     };
 }
@@ -75,6 +76,7 @@ ExperimentSpec::validationError() const
     DesignBuildContext ctx;
     ctx.capacityBytes = capacityBytes;
     ctx.numCores = system.numCores;
+    ctx.backend = system.memoryBackend;
     if (info.validate) {
         const std::string err = info.validate(design.variant(), ctx);
         if (!err.empty())

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "dram/backend.hh"
 
 namespace unison {
 
@@ -344,6 +345,39 @@ convergenceGrid(const FigureOptions &opts)
     return concatGrids(segments);
 }
 
+// -------------------------------------------------------- validation
+
+/**
+ * Fast-vs-detailed backend cross-validation: fig5/fig7-shaped points
+ * (two CloudSuite workloads, a small and a large capacity, Alloy and
+ * Unison) run under both memory backends. Consumers diff adjacent
+ * backend pairs per point -- AMAT and UIPC deltas ARE the result: they
+ * measure where the analytic model's error grows under contention
+ * (bench/validation_backends.cpp prints the per-point table).
+ */
+std::vector<GridPoint>
+validationGrid(const FigureOptions &opts)
+{
+    ExperimentSpec base = baseSpec(opts);
+    base.system.numCores = 4;
+    base.accesses = opts.quick ? 500'000 : 4'000'000;
+
+    std::vector<SweepGrid::AxisValue> backend_axis;
+    for (MemoryBackendKind kind :
+         {MemoryBackendKind::Fast, MemoryBackendKind::Detailed})
+        backend_axis.push_back(
+            {memoryBackendId(kind), [kind](ExperimentSpec &spec) {
+                 spec.system.memoryBackend = kind;
+             }});
+
+    SweepGrid grid(base);
+    grid.overWorkloads({Workload::WebServing, Workload::DataServing})
+        .overCapacities({128_MiB, 512_MiB})
+        .overDesigns({DesignKind::Alloy, DesignKind::Unison})
+        .over("backend", backend_axis);
+    return grid.points();
+}
+
 // ------------------------------------------------------------- smoke
 
 /** Seconds-scale CI grid: three designs at one small capacity. The
@@ -398,6 +432,9 @@ const FigureEntry kFigures[] = {
     {"convergence",
      "UIPC vs measured-window length from one shared warm prefix",
      convergenceGrid},
+    {"validation",
+     "fast vs detailed memory backend: per-point AMAT/UIPC deltas",
+     validationGrid},
     {"smoke", "seconds-scale CI grid (shard/merge identity checks)",
      smokeGrid},
 };

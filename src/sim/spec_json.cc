@@ -250,6 +250,19 @@ designFromJson(const Value &value)
 
 // -------------------------------------------------- system config
 
+/** memoryBackendFromId returns false on a miss; schema errors must be
+ *  json::Error so the CLI and tests can catch them. */
+MemoryBackendKind
+backendFromToken(const std::string &token)
+{
+    MemoryBackendKind kind;
+    if (!memoryBackendFromId(token, kind))
+        throw json::Error("unknown memory backend '" + token +
+                          "' (registered backends: " +
+                          commaJoin(memoryBackendIds()) + ")");
+    return kind;
+}
+
 Value
 systemToJson(const SystemConfig &sys)
 {
@@ -263,15 +276,17 @@ systemToJson(const SystemConfig &sys)
     out.set("perCoreAccessBudget", sys.perCoreAccessBudget);
     out.set("engineThreads",
             static_cast<std::int64_t>(sys.engineThreads));
+    out.set("memoryBackend", memoryBackendId(sys.memoryBackend));
     return out;
 }
 
-/** `v2`: schema version of the enclosing spec. engineThreads joined
- *  in v2; a v1 document neither carries the key (unknown-key
- *  rejection still fires if it does) nor needs it -- absent means the
- *  serial engine, which is what every v1 spec ran. */
+/** `version`: schema version of the enclosing spec. engineThreads
+ *  joined in v2 and memoryBackend in v3; an older document neither
+ *  carries the newer keys (unknown-key rejection still fires if it
+ *  does) nor needs them -- absent means the serial engine and the
+ *  fast backend, which is what every older spec ran. */
 SystemConfig
-systemFromJson(const Value &value, bool v2)
+systemFromJson(const Value &value, int version)
 {
     ObjectReader r(value, "system");
     SystemConfig sys;
@@ -284,8 +299,12 @@ systemFromJson(const Value &value, bool v2)
     sys.warmupAccesses = r.req("warmupAccesses").asUint();
     sys.perCoreAccessBudget = r.req("perCoreAccessBudget").asUint();
     sys.engineThreads =
-        v2 ? asCount(r.req("engineThreads"), "engineThreads", 1, 4096)
-           : 1;
+        version >= 2
+            ? asCount(r.req("engineThreads"), "engineThreads", 1, 4096)
+            : 1;
+    sys.memoryBackend =
+        version >= 3 ? backendFromToken(r.req("memoryBackend").asString())
+                     : MemoryBackendKind::Fast;
     return sys;
 }
 
@@ -339,6 +358,43 @@ poolStatsFromJson(const Value &value)
     return s;
 }
 
+Value
+queueStatsToJson(const MemoryQueueStats &s)
+{
+    Value out{Object{}};
+    out.set("writeDrains", s.writeDrains);
+    out.set("drainedWrites", s.drainedWrites);
+    out.set("frfcfsReorders", s.frfcfsReorders);
+    out.set("starvationDrains", s.starvationDrains);
+    json::Array occupancy;
+    for (std::uint64_t bucket : s.occupancy)
+        occupancy.push_back(Value(bucket));
+    out.set("occupancy", Value(std::move(occupancy)));
+    return out;
+}
+
+MemoryQueueStats
+queueStatsFromJson(const Value &value)
+{
+    ObjectReader r(value, "memory queue stats");
+    MemoryQueueStats s;
+    s.writeDrains = r.req("writeDrains").asUint();
+    s.drainedWrites = r.req("drainedWrites").asUint();
+    s.frfcfsReorders = r.req("frfcfsReorders").asUint();
+    s.starvationDrains = r.req("starvationDrains").asUint();
+    const json::Array &occupancy = r.req("occupancy").asArray();
+    if (occupancy.size() !=
+        static_cast<std::size_t>(MemoryQueueStats::kOccupancyBuckets))
+        throw json::Error("memory queue stats: occupancy must have " +
+                          std::to_string(
+                              MemoryQueueStats::kOccupancyBuckets) +
+                          " buckets, got " +
+                          std::to_string(occupancy.size()));
+    for (std::size_t i = 0; i < occupancy.size(); ++i)
+        s.occupancy[i] = occupancy[i].asUint();
+    return s;
+}
+
 } // namespace
 
 // ------------------------------------------------------------ spec
@@ -368,11 +424,18 @@ specFromJson(const json::Value &value)
 {
     ObjectReader r(value, "spec");
     const std::string schema = r.req("schema").asString();
-    const bool v2 = schema == kSpecSchema;
-    if (!v2 && schema != kSpecSchemaV1)
+    int version = 0;
+    if (schema == kSpecSchema)
+        version = 3;
+    else if (schema == kSpecSchemaV2)
+        version = 2;
+    else if (schema == kSpecSchemaV1)
+        version = 1;
+    else
         throw json::Error("unsupported spec schema '" + schema +
-                          "' (this build reads " + kSpecSchema +
-                          " and " + kSpecSchemaV1 + ")");
+                          "' (this build reads " + kSpecSchema + ", " +
+                          kSpecSchemaV2 + " and " + kSpecSchemaV1 +
+                          ")");
 
     ExperimentSpec spec;
     spec.workload = workloadFromToken(r.req("workload").asString());
@@ -385,7 +448,7 @@ specFromJson(const json::Value &value)
     spec.accesses = r.req("accesses").asUint();
     spec.quick = r.req("quick").asBool();
     spec.seed = r.req("seed").asUint();
-    spec.system = systemFromJson(r.req("system"), v2);
+    spec.system = systemFromJson(r.req("system"), version);
     return spec;
 }
 
@@ -405,6 +468,12 @@ resultToJson(const SimResult &result)
     out.set("cache", cacheStatsToJson(result.cache));
     out.set("offchip", poolStatsToJson(result.offchip));
     out.set("stacked", poolStatsToJson(result.stacked));
+    // Only the detailed backend produces queue activity; the keys are
+    // omitted when all-zero so fast-backend results stay byte-stable.
+    if (result.offchipQueue.any())
+        out.set("offchipQueue", queueStatsToJson(result.offchipQueue));
+    if (result.stackedQueue.any())
+        out.set("stackedQueue", queueStatsToJson(result.stackedQueue));
     out.set("avgDramCacheLatency", result.avgDramCacheLatency);
     out.set("avgMemLatency", result.avgMemLatency);
     out.set("wpAccuracyPercent", result.wpAccuracyPercent);
@@ -441,6 +510,10 @@ resultFromJson(const json::Value &value)
     result.cache = cacheStatsFromJson(r.req("cache"));
     result.offchip = poolStatsFromJson(r.req("offchip"));
     result.stacked = poolStatsFromJson(r.req("stacked"));
+    if (const Value *queue = r.opt("offchipQueue"))
+        result.offchipQueue = queueStatsFromJson(*queue);
+    if (const Value *queue = r.opt("stackedQueue"))
+        result.stackedQueue = queueStatsFromJson(*queue);
     result.avgDramCacheLatency =
         r.req("avgDramCacheLatency").asDouble();
     result.avgMemLatency = r.req("avgMemLatency").asDouble();
@@ -491,6 +564,7 @@ gridFromJson(const json::Value &value)
 
     GridFile grid;
     if (schema->asString() == kSpecSchema ||
+        schema->asString() == kSpecSchemaV2 ||
         schema->asString() == kSpecSchemaV1) {
         // A bare spec is a one-point grid labelled by its design.
         GridPoint point;

@@ -7,9 +7,11 @@
  *
  * Three document kinds, each self-identifying via a "schema" field:
  *
- *  - `unison-spec/2`    one experiment spec (v1 is still read: it is
- *                       v2 minus system.engineThreads, which defaults
- *                       to 1; writes always emit v2);
+ *  - `unison-spec/3`    one experiment spec (v1 and v2 are still
+ *                       read: v2 is v3 minus system.memoryBackend
+ *                       [defaults to "fast"], v1 is v2 minus
+ *                       system.engineThreads [defaults to 1]; writes
+ *                       always emit v3);
  *  - `unison-grid/1`    a named list of labelled specs (a sweep);
  *  - `unison-results/1` a list of (index, label, spec, result) points.
  *
@@ -23,7 +25,7 @@
  *  - design knobs come from the design registry's knob table, so the
  *    schema extends automatically when a design registers a knob.
  *
- * Not serialized through schema v2 (fixed at their Table III
+ * Not serialized through schema v3 (fixed at their Table III
  * defaults): the SRAM hierarchy geometry and the DRAM
  * organization/timing structs. Bump the schema version before
  * serializing them.
@@ -40,8 +42,9 @@
 
 namespace unison {
 
-inline constexpr const char *kSpecSchema = "unison-spec/2";
-/** Previous spec schema, still accepted by specFromJson. */
+inline constexpr const char *kSpecSchema = "unison-spec/3";
+/** Previous spec schemas, still accepted by specFromJson. */
+inline constexpr const char *kSpecSchemaV2 = "unison-spec/2";
 inline constexpr const char *kSpecSchemaV1 = "unison-spec/1";
 inline constexpr const char *kGridSchema = "unison-grid/1";
 inline constexpr const char *kResultsSchema = "unison-results/1";

@@ -259,10 +259,23 @@ class ThreadedEngine
 
 } // namespace
 
+namespace {
+
+/** The off-chip pool obeys the system-wide backend selection. */
+DramOrganization
+offchipOrgWithBackend(const SystemConfig &config)
+{
+    DramOrganization org = config.offchipOrg;
+    org.backend = config.memoryBackend;
+    return org;
+}
+
+} // namespace
+
 System::System(const SystemConfig &config, const CacheFactory &factory)
     : config_(config),
-      offchip_(std::make_unique<DramModule>(config.offchipOrg,
-                                            config.offchipTiming)),
+      offchip_(makeMemoryBackend(offchipOrgWithBackend(config),
+                                 config.offchipTiming)),
       hierarchy_(std::make_unique<CacheHierarchy>(config.numCores,
                                                   config.hierarchy))
 {
@@ -723,8 +736,11 @@ System::runLoopBody(FrontEnd &fe, Source &source, Cache &cache,
 
     result.cache = cache_->stats();
     result.offchip = offchip_->stats();
-    if (cache_->stackedDram() != nullptr)
+    result.offchipQueue = offchip_->queueStats();
+    if (cache_->stackedDram() != nullptr) {
         result.stacked = cache_->stackedDram()->stats();
+        result.stackedQueue = cache_->stackedDram()->queueStats();
+    }
 
     result.avgDramCacheLatency =
         dc_latency_samples ? dc_latency_sum / dc_latency_samples : 0.0;

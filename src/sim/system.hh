@@ -24,7 +24,7 @@
 
 #include "cache/hierarchy.hh"
 #include "core/dram_cache.hh"
-#include "dram/dram.hh"
+#include "dram/backend.hh"
 #include "dram/timing.hh"
 #include "stats/percore.hh"
 #include "trace/access.hh"
@@ -85,6 +85,16 @@ struct SystemConfig
      * runs.
      */
     int engineThreads = 1;
+
+    /**
+     * Timing model for *every* DRAM pool in the system: the off-chip
+     * channel and each design's stacked pool (threaded to the designs
+     * through DesignBuildContext). The fast analytic model is the
+     * default and the one all goldens are pinned against; the detailed
+     * FR-FCFS controller exists to cross-validate it (the `validation`
+     * figure grid).
+     */
+    MemoryBackendKind memoryBackend = MemoryBackendKind::Fast;
 };
 
 /**
@@ -130,6 +140,11 @@ struct SimResult
     DramPoolStats offchip;
     DramPoolStats stacked;
 
+    /** Controller-queue counters; all-zero under the fast backend
+     *  (which has no queues). */
+    MemoryQueueStats offchipQueue;
+    MemoryQueueStats stackedQueue;
+
     double avgDramCacheLatency = 0.0; //!< cycles, demand reads
     double avgMemLatency = 0.0;       //!< for misses, cycles
 
@@ -151,7 +166,7 @@ struct SimResult
 
 /** Builds the DRAM cache once the system's memory pool exists. */
 using CacheFactory =
-    std::function<std::unique_ptr<DramCache>(DramModule *offchip)>;
+    std::function<std::unique_ptr<DramCache>(MemoryBackend *offchip)>;
 
 /** The assembled machine: cores, SRAM hierarchy, the DRAM cache
  *  under study and the shared off-chip channel. */
@@ -195,7 +210,7 @@ class System
     }
 
     DramCache &cache() { return *cache_; }
-    DramModule &offchip() { return *offchip_; }
+    MemoryBackend &offchip() { return *offchip_; }
     CacheHierarchy &hierarchy() { return *hierarchy_; }
     const SystemConfig &config() const { return config_; }
 
@@ -222,7 +237,7 @@ class System
     void fillPredictorStats(SimResult &result) const;
 
     SystemConfig config_;
-    std::unique_ptr<DramModule> offchip_;
+    std::unique_ptr<MemoryBackend> offchip_;
     std::unique_ptr<DramCache> cache_;
     std::unique_ptr<CacheHierarchy> hierarchy_;
 

@@ -72,6 +72,31 @@ TEST(CheckpointIdentity, EveryCheckpointableDesign)
     }
 }
 
+TEST(CheckpointIdentity, DetailedBackendDesigns)
+{
+    // The detailed controller carries extra timing state (write
+    // queues, bypass counters, the activate ring); the snapshot must
+    // capture all of it for both pools. One block-based and one
+    // page-based design keep this fast while covering both stacked
+    // layouts.
+    for (DesignKind d : {DesignKind::Unison, DesignKind::Alloy}) {
+        SCOPED_TRACE(designId(d));
+        ExperimentSpec spec = baseSpec(d);
+        spec.system.memoryBackend = MemoryBackendKind::Detailed;
+        expectCheckpointIdentity(spec);
+    }
+}
+
+TEST(CheckpointIdentity, PrefixKeySeparatesBackends)
+{
+    // A warm prefix simulated under one backend must never be resumed
+    // under the other: the backend stays in the prefix key.
+    const ExperimentSpec fast = baseSpec(DesignKind::Unison);
+    ExperimentSpec detailed = fast;
+    detailed.system.memoryBackend = MemoryBackendKind::Detailed;
+    EXPECT_NE(warmPrefixKey(fast), warmPrefixKey(detailed));
+}
+
 TEST(CheckpointIdentity, MixWithPerCoreBudgets)
 {
     // The mixes methodology: explicit warm boundary plus per-core

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "dram/dram.hh"
 #include "sim/experiment.hh"
 
 namespace unison {

@@ -134,6 +134,80 @@ TEST(DramChannel, TfawLimitsActivateRate)
               act4_earliest + t.rcd + t.cas + t.burstCycles(64));
 }
 
+/**
+ * Exact timing params for the activate-window tests: 1:1 clock (no
+ * rounding), a 64-byte bus (one-cycle bursts), and tRRD/tFAW far above
+ * tRC so the channel-wide gates dominate the per-bank ones and every
+ * activate lands on an exactly predictable cycle.
+ */
+DramTimingParams
+activateWindowParams()
+{
+    DramTimingParams p;
+    p.clockMhz = kCpuClockMhz; // conv() is the identity
+    p.tCAS = 2;
+    p.tRCD = 3;
+    p.tRP = 2;
+    p.tRAS = 4;
+    p.tRC = 5;
+    p.tWR = 2;
+    p.tWTR = 2;
+    p.tRTP = 2;
+    p.tRRD = 10;
+    p.tFAW = 100;
+    p.tREFI = 0;
+    p.busBytesPerCycle = 64;
+    return p;
+}
+
+TEST(DramChannel, TfawWindowBoundaryIsExact)
+{
+    const DramTimingParams params = activateWindowParams();
+    const DramTimingCpu t = DramTimingCpu::fromParams(params);
+    DramChannel ch(t, 8);
+
+    // Six activates to distinct idle banks, all requested at cycle 0.
+    // Every activate first clears the per-bank phantom gate
+    // activatedAt(=0) + tRC = 5; the first four are then spaced by
+    // tRRD alone -- the tFAW ring still holds construction-time
+    // zeros, which must NOT impose a 0 + tFAW gate (that would push
+    // activate 0 from cycle 5 to cycle 100).
+    Cycle completions[6];
+    for (int b = 0; b < 6; ++b)
+        completions[b] = ch.access(b, 1, 64, false, 0).completion;
+
+    const Cycle tail = t.rcd + t.cas + t.burstCycles(64); // 3 + 2 + 1
+    // Activates at 5, 15, 25, 35: tRRD chain from the first.
+    EXPECT_EQ(completions[0], 5 + tail);
+    EXPECT_EQ(completions[1], 15 + tail);
+    EXPECT_EQ(completions[2], 25 + tail);
+    EXPECT_EQ(completions[3], 35 + tail);
+    // The fifth activate waits for the window: exactly the first
+    // activate (cycle 5) plus tFAW, not a cycle more.
+    EXPECT_EQ(completions[4], 5 + t.faw + tail);
+    // The sixth slides the window: second activate (15) + tFAW.
+    EXPECT_EQ(completions[5], 15 + t.faw + tail);
+}
+
+TEST(DramChannel, TfawWindowIsHalfOpen)
+{
+    const DramTimingParams params = activateWindowParams();
+    const DramTimingCpu t = DramTimingCpu::fromParams(params);
+    DramChannel ch(t, 8);
+
+    // Four activates at 5, 15, 25, 35 (as above), then a fifth
+    // requested exactly when the oldest turns tFAW old: it must issue
+    // on that very cycle -- the window is half-open, so "four
+    // activates in any tFAW window" is not violated by an activate
+    // landing on the boundary itself.
+    for (int b = 0; b < 4; ++b)
+        ch.access(b, 1, 64, false, 0);
+    const Cycle boundary = 5 + t.faw;
+    const DramAccessTiming fifth = ch.access(4, 1, 64, false, boundary);
+    EXPECT_EQ(fifth.completion,
+              boundary + t.rcd + t.cas + t.burstCycles(64));
+}
+
 TEST(DramChannel, WriteToReadTurnaround)
 {
     const DramTimingCpu t = stackedCpu();

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "dram/dram.hh"
 #include "dram/energy.hh"
 #include "dram/timing.hh"
 #include "sim/experiment.hh"

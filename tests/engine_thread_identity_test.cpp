@@ -87,6 +87,16 @@ TEST(EngineThreadIdentity, WithWarmupAndBudgets)
     expectThreadCountInvariant(spec);
 }
 
+TEST(EngineThreadIdentity, DetailedBackendMatchesSerial)
+{
+    // The detailed controller's write queues and bypass counters are
+    // mutated only on the commit path, so the thread-count invariant
+    // must hold under it unchanged.
+    ExperimentSpec spec = mixSpec(DesignKind::Unison);
+    spec.system.memoryBackend = MemoryBackendKind::Detailed;
+    expectThreadCountInvariant(spec);
+}
+
 TEST(EngineThreadIdentity, SharedRngSourceFallsBackToSerial)
 {
     // A multi-core SyntheticWorkload interleaves one RNG across

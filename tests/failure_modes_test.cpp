@@ -17,6 +17,7 @@
 #include "core/conflict_model.hh"
 #include "core/geometry.hh"
 #include "core/unison_cache.hh"
+#include "dram/dram.hh"
 #include "predictors/footprint_table.hh"
 #include "sim/runner.hh"
 #include "trace/presets.hh"

@@ -19,6 +19,7 @@
 
 #include "cache/page_set.hh"
 #include "core/fill_engine.hh"
+#include "dram/dram.hh"
 #include "dram/timing.hh"
 #include "predictors/fetch_policy.hh"
 #include "stats/table.hh"

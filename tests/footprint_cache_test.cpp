@@ -11,6 +11,7 @@
 
 #include "baselines/footprint_cache.hh"
 #include "common/rng.hh"
+#include "dram/dram.hh"
 
 namespace unison {
 namespace {

@@ -14,6 +14,7 @@
 
 #include <memory>
 
+#include "dram/dram.hh"
 #include "sim/experiment.hh"
 
 namespace unison {

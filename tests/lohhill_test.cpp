@@ -12,6 +12,7 @@
 #include "baselines/alloy_cache.hh"
 #include "baselines/lohhill_cache.hh"
 #include "common/rng.hh"
+#include "dram/dram.hh"
 
 namespace unison {
 namespace {

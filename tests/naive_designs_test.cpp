@@ -15,6 +15,7 @@
 
 #include "baselines/naive_block_fp.hh"
 #include "baselines/naive_tagged_page.hh"
+#include "dram/dram.hh"
 
 namespace unison {
 namespace {

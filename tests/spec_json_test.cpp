@@ -187,6 +187,104 @@ TEST(SpecJson, DuplicateJsonKeysAreRejected)
     EXPECT_THROW(json::parse("{\"a\": 1, \"a\": 2}"), json::Error);
 }
 
+// ----------------------------------------------- schema versioning
+
+TEST(SpecJson, MemoryBackendRoundTrips)
+{
+    ExperimentSpec spec;
+    spec.system.memoryBackend = MemoryBackendKind::Detailed;
+    expectSpecRoundTrip(spec);
+
+    const std::string text = roundTripOnce(spec);
+    EXPECT_NE(text.find("\"schema\": \"unison-spec/3\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"memoryBackend\": \"detailed\""),
+              std::string::npos);
+    const ExperimentSpec reparsed = specFromJson(json::parse(text));
+    EXPECT_EQ(reparsed.system.memoryBackend,
+              MemoryBackendKind::Detailed);
+}
+
+TEST(SpecJson, OlderSchemasStillParseAndReEmitAsV3)
+{
+    const std::string v3 = roundTripOnce(ExperimentSpec{});
+
+    // A genuine v2 document: v3 minus the memoryBackend key. It must
+    // parse to the fast backend (what every older spec ran) and
+    // re-serialize as v3 byte-identically to a fresh spec.
+    std::string v2 =
+        mutateDocument(v3, "unison-spec/3", "unison-spec/2");
+    v2 = mutateDocument(
+        v2, ",\n    \"memoryBackend\": \"fast\"", "");
+    const ExperimentSpec from_v2 = specFromJson(json::parse(v2));
+    EXPECT_EQ(from_v2.system.memoryBackend, MemoryBackendKind::Fast);
+    EXPECT_EQ(roundTripOnce(from_v2), v3);
+
+    // And a genuine v1 document: v2 minus engineThreads.
+    std::string v1 =
+        mutateDocument(v2, "unison-spec/2", "unison-spec/1");
+    v1 = mutateDocument(v1, ",\n    \"engineThreads\": 1", "");
+    const ExperimentSpec from_v1 = specFromJson(json::parse(v1));
+    EXPECT_EQ(from_v1.system.engineThreads, 1);
+    EXPECT_EQ(from_v1.system.memoryBackend, MemoryBackendKind::Fast);
+    EXPECT_EQ(roundTripOnce(from_v1), v3);
+}
+
+TEST(SpecJson, NewerKeyInOlderSchemaIsRejected)
+{
+    // An unknown-key error, not a silent ignore: a v2 document has no
+    // business carrying the v3 memoryBackend key.
+    const std::string text = mutateDocument(
+        roundTripOnce(ExperimentSpec{}), "unison-spec/3",
+        "unison-spec/2");
+    EXPECT_THROW(specFromJson(json::parse(text)), json::Error);
+}
+
+TEST(SpecJson, UnknownMemoryBackendTokenIsRejected)
+{
+    const std::string text = mutateDocument(
+        roundTripOnce(ExperimentSpec{}), "\"memoryBackend\": \"fast\"",
+        "\"memoryBackend\": \"cycleexact\"");
+    try {
+        specFromJson(json::parse(text));
+        FAIL() << "memoryBackend=cycleexact should have been rejected";
+    } catch (const json::Error &e) {
+        const std::string what = e.what();
+        // The error names the offending token and the registered
+        // backends, so a typo is immediately actionable.
+        EXPECT_NE(what.find("cycleexact"), std::string::npos) << what;
+        EXPECT_NE(what.find("fast"), std::string::npos) << what;
+        EXPECT_NE(what.find("detailed"), std::string::npos) << what;
+    }
+}
+
+TEST(SpecJson, QueueStatsRoundTripAndStayAbsentWhenZero)
+{
+    // Fast-backend results carry no queue counters, and their JSON
+    // must stay byte-identical to the pre-backend-seam format (the
+    // goldens pin this); detailed results append both queue objects.
+    SimResult r;
+    r.designName = "unison";
+    const std::string plain = json::write(resultToJson(r));
+    EXPECT_EQ(plain.find("offchipQueue"), std::string::npos);
+    EXPECT_EQ(plain.find("stackedQueue"), std::string::npos);
+
+    r.offchipQueue.writeDrains = 3;
+    r.offchipQueue.drainedWrites = 24;
+    r.offchipQueue.frfcfsReorders = 2;
+    r.offchipQueue.occupancy[4] = 7;
+    r.stackedQueue.starvationDrains = 1;
+    const std::string first = json::write(resultToJson(r));
+    EXPECT_NE(first.find("offchipQueue"), std::string::npos);
+    EXPECT_NE(first.find("stackedQueue"), std::string::npos);
+
+    const SimResult reparsed = resultFromJson(json::parse(first));
+    EXPECT_EQ(json::write(resultToJson(reparsed)), first);
+    EXPECT_EQ(reparsed.offchipQueue.drainedWrites, 24u);
+    EXPECT_EQ(reparsed.offchipQueue.occupancy[4], 7u);
+    EXPECT_EQ(reparsed.stackedQueue.starvationDrains, 1u);
+}
+
 // ---------------------------------------------------------- results
 
 TEST(SpecJson, ResultRoundTripsByteExactly)

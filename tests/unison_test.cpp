@@ -14,6 +14,7 @@
 
 #include "common/rng.hh"
 #include "core/unison_cache.hh"
+#include "dram/dram.hh"
 
 namespace unison {
 namespace {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "bench/bench_common.hh"
+#include "dram/backend.hh"
 #include "sim/figures.hh"
 #include "sim/spec_json.hh"
 #include "stats/table.hh"
@@ -117,6 +118,28 @@ listEverything()
     for (const std::string &name : figureNames())
         std::printf("  %-16s %s\n", name.c_str(),
                     figureSummary(name).c_str());
+
+    std::printf(
+        "\nmemory backends (--memory-backend / system.memoryBackend):\n");
+    for (const std::string &id : memoryBackendIds()) {
+        MemoryBackendKind kind;
+        memoryBackendFromId(id, kind);
+        std::printf("  %-16s %s\n", id.c_str(),
+                    memoryBackendSummary(kind).c_str());
+    }
+}
+
+/** `--list-backends`: the registered memory backends on their own,
+ *  for scripts that only need the backend dimension. */
+void
+listBackends()
+{
+    for (const std::string &id : memoryBackendIds()) {
+        MemoryBackendKind kind;
+        memoryBackendFromId(id, kind);
+        std::printf("%-12s %s\n", id.c_str(),
+                    memoryBackendSummary(kind).c_str());
+    }
 }
 
 // ------------------------------------------------------------ knobs
@@ -133,22 +156,25 @@ listKnobs(const std::string &design_id)
                 info.summary.c_str());
     if (info.knobs.empty()) {
         std::printf("  (no tunable knobs)\n");
-        return;
+    } else {
+        Table t({"knob", "type", "default", "valid", "description"});
+        for (const DesignKnob &knob : info.knobs) {
+            std::string def = json::write(knob.get(info.defaults));
+            while (!def.empty() &&
+                   (def.back() == '\n' || def.back() == ' '))
+                def.pop_back();
+            t.beginRow();
+            t.add(knob.key);
+            t.add(knob.type);
+            t.add(def);
+            t.add(knob.range);
+            t.add(knob.help);
+        }
+        t.print();
     }
-    Table t({"knob", "type", "default", "valid", "description"});
-    for (const DesignKnob &knob : info.knobs) {
-        std::string def = json::write(knob.get(info.defaults));
-        while (!def.empty() &&
-               (def.back() == '\n' || def.back() == ' '))
-            def.pop_back();
-        t.beginRow();
-        t.add(knob.key);
-        t.add(knob.type);
-        t.add(def);
-        t.add(knob.range);
-        t.add(knob.help);
-    }
-    t.print();
+    std::printf("system.memoryBackend (every design; also "
+                "--memory-backend): %s\n",
+                commaJoin(memoryBackendIds()).c_str());
 }
 
 // ------------------------------------------------------------ merge
@@ -246,7 +272,8 @@ tableOutput(const std::vector<ResultPoint> &points, bool csv)
 int
 runGrid(const std::string &grid_name, std::vector<GridPoint> points,
         const std::string &shard_text, int threads, int engine_threads,
-        const std::string &format, const std::string &out_path)
+        const std::string &memory_backend, const std::string &format,
+        const std::string &out_path)
 {
     // Apply the intra-experiment engine override before the grid is
     // fingerprinted: shard result files then refuse to merge across
@@ -255,6 +282,18 @@ runGrid(const std::string &grid_name, std::vector<GridPoint> points,
     if (engine_threads > 0)
         for (GridPoint &point : points)
             point.spec.system.engineThreads = engine_threads;
+
+    // Same rule for the memory-backend override: fold it into every
+    // point before fingerprinting, so shards agree on what they ran.
+    if (!memory_backend.empty()) {
+        MemoryBackendKind kind;
+        if (!memoryBackendFromId(memory_backend, kind))
+            fatal("--memory-backend: unknown backend '", memory_backend,
+                  "' (registered backends: ",
+                  commaJoin(memoryBackendIds()), ")");
+        for (GridPoint &point : points)
+            point.spec.system.memoryBackend = kind;
+    }
 
     std::size_t shard = 0, shards = 1;
     parseShard(shard_text, shard, shards);
@@ -313,13 +352,15 @@ main(int argc, char **argv)
         "unison_sim: run experiment specs, paper figures and sharded "
         "sweeps from the declarative experiment API");
     args.addFlag("list", "list designs, workloads, scenarios, figures");
+    args.addFlag("list-backends",
+                 "list the registered memory backends (timing models)");
     args.addOption("knobs", "",
                    "print a design's knob table (name, type, default, "
                    "valid range)");
     args.addOption("figure", "", "run a named paper figure sweep");
     args.addOption("spec", "",
-                   "run a spec/grid JSON file (unison-spec/2, the "
-                   "older unison-spec/1, or unison-grid/1)");
+                   "run a spec/grid JSON file (unison-spec/3, the "
+                   "older unison-spec/1..2, or unison-grid/1)");
     args.addOption("export-spec", "",
                    "with --figure: write the grid as JSON instead of "
                    "running it");
@@ -337,6 +378,9 @@ main(int argc, char **argv)
                    "override system.engineThreads of every point: "
                    "worker threads inside each experiment, "
                    "bit-identical results (0 = leave spec values)");
+    args.addOption("memory-backend", "",
+                   "override system.memoryBackend of every point "
+                   "(see --list-backends; empty = leave spec values)");
     addThreadsOption(args);
     args.parse(argc, argv);
 
@@ -347,18 +391,26 @@ main(int argc, char **argv)
     const int threads = parseThreads(args);
     const int engine_threads =
         static_cast<int>(args.getUint("engine-threads"));
+    const std::string memory_backend =
+        args.getString("memory-backend");
 
     const int modes = (args.getFlag("list") ? 1 : 0) +
+                      (args.getFlag("list-backends") ? 1 : 0) +
                       (knobs.empty() ? 0 : 1) +
                       (merge.empty() ? 0 : 1) +
                       (figure.empty() ? 0 : 1) +
                       (spec_path.empty() ? 0 : 1);
     if (modes != 1)
-        fatal("pick exactly one of --list, --knobs, --figure, --spec "
-              "or --merge (try --list first, or --help)");
+        fatal("pick exactly one of --list, --list-backends, --knobs, "
+              "--figure, --spec or --merge (try --list first, or "
+              "--help)");
 
     if (args.getFlag("list")) {
         listEverything();
+        return 0;
+    }
+    if (args.getFlag("list-backends")) {
+        listBackends();
         return 0;
     }
     if (!knobs.empty()) {
@@ -386,14 +438,16 @@ main(int argc, char **argv)
             }
             return runGrid(figure, std::move(points),
                            args.getString("shard"), threads,
-                           engine_threads, args.getString("format"),
+                           engine_threads, memory_backend,
+                           args.getString("format"),
                            args.getString("out"));
         }
 
         GridFile grid = gridFromJson(json::parse(readFile(spec_path)));
         return runGrid(grid.name, std::move(grid.points),
                        args.getString("shard"), threads,
-                       engine_threads, args.getString("format"),
+                       engine_threads, memory_backend,
+                       args.getString("format"),
                        args.getString("out"));
     } catch (const json::Error &e) {
         fatal(e.what());
