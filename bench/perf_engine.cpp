@@ -26,6 +26,8 @@
 #include <vector>
 
 #include "bench/bench_common.hh"
+#include "common/error.hh"
+#include "common/file_io.hh"
 #include "sim/figures.hh"
 #include "sim/runner.hh"
 #include "trace/tracefile.hh"
@@ -376,11 +378,13 @@ main(int argc, char **argv)
             sweep.medianSeconds(), sweep.rate());
 
     if (!out_path.empty()) {
-        std::FILE *f = std::fopen(out_path.c_str(), "w");
-        if (f == nullptr)
-            fatal("cannot write ", out_path);
-        std::fputs(report.c_str(), f);
-        std::fclose(f);
+        // Status-checked write: a full disk must not leave CI
+        // tracking a silently truncated report.
+        const std::vector<std::uint8_t> bytes(report.begin(),
+                                              report.end());
+        const SimStatus status = writeFileBytes(out_path, bytes);
+        if (!status.ok())
+            exitWith(status.code, status.message);
         std::fprintf(stderr, "perf_engine: wrote %s\n",
                      out_path.c_str());
     }

@@ -1,0 +1,56 @@
+#include "common/error.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace unison {
+
+int
+exitCodeFor(SimErrc code)
+{
+    return static_cast<int>(code);
+}
+
+const char *
+simErrcName(SimErrc code)
+{
+    switch (code) {
+      case SimErrc::Ok:
+        return "ok";
+      case SimErrc::Usage:
+        return "usage";
+      case SimErrc::Io:
+        return "io";
+      case SimErrc::Corrupt:
+        return "corrupt-input";
+    }
+    return "unknown";
+}
+
+void
+exitWith(SimErrc code, const std::string &msg)
+{
+    std::fprintf(stderr, "error (%s): %s\n", simErrcName(code),
+                 msg.c_str());
+    std::fflush(stderr);
+    std::exit(exitCodeFor(code));
+}
+
+void
+structuredWarn(
+    const std::string &event,
+    const std::vector<std::pair<std::string, std::string>> &fields)
+{
+    std::string line = "[" + event + "]";
+    for (const auto &[key, value] : fields) {
+        line += " " + key + "=";
+        if (value.find(' ') != std::string::npos ||
+            value.find('=') != std::string::npos || value.empty())
+            line += "'" + value + "'";
+        else
+            line += value;
+    }
+    warn(line);
+}
+
+} // namespace unison

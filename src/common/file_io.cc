@@ -1,0 +1,262 @@
+#include "common/file_io.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/crc32.hh"
+#include "common/fault_injection.hh"
+
+namespace unison {
+
+namespace {
+
+std::string
+errnoText()
+{
+    return std::strerror(errno);
+}
+
+/** One injector-mediated write of `len` bytes to an open fd, starting
+ *  at absolute file offset `begin`. Returns a status; executes kill
+ *  decisions (the SIGKILL-faithful _exit). */
+SimStatus
+injectedWrite(int fd, const std::string &path, std::uint64_t begin,
+              const void *data, std::size_t len)
+{
+    auto &injector = FaultInjector::instance();
+    injector.armFromEnv();
+    const auto decision = injector.onWrite(path, begin, len);
+
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    std::vector<std::uint8_t> mutated;
+    if (decision.corruptAt != SIZE_MAX) {
+        mutated.assign(bytes, bytes + len);
+        mutated[decision.corruptAt] ^= 0xFF;
+        bytes = mutated.data();
+    }
+
+    std::size_t put = 0;
+    while (put < decision.persist) {
+        const ssize_t n =
+            ::write(fd, bytes + put, decision.persist - put);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return SimStatus::failure(
+                SimErrc::Io,
+                "write to " + path + " failed: " + errnoText());
+        }
+        put += static_cast<std::size_t>(n);
+    }
+
+    if (decision.kill) {
+        // Simulated SIGKILL at an exact byte: flush what the kernel
+        // already has (the partial bytes are the point) and die
+        // without running any cleanup.
+        ::fsync(fd);
+        ::_exit(137);
+    }
+    if (decision.fail)
+        return SimStatus::failure(SimErrc::Io,
+                                  "write to " + path +
+                                      " failed: injected I/O fault");
+    return SimStatus::success();
+}
+
+SimStatus
+writeAll(const std::string &path, const void *data, std::size_t len,
+         bool append)
+{
+    const int flags =
+        O_WRONLY | O_CREAT | (append ? O_APPEND : O_TRUNC);
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0)
+        return SimStatus::failure(SimErrc::Io, "cannot open " + path +
+                                                   " for writing: " +
+                                                   errnoText());
+    // The write's absolute start offset: the existing size for an
+    // append, 0 after O_TRUNC (the injector's offsets are file
+    // positions, not per-stream counters).
+    const off_t at = ::lseek(fd, 0, SEEK_END);
+    const std::uint64_t begin =
+        at > 0 ? static_cast<std::uint64_t>(at) : 0;
+    SimStatus status = injectedWrite(fd, path, begin, data, len);
+    if (status.ok() && ::fsync(fd) != 0)
+        status = SimStatus::failure(SimErrc::Io, "fsync of " + path +
+                                                     " failed: " +
+                                                     errnoText());
+    ::close(fd);
+    return status;
+}
+
+} // namespace
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+std::uint64_t
+fileSizeOrZero(const std::string &path)
+{
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        return 0;
+    return static_cast<std::uint64_t>(st.st_size);
+}
+
+SimStatus
+readFileBytes(const std::string &path, std::vector<std::uint8_t> &out)
+{
+    out.clear();
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return SimStatus::failure(SimErrc::Io, "cannot read " + path +
+                                                   ": " + errnoText());
+    auto &injector = FaultInjector::instance();
+    injector.armFromEnv();
+
+    std::uint8_t buf[1 << 16];
+    std::uint64_t at = 0;
+    while (true) {
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const std::string msg = errnoText();
+            ::close(fd);
+            out.clear();
+            return SimStatus::failure(
+                SimErrc::Io, "read of " + path + " failed: " + msg);
+        }
+        if (n == 0)
+            break;
+        const auto decision =
+            injector.onRead(path, at, static_cast<std::size_t>(n));
+        at += static_cast<std::uint64_t>(n);
+        if (decision.corruptAt != SIZE_MAX)
+            buf[decision.corruptAt] ^= 0xFF;
+        if (decision.fail) {
+            ::close(fd);
+            out.clear();
+            return SimStatus::failure(SimErrc::Io,
+                                      "read of " + path +
+                                          " failed: injected I/O "
+                                          "fault");
+        }
+        out.insert(out.end(), buf, buf + n);
+    }
+    ::close(fd);
+    return SimStatus::success();
+}
+
+SimStatus
+writeFileBytes(const std::string &path,
+               const std::vector<std::uint8_t> &bytes)
+{
+    return writeAll(path, bytes.data(), bytes.size(), /*append=*/false);
+}
+
+SimStatus
+appendFileBytes(const std::string &path, const void *data,
+                std::size_t len)
+{
+    return writeAll(path, data, len, /*append=*/true);
+}
+
+// ------------------------------------------------------ framed files
+
+namespace {
+
+constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 8 + 4;
+
+template <typename T>
+void
+putLe(std::vector<std::uint8_t> &out, T value)
+{
+    const std::size_t at = out.size();
+    out.resize(at + sizeof(T));
+    std::memcpy(out.data() + at, &value, sizeof(T));
+}
+
+template <typename T>
+T
+getLe(const std::vector<std::uint8_t> &in, std::size_t at)
+{
+    T value;
+    std::memcpy(&value, in.data() + at, sizeof(T));
+    return value;
+}
+
+} // namespace
+
+SimStatus
+writeFramedFile(const std::string &path, std::uint32_t magic,
+                std::uint32_t version,
+                const std::vector<std::uint8_t> &payload)
+{
+    std::vector<std::uint8_t> file;
+    file.reserve(kFrameHeaderBytes + payload.size());
+    putLe(file, magic);
+    putLe(file, version);
+    putLe(file, static_cast<std::uint64_t>(payload.size()));
+    putLe(file, crc32(payload.data(), payload.size()));
+    file.insert(file.end(), payload.begin(), payload.end());
+    return writeFileBytes(path, file);
+}
+
+SimStatus
+readFramedFile(const std::string &path, std::uint32_t magic,
+               std::uint32_t version,
+               std::vector<std::uint8_t> &payload)
+{
+    payload.clear();
+    std::vector<std::uint8_t> file;
+    const SimStatus read = readFileBytes(path, file);
+    if (!read.ok())
+        return read;
+
+    const auto corrupt = [&](const std::string &why) {
+        return SimStatus::failure(SimErrc::Corrupt,
+                                  path + ": " + why);
+    };
+    if (file.size() < kFrameHeaderBytes)
+        return corrupt("short header (" + std::to_string(file.size()) +
+                       " of " + std::to_string(kFrameHeaderBytes) +
+                       " bytes)");
+    if (getLe<std::uint32_t>(file, 0) != magic)
+        return corrupt("bad magic (not a file of this type, or its "
+                       "header is corrupt)");
+    const std::uint32_t got_version = getLe<std::uint32_t>(file, 4);
+    if (got_version != version)
+        return corrupt("version skew: file is v" +
+                       std::to_string(got_version) +
+                       ", this build reads v" +
+                       std::to_string(version));
+    const std::uint64_t len = getLe<std::uint64_t>(file, 8);
+    const std::uint32_t crc = getLe<std::uint32_t>(file, 16);
+    if (file.size() < kFrameHeaderBytes + len)
+        return corrupt(
+            "truncated payload (" +
+            std::to_string(file.size() - kFrameHeaderBytes) + " of " +
+            std::to_string(len) + " bytes)");
+    if (file.size() > kFrameHeaderBytes + len)
+        return corrupt("trailing bytes after the payload");
+    const std::uint32_t got_crc =
+        crc32(file.data() + kFrameHeaderBytes, len);
+    if (got_crc != crc)
+        return corrupt("payload CRC mismatch (stored " +
+                       std::to_string(crc) + ", computed " +
+                       std::to_string(got_crc) + ")");
+    payload.assign(file.begin() + kFrameHeaderBytes, file.end());
+    return SimStatus::success();
+}
+
+} // namespace unison

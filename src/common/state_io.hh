@@ -10,26 +10,36 @@
  * boundary resets them anyway.
  *
  * The format is deliberately dumb: raw little-endian PODs in component
- * order, vectors prefixed by their element count. It is an in-memory,
- * same-build, same-process format (the runner shares checkpoints
- * between sweep points of one invocation); it is not a stable on-disk
- * interchange format and has no versioning. StateReader restores
- * vectors *in place* and fatals on any size mismatch -- components are
+ * order, vectors prefixed by their element count. On its own it has no
+ * header or checksum -- when a snapshot goes to disk it travels inside
+ * the framed container of common/file_io.hh (magic/version/length/CRC),
+ * which catches truncation and bit-flips before any byte reaches a
+ * reader here. StateReader restores vectors *in place* (components are
  * sized by configuration before loading, and keeping the buffers'
  * addresses stable matters because the timing loop holds raw pointers
- * into some of them (System's scheduler keys).
+ * into some of them -- System's scheduler keys).
+ *
+ * Failure contract: a reader never fatals and never leaves stale bytes
+ * behind. Any underrun, shape mismatch or trailing-bytes condition
+ * makes the reader *sticky-failed*: the offending and all subsequent
+ * reads zero-fill their destinations, and status()/throwIfFailed()
+ * report the first failure. Callers check the status after the last
+ * read and discard the half-loaded component tree (the resume paths
+ * rebuild the System and fall back to a cold warm-up run).
  */
 
 #ifndef UNISON_COMMON_STATE_IO_HH
 #define UNISON_COMMON_STATE_IO_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
-#include "common/logging.hh"
+#include "common/error.hh"
 
 namespace unison {
 
@@ -69,8 +79,13 @@ class StateWriter
     std::vector<std::uint8_t> bytes_;
 };
 
-/** Sequential reader over a checkpoint buffer; fatals on underrun,
- *  size mismatch, or trailing bytes left after expectEnd(). */
+/**
+ * Sequential reader over a checkpoint buffer. Sticky-failing: the
+ * first underrun/mismatch records a status, and from then on every
+ * read zero-fills its destination instead of consuming bytes, so a
+ * load over a damaged buffer terminates quickly and predictably.
+ * Check ok()/status() (or throwIfFailed()) after the final read.
+ */
 class StateReader
 {
   public:
@@ -85,9 +100,21 @@ class StateReader
     {
         static_assert(std::is_trivially_copyable_v<T>,
                       "checkpoint fields must be trivially copyable");
-        if (at_ + sizeof(T) > bytes_.size())
-            fatal("checkpoint underrun: need ", sizeof(T), " bytes at ",
-                  at_, " of ", bytes_.size());
+        if (failed_ || at_ + sizeof(T) > bytes_.size()) {
+            recordFailure("checkpoint underrun: need " +
+                          std::to_string(sizeof(T)) + " bytes at " +
+                          std::to_string(at_) + " of " +
+                          std::to_string(bytes_.size()));
+            // Zero-fill without memset: checkpointed structs may have
+            // default member initializers (-Wclass-memaccess), and
+            // plain assignment would reject array fields.
+            if constexpr (std::is_array_v<T>)
+                std::fill(std::begin(value), std::end(value),
+                          std::remove_extent_t<T>{});
+            else
+                value = T{};
+            return;
+        }
         std::memcpy(&value, bytes_.data() + at_, sizeof(T));
         at_ += sizeof(T);
     }
@@ -95,7 +122,8 @@ class StateReader
     /**
      * Restore a vector whose size is already correct (the component
      * was configured identically before loading). In-place fill, no
-     * reallocation: pointers into the vector stay valid.
+     * reallocation: pointers into the vector stay valid -- also on
+     * failure, where the vector is zero-filled at its current size.
      */
     template <typename T>
     void
@@ -105,19 +133,33 @@ class StateReader
                       "checkpoint fields must be trivially copyable");
         std::uint64_t n = 0;
         pod(n);
-        if (n != v.size())
-            fatal("checkpoint shape mismatch: saved vector has ", n,
-                  " elements, component expects ", v.size());
-        if (at_ + n * sizeof(T) > bytes_.size())
-            fatal("checkpoint underrun: need ", n * sizeof(T),
-                  " bytes at ", at_, " of ", bytes_.size());
+        if (!failed_ && n != v.size())
+            recordFailure("checkpoint shape mismatch: saved vector "
+                          "has " +
+                          std::to_string(n) +
+                          " elements, component expects " +
+                          std::to_string(v.size()));
+        if (!failed_ && at_ + n * sizeof(T) > bytes_.size())
+            recordFailure("checkpoint underrun: need " +
+                          std::to_string(n * sizeof(T)) + " bytes at " +
+                          std::to_string(at_) + " of " +
+                          std::to_string(bytes_.size()));
+        if (failed_) {
+            // Value-init (not memset): some checkpointed structs have
+            // default member initializers, making raw byte-clearing a
+            // -Wclass-memaccess complaint.
+            std::fill(v.begin(), v.end(), T{});
+            return;
+        }
         if (n != 0)
             std::memcpy(v.data(), bytes_.data() + at_, n * sizeof(T));
         at_ += n * sizeof(T);
     }
 
     /** Restore a vector whose saved size is authoritative (hash-map
-     *  style state with data-dependent size). May reallocate. */
+     *  style state with data-dependent size). May reallocate. The
+     *  bounds check runs *before* the resize, so a corrupt element
+     *  count cannot trigger a huge allocation. */
     template <typename T>
     void
     podVectorResize(std::vector<T> &v)
@@ -126,28 +168,66 @@ class StateReader
                       "checkpoint fields must be trivially copyable");
         std::uint64_t n = 0;
         pod(n);
-        if (at_ + n * sizeof(T) > bytes_.size())
-            fatal("checkpoint underrun: need ", n * sizeof(T),
-                  " bytes at ", at_, " of ", bytes_.size());
+        if (!failed_ && at_ + n * sizeof(T) > bytes_.size())
+            recordFailure("checkpoint underrun: need " +
+                          std::to_string(n * sizeof(T)) + " bytes at " +
+                          std::to_string(at_) + " of " +
+                          std::to_string(bytes_.size()));
+        if (failed_) {
+            v.clear();
+            return;
+        }
         v.resize(n);
         if (n != 0)
             std::memcpy(v.data(), bytes_.data() + at_, n * sizeof(T));
         at_ += n * sizeof(T);
     }
 
-    /** Assert the whole buffer was consumed (catches component lists
-     *  that drifted between save and load). */
+    /** Require the whole buffer consumed (catches component lists
+     *  that drifted between save and load, and payload tails a
+     *  corruption glued on). */
     void
-    expectEnd() const
+    expectEnd()
     {
-        if (at_ != bytes_.size())
-            fatal("checkpoint has ", bytes_.size() - at_,
-                  " trailing bytes: save/load component lists differ");
+        if (!failed_ && at_ != bytes_.size())
+            recordFailure("checkpoint has " +
+                          std::to_string(bytes_.size() - at_) +
+                          " trailing bytes: save/load component lists "
+                          "differ");
+    }
+
+    bool ok() const { return !failed_; }
+
+    /** The first recorded failure (Ok status while ok()). */
+    SimStatus
+    status() const
+    {
+        if (!failed_)
+            return SimStatus::success();
+        return SimStatus::failure(SimErrc::Corrupt, error_);
+    }
+
+    /** Throw SimError(Corrupt) carrying the first failure, if any. */
+    void
+    throwIfFailed() const
+    {
+        status().throwIfFailed();
     }
 
   private:
+    void
+    recordFailure(const std::string &why)
+    {
+        if (!failed_) {
+            failed_ = true;
+            error_ = why;
+        }
+    }
+
     const std::vector<std::uint8_t> &bytes_;
     std::size_t at_ = 0;
+    bool failed_ = false;
+    std::string error_;
 };
 
 } // namespace unison

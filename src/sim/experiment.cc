@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "sim/spec_json.hh"
 #include "trace/workload.hh"
@@ -163,13 +164,18 @@ warmPrefixKey(const ExperimentSpec &spec)
     return json::write(specToJson(prefix));
 }
 
-SimResult
-runExperimentCk(const ExperimentSpec &spec,
-                const WarmCheckpoint *resume_from,
-                WarmCheckpoint *capture_to)
-{
-    spec.validate();
+namespace {
 
+/** One full attempt: build the System and the source from the spec
+ *  and run, with whatever checkpoint hooks survive eligibility. Kept
+ *  callable twice so a rejected snapshot can be retried cold against
+ *  entirely fresh state -- nothing a failed load half-populated is
+ *  ever reused. */
+SimResult
+attemptExperiment(const ExperimentSpec &spec,
+                  const WarmCheckpoint *resume_from,
+                  WarmCheckpoint *capture_to)
+{
     System system(spec.system, makeCacheFactory(spec));
 
     const std::uint64_t n =
@@ -178,14 +184,16 @@ runExperimentCk(const ExperimentSpec &spec,
             : defaultAccessCount(spec.capacityBytes, spec.quick);
 
     const auto run_through = [&](AccessSource &source) {
+        const WarmCheckpoint *resume = resume_from;
+        WarmCheckpoint *capture = capture_to;
         if (!checkpointEligible(spec) ||
             !system.checkpointSupported(source)) {
-            resume_from = nullptr;
-            capture_to = nullptr;
+            resume = nullptr;
+            capture = nullptr;
         }
-        if (resume_from != nullptr && !resume_from->valid())
-            resume_from = nullptr; // the capture never fired
-        return system.run(source, n, resume_from, capture_to);
+        if (resume != nullptr && !resume->valid())
+            resume = nullptr; // the capture never fired
+        return system.run(source, n, resume, capture);
     };
 
     if (!spec.mix.empty()) {
@@ -207,6 +215,35 @@ runExperimentCk(const ExperimentSpec &spec,
     for (CoreSimResult &core : result.perCore)
         core.sourceName = params.name;
     return result;
+}
+
+} // namespace
+
+SimResult
+runExperimentCk(const ExperimentSpec &spec,
+                const WarmCheckpoint *resume_from,
+                WarmCheckpoint *capture_to)
+{
+    spec.validate();
+
+    if (resume_from != nullptr && resume_from->valid()) {
+        // Resuming from a snapshot that fails its shape/length checks
+        // mid-load (possible for snapshots that came off disk) must
+        // degrade, not crash: the half-loaded System is discarded and
+        // the warm-up runs cold, which the checkpoint-identity
+        // contract guarantees is byte-identical.
+        try {
+            return attemptExperiment(spec, resume_from, capture_to);
+        } catch (const SimError &e) {
+            if (e.code() != SimErrc::Corrupt)
+                throw;
+            structuredWarn("checkpoint-rejected",
+                           {{"reason", e.what()},
+                            {"fallback", "cold-warmup"}});
+            return attemptExperiment(spec, nullptr, capture_to);
+        }
+    }
+    return attemptExperiment(spec, resume_from, capture_to);
 }
 
 } // namespace unison

@@ -1,0 +1,274 @@
+#include "sim/journal.hh"
+
+#include <cstring>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/crc32.hh"
+#include "common/file_io.hh"
+#include "common/json.hh"
+#include "common/state_io.hh"
+
+namespace unison {
+
+namespace {
+
+constexpr std::uint32_t kRecordMagic = 0x4c524a55u; // 'UJRL'
+/** Sanity bound on one record; a corrupt length field must not turn
+ *  into a multi-gigabyte allocation. */
+constexpr std::uint64_t kMaxRecordBytes = 64ull << 20;
+constexpr std::size_t kRecordHeaderBytes = 4 + 4 + 4;
+
+constexpr std::uint32_t kCheckpointMagic = 0x504b4355u; // 'UCKP'
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+std::string
+recordPayload(const std::string &grid_hash,
+              const std::string &code_version,
+              const ResultPoint &point)
+{
+    json::Value out{json::Object{}};
+    out.set("journalRecord", std::int64_t{1});
+    out.set("gridHash", grid_hash);
+    out.set("codeVersion", code_version);
+    out.set("index", static_cast<std::uint64_t>(point.index));
+    out.set("label", point.label);
+    out.set("spec", specToJson(point.spec));
+    out.set("result", resultToJson(point.result));
+    return json::write(out);
+}
+
+} // namespace
+
+SimStatus
+ResultJournal::append(const std::string &path,
+                      const std::string &grid_hash,
+                      const std::string &code_version,
+                      const ResultPoint &point)
+{
+    const std::string payload =
+        recordPayload(grid_hash, code_version, point);
+
+    std::vector<std::uint8_t> frame;
+    frame.reserve(kRecordHeaderBytes + payload.size());
+    const auto put32 = [&frame](std::uint32_t v) {
+        const std::size_t at = frame.size();
+        frame.resize(at + 4);
+        std::memcpy(frame.data() + at, &v, 4);
+    };
+    put32(kRecordMagic);
+    put32(static_cast<std::uint32_t>(payload.size()));
+    put32(crc32(payload.data(), payload.size()));
+    frame.insert(frame.end(), payload.begin(), payload.end());
+
+    // One frame, one append, one fsync: a crash leaves at worst a
+    // torn *tail*, never a hole between valid records.
+    return appendFileBytes(path, frame.data(), frame.size());
+}
+
+SimStatus
+ResultJournal::load(const std::string &path,
+                    const std::string &grid_hash,
+                    const std::string &code_version,
+                    std::vector<ResultPoint> &out,
+                    JournalLoadSummary *summary)
+{
+    out.clear();
+    JournalLoadSummary local;
+    JournalLoadSummary &sum = summary != nullptr ? *summary : local;
+    sum = JournalLoadSummary{};
+
+    if (!fileExists(path))
+        return SimStatus::success();
+
+    std::vector<std::uint8_t> bytes;
+    const SimStatus read = readFileBytes(path, bytes);
+    if (!read.ok())
+        return read;
+
+    const auto torn = [&sum](std::string why) {
+        sum.torn = true;
+        sum.tornReason = std::move(why);
+    };
+
+    std::size_t at = 0;
+    while (at < bytes.size()) {
+        const std::size_t remaining = bytes.size() - at;
+        if (remaining < kRecordHeaderBytes) {
+            torn("partial record header (" +
+                 std::to_string(remaining) + " bytes) at offset " +
+                 std::to_string(at));
+            break;
+        }
+        const auto get32 = [&bytes](std::size_t p) {
+            std::uint32_t v;
+            std::memcpy(&v, bytes.data() + p, 4);
+            return v;
+        };
+        if (get32(at) != kRecordMagic) {
+            torn("bad record magic at offset " + std::to_string(at));
+            break;
+        }
+        const std::uint64_t len = get32(at + 4);
+        const std::uint32_t stored_crc = get32(at + 8);
+        if (len > kMaxRecordBytes) {
+            torn("implausible record length " + std::to_string(len) +
+                 " at offset " + std::to_string(at));
+            break;
+        }
+        if (remaining - kRecordHeaderBytes < len) {
+            torn("truncated record payload (" +
+                 std::to_string(remaining - kRecordHeaderBytes) +
+                 " of " + std::to_string(len) + " bytes) at offset " +
+                 std::to_string(at));
+            break;
+        }
+        const std::uint8_t *payload =
+            bytes.data() + at + kRecordHeaderBytes;
+        if (crc32(payload, len) != stored_crc) {
+            torn("record CRC mismatch at offset " +
+                 std::to_string(at));
+            break;
+        }
+
+        ResultPoint point;
+        std::string rec_hash, rec_version;
+        try {
+            const json::Value doc = json::parse(std::string(
+                reinterpret_cast<const char *>(payload), len));
+            json::ObjectReader r(doc, "journal record");
+            if (r.req("journalRecord").asInt() != 1)
+                throw json::Error("unknown journal record version");
+            rec_hash = r.req("gridHash").asString();
+            rec_version = r.req("codeVersion").asString();
+            point.index = r.req("index").asUint();
+            point.label = r.req("label").asString();
+            point.spec = specFromJson(r.req("spec"));
+            point.result = resultFromJson(r.req("result"));
+        } catch (const json::Error &e) {
+            // The CRC passed, so this is not disk damage but a frame
+            // written by an incompatible build: classify and stop --
+            // everything after it has the same provenance.
+            torn(std::string("record does not parse: ") + e.what());
+            break;
+        }
+
+        at += kRecordHeaderBytes + len;
+        sum.validBytes = at;
+        if (rec_hash != grid_hash || rec_version != code_version) {
+            ++sum.mismatched;
+            continue;
+        }
+        ++sum.accepted;
+        out.push_back(std::move(point));
+    }
+
+    return SimStatus::success();
+}
+
+SimStatus
+ResultJournal::truncateTo(const std::string &path,
+                          std::uint64_t valid_bytes)
+{
+    if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0)
+        return SimStatus::failure(SimErrc::Io,
+                                  "cannot truncate " + path +
+                                      " to its valid prefix");
+    return SimStatus::success();
+}
+
+// --------------------------------------------------- checkpoint store
+
+std::string
+fnvFingerprint(const std::string &text)
+{
+    // Same FNV-1a construction as gridFingerprint (spec_json.cc).
+    return gridFingerprint(text);
+}
+
+FileCheckpointStore::FileCheckpointStore(std::string dir)
+    : dir_(std::move(dir))
+{
+    if (!dir_.empty() && dir_.back() == '/')
+        dir_.pop_back();
+    // Best-effort create (one level); a failure surfaces later as a
+    // save warning, never as a run failure.
+    ::mkdir(dir_.c_str(), 0777);
+}
+
+std::string
+FileCheckpointStore::pathFor(const std::string &warm_key) const
+{
+    return dir_ + "/" + fnvFingerprint(warm_key) + ".ckpt";
+}
+
+bool
+FileCheckpointStore::tryLoad(const std::string &warm_key,
+                             WarmCheckpoint &out)
+{
+    const std::string path = pathFor(warm_key);
+    if (!fileExists(path))
+        return false;
+
+    std::vector<std::uint8_t> payload;
+    const SimStatus status = readFramedFile(
+        path, kCheckpointMagic, kCheckpointVersion, payload);
+    if (!status.ok()) {
+        structuredWarn("checkpoint-rejected",
+                       {{"path", path},
+                        {"reason", status.message},
+                        {"fallback", "cold-warmup"}});
+        return false;
+    }
+
+    // Payload: [u64 warmAccesses][key bytes][state bytes] (vectors
+    // carry their own length prefixes). The embedded key guards both
+    // hash collisions and stale files whose name matches but whose
+    // spec prefix changed meaning.
+    StateReader in(payload);
+    std::uint64_t warm_accesses = 0;
+    in.pod(warm_accesses);
+    std::vector<std::uint8_t> key_bytes;
+    in.podVectorResize(key_bytes);
+    std::vector<std::uint8_t> state;
+    in.podVectorResize(state);
+    in.expectEnd();
+    const std::string key(key_bytes.begin(), key_bytes.end());
+    if (!in.ok() || key != warm_key) {
+        structuredWarn("checkpoint-rejected",
+                       {{"path", path},
+                        {"reason", !in.ok() ? in.status().message
+                                            : "warm-prefix key "
+                                              "mismatch"},
+                        {"fallback", "cold-warmup"}});
+        return false;
+    }
+
+    out.warmAccesses = warm_accesses;
+    out.bytes = std::move(state);
+    return out.valid();
+}
+
+void
+FileCheckpointStore::save(const std::string &warm_key,
+                          const WarmCheckpoint &ck)
+{
+    if (!ck.valid())
+        return;
+    StateWriter w;
+    w.pod(ck.warmAccesses);
+    const std::vector<std::uint8_t> key_bytes(warm_key.begin(),
+                                              warm_key.end());
+    w.podVector(key_bytes);
+    w.podVector(ck.bytes);
+
+    const std::string path = pathFor(warm_key);
+    const SimStatus status = writeFramedFile(
+        path, kCheckpointMagic, kCheckpointVersion, std::move(w).take());
+    if (!status.ok())
+        structuredWarn("checkpoint-save-failed",
+                       {{"path", path}, {"reason", status.message}});
+}
+
+} // namespace unison

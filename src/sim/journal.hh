@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The sweep durability layer: an append-only per-point result journal
+ * and a persistent warm-checkpoint store. Together they make a killed
+ * shard restartable with nothing lost but the point that was in
+ * flight -- and provably so, because replayed-and-merged output is
+ * byte-identical to an uninterrupted run (ctest- and CI-enforced).
+ *
+ * # Result journal
+ *
+ * A journal file is a sequence of self-delimiting records, one per
+ * *completed* experiment point, appended and fsynced the moment the
+ * point finishes:
+ *
+ *     u32 magic 'UJRL'   (0x4c524a55)
+ *     u32 payloadLen
+ *     u32 payloadCrc     CRC-32 of the payload bytes
+ *     u8  payload[]      JSON: {journalRecord, gridHash, codeVersion,
+ *                               index, label, spec, result}
+ *
+ * Records are keyed by (grid fingerprint, point label, code version):
+ * the fingerprint pins the exact grid the spec expanded to, the label
+ * is the point's stable identity inside it, and the code version
+ * refuses replay across behaviour-changing builds. Loading walks the
+ * frames and stops at the first damaged one -- a torn tail after a
+ * crash is *expected* and reported, never trusted; well-formed records
+ * from another run/build are counted and skipped. Resume then
+ * truncates the file back to the valid prefix and re-runs only the
+ * missing points.
+ *
+ * # Warm-checkpoint store
+ *
+ * One framed file (common/file_io.hh header: magic/version/length/CRC)
+ * per warm-prefix key, holding the WarmCheckpoint bytes plus the full
+ * key string for identity verification. A file that fails any check
+ * is rejected with a structured warning and the run falls back to a
+ * cold warm-up -- corrupt state is never loaded silently.
+ */
+
+#ifndef UNISON_SIM_JOURNAL_HH
+#define UNISON_SIM_JOURNAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "sim/runner.hh"
+#include "sim/spec_json.hh"
+
+namespace unison {
+
+/** What a journal load saw, for the caller's structured reporting. */
+struct JournalLoadSummary
+{
+    std::size_t accepted = 0;   //!< records matching (hash, version)
+    std::size_t mismatched = 0; //!< well-formed, but another run/build
+    bool torn = false;          //!< stopped early at a damaged frame
+    std::string tornReason;     //!< classification of the damage
+    /** Byte length of the clean record prefix; everything after it is
+     *  untrusted and must be truncated away before appending. */
+    std::uint64_t validBytes = 0;
+};
+
+class ResultJournal
+{
+  public:
+    /** Append one completed point, fsynced before returning success.
+     *  A failure here means durability is gone (full disk, dead
+     *  device): callers end the run with the Io class rather than
+     *  continue un-journaled. */
+    static SimStatus append(const std::string &path,
+                            const std::string &grid_hash,
+                            const std::string &code_version,
+                            const ResultPoint &point);
+
+    /**
+     * Read every record of the clean prefix that matches
+     * (grid_hash, code_version). A missing file is success with zero
+     * records; framing damage ends the walk at the valid prefix
+     * (summary->torn). Only unreadable files (I/O) fail.
+     */
+    static SimStatus load(const std::string &path,
+                          const std::string &grid_hash,
+                          const std::string &code_version,
+                          std::vector<ResultPoint> &out,
+                          JournalLoadSummary *summary = nullptr);
+
+    /** Cut the file back to its clean record prefix (after a torn
+     *  load), so subsequent appends extend valid frames only. */
+    static SimStatus truncateTo(const std::string &path,
+                                std::uint64_t valid_bytes);
+};
+
+/**
+ * CheckpointStore over a directory of framed `<fnv16-of-key>.ckpt`
+ * files. tryLoad never throws and never half-loads: any integrity or
+ * identity failure emits one structured "checkpoint-rejected" warning
+ * and reports a miss, which the runner turns into a cold warm-up.
+ * save failures likewise warn ("checkpoint-save-failed") and drop the
+ * snapshot -- persistence is an optimization, never a correctness
+ * dependency.
+ */
+class FileCheckpointStore : public CheckpointStore
+{
+  public:
+    explicit FileCheckpointStore(std::string dir);
+
+    bool tryLoad(const std::string &warm_key,
+                 WarmCheckpoint &out) override;
+    void save(const std::string &warm_key,
+              const WarmCheckpoint &ck) override;
+
+    /** The file a key lives in (exposed for tests and tooling). */
+    std::string pathFor(const std::string &warm_key) const;
+
+  private:
+    std::string dir_;
+};
+
+/** FNV-1a 64-bit fingerprint as 16 hex chars (same construction as
+ *  gridFingerprint; shared by checkpoint file naming). */
+std::string fnvFingerprint(const std::string &text);
+
+} // namespace unison
+
+#endif // UNISON_SIM_JOURNAL_HH

@@ -29,20 +29,74 @@ using ExperimentCallback =
     std::function<void(std::size_t index, const SimResult &result)>;
 
 /**
+ * Durability seam for crash-safe sweeps: a journal that remembers
+ * completed points across process deaths. Before simulating, the
+ * runner offers every spec to tryLoad and *skips* the ones the
+ * journal already holds; after each fresh completion it calls record
+ * (serialized by the runner -- implementations may append to one
+ * file without their own locking, but record() must make the result
+ * durable before returning or die loudly: a silently dropped record
+ * would resurrect as missing work, a silently *misrecorded* one as
+ * wrong merged numbers).
+ */
+class ResultJournalHook
+{
+  public:
+    virtual ~ResultJournalHook() = default;
+
+    /** Replay a completed result for spec `index`; false = simulate. */
+    virtual bool tryLoad(std::size_t index, SimResult &out) = 0;
+
+    /** Persist a freshly computed result for spec `index`. */
+    virtual void record(std::size_t index, const SimResult &result) = 0;
+};
+
+/**
+ * Persistent warm-checkpoint store, keyed by warmPrefixKey. tryLoad
+ * must be all-or-nothing (a miss on any integrity doubt -- the runner
+ * then warms up cold, which is always correct); save is best-effort
+ * and must never fail the run.
+ */
+class CheckpointStore
+{
+  public:
+    virtual ~CheckpointStore() = default;
+
+    virtual bool tryLoad(const std::string &warm_key,
+                         WarmCheckpoint &out) = 0;
+    virtual void save(const std::string &warm_key,
+                      const WarmCheckpoint &ck) = 0;
+};
+
+/** Optional durability hooks; value-semantics bag of non-owning
+ *  pointers (nullptr = feature off). */
+struct RunHooks
+{
+    ResultJournalHook *journal = nullptr;
+    CheckpointStore *checkpoints = nullptr;
+};
+
+/**
  * Run every spec and return the results in input order.
  *
  * @param specs    independent experiment specifications
  * @param threads  worker threads; <= 1 runs serially on the calling
  *                 thread, 0 means std::thread::hardware_concurrency()
  * @param on_done  optional per-experiment completion hook
+ * @param hooks    optional crash-safety hooks: journal-replayed specs
+ *                 are never simulated (on_done still fires for them,
+ *                 first and in index order), and warm checkpoints are
+ *                 loaded from / saved to the store when profitable
  *
- * Results are bit-identical for any thread count: each experiment owns
+ * Results are bit-identical for any thread count -- and, with a
+ * journal, for any interruption/resume history: each experiment owns
  * its workload RNG (seeded from the spec), its System and its caches;
  * the only shared state is the immutable Zipf sampler cache.
  */
 std::vector<SimResult>
 runExperiments(const std::vector<ExperimentSpec> &specs, int threads = 1,
-               const ExperimentCallback &on_done = nullptr);
+               const ExperimentCallback &on_done = nullptr,
+               const RunHooks &hooks = {});
 
 } // namespace unison
 

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/logging.hh"
+#include "common/version.hh"
 #include "trace/workload.hh"
 
 namespace unison {
@@ -607,6 +608,7 @@ resultsToJson(const std::string &grid_name, const std::string &shard,
     Value out{Object{}};
     out.set("schema", kResultsSchema);
     out.set("name", grid_name);
+    out.set("codeVersion", kSimCodeVersion);
     if (!grid_hash.empty())
         out.set("gridHash", grid_hash);
     if (!shard.empty())
@@ -626,7 +628,8 @@ resultsToJson(const std::string &grid_name, const std::string &shard,
 
 std::vector<ResultPoint>
 resultsFromJson(const json::Value &value, std::string *grid_name,
-                std::string *shard, std::string *grid_hash)
+                std::string *shard, std::string *grid_hash,
+                std::string *code_version)
 {
     ObjectReader r(value, "results");
     const std::string schema = r.req("schema").asString();
@@ -638,6 +641,11 @@ resultsFromJson(const json::Value &value, std::string *grid_name,
         *grid_name = r.req("name").asString();
     else
         r.req("name");
+    // Documents written before the stamp existed read back as "".
+    const Value *version_value = r.opt("codeVersion");
+    if (code_version != nullptr)
+        *code_version =
+            version_value != nullptr ? version_value->asString() : "";
     const Value *hash_value = r.opt("gridHash");
     if (grid_hash != nullptr)
         *grid_hash = hash_value != nullptr ? hash_value->asString()

@@ -92,6 +92,9 @@ struct ResultPoint
  * `shard` is "" for a full run or "i/n" for a shard; merging drops it.
  * `grid_hash` fingerprints the *full* grid the points came from, so a
  * merge can reject shards of different runs of a same-named grid.
+ * Every document also stamps `codeVersion` (kSimCodeVersion) -- the
+ * build that produced the numbers -- so merges and journal resumes can
+ * refuse to mix results across behaviour-changing builds.
  * Points are written sorted by index, which is what makes a merge of
  * shard files byte-identical to an unsharded run.
  */
@@ -103,7 +106,9 @@ json::Value resultsToJson(const std::string &grid_name,
 std::vector<ResultPoint> resultsFromJson(const json::Value &value,
                                          std::string *grid_name,
                                          std::string *shard,
-                                         std::string *grid_hash);
+                                         std::string *grid_hash,
+                                         std::string *code_version =
+                                             nullptr);
 /**@}*/
 
 /** FNV-1a fingerprint (16 hex chars) of a serialized grid document;

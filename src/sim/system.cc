@@ -532,9 +532,10 @@ System::runLoopBody(FrontEnd &fe, Source &source, Cache &cache,
         const WarmCheckpoint &ck = *resumeFrom_;
         if (!ck.valid() || ck.warmAccesses != warm_count ||
             warm_count == 0 || total_accesses <= warm_count)
-            fatal("checkpoint boundary ", ck.warmAccesses,
-                  " does not match the run's warm-up window ",
-                  warm_count, " of ", total_accesses, " accesses");
+            throwCorrupt("checkpoint boundary ", ck.warmAccesses,
+                         " does not match the run's warm-up window ",
+                         warm_count, " of ", total_accesses,
+                         " accesses");
         StateReader in(ck.bytes);
         source.loadState(in);
         hierarchy_->loadState(in);
@@ -547,6 +548,11 @@ System::runLoopBody(FrontEnd &fe, Source &source, Cache &cache,
         in.podVectorExact(budget_left);
         in.pod(active_cores);
         in.expectEnd();
+        // A snapshot that does not deserialize cleanly must never be
+        // half-trusted: surface it as a classified error and let the
+        // experiment layer rebuild the System and run the warm-up
+        // cold (runExperimentCk catches this).
+        in.throwIfFailed();
         // podVectorExact filled the vectors in place, so the `clocks`
         // alias above is still valid; only the keys need refreshing.
         for (int c = 0; c < src_cores; ++c)

@@ -1,0 +1,774 @@
+/**
+ * @file
+ * Crash-safety contracts of the sweep durability layer:
+ *
+ *  - the result journal survives truncation at EVERY byte offset (the
+ *    torn-tail-after-SIGKILL matrix) and classifies one-byte
+ *    corruption in every frame field, always recovering the clean
+ *    record prefix and never crashing or trusting damaged bytes;
+ *  - a journal-resumed run is byte-identical (serialized-JSON-equal)
+ *    to the uninterrupted run, across designs and both memory
+ *    backends;
+ *  - checkpoint files reject every injected damage class (magic,
+ *    version skew, length, CRC, truncation, embedded-key mismatch)
+ *    with a miss + structured warning, and a CRC-valid but
+ *    shape-corrupt snapshot still degrades to a cold warm-up inside
+ *    the runner with identical results;
+ *  - the deterministic FaultInjector seam (fail / truncate / corrupt)
+ *    and the sticky-failing StateReader behave as specified.
+ *
+ * The `kill` fault mode (_exit at an exact byte) necessarily runs in a
+ * separate process: cmake/unison_sim_resume_test.cmake kills unison_sim
+ * mid-journal and byte-compares the resumed output; CI additionally
+ * SIGKILLs a live run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include <sys/stat.h>
+
+#include "common/fault_injection.hh"
+#include "common/file_io.hh"
+#include "common/state_io.hh"
+#include "common/version.hh"
+#include "sim/journal.hh"
+#include "sim/runner.hh"
+#include "sim/spec_json.hh"
+
+namespace unison {
+namespace {
+
+constexpr const char *kHash = "deadbeefdeadbeef";
+
+std::string
+tempPath(const std::string &name)
+{
+    ::mkdir("journal_test_tmp", 0777);
+    const std::string path = "journal_test_tmp/" + name;
+    std::remove(path.c_str());
+    return path;
+}
+
+std::vector<std::uint8_t>
+slurp(const std::string &path)
+{
+    std::vector<std::uint8_t> bytes;
+    EXPECT_TRUE(readFileBytes(path, bytes).ok()) << path;
+    return bytes;
+}
+
+void
+spit(const std::string &path, const std::vector<std::uint8_t> &bytes)
+{
+    ASSERT_TRUE(writeFileBytes(path, bytes).ok()) << path;
+}
+
+std::string
+resultKey(const SimResult &result)
+{
+    return json::write(resultToJson(result));
+}
+
+ExperimentSpec
+tinySpec(DesignKind design, std::uint64_t seed = 7)
+{
+    ExperimentSpec spec;
+    spec.design = design;
+    spec.capacityBytes = 32_MiB;
+    spec.system.numCores = 4;
+    spec.accesses = 30'000;
+    spec.seed = seed;
+    return spec;
+}
+
+/** A few cheap, distinguishable completed points. */
+std::vector<ResultPoint>
+samplePoints(std::size_t n)
+{
+    static std::vector<ResultPoint> cache;
+    while (cache.size() < n) {
+        const std::size_t i = cache.size();
+        ResultPoint point;
+        point.index = i;
+        point.label = "point-" + std::to_string(i);
+        point.spec = tinySpec(i % 2 == 0 ? DesignKind::Alloy
+                                         : DesignKind::Unison,
+                              /*seed=*/100 + i);
+        point.result = runExperiment(point.spec);
+        cache.push_back(std::move(point));
+    }
+    return {cache.begin(), cache.begin() + n};
+}
+
+void
+appendAll(const std::string &path, const std::vector<ResultPoint> &pts,
+          const std::string &hash = kHash,
+          const std::string &version = kSimCodeVersion)
+{
+    for (const ResultPoint &point : pts)
+        ASSERT_TRUE(
+            ResultJournal::append(path, hash, version, point).ok());
+}
+
+// ----------------------------------------------------------- journal
+
+TEST(Journal, RoundTripAndMissingFile)
+{
+    const std::string path = tempPath("roundtrip.journal");
+
+    std::vector<ResultPoint> loaded;
+    JournalLoadSummary sum;
+    ASSERT_TRUE(ResultJournal::load(path, kHash, kSimCodeVersion,
+                                    loaded, &sum)
+                    .ok());
+    EXPECT_TRUE(loaded.empty());
+    EXPECT_FALSE(sum.torn);
+
+    const std::vector<ResultPoint> points = samplePoints(3);
+    appendAll(path, points);
+    ASSERT_TRUE(ResultJournal::load(path, kHash, kSimCodeVersion,
+                                    loaded, &sum)
+                    .ok());
+    ASSERT_EQ(loaded.size(), points.size());
+    EXPECT_EQ(sum.accepted, points.size());
+    EXPECT_FALSE(sum.torn);
+    EXPECT_EQ(sum.validBytes, fileSizeOrZero(path));
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(loaded[i].index, points[i].index);
+        EXPECT_EQ(loaded[i].label, points[i].label);
+        EXPECT_EQ(resultKey(loaded[i].result),
+                  resultKey(points[i].result));
+    }
+}
+
+TEST(Journal, SurvivesTruncationAtEveryByte)
+{
+    const std::string path = tempPath("truncate.journal");
+    const std::vector<ResultPoint> points = samplePoints(3);
+    appendAll(path, points);
+    const std::vector<std::uint8_t> full = slurp(path);
+
+    // Locate the record boundaries by a clean reload at each prefix.
+    std::vector<std::uint64_t> boundaries{0};
+    for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+        const std::string probe = tempPath("truncate_cut.journal");
+        spit(probe, {full.begin(), full.begin() + cut});
+
+        std::vector<ResultPoint> loaded;
+        JournalLoadSummary sum;
+        ASSERT_TRUE(ResultJournal::load(probe, kHash, kSimCodeVersion,
+                                        loaded, &sum)
+                        .ok())
+            << "cut at byte " << cut;
+        // The clean prefix never shrinks and never exceeds the cut.
+        EXPECT_LE(sum.validBytes, cut);
+        EXPECT_EQ(loaded.size(), sum.accepted);
+        EXPECT_LE(sum.accepted, points.size());
+        // Torn exactly when the cut is not at a record boundary.
+        if (sum.validBytes == cut) {
+            EXPECT_FALSE(sum.torn) << "cut at byte " << cut;
+            if (boundaries.back() != cut)
+                boundaries.push_back(cut);
+        } else {
+            EXPECT_TRUE(sum.torn) << "cut at byte " << cut;
+        }
+        // Whatever was recovered must be an exact record prefix.
+        for (std::size_t i = 0; i < loaded.size(); ++i)
+            EXPECT_EQ(resultKey(loaded[i].result),
+                      resultKey(points[i].result));
+    }
+    // 3 records -> boundaries at 0 and after each record.
+    EXPECT_EQ(boundaries.size(), 4u);
+    EXPECT_EQ(boundaries.back(), full.size());
+}
+
+TEST(Journal, ClassifiesOneByteCorruptionInEveryFieldClass)
+{
+    const std::string path = tempPath("corrupt.journal");
+    const std::vector<ResultPoint> points = samplePoints(2);
+    appendAll(path, points);
+    const std::vector<std::uint8_t> full = slurp(path);
+
+    // Find where record 2 starts (= validBytes of a one-record file).
+    const std::string one = tempPath("corrupt_one.journal");
+    appendAll(one, samplePoints(1));
+    const std::uint64_t second = fileSizeOrZero(one);
+    ASSERT_GT(second, 12u);
+    ASSERT_LT(second, full.size());
+
+    struct Case
+    {
+        const char *field;
+        std::uint64_t offset;
+        std::size_t surviving; //!< records before the damaged one
+    };
+    const std::vector<Case> cases = {
+        {"magic (record 1)", 0, 0},
+        {"length (record 1)", 4, 0},
+        {"crc (record 1)", 8, 0},
+        {"payload head (record 1)", 12, 0},
+        {"payload body (record 1)", second / 2, 0},
+        {"magic (record 2)", second + 1, 1},
+        {"length (record 2)", second + 4, 1},
+        {"crc (record 2)", second + 8, 1},
+        {"payload (record 2)", second + 12, 1},
+        {"last byte", full.size() - 1, 1},
+    };
+    for (const Case &c : cases) {
+        SCOPED_TRACE(c.field);
+        std::vector<std::uint8_t> damaged = full;
+        damaged[c.offset] ^= 0xff;
+        const std::string probe = tempPath("corrupt_probe.journal");
+        spit(probe, damaged);
+
+        std::vector<ResultPoint> loaded;
+        JournalLoadSummary sum;
+        ASSERT_TRUE(ResultJournal::load(probe, kHash, kSimCodeVersion,
+                                        loaded, &sum)
+                        .ok());
+        EXPECT_TRUE(sum.torn);
+        EXPECT_FALSE(sum.tornReason.empty());
+        EXPECT_EQ(sum.accepted, c.surviving);
+        EXPECT_EQ(sum.validBytes, c.surviving == 0 ? 0 : second);
+    }
+}
+
+TEST(Journal, ForeignRecordsAreCountedAndSkipped)
+{
+    const std::string path = tempPath("foreign.journal");
+    const std::vector<ResultPoint> points = samplePoints(3);
+    appendAll(path, {points[0]});
+    appendAll(path, {points[1]}, "0000000000000000"); // other grid
+    appendAll(path, {points[2]}, kHash, "unison-sim/0"); // other build
+
+    std::vector<ResultPoint> loaded;
+    JournalLoadSummary sum;
+    ASSERT_TRUE(ResultJournal::load(path, kHash, kSimCodeVersion,
+                                    loaded, &sum)
+                    .ok());
+    EXPECT_EQ(sum.accepted, 1u);
+    EXPECT_EQ(sum.mismatched, 2u);
+    EXPECT_FALSE(sum.torn);
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(loaded[0].label, points[0].label);
+}
+
+TEST(Journal, TruncateToRestoresAppendability)
+{
+    const std::string path = tempPath("retruncate.journal");
+    const std::vector<ResultPoint> points = samplePoints(3);
+    appendAll(path, {points[0], points[1]});
+
+    // Tear the tail: half of record 2 survives the "crash".
+    std::vector<std::uint8_t> bytes = slurp(path);
+    const std::string one = tempPath("retruncate_one.journal");
+    appendAll(one, {points[0]});
+    const std::uint64_t boundary = fileSizeOrZero(one);
+    bytes.resize(boundary + (bytes.size() - boundary) / 2);
+    spit(path, bytes);
+
+    std::vector<ResultPoint> loaded;
+    JournalLoadSummary sum;
+    ASSERT_TRUE(ResultJournal::load(path, kHash, kSimCodeVersion,
+                                    loaded, &sum)
+                    .ok());
+    ASSERT_TRUE(sum.torn);
+    ASSERT_EQ(sum.validBytes, boundary);
+    ASSERT_TRUE(ResultJournal::truncateTo(path, sum.validBytes).ok());
+
+    // Appends after recovery extend valid frames only.
+    appendAll(path, {points[2]});
+    ASSERT_TRUE(ResultJournal::load(path, kHash, kSimCodeVersion,
+                                    loaded, &sum)
+                    .ok());
+    EXPECT_FALSE(sum.torn);
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded[0].label, points[0].label);
+    EXPECT_EQ(loaded[1].label, points[2].label);
+}
+
+// ----------------------------------------------- resume byte identity
+
+/** Test-side ResultJournalHook, mirroring the unison_sim adapter. */
+class TestJournal final : public ResultJournalHook
+{
+  public:
+    TestJournal(std::string path, std::vector<std::string> labels)
+        : path_(std::move(path)), labels_(std::move(labels))
+    {
+        std::vector<ResultPoint> loaded;
+        JournalLoadSummary sum;
+        ResultJournal::load(path_, kHash, kSimCodeVersion, loaded,
+                            &sum)
+            .throwIfFailed();
+        if (sum.torn)
+            ResultJournal::truncateTo(path_, sum.validBytes)
+                .throwIfFailed();
+        for (ResultPoint &point : loaded)
+            byLabel_.emplace(std::move(point.label),
+                             std::move(point.result));
+    }
+
+    std::size_t replayable() const { return byLabel_.size(); }
+
+    bool
+    tryLoad(std::size_t index, SimResult &out) override
+    {
+        const auto it = byLabel_.find(labels_[index]);
+        if (it == byLabel_.end())
+            return false;
+        out = it->second;
+        return true;
+    }
+
+    void
+    record(std::size_t index, const SimResult &result) override
+    {
+        ResultPoint point;
+        point.index = index;
+        point.label = labels_[index];
+        point.result = result;
+        ASSERT_TRUE(ResultJournal::append(path_, kHash,
+                                          kSimCodeVersion, point)
+                        .ok());
+    }
+
+  private:
+    std::string path_;
+    std::vector<std::string> labels_;
+    std::unordered_map<std::string, SimResult> byLabel_;
+};
+
+TEST(JournalResume, ByteIdenticalAcrossDesignsAndBackends)
+{
+    for (const MemoryBackendKind backend :
+         {MemoryBackendKind::Fast, MemoryBackendKind::Detailed}) {
+        SCOPED_TRACE(backend == MemoryBackendKind::Fast ? "fast"
+                                                        : "detailed");
+        std::vector<ExperimentSpec> specs;
+        std::vector<std::string> labels;
+        std::size_t k = 0;
+        for (const DesignKind design :
+             {DesignKind::Unison, DesignKind::Alloy,
+              DesignKind::Footprint, DesignKind::NoDramCache}) {
+            ExperimentSpec spec = tinySpec(design, 20 + k);
+            spec.system.memoryBackend = backend;
+            specs.push_back(spec);
+            labels.push_back("pt-" + std::to_string(k++));
+        }
+
+        const std::vector<SimResult> uninterrupted =
+            runExperiments(specs, 2);
+
+        // "Crash" after two points: journal the first two results,
+        // then glue on half a frame of the third (the torn tail a
+        // kill leaves behind).
+        const std::string path = tempPath("resume.journal");
+        {
+            TestJournal writer(path, labels);
+            writer.record(0, uninterrupted[0]);
+            writer.record(1, uninterrupted[1]);
+            ResultPoint torn_point;
+            torn_point.index = 2;
+            torn_point.label = labels[2];
+            torn_point.result = uninterrupted[2];
+            const std::string scratch = tempPath("resume_torn.tmp");
+            ASSERT_TRUE(ResultJournal::append(scratch, kHash,
+                                              kSimCodeVersion,
+                                              torn_point)
+                            .ok());
+            const std::vector<std::uint8_t> frame = slurp(scratch);
+            const std::vector<std::uint8_t> half(
+                frame.begin(), frame.begin() + frame.size() / 2);
+            ASSERT_TRUE(
+                appendFileBytes(path, half.data(), half.size()).ok());
+        }
+
+        // Resume: two points replayed, two re-simulated; the merged
+        // result set must match the uninterrupted run byte-for-byte.
+        TestJournal journal(path, labels);
+        EXPECT_EQ(journal.replayable(), 2u);
+        RunHooks hooks;
+        hooks.journal = &journal;
+        const std::vector<SimResult> resumed =
+            runExperiments(specs, 2, nullptr, hooks);
+        ASSERT_EQ(resumed.size(), uninterrupted.size());
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            EXPECT_EQ(resultKey(resumed[i]),
+                      resultKey(uninterrupted[i]))
+                << "point " << i;
+
+        // And a fully-journaled re-run replays everything.
+        TestJournal complete(path, labels);
+        EXPECT_EQ(complete.replayable(), labels.size());
+        RunHooks replay_hooks;
+        replay_hooks.journal = &complete;
+        const std::vector<SimResult> replayed =
+            runExperiments(specs, 1, nullptr, replay_hooks);
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            EXPECT_EQ(resultKey(replayed[i]),
+                      resultKey(uninterrupted[i]));
+    }
+}
+
+// --------------------------------------------------- fault injection
+
+TEST(FaultInjection, ParsesAndRejectsPlans)
+{
+    const FaultPlan plan =
+        parseFaultPlan("write-kill@results.journal:4096");
+    EXPECT_EQ(plan.point, FaultPlan::Point::Write);
+    EXPECT_EQ(plan.mode, FaultPlan::Mode::Kill);
+    EXPECT_EQ(plan.pathSubstr, "results.journal");
+    EXPECT_EQ(plan.offset, 4096u);
+
+    for (const char *bad :
+         {"", "write-kill", "write-kill@x", "write-kill@x:",
+          "write-kill@x:12junk", "sideways-kill@x:1", "write-melt@x:1",
+          "read-kill@x:1", "read-truncate@x:1"}) {
+        SCOPED_TRACE(bad);
+        EXPECT_THROW(
+            {
+                try {
+                    parseFaultPlan(bad);
+                } catch (const SimError &e) {
+                    EXPECT_EQ(e.code(), SimErrc::Usage);
+                    throw;
+                }
+            },
+            SimError);
+    }
+}
+
+TEST(FaultInjection, FailModeIsStickyAndPersistsPrefix)
+{
+    const std::string path = tempPath("fail.journal");
+    const std::vector<ResultPoint> points = samplePoints(2);
+    appendAll(path, {points[0]});
+    const std::uint64_t boundary = fileSizeOrZero(path);
+
+    FaultPlan plan;
+    plan.point = FaultPlan::Point::Write;
+    plan.mode = FaultPlan::Mode::Fail;
+    plan.pathSubstr = "fail.journal";
+    plan.offset = boundary + 5; // dies 5 bytes into record 2
+    FaultInjector::instance().arm(plan);
+
+    const SimStatus second = ResultJournal::append(
+        path, kHash, kSimCodeVersion, points[1]);
+    EXPECT_FALSE(second.ok());
+    EXPECT_EQ(second.code, SimErrc::Io);
+    // Sticky: later writes to the same path keep failing.
+    const SimStatus third = ResultJournal::append(
+        path, kHash, kSimCodeVersion, points[1]);
+    EXPECT_FALSE(third.ok());
+    FaultInjector::instance().disarm();
+
+    // The prefix that reached "disk" stays valid-prefix-recoverable.
+    std::vector<ResultPoint> loaded;
+    JournalLoadSummary sum;
+    ASSERT_TRUE(ResultJournal::load(path, kHash, kSimCodeVersion,
+                                    loaded, &sum)
+                    .ok());
+    EXPECT_EQ(sum.accepted, 1u);
+    EXPECT_EQ(sum.validBytes, boundary);
+}
+
+TEST(FaultInjection, TruncateModeIsALyingDisk)
+{
+    const std::string path = tempPath("lying.journal");
+    const std::vector<ResultPoint> points = samplePoints(2);
+    appendAll(path, {points[0]});
+    const std::uint64_t boundary = fileSizeOrZero(path);
+
+    FaultPlan plan;
+    plan.point = FaultPlan::Point::Write;
+    plan.mode = FaultPlan::Mode::Truncate;
+    plan.pathSubstr = "lying.journal";
+    plan.offset = boundary + 7;
+    FaultInjector::instance().arm(plan);
+    // The append *claims* success -- that is the point.
+    EXPECT_TRUE(ResultJournal::append(path, kHash, kSimCodeVersion,
+                                      points[1])
+                    .ok());
+    FaultInjector::instance().disarm();
+
+    EXPECT_EQ(fileSizeOrZero(path), boundary + 7);
+    std::vector<ResultPoint> loaded;
+    JournalLoadSummary sum;
+    ASSERT_TRUE(ResultJournal::load(path, kHash, kSimCodeVersion,
+                                    loaded, &sum)
+                    .ok());
+    EXPECT_TRUE(sum.torn); // ...and the CRC frame catches it later
+    EXPECT_EQ(sum.accepted, 1u);
+    EXPECT_EQ(sum.validBytes, boundary);
+}
+
+TEST(FaultInjection, ReadCorruptionIsCaughtByTheFrame)
+{
+    const std::string path = tempPath("readcorrupt.journal");
+    appendAll(path, samplePoints(1));
+
+    FaultPlan plan;
+    plan.point = FaultPlan::Point::Read;
+    plan.mode = FaultPlan::Mode::Corrupt;
+    plan.pathSubstr = "readcorrupt.journal";
+    plan.offset = 20; // inside the payload
+    FaultInjector::instance().arm(plan);
+    std::vector<ResultPoint> loaded;
+    JournalLoadSummary sum;
+    ASSERT_TRUE(ResultJournal::load(path, kHash, kSimCodeVersion,
+                                    loaded, &sum)
+                    .ok());
+    FaultInjector::instance().disarm();
+    EXPECT_TRUE(sum.torn);
+    EXPECT_EQ(sum.accepted, 0u);
+}
+
+// ------------------------------------------------- checkpoint files
+
+TEST(CheckpointStore, RoundTripAndResumeIdentity)
+{
+    ExperimentSpec spec = tinySpec(DesignKind::Unison);
+    spec.accesses = 120'000;
+    spec.system.warmupAccesses = 60'000;
+
+    WarmCheckpoint captured;
+    const SimResult cold = runExperimentCk(spec, nullptr, &captured);
+    ASSERT_TRUE(captured.valid());
+
+    FileCheckpointStore store(tempPath("ckpt_roundtrip.dir"));
+    const std::string key = warmPrefixKey(spec);
+    store.save(key, captured);
+    ASSERT_TRUE(fileExists(store.pathFor(key)));
+
+    WarmCheckpoint loaded;
+    ASSERT_TRUE(store.tryLoad(key, loaded));
+    EXPECT_EQ(loaded.warmAccesses, captured.warmAccesses);
+    EXPECT_EQ(loaded.bytes, captured.bytes);
+
+    const SimResult resumed = runExperimentCk(spec, &loaded, nullptr);
+    EXPECT_EQ(resultKey(resumed), resultKey(cold));
+}
+
+TEST(CheckpointStore, RejectsEveryDamageClass)
+{
+    ExperimentSpec spec = tinySpec(DesignKind::Alloy);
+    spec.accesses = 120'000;
+    spec.system.warmupAccesses = 60'000;
+    WarmCheckpoint captured;
+    runExperimentCk(spec, nullptr, &captured);
+    ASSERT_TRUE(captured.valid());
+
+    FileCheckpointStore store(tempPath("ckpt_damage.dir"));
+    const std::string key = warmPrefixKey(spec);
+    store.save(key, captured);
+    const std::string path = store.pathFor(key);
+    const std::vector<std::uint8_t> good = slurp(path);
+    ASSERT_GT(good.size(), 21u);
+
+    const auto expectMiss = [&](const char *what) {
+        WarmCheckpoint out;
+        EXPECT_FALSE(store.tryLoad(key, out)) << what;
+        EXPECT_FALSE(out.valid()) << what;
+    };
+
+    // One flipped byte per header/payload field class.
+    const std::vector<std::pair<const char *, std::size_t>> flips = {
+        {"magic", 0},
+        {"version", 4},
+        {"payload length", 8},
+        {"payload crc", 16},
+        {"payload head", 20},
+        {"payload middle", 20 + (good.size() - 20) / 2},
+        {"payload tail", good.size() - 1},
+    };
+    for (const auto &[what, offset] : flips) {
+        SCOPED_TRACE(what);
+        std::vector<std::uint8_t> damaged = good;
+        damaged[offset] ^= 0x01;
+        spit(path, damaged);
+        expectMiss(what);
+    }
+
+    // Truncation at a few representative lengths (short header,
+    // mid-header, mid-payload, one byte short).
+    for (const std::size_t cut :
+         {std::size_t{0}, std::size_t{3}, std::size_t{12},
+          good.size() / 2, good.size() - 1}) {
+        SCOPED_TRACE("truncated to " + std::to_string(cut));
+        spit(path, {good.begin(), good.begin() + cut});
+        expectMiss("truncation");
+    }
+
+    // Trailing garbage after a valid frame.
+    std::vector<std::uint8_t> padded = good;
+    padded.push_back(0x55);
+    spit(path, padded);
+    expectMiss("trailing bytes");
+
+    // Embedded-key mismatch: a byte-identical file parked under a
+    // different key's name must not resume that key.
+    ExperimentSpec other = spec;
+    other.seed = 999;
+    const std::string other_key = warmPrefixKey(other);
+    spit(store.pathFor(other_key), good);
+    WarmCheckpoint out;
+    EXPECT_FALSE(store.tryLoad(other_key, out));
+
+    // The pristine file still loads (the store is not sticky-broken).
+    spit(path, good);
+    EXPECT_TRUE(store.tryLoad(key, out));
+}
+
+TEST(CheckpointStore, ShapeCorruptSnapshotFallsBackColdInRunner)
+{
+    // A frame whose CRC is valid but whose *state payload* is garbage
+    // passes the store's checks and must be caught one layer down, by
+    // the sticky StateReader inside System -- and the runner must then
+    // deliver the same numbers as a store-less run.
+    ExperimentSpec base = tinySpec(DesignKind::Unison);
+    base.accesses = 90'000;
+    base.system.warmupAccesses = 45'000;
+    std::vector<ExperimentSpec> specs{base, base};
+    specs[1].accesses = 120'000; // same warm prefix, longer window
+
+    const std::vector<SimResult> plain = runExperiments(specs, 1);
+
+    FileCheckpointStore store(tempPath("ckpt_shape.dir"));
+    const std::string key = warmPrefixKey(specs[0]);
+    WarmCheckpoint bogus;
+    bogus.warmAccesses = specs[0].system.warmupAccesses;
+    bogus.bytes.assign(512, 0xab); // not a System serialization
+    store.save(key, bogus);
+    ASSERT_TRUE(fileExists(store.pathFor(key)));
+
+    RunHooks hooks;
+    hooks.checkpoints = &store;
+    const std::vector<SimResult> with_store =
+        runExperiments(specs, 1, nullptr, hooks);
+    ASSERT_EQ(with_store.size(), plain.size());
+    for (std::size_t i = 0; i < plain.size(); ++i)
+        EXPECT_EQ(resultKey(with_store[i]), resultKey(plain[i]))
+            << "point " << i;
+}
+
+TEST(CheckpointStore, RunnerPersistsAndReusesSnapshots)
+{
+    ExperimentSpec base = tinySpec(DesignKind::Alloy);
+    base.accesses = 90'000;
+    base.system.warmupAccesses = 45'000;
+    const std::vector<ExperimentSpec> specs{base};
+
+    const std::vector<SimResult> plain = runExperiments(specs, 1);
+
+    FileCheckpointStore store(tempPath("ckpt_reuse.dir"));
+    RunHooks hooks;
+    hooks.checkpoints = &store;
+
+    // First run: store miss, leader captures and persists.
+    const std::vector<SimResult> first =
+        runExperiments(specs, 1, nullptr, hooks);
+    EXPECT_EQ(resultKey(first[0]), resultKey(plain[0]));
+    const std::string key = warmPrefixKey(base);
+    ASSERT_TRUE(fileExists(store.pathFor(key)));
+
+    // Second run: store hit, warm-up skipped, identical numbers.
+    const std::vector<SimResult> second =
+        runExperiments(specs, 1, nullptr, hooks);
+    EXPECT_EQ(resultKey(second[0]), resultKey(plain[0]));
+}
+
+// ------------------------------------------------------- state reader
+
+TEST(StateReader, UnderrunZeroFillsAndReportsCorrupt)
+{
+    StateWriter w;
+    w.pod(std::uint32_t{7});
+    const std::vector<std::uint8_t> bytes = std::move(w).take();
+
+    StateReader in(bytes);
+    std::uint32_t first = 0;
+    in.pod(first);
+    EXPECT_EQ(first, 7u);
+    EXPECT_TRUE(in.ok());
+
+    std::uint64_t missing = 99;
+    in.pod(missing);
+    EXPECT_EQ(missing, 0u) << "failed read must not leave stale data";
+    EXPECT_FALSE(in.ok());
+    EXPECT_EQ(in.status().code, SimErrc::Corrupt);
+    EXPECT_THROW(in.throwIfFailed(), SimError);
+
+    // Sticky: later reads zero-fill too, even if bytes remain.
+    std::uint8_t after = 42;
+    in.pod(after);
+    EXPECT_EQ(after, 0u);
+}
+
+TEST(StateReader, ImplausibleVectorCountCannotAllocate)
+{
+    StateWriter w;
+    w.pod(std::uint64_t{1} << 60); // claims 2^60 elements follow
+    const std::vector<std::uint8_t> bytes = std::move(w).take();
+
+    StateReader in(bytes);
+    std::vector<std::uint64_t> v{1, 2, 3};
+    in.podVectorResize(v); // must bounds-check BEFORE resizing
+    EXPECT_FALSE(in.ok());
+    EXPECT_TRUE(v.empty());
+}
+
+TEST(StateReader, ShapeMismatchZeroFillsInPlace)
+{
+    StateWriter w;
+    const std::vector<std::uint32_t> saved{1, 2};
+    w.podVector(saved);
+    const std::vector<std::uint8_t> bytes = std::move(w).take();
+
+    StateReader in(bytes);
+    std::vector<std::uint32_t> v{9, 9, 9}; // component expects three
+    const std::uint32_t *data = v.data();
+    in.podVectorExact(v);
+    EXPECT_FALSE(in.ok());
+    EXPECT_EQ(v.size(), 3u);
+    EXPECT_EQ(v.data(), data) << "in-place fill must not reallocate";
+    for (const std::uint32_t x : v)
+        EXPECT_EQ(x, 0u);
+}
+
+TEST(StateReader, TrailingBytesAreCorrupt)
+{
+    StateWriter w;
+    w.pod(std::uint16_t{1});
+    w.pod(std::uint16_t{2});
+    const std::vector<std::uint8_t> bytes = std::move(w).take();
+
+    StateReader in(bytes);
+    std::uint16_t only = 0;
+    in.pod(only);
+    in.expectEnd();
+    EXPECT_FALSE(in.ok());
+}
+
+// ---------------------------------------------------- results schema
+
+TEST(ResultsSchema, CarriesTheCodeVersionStamp)
+{
+    std::vector<ResultPoint> points = samplePoints(1);
+    const json::Value doc =
+        resultsToJson("smoke", "", kHash, std::move(points));
+    std::string name, shard, hash, version;
+    resultsFromJson(doc, &name, &shard, &hash, &version);
+    EXPECT_EQ(version, kSimCodeVersion);
+    EXPECT_EQ(hash, kHash);
+}
+
+} // namespace
+} // namespace unison

@@ -16,19 +16,33 @@
  * shard result files is byte-identical to the unsharded run's output
  * (CI enforces this), so grids can spread across processes or hosts
  * with no coordination beyond the spec file.
+ *
+ * Crash safety: `--journal j.bin` appends every completed point to an
+ * append-only journal the moment it finishes, and `--resume` replays a
+ * (possibly torn) journal so a killed run re-simulates only the points
+ * it lost -- the final output is byte-identical to an uninterrupted
+ * run. `--warm-ckpt-dir` persists warm-up checkpoints across
+ * invocations. Exit codes are classified: 2 = usage, 3 = I/O,
+ * 4 = corrupt input (1 is kept for unclassified spec/config errors).
  */
 
 #include <algorithm>
 #include <charconv>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "bench/bench_common.hh"
+#include "common/error.hh"
+#include "common/file_io.hh"
+#include "common/version.hh"
 #include "dram/backend.hh"
 #include "sim/figures.hh"
+#include "sim/journal.hh"
 #include "sim/spec_json.hh"
 #include "stats/table.hh"
 #include "trace/scenarios.hh"
@@ -43,7 +57,7 @@ readFile(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
-        fatal("cannot read ", path);
+        throwIo("cannot read ", path);
     std::ostringstream out;
     out << in.rdbuf();
     return out.str();
@@ -58,8 +72,10 @@ writeOutput(const std::string &path, const std::string &content)
     }
     std::ofstream out(path, std::ios::binary);
     if (!out)
-        fatal("cannot write ", path);
+        throwIo("cannot write ", path);
     out << content;
+    if (!out.flush())
+        throwIo("short write to ", path);
     std::fprintf(stderr, "unison_sim: wrote %s\n", path.c_str());
 }
 
@@ -77,12 +93,13 @@ parseShard(const std::string &text, std::size_t &shard,
     const char *end = begin + text.size();
     auto r = std::from_chars(begin, end, shard);
     if (r.ec != std::errc() || r.ptr == end || *r.ptr != '/')
-        fatal("--shard must look like i/n, got '", text, "'");
+        throwUsage("--shard must look like i/n, got '", text, "'");
     r = std::from_chars(r.ptr + 1, end, shards);
     if (r.ec != std::errc() || r.ptr != end)
-        fatal("--shard must look like i/n, got '", text, "'");
+        throwUsage("--shard must look like i/n, got '", text, "'");
     if (shards == 0 || shard >= shards)
-        fatal("--shard needs 0 <= i < n, got ", shard, "/", shards);
+        throwUsage("--shard needs 0 <= i < n, got ", shard, "/",
+                   shards);
 }
 
 // ------------------------------------------------------------- list
@@ -203,29 +220,41 @@ mergeResults(const std::vector<std::string> &paths,
              const std::string &out_path)
 {
     if (paths.size() < 2)
-        fatal("--merge needs at least two result files");
-    std::string grid_name, grid_hash;
+        throwUsage("--merge needs at least two result files");
+    std::string grid_name, grid_hash, code_version;
     std::vector<ResultPoint> merged;
     for (std::size_t i = 0; i < paths.size(); ++i) {
-        std::string name, shard, hash;
+        std::string name, shard, hash, version;
         std::vector<ResultPoint> points =
             resultsFromJson(json::parse(readFile(paths[i])), &name,
-                            &shard, &hash);
+                            &shard, &hash, &version);
         if (i == 0) {
             grid_name = name;
             grid_hash = hash;
+            code_version = version;
         } else if (name != grid_name) {
-            fatal("cannot merge results of grid '", name,
-                  "' into grid '", grid_name, "'");
+            throwUsage("cannot merge ", paths[i], " (grid '", name,
+                       "') with ", paths[0], " (grid '", grid_name,
+                       "')");
         } else if (hash != grid_hash) {
             // Same grid name but a different fingerprint: the spec
             // file changed between shard runs.
-            fatal("cannot merge ", paths[i], ": its grid fingerprint ",
-                  hash.empty() ? "(none)" : hash,
-                  " differs from ",
-                  grid_hash.empty() ? "(none)" : grid_hash,
-                  " -- the shards come from different runs of grid '",
-                  grid_name, "'");
+            throwCorrupt(
+                "cannot merge ", paths[i], " (grid fingerprint ",
+                hash.empty() ? "(none)" : hash, ") with ", paths[0],
+                " (", grid_hash.empty() ? "(none)" : grid_hash,
+                "): the shards come from different runs of grid '",
+                grid_name, "'");
+        } else if (version != code_version) {
+            // Identical grid, different simulator build: the numbers
+            // are not comparable, refuse to splice them together.
+            throwCorrupt(
+                "cannot merge ", paths[i], " (code version ",
+                version.empty() ? "(unstamped)" : version, ") with ",
+                paths[0], " (",
+                code_version.empty() ? "(unstamped)" : code_version,
+                "): the shards were produced by different simulator "
+                "builds");
         }
         for (ResultPoint &point : points)
             merged.push_back(std::move(point));
@@ -239,14 +268,123 @@ mergeResults(const std::vector<std::string> &paths,
               });
     for (std::size_t i = 0; i < merged.size(); ++i)
         if (merged[i].index != i)
-            fatal("merged shards do not cover the grid: expected "
-                  "point index ", i, ", found ", merged[i].index,
-                  " (missing or duplicated shard?)");
+            throwCorrupt(
+                "merged shards do not cover the grid: expected point "
+                "index ", i, ", found ", merged[i].index,
+                " (missing or duplicated shard?)");
+
+    // The output document is stamped by *this* build; merging shards
+    // of an older (but internally consistent) build re-stamps them,
+    // which deserves a trace in the log.
+    if (code_version != kSimCodeVersion)
+        structuredWarn("merge-version-restamp",
+                       {{"inputVersion", code_version.empty()
+                                             ? "(unstamped)"
+                                             : code_version},
+                        {"outputVersion", kSimCodeVersion}});
 
     writeOutput(out_path,
                 json::write(resultsToJson(grid_name, "", grid_hash,
                                           std::move(merged))));
 }
+
+// ----------------------------------------------------------- journal
+
+/**
+ * ResultJournalHook over one journal file: replays the completed
+ * points of a previous invocation of the *same* grid and build, and
+ * appends (durably, fsync-per-record) every point this invocation
+ * completes. Construction does all the recovery work: detect a torn
+ * tail, report it, truncate it away, and index the surviving records
+ * by point label.
+ */
+class JournalFile final : public ResultJournalHook
+{
+  public:
+    JournalFile(std::string path, std::string grid_hash,
+                const std::vector<GridPoint> &points, bool resume)
+        : path_(std::move(path)), gridHash_(std::move(grid_hash)),
+          points_(points)
+    {
+        const bool existing =
+            fileExists(path_) && fileSizeOrZero(path_) > 0;
+        if (existing && !resume)
+            throwUsage("journal ", path_,
+                       " already exists; pass --resume to continue "
+                       "the interrupted run (or remove the file to "
+                       "start fresh)");
+        if (!existing)
+            return;
+
+        std::vector<ResultPoint> loaded;
+        JournalLoadSummary sum;
+        ResultJournal::load(path_, gridHash_, kSimCodeVersion, loaded,
+                            &sum)
+            .throwIfFailed();
+        if (sum.torn) {
+            // Expected after a kill: the record in flight tore. Cut
+            // the file back so future appends extend valid frames.
+            structuredWarn(
+                "journal-torn",
+                {{"path", path_},
+                 {"reason", sum.tornReason},
+                 {"action", "truncated to " +
+                                std::to_string(sum.validBytes) +
+                                " valid bytes"}});
+            ResultJournal::truncateTo(path_, sum.validBytes)
+                .throwIfFailed();
+        }
+        if (sum.mismatched != 0)
+            structuredWarn(
+                "journal-foreign-records",
+                {{"path", path_},
+                 {"count", std::to_string(sum.mismatched)},
+                 {"note", "different grid fingerprint or code "
+                          "version; ignored"}});
+        for (ResultPoint &point : loaded)
+            byLabel_.emplace(std::move(point.label),
+                             std::move(point.result));
+        std::fprintf(stderr,
+                     "unison_sim: journal %s: replaying %zu "
+                     "completed point(s)\n",
+                     path_.c_str(), byLabel_.size());
+    }
+
+    bool
+    tryLoad(std::size_t index, SimResult &out) override
+    {
+        const auto it = byLabel_.find(points_[index].label);
+        if (it == byLabel_.end())
+            return false;
+        out = it->second;
+        return true;
+    }
+
+    void
+    record(std::size_t index, const SimResult &result) override
+    {
+        ResultPoint point;
+        point.index = points_[index].index;
+        point.label = points_[index].label;
+        point.spec = points_[index].spec;
+        point.result = result;
+        const SimStatus status = ResultJournal::append(
+            path_, gridHash_, kSimCodeVersion, point);
+        // Runs on a worker thread, so no throwing: a journal that
+        // cannot take appends means the durability the user asked for
+        // is gone -- end the run with the I/O class.
+        if (!status.ok())
+            exitWith(status.code,
+                     "journal append to " + path_ +
+                         " failed: " + status.message);
+    }
+
+  private:
+    std::string path_;
+    std::string gridHash_;
+    const std::vector<GridPoint> &points_;
+    std::unordered_map<std::string, SimResult> byLabel_;
+};
 
 // ------------------------------------------------------------- runs
 
@@ -269,11 +407,19 @@ tableOutput(const std::vector<ResultPoint> &points, bool csv)
     return csv ? t.toCsv() : t.toString();
 }
 
+/** The crash-safety knobs of a run, bundled (all optional). */
+struct DurabilityOptions
+{
+    std::string journalPath; //!< --journal: append-only result log
+    bool resume = false;     //!< --resume: replay an existing journal
+    std::string warmCkptDir; //!< --warm-ckpt-dir: checkpoint store
+};
+
 int
 runGrid(const std::string &grid_name, std::vector<GridPoint> points,
         const std::string &shard_text, int threads, int engine_threads,
         const std::string &memory_backend, const std::string &format,
-        const std::string &out_path)
+        const std::string &out_path, const DurabilityOptions &durable)
 {
     // Apply the intra-experiment engine override before the grid is
     // fingerprinted: shard result files then refuse to merge across
@@ -315,8 +461,24 @@ runGrid(const std::string &grid_name, std::vector<GridPoint> points,
             fatal("point '", point.label, "': ", err);
     }
 
+    // The journal indexes into the *sharded* point list (the specs
+    // the runner actually sees), but its records carry full-grid
+    // indices and the full-grid fingerprint, so each shard of one
+    // grid can keep its own journal file.
+    std::unique_ptr<JournalFile> journal;
+    if (!durable.journalPath.empty())
+        journal = std::make_unique<JournalFile>(
+            durable.journalPath, grid_hash, points, durable.resume);
+    std::unique_ptr<FileCheckpointStore> checkpoints;
+    if (!durable.warmCkptDir.empty())
+        checkpoints = std::make_unique<FileCheckpointStore>(
+            durable.warmCkptDir);
+    RunHooks hooks;
+    hooks.journal = journal.get();
+    hooks.checkpoints = checkpoints.get();
+
     const std::vector<SimResult> results =
-        runAll(points, threads, "unison_sim");
+        runAll(points, threads, "unison_sim", hooks);
 
     std::vector<ResultPoint> out;
     out.reserve(points.size());
@@ -381,6 +543,15 @@ main(int argc, char **argv)
     args.addOption("memory-backend", "",
                    "override system.memoryBackend of every point "
                    "(see --list-backends; empty = leave spec values)");
+    args.addOption("journal", "",
+                   "append each completed point to this crash-safe "
+                   "journal file as it finishes");
+    args.addFlag("resume",
+                 "with --journal: replay the journal's completed "
+                 "points and simulate only the rest");
+    args.addOption("warm-ckpt-dir", "",
+                   "persist warm-up checkpoints in this directory "
+                   "and reuse them across invocations");
     addThreadsOption(args);
     args.parse(argc, argv);
 
@@ -394,35 +565,52 @@ main(int argc, char **argv)
     const std::string memory_backend =
         args.getString("memory-backend");
 
-    const int modes = (args.getFlag("list") ? 1 : 0) +
-                      (args.getFlag("list-backends") ? 1 : 0) +
-                      (knobs.empty() ? 0 : 1) +
-                      (merge.empty() ? 0 : 1) +
-                      (figure.empty() ? 0 : 1) +
-                      (spec_path.empty() ? 0 : 1);
-    if (modes != 1)
-        fatal("pick exactly one of --list, --list-backends, --knobs, "
-              "--figure, --spec or --merge (try --list first, or "
-              "--help)");
+    DurabilityOptions durable;
+    durable.journalPath = args.getString("journal");
+    durable.resume = args.getFlag("resume");
+    durable.warmCkptDir = args.getString("warm-ckpt-dir");
 
-    if (args.getFlag("list")) {
-        listEverything();
-        return 0;
-    }
-    if (args.getFlag("list-backends")) {
-        listBackends();
-        return 0;
-    }
-    if (!knobs.empty()) {
-        listKnobs(knobs);
-        return 0;
-    }
-    if (!merge.empty()) {
-        mergeResults(splitCommas(merge), args.getString("out"));
-        return 0;
-    }
-
+    // Classified exits: SimError carries its own exit code (2 usage,
+    // 3 I/O, 4 corrupt input); malformed JSON is corrupt input by
+    // definition. fatal() keeps exit 1 for unclassified spec errors.
     try {
+        const int modes = (args.getFlag("list") ? 1 : 0) +
+                          (args.getFlag("list-backends") ? 1 : 0) +
+                          (knobs.empty() ? 0 : 1) +
+                          (merge.empty() ? 0 : 1) +
+                          (figure.empty() ? 0 : 1) +
+                          (spec_path.empty() ? 0 : 1);
+        if (modes != 1)
+            throwUsage(
+                "pick exactly one of --list, --list-backends, "
+                "--knobs, --figure, --spec or --merge (try --list "
+                "first, or --help)");
+        if (durable.resume && durable.journalPath.empty())
+            throwUsage("--resume needs --journal <path> (nothing to "
+                       "resume from)");
+        if ((!durable.journalPath.empty() ||
+             !durable.warmCkptDir.empty()) &&
+            figure.empty() && spec_path.empty())
+            throwUsage("--journal / --warm-ckpt-dir only apply to "
+                       "--figure and --spec runs");
+
+        if (args.getFlag("list")) {
+            listEverything();
+            return 0;
+        }
+        if (args.getFlag("list-backends")) {
+            listBackends();
+            return 0;
+        }
+        if (!knobs.empty()) {
+            listKnobs(knobs);
+            return 0;
+        }
+        if (!merge.empty()) {
+            mergeResults(splitCommas(merge), args.getString("out"));
+            return 0;
+        }
+
         if (!figure.empty()) {
             FigureOptions opts;
             opts.quick = args.getFlag("quick");
@@ -440,7 +628,7 @@ main(int argc, char **argv)
                            args.getString("shard"), threads,
                            engine_threads, memory_backend,
                            args.getString("format"),
-                           args.getString("out"));
+                           args.getString("out"), durable);
         }
 
         GridFile grid = gridFromJson(json::parse(readFile(spec_path)));
@@ -448,8 +636,10 @@ main(int argc, char **argv)
                        args.getString("shard"), threads,
                        engine_threads, memory_backend,
                        args.getString("format"),
-                       args.getString("out"));
+                       args.getString("out"), durable);
+    } catch (const SimError &e) {
+        exitWith(e.code(), e.what());
     } catch (const json::Error &e) {
-        fatal(e.what());
+        exitWith(SimErrc::Corrupt, e.what());
     }
 }
