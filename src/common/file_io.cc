@@ -8,7 +8,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
-#include "common/crc32.hh"
+#include "common/crc_frame.hh"
 #include "common/fault_injection.hh"
 
 namespace unison {
@@ -173,43 +173,12 @@ appendFileBytes(const std::string &path, const void *data,
 
 // ------------------------------------------------------ framed files
 
-namespace {
-
-constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 8 + 4;
-
-template <typename T>
-void
-putLe(std::vector<std::uint8_t> &out, T value)
-{
-    const std::size_t at = out.size();
-    out.resize(at + sizeof(T));
-    std::memcpy(out.data() + at, &value, sizeof(T));
-}
-
-template <typename T>
-T
-getLe(const std::vector<std::uint8_t> &in, std::size_t at)
-{
-    T value;
-    std::memcpy(&value, in.data() + at, sizeof(T));
-    return value;
-}
-
-} // namespace
-
 SimStatus
 writeFramedFile(const std::string &path, std::uint32_t magic,
                 std::uint32_t version,
                 const std::vector<std::uint8_t> &payload)
 {
-    std::vector<std::uint8_t> file;
-    file.reserve(kFrameHeaderBytes + payload.size());
-    putLe(file, magic);
-    putLe(file, version);
-    putLe(file, static_cast<std::uint64_t>(payload.size()));
-    putLe(file, crc32(payload.data(), payload.size()));
-    file.insert(file.end(), payload.begin(), payload.end());
-    return writeFileBytes(path, file);
+    return writeFileBytes(path, encodeFileFrame(magic, version, payload));
 }
 
 SimStatus
@@ -222,41 +191,7 @@ readFramedFile(const std::string &path, std::uint32_t magic,
     const SimStatus read = readFileBytes(path, file);
     if (!read.ok())
         return read;
-
-    const auto corrupt = [&](const std::string &why) {
-        return SimStatus::failure(SimErrc::Corrupt,
-                                  path + ": " + why);
-    };
-    if (file.size() < kFrameHeaderBytes)
-        return corrupt("short header (" + std::to_string(file.size()) +
-                       " of " + std::to_string(kFrameHeaderBytes) +
-                       " bytes)");
-    if (getLe<std::uint32_t>(file, 0) != magic)
-        return corrupt("bad magic (not a file of this type, or its "
-                       "header is corrupt)");
-    const std::uint32_t got_version = getLe<std::uint32_t>(file, 4);
-    if (got_version != version)
-        return corrupt("version skew: file is v" +
-                       std::to_string(got_version) +
-                       ", this build reads v" +
-                       std::to_string(version));
-    const std::uint64_t len = getLe<std::uint64_t>(file, 8);
-    const std::uint32_t crc = getLe<std::uint32_t>(file, 16);
-    if (file.size() < kFrameHeaderBytes + len)
-        return corrupt(
-            "truncated payload (" +
-            std::to_string(file.size() - kFrameHeaderBytes) + " of " +
-            std::to_string(len) + " bytes)");
-    if (file.size() > kFrameHeaderBytes + len)
-        return corrupt("trailing bytes after the payload");
-    const std::uint32_t got_crc =
-        crc32(file.data() + kFrameHeaderBytes, len);
-    if (got_crc != crc)
-        return corrupt("payload CRC mismatch (stored " +
-                       std::to_string(crc) + ", computed " +
-                       std::to_string(got_crc) + ")");
-    payload.assign(file.begin() + kFrameHeaderBytes, file.end());
-    return SimStatus::success();
+    return decodeFileFrame(file, magic, version, payload, path);
 }
 
 } // namespace unison

@@ -485,6 +485,55 @@ writeDouble(std::string &out, double v)
 }
 
 void
+writeValueCompact(std::string &out, const Value &v)
+{
+    switch (v.kind()) {
+      case Value::Kind::Null:
+        out += "null";
+        return;
+      case Value::Kind::Bool:
+        out += v.asBool() ? "true" : "false";
+        return;
+      case Value::Kind::Int:
+        out += std::to_string(v.asInt());
+        return;
+      case Value::Kind::UInt:
+        out += std::to_string(v.asUint());
+        return;
+      case Value::Kind::Double:
+        writeDouble(out, v.asDouble());
+        return;
+      case Value::Kind::String:
+        writeString(out, v.asString());
+        return;
+      case Value::Kind::Array: {
+        const Array &a = v.asArray();
+        out.push_back('[');
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            if (i != 0)
+                out.push_back(',');
+            writeValueCompact(out, a[i]);
+        }
+        out.push_back(']');
+        return;
+      }
+      case Value::Kind::Object: {
+        const Object &o = v.asObject();
+        out.push_back('{');
+        for (std::size_t i = 0; i < o.size(); ++i) {
+            if (i != 0)
+                out.push_back(',');
+            writeString(out, o[i].first);
+            out.push_back(':');
+            writeValueCompact(out, o[i].second);
+        }
+        out.push_back('}');
+        return;
+      }
+    }
+}
+
+void
 writeValue(std::string &out, const Value &v, int indent)
 {
     const std::string pad(2 * static_cast<std::size_t>(indent), ' ');
@@ -558,6 +607,14 @@ write(const Value &value)
     std::string out;
     writeValue(out, value, 0);
     out.push_back('\n');
+    return out;
+}
+
+std::string
+writeCompact(const Value &value)
+{
+    std::string out;
+    writeValueCompact(out, value);
     return out;
 }
 

@@ -120,6 +120,11 @@ Value parse(const std::string &text);
 /** Deterministic pretty-printed rendering, trailing newline included. */
 std::string write(const Value &value);
 
+/** Deterministic single-line rendering (no spaces, no trailing
+ *  newline): the framing-friendly form the serve protocol puts one
+ *  message per line with. Parses back to the same value as write(). */
+std::string writeCompact(const Value &value);
+
 /**
  * Strict schema helper: reads members of one object and, at the end of
  * scope (or finish()), rejects any member the schema never asked for

@@ -1,0 +1,181 @@
+#include "serve/client.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/version.hh"
+#include "serve/protocol.hh"
+
+namespace unison {
+namespace serve {
+
+namespace {
+
+/** Connected stream socket to the server, or a classified throw. */
+int
+connectTo(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path))
+        throwUsage("--connect: socket path must be 1..",
+                   sizeof(addr.sun_path) - 1, " bytes, got '", path,
+                   "'");
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        throwIo("cannot create socket: ", std::strerror(errno));
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        throwIo("cannot connect to ", path, ": ", std::strerror(err),
+                " (is `unison_sim serve --listen ", path,
+                "` running?)");
+    }
+    return fd;
+}
+
+/** RAII fd close for the exception paths. */
+struct FdGuard
+{
+    int fd;
+    ~FdGuard() { ::close(fd); }
+};
+
+[[noreturn]] void
+rethrowErrorReply(const json::Value &reply)
+{
+    json::ObjectReader r(reply, "error reply");
+    r.req("reply");
+    const SimErrc code = errcFromName(r.req("class").asString());
+    const std::string message = r.req("message").asString();
+    throw SimError(code, "server: " + message);
+}
+
+} // namespace
+
+SubmitOutcome
+submitGrid(const std::string &socket_path, const json::Value &spec_doc,
+           bool quiet)
+{
+    ::signal(SIGPIPE, SIG_IGN);
+    const int fd = connectTo(socket_path);
+    FdGuard guard{fd};
+    LineChannel channel(fd);
+
+    if (!channel.writeDoc(submitRequest(spec_doc)))
+        throwIo("server at ", socket_path,
+                " hung up before the submission was sent");
+
+    SubmitOutcome outcome;
+    json::Value reply;
+    bool done = false;
+    while (!done) {
+        if (!channel.readDoc(reply))
+            throwIo("server at ", socket_path,
+                    " closed the connection mid-sweep (after ",
+                    outcome.points.size(), " point(s))");
+        json::ObjectReader r(reply, "serve reply");
+        const std::string kind = r.req("reply").asString();
+        if (kind == "point") {
+            ResultPoint point;
+            point.index = r.req("index").asUint();
+            point.label = r.req("label").asString();
+            point.spec = specFromJson(r.req("spec"));
+            point.result = resultFromJson(r.req("result"));
+            const std::string source = r.req("source").asString();
+            outcome.points.push_back(std::move(point));
+            if (!quiet)
+                std::fprintf(stderr,
+                             "unison_sim: submit: [%zu] %s (%s)\n",
+                             outcome.points.back().index,
+                             outcome.points.back().label.c_str(),
+                             source.c_str());
+        } else if (kind == "done") {
+            outcome.gridName = r.req("gridName").asString();
+            outcome.gridHash = r.req("gridHash").asString();
+            const std::uint64_t points = r.req("points").asUint();
+            outcome.storeHits = r.req("storeHits").asUint();
+            outcome.peerHits = r.req("peerHits").asUint();
+            outcome.simulated = r.req("simulated").asUint();
+            if (points != outcome.points.size())
+                throwIo("server reported ", points,
+                        " point(s) but streamed ",
+                        outcome.points.size());
+            done = true;
+        } else if (kind == "error") {
+            rethrowErrorReply(reply);
+        } else {
+            throwIo("unknown serve reply kind '", kind, "'");
+        }
+    }
+
+    // Completion order -> document order. resultsToJson expects (and a
+    // local run produces) points sorted by full-grid index.
+    std::sort(outcome.points.begin(), outcome.points.end(),
+              [](const ResultPoint &a, const ResultPoint &b) {
+                  return a.index < b.index;
+              });
+    return outcome;
+}
+
+SimStatus
+pingServer(const std::string &socket_path)
+{
+    try {
+        ::signal(SIGPIPE, SIG_IGN);
+        const int fd = connectTo(socket_path);
+        FdGuard guard{fd};
+        LineChannel channel(fd);
+        if (!channel.writeDoc(pingRequest()))
+            return SimStatus::failure(SimErrc::Io,
+                                      "server hung up on ping");
+        json::Value reply;
+        if (!channel.readDoc(reply))
+            return SimStatus::failure(SimErrc::Io,
+                                      "no pong before EOF");
+        json::ObjectReader r(reply, "pong reply");
+        if (r.req("reply").asString() != "pong")
+            return SimStatus::failure(SimErrc::Io, "expected pong");
+        const std::string version = r.req("codeVersion").asString();
+        if (version != kSimCodeVersion)
+            return SimStatus::failure(
+                SimErrc::Usage,
+                "server runs " + version + ", this client is " +
+                    kSimCodeVersion +
+                    " (results would not be comparable)");
+        return SimStatus::success();
+    } catch (const std::exception &e) {
+        return SimStatus::failure(SimErrc::Io, e.what());
+    }
+}
+
+void
+shutdownServer(const std::string &socket_path)
+{
+    ::signal(SIGPIPE, SIG_IGN);
+    const int fd = connectTo(socket_path);
+    FdGuard guard{fd};
+    LineChannel channel(fd);
+    if (!channel.writeDoc(shutdownRequest()))
+        throwIo("server at ", socket_path, " hung up before the "
+                                           "shutdown request");
+    // The server acknowledges by closing the connection once the
+    // request is processed; wait for the EOF so scripts can sequence
+    // on our exit.
+    json::Value reply;
+    while (channel.readDoc(reply)) {
+    }
+}
+
+} // namespace serve
+} // namespace unison

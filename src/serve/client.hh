@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Client side of the sweep-serving protocol: connect to a
+ * `unison_sim serve` socket, submit a spec/grid document, collect the
+ * streamed points and reassemble the exact results document a local
+ * `unison_sim --spec` run would have written (byte-identical,
+ * CI-enforced). Also the readiness probe (ping) and the graceful-stop
+ * request (shutdown) the scripts use.
+ */
+
+#ifndef UNISON_SERVE_CLIENT_HH
+#define UNISON_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/json.hh"
+#include "sim/spec_json.hh"
+
+namespace unison {
+namespace serve {
+
+/** What one submit round trip produced. */
+struct SubmitOutcome
+{
+    std::string gridName;
+    std::string gridHash;
+    std::vector<ResultPoint> points; //!< sorted by full-grid index
+    std::uint64_t storeHits = 0;
+    std::uint64_t peerHits = 0;
+    std::uint64_t simulated = 0;
+};
+
+/**
+ * Submit `spec_doc` (a unison-spec or unison-grid document) to the
+ * server at `socket_path` and stream until `done`. Progress goes to
+ * stderr unless `quiet`. An `error` reply rethrows as a SimError of
+ * the same class, so `unison_sim submit` exits with the code the
+ * equivalent local run would have. Throws Io when the server cannot
+ * be reached or closes mid-sweep.
+ */
+SubmitOutcome submitGrid(const std::string &socket_path,
+                         const json::Value &spec_doc,
+                         bool quiet = false);
+
+/** Readiness probe: Ok when the server answers a ping with a matching
+ *  code version, a classified failure otherwise. Never throws. */
+SimStatus pingServer(const std::string &socket_path);
+
+/** Ask the server to stop accepting, finish active sweeps and exit.
+ *  Throws Io when it cannot be reached. */
+void shutdownServer(const std::string &socket_path);
+
+} // namespace serve
+} // namespace unison
+
+#endif // UNISON_SERVE_CLIENT_HH

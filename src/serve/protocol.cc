@@ -1,0 +1,154 @@
+#include "serve/protocol.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "common/version.hh"
+
+namespace unison {
+namespace serve {
+
+bool
+LineChannel::readDoc(json::Value &out)
+{
+    while (true) {
+        const std::size_t nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            const std::string line = buf_.substr(0, nl);
+            buf_.erase(0, nl + 1);
+            if (line.empty())
+                continue; // tolerate blank keepalive lines
+            out = json::parse(line);
+            return true;
+        }
+        if (buf_.size() > kMaxLineBytes)
+            throwIo("serve protocol: line exceeds ", kMaxLineBytes,
+                    " bytes");
+
+        char chunk[4096];
+        const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n == 0) {
+            if (!buf_.empty())
+                throwIo("serve protocol: connection closed "
+                        "mid-line");
+            return false;
+        }
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throwIo("serve protocol: read failed: ",
+                    std::strerror(errno));
+        }
+        buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+bool
+LineChannel::writeDoc(const json::Value &doc)
+{
+    std::string line = json::writeCompact(doc);
+    line.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < line.size()) {
+        const ssize_t n =
+            ::write(fd_, line.data() + sent, line.size() - sent);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EPIPE || errno == ECONNRESET)
+                return false;
+            throwIo("serve protocol: write failed: ",
+                    std::strerror(errno));
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+json::Value
+submitRequest(json::Value spec_doc)
+{
+    json::Value out{json::Object{}};
+    out.set("op", "submit");
+    out.set("spec", std::move(spec_doc));
+    return out;
+}
+
+json::Value
+pingRequest()
+{
+    json::Value out{json::Object{}};
+    out.set("op", "ping");
+    return out;
+}
+
+json::Value
+shutdownRequest()
+{
+    json::Value out{json::Object{}};
+    out.set("op", "shutdown");
+    return out;
+}
+
+json::Value
+pongReply()
+{
+    json::Value out{json::Object{}};
+    out.set("reply", "pong");
+    out.set("codeVersion", kSimCodeVersion);
+    return out;
+}
+
+json::Value
+pointReply(const ResultPoint &point, const char *source)
+{
+    json::Value out{json::Object{}};
+    out.set("reply", "point");
+    out.set("index", static_cast<std::uint64_t>(point.index));
+    out.set("label", point.label);
+    out.set("source", source);
+    out.set("spec", specToJson(point.spec));
+    out.set("result", resultToJson(point.result));
+    return out;
+}
+
+json::Value
+doneReply(const std::string &grid_name, const std::string &grid_hash,
+          std::size_t points, std::uint64_t store_hits,
+          std::uint64_t peer_hits, std::uint64_t simulated)
+{
+    json::Value out{json::Object{}};
+    out.set("reply", "done");
+    out.set("gridName", grid_name);
+    out.set("gridHash", grid_hash);
+    out.set("points", static_cast<std::uint64_t>(points));
+    out.set("storeHits", store_hits);
+    out.set("peerHits", peer_hits);
+    out.set("simulated", simulated);
+    return out;
+}
+
+json::Value
+errorReply(SimErrc code, const std::string &message)
+{
+    json::Value out{json::Object{}};
+    out.set("reply", "error");
+    out.set("class", simErrcName(code));
+    out.set("message", message);
+    return out;
+}
+
+SimErrc
+errcFromName(const std::string &name)
+{
+    for (const SimErrc code :
+         {SimErrc::Usage, SimErrc::Io, SimErrc::Corrupt})
+        if (name == simErrcName(code))
+            return code;
+    return SimErrc::Io;
+}
+
+} // namespace serve
+} // namespace unison

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The long-running serve mode: a unix-domain-socket front end over
+ * SweepService + ResultStore. One `unison_sim serve` process owns a
+ * store directory and accepts concurrent clients, each a stream of
+ * newline-delimited JSON requests (serve/protocol.hh).
+ *
+ * Degradation contract:
+ *  - a malformed or invalid spec answers one structured `error` reply
+ *    (SimError taxonomy class + message) and the connection stays up;
+ *  - a client that disconnects mid-sweep does not cancel the work:
+ *    the sweep runs to completion and every result lands in the
+ *    store, so a resubmission is pure cache hits;
+ *  - `shutdown` stops accepting, waits for active sweeps, and exits 0
+ *    (a kill -9 instead loses nothing but the points in flight -- the
+ *    store's atomic-publish objects survive, CI-enforced).
+ */
+
+#ifndef UNISON_SERVE_SERVER_HH
+#define UNISON_SERVE_SERVER_HH
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/sweep_service.hh"
+
+namespace unison {
+namespace serve {
+
+struct ServeOptions
+{
+    std::string listenPath; //!< unix socket path (--listen)
+    std::string storeDir;   //!< result store root (--store)
+    int threads = 0;        //!< workers per submission (0 = all cores)
+};
+
+/**
+ * Bind, announce ("serving on <path>" on stderr -- scripts poll
+ * readiness with `submit --ping` instead of parsing it), then serve
+ * until a shutdown request. Returns the process exit code. Throws
+ * SimError for startup failures (bad path: Usage; bind/listen: Io).
+ */
+int serveForever(const ServeOptions &options);
+
+} // namespace serve
+} // namespace unison
+
+#endif // UNISON_SERVE_SERVER_HH

@@ -5,7 +5,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
-#include "common/crc32.hh"
+#include "common/crc_frame.hh"
 #include "common/file_io.hh"
 #include "common/json.hh"
 #include "common/state_io.hh"
@@ -15,10 +15,6 @@ namespace unison {
 namespace {
 
 constexpr std::uint32_t kRecordMagic = 0x4c524a55u; // 'UJRL'
-/** Sanity bound on one record; a corrupt length field must not turn
- *  into a multi-gigabyte allocation. */
-constexpr std::uint64_t kMaxRecordBytes = 64ull << 20;
-constexpr std::size_t kRecordHeaderBytes = 4 + 4 + 4;
 
 constexpr std::uint32_t kCheckpointMagic = 0x504b4355u; // 'UCKP'
 constexpr std::uint32_t kCheckpointVersion = 1;
@@ -47,20 +43,8 @@ ResultJournal::append(const std::string &path,
                       const std::string &code_version,
                       const ResultPoint &point)
 {
-    const std::string payload =
-        recordPayload(grid_hash, code_version, point);
-
-    std::vector<std::uint8_t> frame;
-    frame.reserve(kRecordHeaderBytes + payload.size());
-    const auto put32 = [&frame](std::uint32_t v) {
-        const std::size_t at = frame.size();
-        frame.resize(at + 4);
-        std::memcpy(frame.data() + at, &v, 4);
-    };
-    put32(kRecordMagic);
-    put32(static_cast<std::uint32_t>(payload.size()));
-    put32(crc32(payload.data(), payload.size()));
-    frame.insert(frame.end(), payload.begin(), payload.end());
+    const std::vector<std::uint8_t> frame = encodeRecordFrame(
+        kRecordMagic, recordPayload(grid_hash, code_version, point));
 
     // One frame, one append, one fsync: a crash leaves at worst a
     // torn *tail*, never a hole between valid records.
@@ -87,51 +71,10 @@ ResultJournal::load(const std::string &path,
     if (!read.ok())
         return read;
 
-    const auto torn = [&sum](std::string why) {
-        sum.torn = true;
-        sum.tornReason = std::move(why);
-    };
-
-    std::size_t at = 0;
-    while (at < bytes.size()) {
-        const std::size_t remaining = bytes.size() - at;
-        if (remaining < kRecordHeaderBytes) {
-            torn("partial record header (" +
-                 std::to_string(remaining) + " bytes) at offset " +
-                 std::to_string(at));
-            break;
-        }
-        const auto get32 = [&bytes](std::size_t p) {
-            std::uint32_t v;
-            std::memcpy(&v, bytes.data() + p, 4);
-            return v;
-        };
-        if (get32(at) != kRecordMagic) {
-            torn("bad record magic at offset " + std::to_string(at));
-            break;
-        }
-        const std::uint64_t len = get32(at + 4);
-        const std::uint32_t stored_crc = get32(at + 8);
-        if (len > kMaxRecordBytes) {
-            torn("implausible record length " + std::to_string(len) +
-                 " at offset " + std::to_string(at));
-            break;
-        }
-        if (remaining - kRecordHeaderBytes < len) {
-            torn("truncated record payload (" +
-                 std::to_string(remaining - kRecordHeaderBytes) +
-                 " of " + std::to_string(len) + " bytes) at offset " +
-                 std::to_string(at));
-            break;
-        }
-        const std::uint8_t *payload =
-            bytes.data() + at + kRecordHeaderBytes;
-        if (crc32(payload, len) != stored_crc) {
-            torn("record CRC mismatch at offset " +
-                 std::to_string(at));
-            break;
-        }
-
+    FrameWalker walker(bytes.data(), bytes.size(), kRecordMagic);
+    const std::uint8_t *payload = nullptr;
+    std::size_t len = 0;
+    while (walker.next(payload, len)) {
         ResultPoint point;
         std::string rec_hash, rec_version;
         try {
@@ -150,18 +93,23 @@ ResultJournal::load(const std::string &path,
             // The CRC passed, so this is not disk damage but a frame
             // written by an incompatible build: classify and stop --
             // everything after it has the same provenance.
-            torn(std::string("record does not parse: ") + e.what());
-            break;
+            sum.torn = true;
+            sum.tornReason =
+                std::string("record does not parse: ") + e.what();
+            return SimStatus::success();
         }
 
-        at += kRecordHeaderBytes + len;
-        sum.validBytes = at;
+        sum.validBytes = walker.validBytes();
         if (rec_hash != grid_hash || rec_version != code_version) {
             ++sum.mismatched;
             continue;
         }
         ++sum.accepted;
         out.push_back(std::move(point));
+    }
+    if (walker.torn()) {
+        sum.torn = true;
+        sum.tornReason = walker.tornReason();
     }
 
     return SimStatus::success();

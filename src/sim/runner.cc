@@ -79,11 +79,19 @@ runExperiments(const std::vector<ExperimentSpec> &specs, int threads,
     // crash-safety contract is that this substitution is invisible in
     // the final output (results documents round-trip byte-exactly,
     // ctest-enforced). Replays complete first, in index order, before
-    // any simulation starts.
+    // any simulation starts. The result cache (content-addressed
+    // store) is consulted after the journal: same substitution
+    // contract, but keyed by spec content rather than run identity, so
+    // hits come from *any* previous run of the same spec and build.
     std::vector<char> replayed(specs.size(), 0);
-    if (hooks.journal != nullptr) {
+    if (hooks.journal != nullptr || hooks.cache != nullptr) {
         for (std::size_t i = 0; i < specs.size(); ++i) {
-            if (hooks.journal->tryLoad(i, results[i])) {
+            const bool hit =
+                (hooks.journal != nullptr &&
+                 hooks.journal->tryLoad(i, results[i])) ||
+                (hooks.cache != nullptr &&
+                 hooks.cache->tryLoad(i, results[i]));
+            if (hit) {
                 replayed[i] = 1;
                 if (on_done)
                     on_done(i, results[i]);
@@ -180,16 +188,21 @@ runExperiments(const std::vector<ExperimentSpec> &specs, int threads,
     // Journal appends ride the same serialization as on_done (the
     // done_mutex in the threaded path), and always run *before* the
     // progress callback: once the user sees "done", the record is
-    // durable.
+    // durable. Cache inserts follow the journal append -- publishing
+    // to the shared store is best-effort and must not delay the
+    // durability barrier.
     const ExperimentCallback complete =
         [&](std::size_t i, const SimResult &result) {
             if (hooks.journal != nullptr)
                 hooks.journal->record(i, result);
+            if (hooks.cache != nullptr)
+                hooks.cache->record(i, result);
             if (on_done)
                 on_done(i, result);
         };
     const ExperimentCallback &done_hook =
-        hooks.journal != nullptr ? complete : on_done;
+        hooks.journal != nullptr || hooks.cache != nullptr ? complete
+                                                           : on_done;
 
     std::mutex done_mutex;
     runBatch(specs, phase1, results, workers, done_hook, done_mutex,

@@ -74,6 +74,18 @@ struct RunHooks
 {
     ResultJournalHook *journal = nullptr;
     CheckpointStore *checkpoints = nullptr;
+
+    /**
+     * Result-cache seam (same contract as the journal hook, different
+     * provenance): a content-addressed store of completed results
+     * shared *across* runs and grids. Consulted after the journal in
+     * the replay pre-pass -- a hit fires on_done without simulating,
+     * with byte-identical results -- and offered every fresh
+     * completion via record(). Unlike the journal, record() here is an
+     * optimization, not a durability contract: implementations degrade
+     * (warn and drop) instead of ending the run.
+     */
+    ResultJournalHook *cache = nullptr;
 };
 
 /**

@@ -683,4 +683,10 @@ gridFingerprint(const std::string &grid_json)
     return buf;
 }
 
+std::string
+specFingerprint(const ExperimentSpec &spec)
+{
+    return gridFingerprint(json::write(specToJson(spec)));
+}
+
 } // namespace unison

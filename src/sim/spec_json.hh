@@ -116,6 +116,13 @@ std::vector<ResultPoint> resultsFromJson(const json::Value &value,
  *  can prove they came from the same grid before merging. */
 std::string gridFingerprint(const std::string &grid_json);
 
+/** Content address of one experiment spec: the fingerprint of its
+ *  canonical JSON serialization (specToJson + write, so two specs
+ *  that serialize identically -- and therefore simulate identically --
+ *  share an address). Keys the result store together with
+ *  kSimCodeVersion. */
+std::string specFingerprint(const ExperimentSpec &spec);
+
 } // namespace unison
 
 #endif // UNISON_SIM_SPEC_JSON_HH

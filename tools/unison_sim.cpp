@@ -24,6 +24,20 @@
  * run. `--warm-ckpt-dir` persists warm-up checkpoints across
  * invocations. Exit codes are classified: 2 = usage, 3 = I/O,
  * 4 = corrupt input (1 is kept for unclassified spec/config errors).
+ *
+ * Sweep serving (subcommands, dispatched on argv[1]):
+ *
+ *   unison_sim serve --listen sweep.sock --store store/
+ *   unison_sim submit --connect sweep.sock --spec specs/smoke.json
+ *   unison_sim submit --connect sweep.sock --ping       # readiness
+ *   unison_sim submit --connect sweep.sock --shutdown
+ *   unison_sim store gc --store store/ --max-bytes 256M
+ *
+ * The serve process owns a content-addressed result store; a submit
+ * round-trips byte-identically with a local `--spec` run, and a
+ * repeated submit is pure cache hits (zero simulation). `--store DIR`
+ * on a plain `--figure`/`--spec` run consults and feeds the same
+ * store without a server.
  */
 
 #include <algorithm>
@@ -36,15 +50,20 @@
 #include <unordered_map>
 #include <vector>
 
+#include <sys/stat.h>
+
 #include "bench/bench_common.hh"
 #include "common/error.hh"
 #include "common/file_io.hh"
 #include "common/version.hh"
 #include "dram/backend.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
 #include "sim/figures.hh"
 #include "sim/journal.hh"
 #include "sim/spec_json.hh"
 #include "stats/table.hh"
+#include "store/result_store.hh"
 #include "trace/scenarios.hh"
 
 namespace {
@@ -316,6 +335,7 @@ class JournalFile final : public ResultJournalHook
         if (!existing)
             return;
 
+        const std::uint64_t file_bytes = fileSizeOrZero(path_);
         std::vector<ResultPoint> loaded;
         JournalLoadSummary sum;
         ResultJournal::load(path_, gridHash_, kSimCodeVersion, loaded,
@@ -344,10 +364,22 @@ class JournalFile final : public ResultJournalHook
         for (ResultPoint &point : loaded)
             byLabel_.emplace(std::move(point.label),
                              std::move(point.result));
+        // One explicit accounting line per resume: every record in
+        // the file is either replayed, skipped as foreign (other
+        // grid/build), or dropped with the torn tail -- so "how much
+        // of my run survived?" never needs forensics.
+        const std::string torn_text =
+            sum.torn ? "torn tail truncated (" +
+                           std::to_string(file_bytes -
+                                          sum.validBytes) +
+                           " bytes dropped)"
+                     : "no torn tail";
         std::fprintf(stderr,
                      "unison_sim: journal %s: replaying %zu "
-                     "completed point(s)\n",
-                     path_.c_str(), byLabel_.size());
+                     "completed point(s); %zu foreign record(s) "
+                     "skipped; %s\n",
+                     path_.c_str(), byLabel_.size(), sum.mismatched,
+                     torn_text.c_str());
     }
 
     bool
@@ -413,6 +445,7 @@ struct DurabilityOptions
     std::string journalPath; //!< --journal: append-only result log
     bool resume = false;     //!< --resume: replay an existing journal
     std::string warmCkptDir; //!< --warm-ckpt-dir: checkpoint store
+    std::string storeDir;    //!< --store: content-addressed results
 };
 
 int
@@ -473,12 +506,38 @@ runGrid(const std::string &grid_name, std::vector<GridPoint> points,
     if (!durable.warmCkptDir.empty())
         checkpoints = std::make_unique<FileCheckpointStore>(
             durable.warmCkptDir);
+
+    // The content-addressed store is the cross-run cache: points any
+    // previous run of the same spec and build completed replay from
+    // it, and fresh completions publish back. The hook needs the
+    // specs in runner order, alive for the whole run.
+    std::unique_ptr<ResultStore> store;
+    std::unique_ptr<StoreCacheHook> cache;
+    std::vector<ExperimentSpec> specs;
+    if (!durable.storeDir.empty()) {
+        store = std::make_unique<ResultStore>(durable.storeDir);
+        specs.reserve(points.size());
+        for (const GridPoint &point : points)
+            specs.push_back(point.spec);
+        cache = std::make_unique<StoreCacheHook>(*store, specs);
+    }
+
     RunHooks hooks;
     hooks.journal = journal.get();
     hooks.checkpoints = checkpoints.get();
+    hooks.cache = cache.get();
 
     const std::vector<SimResult> results =
         runAll(points, threads, "unison_sim", hooks);
+
+    if (store != nullptr)
+        std::fprintf(stderr,
+                     "unison_sim: store %s: %llu hit(s), %llu "
+                     "insert(s)\n",
+                     store->dir().c_str(),
+                     static_cast<unsigned long long>(store->hits()),
+                     static_cast<unsigned long long>(
+                         store->inserts()));
 
     std::vector<ResultPoint> out;
     out.reserve(points.size());
@@ -505,11 +564,168 @@ runGrid(const std::string &grid_name, std::vector<GridPoint> points,
     return 0;
 }
 
+// ----------------------------------------------------- sweep serving
+
+/** `unison_sim serve`: long-running sweep server over a unix socket
+ *  and a content-addressed result store. */
+int
+serveCommand(int argc, char **argv)
+{
+    ArgParser args("unison_sim serve: accept spec submissions on a "
+                   "unix socket, serve repeated points from a "
+                   "content-addressed result store and simulate only "
+                   "what no run has computed before");
+    args.addOption("listen", "", "unix socket path to listen on");
+    args.addOption("store", "",
+                   "result store directory (created if missing)");
+    addThreadsOption(args);
+    args.parse(argc, argv);
+
+    serve::ServeOptions options;
+    options.listenPath = args.getString("listen");
+    options.storeDir = args.getString("store");
+    options.threads = parseThreads(args);
+    if (options.listenPath.empty())
+        throwUsage("serve needs --listen <socket-path>");
+    if (options.storeDir.empty())
+        throwUsage("serve needs --store <dir>");
+    return serve::serveForever(options);
+}
+
+/** `unison_sim submit`: round-trip a spec through a serve process.
+ *  The json output is byte-identical to a local `--spec` run of the
+ *  same file (CI-enforced). */
+int
+submitCommand(int argc, char **argv)
+{
+    ArgParser args("unison_sim submit: send a spec/grid file to a "
+                   "`unison_sim serve` process and write the results "
+                   "document a local run would have produced");
+    args.addOption("connect", "", "server's unix socket path");
+    args.addOption("spec", "", "spec/grid JSON file to submit");
+    args.addOption("format", "json", "output format: table|csv|json");
+    args.addOption("out", "", "write output to this file (default "
+                              "stdout)");
+    args.addFlag("ping", "readiness probe: exit 0 when the server "
+                         "answers with a matching code version");
+    args.addFlag("shutdown", "ask the server to finish active sweeps "
+                             "and exit");
+    args.parse(argc, argv);
+
+    const std::string connect = args.getString("connect");
+    if (connect.empty())
+        throwUsage("submit needs --connect <socket-path>");
+
+    if (args.getFlag("ping")) {
+        const SimStatus status = serve::pingServer(connect);
+        status.throwIfFailed();
+        std::fprintf(stderr, "unison_sim: submit: %s is ready\n",
+                     connect.c_str());
+        return 0;
+    }
+    if (args.getFlag("shutdown")) {
+        serve::shutdownServer(connect);
+        std::fprintf(stderr, "unison_sim: submit: asked %s to shut "
+                             "down\n",
+                     connect.c_str());
+        return 0;
+    }
+
+    const std::string spec_path = args.getString("spec");
+    if (spec_path.empty())
+        throwUsage("submit needs --spec <file> (or --ping/--shutdown)");
+
+    serve::SubmitOutcome outcome = serve::submitGrid(
+        connect, json::parse(readFile(spec_path)));
+    std::fprintf(
+        stderr,
+        "unison_sim: submit: %zu point(s): %llu store hit(s), %llu "
+        "peer hit(s), %llu simulated\n",
+        outcome.points.size(),
+        static_cast<unsigned long long>(outcome.storeHits),
+        static_cast<unsigned long long>(outcome.peerHits),
+        static_cast<unsigned long long>(outcome.simulated));
+
+    const std::string format = args.getString("format");
+    if (format == "json") {
+        writeOutput(args.getString("out"),
+                    json::write(resultsToJson(
+                        outcome.gridName, "", outcome.gridHash,
+                        std::move(outcome.points))));
+    } else if (format == "csv" || format == "table") {
+        writeOutput(args.getString("out"),
+                    tableOutput(outcome.points, format == "csv"));
+    } else {
+        throwUsage("--format must be table, csv or json, got '",
+                   format, "'");
+    }
+    return 0;
+}
+
+/** `unison_sim store gc`: trim a result store to a byte budget. */
+int
+storeCommand(int argc, char **argv)
+{
+    if (argc < 2 || std::string(argv[1]) != "gc")
+        throwUsage("store: the one subcommand is gc (unison_sim "
+                   "store gc --store <dir> --max-bytes <size>)");
+    ArgParser args("unison_sim store gc: evict the oldest unpinned "
+                   "objects of a result store until it fits a byte "
+                   "budget");
+    args.addOption("store", "", "result store directory");
+    args.addOption("max-bytes", "",
+                   "byte budget (accepts K/M/G suffixes)");
+    args.parse(argc - 1, argv + 1);
+
+    const std::string dir = args.getString("store");
+    if (dir.empty())
+        throwUsage("store gc needs --store <dir>");
+    if (args.getString("max-bytes").empty())
+        throwUsage("store gc needs --max-bytes <size>");
+    const std::uint64_t budget =
+        parseSize(args.getString("max-bytes"));
+
+    // Opening a store creates it; gc of a store that does not exist
+    // is a mistake, not a request for an empty directory.
+    struct ::stat st;
+    if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode))
+        throwIo("store gc: no store at " + dir);
+
+    ResultStore store(dir);
+    const StoreGcSummary sum = store.gc(budget);
+    std::printf("store gc %s: %zu object(s) (%llu bytes), evicted "
+                "%zu, kept %zu pinned, now %llu bytes\n",
+                dir.c_str(), sum.scanned,
+                static_cast<unsigned long long>(sum.bytesBefore),
+                sum.evicted, sum.pinnedKept,
+                static_cast<unsigned long long>(sum.bytesAfter));
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    // Subcommands dispatch on argv[1] before the flag parser: `serve`,
+    // `submit` and `store` have their own option sets (and `--spec`
+    // etc. keep meaning what they always did for plain runs).
+    if (argc >= 2) {
+        const std::string command = argv[1];
+        try {
+            if (command == "serve")
+                return serveCommand(argc - 1, argv + 1);
+            if (command == "submit")
+                return submitCommand(argc - 1, argv + 1);
+            if (command == "store")
+                return storeCommand(argc - 1, argv + 1);
+        } catch (const SimError &e) {
+            exitWith(e.code(), e.what());
+        } catch (const json::Error &e) {
+            exitWith(SimErrc::Corrupt, e.what());
+        }
+    }
+
     ArgParser args(
         "unison_sim: run experiment specs, paper figures and sharded "
         "sweeps from the declarative experiment API");
@@ -552,6 +768,10 @@ main(int argc, char **argv)
     args.addOption("warm-ckpt-dir", "",
                    "persist warm-up checkpoints in this directory "
                    "and reuse them across invocations");
+    args.addOption("store", "",
+                   "content-addressed result store: replay points "
+                   "any previous run of the same spec and build "
+                   "completed, publish fresh ones");
     addThreadsOption(args);
     args.parse(argc, argv);
 
@@ -569,6 +789,7 @@ main(int argc, char **argv)
     durable.journalPath = args.getString("journal");
     durable.resume = args.getFlag("resume");
     durable.warmCkptDir = args.getString("warm-ckpt-dir");
+    durable.storeDir = args.getString("store");
 
     // Classified exits: SimError carries its own exit code (2 usage,
     // 3 I/O, 4 corrupt input); malformed JSON is corrupt input by
@@ -589,10 +810,11 @@ main(int argc, char **argv)
             throwUsage("--resume needs --journal <path> (nothing to "
                        "resume from)");
         if ((!durable.journalPath.empty() ||
-             !durable.warmCkptDir.empty()) &&
+             !durable.warmCkptDir.empty() ||
+             !durable.storeDir.empty()) &&
             figure.empty() && spec_path.empty())
-            throwUsage("--journal / --warm-ckpt-dir only apply to "
-                       "--figure and --spec runs");
+            throwUsage("--journal / --warm-ckpt-dir / --store only "
+                       "apply to --figure and --spec runs");
 
         if (args.getFlag("list")) {
             listEverything();
