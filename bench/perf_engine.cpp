@@ -3,8 +3,10 @@
  * Simulation-engine throughput bench: how many simulated accesses per
  * second the engine sustains, per design, plus trace-replay speed, a
  * multiprogrammed mix at a given --engine-threads count, the
- * convergence grid with and without warm-checkpoint grouping, and the
- * wall-clock of a figure-style sweep at a given --threads count.
+ * datacenter-scale ycsb-kv arms (4/64/256 cores with a resident-set
+ * proxy), the convergence grid with and without warm-checkpoint
+ * grouping, and the wall-clock of a figure-style sweep at a given
+ * --threads count.
  *
  * This is the repo's performance regression guard. Timings on a shared
  * (CI) host drift by several percent between measurement windows, so
@@ -22,6 +24,8 @@
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -65,6 +69,29 @@ struct Measurement
         return med > 0.0 ? static_cast<double>(accesses) / med : 0.0;
     }
 };
+
+/** Kilobyte value of one /proc/self/status field ("VmRSS", "VmHWM"),
+ *  or 0 where procfs is unavailable. A proxy, not a measurement: it
+ *  covers the whole process, so only deltas and trends across runs of
+ *  the same binary mean anything. */
+std::uint64_t
+statusKb(const char *field)
+{
+    std::FILE *f = std::fopen("/proc/self/status", "rb");
+    if (f == nullptr)
+        return 0;
+    char line[256];
+    std::uint64_t kb = 0;
+    const std::size_t len = std::strlen(field);
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+        if (std::strncmp(line, field, len) == 0 && line[len] == ':') {
+            kb = std::strtoull(line + len + 1, nullptr, 10);
+            break;
+        }
+    }
+    std::fclose(f);
+    return kb;
+}
 
 void
 appendf(std::string &out, const char *fmt, ...)
@@ -153,7 +180,7 @@ main(int argc, char **argv)
         for (std::uint64_t i = 0; i < replay_n; ++i) {
             const int core = static_cast<int>(i % params.numCores);
             workload.next(core, acc);
-            acc.core = static_cast<std::uint8_t>(core);
+            acc.core = static_cast<std::uint16_t>(core);
             writer.write(acc);
         }
     }
@@ -251,6 +278,50 @@ main(int argc, char **argv)
     std::fprintf(stderr, "perf_engine: replay median %.0f acc/s\n",
                  replay.rate());
 
+    // --- Datacenter scale: the ycsb-kv arms of the datacenter grid
+    // --- (4/64/256 cores, >= 1M distinct keys), each timed once with
+    // --- a resident-set proxy read right after the run. Tracks both
+    // --- the per-core throughput of the skewed-keyspace generators
+    // --- and the O(active-set) metadata footprint at scale. ----------
+    struct DatacenterPoint
+    {
+        int cores = 0;
+        std::uint64_t accesses = 0;
+        double seconds = 0.0;
+        std::uint64_t vmRssKb = 0;
+        std::uint64_t vmHwmKb = 0;
+    };
+    std::vector<DatacenterPoint> datacenter;
+    {
+        FigureOptions fopts;
+        fopts.quick = quick;
+        fopts.seed = seed;
+        for (const GridPoint &point :
+             figureGrid("datacenter", fopts)) {
+            if (point.label.find("/ycsb-kv") == std::string::npos)
+                continue;
+            // Same --engine-threads as the mix_engine baseline, so
+            // the per-core comparison is engine-for-engine.
+            ExperimentSpec spec = point.spec;
+            spec.system.engineThreads = engine_threads;
+            DatacenterPoint dp;
+            dp.cores = spec.system.numCores;
+            dp.accesses = spec.accesses;
+            const auto t0 = Clock::now();
+            runExperiment(spec);
+            dp.seconds = secondsSince(t0);
+            dp.vmRssKb = statusKb("VmRSS");
+            dp.vmHwmKb = statusKb("VmHWM");
+            datacenter.push_back(dp);
+            std::fprintf(
+                stderr,
+                "perf_engine: datacenter ycsb-kv %d cores %.2fs "
+                "(VmRSS %llu kB)\n",
+                dp.cores, dp.seconds,
+                static_cast<unsigned long long>(dp.vmRssKb));
+        }
+    }
+
     // --- Figure-style sweep at --threads (timed once: it measures
     // --- the parallel runner, not the single-thread engine) ----------
     Measurement sweep;
@@ -317,7 +388,7 @@ main(int argc, char **argv)
     // root): add fields if needed, do not rename or remove them.
     std::string report;
     appendf(report,
-            "{\n  \"schema\": \"perf_engine/4\",\n"
+            "{\n  \"schema\": \"perf_engine/5\",\n"
             "  \"quick\": %s,\n  \"threads\": %d,\n"
             "  \"engine_threads\": %d,\n"
             "  \"repeats\": %lld,\n",
@@ -347,6 +418,24 @@ main(int argc, char **argv)
             engine_threads,
             static_cast<unsigned long long>(mix_engine.accesses),
             mix_engine.medianSeconds(), mix_engine.rate());
+    report += "  \"datacenter\": [\n";
+    for (std::size_t i = 0; i < datacenter.size(); ++i) {
+        const DatacenterPoint &dp = datacenter[i];
+        appendf(report,
+                "    {\"cores\": %d, \"accesses\": %llu, "
+                "\"seconds\": %.6f, \"accesses_per_sec\": %.0f, "
+                "\"vm_rss_kb\": %llu, \"vm_hwm_kb\": %llu}%s\n",
+                dp.cores,
+                static_cast<unsigned long long>(dp.accesses),
+                dp.seconds,
+                dp.seconds > 0.0
+                    ? static_cast<double>(dp.accesses) / dp.seconds
+                    : 0.0,
+                static_cast<unsigned long long>(dp.vmRssKb),
+                static_cast<unsigned long long>(dp.vmHwmKb),
+                i + 1 < datacenter.size() ? "," : "");
+    }
+    report += "  ],\n";
     {
         const double fast_rate = backend_fast.rate();
         const double detailed_rate = backend_detailed.rate();
@@ -412,6 +501,17 @@ main(int argc, char **argv)
     t.add(mix_engine.accesses);
     t.add(mix_engine.medianSeconds(), 3);
     t.add(mix_engine.rate(), 0);
+    for (const DatacenterPoint &dp : datacenter) {
+        t.beginRow();
+        t.add("datacenter ycsb-kv (" + std::to_string(dp.cores) +
+              " cores)");
+        t.add(dp.accesses);
+        t.add(dp.seconds, 3);
+        t.add(dp.seconds > 0.0
+                  ? static_cast<double>(dp.accesses) / dp.seconds
+                  : 0.0,
+              0);
+    }
     for (const Measurement *m : {&backend_fast, &backend_detailed}) {
         t.beginRow();
         t.add(m->name);

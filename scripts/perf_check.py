@@ -36,6 +36,13 @@ def rates(report):
     if "backend" in report:
         out["backend/fast"] = report["backend"]["fast_per_sec"]
         out["backend/detailed"] = report["backend"]["detailed_per_sec"]
+    # perf_engine/5 addition: the datacenter-scale ycsb-kv arms, keyed
+    # by core count. Only throughput is compared; the vm_rss_kb /
+    # vm_hwm_kb fields are a whole-process proxy too noisy to gate on.
+    for entry in report.get("datacenter", []):
+        out["datacenter/c%d" % entry["cores"]] = entry[
+            "accesses_per_sec"
+        ]
     if "ckpt_sweep" in report:
         out["ckpt_sweep"] = report["ckpt_sweep"]["accesses_per_sec"]
     if "ckpt_cold" in report:

@@ -10,16 +10,21 @@
  * The tracker models an SRAM-side structure and charges no timing;
  * designs that would have to reconstruct this information from the
  * in-DRAM tags (Sec. III-B.1) charge those scans themselves.
+ *
+ * Storage is a flat open-addressing table (common/flat_map.hh): the
+ * tracker sits on the per-access hot path and its population is the
+ * cache's live page set, so it must be O(active set) in memory and
+ * pointer-chase-free per lookup even when a datacenter-scale mix keeps
+ * millions of distinct pages in flight.
  */
 
 #ifndef UNISON_CACHE_PAGE_TRACKER_HH
 #define UNISON_CACHE_PAGE_TRACKER_HH
 
 #include <cstdint>
-#include <unordered_map>
-#include <utility>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/state_io.hh"
 
 namespace unison {
@@ -37,21 +42,16 @@ class PageGroupTracker
     };
 
     /** Tracked info for `page`, nullptr when no block is resident. */
-    PageInfo *
-    find(std::uint64_t page)
-    {
-        auto it = pages_.find(page);
-        return it == pages_.end() ? nullptr : &it->second;
-    }
+    PageInfo *find(std::uint64_t page) { return pages_.find(page); }
 
-    bool tracked(std::uint64_t page) const { return pages_.count(page) != 0; }
+    bool tracked(std::uint64_t page) const { return pages_.contains(page); }
 
     /** Start tracking a page at its trigger miss (replaces any stale
      *  entry for the same page). */
     PageInfo &
     insert(std::uint64_t page, const PageInfo &info)
     {
-        return pages_[page] = info;
+        return pages_.insertOrAssign(page, info);
     }
 
     /**
@@ -64,14 +64,14 @@ class PageGroupTracker
     bool
     removeBlock(std::uint64_t page, std::uint32_t offset, PageInfo &out)
     {
-        auto it = pages_.find(page);
-        if (it == pages_.end())
+        PageInfo *info = pages_.find(page);
+        if (info == nullptr)
             return false;
-        it->second.residentMask &= ~(1u << offset);
-        if (it->second.residentMask != 0)
+        info->residentMask &= ~(1u << offset);
+        if (info->residentMask != 0)
             return false;
-        out = it->second;
-        pages_.erase(it);
+        out = *info;
+        pages_.erase(page);
         return true;
     }
 
@@ -79,10 +79,10 @@ class PageGroupTracker
 
     void clear() { pages_.clear(); }
 
-    /** Warm-state checkpoint. The map is serialized as a flat
-     *  key/value vector (std::pair is not trivially copyable): its
-     *  only operations are keyed lookups, so the rebuilt map's
-     *  (unspecified) iteration order cannot affect behaviour. */
+    /** Warm-state checkpoint. The table is serialized as a flat
+     *  key/value vector in slot order: its only operations are keyed
+     *  lookups, so the rebuilt table's slot layout cannot affect
+     *  behaviour. */
     struct FlatEntry
     {
         std::uint64_t page;
@@ -94,8 +94,9 @@ class PageGroupTracker
     {
         std::vector<FlatEntry> flat;
         flat.reserve(pages_.size());
-        for (const auto &[page, info] : pages_)
+        pages_.forEach([&flat](std::uint64_t page, const PageInfo &info) {
             flat.push_back({page, info});
+        });
         out.podVector(flat);
     }
 
@@ -107,11 +108,11 @@ class PageGroupTracker
         pages_.clear();
         pages_.reserve(flat.size());
         for (const FlatEntry &e : flat)
-            pages_.emplace(e.page, e.info);
+            pages_.insertOrAssign(e.page, e.info);
     }
 
   private:
-    std::unordered_map<std::uint64_t, PageInfo> pages_;
+    FlatU64Map<PageInfo> pages_;
 };
 
 } // namespace unison

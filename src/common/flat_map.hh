@@ -1,0 +1,213 @@
+/**
+ * @file
+ * A flat open-addressing hash map from 64-bit keys to small
+ * trivially-copyable values, for per-access metadata on the simulator
+ * hot path (page-group tracking, and any future sparse table keyed by
+ * page/block number).
+ *
+ * Why not std::unordered_map: the node-based layout costs one heap
+ * allocation plus at least one dependent cache miss per lookup, and
+ * its resident size is dominated by node headers rather than payload.
+ * At datacenter scale (hundreds of cores, millions of distinct pages
+ * in flight) that overhead is the difference between engine-speed and
+ * allocator-bound runs.
+ *
+ * Design:
+ *  - linear probing over a power-of-two slot array (multiplicative
+ *    hashing via a 64-bit Fibonacci constant, top bits select the
+ *    home slot);
+ *  - tombstone-free deletion by backward shifting: erasing an entry
+ *    pulls displaced successors back toward their home slots, so probe
+ *    sequences never traverse graves and lookup cost stays bounded by
+ *    the live load factor;
+ *  - grows at 3/4 load, so memory is O(active set), not O(keyspace).
+ *
+ * The key ~0 is reserved as the empty-slot marker; callers index by
+ * page/block numbers, which can never reach it (an address would have
+ * to exceed 2^64). Iteration order (forEach) is slot order -- it is
+ * deterministic for a given insertion/erase history but unspecified
+ * otherwise, so callers must not let it influence simulated behaviour
+ * (the same contract the previous unordered_map-based tracker had).
+ */
+
+#ifndef UNISON_COMMON_FLAT_MAP_HH
+#define UNISON_COMMON_FLAT_MAP_HH
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace unison {
+
+template <typename Value>
+class FlatU64Map
+{
+    static_assert(std::is_trivially_copyable_v<Value>,
+                  "FlatU64Map slots are relocated with plain copies");
+
+  public:
+    /** Reserved empty-slot marker; never a valid key. */
+    static constexpr std::uint64_t kEmptyKey = ~0ull;
+
+    FlatU64Map() { reset(kMinCapacity); }
+
+    /** Pointer to the mapped value, nullptr when absent. Valid until
+     *  the next insert (growth relocates slots). */
+    Value *
+    find(std::uint64_t key)
+    {
+        std::size_t i = home(key);
+        while (slots_[i].key != key) {
+            if (slots_[i].key == kEmptyKey)
+                return nullptr;
+            i = (i + 1) & mask_;
+        }
+        return &slots_[i].value;
+    }
+
+    const Value *
+    find(std::uint64_t key) const
+    {
+        return const_cast<FlatU64Map *>(this)->find(key);
+    }
+
+    bool contains(std::uint64_t key) const { return find(key) != nullptr; }
+
+    /** Insert `key -> value`, overwriting any existing mapping.
+     *  Returns a reference valid until the next insert. */
+    Value &
+    insertOrAssign(std::uint64_t key, const Value &value)
+    {
+        UNISON_ASSERT(key != kEmptyKey,
+                      "FlatU64Map: key ~0 is the empty-slot marker");
+        if ((size_ + 1) * 4 > slots_.size() * 3)
+            grow();
+        std::size_t i = home(key);
+        while (slots_[i].key != kEmptyKey) {
+            if (slots_[i].key == key) {
+                slots_[i].value = value;
+                return slots_[i].value;
+            }
+            i = (i + 1) & mask_;
+        }
+        slots_[i].key = key;
+        slots_[i].value = value;
+        ++size_;
+        return slots_[i].value;
+    }
+
+    /** Remove `key` if present (backward-shift, no tombstones). */
+    bool
+    erase(std::uint64_t key)
+    {
+        std::size_t hole = home(key);
+        while (slots_[hole].key != key) {
+            if (slots_[hole].key == kEmptyKey)
+                return false;
+            hole = (hole + 1) & mask_;
+        }
+        // Pull displaced successors back: an entry at j with home h may
+        // fill the hole iff the hole lies on j's probe path, i.e. the
+        // cyclic distance home->j covers the cyclic distance hole->j.
+        std::size_t j = hole;
+        while (true) {
+            j = (j + 1) & mask_;
+            if (slots_[j].key == kEmptyKey)
+                break;
+            std::size_t h = home(slots_[j].key);
+            if (((j - h) & mask_) >= ((j - hole) & mask_)) {
+                slots_[hole] = slots_[j];
+                hole = j;
+            }
+        }
+        slots_[hole].key = kEmptyKey;
+        --size_;
+        return true;
+    }
+
+    std::size_t size() const { return size_; }
+
+    /** Slot-array capacity; with size(), gives the resident footprint
+     *  (capacity() * sizeof a slot), O(active set) by construction. */
+    std::size_t capacity() const { return slots_.size(); }
+
+    void clear() { reset(kMinCapacity); }
+
+    /** Pre-size for `n` entries (e.g. before a checkpoint rebuild). */
+    void
+    reserve(std::size_t n)
+    {
+        std::size_t cap = slots_.size();
+        while (n * 4 > cap * 3)
+            cap *= 2;
+        if (cap != slots_.size())
+            rehash(cap);
+    }
+
+    /** Visit every entry as fn(key, const Value &), in slot order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const Slot &s : slots_)
+            if (s.key != kEmptyKey)
+                fn(s.key, s.value);
+    }
+
+  private:
+    struct Slot
+    {
+        std::uint64_t key;
+        Value value;
+    };
+
+    static constexpr std::size_t kMinCapacity = 64;
+
+    std::size_t
+    home(std::uint64_t key) const
+    {
+        return static_cast<std::size_t>((key * 0x9e3779b97f4a7c15ull) >>
+                                        shift_);
+    }
+
+    void
+    reset(std::size_t cap)
+    {
+        slots_.assign(cap, Slot{kEmptyKey, Value{}});
+        mask_ = cap - 1;
+        shift_ = 64 - static_cast<unsigned>(std::countr_zero(cap));
+        size_ = 0;
+    }
+
+    void grow() { rehash(slots_.size() * 2); }
+
+    void
+    rehash(std::size_t cap)
+    {
+        std::vector<Slot> old = std::move(slots_);
+        std::size_t n = size_;
+        reset(cap);
+        size_ = n;
+        for (const Slot &s : old) {
+            if (s.key == kEmptyKey)
+                continue;
+            std::size_t i = home(s.key);
+            while (slots_[i].key != kEmptyKey)
+                i = (i + 1) & mask_;
+            slots_[i] = s;
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t size_ = 0;
+    std::size_t mask_ = 0;
+    unsigned shift_ = 0;
+};
+
+} // namespace unison
+
+#endif // UNISON_COMMON_FLAT_MAP_HH

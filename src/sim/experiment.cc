@@ -58,9 +58,11 @@ ExperimentSpec::validationError() const
     if (system.numCores < 1)
         return "experiment needs >= 1 core, got " +
                std::to_string(system.numCores);
-    if (system.numCores > 256)
-        return "experiment supports at most 256 cores (trace records "
-               "carry 8-bit core ids), got " +
+    if (system.numCores > kMaxCores)
+        return "experiment supports at most " +
+               std::to_string(kMaxCores) +
+               " cores (kMaxCores in trace/access.hh; the scheduler "
+               "packs core ids into its clock keys), got " +
                std::to_string(system.numCores);
 
     if (designKind() != DesignKind::NoDramCache) {

@@ -299,6 +299,64 @@ defaultMixesGrid(const FigureOptions &opts)
                      opts);
 }
 
+// -------------------------------------------------------- datacenter
+
+/**
+ * Production-scale datacenter serving mixes: the three skewed-keyspace
+ * scenarios (YCSB KV serving, DLRM embedding gathers, file serving)
+ * plus a KV/file-server consolidation split, each at 4, 64 and 256
+ * cores under Unison. This is the scale showcase the CloudSuite grids
+ * never reach: a 256-core point tracks >= 1M distinct keys through the
+ * O(active-set) page metadata and draws every key from the O(1)
+ * two-level samplers. Quick mode shortens the runs 4x but keeps the
+ * 256-core, million-key shape -- the CI byte-identity job runs it.
+ */
+std::vector<GridPoint>
+datacenterGrid(const FigureOptions &opts)
+{
+    const std::uint64_t total = opts.quick ? 1'000'000 : 4'000'000;
+    std::vector<std::vector<GridPoint>> segments;
+    for (int cores : {4, 64, 256}) {
+        const std::uint64_t accesses = std::max<std::uint64_t>(
+            total - total % static_cast<std::uint64_t>(cores),
+            static_cast<std::uint64_t>(cores));
+        ExperimentSpec base = baseSpec(opts);
+        base.capacityBytes = 512_MiB;
+        base.accesses = accesses;
+        base.design = DesignKind::Unison;
+        base.system.numCores = cores;
+        base.system.warmupAccesses = accesses / 2;
+        base.system.perCoreAccessBudget =
+            accesses / static_cast<std::uint64_t>(cores);
+
+        const int first = (cores + 1) / 2;
+        const int second = cores / 2;
+        const std::vector<NamedMix> mixes = {
+            {"ycsb-kv", {mixScenario(ScenarioKind::YcsbKv, cores)}},
+            {"dlrm", {mixScenario(ScenarioKind::DlrmEmbed, cores)}},
+            {"fileserve",
+             {mixScenario(ScenarioKind::FileServe, cores)}},
+            {"kv+fileserve",
+             {mixScenario(ScenarioKind::YcsbKv, first),
+              mixScenario(ScenarioKind::FileServe, second)}},
+        };
+
+        std::vector<SweepGrid::AxisValue> mix_axis;
+        for (const NamedMix &mix : mixes)
+            mix_axis.push_back(
+                {mix.title, [parts = mix.parts](ExperimentSpec &spec) {
+                     spec.mix = parts;
+                 }});
+
+        SweepGrid grid(base);
+        grid.over("cores", {{"cores=" + std::to_string(cores),
+                             [](ExperimentSpec &) {}}});
+        grid.over("mix", std::move(mix_axis));
+        segments.push_back(grid.points());
+    }
+    return concatGrids(segments);
+}
+
 // ------------------------------------------------------- convergence
 
 /**
@@ -429,6 +487,9 @@ const FigureEntry kFigures[] = {
      energyGrid},
     {"mixes", "multiprogrammed consolidation mixes x designs",
      defaultMixesGrid},
+    {"datacenter",
+     "skewed-keyspace serving mixes at 4/64/256 cores under Unison",
+     datacenterGrid},
     {"convergence",
      "UIPC vs measured-window length from one shared warm prefix",
      convergenceGrid},
@@ -478,23 +539,25 @@ figureGrid(const std::string &name, const FigureOptions &opts)
 std::vector<NamedMix>
 standardMixes(int cores)
 {
-    if (cores < 2 || cores % 2 != 0)
-        fatal("standardMixes needs an even core count >= 2, got ",
-              cores);
-    const int half = cores / 2;
+    if (cores < 2)
+        fatal("standardMixes needs a core count >= 2, got ", cores);
+    // Odd counts give the first program the extra core; even counts
+    // split exactly in half, matching the historical even-only tables.
+    const int first = (cores + 1) / 2;
+    const int second = cores / 2;
     return {
         {"web+tpch",
-         {mixPreset(Workload::WebServing, half),
-          mixPreset(Workload::TpchQueries, half)}},
+         {mixPreset(Workload::WebServing, first),
+          mixPreset(Workload::TpchQueries, second)}},
         {"serving+analytics",
-         {mixPreset(Workload::DataServing, half),
-          mixPreset(Workload::DataAnalytics, half)}},
+         {mixPreset(Workload::DataServing, first),
+          mixPreset(Workload::DataAnalytics, second)}},
         {"scan+chase",
-         {mixScenario(ScenarioKind::StreamScan, half),
-          mixScenario(ScenarioKind::PointerChase, half)}},
+         {mixScenario(ScenarioKind::StreamScan, first),
+          mixScenario(ScenarioKind::PointerChase, second)}},
         {"gups+web",
-         {mixScenario(ScenarioKind::RandomUpdate, half),
-          mixPreset(Workload::WebServing, half)}},
+         {mixScenario(ScenarioKind::RandomUpdate, first),
+          mixPreset(Workload::WebServing, second)}},
         {"prodcons",
          {mixScenario(ScenarioKind::ProducerConsumer, cores)}},
     };

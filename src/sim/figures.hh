@@ -52,7 +52,8 @@ std::vector<GridPoint> figureGrid(const std::string &name,
                                   const FigureOptions &opts);
 
 /** The five standard consolidation mixes of bench/mixes, sized for
- *  `cores` (must be even: every mix splits the cores in half). */
+ *  `cores` (any count >= 2; odd counts give the first program the
+ *  extra core). */
 std::vector<NamedMix> standardMixes(int cores);
 
 /**

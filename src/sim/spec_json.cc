@@ -67,6 +67,15 @@ asCount(const Value &v, const char *what, std::int64_t lo,
     return static_cast<int>(n);
 }
 
+/** Core-count ceiling of a spec schema version. v3 and earlier were
+ *  written (and validated) against a 256-core world; keeping their
+ *  cap preserves those documents' exact validation behaviour. */
+std::int64_t
+coreCap(int version)
+{
+    return version >= 4 ? kMaxCores : 256;
+}
+
 // -------------------------------------------------- workload params
 
 Value
@@ -98,13 +107,14 @@ workloadParamsToJson(const WorkloadParams &p)
 }
 
 WorkloadParams
-workloadParamsFromJson(const Value &value)
+workloadParamsFromJson(const Value &value, int version)
 {
     ObjectReader r(value, "workload params");
     WorkloadParams p;
     p.name = r.req("name").asString();
     p.datasetBytes = r.req("datasetBytes").asUint();
-    p.numCores = asCount(r.req("numCores"), "numCores", 1, 256);
+    p.numCores =
+        asCount(r.req("numCores"), "numCores", 1, coreCap(version));
     p.numFunctions =
         asCount(r.req("numFunctions"), "numFunctions", 1, 1 << 20);
     p.functionZipfAlpha = r.req("functionZipfAlpha").asDouble();
@@ -131,8 +141,11 @@ workloadParamsFromJson(const Value &value)
 
 // ------------------------------------------------- scenario params
 
+/** `version`: schema version of the enclosing spec. The datacenter
+ *  generator knobs joined in v4; they are emitted and required only
+ *  there, so every pre-v4 document round-trips byte-identically. */
 Value
-scenarioParamsToJson(const ScenarioParams &p)
+scenarioParamsToJson(const ScenarioParams &p, int version)
 {
     Value out{Object{}};
     out.set("kind", scenarioToken(p.kind));
@@ -142,11 +155,19 @@ scenarioParamsToJson(const ScenarioParams &p)
     out.set("writeFraction", p.writeFraction);
     out.set("instrsPerMemRef", p.instrsPerMemRef);
     out.set("strideBlocks", p.strideBlocks);
+    if (version >= 4) {
+        out.set("numKeys", p.numKeys);
+        out.set("keyZipfAlpha", p.keyZipfAlpha);
+        out.set("recordBlocks", p.recordBlocks);
+        out.set("requestBlocksMean", p.requestBlocksMean);
+        out.set("numTables", p.numTables);
+        out.set("lookupsPerTable", p.lookupsPerTable);
+    }
     return out;
 }
 
 ScenarioParams
-scenarioParamsFromJson(const Value &value)
+scenarioParamsFromJson(const Value &value, int version)
 {
     ObjectReader r(value, "scenario params");
     ScenarioParams p;
@@ -158,13 +179,30 @@ scenarioParamsFromJson(const Value &value)
     p.instrsPerMemRef = r.req("instrsPerMemRef").asDouble();
     p.strideBlocks = static_cast<std::uint32_t>(
         asCount(r.req("strideBlocks"), "strideBlocks", 1, 1 << 20));
+    if (version >= 4) {
+        p.numKeys = r.req("numKeys").asUint();
+        if (p.numKeys < 2 || p.numKeys > (1ull << 32))
+            throw json::Error("numKeys must be in [2, 2^32], got " +
+                              std::to_string(p.numKeys));
+        p.keyZipfAlpha = r.req("keyZipfAlpha").asDouble();
+        p.recordBlocks = static_cast<std::uint32_t>(asCount(
+            r.req("recordBlocks"), "recordBlocks", 1, 1 << 20));
+        p.requestBlocksMean = r.req("requestBlocksMean").asDouble();
+        p.numTables = static_cast<std::uint32_t>(
+            asCount(r.req("numTables"), "numTables", 1, 4096));
+        p.lookupsPerTable = static_cast<std::uint32_t>(asCount(
+            r.req("lookupsPerTable"), "lookupsPerTable", 1, 4096));
+    } else if (scenarioIsDatacenter(p.kind)) {
+        throw json::Error("scenario '" + scenarioToken(p.kind) +
+                          "' requires spec schema " + kSpecSchema);
+    }
     return p;
 }
 
 // ------------------------------------------------------ mix parts
 
 Value
-mixToJson(const std::vector<MixPart> &mix)
+mixToJson(const std::vector<MixPart> &mix, int version)
 {
     json::Array parts;
     for (const MixPart &part : mix) {
@@ -175,7 +213,8 @@ mixToJson(const std::vector<MixPart> &mix)
         if (part.custom)
             p.set("custom", workloadParamsToJson(*part.custom));
         if (part.scenario)
-            p.set("scenario", scenarioParamsToJson(*part.scenario));
+            p.set("scenario",
+                  scenarioParamsToJson(*part.scenario, version));
         if (!part.tracePath.empty())
             p.set("trace", part.tracePath);
         parts.push_back(std::move(p));
@@ -184,19 +223,20 @@ mixToJson(const std::vector<MixPart> &mix)
 }
 
 std::vector<MixPart>
-mixFromJson(const Value &value)
+mixFromJson(const Value &value, int version)
 {
     std::vector<MixPart> mix;
     for (const Value &entry : value.asArray()) {
         ObjectReader r(entry, "mix part");
         MixPart part;
-        part.cores = asCount(r.req("cores"), "mix part cores", 1, 256);
+        part.cores = asCount(r.req("cores"), "mix part cores", 1,
+                             coreCap(version));
         if (const Value *preset = r.opt("preset"))
             part.preset = workloadFromToken(preset->asString());
         if (const Value *custom = r.opt("custom"))
-            part.custom = workloadParamsFromJson(*custom);
+            part.custom = workloadParamsFromJson(*custom, version);
         if (const Value *scenario = r.opt("scenario"))
-            part.scenario = scenarioParamsFromJson(*scenario);
+            part.scenario = scenarioParamsFromJson(*scenario, version);
         if (const Value *trace = r.opt("trace"))
             part.tracePath = trace->asString();
         mix.push_back(std::move(part));
@@ -285,13 +325,15 @@ systemToJson(const SystemConfig &sys)
  *  joined in v2 and memoryBackend in v3; an older document neither
  *  carries the newer keys (unknown-key rejection still fires if it
  *  does) nor needs them -- absent means the serial engine and the
- *  fast backend, which is what every older spec ran. */
+ *  fast backend, which is what every older spec ran. v4 raised the
+ *  core cap from 256 to kMaxCores (coreCap above). */
 SystemConfig
 systemFromJson(const Value &value, int version)
 {
     ObjectReader r(value, "system");
     SystemConfig sys;
-    sys.numCores = asCount(r.req("numCores"), "numCores", 1, 256);
+    sys.numCores =
+        asCount(r.req("numCores"), "numCores", 1, coreCap(version));
     sys.cpiBase = r.req("cpiBase").asDouble();
     sys.maxOutstandingMisses = asCount(r.req("maxOutstandingMisses"),
                                        "maxOutstandingMisses", 1,
@@ -400,17 +442,42 @@ queueStatsFromJson(const Value &value)
 
 // ------------------------------------------------------------ spec
 
+namespace {
+
+/** Lowest schema version that expresses `spec`. Writing the lowest
+ *  version keeps every document a pre-v4 study could have produced
+ *  byte-identical to what it produced then. */
+int
+specSchemaVersion(const ExperimentSpec &spec)
+{
+    bool needs_v4 = spec.system.numCores > 256;
+    if (spec.customWorkload && spec.customWorkload->numCores > 256)
+        needs_v4 = true;
+    for (const MixPart &part : spec.mix) {
+        if (part.cores > 256)
+            needs_v4 = true;
+        if (part.custom && part.custom->numCores > 256)
+            needs_v4 = true;
+        if (part.scenario && scenarioIsDatacenter(part.scenario->kind))
+            needs_v4 = true;
+    }
+    return needs_v4 ? 4 : 3;
+}
+
+} // namespace
+
 json::Value
 specToJson(const ExperimentSpec &spec)
 {
+    const int version = specSchemaVersion(spec);
     Value out{Object{}};
-    out.set("schema", kSpecSchema);
+    out.set("schema", version >= 4 ? kSpecSchema : kSpecSchemaV3);
     out.set("workload", workloadToken(spec.workload));
     if (spec.customWorkload)
         out.set("customWorkload",
                 workloadParamsToJson(*spec.customWorkload));
     if (!spec.mix.empty())
-        out.set("mix", mixToJson(spec.mix));
+        out.set("mix", mixToJson(spec.mix, version));
     out.set("design", designToJson(spec.design));
     out.set("capacityBytes", spec.capacityBytes);
     out.set("accesses", spec.accesses);
@@ -427,6 +494,8 @@ specFromJson(const json::Value &value)
     const std::string schema = r.req("schema").asString();
     int version = 0;
     if (schema == kSpecSchema)
+        version = 4;
+    else if (schema == kSpecSchemaV3)
         version = 3;
     else if (schema == kSpecSchemaV2)
         version = 2;
@@ -435,15 +504,15 @@ specFromJson(const json::Value &value)
     else
         throw json::Error("unsupported spec schema '" + schema +
                           "' (this build reads " + kSpecSchema + ", " +
-                          kSpecSchemaV2 + " and " + kSpecSchemaV1 +
-                          ")");
+                          kSpecSchemaV3 + ", " + kSpecSchemaV2 +
+                          " and " + kSpecSchemaV1 + ")");
 
     ExperimentSpec spec;
     spec.workload = workloadFromToken(r.req("workload").asString());
     if (const Value *custom = r.opt("customWorkload"))
-        spec.customWorkload = workloadParamsFromJson(*custom);
+        spec.customWorkload = workloadParamsFromJson(*custom, version);
     if (const Value *mix = r.opt("mix"))
-        spec.mix = mixFromJson(*mix);
+        spec.mix = mixFromJson(*mix, version);
     spec.design = designFromJson(r.req("design"));
     spec.capacityBytes = r.req("capacityBytes").asUint();
     spec.accesses = r.req("accesses").asUint();
@@ -565,6 +634,7 @@ gridFromJson(const json::Value &value)
 
     GridFile grid;
     if (schema->asString() == kSpecSchema ||
+        schema->asString() == kSpecSchemaV3 ||
         schema->asString() == kSpecSchemaV2 ||
         schema->asString() == kSpecSchemaV1) {
         // A bare spec is a one-point grid labelled by its design.

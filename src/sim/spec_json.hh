@@ -7,11 +7,18 @@
  *
  * Three document kinds, each self-identifying via a "schema" field:
  *
- *  - `unison-spec/3`    one experiment spec (v1 and v2 are still
- *                       read: v2 is v3 minus system.memoryBackend
- *                       [defaults to "fast"], v1 is v2 minus
- *                       system.engineThreads [defaults to 1]; writes
- *                       always emit v3);
+ *  - `unison-spec/4`    one experiment spec (v1..v3 are still read:
+ *                       v4 is v3 plus >256-core systems and the
+ *                       datacenter scenario knobs [numKeys,
+ *                       keyZipfAlpha, recordBlocks, requestBlocksMean,
+ *                       numTables, lookupsPerTable], v2 is v3 minus
+ *                       system.memoryBackend [defaults to "fast"], v1
+ *                       is v2 minus system.engineThreads [defaults to
+ *                       1]; writes float to the *lowest* version that
+ *                       expresses the spec -- a spec with <= 256 cores
+ *                       and no datacenter scenarios still writes v3,
+ *                       so documents from older studies stay
+ *                       byte-identical);
  *  - `unison-grid/1`    a named list of labelled specs (a sweep);
  *  - `unison-results/1` a list of (index, label, spec, result) points.
  *
@@ -42,8 +49,10 @@
 
 namespace unison {
 
-inline constexpr const char *kSpecSchema = "unison-spec/3";
-/** Previous spec schemas, still accepted by specFromJson. */
+inline constexpr const char *kSpecSchema = "unison-spec/4";
+/** Previous spec schemas, still accepted by specFromJson (and still
+ *  *written* when a spec does not need v4 features). */
+inline constexpr const char *kSpecSchemaV3 = "unison-spec/3";
 inline constexpr const char *kSpecSchemaV2 = "unison-spec/2";
 inline constexpr const char *kSpecSchemaV1 = "unison-spec/1";
 inline constexpr const char *kGridSchema = "unison-grid/1";

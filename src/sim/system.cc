@@ -428,8 +428,8 @@ System::runLoopBody(FrontEnd &fe, Source &source, Cache &cache,
     UNISON_ASSERT(total_accesses > 0, "empty simulation");
     UNISON_ASSERT(source.numCores() <= config_.numCores,
                   "trace has more cores than the system");
-    UNISON_ASSERT(source.numCores() <= 255,
-                  "scheduler packs core ids into 8 bits");
+    UNISON_ASSERT(source.numCores() <= kMaxCores,
+                  "scheduler supports at most ", kMaxCores, " cores");
 
     std::vector<double> core_time(config_.numCores, 0.0);
     // The scheduler's view of the clocks: mirrors core_time, except a
@@ -499,23 +499,32 @@ System::runLoopBody(FrontEnd &fe, Source &source, Cache &cache,
     // furthest behind, so DRAM requests arrive in near-global time
     // order and queueing behaves realistically. Non-negative IEEE
     // doubles order identically to their bit patterns, so each clock
-    // becomes an integer key with the core id packed into the low 8
+    // becomes an integer key with the core id packed into the low
     // (mantissa) bits: the min key yields both the laggard and, on
-    // (quantized) ties, the lowest id. Keys live in a persistent
-    // array -- only the advanced core's clock changes per iteration,
-    // so one key is recomputed per access and the selection is a
-    // branchless min-reduction (four independent cmov chains) over
-    // ready-made keys. (Two cleverer schedulers were tried and
-    // measured slower here: a log-depth tournament tree serializes on
-    // store-to-load forwarding, and a cached-runner-up scheme
-    // pessimizes the whole loop with its rescan branch.)
-    const auto key_of = [clocks](int c) {
-        return (std::bit_cast<std::uint64_t>(clocks[c]) & ~255ull) |
+    // (quantized) ties, the lowest id. The id field is 8 bits up to
+    // 256 cores -- which keeps every historical (<= 256-core) run's
+    // tie quantization, and therefore its output, byte-identical --
+    // and widens to the next power of two beyond that (kMaxCores =
+    // 1024 uses 10 of the 52 mantissa bits; the coarser tie
+    // quantization is still ~2^-42 relative). Keys live in a
+    // persistent array -- only the advanced core's clock changes per
+    // iteration, so one key is recomputed per access and the
+    // selection is a branchless min-reduction (four independent cmov
+    // chains) over ready-made keys. (Two cleverer schedulers were
+    // tried and measured slower here: a log-depth tournament tree
+    // serializes on store-to-load forwarding, and a cached-runner-up
+    // scheme pessimizes the whole loop with its rescan branch.)
+    const std::uint64_t id_mask =
+        src_cores <= 256
+            ? 255ull
+            : std::bit_ceil(static_cast<std::uint64_t>(src_cores)) - 1;
+    const auto key_of = [clocks, id_mask](int c) {
+        return (std::bit_cast<std::uint64_t>(clocks[c]) & ~id_mask) |
                static_cast<std::uint64_t>(c);
     };
     // Pad to at least four entries with the maximum key, which can
     // never win the min against a real clock key (real keys carry a
-    // finite or +inf clock pattern and a sub-256 core id).
+    // finite or +inf clock pattern, never all-ones).
     std::vector<std::uint64_t> keys(
         static_cast<std::size_t>(std::max(src_cores, 4)), ~0ull);
     for (int c = 0; c < src_cores; ++c)
@@ -607,7 +616,8 @@ System::runLoopBody(FrontEnd &fe, Source &source, Cache &cache,
         }
         b0 = b1 < b0 ? b1 : b0;
         b2 = b3 < b2 ? b3 : b2;
-        const int core = static_cast<int>((b2 < b0 ? b2 : b0) & 255);
+        const int core =
+            static_cast<int>((b2 < b0 ? b2 : b0) & id_mask);
 
         double &now = core_time[core];
         if (!fe.next(core, acc)) {

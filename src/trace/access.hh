@@ -17,6 +17,16 @@
 namespace unison {
 
 /**
+ * Hard core-count ceiling across the simulator (spec validation, mix
+ * parsing, the scheduler's packed clock keys). 1024 covers the
+ * datacenter consolidation studies ("hundreds of simulated cores");
+ * the scheduler packs core ids into the low mantissa bits of its
+ * clock keys, which holds comfortably up to this bound (see
+ * System::runLoopBody).
+ */
+inline constexpr int kMaxCores = 1024;
+
+/**
  * One memory reference as seen by a core's load/store unit.
  *
  * The stream is interleaved across cores; `instrsBefore` is the number
@@ -30,7 +40,7 @@ struct MemoryAccess
     Addr addr = 0;                 //!< physical byte address
     Pc pc = 0;                     //!< issuing instruction address
     std::uint16_t instrsBefore = 0;//!< instructions since core's last ref
-    std::uint8_t core = 0;         //!< issuing core id
+    std::uint16_t core = 0;        //!< issuing core id (< kMaxCores)
     bool isWrite = false;          //!< store (true) or load (false)
 };
 

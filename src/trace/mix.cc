@@ -111,9 +111,9 @@ parseMixSpec(const std::string &text)
             char *end = nullptr;
             const long v = std::strtol(count.c_str(), &end, 10);
             if (end == count.c_str() || *end != '\0' || v < 1 ||
-                v > 255) {
+                v > kMaxCores) {
                 fatal("bad core count '", count, "' in mix spec '",
-                      text, "'");
+                      text, "' (must be 1..", kMaxCores, ")");
             }
             cores = static_cast<int>(v);
             token = token.substr(0, colon);
@@ -179,7 +179,9 @@ MixedWorkload::MixedWorkload(const std::vector<MixPart> &parts,
     for (std::size_t p = 0; p < parts.size(); ++p) {
         if (parts[p].scenario) {
             shared_base[p] = base;
-            base += alignUp(parts[p].scenario->hotSetBytes);
+            // Hot set for the classic scenarios, keyed data space for
+            // the datacenter generators (see scenarioSharedBytes).
+            base += alignUp(scenarioSharedBytes(*parts[p].scenario));
         }
     }
 
@@ -245,7 +247,7 @@ MixedWorkload::next(int core, MemoryAccess &out)
     if (!binding.source->next(binding.localCore, out))
         return false;
     out.addr += binding.addrOffset;
-    out.core = static_cast<std::uint8_t>(core);
+    out.core = static_cast<std::uint16_t>(core);
     return true;
 }
 

@@ -6,6 +6,7 @@
 #include "common/bitops.hh"
 #include "common/logging.hh"
 #include "trace/presets.hh"
+#include "trace/workload.hh"
 
 namespace unison {
 
@@ -17,8 +18,61 @@ constexpr Pc kScanPc = 0xA00100;
 constexpr Pc kGupsPc = 0xA00200;
 constexpr Pc kHotPc = 0xA00300;
 constexpr Pc kColdPc = 0xA00400;
+constexpr Pc kKvReqPc = 0xA00500;
+constexpr Pc kKvDataPc = 0xA00600;
+constexpr Pc kDlrmGatherPc = 0xA00700;
+constexpr Pc kDlrmMlpPc = 0xA00800;
+constexpr Pc kFileMetaPc = 0xA00900;
+constexpr Pc kFileDataPc = 0xA00A00;
+
+/** Per-table scatter salt (odd, so the scatter stays a bijection). */
+std::uint64_t
+tableSalt(std::uint32_t table)
+{
+    return (static_cast<std::uint64_t>(table) + 1) *
+           0x6a09e667f3bcc909ull;
+}
 
 } // namespace
+
+bool
+scenarioIsDatacenter(ScenarioKind kind)
+{
+    return kind == ScenarioKind::YcsbKv ||
+           kind == ScenarioKind::DlrmEmbed ||
+           kind == ScenarioKind::FileServe;
+}
+
+std::uint64_t
+scenarioKeySpace(const ScenarioParams &params)
+{
+    return std::bit_floor(std::max<std::uint64_t>(params.numKeys, 2));
+}
+
+std::uint64_t
+scenarioSharedBytes(const ScenarioParams &params)
+{
+    const std::uint64_t record_blocks =
+        std::max<std::uint64_t>(params.recordBlocks, 1);
+    const std::uint64_t keyed =
+        scenarioKeySpace(params) * record_blocks * kBlockBytes;
+    switch (params.kind) {
+      case ScenarioKind::YcsbKv:
+        return keyed;
+      case ScenarioKind::DlrmEmbed:
+        return keyed * std::max<std::uint64_t>(params.numTables, 1);
+      case ScenarioKind::FileServe: {
+        // Metadata hot set first, file extents after it; the block
+        // count must match the source's hotBlocks_ so the layouts
+        // agree.
+        const std::uint64_t meta_blocks =
+            std::max<std::uint64_t>(params.hotSetBytes / kBlockBytes, 1);
+        return meta_blocks * kBlockBytes + keyed;
+      }
+      default:
+        return params.hotSetBytes;
+    }
+}
 
 ScenarioParams
 scenarioParams(ScenarioKind kind)
@@ -55,6 +109,49 @@ scenarioParams(ScenarioKind kind)
         p.writeFraction = 0.05;
         p.instrsPerMemRef = 8.0;
         break;
+      case ScenarioKind::YcsbKv:
+        // YCSB-B-flavoured KV serving: 1M 1-KB records, zipfian 0.99
+        // key popularity (the YCSB default), 5% updates, short
+        // partial-record reads, per-request parse work in a private
+        // scratch region.
+        p.footprintBytes = 64ull << 20;
+        p.numKeys = 1ull << 20;
+        p.keyZipfAlpha = 0.99;
+        p.recordBlocks = 16;
+        p.requestBlocksMean = 4.0;
+        p.writeFraction = 0.05;
+        p.instrsPerMemRef = 8.0;
+        break;
+      case ScenarioKind::DlrmEmbed:
+        // Embedding gathers: 8 tables x 128K rows x 128 B, 4 pooled
+        // lookups per table per sample with per-table skew, then a
+        // dense-MLP streaming burst over private activations.
+        p.footprintBytes = 128ull << 20;
+        p.numKeys = 1ull << 17;
+        p.keyZipfAlpha = 1.05;
+        p.recordBlocks = 2;
+        p.numTables = 8;
+        p.lookupsPerTable = 4;
+        p.requestBlocksMean = 16.0;
+        p.writeFraction = 0.0;
+        p.instrsPerMemRef = 4.0;
+        break;
+      case ScenarioKind::FileServe:
+        // Client/server file serving with a metadata hot set (the
+        // orangefs sidcache/ucache shape): 40% of operations are
+        // metadata lookups in a small shared cache, the rest stream a
+        // geometric-length transfer out of a zipf-popular 4-KB file;
+        // 10% of transfers are ingests (writes).
+        p.footprintBytes = 64ull << 20;
+        p.hotSetBytes = 2ull << 20;
+        p.hotFraction = 0.4;
+        p.numKeys = 1ull << 18;
+        p.keyZipfAlpha = 1.1;
+        p.recordBlocks = 64;
+        p.requestBlocksMean = 16.0;
+        p.writeFraction = 0.1;
+        p.instrsPerMemRef = 6.0;
+        break;
     }
     return p;
 }
@@ -71,6 +168,12 @@ scenarioName(ScenarioKind kind)
         return "Random Update";
       case ScenarioKind::ProducerConsumer:
         return "Producer-Consumer";
+      case ScenarioKind::YcsbKv:
+        return "YCSB KV Serving";
+      case ScenarioKind::DlrmEmbed:
+        return "DLRM Embedding";
+      case ScenarioKind::FileServe:
+        return "File Serving";
     }
     panic("unknown scenario kind");
 }
@@ -88,6 +191,14 @@ scenarioFromName(const std::string &name, ScenarioKind &out)
         out = ScenarioKind::RandomUpdate;
     } else if (key == "producerconsumer" || key == "prodcons") {
         out = ScenarioKind::ProducerConsumer;
+    } else if (key == "ycsbkvserving" || key == "ycsbkv" ||
+               key == "ycsb" || key == "kvserving") {
+        out = ScenarioKind::YcsbKv;
+    } else if (key == "dlrmembedding" || key == "dlrmembed" ||
+               key == "dlrm") {
+        out = ScenarioKind::DlrmEmbed;
+    } else if (key == "fileserving" || key == "fileserve") {
+        out = ScenarioKind::FileServe;
     } else {
         return false;
     }
@@ -122,10 +233,40 @@ ScenarioSource::ScenarioSource(const ScenarioParams &params,
         static_cast<std::uint32_t>(wf * static_cast<double>(1u << 24));
     const double hi = 2.0 * params_.instrsPerMemRef - 1.0 + 0.5;
     instrSpan_ = static_cast<std::uint32_t>(std::max(hi, 1.0));
+    if (scenarioIsDatacenter(params_.kind)) {
+        // Writes are drawn explicitly per *request* (an update writes
+        // its whole transfer), so the per-access sprinkle is disabled.
+        writeThresh24_ = 0;
+        keySpace_ = scenarioKeySpace(params_);
+        recordBlocks_ = std::max<std::uint64_t>(params_.recordBlocks, 1);
+        keyZipf_ =
+            sharedTwoLevelZipfSampler(keySpace_, params_.keyZipfAlpha);
+        if (params_.requestBlocksMean > 1.0) {
+            reqLenGeometric_ = true;
+            reqLenDenom_ = Rng::geometricDenom(params_.requestBlocksMean);
+        }
+    }
     // Stagger scan starts so same-scenario cores do not march in
     // lockstep over identical offsets of their private regions.
     scanCursor_ = rng_.below(privateBlocks_);
     chaseCursor_ = rng_.below(privateBlocks_);
+}
+
+std::uint64_t
+ScenarioSource::scatterKey(std::uint64_t rank, std::uint64_t salt) const
+{
+    // Odd-multiplier scatter is a bijection on the power-of-two
+    // keyspace: every rank maps to a distinct key, so skew never
+    // collapses the number of distinct keys touched.
+    return (rank * 0x9e3779b97f4a7c15ull + salt) & (keySpace_ - 1);
+}
+
+std::uint64_t
+ScenarioSource::requestLength()
+{
+    if (!reqLenGeometric_)
+        return 1;
+    return rng_.geometricWith(reqLenDenom_);
 }
 
 void
@@ -193,8 +334,125 @@ ScenarioSource::next(int core, MemoryAccess &out)
         }
         return true;
       }
+      case ScenarioKind::YcsbKv:
+        return nextYcsbKv(out);
+      case ScenarioKind::DlrmEmbed:
+        return nextDlrmEmbed(out);
+      case ScenarioKind::FileServe:
+        return nextFileServe(out);
     }
     panic("unknown scenario kind");
+}
+
+bool
+ScenarioSource::nextYcsbKv(MemoryAccess &out)
+{
+    if (burstLeft_ > 0) {
+        // Drain the record transfer one block per call.
+        --burstLeft_;
+        emit(burstBlock_++, burstWrite_, kKvDataPc, out);
+        return true;
+    }
+    // New request: pick a zipf-popular key, decide read vs update,
+    // size the partial-record transfer, and open the request with one
+    // parse/stack touch in this core's private scratch region.
+    const std::uint64_t rank = keyZipf_->sample(rng_);
+    const std::uint64_t key = scatterKey(rank, 0);
+    burstWrite_ = rng_.chance(params_.writeFraction);
+    burstBlock_ = sharedBaseBlock_ + key * recordBlocks_;
+    burstLeft_ = std::min<std::uint64_t>(requestLength(), recordBlocks_);
+    scanCursor_ = scanCursor_ + 1 == privateBlocks_ ? 0 : scanCursor_ + 1;
+    emit(privateBaseBlock_ + scanCursor_, false, kKvReqPc, out);
+    return true;
+}
+
+bool
+ScenarioSource::nextDlrmEmbed(MemoryAccess &out)
+{
+    if (burstLeft_ > 0) {
+        --burstLeft_;
+        if (burstPhase_ == 2) {
+            // MLP: read the activation, write the next layer's.
+            emit(burstBlock_++, (burstLeft_ & 1) != 0, kDlrmMlpPc, out);
+        } else {
+            emit(burstBlock_++, false, kDlrmGatherPc, out);
+        }
+        return true;
+    }
+    if (burstPhase_ != 1) {
+        // Start a new sample: gather from table 0 again.
+        burstPhase_ = 1;
+        tableCursor_ = 0;
+        lookupCursor_ = 0;
+    }
+    const std::uint32_t tables = std::max<std::uint32_t>(
+        params_.numTables, 1);
+    const std::uint32_t lookups = std::max<std::uint32_t>(
+        params_.lookupsPerTable, 1);
+    if (tableCursor_ < tables) {
+        // One pooled lookup: a whole embedding row, per-table salt so
+        // every table has its own popularity-to-row permutation.
+        const std::uint64_t rank = keyZipf_->sample(rng_);
+        const std::uint64_t row = scatterKey(rank, tableSalt(tableCursor_));
+        burstBlock_ = sharedBaseBlock_ +
+                      (static_cast<std::uint64_t>(tableCursor_) *
+                           keySpace_ +
+                       row) *
+                          recordBlocks_;
+        burstLeft_ = recordBlocks_;
+        if (++lookupCursor_ >= lookups) {
+            lookupCursor_ = 0;
+            ++tableCursor_;
+        }
+        --burstLeft_;
+        emit(burstBlock_++, false, kDlrmGatherPc, out);
+        return true;
+    }
+    // All tables gathered: dense-MLP streaming burst over the private
+    // activation buffer, alternating read/write.
+    burstPhase_ = 2;
+    std::uint64_t len = std::max<std::uint64_t>(requestLength(), 2);
+    if (scanCursor_ + len >= privateBlocks_)
+        scanCursor_ = 0;
+    burstBlock_ = privateBaseBlock_ + scanCursor_;
+    scanCursor_ += len;
+    burstLeft_ = len - 1;
+    emit(burstBlock_++, (burstLeft_ & 1) != 0, kDlrmMlpPc, out);
+    return true;
+}
+
+bool
+ScenarioSource::nextFileServe(MemoryAccess &out)
+{
+    if (burstLeft_ > 0) {
+        --burstLeft_;
+        emit(burstBlock_++, burstWrite_, kFileDataPc, out);
+        return true;
+    }
+    if (rng_.chance(params_.hotFraction)) {
+        // Metadata operation in the shared hot cache (the
+        // sidcache/ucache shape): small, heavily reused, read-mostly.
+        const std::uint64_t block =
+            sharedBaseBlock_ + rng_.below(hotBlocks_);
+        emit(block, rng_.chance(params_.writeFraction), kFileMetaPc, out);
+        return true;
+    }
+    // Data operation: stream a geometric-length transfer out of a
+    // zipf-popular file's extent, from a random in-extent offset;
+    // ingests (writes) with probability writeFraction.
+    const std::uint64_t rank = keyZipf_->sample(rng_);
+    const std::uint64_t file = scatterKey(rank, 0);
+    burstWrite_ = rng_.chance(params_.writeFraction);
+    const std::uint64_t len =
+        std::min<std::uint64_t>(requestLength(), recordBlocks_);
+    const std::uint64_t extent =
+        sharedBaseBlock_ + hotBlocks_ + file * recordBlocks_;
+    const std::uint64_t start =
+        len >= recordBlocks_ ? 0 : rng_.below(recordBlocks_ - len + 1);
+    burstBlock_ = extent + start;
+    burstLeft_ = len - 1;
+    emit(burstBlock_++, burstWrite_, kFileDataPc, out);
+    return true;
 }
 
 } // namespace unison

@@ -27,6 +27,7 @@
 #define UNISON_TRACE_SCENARIOS_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "common/rng.hh"
@@ -35,14 +36,25 @@
 
 namespace unison {
 
-/** The four mix-scenario generators. */
+/** The mix-scenario generators. The last three are the *datacenter*
+ *  family: skewed request streams over keyspaces of millions of
+ *  distinct keys, modeled after YCSB-over-KV serving, DLRM embedding
+ *  gathers and client/server file serving with a metadata hot set. */
 enum class ScenarioKind
 {
     PointerChase,
     StreamScan,
     RandomUpdate,
     ProducerConsumer,
+    YcsbKv,
+    DlrmEmbed,
+    FileServe,
 };
+
+/** True for the large-keyspace serving generators (YcsbKv, DlrmEmbed,
+ *  FileServe), which use the shared region as a keyed data space
+ *  rather than a small hot set. */
+bool scenarioIsDatacenter(ScenarioKind kind);
 
 /** Tunables of one scenario instance (one core). */
 struct ScenarioParams
@@ -67,7 +79,35 @@ struct ScenarioParams
 
     /** Blocks advanced per reference (StreamScan). */
     std::uint32_t strideBlocks = 1;
+
+    /** @name Datacenter generator knobs (YcsbKv, DlrmEmbed, FileServe)
+     *
+     * numKeys is the distinct keys (records / embedding rows per
+     * table / files) in the shared keyspace; it is rounded *down* to a
+     * power of two so Zipf ranks scatter bijectively over keys (a
+     * modulo fold would silently lose ~37% of the distinct keys).
+     * recordBlocks is the contiguous extent of one key's data.
+     * requestBlocksMean shapes the per-request transfer length
+     * (geometric, capped at recordBlocks for keyed reads).
+     */
+    /**@{*/
+    std::uint64_t numKeys = 1ull << 20;
+    double keyZipfAlpha = 0.99;
+    std::uint32_t recordBlocks = 16;
+    double requestBlocksMean = 4.0;
+    std::uint32_t numTables = 8;       //!< DlrmEmbed embedding tables
+    std::uint32_t lookupsPerTable = 4; //!< DlrmEmbed multi-hot degree
+    /**@}*/
 };
+
+/** Power-of-two keyspace a datacenter scenario actually uses
+ *  (bit_floor of numKeys; >= 2). */
+std::uint64_t scenarioKeySpace(const ScenarioParams &params);
+
+/** Bytes of shared region a mix must reserve for one scenario: the
+ *  hot set for ProducerConsumer, the keyed data space (plus metadata
+ *  hot set for FileServe) for the datacenter kinds. */
+std::uint64_t scenarioSharedBytes(const ScenarioParams &params);
 
 /** Calibrated defaults for each scenario kind. */
 ScenarioParams scenarioParams(ScenarioKind kind);
@@ -120,6 +160,12 @@ class ScenarioSource final : public AccessSource
         out.pod(scanCursor_);
         out.pod(updatePending_);
         out.pod(updateBlock_);
+        out.pod(burstBlock_);
+        out.pod(burstLeft_);
+        out.pod(burstWrite_);
+        out.pod(burstPhase_);
+        out.pod(tableCursor_);
+        out.pod(lookupCursor_);
     }
 
     void
@@ -130,11 +176,22 @@ class ScenarioSource final : public AccessSource
         in.pod(scanCursor_);
         in.pod(updatePending_);
         in.pod(updateBlock_);
+        in.pod(burstBlock_);
+        in.pod(burstLeft_);
+        in.pod(burstWrite_);
+        in.pod(burstPhase_);
+        in.pod(tableCursor_);
+        in.pod(lookupCursor_);
     }
 
   private:
     void emit(std::uint64_t block, bool is_write, Pc pc,
               MemoryAccess &out);
+    bool nextYcsbKv(MemoryAccess &out);
+    bool nextDlrmEmbed(MemoryAccess &out);
+    bool nextFileServe(MemoryAccess &out);
+    std::uint64_t scatterKey(std::uint64_t rank, std::uint64_t salt) const;
+    std::uint64_t requestLength();
 
     ScenarioParams params_;
     Rng rng_;
@@ -146,10 +203,31 @@ class ScenarioSource final : public AccessSource
     std::uint32_t writeThresh24_;
     std::uint32_t instrSpan_;
 
+    /** Datacenter-kind constants (set at construction, not state). */
+    std::shared_ptr<const TwoLevelZipfSampler> keyZipf_;
+    std::uint64_t keySpace_ = 0;     //!< bit_floor(numKeys)
+    std::uint64_t recordBlocks_ = 1; //!< >= 1 copy of params
+    double reqLenDenom_ = 0.0;       //!< geometric denom, see Rng
+    bool reqLenGeometric_ = false;   //!< requestBlocksMean > 1
+
     std::uint64_t chaseCursor_ = 0; //!< PointerChase position
-    std::uint64_t scanCursor_ = 0;  //!< StreamScan position
+    std::uint64_t scanCursor_ = 0;  //!< StreamScan / scratch position
     bool updatePending_ = false;    //!< RandomUpdate write half due
     std::uint64_t updateBlock_ = 0;
+
+    /** @name Datacenter request-burst state
+     * A request (KV record read, embedding-row gather, file transfer,
+     * MLP pass) emits one access per next() call; these fields carry
+     * the in-flight burst across calls and are checkpointed.
+     */
+    /**@{*/
+    std::uint64_t burstBlock_ = 0;   //!< next block of the burst
+    std::uint64_t burstLeft_ = 0;    //!< accesses left in the burst
+    bool burstWrite_ = false;        //!< burst is a write transfer
+    std::uint8_t burstPhase_ = 0;    //!< DlrmEmbed: 1 gather, 2 MLP
+    std::uint32_t tableCursor_ = 0;  //!< DlrmEmbed table in progress
+    std::uint32_t lookupCursor_ = 0; //!< DlrmEmbed lookup within table
+    /**@}*/
 };
 
 } // namespace unison

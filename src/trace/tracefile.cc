@@ -73,7 +73,9 @@ TraceWriter::write(const MemoryAccess &access)
     rec.addr = access.addr;
     rec.pc = access.pc;
     rec.instrsBefore = access.instrsBefore;
-    rec.core = access.core;
+    // The on-disk record keeps an 8-bit core id (the constructor caps
+    // capture at 255 cores); in-memory core ids are wider.
+    rec.core = static_cast<std::uint8_t>(access.core);
     rec.flags = access.isWrite ? 1 : 0;
     if (std::fwrite(&rec, sizeof(rec), 1, file_) != 1)
         fatal("failed to append trace record");

@@ -12,24 +12,101 @@
 
 namespace unison {
 
+namespace {
+
+/**
+ * Bounded process-wide sampler cache. Keyed by (domain, alpha bit
+ * pattern) -- presets use exact literals, so there is no
+ * float-comparison fuzziness to worry about. Bounded FIFO: a
+ * long-running `serve` session sees an unbounded stream of distinct
+ * (n, alpha) pairs, and each entry holds tables worth tens to hundreds
+ * of KB, so the cache must not grow monotonically. Eviction drops the
+ * oldest *insertion*; experiments still running with an evicted
+ * sampler keep it alive through their shared_ptr, so eviction is
+ * purely a cache-residency decision, never a correctness one. All
+ * access is under one mutex -- the construction pow-loop is the only
+ * expensive path and concurrent served sweeps hit the map briefly at
+ * experiment setup, never per access.
+ */
+template <typename Sampler>
+class BoundedSamplerCache
+{
+  public:
+    std::shared_ptr<const Sampler>
+    get(std::uint64_t n, double alpha)
+    {
+        std::uint64_t alpha_bits;
+        static_assert(sizeof(alpha_bits) == sizeof(alpha));
+        std::memcpy(&alpha_bits, &alpha, sizeof(alpha));
+        const Key key{n, alpha_bits};
+
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = cache_.find(key);
+        if (it != cache_.end())
+            return it->second;
+        auto sampler = std::make_shared<const Sampler>(n, alpha);
+        if (cache_.size() >= kSharedSamplerCacheCapacity) {
+            cache_.erase(order_.front());
+            order_.erase(order_.begin());
+        }
+        cache_.emplace(key, sampler);
+        order_.push_back(key);
+        return sampler;
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return cache_.size();
+    }
+
+  private:
+    using Key = std::pair<std::uint64_t, std::uint64_t>;
+
+    mutable std::mutex mutex_;
+    std::map<Key, std::shared_ptr<const Sampler>> cache_;
+    std::vector<Key> order_; //!< insertion order, front is next victim
+};
+
+BoundedSamplerCache<ZipfAliasSampler> &
+aliasSamplerCache()
+{
+    static BoundedSamplerCache<ZipfAliasSampler> cache;
+    return cache;
+}
+
+BoundedSamplerCache<TwoLevelZipfSampler> &
+twoLevelSamplerCache()
+{
+    static BoundedSamplerCache<TwoLevelZipfSampler> cache;
+    return cache;
+}
+
+} // namespace
+
 std::shared_ptr<const ZipfAliasSampler>
 sharedZipfSampler(std::uint64_t n, double alpha)
 {
-    // Key alpha by bit pattern: presets use exact literals, so there
-    // is no float-comparison fuzziness to worry about.
-    using Key = std::pair<std::uint64_t, std::uint64_t>;
-    static std::mutex mutex;
-    static std::map<Key, std::shared_ptr<const ZipfAliasSampler>> cache;
+    return aliasSamplerCache().get(n, alpha);
+}
 
-    std::uint64_t alpha_bits;
-    static_assert(sizeof(alpha_bits) == sizeof(alpha));
-    std::memcpy(&alpha_bits, &alpha, sizeof(alpha));
+std::size_t
+sharedZipfSamplerCacheSize()
+{
+    return aliasSamplerCache().size();
+}
 
-    std::lock_guard<std::mutex> lock(mutex);
-    auto &entry = cache[{n, alpha_bits}];
-    if (entry == nullptr)
-        entry = std::make_shared<const ZipfAliasSampler>(n, alpha);
-    return entry;
+std::shared_ptr<const TwoLevelZipfSampler>
+sharedTwoLevelZipfSampler(std::uint64_t n, double alpha)
+{
+    return twoLevelSamplerCache().get(n, alpha);
+}
+
+std::size_t
+sharedTwoLevelZipfSamplerCacheSize()
+{
+    return twoLevelSamplerCache().size();
 }
 
 namespace {
@@ -276,7 +353,7 @@ SyntheticWorkload::emitBlock(const Episode &ep, std::uint64_t block,
 {
     out.addr = blockAddress(block);
     out.pc = ep.pc;
-    out.core = static_cast<std::uint8_t>(core);
+    out.core = static_cast<std::uint16_t>(core);
     // One RNG draw supplies both fields: the write flag from the top
     // 24 bits, the instruction gap from the low 32 (emitBlock runs
     // once per reference, so the second generator step it used to

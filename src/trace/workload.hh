@@ -249,14 +249,32 @@ class SyntheticWorkload final : public AccessSource
 };
 
 /**
- * Process-wide cache of alias-method Zipf samplers keyed by
+ * Process-wide caches of immutable Zipf samplers keyed by
  * (domain, alpha). The tables are identical for every experiment on
- * the same preset (a few hundred KB each), so concurrent sweeps share
- * one copy and pay the construction pow-loop once rather than per
- * experiment. Thread-safe; returned samplers are immutable.
+ * the same preset, so concurrent sweeps share one copy and pay the
+ * construction pow-loop once rather than per experiment. Thread-safe
+ * (one mutex per cache, taken only at experiment setup).
+ *
+ * Both caches are *bounded* to kSharedSamplerCacheCapacity entries
+ * with FIFO eviction: a long-running `serve` session sees an
+ * unbounded stream of distinct (n, alpha) pairs, and resident sampler
+ * tables must stay O(1), not O(session length). Experiments holding
+ * an evicted sampler keep it alive via their shared_ptr.
+ *
+ * The ...CacheSize() accessors expose the live entry count so tests
+ * (and operators debugging memory) can observe the bound.
  */
+inline constexpr std::size_t kSharedSamplerCacheCapacity = 64;
+
 std::shared_ptr<const ZipfAliasSampler>
 sharedZipfSampler(std::uint64_t n, double alpha);
+std::size_t sharedZipfSamplerCacheSize();
+
+/** Hierarchical sampler for the datacenter-scale keyspaces (millions
+ *  of keys); see TwoLevelZipfSampler in common/rng.hh. */
+std::shared_ptr<const TwoLevelZipfSampler>
+sharedTwoLevelZipfSampler(std::uint64_t n, double alpha);
+std::size_t sharedTwoLevelZipfSamplerCacheSize();
 
 } // namespace unison
 

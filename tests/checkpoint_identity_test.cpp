@@ -117,6 +117,26 @@ TEST(CheckpointIdentity, ScenarioMix)
     expectCheckpointIdentity(spec);
 }
 
+TEST(CheckpointIdentity, DatacenterMixAt64Cores)
+{
+    // The scale arm: the warm snapshot must carry each of the 64
+    // generators' request-burst state (likely mid-burst at the
+    // boundary) plus the flat page-tracker tables, and resume
+    // byte-identically.
+    ExperimentSpec spec = baseSpec(DesignKind::Unison);
+    spec.system.numCores = 64;
+    spec.accesses = 128'000;
+    spec.system.warmupAccesses = 64'000;
+    MixPart kv = mixScenario(ScenarioKind::YcsbKv, 32);
+    kv.scenario->numKeys = 1ull << 16;
+    kv.scenario->footprintBytes = 1ull << 20;
+    MixPart dl = mixScenario(ScenarioKind::DlrmEmbed, 32);
+    dl.scenario->numKeys = 1ull << 12;
+    dl.scenario->footprintBytes = 1ull << 20;
+    spec.mix = {kv, dl};
+    expectCheckpointIdentity(spec);
+}
+
 TEST(CheckpointIdentity, ResumedRunMatchesLongerWindowToo)
 {
     // The point of prefix grouping: the same snapshot serves specs

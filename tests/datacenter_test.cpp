@@ -1,0 +1,386 @@
+/**
+ * @file
+ * The datacenter generator family end to end: per-(seed, core)
+ * determinism and mid-burst checkpointing of the YcsbKv / DlrmEmbed /
+ * FileServe sources, distribution-shape checks (key skew, metadata
+ * fraction, per-table row scattering), the two-level Zipf sampler's
+ * agreement with the exact alias sampler, interleaving independence
+ * of a 512-core mix, and the bounded shared-sampler caches.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/state_io.hh"
+#include "common/types.hh"
+#include "trace/mix.hh"
+#include "trace/scenarios.hh"
+#include "trace/workload.hh"
+
+namespace unison {
+namespace {
+
+constexpr Addr kSharedBase = 0;
+
+/** Private region directly above the scenario's shared region. */
+Addr
+privateBase(const ScenarioParams &params)
+{
+    return kSharedBase + scenarioSharedBytes(params);
+}
+
+ScenarioParams
+smallYcsb()
+{
+    ScenarioParams p = scenarioParams(ScenarioKind::YcsbKv);
+    p.footprintBytes = 1ull << 20;
+    p.numKeys = 1ull << 16;
+    p.recordBlocks = 4;
+    p.requestBlocksMean = 2.0;
+    return p;
+}
+
+std::vector<MemoryAccess>
+drawStream(ScenarioSource &src, std::size_t n)
+{
+    std::vector<MemoryAccess> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_TRUE(src.next(0, out[i]));
+    return out;
+}
+
+void
+expectSameStream(const std::vector<MemoryAccess> &a,
+                 const std::vector<MemoryAccess> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].addr, b[i].addr) << "access " << i;
+        ASSERT_EQ(a[i].pc, b[i].pc) << "access " << i;
+        ASSERT_EQ(a[i].isWrite, b[i].isWrite) << "access " << i;
+        ASSERT_EQ(a[i].instrsBefore, b[i].instrsBefore)
+            << "access " << i;
+    }
+}
+
+bool
+streamsDiffer(const std::vector<MemoryAccess> &a,
+              const std::vector<MemoryAccess> &b)
+{
+    for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i)
+        if (a[i].addr != b[i].addr || a[i].isWrite != b[i].isWrite)
+            return true;
+    return false;
+}
+
+// ------------------------------------------------------ determinism
+
+TEST(DatacenterDeterminism, SameSeedCoreReplaysExactly)
+{
+    for (ScenarioKind kind : {ScenarioKind::YcsbKv,
+                              ScenarioKind::DlrmEmbed,
+                              ScenarioKind::FileServe}) {
+        SCOPED_TRACE(scenarioName(kind));
+        ScenarioParams p = scenarioParams(kind);
+        p.numKeys = 1ull << 14;
+        p.footprintBytes = 1ull << 20;
+        ScenarioSource a(p, 7, 3, privateBase(p), kSharedBase);
+        ScenarioSource b(p, 7, 3, privateBase(p), kSharedBase);
+        expectSameStream(drawStream(a, 5000), drawStream(b, 5000));
+    }
+}
+
+TEST(DatacenterDeterminism, SeedAndCoreBothMatter)
+{
+    const ScenarioParams p = smallYcsb();
+    ScenarioSource base(p, 7, 3, privateBase(p), kSharedBase);
+    ScenarioSource seed(p, 8, 3, privateBase(p), kSharedBase);
+    ScenarioSource core(p, 7, 4, privateBase(p), kSharedBase);
+    const std::vector<MemoryAccess> want = drawStream(base, 2000);
+    EXPECT_TRUE(streamsDiffer(want, drawStream(seed, 2000)));
+    EXPECT_TRUE(streamsDiffer(want, drawStream(core, 2000)));
+}
+
+TEST(DatacenterDeterminism, MidBurstCheckpointRoundTrips)
+{
+    for (ScenarioKind kind : {ScenarioKind::YcsbKv,
+                              ScenarioKind::DlrmEmbed,
+                              ScenarioKind::FileServe}) {
+        SCOPED_TRACE(scenarioName(kind));
+        ScenarioParams p = scenarioParams(kind);
+        p.numKeys = 1ull << 14;
+        p.footprintBytes = 1ull << 20;
+        ScenarioSource a(p, 11, 0, privateBase(p), kSharedBase);
+        // 1237 is deliberately not a multiple of any burst shape: the
+        // snapshot almost certainly lands mid-burst (and mid-gather
+        // for DlrmEmbed), which is exactly the state that must travel.
+        drawStream(a, 1237);
+        StateWriter writer;
+        a.saveState(writer);
+        const std::vector<std::uint8_t> bytes = std::move(writer).take();
+
+        ScenarioSource b(p, 11, 0, privateBase(p), kSharedBase);
+        StateReader reader(bytes);
+        b.loadState(reader);
+        reader.expectEnd();
+        EXPECT_TRUE(reader.ok());
+        expectSameStream(drawStream(a, 3000), drawStream(b, 3000));
+    }
+}
+
+TEST(DatacenterDeterminism, MixStreamsIndependentOfInterleavingAt512Cores)
+{
+    const int cores = 512;
+    const std::vector<MixPart> parts = {
+        mixScenario(ScenarioKind::YcsbKv, cores)};
+    const std::size_t per_core = 20;
+
+    // Run 1: round-robin. Run 2: reverse core order, batched. The
+    // per-core streams must be identical -- each core's generator is
+    // seeded from (seed, core) alone.
+    std::vector<std::vector<MemoryAccess>> rr(cores), rev(cores);
+    {
+        MixedWorkload mix(parts, cores, 99);
+        for (std::size_t i = 0; i < per_core; ++i)
+            for (int c = 0; c < cores; ++c) {
+                MemoryAccess acc;
+                ASSERT_TRUE(mix.next(c, acc));
+                rr[c].push_back(acc);
+            }
+    }
+    {
+        MixedWorkload mix(parts, cores, 99);
+        for (int c = cores - 1; c >= 0; --c)
+            for (std::size_t i = 0; i < per_core; ++i) {
+                MemoryAccess acc;
+                ASSERT_TRUE(mix.next(c, acc));
+                rev[c].push_back(acc);
+            }
+    }
+    for (int c = 0; c < cores; ++c) {
+        SCOPED_TRACE("core " + std::to_string(c));
+        expectSameStream(rr[c], rev[c]);
+    }
+}
+
+// ------------------------------------------------- distribution shape
+
+TEST(DatacenterShape, YcsbKeyPopularityIsSkewedAndBroad)
+{
+    const ScenarioParams p = smallYcsb();
+    const std::uint64_t key_space = scenarioKeySpace(p);
+    const std::uint64_t shared_blocks =
+        scenarioSharedBytes(p) / kBlockBytes;
+    ScenarioSource src(p, 3, 0, privateBase(p), kSharedBase);
+
+    std::map<std::uint64_t, std::uint64_t> per_record;
+    std::uint64_t keyed = 0;
+    MemoryAccess acc;
+    for (int i = 0; i < 120'000; ++i) {
+        ASSERT_TRUE(src.next(0, acc));
+        const std::uint64_t block = acc.addr / kBlockBytes;
+        if (block >= shared_blocks)
+            continue; // private scratch access
+        const std::uint64_t record = block / p.recordBlocks;
+        ASSERT_LT(record, key_space) << "keyed access out of range";
+        ++per_record[record];
+        ++keyed;
+    }
+    ASSERT_GT(keyed, 40'000u);
+
+    std::uint64_t top = 0;
+    for (const auto &[record, count] : per_record)
+        top = std::max(top, count);
+    // Uniform would put ~keyed/65536 accesses on the top record; Zipf
+    // 0.99 concentrates several percent of all traffic there.
+    EXPECT_GT(static_cast<double>(top) / static_cast<double>(keyed),
+              0.02);
+    // ... while still touching a broad slice of the keyspace.
+    EXPECT_GT(per_record.size(), 5'000u);
+}
+
+TEST(DatacenterShape, FileServeMetadataRequestFraction)
+{
+    ScenarioParams p = scenarioParams(ScenarioKind::FileServe);
+    p.numKeys = 1ull << 14;
+    p.footprintBytes = 1ull << 20;
+    const std::uint64_t hot_blocks = p.hotSetBytes / kBlockBytes;
+    const std::uint64_t shared_blocks =
+        scenarioSharedBytes(p) / kBlockBytes;
+    ScenarioSource src(p, 5, 0, privateBase(p), kSharedBase);
+
+    // Data transfers are sequential bursts, so a data *request* starts
+    // at every keyed access that does not continue its predecessor.
+    std::uint64_t meta_requests = 0, data_requests = 0;
+    std::uint64_t prev_data_block = ~0ull;
+    MemoryAccess acc;
+    for (int i = 0; i < 200'000; ++i) {
+        ASSERT_TRUE(src.next(0, acc));
+        const std::uint64_t block = acc.addr / kBlockBytes;
+        if (block >= shared_blocks)
+            continue;
+        if (block < hot_blocks) {
+            ++meta_requests;
+            continue;
+        }
+        if (block != prev_data_block + 1)
+            ++data_requests;
+        prev_data_block = block;
+    }
+    const double frac =
+        static_cast<double>(meta_requests) /
+        static_cast<double>(meta_requests + data_requests);
+    EXPECT_NEAR(frac, p.hotFraction, 0.05);
+}
+
+TEST(DatacenterShape, DlrmTablesScatterRowsIndependently)
+{
+    ScenarioParams p = scenarioParams(ScenarioKind::DlrmEmbed);
+    p.numKeys = 1ull << 12;
+    p.numTables = 4;
+    p.lookupsPerTable = 2;
+    p.recordBlocks = 1;
+    p.footprintBytes = 1ull << 20;
+    const std::uint64_t key_space = scenarioKeySpace(p);
+    const std::uint64_t shared_blocks =
+        scenarioSharedBytes(p) / kBlockBytes;
+    ScenarioSource src(p, 13, 0, privateBase(p), kSharedBase);
+
+    std::vector<std::map<std::uint64_t, std::uint64_t>> rows(
+        p.numTables);
+    MemoryAccess acc;
+    for (int i = 0; i < 60'000; ++i) {
+        ASSERT_TRUE(src.next(0, acc));
+        const std::uint64_t block = acc.addr / kBlockBytes;
+        if (block >= shared_blocks)
+            continue;
+        const std::uint64_t table = block / key_space;
+        ASSERT_LT(table, p.numTables);
+        ++rows[table][block % key_space];
+    }
+
+    // Every table is exercised broadly, and the per-table scatter
+    // salts place each table's hottest row somewhere different.
+    std::set<std::uint64_t> top_rows;
+    for (std::uint32_t t = 0; t < p.numTables; ++t) {
+        SCOPED_TRACE("table " + std::to_string(t));
+        EXPECT_GT(rows[t].size(), 500u);
+        std::uint64_t top_row = 0, top_count = 0;
+        for (const auto &[row, count] : rows[t])
+            if (count > top_count) {
+                top_count = count;
+                top_row = row;
+            }
+        top_rows.insert(top_row);
+    }
+    EXPECT_GT(top_rows.size(), 1u)
+        << "all tables scattered their hottest row identically";
+}
+
+// -------------------------------------------------- two-level sampler
+
+TEST(TwoLevelZipf, AgreesWithExactAliasSampler)
+{
+    const std::uint64_t n = 50'000; // forces tail groups (head <= 4096)
+    const double alpha = 1.0;
+    const TwoLevelZipfSampler two(n, alpha);
+    const ZipfAliasSampler exact(n, alpha);
+
+    const int draws = 300'000;
+    std::vector<std::uint64_t> two_top(8, 0), exact_top(8, 0);
+    std::uint64_t two_head = 0, exact_head = 0;
+    Rng rng_a(1), rng_b(2);
+    for (int i = 0; i < draws; ++i) {
+        const std::uint64_t a = two.sample(rng_a);
+        const std::uint64_t b = exact.sample(rng_b);
+        ASSERT_LT(a, n);
+        ASSERT_LT(b, n);
+        if (a < two_top.size())
+            ++two_top[a];
+        if (b < exact_top.size())
+            ++exact_top[b];
+        two_head += a < 4096 ? 1 : 0;
+        exact_head += b < 4096 ? 1 : 0;
+    }
+
+    // Analytic rank-0 probability as the anchor, then rank-by-rank
+    // agreement between the two samplers.
+    double harmonic = 0.0;
+    for (std::uint64_t k = 1; k <= n; ++k)
+        harmonic += 1.0 / static_cast<double>(k);
+    const double p0 = 1.0 / harmonic;
+    EXPECT_NEAR(static_cast<double>(two_top[0]) / draws, p0,
+                0.05 * p0);
+    for (std::size_t r = 0; r < two_top.size(); ++r) {
+        SCOPED_TRACE("rank " + std::to_string(r));
+        const double pa = static_cast<double>(two_top[r]) / draws;
+        const double pb = static_cast<double>(exact_top[r]) / draws;
+        EXPECT_NEAR(pa, pb, 0.10 * pb + 1e-4);
+    }
+    EXPECT_NEAR(static_cast<double>(two_head) / draws,
+                static_cast<double>(exact_head) / draws, 0.02);
+}
+
+TEST(TwoLevelZipf, HeadTablesStaySmall)
+{
+    // The point of the hierarchy: O(sqrt(n))-ish hot memory. At 1M
+    // keys the resident tables must stay well under the alias
+    // sampler's fixed 128 KB head.
+    const TwoLevelZipfSampler s(1ull << 20, 0.99);
+    EXPECT_LT(s.tableBytes(), 64u * 1024u);
+}
+
+TEST(TwoLevelZipf, UniformAndTinyDomains)
+{
+    Rng rng(4);
+    const TwoLevelZipfSampler one(1, 1.0);
+    EXPECT_EQ(one.sample(rng), 0u);
+    const TwoLevelZipfSampler flat(100, 0.0);
+    std::uint64_t max_seen = 0;
+    for (int i = 0; i < 10'000; ++i)
+        max_seen = std::max(max_seen, flat.sample(rng));
+    EXPECT_LT(max_seen, 100u);
+    EXPECT_GT(max_seen, 90u); // uniform covers the domain
+}
+
+// ----------------------------------------------------- bounded caches
+
+TEST(SharedSamplerCache, BoundedAndEvictionSafe)
+{
+    const std::shared_ptr<const TwoLevelZipfSampler> pinned =
+        sharedTwoLevelZipfSampler(1ull << 15, 0.77);
+    EXPECT_EQ(sharedTwoLevelZipfSampler(1ull << 15, 0.77).get(),
+              pinned.get())
+        << "same (n, alpha) must share one sampler while cached";
+
+    // Blow well past the capacity with distinct (n, alpha) pairs.
+    for (std::size_t i = 0; i < kSharedSamplerCacheCapacity + 16; ++i)
+        sharedTwoLevelZipfSampler(1024 + i, 0.9);
+    EXPECT_LE(sharedTwoLevelZipfSamplerCacheSize(),
+              kSharedSamplerCacheCapacity);
+    EXPECT_GE(sharedTwoLevelZipfSamplerCacheSize(), 1u);
+
+    // Eviction is cache-residency, not lifetime: the pinned sampler
+    // keeps working after falling out of the FIFO.
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_LT(pinned->sample(rng), 1ull << 15);
+}
+
+TEST(SharedSamplerCache, AliasCacheBoundedToo)
+{
+    for (std::size_t i = 0; i < kSharedSamplerCacheCapacity + 16; ++i)
+        sharedZipfSampler(2048 + i, 0.8);
+    EXPECT_LE(sharedZipfSamplerCacheSize(), kSharedSamplerCacheCapacity);
+}
+
+} // namespace
+} // namespace unison

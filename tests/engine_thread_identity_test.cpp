@@ -111,6 +111,28 @@ TEST(EngineThreadIdentity, SharedRngSourceFallsBackToSerial)
     expectThreadCountInvariant(spec);
 }
 
+TEST(EngineThreadIdentity, DatacenterMixAt64Cores)
+{
+    // The scale arm: a 64-core skewed-keyspace serving mix through the
+    // epoch-sharded producers. Covers the widened scheduler clock-key
+    // packing and the datacenter generators' burst state under
+    // threaded production.
+    ExperimentSpec spec;
+    spec.design = DesignKind::Unison;
+    spec.capacityBytes = 64_MiB;
+    spec.system.numCores = 64;
+    spec.accesses = 128'000;
+    spec.seed = 5;
+    MixPart kv = mixScenario(ScenarioKind::YcsbKv, 32);
+    kv.scenario->numKeys = 1ull << 16;
+    kv.scenario->footprintBytes = 1ull << 20;
+    MixPart fs = mixScenario(ScenarioKind::FileServe, 32);
+    fs.scenario->numKeys = 1ull << 14;
+    fs.scenario->footprintBytes = 1ull << 20;
+    spec.mix = {kv, fs};
+    expectThreadCountInvariant(spec);
+}
+
 TEST(EngineThreadIdentity, ThreadedEngineComposesWithCheckpoints)
 {
     // Checkpoint hooks force the serial engine, but a threaded run of

@@ -15,6 +15,7 @@
 
 #include <cstdio>
 
+#include "sim/figures.hh"
 #include "sim/runner.hh"
 #include "trace/mix.hh"
 #include "trace/scenarios.hh"
@@ -387,6 +388,31 @@ TEST(MixExperiment, SpecWorkloadNameCoversAllSourceKinds)
 
     EXPECT_EQ(specWorkloadName(mixSpecFixture()),
               "tiny:1+streamingscan:1+pointerchase:2");
+}
+
+TEST(StandardMixes, AnyCoreCountFromTwoUp)
+{
+    // Odd counts split first=(n+1)/2, second=n/2; every mix's core
+    // counts must sum to exactly n so the spec validates.
+    for (int cores : {2, 3, 5, 64, 255, 511}) {
+        SCOPED_TRACE("cores=" + std::to_string(cores));
+        const std::vector<NamedMix> mixes = standardMixes(cores);
+        ASSERT_EQ(mixes.size(), 5u);
+        for (const NamedMix &mix : mixes) {
+            int total = 0;
+            for (const MixPart &part : mix.parts)
+                total += part.cores;
+            EXPECT_EQ(total, cores) << mix.title;
+        }
+    }
+    // Even counts keep the historical exact halves.
+    const std::vector<NamedMix> even = standardMixes(8);
+    EXPECT_EQ(even[0].parts[0].cores, 4);
+    EXPECT_EQ(even[0].parts[1].cores, 4);
+    // Odd counts give the first program the extra core.
+    const std::vector<NamedMix> odd = standardMixes(7);
+    EXPECT_EQ(odd[0].parts[0].cores, 4);
+    EXPECT_EQ(odd[0].parts[1].cores, 3);
 }
 
 TEST(MixExperiment, MixSweepIsThreadCountInvariant)

@@ -240,6 +240,86 @@ TEST(SpecJson, NewerKeyInOlderSchemaIsRejected)
     EXPECT_THROW(specFromJson(json::parse(text)), json::Error);
 }
 
+TEST(SpecJson, DatacenterScenarioFloatsTheSpecToV4)
+{
+    // The datacenter knobs are v4 keys; a spec that uses them must
+    // write v4 (and round-trip byte-exactly there).
+    ExperimentSpec spec;
+    spec.system.numCores = 4;
+    spec.mix = {mixScenario(ScenarioKind::YcsbKv, 4)};
+    spec.accesses = 1000;
+    expectSpecRoundTrip(spec);
+
+    const std::string text = roundTripOnce(spec);
+    EXPECT_NE(text.find("\"schema\": \"unison-spec/4\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"numKeys\""), std::string::npos);
+    EXPECT_NE(text.find("\"keyZipfAlpha\""), std::string::npos);
+
+    const ExperimentSpec reparsed = specFromJson(json::parse(text));
+    ASSERT_EQ(reparsed.mix.size(), 1u);
+    ASSERT_TRUE(reparsed.mix[0].scenario.has_value());
+    EXPECT_EQ(reparsed.mix[0].scenario->numKeys, 1ull << 20);
+    EXPECT_EQ(reparsed.mix[0].scenario->recordBlocks, 16u);
+}
+
+TEST(SpecJson, ManyCoreSystemsFloatToV4)
+{
+    ExperimentSpec spec;
+    spec.system.numCores = 512;
+    spec.mix = {mixScenario(ScenarioKind::StreamScan, 512)};
+    spec.accesses = 1024;
+    expectSpecRoundTrip(spec);
+
+    const std::string text = roundTripOnce(spec);
+    EXPECT_NE(text.find("\"schema\": \"unison-spec/4\""),
+              std::string::npos);
+    const ExperimentSpec reparsed = specFromJson(json::parse(text));
+    EXPECT_EQ(reparsed.system.numCores, 512);
+    ASSERT_EQ(reparsed.mix.size(), 1u);
+    EXPECT_EQ(reparsed.mix[0].cores, 512);
+}
+
+TEST(SpecJson, V3DocumentsKeepThe256CoreCap)
+{
+    // A v3 document claiming 512 cores must fail with the pinned v3
+    // range error, not silently adopt the wider v4 cap.
+    ExperimentSpec spec;
+    spec.system.numCores = 512;
+    spec.mix = {mixScenario(ScenarioKind::StreamScan, 512)};
+    const std::string text = mutateDocument(
+        roundTripOnce(spec), "unison-spec/4", "unison-spec/3");
+    try {
+        specFromJson(json::parse(text));
+        FAIL() << "512 cores in a v3 document must be rejected";
+    } catch (const json::Error &e) {
+        EXPECT_NE(std::string(e.what()).find("256"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(SpecJson, DatacenterScenarioRequiresV4)
+{
+    // A v3 document (no v4 keys present) naming a datacenter scenario
+    // gets an error pointing at the schema version it needs.
+    ExperimentSpec spec;
+    spec.system.numCores = 4;
+    spec.mix = {mixScenario(ScenarioKind::StreamScan, 4)};
+    const std::string text = mutateDocument(
+        roundTripOnce(spec), "\"kind\": \"streamingscan\"",
+        "\"kind\": \"ycsbkvserving\"");
+    try {
+        specFromJson(json::parse(text));
+        FAIL() << "datacenter scenario in a v3 document must be "
+                  "rejected";
+    } catch (const json::Error &e) {
+        EXPECT_NE(std::string(e.what()).find("unison-spec/4"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
 TEST(SpecJson, UnknownMemoryBackendTokenIsRejected)
 {
     const std::string text = mutateDocument(

@@ -128,8 +128,11 @@ TEST(SpecValidation, RejectsBadCoreCounts)
     spec.system.numCores = 0;
     EXPECT_NE(spec.validationError().find(">= 1 core"),
               std::string::npos);
-    spec.system.numCores = 1000;
-    EXPECT_NE(spec.validationError().find("256"), std::string::npos);
+    spec.system.numCores = 1000; // fine since the cap moved to kMaxCores
+    EXPECT_EQ(spec.validationError(), "");
+    spec.system.numCores = kMaxCores + 1;
+    EXPECT_NE(spec.validationError().find(std::to_string(kMaxCores)),
+              std::string::npos);
 }
 
 TEST(SpecValidation, RejectsBadCapacities)
